@@ -1,0 +1,145 @@
+//! AML-style unsupervised lexical matcher.
+//!
+//! AgreementMakerLight's core matchers are lexical: names are normalized
+//! and compared with an ensemble of string similarities; only pairs above
+//! a high confidence threshold are reported, giving the very high
+//! precision / moderate recall profile the paper observes for AML
+//! (P ≈ 0.95–0.99, R ≈ 0.34–0.61 in Table II).
+
+use crate::{name_tokens, Matcher};
+use leapme_data::model::{Dataset, PropertyPair};
+use leapme_textsim::{jaro, levenshtein};
+
+/// AML-style matcher over property names.
+#[derive(Debug, Clone)]
+pub struct AmlMatcher {
+    threshold: f64,
+}
+
+impl AmlMatcher {
+    /// Default AML configuration (high-precision threshold 0.85).
+    pub fn new() -> Self {
+        AmlMatcher { threshold: 0.85 }
+    }
+
+    /// Custom threshold (clamped to `[0, 1]`).
+    pub fn with_threshold(threshold: f64) -> Self {
+        AmlMatcher {
+            threshold: threshold.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The lexical ensemble similarity: the maximum of
+    /// word-set Jaccard, Jaro–Winkler, and normalized Levenshtein
+    /// similarity on the token-normalized names.
+    pub fn similarity(name_a: &str, name_b: &str) -> f64 {
+        let ta = name_tokens(name_a);
+        let tb = name_tokens(name_b);
+        if ta.is_empty() || tb.is_empty() {
+            return 0.0;
+        }
+        let norm_a = ta.join(" ");
+        let norm_b = tb.join(" ");
+
+        let set_a: std::collections::BTreeSet<&String> = ta.iter().collect();
+        let set_b: std::collections::BTreeSet<&String> = tb.iter().collect();
+        let inter = set_a.intersection(&set_b).count();
+        let union = set_a.len() + set_b.len() - inter;
+        let jaccard = inter as f64 / union as f64;
+
+        let jw = jaro::jaro_winkler_similarity(&norm_a, &norm_b);
+        let lev = levenshtein::normalized_similarity(&norm_a, &norm_b);
+
+        jaccard.max(jw).max(lev)
+    }
+}
+
+impl Default for AmlMatcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Matcher for AmlMatcher {
+    fn name(&self) -> &'static str {
+        "AML"
+    }
+
+    fn score(&self, _dataset: &Dataset, PropertyPair(a, b): &PropertyPair) -> f64 {
+        Self::similarity(&a.name, &b.name)
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leapme_data::model::{PropertyKey, SourceId};
+
+    fn empty_dataset() -> Dataset {
+        Dataset::new(
+            "t",
+            vec!["a".into(), "b".into()],
+            vec![],
+            Default::default(),
+        )
+        .unwrap()
+    }
+
+    fn pair(a: &str, b: &str) -> PropertyPair {
+        PropertyPair::new(
+            PropertyKey::new(SourceId(0), a),
+            PropertyKey::new(SourceId(1), b),
+        )
+    }
+
+    #[test]
+    fn identical_names_max_similarity() {
+        assert_eq!(AmlMatcher::similarity("resolution", "resolution"), 1.0);
+        // Different casing/styling normalizes to the same tokens.
+        assert_eq!(AmlMatcher::similarity("Shutter Speed", "shutter_speed"), 1.0);
+        assert_eq!(AmlMatcher::similarity("shutterSpeed", "shutter-speed"), 1.0);
+    }
+
+    #[test]
+    fn near_names_high_similarity() {
+        assert!(AmlMatcher::similarity("resolution", "resolutions") > 0.9);
+        // Shared token.
+        assert!(AmlMatcher::similarity("max shutter speed", "shutter speed") > 0.6);
+    }
+
+    #[test]
+    fn synonyms_low_similarity() {
+        // Lexical matchers cannot bridge true synonyms — the weakness
+        // LEAPME's embeddings address.
+        assert!(AmlMatcher::similarity("megapixels", "camera resolution") < 0.6);
+    }
+
+    #[test]
+    fn empty_names_zero() {
+        assert_eq!(AmlMatcher::similarity("", "resolution"), 0.0);
+        assert_eq!(AmlMatcher::similarity("!!!", "resolution"), 0.0);
+    }
+
+    #[test]
+    fn matcher_interface() {
+        let ds = empty_dataset();
+        let m = AmlMatcher::new();
+        assert_eq!(m.name(), "AML");
+        assert!(m.score(&ds, &pair("iso", "iso")) >= m.threshold());
+        let matched = m.predict(
+            &ds,
+            &[pair("iso", "iso"), pair("megapixels", "battery life")],
+        );
+        assert_eq!(matched.len(), 1);
+    }
+
+    #[test]
+    fn threshold_clamped() {
+        assert_eq!(AmlMatcher::with_threshold(5.0).threshold(), 1.0);
+        assert_eq!(AmlMatcher::with_threshold(-1.0).threshold(), 0.0);
+    }
+}

@@ -1,0 +1,326 @@
+//! CART decision tree (binary classification, Gini impurity).
+//!
+//! The Nezhadi et al. baseline aggregates classical similarity metrics
+//! with an off-the-shelf classifier; decision trees are among the
+//! classifiers they evaluate and need no feature scaling, which suits the
+//! mixed string-similarity features. This is a from-scratch CART:
+//! axis-aligned splits chosen by Gini gain, depth- and support-limited,
+//! leaves predict the majority class with a probability estimate.
+
+/// Hyper-parameters of the tree.
+#[derive(Debug, Clone, Copy)]
+pub struct CartConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node further.
+    pub min_samples_split: usize,
+}
+
+impl Default for CartConfig {
+    fn default() -> Self {
+        CartConfig {
+            max_depth: 8,
+            min_samples_split: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        prob_positive: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A fitted binary decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+    n_features: usize,
+}
+
+/// Errors from tree fitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CartError {
+    /// No training rows.
+    EmptyTrainingSet,
+    /// Rows have inconsistent widths or labels mismatch.
+    ShapeMismatch(String),
+}
+
+impl std::fmt::Display for CartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CartError::EmptyTrainingSet => write!(f, "empty training set"),
+            CartError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CartError {}
+
+fn gini(pos: usize, total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let p = pos as f64 / total as f64;
+    2.0 * p * (1.0 - p)
+}
+
+impl DecisionTree {
+    /// Fit a tree on feature rows `x` and boolean labels `y`.
+    pub fn fit(x: &[Vec<f64>], y: &[bool], cfg: &CartConfig) -> Result<Self, CartError> {
+        if x.is_empty() {
+            return Err(CartError::EmptyTrainingSet);
+        }
+        if x.len() != y.len() {
+            return Err(CartError::ShapeMismatch(format!(
+                "{} rows vs {} labels",
+                x.len(),
+                y.len()
+            )));
+        }
+        let n_features = x[0].len();
+        if x.iter().any(|r| r.len() != n_features) {
+            return Err(CartError::ShapeMismatch("ragged feature rows".into()));
+        }
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let root = Self::build(x, y, &idx, cfg, 0);
+        Ok(DecisionTree { root, n_features })
+    }
+
+    fn build(x: &[Vec<f64>], y: &[bool], idx: &[usize], cfg: &CartConfig, depth: usize) -> Node {
+        let pos = idx.iter().filter(|&&i| y[i]).count();
+        let total = idx.len();
+        let leaf = || Node::Leaf {
+            prob_positive: if total == 0 {
+                0.0
+            } else {
+                pos as f64 / total as f64
+            },
+        };
+        if depth >= cfg.max_depth
+            || total < cfg.min_samples_split
+            || pos == 0
+            || pos == total
+        {
+            return leaf();
+        }
+
+        // Best Gini split over all features and midpoints.
+        let parent_gini = gini(pos, total);
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        let n_features = x[idx[0]].len();
+        for f in 0..n_features {
+            let mut vals: Vec<(f64, bool)> = idx.iter().map(|&i| (x[i][f], y[i])).collect();
+            vals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            let mut left_pos = 0usize;
+            for i in 0..total - 1 {
+                if vals[i].1 {
+                    left_pos += 1;
+                }
+                if vals[i].0 == vals[i + 1].0 {
+                    continue; // can't split between equal values
+                }
+                let left_n = i + 1;
+                let right_n = total - left_n;
+                let right_pos = pos - left_pos;
+                let weighted = (left_n as f64 * gini(left_pos, left_n)
+                    + right_n as f64 * gini(right_pos, right_n))
+                    / total as f64;
+                let gain = parent_gini - weighted;
+                let threshold = (vals[i].0 + vals[i + 1].0) / 2.0;
+                if best.map(|(_, _, g)| gain > g).unwrap_or(gain > 1e-12) {
+                    best = Some((f, threshold, gain));
+                }
+            }
+        }
+
+        let Some((feature, threshold, _)) = best else {
+            return leaf();
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| x[i][feature] <= threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            return leaf();
+        }
+        Node::Split {
+            feature,
+            threshold,
+            left: Box::new(Self::build(x, y, &left_idx, cfg, depth + 1)),
+            right: Box::new(Self::build(x, y, &right_idx, cfg, depth + 1)),
+        }
+    }
+
+    /// Expected feature-vector width.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Probability of the positive class for one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the training width.
+    pub fn predict_proba(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.n_features, "feature width mismatch");
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { prob_positive } => return *prob_positive,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Hard decision at probability 0.5.
+    pub fn predict(&self, row: &[f64]) -> bool {
+        self.predict_proba(row) >= 0.5
+    }
+
+    /// Tree depth (a single leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        d(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn axis_separable() -> (Vec<Vec<f64>>, Vec<bool>) {
+        // Positive iff feature 1 > 0.5 (feature 0 is noise).
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let noise = (i % 7) as f64 / 7.0;
+            let signal = if i % 2 == 0 { 0.9 } else { 0.1 };
+            x.push(vec![noise, signal]);
+            y.push(i % 2 == 0);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_axis_split() {
+        let (x, y) = axis_separable();
+        let tree = DecisionTree::fit(&x, &y, &CartConfig::default()).unwrap();
+        for (row, label) in x.iter().zip(&y) {
+            assert_eq!(tree.predict(row), *label);
+        }
+        // A single split suffices.
+        assert_eq!(tree.depth(), 1);
+    }
+
+    #[test]
+    fn learns_two_level_and() {
+        // Positive iff f0 > 0.5 AND f1 > 0.5 — requires depth 2.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for a in [0.2, 0.8] {
+            for b in [0.2, 0.8] {
+                for _ in 0..10 {
+                    x.push(vec![a, b]);
+                    y.push(a > 0.5 && b > 0.5);
+                }
+            }
+        }
+        let tree = DecisionTree::fit(&x, &y, &CartConfig::default()).unwrap();
+        assert!(tree.predict(&[0.9, 0.9]));
+        assert!(!tree.predict(&[0.9, 0.1]));
+        assert!(!tree.predict(&[0.1, 0.9]));
+        assert!(!tree.predict(&[0.1, 0.1]));
+    }
+
+    #[test]
+    fn pure_node_is_leaf() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![true, true];
+        let tree = DecisionTree::fit(&x, &y, &CartConfig::default()).unwrap();
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.predict_proba(&[0.5]), 1.0);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let (x, y) = axis_separable();
+        let cfg = CartConfig {
+            max_depth: 0,
+            ..CartConfig::default()
+        };
+        let tree = DecisionTree::fit(&x, &y, &cfg).unwrap();
+        assert_eq!(tree.depth(), 0);
+        // Majority leaf: probability 0.5 exactly here.
+        assert!((tree.predict_proba(&[0.0, 0.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_reflects_purity() {
+        // 3 positives and 1 negative share the left region.
+        let x = vec![vec![0.1], vec![0.2], vec![0.3], vec![0.25], vec![0.9]];
+        let y = vec![true, true, true, false, false];
+        let cfg = CartConfig {
+            max_depth: 1,
+            min_samples_split: 2,
+        };
+        let tree = DecisionTree::fit(&x, &y, &cfg).unwrap();
+        // At depth 1 the tree cannot separate everything; at least one
+        // probe must land in an impure leaf with a fractional probability.
+        let probes = [0.15, 0.27, 0.95];
+        assert!(
+            probes.iter().any(|&v| {
+                let p = tree.predict_proba(&[v]);
+                p > 0.0 && p < 1.0
+            }),
+            "expected an impure leaf among probes"
+        );
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(
+            DecisionTree::fit(&[], &[], &CartConfig::default()).unwrap_err(),
+            CartError::EmptyTrainingSet
+        );
+        let err = DecisionTree::fit(&[vec![1.0]], &[true, false], &CartConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, CartError::ShapeMismatch(_)));
+        let err = DecisionTree::fit(
+            &[vec![1.0], vec![1.0, 2.0]],
+            &[true, false],
+            &CartConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CartError::ShapeMismatch(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn predict_rejects_wrong_width() {
+        let tree = DecisionTree::fit(&[vec![0.0]], &[true], &CartConfig::default()).unwrap();
+        tree.predict(&[0.0, 1.0]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Formal concept analysis: contexts, derivation operators, and concept
+//! enumeration with Ganter's NextClosure algorithm.
+//!
+//! FCA-Map constructs formal contexts from ontology lexicons and derives
+//! matches from the concept lattice. This module provides the FCA core
+//! the [`crate::fcamap`] matcher builds on.
+
+use std::collections::BTreeSet;
+
+/// A formal context: a binary incidence relation between `n_objects`
+/// objects and `n_attributes` attributes.
+#[derive(Debug, Clone)]
+pub struct FormalContext {
+    n_objects: usize,
+    n_attributes: usize,
+    object_attrs: Vec<BTreeSet<usize>>,
+}
+
+/// A formal concept: a maximal (extent, intent) rectangle of the context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Concept {
+    /// Objects of the concept.
+    pub extent: BTreeSet<usize>,
+    /// Attributes shared by all extent objects.
+    pub intent: BTreeSet<usize>,
+}
+
+impl FormalContext {
+    /// Create a context; `object_attrs[o]` lists the attributes of object
+    /// `o`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any attribute index is out of range.
+    pub fn new(n_attributes: usize, object_attrs: Vec<BTreeSet<usize>>) -> Self {
+        for attrs in &object_attrs {
+            if let Some(&max) = attrs.iter().next_back() {
+                assert!(max < n_attributes, "attribute {max} out of range");
+            }
+        }
+        FormalContext {
+            n_objects: object_attrs.len(),
+            n_attributes,
+            object_attrs,
+        }
+    }
+
+    /// Number of objects.
+    pub fn n_objects(&self) -> usize {
+        self.n_objects
+    }
+
+    /// Number of attributes.
+    pub fn n_attributes(&self) -> usize {
+        self.n_attributes
+    }
+
+    /// Attributes of one object.
+    pub fn attributes_of(&self, object: usize) -> &BTreeSet<usize> {
+        &self.object_attrs[object]
+    }
+
+    /// Derivation: objects having *all* of `attrs`.
+    pub fn extent(&self, attrs: &BTreeSet<usize>) -> BTreeSet<usize> {
+        (0..self.n_objects)
+            .filter(|&o| attrs.is_subset(&self.object_attrs[o]))
+            .collect()
+    }
+
+    /// Derivation: attributes shared by *all* of `objects`.
+    pub fn intent(&self, objects: &BTreeSet<usize>) -> BTreeSet<usize> {
+        let mut iter = objects.iter();
+        let Some(&first) = iter.next() else {
+            return (0..self.n_attributes).collect();
+        };
+        let mut shared = self.object_attrs[first].clone();
+        for &o in iter {
+            shared = shared
+                .intersection(&self.object_attrs[o])
+                .copied()
+                .collect();
+            if shared.is_empty() {
+                break;
+            }
+        }
+        shared
+    }
+
+    /// Attribute closure: `intent(extent(attrs))`.
+    pub fn closure(&self, attrs: &BTreeSet<usize>) -> BTreeSet<usize> {
+        self.intent(&self.extent(attrs))
+    }
+
+    /// Enumerate all formal concepts in lectic order (NextClosure),
+    /// stopping after `max_concepts` (a lattice can be exponential).
+    pub fn concepts(&self, max_concepts: usize) -> Vec<Concept> {
+        let mut out = Vec::new();
+        let mut intent = self.closure(&BTreeSet::new());
+        loop {
+            let extent = self.extent(&intent);
+            out.push(Concept {
+                extent,
+                intent: intent.clone(),
+            });
+            if out.len() >= max_concepts {
+                break;
+            }
+            match self.next_closure(&intent) {
+                Some(next) => intent = next,
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Ganter's NextClosure step: the lectically next closed attribute
+    /// set after `a`, or `None` when `a` is the last one (the full set).
+    fn next_closure(&self, a: &BTreeSet<usize>) -> Option<BTreeSet<usize>> {
+        for i in (0..self.n_attributes).rev() {
+            if a.contains(&i) {
+                continue;
+            }
+            let mut candidate: BTreeSet<usize> = a.iter().copied().filter(|&x| x < i).collect();
+            candidate.insert(i);
+            let closed = self.closure(&candidate);
+            // Valid if the closure adds no attribute smaller than i that
+            // wasn't already in a.
+            if closed.iter().all(|&x| x >= i || a.contains(&x)) {
+                return Some(closed);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[usize]) -> BTreeSet<usize> {
+        items.iter().copied().collect()
+    }
+
+    /// The classic "live in water / can move / has limbs" toy context.
+    fn toy() -> FormalContext {
+        // objects: 0=fish, 1=frog, 2=dog, 3=reed
+        // attrs:   0=needs water, 1=lives in water, 2=can move, 3=has limbs, 4=is plant
+        FormalContext::new(
+            5,
+            vec![
+                set(&[0, 1, 2]),    // fish
+                set(&[0, 1, 2, 3]), // frog
+                set(&[0, 2, 3]),    // dog
+                set(&[0, 1, 4]),    // reed
+            ],
+        )
+    }
+
+    #[test]
+    fn derivations() {
+        let c = toy();
+        assert_eq!(c.extent(&set(&[1])), set(&[0, 1, 3])); // lives in water
+        assert_eq!(c.extent(&set(&[1, 3])), set(&[1])); // frog only
+        assert_eq!(c.intent(&set(&[0, 1])), set(&[0, 1, 2])); // fish ∧ frog
+        assert_eq!(c.intent(&set(&[])), set(&[0, 1, 2, 3, 4])); // all attrs
+        assert_eq!(c.extent(&set(&[])), set(&[0, 1, 2, 3])); // all objects
+    }
+
+    #[test]
+    fn closure_is_idempotent_and_extensive() {
+        let c = toy();
+        for attrs in [set(&[]), set(&[1]), set(&[2, 3]), set(&[4])] {
+            let cl = c.closure(&attrs);
+            assert!(attrs.is_subset(&cl), "extensive");
+            assert_eq!(c.closure(&cl), cl, "idempotent");
+        }
+    }
+
+    #[test]
+    fn enumerates_all_concepts() {
+        let c = toy();
+        let concepts = c.concepts(100);
+        // Every concept is a valid maximal rectangle.
+        for concept in &concepts {
+            assert_eq!(c.extent(&concept.intent), concept.extent);
+            assert_eq!(c.intent(&concept.extent), concept.intent);
+        }
+        // Concepts are unique.
+        let intents: std::collections::BTreeSet<Vec<usize>> = concepts
+            .iter()
+            .map(|c| c.intent.iter().copied().collect())
+            .collect();
+        assert_eq!(intents.len(), concepts.len());
+        // The toy context has a known lattice size of 8.
+        assert_eq!(concepts.len(), 8);
+    }
+
+    #[test]
+    fn concepts_bounded() {
+        let c = toy();
+        assert_eq!(c.concepts(3).len(), 3);
+    }
+
+    #[test]
+    fn empty_context() {
+        let c = FormalContext::new(0, vec![]);
+        let concepts = c.concepts(10);
+        assert_eq!(concepts.len(), 1); // only the empty concept
+        assert!(concepts[0].extent.is_empty());
+        assert!(concepts[0].intent.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_attribute() {
+        FormalContext::new(2, vec![set(&[5])]);
+    }
+
+    #[test]
+    fn identical_objects_share_object_concept() {
+        let c = FormalContext::new(3, vec![set(&[0, 1]), set(&[0, 1]), set(&[2])]);
+        let concepts = c.concepts(50);
+        let both = concepts
+            .iter()
+            .find(|cc| cc.intent == set(&[0, 1]))
+            .expect("concept for {0,1}");
+        assert_eq!(both.extent, set(&[0, 1]));
+    }
+}

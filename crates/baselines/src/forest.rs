@@ -1,0 +1,230 @@
+//! Random forest: bagged CART trees with feature subsampling.
+//!
+//! Nezhadi et al. evaluate several off-the-shelf classifiers over their
+//! similarity features; ensembles of trees are the strongest of that
+//! family. The forest averages the leaf probabilities of `n_trees` CART
+//! trees, each fitted on a bootstrap sample with a random feature subset
+//! considered at each tree (bagging + feature bagging).
+
+use crate::cart::{CartConfig, CartError, DecisionTree};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Forest hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree CART configuration.
+    pub tree: CartConfig,
+    /// Fraction of features each tree sees (rounded up, ≥ 1).
+    pub feature_fraction: f64,
+    /// Seed for bootstrap and feature sampling.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 25,
+            tree: CartConfig {
+                max_depth: 6,
+                min_samples_split: 6,
+            },
+            feature_fraction: 0.7,
+            seed: 0xF0E5,
+        }
+    }
+}
+
+/// A fitted random forest (binary classification).
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<(DecisionTree, Vec<usize>)>,
+    n_features: usize,
+}
+
+impl RandomForest {
+    /// Fit the forest on feature rows and boolean labels.
+    pub fn fit(x: &[Vec<f64>], y: &[bool], cfg: &ForestConfig) -> Result<Self, CartError> {
+        if x.is_empty() {
+            return Err(CartError::EmptyTrainingSet);
+        }
+        if x.len() != y.len() {
+            return Err(CartError::ShapeMismatch(format!(
+                "{} rows vs {} labels",
+                x.len(),
+                y.len()
+            )));
+        }
+        let n_features = x[0].len();
+        if n_features == 0 {
+            return Err(CartError::ShapeMismatch("zero-width rows".into()));
+        }
+        let n_sub = ((n_features as f64 * cfg.feature_fraction).ceil() as usize)
+            .clamp(1, n_features);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut trees = Vec::with_capacity(cfg.n_trees.max(1));
+
+        for _ in 0..cfg.n_trees.max(1) {
+            // Bootstrap rows.
+            let rows: Vec<usize> = (0..x.len()).map(|_| rng.gen_range(0..x.len())).collect();
+            // Random feature subset (sorted for stable projection).
+            let mut features: Vec<usize> = (0..n_features).collect();
+            for i in 0..n_sub {
+                let j = rng.gen_range(i..n_features);
+                features.swap(i, j);
+            }
+            let mut features: Vec<usize> = features[..n_sub].to_vec();
+            features.sort_unstable();
+
+            let bx: Vec<Vec<f64>> = rows
+                .iter()
+                .map(|&r| features.iter().map(|&f| x[r][f]).collect())
+                .collect();
+            let by: Vec<bool> = rows.iter().map(|&r| y[r]).collect();
+            let tree = DecisionTree::fit(&bx, &by, &cfg.tree)?;
+            trees.push((tree, features));
+        }
+        Ok(RandomForest { trees, n_features })
+    }
+
+    /// Expected feature-vector width.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Mean positive-class probability across trees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the training width.
+    pub fn predict_proba(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.n_features, "feature width mismatch");
+        let mut total = 0.0;
+        for (tree, features) in &self.trees {
+            let projected: Vec<f64> = features.iter().map(|&f| row[f]).collect();
+            total += tree.predict_proba(&projected);
+        }
+        total / self.trees.len() as f64
+    }
+
+    /// Hard decision at probability 0.5.
+    pub fn predict(&self, row: &[f64]) -> bool {
+        self.predict_proba(row) >= 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Noisy two-cluster problem a single shallow tree struggles with.
+    fn noisy_data(seed: u64) -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as f64 / u32::MAX as f64
+        };
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let label = i % 2 == 0;
+            let center = if label { 0.7 } else { 0.3 };
+            // Three informative features with noise + two pure-noise ones.
+            x.push(vec![
+                center + (next() - 0.5) * 0.4,
+                center + (next() - 0.5) * 0.4,
+                center + (next() - 0.5) * 0.4,
+                next(),
+                next(),
+            ]);
+            y.push(label);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn forest_fits_and_predicts() {
+        let (x, y) = noisy_data(1);
+        let forest = RandomForest::fit(&x, &y, &ForestConfig::default()).unwrap();
+        assert_eq!(forest.n_trees(), 25);
+        assert_eq!(forest.n_features(), 5);
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(row, &label)| forest.predict(row) == label)
+            .count();
+        assert!(correct > 170, "train accuracy {}/200", correct);
+    }
+
+    #[test]
+    fn forest_beats_single_shallow_tree_on_noise() {
+        let (x, y) = noisy_data(2);
+        let (test_x, test_y) = noisy_data(99);
+        let cfg = ForestConfig {
+            n_trees: 30,
+            ..ForestConfig::default()
+        };
+        let forest = RandomForest::fit(&x, &y, &cfg).unwrap();
+        let single = DecisionTree::fit(&x, &y, &cfg.tree).unwrap();
+        let acc = |f: &dyn Fn(&[f64]) -> bool| {
+            test_x
+                .iter()
+                .zip(&test_y)
+                .filter(|(row, &label)| f(row) == label)
+                .count()
+        };
+        let forest_acc = acc(&|r| forest.predict(r));
+        let tree_acc = acc(&|r| single.predict(r));
+        assert!(
+            forest_acc >= tree_acc,
+            "forest {forest_acc} vs tree {tree_acc}"
+        );
+    }
+
+    #[test]
+    fn probabilities_are_averaged_and_bounded() {
+        let (x, y) = noisy_data(3);
+        let forest = RandomForest::fit(&x, &y, &ForestConfig::default()).unwrap();
+        for row in x.iter().take(20) {
+            let p = forest.predict_proba(row);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = noisy_data(4);
+        let cfg = ForestConfig::default();
+        let a = RandomForest::fit(&x, &y, &cfg).unwrap();
+        let b = RandomForest::fit(&x, &y, &cfg).unwrap();
+        for row in x.iter().take(10) {
+            assert_eq!(a.predict_proba(row), b.predict_proba(row));
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            RandomForest::fit(&[], &[], &ForestConfig::default()),
+            Err(CartError::EmptyTrainingSet)
+        ));
+        assert!(RandomForest::fit(&[vec![1.0]], &[true, false], &ForestConfig::default()).is_err());
+        assert!(RandomForest::fit(&[vec![]], &[true], &ForestConfig::default()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn predict_rejects_wrong_width() {
+        let (x, y) = noisy_data(5);
+        let forest = RandomForest::fit(&x, &y, &ForestConfig::default()).unwrap();
+        forest.predict(&[0.0]);
+    }
+}

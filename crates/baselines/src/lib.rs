@@ -1,0 +1,106 @@
+//! Baseline property matchers (paper §V-A).
+//!
+//! LEAPME is compared against five baselines; this crate reimplements
+//! each one's matching core from scratch (DESIGN.md §2 documents the
+//! substitutions):
+//!
+//! * [`aml::AmlMatcher`] — Agreement Maker Light-style unsupervised
+//!   lexical ensemble matching with a high-precision threshold;
+//! * [`fcamap::FcaMapMatcher`] — FCA-Map-style matching via a formal
+//!   concept lattice over property-name tokens (lattice construction in
+//!   [`fca`], next-closure algorithm);
+//! * [`nezhadi::NezhadiMatcher`] — the supervised baseline of Nezhadi et
+//!   al.: classical name-similarity features fed to a from-scratch CART
+//!   decision tree ([`cart`]);
+//! * [`semprop::SemPropMatcher`] — SemProp-style cascade: syntactic
+//!   matcher (SynM) plus embedding-based semantic matchers (SeMa−/SeMa+)
+//!   with the paper's thresholds 0.2 / 0.2 / 0.4;
+//! * [`lsh::LshMatcher`] — Duan et al.'s instance-based matcher: minhash
+//!   signatures ([`minhash`]) over instance-value token sets, banded LSH
+//!   with band size 1.
+//!
+//! All matchers implement [`Matcher`], so the evaluation harness treats
+//! them uniformly; [`Matcher::fit`] is a no-op for the unsupervised ones.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod aml;
+pub mod cart;
+pub mod fca;
+pub mod forest;
+pub mod fcamap;
+pub mod lsh;
+pub mod minhash;
+pub mod nezhadi;
+pub mod semprop;
+
+use leapme_data::model::{Dataset, PropertyPair};
+use std::collections::BTreeSet;
+
+/// A property matcher: decides which candidate pairs match.
+pub trait Matcher {
+    /// Human-readable name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Train on labeled pairs. Default: no-op (unsupervised matchers).
+    fn fit(&mut self, _dataset: &Dataset, _labeled: &[(PropertyPair, bool)]) {}
+
+    /// Similarity score in `[0, 1]` for one candidate pair.
+    fn score(&self, dataset: &Dataset, pair: &PropertyPair) -> f64;
+
+    /// Decision threshold on [`Matcher::score`].
+    fn threshold(&self) -> f64;
+
+    /// The candidate pairs judged to match.
+    fn predict(&self, dataset: &Dataset, candidates: &[PropertyPair]) -> BTreeSet<PropertyPair> {
+        let t = self.threshold();
+        candidates
+            .iter()
+            .filter(|p| self.score(dataset, p) >= t)
+            .cloned()
+            .collect()
+    }
+}
+
+/// Lowercased word tokens of a property name (shared by the lexical
+/// baselines).
+pub(crate) fn name_tokens(name: &str) -> Vec<String> {
+    leapme_embedding::tokenize::tokenize(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leapme_data::model::{PropertyKey, SourceId};
+
+    struct Always(f64);
+    impl Matcher for Always {
+        fn name(&self) -> &'static str {
+            "always"
+        }
+        fn score(&self, _d: &Dataset, _p: &PropertyPair) -> f64 {
+            self.0
+        }
+        fn threshold(&self) -> f64 {
+            0.5
+        }
+    }
+
+    #[test]
+    fn default_predict_filters_by_threshold() {
+        let ds = Dataset::new(
+            "t",
+            vec!["a".into(), "b".into()],
+            vec![],
+            Default::default(),
+        )
+        .unwrap();
+        let pair = PropertyPair::new(
+            PropertyKey::new(SourceId(0), "x"),
+            PropertyKey::new(SourceId(1), "y"),
+        );
+        assert_eq!(Always(0.9).predict(&ds, &[pair.clone()]).len(), 1);
+        assert_eq!(Always(0.1).predict(&ds, &[pair]).len(), 0);
+    }
+}

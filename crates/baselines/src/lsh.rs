@@ -1,0 +1,258 @@
+//! LSH instance-based matcher (Duan et al., ISWC 2012).
+//!
+//! The only instance-based baseline: each property is fingerprinted by
+//! the minhash signature of the token set of its instance *values*;
+//! banded LSH (band size 1, the configuration the paper uses) proposes
+//! candidates, and candidates are accepted when their estimated Jaccard
+//! similarity exceeds a threshold. Property names are ignored entirely,
+//! so the matcher works even with meaningless property names — but
+//! different value formats for the same semantics hurt its recall
+//! (R ≈ 0.21–0.73 in Table II).
+
+use crate::minhash::MinHasher;
+use crate::Matcher;
+use leapme_data::model::{Dataset, PropertyKey, PropertyPair};
+use leapme_embedding::tokenize::tokenize;
+use std::collections::{HashMap, HashSet};
+use std::sync::Mutex;
+
+/// Configuration of the LSH matcher.
+#[derive(Debug, Clone, Copy)]
+pub struct LshConfig {
+    /// Number of minhash functions (signature length).
+    pub num_hashes: usize,
+    /// LSH band size (paper: 1).
+    pub band_size: usize,
+    /// Estimated-Jaccard acceptance threshold.
+    pub jaccard_threshold: f64,
+    /// Seed of the hash family.
+    pub seed: u64,
+}
+
+impl Default for LshConfig {
+    fn default() -> Self {
+        LshConfig {
+            num_hashes: 128,
+            band_size: 1,
+            jaccard_threshold: 0.25,
+            seed: 0x15AB,
+        }
+    }
+}
+
+/// The LSH instance-based matcher.
+pub struct LshMatcher {
+    cfg: LshConfig,
+    hasher: MinHasher,
+    /// Signature cache per property (values never change within a run).
+    cache: Mutex<HashMap<PropertyKey, Vec<u64>>>,
+}
+
+impl LshMatcher {
+    /// Create with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(LshConfig::default())
+    }
+
+    /// Create with a custom configuration.
+    pub fn with_config(cfg: LshConfig) -> Self {
+        LshMatcher {
+            hasher: MinHasher::new(cfg.num_hashes, cfg.seed),
+            cfg,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The token set of a property's instance values.
+    pub fn value_tokens(dataset: &Dataset, key: &PropertyKey) -> HashSet<String> {
+        let mut out = HashSet::new();
+        for inst in dataset.instances_of(key) {
+            out.extend(tokenize(&inst.value));
+        }
+        out
+    }
+
+    fn signature(&self, dataset: &Dataset, key: &PropertyKey) -> Vec<u64> {
+        if let Some(sig) = self.cache.lock().expect("no poisoning").get(key) {
+            return sig.clone();
+        }
+        let tokens = Self::value_tokens(dataset, key);
+        let sig = self.hasher.signature(tokens.iter().map(String::as_str));
+        self.cache
+            .lock()
+            .expect("no poisoning")
+            .insert(key.clone(), sig.clone());
+        sig
+    }
+
+    /// Whether two signatures share any band (candidate generation). With
+    /// band size 1 this is "any equal position".
+    fn is_candidate(&self, a: &[u64], b: &[u64]) -> bool {
+        a.chunks(self.cfg.band_size)
+            .zip(b.chunks(self.cfg.band_size))
+            .any(|(ba, bb)| ba == bb && ba.iter().all(|&x| x != u64::MAX))
+    }
+}
+
+impl Default for LshMatcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Matcher for LshMatcher {
+    fn name(&self) -> &'static str {
+        "LSH"
+    }
+
+    fn score(&self, dataset: &Dataset, PropertyPair(a, b): &PropertyPair) -> f64 {
+        let sa = self.signature(dataset, a);
+        let sb = self.signature(dataset, b);
+        if !self.is_candidate(&sa, &sb) {
+            return 0.0;
+        }
+        let est = MinHasher::estimate_jaccard(&sa, &sb);
+        // Normalize into a score where the acceptance threshold maps to
+        // the 0.5 decision boundary.
+        (est / self.cfg.jaccard_threshold * 0.5).min(1.0)
+    }
+
+    fn threshold(&self) -> f64 {
+        0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leapme_data::model::{Instance, SourceId};
+    use std::collections::BTreeMap;
+
+    fn dataset() -> Dataset {
+        let mk = |s: u16, p: &str, e: &str, v: &str| Instance {
+            source: SourceId(s),
+            property: p.into(),
+            entity: e.into(),
+            value: v.into(),
+        };
+        // Two resolution-ish properties with overlapping value vocab, one
+        // color property with disjoint values.
+        let instances = vec![
+            mk(0, "mp", "e1", "20.1 MP"),
+            mk(0, "mp", "e2", "24 MP"),
+            mk(0, "mp", "e3", "16 MP"),
+            mk(1, "resolution", "x1", "20.1 MP"),
+            mk(1, "resolution", "x2", "16 MP"),
+            mk(1, "color", "x1", "black"),
+            mk(1, "color", "x2", "silver"),
+            mk(0, "empty prop", "e1", ""),
+        ];
+        Dataset::new(
+            "toy",
+            vec!["a".into(), "b".into()],
+            instances,
+            BTreeMap::new(),
+        )
+        .unwrap()
+    }
+
+    fn key(s: u16, n: &str) -> PropertyKey {
+        PropertyKey::new(SourceId(s), n)
+    }
+
+    #[test]
+    fn value_tokens_collects_all_values() {
+        let ds = dataset();
+        let t = LshMatcher::value_tokens(&ds, &key(0, "mp"));
+        assert!(t.contains("mp"));
+        assert!(t.contains("20"));
+        assert!(t.contains("16"));
+        assert!(!t.contains("black"));
+    }
+
+    #[test]
+    fn overlapping_values_match() {
+        let ds = dataset();
+        let m = LshMatcher::new();
+        let p = PropertyPair::new(key(0, "mp"), key(1, "resolution"));
+        let s = m.score(&ds, &p);
+        assert!(s >= 0.5, "expected match, got {s}");
+    }
+
+    #[test]
+    fn disjoint_values_do_not_match() {
+        let ds = dataset();
+        let m = LshMatcher::new();
+        let p = PropertyPair::new(key(0, "mp"), key(1, "color"));
+        let s = m.score(&ds, &p);
+        assert!(s < 0.5, "expected no match, got {s}");
+    }
+
+    #[test]
+    fn names_are_ignored() {
+        // Same-named properties with disjoint values must NOT match:
+        // the matcher is purely instance-based.
+        let mk = |s: u16, p: &str, v: &str| Instance {
+            source: SourceId(s),
+            property: p.into(),
+            entity: "e".into(),
+            value: v.into(),
+        };
+        let ds = Dataset::new(
+            "toy2",
+            vec!["a".into(), "b".into()],
+            vec![
+                mk(0, "spec", "aaa bbb ccc"),
+                mk(1, "spec", "xxx yyy zzz"),
+            ],
+            BTreeMap::new(),
+        )
+        .unwrap();
+        let m = LshMatcher::new();
+        let p = PropertyPair::new(key(0, "spec"), key(1, "spec"));
+        assert!(m.score(&ds, &p) < 0.5);
+    }
+
+    #[test]
+    fn empty_properties_never_match() {
+        let ds = dataset();
+        let m = LshMatcher::new();
+        let p = PropertyPair::new(key(0, "empty prop"), key(1, "color"));
+        assert_eq!(m.score(&ds, &p), 0.0);
+    }
+
+    #[test]
+    fn signature_cache_is_consistent() {
+        let ds = dataset();
+        let m = LshMatcher::new();
+        let p = PropertyPair::new(key(0, "mp"), key(1, "resolution"));
+        let s1 = m.score(&ds, &p);
+        let s2 = m.score(&ds, &p);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let ds = dataset();
+        let p = PropertyPair::new(key(0, "mp"), key(1, "resolution"));
+        let a = LshMatcher::new().score(&ds, &p);
+        let b = LshMatcher::new().score(&ds, &p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wider_bands_are_stricter() {
+        let ds = dataset();
+        let loose = LshMatcher::with_config(LshConfig {
+            band_size: 1,
+            ..LshConfig::default()
+        });
+        let strict = LshMatcher::with_config(LshConfig {
+            band_size: 64,
+            ..LshConfig::default()
+        });
+        let p = PropertyPair::new(key(0, "mp"), key(1, "color"));
+        // Strict banding can only reduce candidacy.
+        assert!(strict.score(&ds, &p) <= loose.score(&ds, &p) + 1e-12);
+    }
+}

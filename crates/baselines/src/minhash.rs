@@ -1,0 +1,215 @@
+//! MinHash signatures for Jaccard similarity estimation.
+//!
+//! The LSH baseline (Duan et al. 2012) fingerprints each property by the
+//! minhash signature of its instance-token set; equal signature positions
+//! estimate the Jaccard similarity of the underlying sets, and banding
+//! turns signatures into a candidate-generation index.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// A family of `k` universal hash functions producing minhash signatures.
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    // h_i(x) = (a_i * x + b_i) mod p, p = large prime.
+    coeffs: Vec<(u64, u64)>,
+}
+
+/// Large Mersenne prime used by the universal hash family.
+const P: u64 = (1 << 61) - 1;
+
+impl MinHasher {
+    /// Create `k` hash functions, deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k > 0, "need at least one hash function");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let coeffs = (0..k)
+            .map(|_| (rng.gen_range(1..P), rng.gen_range(0..P)))
+            .collect();
+        MinHasher { coeffs }
+    }
+
+    /// Number of hash functions (signature length).
+    pub fn k(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    fn item_hash(item: &str) -> u64 {
+        // FNV-1a, stable across runs.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in item.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h % P
+    }
+
+    /// The minhash signature of a token set.
+    ///
+    /// An empty set yields a signature of `u64::MAX` sentinels (which
+    /// never collide with real minima, so empty sets match nothing).
+    pub fn signature<'a>(&self, items: impl IntoIterator<Item = &'a str>) -> Vec<u64> {
+        let mut sig = vec![u64::MAX; self.k()];
+        for item in items {
+            let x = Self::item_hash(item);
+            for (s, &(a, b)) in sig.iter_mut().zip(&self.coeffs) {
+                let h = (a.wrapping_mul(x).wrapping_add(b)) % P;
+                if h < *s {
+                    *s = h;
+                }
+            }
+        }
+        sig
+    }
+
+    /// Estimated Jaccard similarity: fraction of equal signature
+    /// positions. Two empty-set signatures estimate 0.0 (not 1.0), since
+    /// empty properties carry no evidence.
+    pub fn estimate_jaccard(a: &[u64], b: &[u64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "signature length mismatch");
+        if a.is_empty() {
+            return 0.0;
+        }
+        if a.iter().all(|&x| x == u64::MAX) || b.iter().all(|&x| x == u64::MAX) {
+            return 0.0;
+        }
+        let eq = a.iter().zip(b).filter(|(x, y)| x == y).count();
+        eq as f64 / a.len() as f64
+    }
+}
+
+/// Exact Jaccard similarity of two string sets (reference for tests and
+/// for the verification step of the LSH matcher).
+pub fn exact_jaccard(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Split a signature into bands of `band_size` rows; two signatures are
+/// LSH candidates if any band is identical. Band size 1 (the paper's
+/// configuration for this baseline) means any equal signature position
+/// creates a candidate.
+pub fn bands(signature: &[u64], band_size: usize) -> Vec<&[u64]> {
+    assert!(band_size > 0, "band size must be positive");
+    signature.chunks(band_size).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn set(items: &[&str]) -> HashSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn identical_sets_identical_signatures() {
+        let h = MinHasher::new(64, 1);
+        let a = h.signature(["mp", "20", "resolution"]);
+        let b = h.signature(["resolution", "mp", "20"]);
+        assert_eq!(a, b);
+        assert_eq!(MinHasher::estimate_jaccard(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_low_estimate() {
+        let h = MinHasher::new(128, 2);
+        let a = h.signature(["aa", "bb", "cc"]);
+        let b = h.signature(["xx", "yy", "zz"]);
+        assert!(MinHasher::estimate_jaccard(&a, &b) < 0.1);
+    }
+
+    #[test]
+    fn empty_sets_never_match() {
+        let h = MinHasher::new(16, 3);
+        let e = h.signature(std::iter::empty());
+        assert_eq!(MinHasher::estimate_jaccard(&e, &e), 0.0);
+        let x = h.signature(["a"]);
+        assert_eq!(MinHasher::estimate_jaccard(&e, &x), 0.0);
+    }
+
+    #[test]
+    fn estimate_tracks_exact_jaccard() {
+        let h = MinHasher::new(512, 4);
+        let a_items = ["a", "b", "c", "d", "e", "f"];
+        let b_items = ["d", "e", "f", "g", "h", "i"];
+        let sig_a = h.signature(a_items);
+        let sig_b = h.signature(b_items);
+        let est = MinHasher::estimate_jaccard(&sig_a, &sig_b);
+        let exact = exact_jaccard(&set(&a_items), &set(&b_items)); // 3/9
+        assert!(
+            (est - exact).abs() < 0.08,
+            "estimate {est} too far from exact {exact}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = MinHasher::new(8, 9).signature(["x", "y"]);
+        let b = MinHasher::new(8, 9).signature(["x", "y"]);
+        assert_eq!(a, b);
+        let c = MinHasher::new(8, 10).signature(["x", "y"]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn banding() {
+        let sig = vec![1, 2, 3, 4, 5, 6];
+        assert_eq!(bands(&sig, 1).len(), 6);
+        assert_eq!(bands(&sig, 2).len(), 3);
+        assert_eq!(bands(&sig, 4).len(), 2); // last band shorter
+        assert_eq!(bands(&sig, 2)[1], &[3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "band size")]
+    fn rejects_zero_band() {
+        bands(&[1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hash")]
+    fn rejects_zero_k() {
+        MinHasher::new(0, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn estimate_bounded(items_a in proptest::collection::hash_set("[a-f]{1,3}", 0..10),
+                            items_b in proptest::collection::hash_set("[a-f]{1,3}", 0..10)) {
+            let h = MinHasher::new(32, 7);
+            let a = h.signature(items_a.iter().map(String::as_str));
+            let b = h.signature(items_b.iter().map(String::as_str));
+            let e = MinHasher::estimate_jaccard(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&e));
+        }
+
+        #[test]
+        fn subset_estimate_positive(items in proptest::collection::hash_set("[a-f]{1,3}", 2..10)) {
+            let h = MinHasher::new(64, 8);
+            let full = h.signature(items.iter().map(String::as_str));
+            prop_assert_eq!(MinHasher::estimate_jaccard(&full, &full), 1.0);
+        }
+
+        #[test]
+        fn exact_jaccard_axioms(a in proptest::collection::hash_set("[a-d]{1,2}", 0..8),
+                                b in proptest::collection::hash_set("[a-d]{1,2}", 0..8)) {
+            let j = exact_jaccard(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&j));
+            prop_assert!((exact_jaccard(&b, &a) - j).abs() < 1e-12);
+            if !a.is_empty() {
+                prop_assert_eq!(exact_jaccard(&a, &a), 1.0);
+            }
+        }
+    }
+}

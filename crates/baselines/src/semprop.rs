@@ -1,0 +1,205 @@
+//! SemProp-style matcher (Fernandez et al., ICDE 2018).
+//!
+//! SemProp links schema elements through a cascade: a *syntactic* matcher
+//! (SynM) fires on string similarity, and *semantic* matchers based on
+//! word embeddings fire on strong positive evidence (SeMa+) unless
+//! negative evidence (SeMa−, embedding "decoherence" between the word
+//! groups) vetoes the link. The paper configures it with thresholds
+//! 0.2 (SynM), 0.2 (SeMa−), and 0.4 (SeMa+), which we adopt as defaults.
+
+use crate::{name_tokens, Matcher};
+use leapme_data::model::{Dataset, PropertyPair};
+use leapme_embedding::store::{cosine, EmbeddingStore};
+use leapme_textsim::jaro;
+
+/// SemProp-style matcher; borrows the embedding store it scores with.
+#[derive(Debug)]
+pub struct SemPropMatcher<'a> {
+    embeddings: &'a EmbeddingStore,
+    /// SynM: minimum syntactic similarity.
+    pub syn_threshold: f64,
+    /// SeMa−: below this minimum pairwise word coherence, veto.
+    pub sema_minus: f64,
+    /// SeMa+: minimum average embedding similarity to accept.
+    pub sema_plus: f64,
+}
+
+impl<'a> SemPropMatcher<'a> {
+    /// Create with the paper's thresholds (0.2 / 0.2 / 0.4).
+    pub fn new(embeddings: &'a EmbeddingStore) -> Self {
+        SemPropMatcher {
+            embeddings,
+            syn_threshold: 0.2,
+            sema_minus: 0.2,
+            sema_plus: 0.4,
+        }
+    }
+
+    /// Syntactic similarity (SynM): Jaro–Winkler similarity of the
+    /// normalized names, scaled by token overlap so partial-token
+    /// coincidences don't dominate.
+    pub fn syntactic_similarity(&self, name_a: &str, name_b: &str) -> f64 {
+        let ta = name_tokens(name_a);
+        let tb = name_tokens(name_b);
+        if ta.is_empty() || tb.is_empty() {
+            return 0.0;
+        }
+        jaro::jaro_winkler_similarity(&ta.join(" "), &tb.join(" "))
+    }
+
+    /// Average embedding similarity between the two names' word groups
+    /// (SeMa+ evidence): cosine of the average word vectors.
+    pub fn semantic_similarity(&self, name_a: &str, name_b: &str) -> f64 {
+        let va = self.embeddings.average_text(name_a);
+        let vb = self.embeddings.average_text(name_b);
+        cosine(&va, &vb).clamp(0.0, 1.0)
+    }
+
+    /// Minimum pairwise word coherence (SeMa− evidence): the weakest link
+    /// between any known word of one name and its best counterpart in the
+    /// other. Names with no known words have zero coherence.
+    pub fn coherence(&self, name_a: &str, name_b: &str) -> f64 {
+        let wa: Vec<String> = name_tokens(name_a)
+            .into_iter()
+            .filter(|w| self.embeddings.get(w).is_some())
+            .collect();
+        let wb: Vec<String> = name_tokens(name_b)
+            .into_iter()
+            .filter(|w| self.embeddings.get(w).is_some())
+            .collect();
+        if wa.is_empty() || wb.is_empty() {
+            return 0.0;
+        }
+        let mut min_best = f64::INFINITY;
+        for a in &wa {
+            let va = self.embeddings.get(a).expect("filtered");
+            let best = wb
+                .iter()
+                .map(|b| cosine(va, self.embeddings.get(b).expect("filtered")))
+                .fold(f64::NEG_INFINITY, f64::max);
+            min_best = min_best.min(best);
+        }
+        min_best.clamp(-1.0, 1.0)
+    }
+}
+
+impl Matcher for SemPropMatcher<'_> {
+    fn name(&self) -> &'static str {
+        "SemProp"
+    }
+
+    fn score(&self, _dataset: &Dataset, PropertyPair(a, b): &PropertyPair) -> f64 {
+        // Cascade: syntactic evidence suffices on its own at a high level;
+        // otherwise semantic evidence (SeMa+) decides, vetoed by
+        // decoherence (SeMa−).
+        let syn = self.syntactic_similarity(&a.name, &b.name);
+        if syn >= 1.0 - self.syn_threshold {
+            return 1.0; // near-identical names
+        }
+        let sem = self.semantic_similarity(&a.name, &b.name);
+        if sem >= self.sema_plus && self.coherence(&a.name, &b.name) >= self.sema_minus {
+            return sem.min(0.99);
+        }
+        // Weak syntactic fallback below the decision threshold.
+        (syn * 0.5).min(0.49)
+    }
+
+    fn threshold(&self) -> f64 {
+        0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leapme_data::model::{PropertyKey, SourceId};
+
+    fn pair(a: &str, b: &str) -> PropertyPair {
+        PropertyPair::new(
+            PropertyKey::new(SourceId(0), a),
+            PropertyKey::new(SourceId(1), b),
+        )
+    }
+
+    fn empty_dataset() -> Dataset {
+        Dataset::new(
+            "t",
+            vec!["a".into(), "b".into()],
+            vec![],
+            Default::default(),
+        )
+        .unwrap()
+    }
+
+    /// Embeddings with two semantic clusters: resolution-ish and power-ish.
+    fn embeddings() -> EmbeddingStore {
+        let mut s = EmbeddingStore::new(3);
+        s.insert("megapixels", vec![1.0, 0.1, 0.0]).unwrap();
+        s.insert("resolution", vec![0.95, 0.15, 0.0]).unwrap();
+        s.insert("mp", vec![0.9, 0.2, 0.0]).unwrap();
+        s.insert("battery", vec![0.0, 0.1, 1.0]).unwrap();
+        s.insert("power", vec![0.05, 0.15, 0.95]).unwrap();
+        s.insert("camera", vec![0.5, 0.5, 0.1]).unwrap();
+        s
+    }
+
+    #[test]
+    fn identical_names_match_syntactically() {
+        let emb = embeddings();
+        let m = SemPropMatcher::new(&emb);
+        let ds = empty_dataset();
+        assert_eq!(m.score(&ds, &pair("ISO Range", "iso range")), 1.0);
+    }
+
+    #[test]
+    fn synonyms_match_semantically() {
+        let emb = embeddings();
+        let m = SemPropMatcher::new(&emb);
+        let ds = empty_dataset();
+        // Different strings, same embedding cluster → SeMa+ fires.
+        let s = m.score(&ds, &pair("megapixels", "resolution"));
+        assert!(s >= 0.5, "semantic match failed: {s}");
+    }
+
+    #[test]
+    fn unrelated_names_rejected() {
+        let emb = embeddings();
+        let m = SemPropMatcher::new(&emb);
+        let ds = empty_dataset();
+        let s = m.score(&ds, &pair("megapixels", "battery"));
+        assert!(s < 0.5, "should not match: {s}");
+    }
+
+    #[test]
+    fn decoherence_vetoes_mixed_groups() {
+        let emb = embeddings();
+        let m = SemPropMatcher::new(&emb);
+        // "resolution battery" mixes clusters: its weakest word link to
+        // "megapixels" is low → coherence veto applies even if the average
+        // leans positive.
+        let coherence = m.coherence("resolution battery", "megapixels");
+        assert!(coherence < 0.5, "expected low coherence, got {coherence}");
+    }
+
+    #[test]
+    fn unknown_words_fall_back_to_syntax() {
+        let emb = embeddings();
+        let m = SemPropMatcher::new(&emb);
+        let ds = empty_dataset();
+        // Both names OOV: semantic scores are zero; near-identical strings
+        // still match.
+        assert_eq!(m.score(&ds, &pair("zzz qqq", "zzz qqq")), 1.0);
+        assert!(m.score(&ds, &pair("zzz", "qqq")) < 0.5);
+    }
+
+    #[test]
+    fn similarity_helpers_bounded() {
+        let emb = embeddings();
+        let m = SemPropMatcher::new(&emb);
+        for (a, b) in [("mp", "resolution"), ("", "x"), ("battery", "battery")] {
+            assert!((0.0..=1.0).contains(&m.syntactic_similarity(a, b)));
+            assert!((0.0..=1.0).contains(&m.semantic_similarity(a, b)));
+            assert!((-1.0..=1.0).contains(&m.coherence(a, b)));
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Experiment E6 — ablation of LEAPME's design choices (paper §IV-C/IV-D).
+//!
+//! The paper motivates (a) a *neural network* classifier because
+//! embedding components need nonlinear combination, and (b) a staged
+//! learning-rate schedule; it also notes most architecture tweaks do not
+//! matter much. This binary quantifies those claims on our reproduction:
+//!
+//! * classifier: paper MLP (128/64) vs linear model (no hidden layers)
+//!   vs small MLP (32) vs wide MLP (256/128);
+//! * LR schedule: staged (10×1e-3, 5×1e-4, 5×1e-5) vs constant 1e-3 vs
+//!   constant 1e-4, each for 20 epochs;
+//! * embedding dimension: 10 / 25 / 50 / 100.
+//!
+//! ```text
+//! cargo run --release -p leapme-bench --bin ablation -- \
+//!     [--reps 3] [--seed 42] [--domain phones]
+//! ```
+
+use leapme::core::pipeline::LeapmeConfig;
+use leapme::core::runner::{run_repeated, EvalMode, RunnerConfig};
+use leapme::nn::network::TrainConfig;
+use leapme::nn::schedule::LrSchedule;
+use leapme::prelude::*;
+use leapme_bench::{prepare_embeddings, Args, MarkdownTable};
+use std::fmt::Write as _;
+
+fn main() {
+    let args = Args::parse();
+    let reps: usize = args.get_or("reps", 3);
+    let seed: u64 = args.get_or("seed", 42);
+    let domain = Domain::ALL
+        .into_iter()
+        .find(|d| d.name() == args.get("domain").unwrap_or("phones"))
+        .expect("known domain");
+
+    let dataset = generate(domain, seed);
+    let base_dim = 50;
+    let embeddings = prepare_embeddings(&[domain], base_dim, seed);
+    let store = PropertyFeatureStore::build(&dataset, &embeddings);
+
+    let mut md = MarkdownTable::new(&["Ablation", "Variant", "P", "R", "F1", "±F1"]);
+    println!(
+        "{:<12} {:<26} {:>6} {:>6} {:>6} {:>6}",
+        "ablation", "variant", "P", "R", "F1", "±F1"
+    );
+    let mut run = |ablation: &str,
+                   variant: &str,
+                   store: &PropertyFeatureStore,
+                   leapme: LeapmeConfig| {
+        let runner = RunnerConfig {
+            train_fraction: 0.8,
+            repetitions: reps,
+            eval: EvalMode::SampledExamples,
+            leapme,
+            base_seed: seed,
+            ..RunnerConfig::default()
+        };
+        let (summary, _) = run_repeated(&dataset, store, &runner).expect("run");
+        println!(
+            "{:<12} {:<26} {:>6.2} {:>6.2} {:>6.2} {:>6.2}",
+            ablation,
+            variant,
+            summary.precision_mean,
+            summary.recall_mean,
+            summary.f1_mean,
+            summary.f1_std
+        );
+        md.row(&[
+            ablation.into(),
+            variant.into(),
+            format!("{:.3}", summary.precision_mean),
+            format!("{:.3}", summary.recall_mean),
+            format!("{:.3}", summary.f1_mean),
+            format!("{:.3}", summary.f1_std),
+        ]);
+    };
+
+    // --- classifier architecture ---
+    for (variant, hidden) in [
+        ("linear (no hidden)", vec![]),
+        ("mlp 32", vec![32]),
+        ("paper mlp 128/64", vec![128, 64]),
+        ("wide mlp 256/128", vec![256, 128]),
+    ] {
+        run(
+            "classifier",
+            variant,
+            &store,
+            LeapmeConfig {
+                hidden,
+                ..LeapmeConfig::default()
+            },
+        );
+    }
+
+    // --- learning-rate schedule ---
+    for (variant, schedule) in [
+        ("staged (paper)", LrSchedule::leapme()),
+        ("constant 1e-3 ×20", LrSchedule::constant(20, 1e-3)),
+        ("constant 1e-4 ×20", LrSchedule::constant(20, 1e-4)),
+    ] {
+        run(
+            "lr-schedule",
+            variant,
+            &store,
+            LeapmeConfig {
+                train: TrainConfig {
+                    schedule,
+                    ..TrainConfig::default()
+                },
+                ..LeapmeConfig::default()
+            },
+        );
+    }
+
+    // --- regularization (not used by the paper; measures headroom) ---
+    for (variant, dropout, weight_decay) in [
+        ("none (paper)", 0.0f32, 0.0f32),
+        ("dropout 0.2", 0.2, 0.0),
+        ("weight decay 1e-4", 0.0, 1e-4),
+        ("dropout 0.2 + wd 1e-4", 0.2, 1e-4),
+    ] {
+        run(
+            "regularizer",
+            variant,
+            &store,
+            LeapmeConfig {
+                train: TrainConfig {
+                    dropout,
+                    weight_decay,
+                    ..TrainConfig::default()
+                },
+                ..LeapmeConfig::default()
+            },
+        );
+    }
+
+    // --- embedding dimension ---
+    for dim in [10usize, 25, 50, 100] {
+        let emb = prepare_embeddings(&[domain], dim, seed);
+        let store_d = PropertyFeatureStore::build(&dataset, &emb);
+        run(
+            "embed-dim",
+            &format!("dim {dim}"),
+            &store_d,
+            LeapmeConfig::default(),
+        );
+    }
+
+    let mut report = String::new();
+    writeln!(
+        report,
+        "# Design-choice ablations (E6)\n\nDomain {}, 80% training sources, {reps} reps, seed {seed}.\n",
+        domain.name()
+    )
+    .unwrap();
+    report.push_str(&md.render());
+    leapme_bench::write_result("ablation.md", &report);
+}

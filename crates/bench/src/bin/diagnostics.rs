@@ -1,0 +1,82 @@
+//! Diagnostics: embedding-space geometry and dataset statistics.
+//!
+//! Prints, per domain: dataset scale (compare with paper §V-B), the
+//! cosine-similarity distribution of the trained embedding space
+//! (within-synonym-set vs across-properties), and a sample of nearest
+//! neighbours. Useful to sanity-check the GloVe substitution before
+//! running the full Table II reproduction.
+//!
+//! `cargo run --release -p leapme-bench --bin diagnostics -- [--dim 50] [--seed 42]`
+
+use leapme::data::domains::Domain;
+use leapme::embedding::store::cosine;
+use leapme::prelude::*;
+use leapme_bench::{prepare_embeddings, Args};
+
+fn main() {
+    let args = Args::parse();
+    let dim: usize = args.get_or("dim", 50);
+    let seed: u64 = args.get_or("seed", 42);
+
+    for domain in Domain::ALL {
+        println!("\n===== {} =====", domain.name());
+        let dataset = generate(domain, seed);
+        let s = dataset.stats();
+        println!(
+            "dataset: {} sources | {} properties ({} aligned) | {} instances | {} entities | {} matching pairs",
+            s.sources, s.properties, s.aligned_properties, s.instances, s.entities, s.matching_pairs
+        );
+
+        let emb = prepare_embeddings(&[domain], dim, seed);
+        println!("embeddings: {} words × {} dims", emb.len(), emb.dim());
+
+        // Within-property synonym cosines vs across-property cosines.
+        let spec = domain.spec();
+        let mut within = Vec::new();
+        let mut across = Vec::new();
+        let name_vec = |name: &str| emb.average_text(name);
+        for (i, p) in spec.properties.iter().enumerate() {
+            let vecs: Vec<Vec<f32>> = p.synonyms.iter().map(|s| name_vec(s)).collect();
+            for (a, va) in vecs.iter().enumerate() {
+                for vb in &vecs[a + 1..] {
+                    within.push(cosine(va, vb));
+                }
+            }
+            for q in &spec.properties[i + 1..] {
+                let va = name_vec(&p.synonyms[0]);
+                let vb = name_vec(&q.synonyms[0]);
+                across.push(cosine(va.as_slice(), vb.as_slice()));
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        println!(
+            "name-embedding cosine: within-synonym mean {:.3} | across-property mean {:.3} | separation {:.3}",
+            mean(&within),
+            mean(&across),
+            mean(&within) - mean(&across)
+        );
+        // Fraction of across-property pairs above typical thresholds.
+        for t in [0.3, 0.4, 0.5, 0.6] {
+            let fp = across.iter().filter(|&&c| c >= t).count() as f64 / across.len() as f64;
+            let tp = within.iter().filter(|&&c| c >= t).count() as f64 / within.len() as f64;
+            println!("  threshold {t:.1}: within ≥ t {tp:.2} | across ≥ t {fp:.2}");
+        }
+
+        // Nearest-neighbour sample for the first three properties.
+        for p in spec.properties.iter().take(3) {
+            let word = p
+                .synonyms
+                .iter()
+                .flat_map(|s| s.split(' '))
+                .find(|w| emb.get(w).is_some());
+            if let Some(w) = word {
+                let nn: Vec<String> = emb
+                    .nearest(w, 4)
+                    .into_iter()
+                    .map(|(x, c)| format!("{x} ({c:.2})"))
+                    .collect();
+                println!("  nn[{w}]: {}", nn.join(", "));
+            }
+        }
+    }
+}

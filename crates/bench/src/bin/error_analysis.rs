@@ -1,0 +1,50 @@
+//! Experiment E10 — qualitative error analysis of LEAPME's decisions.
+//!
+//! For each dataset: train on 80% of the sources, evaluate on the
+//! held-out examples, and break the errors down — false positives by
+//! category (semantic cross-reference confusions vs junk involvement)
+//! and false negatives by reference property (which concepts the matcher
+//! systematically misses). This is the drill-down behind the paper's
+//! aggregate Table II numbers.
+//!
+//! ```text
+//! cargo run --release -p leapme-bench --bin error_analysis -- [--dim 50] [--seed 42]
+//! ```
+
+use leapme::core::analysis::analyze;
+use leapme::core::pipeline::{Leapme, LeapmeConfig};
+use leapme::core::sampling;
+use leapme::prelude::*;
+use leapme_bench::{parse_domains, prepare_embeddings, Args};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+fn main() {
+    let args = Args::parse();
+    let dim: usize = args.get_or("dim", 50);
+    let seed: u64 = args.get_or("seed", 42);
+    let domains = parse_domains(&args);
+
+    let mut report_md = String::from("# Error analysis (E10)\n");
+
+    for &domain in &domains {
+        let dataset = generate(domain, seed);
+        let embeddings = prepare_embeddings(&[domain], dim, seed);
+        let store = PropertyFeatureStore::build(&dataset, &embeddings);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let split = sampling::split_sources(dataset.sources().len(), 0.8, &mut rng).expect("split");
+        let train = sampling::training_pairs(&dataset, &split.train, 2, &mut rng);
+        let model = Leapme::fit(&store, &train, &LeapmeConfig::default()).expect("fit");
+        let examples = sampling::test_examples(&dataset, &split.train, 2, &mut rng);
+        let pairs: Vec<PropertyPair> = examples.iter().map(|(p, _)| p.clone()).collect();
+        let graph = model.predict_graph(&store, &pairs).expect("predict");
+        let report = analyze(&dataset, &graph.matches(0.5), &pairs);
+
+        println!("===== {} =====", domain.name());
+        println!("{}", report.to_text());
+        writeln!(report_md, "\n## {}\n\n```\n{}```", domain.name(), report.to_text()).unwrap();
+    }
+
+    leapme_bench::write_result("error_analysis.md", &report_md);
+}

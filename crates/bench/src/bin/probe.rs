@@ -1,0 +1,92 @@
+//! Ad-hoc probe: inspect what one LEAPME fit actually learns.
+//! Not part of the experiment suite; kept for debugging calibration.
+
+use leapme::core::pipeline::{Leapme, LeapmeConfig};
+use leapme::core::sampling;
+use leapme::prelude::*;
+use leapme_bench::{prepare_embeddings, Args};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::parse();
+    let seed: u64 = args.get_or("seed", 42);
+    let scope = match args.get("scope").unwrap_or("names") {
+        "instances" => FeatureScope::Instances,
+        "both" => FeatureScope::Both,
+        _ => FeatureScope::Names,
+    };
+    let kind = match args.get("kind").unwrap_or("both") {
+        "emb" => FeatureKind::Embeddings,
+        "nonemb" => FeatureKind::NonEmbeddings,
+        _ => FeatureKind::Both,
+    };
+    let domain = Domain::ALL
+        .into_iter()
+        .find(|d| d.name() == args.get("domain").unwrap_or("phones"))
+        .unwrap();
+
+    let dataset = generate(domain, seed);
+    let embeddings = prepare_embeddings(&[domain], args.get_or("dim", 50), seed);
+    let store = PropertyFeatureStore::build(&dataset, &embeddings);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let split = sampling::split_sources(dataset.sources().len(), 0.8, &mut rng).unwrap();
+    let train = sampling::training_pairs(&dataset, &split.train, 2, &mut rng);
+    let cfg = LeapmeConfig {
+        features: FeatureConfig { scope, kind },
+        ..LeapmeConfig::default()
+    };
+    println!("features: {} ({} dims)", cfg.features, cfg.features.feature_count(store.dim()));
+    let model = Leapme::fit(&store, &train, &cfg).unwrap();
+
+    // Training-set quality.
+    let train_pairs: Vec<PropertyPair> = train.iter().map(|(p, _)| p.clone()).collect();
+    let scores = model.score_pairs(&store, &train_pairs).unwrap();
+    let mut tp = 0;
+    let mut fp = 0;
+    let mut fn_ = 0;
+    let mut tn = 0;
+    for ((_, y), s) in train.iter().zip(&scores) {
+        match (y, s >= &0.5) {
+            (true, true) => tp += 1,
+            (true, false) => fn_ += 1,
+            (false, true) => fp += 1,
+            (false, false) => tn += 1,
+        }
+    }
+    println!("train: tp={tp} fp={fp} fn={fn_} tn={tn}");
+
+    // Test quality + FP inspection.
+    let test = sampling::test_pairs(&dataset, &split.train);
+    let gt = sampling::test_ground_truth(&dataset, &split.train);
+    let graph = model.predict_graph(&store, &test).unwrap();
+    let matches = graph.matches(0.5);
+    let m = Metrics::from_sets(&matches, &gt);
+    println!("test: {m}");
+
+    println!("\nsample false positives:");
+    let mut shown = 0;
+    for p in &matches {
+        if !gt.contains(p) {
+            let s = graph.score(p).unwrap();
+            println!("  [{s:.2}] {} || {}", p.0, p.1);
+            shown += 1;
+            if shown >= 15 {
+                break;
+            }
+        }
+    }
+    println!("\nsample false negatives:");
+    let mut shown = 0;
+    for p in &gt {
+        if !matches.contains(p) {
+            let s = graph.score(p).unwrap_or(-1.0);
+            println!("  [{s:.2}] {} || {}", p.0, p.1);
+            shown += 1;
+            if shown >= 10 {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Table I — the feature inventory, computed from the implementation.
+//!
+//! The paper's Table I lists every feature with its count. This binary
+//! regenerates that table *from the code* (the counts are the actual
+//! lengths of the implemented feature blocks), so any drift between the
+//! implementation and the paper is immediately visible. Pass `--dim` to
+//! see the counts at a different embedding dimension (paper: 300).
+//!
+//! ```text
+//! cargo run --release -p leapme-bench --bin table1 -- [--dim 300]
+//! ```
+
+use leapme::features::{chars, instance, pair, property, tokens};
+use leapme::textsim::StringDistances;
+use leapme_bench::{Args, MarkdownTable};
+
+fn main() {
+    let args = Args::parse();
+    let dim: usize = args.get_or("dim", 300);
+
+    let rows: Vec<(&str, String, usize)> = vec![
+        (
+            "Instance",
+            format!(
+                "Fraction and count of {} character types ({})",
+                chars::CATEGORIES,
+                chars::NAMES.join(", ")
+            ),
+            chars::LEN,
+        ),
+        (
+            "Instance",
+            format!(
+                "Fraction and count of {} token types ({})",
+                tokens::CATEGORIES,
+                tokens::NAMES.join(", ")
+            ),
+            tokens::LEN,
+        ),
+        (
+            "Instance",
+            "Numeric value of the instance (−1 if not a number)".into(),
+            1,
+        ),
+        (
+            "Instance",
+            "Average embeddings vector of the words in the instance".into(),
+            dim,
+        ),
+        (
+            "Property",
+            "Average of every instance feature".into(),
+            instance::len(dim),
+        ),
+        (
+            "Property",
+            "Average embeddings vector of the words in the property name".into(),
+            dim,
+        ),
+        (
+            "Pair",
+            "Difference between the feature vectors of the two properties".into(),
+            property::len(dim),
+        ),
+        (
+            "Pair",
+            format!(
+                "Name string distances ({})",
+                StringDistances::feature_names().join(", ")
+            ),
+            pair::STRING_FEATURES,
+        ),
+    ];
+
+    let mut md = MarkdownTable::new(&["Type", "Description", "# features"]);
+    println!("{:<9} {:<70} {:>10}", "Type", "Description", "# features");
+    for (scope, description, count) in &rows {
+        println!("{scope:<9} {description:<70} {count:>10}");
+        md.row(&[scope.to_string(), description.clone(), count.to_string()]);
+    }
+    println!(
+        "\ninstance vector: {} | property vector: {} | pair vector: {}",
+        instance::len(dim),
+        property::len(dim),
+        pair::len(dim)
+    );
+    if dim == 300 {
+        assert_eq!(instance::len(dim), 329, "paper Table I row 5");
+        assert_eq!(property::len(dim), 629, "paper Table I rows 5+6");
+        assert_eq!(pair::len(dim), 637, "paper Table I total");
+        println!("✓ matches the paper's Table I arithmetic (329 / 629 / 637 at D = 300)");
+    }
+
+    let mut out = String::from("# Table I — feature inventory (computed from the code)\n\n");
+    out.push_str(&md.render());
+    out.push_str(&format!(
+        "\nAt embedding dimension {dim}: instance = {}, property = {}, pair = {} features.\n",
+        instance::len(dim),
+        property::len(dim),
+        pair::len(dim)
+    ));
+    leapme_bench::write_result("table1.md", &out);
+}

@@ -1,0 +1,237 @@
+//! Experiment E1/E2 — reproduce the paper's Table II.
+//!
+//! Rows: feature scope (Instances / Names / Both) × dataset × training
+//! fraction (20% / 80%). Columns: LEAPME with all features, embedding
+//! features only ("LEAPME(emb)"), non-embedding features only
+//! ("LEAPME(-emb)"), and the five baselines (Nezhadi, AML, FCA-Map,
+//! SemProp on name rows; LSH on instance rows; all on "Both" rows —
+//! matching which scope each baseline consumes, as in the paper).
+//!
+//! Every cell averages `--reps` randomized source splits (paper: 25;
+//! default here: 5 to keep a laptop run in minutes — pass `--reps 25`
+//! for the full protocol).
+//!
+//! ```text
+//! cargo run --release -p leapme-bench --bin table2 -- \
+//!     [--reps 5] [--dim 50] [--seed 42] [--domains cameras,headphones,phones,tvs] \
+//!     [--part all|leapme|baselines] [--fractions 0.2,0.8]
+//! ```
+//!
+//! Output: aligned table on stdout + `results/table2.md`.
+
+use leapme::baselines::{
+    aml::AmlMatcher, fcamap::FcaMapMatcher, lsh::LshMatcher, nezhadi::NezhadiMatcher,
+    semprop::SemPropMatcher, Matcher,
+};
+use leapme::core::metrics::MetricsSummary;
+use leapme::core::runner::{run_repeated, EvalMode, RunnerConfig};
+use leapme::core::pipeline::LeapmeConfig;
+use leapme::prelude::*;
+use leapme_bench::{parse_domains, prepare_embeddings, run_baseline_repeated, Args, MarkdownTable};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+fn main() {
+    let args = Args::parse();
+    let reps: usize = args.get_or("reps", 5);
+    let dim: usize = args.get_or("dim", 50);
+    let seed: u64 = args.get_or("seed", 42);
+    let part = args.get("part").unwrap_or("all").to_string();
+    let eval = match args.get("eval").unwrap_or("sampled") {
+        "full" => EvalMode::FullCandidateSpace,
+        _ => EvalMode::SampledExamples,
+    };
+    let domains = parse_domains(&args);
+    let fractions: Vec<f64> = args
+        .get("fractions")
+        .unwrap_or("0.2,0.8")
+        .split(',')
+        .map(|s| s.trim().parse().expect("fraction"))
+        .collect();
+
+    eprintln!(
+        "table2: {} domains × {:?} fractions × {} reps (part: {part})",
+        domains.len(),
+        fractions,
+        reps
+    );
+
+    // cell key: (scope_label, domain, fraction, column) → summary
+    let mut cells: BTreeMap<(String, String, String, String), MetricsSummary> = BTreeMap::new();
+
+    for &domain in &domains {
+        let t0 = std::time::Instant::now();
+        let dataset = generate(domain, seed);
+        let embeddings = prepare_embeddings(&[domain], dim, seed);
+        let store = PropertyFeatureStore::build(&dataset, &embeddings);
+        eprintln!(
+            "[{}] dataset + embeddings + features in {:.1}s",
+            domain.name(),
+            t0.elapsed().as_secs_f32()
+        );
+
+        for &fraction in &fractions {
+            let frac_label = format!("{:.0}%", fraction * 100.0);
+
+            if part == "all" || part == "leapme" {
+                for cfg in FeatureConfig::all() {
+                    let t = std::time::Instant::now();
+                    let runner = RunnerConfig {
+                        train_fraction: fraction,
+                        repetitions: reps,
+                        negative_ratio: 2,
+                        eval,
+                        leapme: LeapmeConfig {
+                            features: cfg,
+                            ..LeapmeConfig::default()
+                        },
+                        base_seed: seed,
+                        threads: 0,
+                    };
+                    let (summary, _) =
+                        run_repeated(&dataset, &store, &runner).expect("leapme run");
+                    eprintln!(
+                        "[{}] {frac_label} {cfg}: F1 {:.2} ±{:.2} ({:.1}s)",
+                        domain.name(),
+                        summary.f1_mean,
+                        summary.f1_std,
+                        t.elapsed().as_secs_f32()
+                    );
+                    cells.insert(
+                        (
+                            cfg.scope_label().to_string(),
+                            domain.name().to_string(),
+                            frac_label.clone(),
+                            cfg.kind_label().to_string(),
+                        ),
+                        summary,
+                    );
+                }
+            }
+
+            if part == "all" || part == "baselines" {
+                let semprop = SemPropMatcher::new(&embeddings);
+                let mut baselines: Vec<(Box<dyn Matcher>, &[&str])> = vec![
+                    (Box::new(NezhadiMatcher::new()), &["Names", "Both"]),
+                    (Box::new(AmlMatcher::new()), &["Names", "Both"]),
+                    (Box::new(FcaMapMatcher::new()), &["Names", "Both"]),
+                    (Box::new(semprop), &["Names", "Both"]),
+                    (Box::new(LshMatcher::new()), &["Instances", "Both"]),
+                ];
+                for (matcher, scopes) in &mut baselines {
+                    let t = std::time::Instant::now();
+                    let summary = run_baseline_repeated(
+                        &dataset,
+                        matcher.as_mut(),
+                        fraction,
+                        reps,
+                        2,
+                        eval,
+                        seed,
+                    );
+                    eprintln!(
+                        "[{}] {frac_label} {}: F1 {:.2} ±{:.2} ({:.1}s)",
+                        domain.name(),
+                        matcher.name(),
+                        summary.f1_mean,
+                        summary.f1_std,
+                        t.elapsed().as_secs_f32()
+                    );
+                    for scope in scopes.iter() {
+                        cells.insert(
+                            (
+                                scope.to_string(),
+                                domain.name().to_string(),
+                                frac_label.clone(),
+                                matcher.name().to_string(),
+                            ),
+                            summary,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- render ----
+    let columns = [
+        "LEAPME",
+        "LEAPME(emb)",
+        "LEAPME(-emb)",
+        "Nezhadi",
+        "AML",
+        "FCA-Map",
+        "SemProp",
+        "LSH",
+    ];
+    let mut header = vec!["Scope", "Dataset", "Train"];
+    header.extend(columns.iter().copied().flat_map(|c| {
+        // Three sub-columns per matcher (P R F1) collapse into one cell.
+        std::iter::once(c)
+    }));
+    let mut md = MarkdownTable::new(&header);
+    let mut stdout_table = String::new();
+    writeln!(
+        stdout_table,
+        "{:<10} {:<11} {:>5} | {}",
+        "Scope",
+        "Dataset",
+        "Train",
+        columns
+            .iter()
+            .map(|c| format!("{c:>17}"))
+            .collect::<Vec<_>>()
+            .join(" |")
+    )
+    .unwrap();
+
+    for scope in ["Instances", "Names", "Both"] {
+        for &domain in &domains {
+            for &fraction in &fractions {
+                let frac_label = format!("{:.0}%", fraction * 100.0);
+                let mut row = vec![
+                    scope.to_string(),
+                    domain.name().to_string(),
+                    frac_label.clone(),
+                ];
+                let mut line = format!(
+                    "{:<10} {:<11} {:>5} |",
+                    scope,
+                    domain.name(),
+                    frac_label
+                );
+                for col in columns {
+                    let key = (
+                        scope.to_string(),
+                        domain.name().to_string(),
+                        frac_label.clone(),
+                        col.to_string(),
+                    );
+                    match cells.get(&key) {
+                        Some(s) => {
+                            row.push(s.table_cell());
+                            write!(line, " {:>17} |", s.table_cell()).unwrap();
+                        }
+                        None => {
+                            row.push("-".into());
+                            write!(line, " {:>17} |", "-").unwrap();
+                        }
+                    }
+                }
+                md.row(&row);
+                writeln!(stdout_table, "{line}").unwrap();
+            }
+        }
+    }
+
+    println!("\nTable II reproduction (cells: P R F1, mean over {reps} reps)\n");
+    println!("{stdout_table}");
+    let mut report = String::new();
+    writeln!(
+        report,
+        "# Table II reproduction\n\nCells are `P R F1`, averaged over {reps} random source splits (seed {seed}, embedding dim {dim}).\n"
+    )
+    .unwrap();
+    report.push_str(&md.render());
+    leapme_bench::write_result("table2.md", &report);
+}

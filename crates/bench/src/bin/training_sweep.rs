@@ -1,0 +1,76 @@
+//! Experiment E3 — impact of the amount of training data (paper §V-C).
+//!
+//! The paper evaluates 20% vs 80% training-source fractions and reports
+//! that LEAPME already outperforms the baselines at 20%. This sweep
+//! extends the axis: training fraction 0.1 … 0.9 per dataset, producing
+//! the F1-vs-training-fraction series behind the paper's observation.
+//!
+//! ```text
+//! cargo run --release -p leapme-bench --bin training_sweep -- \
+//!     [--reps 3] [--dim 50] [--seed 42] [--domains …]
+//! ```
+
+use leapme::core::pipeline::LeapmeConfig;
+use leapme::core::runner::{run_repeated, EvalMode, RunnerConfig};
+use leapme::prelude::*;
+use leapme_bench::{parse_domains, prepare_embeddings, Args, MarkdownTable};
+use std::fmt::Write as _;
+
+fn main() {
+    let args = Args::parse();
+    let reps: usize = args.get_or("reps", 3);
+    let dim: usize = args.get_or("dim", 50);
+    let seed: u64 = args.get_or("seed", 42);
+    let domains = parse_domains(&args);
+    let fractions = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+    let mut md = MarkdownTable::new(&["Dataset", "Train %", "P", "R", "F1", "±F1"]);
+    println!(
+        "{:<12} {:>7} {:>6} {:>6} {:>6} {:>6}",
+        "dataset", "train%", "P", "R", "F1", "±F1"
+    );
+
+    for &domain in &domains {
+        let dataset = generate(domain, seed);
+        let embeddings = prepare_embeddings(&[domain], dim, seed);
+        let store = PropertyFeatureStore::build(&dataset, &embeddings);
+
+        for &fraction in &fractions {
+            let runner = RunnerConfig {
+                train_fraction: fraction,
+                repetitions: reps,
+                eval: EvalMode::SampledExamples,
+                leapme: LeapmeConfig::default(),
+                base_seed: seed,
+                ..RunnerConfig::default()
+            };
+            let (summary, _) = run_repeated(&dataset, &store, &runner).expect("run");
+            println!(
+                "{:<12} {:>6.0}% {:>6.2} {:>6.2} {:>6.2} {:>6.2}",
+                domain.name(),
+                fraction * 100.0,
+                summary.precision_mean,
+                summary.recall_mean,
+                summary.f1_mean,
+                summary.f1_std
+            );
+            md.row(&[
+                domain.name().into(),
+                format!("{:.0}%", fraction * 100.0),
+                format!("{:.3}", summary.precision_mean),
+                format!("{:.3}", summary.recall_mean),
+                format!("{:.3}", summary.f1_mean),
+                format!("{:.3}", summary.f1_std),
+            ]);
+        }
+    }
+
+    let mut report = String::new();
+    writeln!(
+        report,
+        "# Training-fraction sweep (E3)\n\nLEAPME (all features), {reps} reps per point, seed {seed}, dim {dim}.\n"
+    )
+    .unwrap();
+    report.push_str(&md.render());
+    leapme_bench::write_result("training_sweep.md", &report);
+}

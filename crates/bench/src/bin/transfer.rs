@@ -1,0 +1,74 @@
+//! Experiment E4 — transfer learning across product domains (paper §V).
+//!
+//! Trains LEAPME on one domain (all of its sources) and evaluates it,
+//! unchanged, on every other domain, for all 12 ordered domain pairs,
+//! plus the in-domain diagonal for reference. All domains share one
+//! embedding space (trained on the union of their corpora), as transfer
+//! requires.
+//!
+//! ```text
+//! cargo run --release -p leapme-bench --bin transfer -- \
+//!     [--dim 50] [--seed 42]
+//! ```
+
+use leapme::core::pipeline::LeapmeConfig;
+use leapme::core::transfer::transfer_evaluate;
+use leapme::prelude::*;
+use leapme_bench::{prepare_embeddings, Args, MarkdownTable};
+use std::fmt::Write as _;
+
+fn main() {
+    let args = Args::parse();
+    let dim: usize = args.get_or("dim", 50);
+    let seed: u64 = args.get_or("seed", 42);
+
+    // One shared embedding space over all four domains.
+    let embeddings = prepare_embeddings(&Domain::ALL, dim, seed);
+    eprintln!(
+        "shared embedding space: {} words × {} dims",
+        embeddings.len(),
+        embeddings.dim()
+    );
+
+    let datasets: Vec<Dataset> = Domain::ALL.iter().map(|&d| generate(d, seed)).collect();
+    let stores: Vec<PropertyFeatureStore> = datasets
+        .iter()
+        .map(|ds| PropertyFeatureStore::build(ds, &embeddings))
+        .collect();
+
+    let mut md = MarkdownTable::new(&["Train ↓ / Test →", "cameras", "headphones", "phones", "tvs"]);
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10}   (F1)",
+        "train\\test", "cameras", "headphones", "phones", "tvs"
+    );
+
+    for (i, train_domain) in Domain::ALL.iter().enumerate() {
+        let mut row = vec![train_domain.name().to_string()];
+        let mut line = format!("{:<12}", train_domain.name());
+        for (j, _test_domain) in Domain::ALL.iter().enumerate() {
+            let out = transfer_evaluate(
+                &datasets[i],
+                &stores[i],
+                &datasets[j],
+                &stores[j],
+                &LeapmeConfig::default(),
+                2,
+                seed,
+            )
+            .expect("transfer run");
+            row.push(format!("{:.3}", out.metrics.f1));
+            write!(line, " {:>10.2}", out.metrics.f1).unwrap();
+        }
+        md.row(&row);
+        println!("{line}");
+    }
+
+    let mut report = String::new();
+    writeln!(
+        report,
+        "# Transfer learning across domains (E4)\n\nCell = F1 of a LEAPME model trained on the row domain (all sources, 2:1 negatives)\nand evaluated on the column domain's full cross-source pair space. Diagonal = in-domain reference.\nSeed {seed}, shared embedding dim {dim}.\n"
+    )
+    .unwrap();
+    report.push_str(&md.render());
+    leapme_bench::write_result("transfer.md", &report);
+}

@@ -1,0 +1,247 @@
+//! Shared plumbing for the LEAPME experiment binaries.
+//!
+//! Each binary under `src/bin/` regenerates one artifact of the paper's
+//! evaluation (see DESIGN.md §4 for the experiment index); this library
+//! holds what they share: argument parsing, embedding preparation, and
+//! Markdown result emission into `results/`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use leapme::data::domains::Domain;
+use leapme::embedding::store::EmbeddingStore;
+use leapme::{train_domain_embeddings, EmbeddingTrainingConfig};
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Tiny flag parser for the experiment binaries: `--key value` pairs.
+#[derive(Debug, Clone)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parse the process arguments (everything after the binary name).
+    pub fn parse() -> Self {
+        let mut pairs = Vec::new();
+        let mut iter = std::env::args().skip(1);
+        while let Some(key) = iter.next() {
+            if let Some(stripped) = key.strip_prefix("--") {
+                let value = iter.next().unwrap_or_default();
+                pairs.push((stripped.to_string(), value));
+            }
+        }
+        Args { pairs }
+    }
+
+    /// String flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parsed flag with default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+/// The standard embedding setup every experiment shares: one embedding
+/// space trained over the given domains' corpora, deterministic in
+/// `seed`.
+pub fn prepare_embeddings(domains: &[Domain], dim: usize, seed: u64) -> EmbeddingStore {
+    let cfg = EmbeddingTrainingConfig {
+        glove: leapme::embedding::glove::GloVeConfig {
+            dim,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    train_domain_embeddings(domains, &cfg, seed).expect("embedding training")
+}
+
+/// Write a result artifact under `results/` (created on demand) and echo
+/// the path. Results also go to stdout by convention, so the file is for
+/// the record.
+pub fn write_result(name: &str, content: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create result file");
+    f.write_all(content.as_bytes()).expect("write result");
+    eprintln!("[saved {}]", path.display());
+    path
+}
+
+/// Markdown table builder.
+#[derive(Debug, Default)]
+pub struct MarkdownTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl MarkdownTable {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        MarkdownTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render to Markdown.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.header.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Parse a `--domains cameras,tvs` style flag into domains
+/// (default: all four).
+pub fn parse_domains(args: &Args) -> Vec<Domain> {
+    match args.get("domains") {
+        None => Domain::ALL.to_vec(),
+        Some(spec) => spec
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|name| {
+                Domain::ALL
+                    .into_iter()
+                    .find(|d| d.name() == name.trim())
+                    .unwrap_or_else(|| panic!("unknown domain {name:?}"))
+            })
+            .collect(),
+    }
+}
+
+use leapme::baselines::Matcher;
+use leapme::core::metrics::{Metrics, MetricsSummary};
+use leapme::core::runner::repetition_seed;
+use leapme::core::sampling;
+use leapme::data::model::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Evaluate a baseline matcher under the paper's repeated-splits protocol,
+/// reusing the exact same source splits (and eval mode) as `leapme-core`'s
+/// runner — same `base_seed` ⇒ same splits and same test examples.
+pub fn run_baseline_repeated(
+    dataset: &Dataset,
+    matcher: &mut dyn Matcher,
+    train_fraction: f64,
+    repetitions: usize,
+    negative_ratio: usize,
+    eval: leapme::core::runner::EvalMode,
+    base_seed: u64,
+) -> MetricsSummary {
+    use leapme::core::runner::EvalMode;
+    let mut runs = Vec::with_capacity(repetitions);
+    for rep in 0..repetitions {
+        let seed = repetition_seed(base_seed, rep);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let split = sampling::split_sources(dataset.sources().len(), train_fraction, &mut rng)
+            .expect("valid split");
+        let train = sampling::training_pairs(dataset, &split.train, negative_ratio, &mut rng);
+        matcher.fit(dataset, &train);
+        let (candidates, gt) = match eval {
+            EvalMode::SampledExamples => {
+                let examples =
+                    sampling::test_examples(dataset, &split.train, negative_ratio, &mut rng);
+                let gt = examples
+                    .iter()
+                    .filter(|(_, y)| *y)
+                    .map(|(p, _)| p.clone())
+                    .collect();
+                (examples.into_iter().map(|(p, _)| p).collect(), gt)
+            }
+            EvalMode::FullCandidateSpace => (
+                sampling::test_pairs(dataset, &split.train),
+                sampling::test_ground_truth(dataset, &split.train),
+            ),
+        };
+        let predicted = matcher.predict(dataset, &candidates);
+        runs.push(Metrics::from_sets(&predicted, &gt));
+    }
+    MetricsSummary::aggregate(&runs).expect("non-empty repetitions")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_renders() {
+        let mut t = MarkdownTable::new(&["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        let md = t.render();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("|---|---|"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn markdown_table_checks_width() {
+        let mut t = MarkdownTable::new(&["a", "b"]);
+        t.row(&["1".into()]);
+    }
+
+    #[test]
+    fn args_accessors() {
+        let args = Args {
+            pairs: vec![
+                ("reps".into(), "7".into()),
+                ("domains".into(), "tvs,phones".into()),
+                ("reps".into(), "9".into()), // later flag wins
+            ],
+        };
+        assert_eq!(args.get("domains"), Some("tvs,phones"));
+        assert_eq!(args.get_or("reps", 1usize), 9);
+        assert_eq!(args.get_or("missing", 5usize), 5);
+        // Unparseable values fall back to the default.
+        let bad = Args {
+            pairs: vec![("reps".into(), "abc".into())],
+        };
+        assert_eq!(bad.get_or("reps", 3usize), 3);
+    }
+
+    #[test]
+    fn parse_domains_selects_and_defaults() {
+        use leapme::data::domains::Domain;
+        let all = parse_domains(&Args { pairs: vec![] });
+        assert_eq!(all.len(), 4);
+        let some = parse_domains(&Args {
+            pairs: vec![("domains".into(), "tvs, phones".into())],
+        });
+        assert_eq!(some, vec![Domain::Tvs, Domain::Phones]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown domain")]
+    fn parse_domains_rejects_unknown() {
+        parse_domains(&Args {
+            pairs: vec![("domains".into(), "fridges".into())],
+        });
+    }
+}

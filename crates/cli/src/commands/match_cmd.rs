@@ -1,0 +1,168 @@
+//! `leapme match` — train LEAPME on part of a dataset and score the
+//! held-out pairs into a similarity graph.
+
+use super::load_dataset;
+use crate::args::Flags;
+use crate::CliError;
+use leapme::core::pipeline::{Leapme, LeapmeConfig};
+use leapme::core::sampling;
+use leapme::data::model::SourceId;
+use leapme::embedding::store::EmbeddingStore;
+use leapme::features::PropertyFeatureStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Run the command.
+pub fn run(flags: &Flags) -> Result<String, CliError> {
+    let dataset = load_dataset(flags.require("dataset")?)?;
+    let emb_path = flags.require("embeddings")?;
+    let mut embeddings = EmbeddingStore::load_text(std::path::Path::new(emb_path))
+        .map_err(|e| CliError::Parse(format!("{emb_path}: {e}")))?;
+    embeddings.set_fuzzy_oov(flags.get_or("fuzzy-oov", 1u8)? != 0);
+
+    let seed: u64 = flags.get_or("seed", 42)?;
+    let threshold: f32 = flags.get_or("threshold", 0.5)?;
+    let out = flags.require("out")?;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Training sources: explicit list wins over a fraction.
+    let train_sources: Vec<SourceId> = match flags.get("train-sources") {
+        Some(spec) => spec
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.trim()
+                    .parse::<u16>()
+                    .map(SourceId)
+                    .map_err(|_| CliError::Usage(format!("bad source id {s:?}")))
+            })
+            .collect::<Result<_, _>>()?,
+        None => {
+            let fraction: f64 = flags.get_or("train-fraction", 0.8)?;
+            sampling::split_sources(dataset.sources().len(), fraction, &mut rng)
+                .map_err(|e| CliError::Pipeline(e.to_string()))?
+                .train
+        }
+    };
+    if train_sources.len() < 2 {
+        return Err(CliError::Usage(
+            "need at least two training sources".into(),
+        ));
+    }
+
+    let store = PropertyFeatureStore::build(&dataset, &embeddings);
+    let train = sampling::training_pairs(&dataset, &train_sources, 2, &mut rng);
+    if train.is_empty() {
+        return Err(CliError::Pipeline(
+            "no labeled pairs within the chosen training sources".into(),
+        ));
+    }
+    let cfg = LeapmeConfig {
+        threshold,
+        seed,
+        ..LeapmeConfig::default()
+    };
+    let model = Leapme::fit(&store, &train, &cfg).map_err(|e| CliError::Pipeline(e.to_string()))?;
+
+    let candidates = sampling::test_pairs(&dataset, &train_sources);
+    let graph = model
+        .predict_graph(&store, &candidates)
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    std::fs::write(out, serde_json::to_string_pretty(&graph).expect("graph serializes"))?;
+
+    if let Some(model_path) = flags.get("save-model") {
+        std::fs::write(
+            model_path,
+            serde_json::to_string(&model).expect("model serializes"),
+        )?;
+    }
+
+    Ok(format!(
+        "wrote {out}: {} scored pairs, {} matches at threshold {threshold} \
+         ({} training pairs from {} sources)",
+        graph.len(),
+        graph.matches(threshold).len(),
+        train.len(),
+        train_sources.len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leapme::core::simgraph::SimilarityGraph;
+    use leapme::data::domains::{generate, Domain};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("leapme_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    /// Build the shared fixture: a dataset file and an embedding file.
+    fn fixture() -> (std::path::PathBuf, std::path::PathBuf) {
+        let ds_path = tmp("match_ds.json");
+        std::fs::write(&ds_path, generate(Domain::Tvs, 2).to_json()).unwrap();
+        let emb_path = tmp("match_emb.txt");
+        // Quick low-dim embeddings to keep the test fast.
+        crate::commands::embed::run(&Flags::from_pairs(&[
+            ("domains", "tvs"),
+            ("dim", "8"),
+            ("epochs", "2"),
+            ("out", emb_path.to_str().unwrap()),
+        ]))
+        .unwrap();
+        (ds_path, emb_path)
+    }
+
+    #[test]
+    fn match_produces_similarity_graph() {
+        let (ds, emb) = fixture();
+        let graph_path = tmp("match_graph.json");
+        let model_path = tmp("match_model.json");
+        let msg = run(&Flags::from_pairs(&[
+            ("dataset", ds.to_str().unwrap()),
+            ("embeddings", emb.to_str().unwrap()),
+            ("train-fraction", "0.8"),
+            ("out", graph_path.to_str().unwrap()),
+            ("save-model", model_path.to_str().unwrap()),
+        ]))
+        .unwrap();
+        assert!(msg.contains("scored pairs"));
+        let graph: SimilarityGraph =
+            serde_json::from_str(&std::fs::read_to_string(&graph_path).unwrap()).unwrap();
+        assert!(!graph.is_empty());
+        assert!(model_path.exists());
+        for p in [graph_path, model_path] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn explicit_train_sources() {
+        let (ds, emb) = fixture();
+        let graph_path = tmp("match_graph2.json");
+        let msg = run(&Flags::from_pairs(&[
+            ("dataset", ds.to_str().unwrap()),
+            ("embeddings", emb.to_str().unwrap()),
+            ("train-sources", "0,1,2,3,4,5"),
+            ("out", graph_path.to_str().unwrap()),
+        ]))
+        .unwrap();
+        assert!(msg.contains("6 sources"));
+        std::fs::remove_file(graph_path).ok();
+    }
+
+    #[test]
+    fn rejects_single_training_source() {
+        let (ds, emb) = fixture();
+        let err = run(&Flags::from_pairs(&[
+            ("dataset", ds.to_str().unwrap()),
+            ("embeddings", emb.to_str().unwrap()),
+            ("train-sources", "0"),
+            ("out", "unused.json"),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("two training sources"));
+    }
+}

@@ -1,0 +1,56 @@
+//! The `leapme` subcommand implementations.
+
+pub mod analyze;
+pub mod cluster;
+pub mod embed;
+pub mod evaluate;
+pub mod fuse;
+pub mod generate;
+pub mod import;
+pub mod match_cmd;
+pub mod stats;
+
+use crate::CliError;
+use leapme::data::domains::Domain;
+
+/// Resolve a domain name flag.
+pub(crate) fn parse_domain(name: &str) -> Result<Domain, CliError> {
+    Domain::ALL
+        .into_iter()
+        .find(|d| d.name() == name)
+        .ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown domain {name:?} (expected cameras, headphones, phones, or tvs)"
+            ))
+        })
+}
+
+/// Load a dataset JSON file.
+pub(crate) fn load_dataset(path: &str) -> Result<leapme::data::model::Dataset, CliError> {
+    let json = std::fs::read_to_string(path)?;
+    leapme::data::model::Dataset::from_json(&json)
+        .map_err(|e| CliError::Parse(format!("{path}: {e}")))
+}
+
+/// Load a similarity graph JSON file.
+pub(crate) fn load_graph(path: &str) -> Result<leapme::core::simgraph::SimilarityGraph, CliError> {
+    let json = std::fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(|e| CliError::Parse(format!("{path}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_parsing() {
+        assert_eq!(parse_domain("tvs").unwrap(), Domain::Tvs);
+        assert!(parse_domain("fridges").is_err());
+    }
+
+    #[test]
+    fn load_dataset_reports_path() {
+        let err = load_dataset("/nonexistent/path.json").unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+    }
+}

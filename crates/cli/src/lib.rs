@@ -1,0 +1,124 @@
+//! Implementation of the `leapme` command-line tool.
+//!
+//! The binary is a thin `main` over this library so every command is unit
+//! testable. Subcommands:
+//!
+//! | command | purpose |
+//! |---|---|
+//! | `generate` | emit one of the four synthetic evaluation datasets as JSON |
+//! | `embed` | train GloVe embeddings on domain corpora, save as `glove.txt` |
+//! | `stats` | print dataset statistics (sources, properties, ground truth) |
+//! | `match` | train LEAPME and score held-out pairs into a similarity graph |
+//! | `evaluate` | score a similarity graph against a dataset's ground truth |
+//! | `cluster` | derive property clusters from a similarity graph |
+//!
+//! Run `leapme help` (or any command with `--help`-less wrong args) for
+//! usage.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod commands;
+
+use std::fmt;
+
+/// CLI-level errors with user-facing messages.
+#[derive(Debug)]
+pub enum CliError {
+    /// Unknown subcommand or bad flag usage.
+    Usage(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed input file.
+    Parse(String),
+    /// A pipeline stage failed.
+    Pipeline(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Parse(m) => write!(f, "parse error: {m}"),
+            CliError::Pipeline(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+leapme — learning-based property matching with embeddings
+
+USAGE:
+    leapme <COMMAND> [--flag value …]
+
+COMMANDS:
+    generate   --domain <cameras|headphones|phones|tvs> [--seed N] --out <dataset.json>
+    import     --instances <instances.csv> [--alignments <alignments.csv>]
+               [--name NAME] --out <dataset.json>
+    embed      --domains <d1,d2,…> [--dim N] [--seed N] --out <vectors.txt>
+    stats      --dataset <dataset.json>
+    match      --dataset <dataset.json> --embeddings <vectors.txt>
+               [--train-fraction 0.8 | --train-sources 0,1,2] [--seed N]
+               [--threshold 0.5] --out <graph.json> [--save-model <model.json>]
+    evaluate   --dataset <dataset.json> --graph <graph.json> [--threshold 0.5]
+    analyze    --dataset <dataset.json> --graph <graph.json> [--threshold 0.5]
+    cluster    --graph <graph.json> [--method components|star] [--threshold 0.5]
+    fuse       --dataset <dataset.json> --graph <graph.json>
+               [--method components|star] [--threshold 0.5] [--out <schema.json>]
+    help       print this message
+";
+
+/// Dispatch a full argument vector (excluding the binary name).
+/// Returns the text to print on success.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let Some(command) = argv.first() else {
+        return Err(CliError::Usage("missing command".into()));
+    };
+    let flags = args::Flags::parse(&argv[1..])?;
+    match command.as_str() {
+        "generate" => commands::generate::run(&flags),
+        "import" => commands::import::run(&flags),
+        "embed" => commands::embed::run(&flags),
+        "stats" => commands::stats::run(&flags),
+        "match" => commands::match_cmd::run(&flags),
+        "evaluate" => commands::evaluate::run(&flags),
+        "cluster" => commands::cluster::run(&flags),
+        "fuse" => commands::fuse::run(&flags),
+        "analyze" => commands::analyze::run(&flags),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&["help".to_string()]).unwrap();
+        assert!(out.contains("COMMANDS"));
+    }
+
+    #[test]
+    fn missing_command_is_usage_error() {
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn unknown_command_is_usage_error() {
+        let err = run(&["frobnicate".to_string()]).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+}

@@ -1,0 +1,21 @@
+//! The `leapme` command-line binary (thin wrapper over `leapme_cli`).
+
+use std::io::Write;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match leapme_cli::run(&argv) {
+        Ok(output) => {
+            // Tolerate a closed pipe (`leapme … | head`) instead of
+            // panicking like the default print! machinery does.
+            let stdout = std::io::stdout();
+            let mut handle = stdout.lock();
+            let _ = writeln!(handle, "{output}");
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("\n{}", leapme_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Error analysis of match decisions.
+//!
+//! Aggregate P/R/F1 hides *where* a matcher fails. This module
+//! categorizes the errors against the reference alignment:
+//!
+//! * false positives split by what was wrongly joined — two unaligned
+//!   ("junk") properties, an unaligned with an aligned one, or two
+//!   properties aligned to *different* reference properties (semantic
+//!   confusions, the interesting class);
+//! * false negatives grouped by reference property, surfacing which
+//!   concepts the matcher systematically misses.
+
+use crate::metrics::Metrics;
+use leapme_data::model::{Dataset, PropertyPair};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Categories of false positives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FpCategory {
+    /// Both properties aligned, to different reference properties —
+    /// a semantic confusion (e.g. "front camera" vs "rear camera").
+    CrossReference,
+    /// One aligned property joined with an unaligned one.
+    AlignedToJunk,
+    /// Two unaligned properties joined.
+    JunkToJunk,
+}
+
+impl FpCategory {
+    /// Human-readable label.
+    pub fn name(self) -> &'static str {
+        match self {
+            FpCategory::CrossReference => "cross-reference confusion",
+            FpCategory::AlignedToJunk => "aligned × unaligned",
+            FpCategory::JunkToJunk => "unaligned × unaligned",
+        }
+    }
+}
+
+/// A false-negative group: one reference property and its missed pairs.
+#[derive(Debug, Clone)]
+pub struct MissedReference {
+    /// The reference property name.
+    pub reference: String,
+    /// Ground-truth pairs for this reference inside the evaluated scope.
+    pub total_pairs: usize,
+    /// How many of them were missed.
+    pub missed_pairs: usize,
+    /// Example missed pairs (up to 3).
+    pub examples: Vec<PropertyPair>,
+}
+
+/// Full error report.
+#[derive(Debug, Clone)]
+pub struct ErrorReport {
+    /// Aggregate metrics over the evaluated pairs.
+    pub metrics: Metrics,
+    /// False-positive counts per category.
+    pub fp_by_category: BTreeMap<FpCategory, usize>,
+    /// Example false positives per category (up to 5 each).
+    pub fp_examples: BTreeMap<FpCategory, Vec<PropertyPair>>,
+    /// References sorted by missed-pair count, descending.
+    pub missed_references: Vec<MissedReference>,
+}
+
+/// Analyze predictions against the dataset's alignment.
+///
+/// `predicted` are the pairs called matches; `candidates` is the
+/// evaluated candidate space (ground truth is restricted to it).
+pub fn analyze(
+    dataset: &Dataset,
+    predicted: &BTreeSet<PropertyPair>,
+    candidates: &[PropertyPair],
+) -> ErrorReport {
+    let scope: BTreeSet<&PropertyPair> = candidates.iter().collect();
+    let gt: BTreeSet<PropertyPair> = dataset
+        .ground_truth_pairs()
+        .into_iter()
+        .filter(|p| scope.contains(p))
+        .collect();
+
+    let metrics = Metrics::from_sets(predicted, &gt);
+
+    // --- false positives ---
+    let mut fp_by_category: BTreeMap<FpCategory, usize> = BTreeMap::new();
+    let mut fp_examples: BTreeMap<FpCategory, Vec<PropertyPair>> = BTreeMap::new();
+    for p in predicted {
+        if gt.contains(p) {
+            continue;
+        }
+        let PropertyPair(a, b) = p;
+        let (ra, rb) = (dataset.alignment_of(a), dataset.alignment_of(b));
+        let category = match (ra, rb) {
+            (Some(_), Some(_)) => FpCategory::CrossReference,
+            (None, None) => FpCategory::JunkToJunk,
+            _ => FpCategory::AlignedToJunk,
+        };
+        *fp_by_category.entry(category).or_insert(0) += 1;
+        let examples = fp_examples.entry(category).or_default();
+        if examples.len() < 5 {
+            examples.push(p.clone());
+        }
+    }
+
+    // --- false negatives by reference ---
+    let mut per_reference: BTreeMap<String, (usize, usize, Vec<PropertyPair>)> = BTreeMap::new();
+    for p in &gt {
+        let reference = dataset
+            .alignment_of(&p.0)
+            .expect("gt pairs are aligned")
+            .to_string();
+        let entry = per_reference.entry(reference).or_default();
+        entry.0 += 1;
+        if !predicted.contains(p) {
+            entry.1 += 1;
+            if entry.2.len() < 3 {
+                entry.2.push(p.clone());
+            }
+        }
+    }
+    let mut missed_references: Vec<MissedReference> = per_reference
+        .into_iter()
+        .filter(|(_, (_, missed, _))| *missed > 0)
+        .map(|(reference, (total_pairs, missed_pairs, examples))| MissedReference {
+            reference,
+            total_pairs,
+            missed_pairs,
+            examples,
+        })
+        .collect();
+    missed_references.sort_by(|a, b| {
+        b.missed_pairs
+            .cmp(&a.missed_pairs)
+            .then(a.reference.cmp(&b.reference))
+    });
+
+    ErrorReport {
+        metrics,
+        fp_by_category,
+        fp_examples,
+        missed_references,
+    }
+}
+
+impl ErrorReport {
+    /// Human-readable rendering.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        writeln!(out, "{}", self.metrics).unwrap();
+        writeln!(out, "\nfalse positives by category:").unwrap();
+        for (cat, count) in &self.fp_by_category {
+            writeln!(out, "  {:<28} {count}", cat.name()).unwrap();
+            if let Some(examples) = self.fp_examples.get(cat) {
+                for e in examples.iter().take(3) {
+                    writeln!(out, "      e.g. {} || {}", e.0, e.1).unwrap();
+                }
+            }
+        }
+        writeln!(out, "\nhardest reference properties (missed pairs):").unwrap();
+        for m in self.missed_references.iter().take(10) {
+            writeln!(
+                out,
+                "  {:<28} {}/{} missed",
+                m.reference, m.missed_pairs, m.total_pairs
+            )
+            .unwrap();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leapme_data::model::{PropertyKey, SourceId};
+    use std::collections::BTreeMap as Map;
+
+    fn key(s: u16, n: &str) -> PropertyKey {
+        PropertyKey::new(SourceId(s), n)
+    }
+
+    fn pair(a: u16, an: &str, b: u16, bn: &str) -> PropertyPair {
+        PropertyPair::new(key(a, an), key(b, bn))
+    }
+
+    fn dataset() -> Dataset {
+        let mut alignment = Map::new();
+        alignment.insert(key(0, "mp"), "resolution".to_string());
+        alignment.insert(key(1, "res"), "resolution".to_string());
+        alignment.insert(key(2, "pixels"), "resolution".to_string());
+        alignment.insert(key(0, "weight"), "weight".to_string());
+        alignment.insert(key(1, "wt"), "weight".to_string());
+        Dataset::new(
+            "toy",
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![],
+            alignment,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn categorizes_false_positives() {
+        let ds = dataset();
+        let candidates = vec![
+            pair(0, "mp", 1, "res"),      // tp
+            pair(0, "mp", 1, "wt"),       // fp: cross-reference
+            pair(0, "mp", 1, "junk1"),    // fp: aligned × junk
+            pair(0, "junk0", 1, "junk1"), // fp: junk × junk
+            pair(0, "weight", 1, "wt"),   // fn if not predicted
+            pair(1, "res", 2, "pixels"),  // fn
+        ];
+        let predicted: BTreeSet<PropertyPair> = [
+            pair(0, "mp", 1, "res"),
+            pair(0, "mp", 1, "wt"),
+            pair(0, "mp", 1, "junk1"),
+            pair(0, "junk0", 1, "junk1"),
+        ]
+        .into();
+        let report = analyze(&ds, &predicted, &candidates);
+        assert_eq!(report.metrics.tp, 1);
+        assert_eq!(report.metrics.fp, 3);
+        assert_eq!(report.metrics.fn_, 2);
+        assert_eq!(report.fp_by_category[&FpCategory::CrossReference], 1);
+        assert_eq!(report.fp_by_category[&FpCategory::AlignedToJunk], 1);
+        assert_eq!(report.fp_by_category[&FpCategory::JunkToJunk], 1);
+    }
+
+    #[test]
+    fn groups_false_negatives_by_reference() {
+        let ds = dataset();
+        let candidates = vec![
+            pair(0, "mp", 1, "res"),
+            pair(1, "res", 2, "pixels"),
+            pair(0, "mp", 2, "pixels"),
+            pair(0, "weight", 1, "wt"),
+        ];
+        let predicted: BTreeSet<PropertyPair> = [pair(0, "mp", 1, "res")].into();
+        let report = analyze(&ds, &predicted, &candidates);
+        // resolution: 3 pairs, 2 missed; weight: 1 pair, 1 missed.
+        assert_eq!(report.missed_references.len(), 2);
+        assert_eq!(report.missed_references[0].reference, "resolution");
+        assert_eq!(report.missed_references[0].missed_pairs, 2);
+        assert_eq!(report.missed_references[0].total_pairs, 3);
+        assert_eq!(report.missed_references[1].reference, "weight");
+    }
+
+    #[test]
+    fn perfect_prediction_has_no_errors() {
+        let ds = dataset();
+        let candidates = vec![pair(0, "mp", 1, "res"), pair(0, "junk0", 1, "junk1")];
+        let predicted: BTreeSet<PropertyPair> = [pair(0, "mp", 1, "res")].into();
+        let report = analyze(&ds, &predicted, &candidates);
+        assert_eq!(report.metrics.f1, 1.0);
+        assert!(report.fp_by_category.is_empty());
+        assert!(report.missed_references.is_empty());
+    }
+
+    #[test]
+    fn text_rendering() {
+        let ds = dataset();
+        let candidates = vec![pair(0, "mp", 1, "wt"), pair(0, "mp", 1, "res")];
+        let predicted: BTreeSet<PropertyPair> = [pair(0, "mp", 1, "wt")].into();
+        let report = analyze(&ds, &predicted, &candidates);
+        let text = report.to_text();
+        assert!(text.contains("cross-reference confusion"));
+        assert!(text.contains("resolution"));
+    }
+}

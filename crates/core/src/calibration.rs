@@ -1,0 +1,172 @@
+//! Probability calibration of similarity scores.
+//!
+//! LEAPME's output doubles as a similarity score consumed by downstream
+//! clustering/fusion (paper §IV-D), so it matters whether a score of 0.8
+//! really means ≈80% match probability. This module measures calibration
+//! with the standard tools — reliability bins, expected calibration error
+//! (ECE), and the Brier score — over scored, labeled pairs.
+
+use serde::{Deserialize, Serialize};
+
+/// One reliability bin.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityBin {
+    /// Inclusive lower bound of the score range.
+    pub lo: f32,
+    /// Exclusive upper bound (inclusive for the last bin).
+    pub hi: f32,
+    /// Samples in the bin.
+    pub count: usize,
+    /// Mean predicted score in the bin.
+    pub mean_score: f64,
+    /// Empirical positive rate in the bin.
+    pub positive_rate: f64,
+}
+
+/// Calibration report over scored pairs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CalibrationReport {
+    /// The reliability bins (equal-width over `[0, 1]`).
+    pub bins: Vec<ReliabilityBin>,
+    /// Expected calibration error: Σ (count/n)·|positive_rate − mean_score|.
+    pub ece: f64,
+    /// Brier score: mean squared error of the probabilities.
+    pub brier: f64,
+    /// Total samples.
+    pub samples: usize,
+}
+
+/// Build a calibration report with `n_bins` equal-width bins.
+///
+/// Returns `None` for empty input or `n_bins == 0`. Non-finite scores are
+/// dropped; scores are clamped to `[0, 1]`.
+pub fn calibration_report(scored: &[(f32, bool)], n_bins: usize) -> Option<CalibrationReport> {
+    if n_bins == 0 {
+        return None;
+    }
+    let samples: Vec<(f32, bool)> = scored
+        .iter()
+        .filter(|(s, _)| s.is_finite())
+        .map(|&(s, y)| (s.clamp(0.0, 1.0), y))
+        .collect();
+    if samples.is_empty() {
+        return None;
+    }
+
+    let mut counts = vec![0usize; n_bins];
+    let mut score_sums = vec![0.0f64; n_bins];
+    let mut positives = vec![0usize; n_bins];
+    for &(s, y) in &samples {
+        let mut b = (s as f64 * n_bins as f64) as usize;
+        if b >= n_bins {
+            b = n_bins - 1; // s == 1.0
+        }
+        counts[b] += 1;
+        score_sums[b] += s as f64;
+        if y {
+            positives[b] += 1;
+        }
+    }
+
+    let n = samples.len() as f64;
+    let mut bins = Vec::with_capacity(n_bins);
+    let mut ece = 0.0;
+    for b in 0..n_bins {
+        let count = counts[b];
+        let mean_score = if count > 0 {
+            score_sums[b] / count as f64
+        } else {
+            0.0
+        };
+        let positive_rate = if count > 0 {
+            positives[b] as f64 / count as f64
+        } else {
+            0.0
+        };
+        if count > 0 {
+            ece += (count as f64 / n) * (positive_rate - mean_score).abs();
+        }
+        bins.push(ReliabilityBin {
+            lo: b as f32 / n_bins as f32,
+            hi: (b + 1) as f32 / n_bins as f32,
+            count,
+            mean_score,
+            positive_rate,
+        });
+    }
+
+    let brier = samples
+        .iter()
+        .map(|&(s, y)| {
+            let target = if y { 1.0 } else { 0.0 };
+            (s as f64 - target).powi(2)
+        })
+        .sum::<f64>()
+        / n;
+
+    Some(CalibrationReport {
+        bins,
+        ece,
+        brier,
+        samples: samples.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_calibrated_scores() {
+        // Score 0.25 with 25% positives, score 0.75 with 75% positives.
+        let mut scored = Vec::new();
+        for i in 0..100 {
+            scored.push((0.25f32, i % 4 == 0));
+            scored.push((0.75f32, i % 4 != 0));
+        }
+        let r = calibration_report(&scored, 4).unwrap();
+        assert!(r.ece < 1e-9, "ece {}", r.ece);
+        // Brier = mean of p(1-p) style errors: 0.25²·… check value.
+        // For (0.25, 25%): 0.25·(0.75)² + 0.75·(0.25)² = 0.1875.
+        assert!((r.brier - 0.1875).abs() < 1e-9);
+        assert_eq!(r.samples, 200);
+    }
+
+    #[test]
+    fn overconfident_scores_have_high_ece() {
+        // Everything scored 0.99 but only half are positive.
+        let scored: Vec<(f32, bool)> = (0..100).map(|i| (0.99, i % 2 == 0)).collect();
+        let r = calibration_report(&scored, 10).unwrap();
+        assert!(r.ece > 0.4, "ece {}", r.ece);
+        assert!(r.brier > 0.2);
+    }
+
+    #[test]
+    fn bins_cover_unit_interval() {
+        let scored = vec![(0.0f32, false), (0.5, true), (1.0, true)];
+        let r = calibration_report(&scored, 5).unwrap();
+        assert_eq!(r.bins.len(), 5);
+        assert_eq!(r.bins[0].lo, 0.0);
+        assert_eq!(r.bins[4].hi, 1.0);
+        // 1.0 lands in the last bin.
+        assert_eq!(r.bins[4].count, 1);
+        let total: usize = r.bins.iter().map(|b| b.count).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(calibration_report(&[], 10).is_none());
+        assert!(calibration_report(&[(0.5, true)], 0).is_none());
+        // NaN-only input collapses to empty.
+        assert!(calibration_report(&[(f32::NAN, true)], 10).is_none());
+    }
+
+    #[test]
+    fn out_of_range_scores_clamped() {
+        let r = calibration_report(&[(1.7, true), (-0.3, false)], 2).unwrap();
+        assert_eq!(r.samples, 2);
+        assert_eq!(r.bins[1].count, 1); // clamped 1.0
+        assert_eq!(r.bins[0].count, 1); // clamped 0.0
+    }
+}

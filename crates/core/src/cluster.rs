@@ -1,0 +1,294 @@
+//! Property clustering over the similarity graph (paper §VI future work).
+//!
+//! The paper proposes deriving clusters of equivalent properties from the
+//! pairwise match results so all matching properties across sources can
+//! be fused. Two standard strategies are provided:
+//!
+//! * [`connected_components`] — transitive closure of above-threshold
+//!   edges: simple, high recall, but one spurious edge merges clusters;
+//! * [`star_clustering`] — greedy center-based clustering: pick the node
+//!   with the highest aggregate similarity as a center, absorb its
+//!   above-threshold neighbors, repeat. More robust to single bad edges.
+
+use crate::simgraph::SimilarityGraph;
+use leapme_data::model::{Dataset, PropertyKey};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A partition of properties into clusters (each sorted; singletons kept).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    clusters: Vec<Vec<PropertyKey>>,
+}
+
+impl Clustering {
+    fn from_groups(mut groups: Vec<Vec<PropertyKey>>) -> Self {
+        for g in &mut groups {
+            g.sort();
+        }
+        groups.sort();
+        Clustering { clusters: groups }
+    }
+
+    /// The clusters, each sorted, in deterministic order.
+    pub fn clusters(&self) -> &[Vec<PropertyKey>] {
+        &self.clusters
+    }
+
+    /// Number of clusters (including singletons).
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether there are no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Clusters with at least two members (the actionable ones).
+    pub fn non_trivial(&self) -> impl Iterator<Item = &Vec<PropertyKey>> + '_ {
+        self.clusters.iter().filter(|c| c.len() > 1)
+    }
+
+    /// Cluster index of a property, if present.
+    pub fn cluster_of(&self, key: &PropertyKey) -> Option<usize> {
+        self.clusters
+            .iter()
+            .position(|c| c.binary_search(key).is_ok())
+    }
+
+    /// Pairwise precision/recall/F1 of the clustering against a dataset's
+    /// ground truth, evaluated over cross-source co-clustered pairs.
+    pub fn pairwise_metrics(&self, dataset: &Dataset) -> crate::metrics::Metrics {
+        use leapme_data::model::PropertyPair;
+        let mut predicted: BTreeSet<PropertyPair> = BTreeSet::new();
+        for c in &self.clusters {
+            for (i, a) in c.iter().enumerate() {
+                for b in &c[i + 1..] {
+                    if a.source != b.source {
+                        predicted.insert(PropertyPair::new(a.clone(), b.clone()));
+                    }
+                }
+            }
+        }
+        // Restrict ground truth to properties present in the clustering.
+        let members: BTreeSet<&PropertyKey> = self.clusters.iter().flatten().collect();
+        let actual: BTreeSet<PropertyPair> = dataset
+            .ground_truth_pairs()
+            .into_iter()
+            .filter(|PropertyPair(a, b)| members.contains(a) && members.contains(b))
+            .collect();
+        crate::metrics::Metrics::from_sets(&predicted, &actual)
+    }
+}
+
+/// Union–find over property keys.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Connected components of the graph restricted to edges with score ≥
+/// `threshold`.
+pub fn connected_components(graph: &SimilarityGraph, threshold: f32) -> Clustering {
+    let nodes: Vec<PropertyKey> = graph.nodes().into_iter().collect();
+    let index: BTreeMap<&PropertyKey, usize> =
+        nodes.iter().enumerate().map(|(i, k)| (k, i)).collect();
+    let mut dsu = Dsu::new(nodes.len());
+    for (pair, score) in graph.iter() {
+        if score >= threshold {
+            dsu.union(index[&pair.0], index[&pair.1]);
+        }
+    }
+    let mut groups: BTreeMap<usize, Vec<PropertyKey>> = BTreeMap::new();
+    for (i, key) in nodes.iter().enumerate() {
+        groups.entry(dsu.find(i)).or_default().push(key.clone());
+    }
+    Clustering::from_groups(groups.into_values().collect())
+}
+
+/// Greedy star clustering: repeatedly select the unassigned node with the
+/// highest summed similarity over its unassigned above-threshold
+/// neighbors, make it a center, and assign those neighbors to it.
+pub fn star_clustering(graph: &SimilarityGraph, threshold: f32) -> Clustering {
+    let nodes: Vec<PropertyKey> = graph.nodes().into_iter().collect();
+    let mut assigned: BTreeSet<PropertyKey> = BTreeSet::new();
+    let mut groups: Vec<Vec<PropertyKey>> = Vec::new();
+
+    loop {
+        // Pick the best remaining center.
+        let mut best: Option<(&PropertyKey, f64)> = None;
+        for node in &nodes {
+            if assigned.contains(node) {
+                continue;
+            }
+            let weight: f64 = graph
+                .neighbors(node, threshold)
+                .into_iter()
+                .filter(|(n, _)| !assigned.contains(n))
+                .map(|(_, s)| s as f64)
+                .sum();
+            match best {
+                Some((_, w)) if w >= weight => {}
+                _ => best = Some((node, weight)),
+            }
+        }
+        let Some((center, weight)) = best else { break };
+        let mut cluster = vec![center.clone()];
+        if weight > 0.0 {
+            for (n, _) in graph.neighbors(center, threshold) {
+                if !assigned.contains(&n) {
+                    cluster.push(n);
+                }
+            }
+        }
+        for m in &cluster {
+            assigned.insert(m.clone());
+        }
+        groups.push(cluster);
+    }
+    Clustering::from_groups(groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leapme_data::model::{PropertyPair, SourceId};
+
+    fn key(s: u16, n: &str) -> PropertyKey {
+        PropertyKey::new(SourceId(s), n)
+    }
+
+    fn pair(a: u16, an: &str, b: u16, bn: &str) -> PropertyPair {
+        PropertyPair::new(key(a, an), key(b, bn))
+    }
+
+    fn chain_graph() -> SimilarityGraph {
+        // a0 — b1 — c2 chain plus isolated-ish d3 edge below threshold.
+        [
+            (pair(0, "a", 1, "b"), 0.9f32),
+            (pair(1, "b", 2, "c"), 0.8),
+            (pair(2, "c", 3, "d"), 0.2),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn components_respect_threshold() {
+        let g = chain_graph();
+        let c = connected_components(&g, 0.5);
+        // {a,b,c} together, {d} alone.
+        assert_eq!(c.len(), 2);
+        let big = c.clusters().iter().find(|cl| cl.len() == 3).unwrap();
+        assert!(big.contains(&key(0, "a")));
+        assert!(big.contains(&key(2, "c")));
+        assert_eq!(c.cluster_of(&key(3, "d")), c.cluster_of(&key(3, "d")));
+        assert_ne!(c.cluster_of(&key(3, "d")), c.cluster_of(&key(0, "a")));
+    }
+
+    #[test]
+    fn low_threshold_merges_everything() {
+        let g = chain_graph();
+        let c = connected_components(&g, 0.1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.clusters()[0].len(), 4);
+    }
+
+    #[test]
+    fn high_threshold_all_singletons() {
+        let g = chain_graph();
+        let c = connected_components(&g, 0.95);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.non_trivial().count(), 0);
+    }
+
+    #[test]
+    fn star_clustering_splits_weak_chains() {
+        // Star: center x1 strongly tied to a0 and b2; chain link from b2 to
+        // far c3 is weaker. Star should pick x as a center and keep c out.
+        let g: SimilarityGraph = [
+            (pair(1, "x", 0, "a"), 0.9f32),
+            (pair(1, "x", 2, "b"), 0.9),
+            (pair(2, "b", 3, "c"), 0.55),
+        ]
+        .into_iter()
+        .collect();
+        let c = star_clustering(&g, 0.5);
+        let star = c.clusters().iter().find(|cl| cl.len() == 3).unwrap();
+        assert!(star.contains(&key(1, "x")));
+        // c ends up in its own cluster: its only neighbor b is taken.
+        assert_eq!(c.cluster_of(&key(3, "c")).map(|i| c.clusters()[i].len()), Some(1));
+        // Connected components would have merged all four.
+        assert_eq!(connected_components(&g, 0.5).len(), 1);
+    }
+
+    #[test]
+    fn star_clustering_covers_all_nodes() {
+        let g = chain_graph();
+        let c = star_clustering(&g, 0.5);
+        let total: usize = c.clusters().iter().map(Vec::len).sum();
+        assert_eq!(total, g.nodes().len());
+    }
+
+    #[test]
+    fn empty_graph_empty_clustering() {
+        let g = SimilarityGraph::new();
+        assert!(connected_components(&g, 0.5).is_empty());
+        assert!(star_clustering(&g, 0.5).is_empty());
+    }
+
+    #[test]
+    fn pairwise_metrics_against_dataset() {
+        use std::collections::BTreeMap;
+        // Dataset: a0/mp and b1/res aligned to same reference; c2/weight different.
+        let instances = vec![];
+        let mut alignment = BTreeMap::new();
+        alignment.insert(key(0, "mp"), "resolution".to_string());
+        alignment.insert(key(1, "res"), "resolution".to_string());
+        alignment.insert(key(2, "weight"), "weight".to_string());
+        let ds = leapme_data::model::Dataset::new(
+            "toy",
+            vec!["a".into(), "b".into(), "c".into()],
+            instances,
+            alignment,
+        )
+        .unwrap();
+
+        // Perfect clustering.
+        let g: SimilarityGraph = [
+            (pair(0, "mp", 1, "res"), 0.9f32),
+            (pair(0, "mp", 2, "weight"), 0.1),
+        ]
+        .into_iter()
+        .collect();
+        let c = connected_components(&g, 0.5);
+        let m = c.pairwise_metrics(&ds);
+        assert_eq!(m.f1, 1.0);
+
+        // Over-merged clustering loses precision.
+        let c_all = connected_components(&g, 0.05);
+        let m2 = c_all.pairwise_metrics(&ds);
+        assert!(m2.precision < 1.0);
+        assert_eq!(m2.recall, 1.0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Schema-level property fusion: turning clusters into a unified schema.
+//!
+//! The paper's motivation (§I, §VI) is knowledge-graph construction:
+//! after equivalent properties are clustered, they must be *fused* into
+//! one property of the integrated schema so entity values from all
+//! sources land in one place. This module derives that unified schema —
+//! canonical names, provenance, and per-property value summaries (with a
+//! numeric profile where values parse as numbers, which downstream unit
+//! reconciliation needs).
+
+use crate::cluster::Clustering;
+use leapme_data::model::{Dataset, PropertyKey, SourceId};
+use leapme_features::instance::numeric_value;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Summary of the numeric values observed for a unified property.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NumericSummary {
+    /// Values that parsed as numbers.
+    pub count: usize,
+    /// Minimum parsed value.
+    pub min: f64,
+    /// Maximum parsed value.
+    pub max: f64,
+    /// Mean parsed value.
+    pub mean: f64,
+}
+
+/// One property of the unified schema.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UnifiedProperty {
+    /// Canonical name: the most frequent normalized member name
+    /// (ties broken lexicographically).
+    pub canonical_name: String,
+    /// The source-local properties fused into this one.
+    pub members: Vec<PropertyKey>,
+    /// Sources contributing to the property.
+    pub sources: BTreeSet<SourceId>,
+    /// Total instances across members.
+    pub instance_count: usize,
+    /// Up to [`SAMPLE_VALUES`] distinct example values.
+    pub sample_values: Vec<String>,
+    /// Numeric profile over values that parse as numbers (`None` when
+    /// fewer than half of them do).
+    pub numeric: Option<NumericSummary>,
+}
+
+/// Number of sample values retained per unified property.
+pub const SAMPLE_VALUES: usize = 8;
+
+/// The unified schema derived from a clustering.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UnifiedSchema {
+    /// Unified properties, largest clusters first.
+    pub properties: Vec<UnifiedProperty>,
+    /// Properties that stayed singletons (source-specific).
+    pub singletons: Vec<PropertyKey>,
+}
+
+/// Normalize a property name for canonical-name voting.
+fn normalize(name: &str) -> String {
+    leapme_embedding::tokenize::tokenize(name).join(" ")
+}
+
+/// Fuse a clustering over `dataset` into a unified schema.
+pub fn fuse(dataset: &Dataset, clustering: &Clustering) -> UnifiedSchema {
+    let mut properties = Vec::new();
+    let mut singletons = Vec::new();
+
+    for cluster in clustering.clusters() {
+        if cluster.len() < 2 {
+            singletons.extend(cluster.iter().cloned());
+            continue;
+        }
+
+        // Canonical name by majority over normalized names.
+        let mut votes: BTreeMap<String, usize> = BTreeMap::new();
+        for key in cluster {
+            let n = normalize(&key.name);
+            if !n.is_empty() {
+                *votes.entry(n).or_insert(0) += 1;
+            }
+        }
+        let canonical_name = votes
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(n, _)| n.clone())
+            .unwrap_or_else(|| "unnamed".to_string());
+
+        // Collect values.
+        let mut sample_values: Vec<String> = Vec::new();
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut numeric_values: Vec<f64> = Vec::new();
+        let mut instance_count = 0usize;
+        for key in cluster {
+            for inst in dataset.instances_of(key) {
+                instance_count += 1;
+                let v = numeric_value(&inst.value);
+                if v != -1.0 {
+                    numeric_values.push(v);
+                }
+                if sample_values.len() < SAMPLE_VALUES && seen.insert(inst.value.as_str()) {
+                    sample_values.push(inst.value.clone());
+                }
+            }
+        }
+        let numeric = if instance_count > 0 && numeric_values.len() * 2 >= instance_count {
+            let count = numeric_values.len();
+            let min = numeric_values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = numeric_values
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max);
+            let mean = numeric_values.iter().sum::<f64>() / count as f64;
+            Some(NumericSummary {
+                count,
+                min,
+                max,
+                mean,
+            })
+        } else {
+            None
+        };
+
+        properties.push(UnifiedProperty {
+            canonical_name,
+            sources: cluster.iter().map(|k| k.source).collect(),
+            members: cluster.clone(),
+            instance_count,
+            sample_values,
+            numeric,
+        });
+    }
+
+    properties.sort_by(|a, b| {
+        b.members
+            .len()
+            .cmp(&a.members.len())
+            .then(a.canonical_name.cmp(&b.canonical_name))
+    });
+    UnifiedSchema {
+        properties,
+        singletons,
+    }
+}
+
+impl UnifiedSchema {
+    /// Human-readable rendering for reports and the CLI.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "unified schema: {} fused properties, {} singletons",
+            self.properties.len(),
+            self.singletons.len()
+        )
+        .unwrap();
+        for p in &self.properties {
+            writeln!(
+                out,
+                "── {} ({} members from {} sources, {} instances)",
+                p.canonical_name,
+                p.members.len(),
+                p.sources.len(),
+                p.instance_count
+            )
+            .unwrap();
+            if let Some(n) = &p.numeric {
+                writeln!(
+                    out,
+                    "   numeric: min {:.2}, max {:.2}, mean {:.2} over {} values",
+                    n.min, n.max, n.mean, n.count
+                )
+                .unwrap();
+            }
+            if !p.sample_values.is_empty() {
+                writeln!(out, "   samples: {}", p.sample_values.join(" | ")).unwrap();
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::connected_components;
+    use crate::simgraph::SimilarityGraph;
+    use leapme_data::model::{Instance, PropertyPair};
+    use std::collections::BTreeMap;
+
+    fn key(s: u16, n: &str) -> PropertyKey {
+        PropertyKey::new(SourceId(s), n)
+    }
+
+    fn dataset() -> Dataset {
+        let mk = |s: u16, p: &str, e: &str, v: &str| Instance {
+            source: SourceId(s),
+            property: p.into(),
+            entity: e.into(),
+            value: v.into(),
+        };
+        Dataset::new(
+            "toy",
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![
+                mk(0, "weight", "e1", "200"),
+                mk(0, "weight", "e2", "300"),
+                mk(1, "Weight", "x1", "250"),
+                mk(2, "item_weight", "z1", "not numeric"),
+                mk(0, "color", "e1", "black"),
+                mk(1, "colour", "x1", "silver"),
+            ],
+            BTreeMap::new(),
+        )
+        .unwrap()
+    }
+
+    fn clustering() -> Clustering {
+        let g: SimilarityGraph = [
+            (PropertyPair::new(key(0, "weight"), key(1, "Weight")), 0.9f32),
+            (PropertyPair::new(key(1, "Weight"), key(2, "item_weight")), 0.8),
+            (PropertyPair::new(key(0, "color"), key(1, "colour")), 0.9),
+        ]
+        .into_iter()
+        .collect();
+        connected_components(&g, 0.5)
+    }
+
+    #[test]
+    fn fuses_clusters_into_unified_properties() {
+        let schema = fuse(&dataset(), &clustering());
+        assert_eq!(schema.properties.len(), 2);
+        assert!(schema.singletons.is_empty());
+        // Largest cluster first.
+        let weight = &schema.properties[0];
+        assert_eq!(weight.members.len(), 3);
+        assert_eq!(weight.canonical_name, "weight"); // 2 of 3 normalize to "weight"
+        assert_eq!(weight.sources.len(), 3);
+        assert_eq!(weight.instance_count, 4);
+    }
+
+    #[test]
+    fn numeric_summary_when_majority_numeric() {
+        let schema = fuse(&dataset(), &clustering());
+        let weight = &schema.properties[0];
+        let n = weight.numeric.expect("3 of 4 values are numeric");
+        assert_eq!(n.count, 3);
+        assert_eq!(n.min, 200.0);
+        assert_eq!(n.max, 300.0);
+        assert!((n.mean - 250.0).abs() < 1e-12);
+        // The color cluster is non-numeric.
+        let color = &schema.properties[1];
+        assert!(color.numeric.is_none());
+    }
+
+    #[test]
+    fn sample_values_are_distinct_and_capped() {
+        let schema = fuse(&dataset(), &clustering());
+        let weight = &schema.properties[0];
+        let set: BTreeSet<&String> = weight.sample_values.iter().collect();
+        assert_eq!(set.len(), weight.sample_values.len());
+        assert!(weight.sample_values.len() <= SAMPLE_VALUES);
+    }
+
+    #[test]
+    fn singletons_are_kept_separate() {
+        // A graph with an isolated node: property with no match.
+        let g: SimilarityGraph = [
+            (PropertyPair::new(key(0, "weight"), key(1, "Weight")), 0.9f32),
+            (PropertyPair::new(key(0, "color"), key(2, "item_weight")), 0.1),
+        ]
+        .into_iter()
+        .collect();
+        let c = connected_components(&g, 0.5);
+        let schema = fuse(&dataset(), &c);
+        assert_eq!(schema.properties.len(), 1);
+        assert_eq!(schema.singletons.len(), 2); // color and item_weight
+    }
+
+    #[test]
+    fn text_rendering_mentions_everything() {
+        let schema = fuse(&dataset(), &clustering());
+        let text = schema.to_text();
+        assert!(text.contains("unified schema: 2 fused properties"));
+        assert!(text.contains("weight"));
+        assert!(text.contains("numeric: min 200.00"));
+        assert!(text.contains("samples:"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let schema = fuse(&dataset(), &clustering());
+        let json = serde_json::to_string(&schema).unwrap();
+        let back: UnifiedSchema = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.properties.len(), schema.properties.len());
+        assert_eq!(
+            back.properties[0].canonical_name,
+            schema.properties[0].canonical_name
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Incremental multi-source matching: integrating a *new* source into an
+//! existing similarity graph.
+//!
+//! The paper positions LEAPME inside knowledge-graph construction
+//! pipelines that grow over time (§I, §VI): when a new source arrives,
+//! its properties must be matched against the already-integrated ones
+//! without re-scoring the whole graph. [`integrate_source`] scores only
+//! the pairs touching the new source, merges them into the graph, and
+//! reports how the new properties attach to existing clusters.
+
+use crate::cluster::{star_clustering, Clustering};
+use crate::pipeline::LeapmeModel;
+use crate::simgraph::SimilarityGraph;
+use crate::CoreError;
+use leapme_data::model::{Dataset, PropertyKey, PropertyPair, SourceId};
+use leapme_features::PropertyFeatureStore;
+
+/// Result of integrating one new source.
+#[derive(Debug, Clone)]
+pub struct IntegrationOutcome {
+    /// Pairs scored (new source × existing properties).
+    pub scored_pairs: usize,
+    /// New-source properties that matched at least one existing property
+    /// at the model threshold.
+    pub attached: Vec<PropertyKey>,
+    /// New-source properties with no match — candidate *new* reference
+    /// properties for the knowledge graph.
+    pub novel: Vec<PropertyKey>,
+    /// Clustering of the updated graph.
+    pub clustering: Clustering,
+}
+
+/// Score the new source's properties against every property already in
+/// `graph`, merge the scored edges into `graph`, and re-cluster.
+///
+/// `store` must contain features for both the existing and the new
+/// properties (build it over the dataset that already includes the new
+/// source).
+pub fn integrate_source(
+    model: &LeapmeModel,
+    store: &PropertyFeatureStore,
+    dataset: &Dataset,
+    graph: &mut SimilarityGraph,
+    new_source: SourceId,
+) -> Result<IntegrationOutcome, CoreError> {
+    let new_props: Vec<PropertyKey> = dataset
+        .properties()
+        .into_iter()
+        .filter(|p| p.source == new_source)
+        .collect();
+    if new_props.is_empty() {
+        return Err(CoreError::InvalidSplit(format!(
+            "source {} has no properties",
+            new_source.0
+        )));
+    }
+    let existing: Vec<PropertyKey> = graph
+        .nodes()
+        .into_iter()
+        .filter(|p| p.source != new_source)
+        .collect();
+
+    let pairs: Vec<PropertyPair> = new_props
+        .iter()
+        .flat_map(|np| {
+            existing
+                .iter()
+                .filter(|ep| ep.source != np.source)
+                .map(|ep| PropertyPair::new(np.clone(), ep.clone()))
+        })
+        .collect();
+
+    let scores = model.score_pairs(store, &pairs)?;
+    let threshold = model.threshold();
+    let mut attached_set = std::collections::BTreeSet::new();
+    for (pair, score) in pairs.iter().zip(&scores) {
+        graph.add(pair.clone(), *score);
+        if *score >= threshold {
+            let PropertyPair(a, b) = pair;
+            let newp = if a.source == new_source { a } else { b };
+            attached_set.insert(newp.clone());
+        }
+    }
+
+    let novel: Vec<PropertyKey> = new_props
+        .iter()
+        .filter(|p| !attached_set.contains(*p))
+        .cloned()
+        .collect();
+    let clustering = star_clustering(graph, threshold);
+
+    Ok(IntegrationOutcome {
+        scored_pairs: pairs.len(),
+        attached: attached_set.into_iter().collect(),
+        novel,
+        clustering,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Leapme, LeapmeConfig};
+    use crate::sampling;
+    use leapme_data::corpus::{generate_corpus, CorpusConfig};
+    use leapme_data::domains::{generate, Domain};
+    use leapme_embedding::cooccur::CooccurrenceMatrix;
+    use leapme_embedding::glove::{train as glove_train, GloVeConfig};
+    use leapme_embedding::store::EmbeddingStore;
+    use leapme_embedding::vocab::Vocab;
+    use leapme_nn::network::TrainConfig;
+    use leapme_nn::schedule::LrSchedule;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn embeddings(domain: Domain) -> EmbeddingStore {
+        let corpus = generate_corpus(
+            &domain.spec(),
+            &CorpusConfig {
+                sentences_per_synonym: 8,
+                filler_sentences: 30,
+            },
+            3,
+        );
+        let vocab = Vocab::build(corpus.iter().flatten().map(String::as_str), 2);
+        let cooc = CooccurrenceMatrix::from_sentences(&vocab, &corpus, 5);
+        glove_train(
+            &vocab,
+            &cooc,
+            &GloVeConfig {
+                dim: 16,
+                epochs: 8,
+                ..GloVeConfig::default()
+            },
+            3,
+        )
+        .unwrap()
+    }
+
+    /// Train on sources 0..5, seed the graph with their pairs, then
+    /// integrate source 6.
+    fn setup() -> (
+        Dataset,
+        PropertyFeatureStore,
+        LeapmeModel,
+        SimilarityGraph,
+    ) {
+        let dataset = generate(Domain::Tvs, 61);
+        let store = PropertyFeatureStore::build(&dataset, &embeddings(Domain::Tvs));
+        let train_sources: Vec<SourceId> = (0..6).map(SourceId).collect();
+        let mut rng = StdRng::seed_from_u64(61);
+        let train = sampling::training_pairs(&dataset, &train_sources, 2, &mut rng);
+        let cfg = LeapmeConfig {
+            train: TrainConfig {
+                schedule: LrSchedule::new(vec![(6, 1e-3)]),
+                ..TrainConfig::default()
+            },
+            hidden: vec![24],
+            ..LeapmeConfig::default()
+        };
+        let model = Leapme::fit(&store, &train, &cfg).unwrap();
+        // Seed graph: scored pairs among the training sources.
+        let base_pairs = dataset.cross_source_pairs(&train_sources);
+        let graph = model.predict_graph(&store, &base_pairs).unwrap();
+        (dataset, store, model, graph)
+    }
+
+    #[test]
+    fn integrates_new_source() {
+        let (dataset, store, model, mut graph) = setup();
+        let before = graph.len();
+        let out =
+            integrate_source(&model, &store, &dataset, &mut graph, SourceId(6)).unwrap();
+        assert!(out.scored_pairs > 0);
+        assert_eq!(graph.len(), before + out.scored_pairs);
+        // Most aligned properties should attach to something.
+        assert!(!out.attached.is_empty(), "nothing attached");
+        // All attached/novel properties belong to the new source.
+        for p in out.attached.iter().chain(&out.novel) {
+            assert_eq!(p.source, SourceId(6));
+        }
+        // Attached ∪ novel = all new-source properties.
+        let total = out.attached.len() + out.novel.len();
+        let expected = dataset
+            .properties()
+            .iter()
+            .filter(|p| p.source == SourceId(6))
+            .count();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn attached_properties_are_mostly_correct() {
+        let (dataset, store, model, mut graph) = setup();
+        let out =
+            integrate_source(&model, &store, &dataset, &mut graph, SourceId(6)).unwrap();
+        // For attached properties, check the cluster actually contains a
+        // same-reference partner more often than not.
+        let mut good = 0;
+        let mut bad = 0;
+        for p in &out.attached {
+            let Some(reference) = dataset.alignment_of(p) else {
+                bad += 1;
+                continue;
+            };
+            let idx = out.clustering.cluster_of(p).unwrap();
+            let cluster = &out.clustering.clusters()[idx];
+            let has_partner = cluster.iter().any(|q| {
+                q != p && dataset.alignment_of(q) == Some(reference)
+            });
+            if has_partner {
+                good += 1;
+            } else {
+                bad += 1;
+            }
+        }
+        assert!(
+            good > bad,
+            "attachment quality too low: {good} good vs {bad} bad"
+        );
+    }
+
+    #[test]
+    fn unknown_source_is_error() {
+        let (dataset, store, model, mut graph) = setup();
+        let err = integrate_source(&model, &store, &dataset, &mut graph, SourceId(99));
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! LEAPME core: the learning-based property-matching pipeline.
+//!
+//! This crate implements Algorithm 1 of the paper on top of the
+//! substrates:
+//!
+//! * [`pipeline`] — [`pipeline::Leapme`] ties feature extraction
+//!   (`leapme-features`), the dense classifier (`leapme-nn`), and feature
+//!   standardization together: `fit` on labeled property pairs,
+//!   `predict` a [`simgraph::SimilarityGraph`] over unlabeled pairs.
+//! * [`sampling`] — the paper's evaluation protocol (§V-B): source-level
+//!   train/test splits, training pairs restricted to pairs *within*
+//!   training sources, 2 negatives sampled per positive.
+//! * [`metrics`] — precision / recall / F1 plus mean ± std aggregation
+//!   over repetitions.
+//! * [`simgraph`] — the similarity graph of scored property pairs the
+//!   paper produces for downstream fusion.
+//! * [`cluster`] — property clustering over the similarity graph
+//!   (connected components and star clustering), the paper's stated
+//!   future-work extension (§VI).
+//! * [`runner`] — repeated randomized evaluation (the paper runs 25
+//!   random source combinations per cell of Table II), parallelized
+//!   across repetitions.
+//! * [`transfer`] — cross-domain transfer-learning evaluation (train on
+//!   one product domain, test on another), mentioned in §V.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use leapme_core::pipeline::{Leapme, LeapmeConfig};
+//! use leapme_core::sampling;
+//! use leapme_data::domains::{generate, Domain};
+//! use leapme_embedding::store::EmbeddingStore;
+//! use leapme_features::PropertyFeatureStore;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let dataset = generate(Domain::Headphones, 1);
+//! let embeddings = EmbeddingStore::new(50); // or train with leapme-embedding
+//! let store = PropertyFeatureStore::build(&dataset, &embeddings);
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let split = sampling::split_sources(dataset.sources().len(), 0.8, &mut rng).unwrap();
+//! let train = sampling::training_pairs(&dataset, &split.train, 2, &mut rng);
+//! let model = Leapme::fit(&store, &train, &LeapmeConfig::default()).unwrap();
+//!
+//! let test = sampling::test_pairs(&dataset, &split.train);
+//! let graph = model.predict_graph(&store, &test).unwrap();
+//! println!("{} matches", graph.matches(0.5).len());
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod blocking;
+pub mod calibration;
+pub mod cluster;
+pub mod fusion;
+pub mod importance;
+pub mod incremental;
+pub mod metrics;
+pub mod pipeline;
+pub mod prcurve;
+pub mod runner;
+pub mod sampling;
+pub mod scaler;
+pub mod simgraph;
+pub mod transfer;
+pub mod tuning;
+
+/// Errors produced by the LEAPME core.
+#[derive(Debug)]
+pub enum CoreError {
+    /// No labeled training pairs were provided.
+    NoTrainingData,
+    /// Not enough sources for the requested split.
+    InvalidSplit(String),
+    /// Feature extraction failed (unknown property).
+    Feature(leapme_features::vectorizer::FeatureError),
+    /// The underlying network failed.
+    Nn(leapme_nn::NnError),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::NoTrainingData => write!(f, "no labeled training pairs"),
+            CoreError::InvalidSplit(msg) => write!(f, "invalid split: {msg}"),
+            CoreError::Feature(e) => write!(f, "feature error: {e}"),
+            CoreError::Nn(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<leapme_features::vectorizer::FeatureError> for CoreError {
+    fn from(e: leapme_features::vectorizer::FeatureError) -> Self {
+        CoreError::Feature(e)
+    }
+}
+
+impl From<leapme_nn::NnError> for CoreError {
+    fn from(e: leapme_nn::NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}

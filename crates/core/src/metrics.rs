@@ -1,0 +1,218 @@
+//! Match-quality metrics: precision, recall, F1, and aggregation.
+//!
+//! The paper reports the standard P/R/F1 over property pairs; Table II
+//! cells are averages over 25 randomized repetitions, which
+//! [`MetricsSummary`] models with mean and standard deviation.
+
+use leapme_data::model::PropertyPair;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Precision / recall / F1 with the underlying confusion counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// Precision `tp / (tp + fp)` (0 when no positives predicted).
+    pub precision: f64,
+    /// Recall `tp / (tp + fn)` (0 when there are no actual positives).
+    pub recall: f64,
+    /// F1 score (harmonic mean; 0 when P + R = 0).
+    pub f1: f64,
+}
+
+impl Metrics {
+    /// Compute metrics from confusion counts.
+    ///
+    /// ```
+    /// use leapme_core::metrics::Metrics;
+    /// let m = Metrics::from_counts(6, 2, 4);
+    /// assert_eq!(m.precision, 0.75);
+    /// assert_eq!(m.recall, 0.6);
+    /// ```
+    pub fn from_counts(tp: usize, fp: usize, fn_: usize) -> Self {
+        let precision = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if tp + fn_ == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Metrics {
+            tp,
+            fp,
+            fn_,
+            precision,
+            recall,
+            f1,
+        }
+    }
+
+    /// Compare a set of predicted matching pairs against the ground truth.
+    ///
+    /// `predicted` are the pairs the matcher calls matches; `actual` is
+    /// the ground-truth set restricted to the evaluated candidate space.
+    pub fn from_sets(predicted: &BTreeSet<PropertyPair>, actual: &BTreeSet<PropertyPair>) -> Self {
+        let tp = predicted.intersection(actual).count();
+        let fp = predicted.len() - tp;
+        let fn_ = actual.len() - tp;
+        Metrics::from_counts(tp, fp, fn_)
+    }
+}
+
+/// Mean ± standard deviation of metrics over repetitions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSummary {
+    /// Number of repetitions aggregated.
+    pub runs: usize,
+    /// Mean precision.
+    pub precision_mean: f64,
+    /// Std-dev of precision.
+    pub precision_std: f64,
+    /// Mean recall.
+    pub recall_mean: f64,
+    /// Std-dev of recall.
+    pub recall_std: f64,
+    /// Mean F1.
+    pub f1_mean: f64,
+    /// Std-dev of F1.
+    pub f1_std: f64,
+}
+
+impl MetricsSummary {
+    /// Aggregate a non-empty slice of per-run metrics.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn aggregate(runs: &[Metrics]) -> Option<Self> {
+        if runs.is_empty() {
+            return None;
+        }
+        let mean_std = |f: fn(&Metrics) -> f64| {
+            let n = runs.len() as f64;
+            let mean = runs.iter().map(f).sum::<f64>() / n;
+            let var = runs.iter().map(|m| (f(m) - mean).powi(2)).sum::<f64>() / n;
+            (mean, var.sqrt())
+        };
+        let (precision_mean, precision_std) = mean_std(|m| m.precision);
+        let (recall_mean, recall_std) = mean_std(|m| m.recall);
+        let (f1_mean, f1_std) = mean_std(|m| m.f1);
+        Some(MetricsSummary {
+            runs: runs.len(),
+            precision_mean,
+            precision_std,
+            recall_mean,
+            recall_std,
+            f1_mean,
+            f1_std,
+        })
+    }
+
+    /// Table-style `P R F1` rendering with two decimals, like the paper.
+    pub fn table_cell(&self) -> String {
+        format!(
+            "{:.2} {:.2} {:.2}",
+            self.precision_mean, self.recall_mean, self.f1_mean
+        )
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "P={:.3} R={:.3} F1={:.3} (tp={} fp={} fn={})",
+            self.precision, self.recall, self.f1, self.tp, self.fp, self.fn_
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leapme_data::model::{PropertyKey, SourceId};
+
+    fn pair(a: u16, an: &str, b: u16, bn: &str) -> PropertyPair {
+        PropertyPair::new(
+            PropertyKey::new(SourceId(a), an),
+            PropertyKey::new(SourceId(b), bn),
+        )
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let m = Metrics::from_counts(10, 0, 0);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn zero_cases() {
+        let m = Metrics::from_counts(0, 0, 0);
+        assert_eq!((m.precision, m.recall, m.f1), (0.0, 0.0, 0.0));
+        let m = Metrics::from_counts(0, 5, 0);
+        assert_eq!(m.precision, 0.0);
+        let m = Metrics::from_counts(0, 0, 5);
+        assert_eq!(m.recall, 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        // tp=6 fp=2 fn=4: P=0.75 R=0.6 F1=2*0.45/1.35
+        let m = Metrics::from_counts(6, 2, 4);
+        assert!((m.precision - 0.75).abs() < 1e-12);
+        assert!((m.recall - 0.6).abs() < 1e-12);
+        assert!((m.f1 - 2.0 * 0.75 * 0.6 / 1.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_sets_counts_overlap() {
+        let predicted: BTreeSet<_> = [pair(0, "a", 1, "x"), pair(0, "b", 1, "y")].into();
+        let actual: BTreeSet<_> = [pair(0, "a", 1, "x"), pair(0, "c", 1, "z")].into();
+        let m = Metrics::from_sets(&predicted, &actual);
+        assert_eq!((m.tp, m.fp, m.fn_), (1, 1, 1));
+        assert_eq!(m.precision, 0.5);
+        assert_eq!(m.recall, 0.5);
+    }
+
+    #[test]
+    fn aggregate_mean_and_std() {
+        let runs = vec![
+            Metrics::from_counts(10, 0, 0), // P=R=F1=1
+            Metrics::from_counts(0, 10, 10), // all zero
+        ];
+        let s = MetricsSummary::aggregate(&runs).unwrap();
+        assert_eq!(s.runs, 2);
+        assert!((s.f1_mean - 0.5).abs() < 1e-12);
+        assert!((s.f1_std - 0.5).abs() < 1e-12);
+        assert!(MetricsSummary::aggregate(&[]).is_none());
+    }
+
+    #[test]
+    fn table_cell_format() {
+        let s = MetricsSummary::aggregate(&[Metrics::from_counts(3, 1, 1)]).unwrap();
+        assert_eq!(s.table_cell(), "0.75 0.75 0.75");
+    }
+
+    #[test]
+    fn f1_between_p_and_r() {
+        for (tp, fp, fn_) in [(5, 3, 1), (1, 9, 2), (7, 1, 6)] {
+            let m = Metrics::from_counts(tp, fp, fn_);
+            let lo = m.precision.min(m.recall);
+            let hi = m.precision.max(m.recall);
+            assert!(m.f1 >= lo - 1e-12 && m.f1 <= hi + 1e-12);
+        }
+    }
+}

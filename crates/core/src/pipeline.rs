@@ -1,0 +1,393 @@
+//! The LEAPME pipeline: Algorithm 1, steps 5 (training and classification).
+//!
+//! Steps 1–4 (feature computation) live in `leapme-features`
+//! ([`PropertyFeatureStore`]); this module adds the supervised part: fit
+//! the paper's dense network (input → 128 → 64 → 2, batch size 32, staged
+//! learning rate) on labeled pair vectors, then score unlabeled pairs,
+//! producing the similarity graph.
+
+use crate::scaler::Scaler;
+use crate::simgraph::SimilarityGraph;
+use crate::CoreError;
+use leapme_data::model::PropertyPair;
+use leapme_features::{FeatureConfig, PropertyFeatureStore};
+use leapme_nn::matrix::Matrix;
+use leapme_nn::network::{Mlp, TrainConfig};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a LEAPME fit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LeapmeConfig {
+    /// Which feature subset to use (paper §V-A; default: all features).
+    pub features: FeatureConfig,
+    /// Network training configuration (paper §IV-D defaults).
+    pub train: TrainConfig,
+    /// Decision threshold on the positive-class probability.
+    pub threshold: f32,
+    /// Seed for weight initialization.
+    pub seed: u64,
+    /// Hidden layer sizes (paper: `[128, 64]`). Exposed for ablations.
+    pub hidden: Vec<usize>,
+}
+
+impl Default for LeapmeConfig {
+    fn default() -> Self {
+        LeapmeConfig {
+            features: FeatureConfig::full(),
+            train: TrainConfig::default(),
+            threshold: 0.5,
+            seed: 0x1EA9,
+            hidden: vec![128, 64],
+        }
+    }
+}
+
+/// A trained LEAPME matcher.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LeapmeModel {
+    net: Mlp,
+    scaler: Scaler,
+    features: FeatureConfig,
+    threshold: f32,
+    dim: usize,
+}
+
+/// Batch size used when scoring large candidate spaces.
+const SCORE_BATCH: usize = 4096;
+
+/// Entry point for fitting LEAPME models.
+pub struct Leapme;
+
+impl Leapme {
+    /// Train a model on labeled pairs (Algorithm 1 line 9,
+    /// `trainClassifier(labeled(PPF))`).
+    ///
+    /// `labeled` carries `(pair, is_match)`; features come from `store`.
+    pub fn fit(
+        store: &PropertyFeatureStore,
+        labeled: &[(PropertyPair, bool)],
+        cfg: &LeapmeConfig,
+    ) -> Result<LeapmeModel, CoreError> {
+        if labeled.is_empty() {
+            return Err(CoreError::NoTrainingData);
+        }
+        let dim = store.dim();
+        let pairs: Vec<(leapme_data::model::PropertyKey, leapme_data::model::PropertyKey)> =
+            labeled
+                .iter()
+                .map(|(PropertyPair(a, b), _)| (a.clone(), b.clone()))
+                .collect();
+        let rows = store.pair_matrix(&pairs, &cfg.features)?;
+        let mut x = Matrix::from_rows(&rows);
+        let labels: Vec<usize> = labeled.iter().map(|(_, y)| usize::from(*y)).collect();
+
+        let scaler = Scaler::fit_transform(&mut x);
+
+        let mut sizes = Vec::with_capacity(cfg.hidden.len() + 2);
+        sizes.push(x.cols());
+        sizes.extend_from_slice(&cfg.hidden);
+        sizes.push(2);
+        let mut net = Mlp::new(&sizes, cfg.seed);
+        net.fit(&x, &labels, &cfg.train)?;
+
+        Ok(LeapmeModel {
+            net,
+            scaler,
+            features: cfg.features,
+            threshold: cfg.threshold,
+            dim,
+        })
+    }
+}
+
+impl LeapmeModel {
+    /// The feature configuration the model was trained with.
+    pub fn features(&self) -> &FeatureConfig {
+        &self.features
+    }
+
+    /// The decision threshold.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Number of input features the model expects.
+    pub fn input_dim(&self) -> usize {
+        self.scaler.dim()
+    }
+
+    /// Similarity scores (positive-class probabilities) for a batch of
+    /// pairs, in input order. Scores pairs in batches to bound memory on
+    /// large candidate spaces.
+    pub fn score_pairs(
+        &self,
+        store: &PropertyFeatureStore,
+        pairs: &[PropertyPair],
+    ) -> Result<Vec<f32>, CoreError> {
+        if store.dim() != self.dim {
+            return Err(CoreError::InvalidSplit(format!(
+                "feature store dim {} != model dim {}",
+                store.dim(),
+                self.dim
+            )));
+        }
+        let mut scores = Vec::with_capacity(pairs.len());
+        for chunk in pairs.chunks(SCORE_BATCH) {
+            let keyed: Vec<_> = chunk
+                .iter()
+                .map(|PropertyPair(a, b)| (a.clone(), b.clone()))
+                .collect();
+            let rows = store.pair_matrix(&keyed, &self.features)?;
+            let mut x = Matrix::from_rows(&rows);
+            self.scaler.transform_inplace(&mut x);
+            scores.extend(self.net.predict_proba(&x));
+        }
+        Ok(scores)
+    }
+
+    /// Parallel variant of [`Self::score_pairs`]: splits the candidate
+    /// list into chunks scored on `threads` worker threads (crossbeam
+    /// scoped threads; `0` = one per available core). Results are
+    /// bit-identical to the serial path and returned in input order —
+    /// inference is deterministic, only the work scheduling differs.
+    pub fn score_pairs_parallel(
+        &self,
+        store: &PropertyFeatureStore,
+        pairs: &[PropertyPair],
+        threads: usize,
+    ) -> Result<Vec<f32>, CoreError> {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        if threads <= 1 || pairs.len() < 2 * SCORE_BATCH {
+            return self.score_pairs(store, pairs);
+        }
+        let chunk_len = pairs.len().div_ceil(threads);
+        let results: Vec<Result<Vec<f32>, CoreError>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = pairs
+                .chunks(chunk_len)
+                .map(|chunk| scope.spawn(move |_| self.score_pairs(store, chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scorer thread panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope");
+        let mut out = Vec::with_capacity(pairs.len());
+        for r in results {
+            out.extend(r?);
+        }
+        Ok(out)
+    }
+
+    /// Score pre-extracted feature rows directly (each row must already
+    /// be in this model's feature space — same configuration and
+    /// dimension it was trained with). Used by analyses that perturb the
+    /// feature matrix, e.g. permutation importance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row's width differs from [`Self::input_dim`].
+    pub fn score_rows(&self, rows: &[Vec<f32>]) -> Vec<f32> {
+        let mut scores = Vec::with_capacity(rows.len());
+        for chunk in rows.chunks(SCORE_BATCH) {
+            let mut x = Matrix::from_rows(chunk);
+            self.scaler.transform_inplace(&mut x);
+            scores.extend(self.net.predict_proba(&x));
+        }
+        scores
+    }
+
+    /// Score pairs and assemble the similarity graph (Algorithm 1 lines
+    /// 10–11).
+    pub fn predict_graph(
+        &self,
+        store: &PropertyFeatureStore,
+        pairs: &[PropertyPair],
+    ) -> Result<SimilarityGraph, CoreError> {
+        let scores = self.score_pairs(store, pairs)?;
+        Ok(pairs.iter().cloned().zip(scores).collect())
+    }
+
+    /// Binary match decisions at the model threshold, in input order.
+    pub fn predict_matches(
+        &self,
+        store: &PropertyFeatureStore,
+        pairs: &[PropertyPair],
+    ) -> Result<Vec<bool>, CoreError> {
+        Ok(self
+            .score_pairs(store, pairs)?
+            .into_iter()
+            .map(|s| s >= self.threshold)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling;
+    use leapme_data::corpus::{generate_corpus, CorpusConfig};
+    use leapme_data::domains::{generate, Domain};
+    use leapme_embedding::cooccur::CooccurrenceMatrix;
+    use leapme_embedding::glove::{train as glove_train, GloVeConfig};
+    use leapme_embedding::store::EmbeddingStore;
+    use leapme_embedding::vocab::Vocab;
+    use leapme_nn::schedule::LrSchedule;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Small trained embeddings shared across pipeline tests.
+    fn embeddings(domain: Domain) -> EmbeddingStore {
+        let corpus = generate_corpus(
+            &domain.spec(),
+            &CorpusConfig {
+                sentences_per_synonym: 12,
+                filler_sentences: 60,
+            },
+            99,
+        );
+        let vocab = Vocab::build(corpus.iter().flatten().map(String::as_str), 2);
+        let cooc = CooccurrenceMatrix::from_sentences(&vocab, &corpus, 5);
+        let cfg = GloVeConfig {
+            dim: 24,
+            epochs: 15,
+            ..GloVeConfig::default()
+        };
+        glove_train(&vocab, &cooc, &cfg, 1).unwrap()
+    }
+
+    fn quick_train_cfg() -> TrainConfig {
+        TrainConfig {
+            schedule: LrSchedule::new(vec![(6, 1e-3), (2, 1e-4)]),
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_beats_chance_on_headphones() {
+        let ds = generate(Domain::Headphones, 21);
+        let store = PropertyFeatureStore::build(&ds, &embeddings(Domain::Headphones));
+        let mut rng = StdRng::seed_from_u64(5);
+        let split = sampling::split_sources(ds.sources().len(), 0.8, &mut rng).unwrap();
+        let train = sampling::training_pairs(&ds, &split.train, 2, &mut rng);
+        let cfg = LeapmeConfig {
+            // Full paper schedule (20 epochs) with the paper architecture.
+            ..LeapmeConfig::default()
+        };
+        let model = Leapme::fit(&store, &train, &cfg).unwrap();
+
+        let test = sampling::test_pairs(&ds, &split.train);
+        let gt = sampling::test_ground_truth(&ds, &split.train);
+        let graph = model.predict_graph(&store, &test).unwrap();
+        let m = crate::metrics::Metrics::from_sets(&graph.matches(0.5), &gt);
+        // With trained embeddings and real features this should comfortably
+        // beat random guessing (positive rate is a few percent).
+        assert!(m.f1 > 0.3, "end-to-end F1 too low: {m}");
+    }
+
+    #[test]
+    fn fit_rejects_empty_training() {
+        let ds = generate(Domain::Tvs, 22);
+        let store = PropertyFeatureStore::build(&ds, &EmbeddingStore::new(8));
+        let err = Leapme::fit(&store, &[], &LeapmeConfig::default()).unwrap_err();
+        assert!(matches!(err, CoreError::NoTrainingData));
+    }
+
+    #[test]
+    fn scores_are_probabilities_and_ordered_consistently() {
+        let ds = generate(Domain::Tvs, 23);
+        let store = PropertyFeatureStore::build(&ds, &embeddings(Domain::Tvs));
+        let mut rng = StdRng::seed_from_u64(6);
+        let split = sampling::split_sources(ds.sources().len(), 0.8, &mut rng).unwrap();
+        let train = sampling::training_pairs(&ds, &split.train, 2, &mut rng);
+        let cfg = LeapmeConfig {
+            train: quick_train_cfg(),
+            hidden: vec![16],
+            ..LeapmeConfig::default()
+        };
+        let model = Leapme::fit(&store, &train, &cfg).unwrap();
+        let test = sampling::test_pairs(&ds, &split.train);
+        let scores = model.score_pairs(&store, &test).unwrap();
+        assert_eq!(scores.len(), test.len());
+        assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+        // Graph agrees with raw scores.
+        let graph = model.predict_graph(&store, &test).unwrap();
+        for (p, s) in test.iter().zip(&scores) {
+            assert_eq!(graph.score(p), Some(*s));
+        }
+        // predict_matches consistent with threshold.
+        let decisions = model.predict_matches(&store, &test).unwrap();
+        for (d, s) in decisions.iter().zip(&scores) {
+            assert_eq!(*d, *s >= model.threshold());
+        }
+    }
+
+    #[test]
+    fn parallel_scoring_matches_serial() {
+        let ds = generate(Domain::Tvs, 26);
+        let store = PropertyFeatureStore::build(&ds, &embeddings(Domain::Tvs));
+        let mut rng = StdRng::seed_from_u64(9);
+        let split = sampling::split_sources(ds.sources().len(), 0.8, &mut rng).unwrap();
+        let train = sampling::training_pairs(&ds, &split.train, 2, &mut rng);
+        let cfg = LeapmeConfig {
+            train: quick_train_cfg(),
+            hidden: vec![16],
+            ..LeapmeConfig::default()
+        };
+        let model = Leapme::fit(&store, &train, &cfg).unwrap();
+        let test = sampling::test_pairs(&ds, &split.train);
+        let serial = model.score_pairs(&store, &test).unwrap();
+        for threads in [0, 1, 2, 4] {
+            let parallel = model.score_pairs_parallel(&store, &test, threads).unwrap();
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let ds = generate(Domain::Tvs, 24);
+        let store = PropertyFeatureStore::build(&ds, &embeddings(Domain::Tvs));
+        let mut rng = StdRng::seed_from_u64(7);
+        let split = sampling::split_sources(ds.sources().len(), 0.8, &mut rng).unwrap();
+        let train = sampling::training_pairs(&ds, &split.train, 2, &mut rng);
+        let cfg = LeapmeConfig {
+            train: quick_train_cfg(),
+            hidden: vec![16],
+            ..LeapmeConfig::default()
+        };
+        let test = sampling::test_pairs(&ds, &split.train);
+        let run = || {
+            let model = Leapme::fit(&store, &train, &cfg).unwrap();
+            model.score_pairs(&store, &test).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn model_serde_round_trip() {
+        let ds = generate(Domain::Tvs, 25);
+        let store = PropertyFeatureStore::build(&ds, &embeddings(Domain::Tvs));
+        let mut rng = StdRng::seed_from_u64(8);
+        let split = sampling::split_sources(ds.sources().len(), 0.8, &mut rng).unwrap();
+        let train = sampling::training_pairs(&ds, &split.train, 2, &mut rng);
+        let cfg = LeapmeConfig {
+            train: quick_train_cfg(),
+            hidden: vec![16],
+            ..LeapmeConfig::default()
+        };
+        let model = Leapme::fit(&store, &train, &cfg).unwrap();
+        let json = serde_json::to_string(&model).unwrap();
+        let back: LeapmeModel = serde_json::from_str(&json).unwrap();
+        let test = sampling::test_pairs(&ds, &split.train);
+        assert_eq!(
+            model.score_pairs(&store, &test).unwrap(),
+            back.score_pairs(&store, &test).unwrap()
+        );
+    }
+}

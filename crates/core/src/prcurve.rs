@@ -1,0 +1,219 @@
+//! Precision–recall analysis over similarity scores.
+//!
+//! LEAPME's positive-class probability is a *similarity score* (paper
+//! §IV-D), so match quality depends on the decision threshold. This
+//! module computes the full precision–recall curve, the best-F1 operating
+//! point, and average precision — used by the ablation bench and useful
+//! for anyone tuning the threshold for their precision/recall needs.
+
+use crate::metrics::Metrics;
+use serde::{Deserialize, Serialize};
+
+/// One operating point of the curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrPoint {
+    /// Score threshold producing this point.
+    pub threshold: f32,
+    /// Precision at the threshold.
+    pub precision: f64,
+    /// Recall at the threshold.
+    pub recall: f64,
+    /// F1 at the threshold.
+    pub f1: f64,
+}
+
+/// A precision–recall curve over scored, labeled pairs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrCurve {
+    points: Vec<PrPoint>,
+    positives: usize,
+    total: usize,
+}
+
+impl PrCurve {
+    /// Build the curve from `(score, is_match)` pairs: one operating point
+    /// per distinct score, thresholds descending.
+    ///
+    /// Returns `None` when there are no samples or no positives (the
+    /// curve would be undefined).
+    pub fn from_scores(scored: &[(f32, bool)]) -> Option<Self> {
+        let mut sorted: Vec<(f32, bool)> = scored
+            .iter()
+            .copied()
+            .filter(|(s, _)| s.is_finite())
+            .collect();
+        let positives = sorted.iter().filter(|(_, y)| *y).count();
+        if sorted.is_empty() || positives == 0 {
+            return None;
+        }
+        sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        let mut points = Vec::new();
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut i = 0;
+        while i < sorted.len() {
+            let threshold = sorted[i].0;
+            // Consume all samples sharing this score.
+            while i < sorted.len() && sorted[i].0 == threshold {
+                if sorted[i].1 {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+                i += 1;
+            }
+            let m = Metrics::from_counts(tp, fp, positives - tp);
+            points.push(PrPoint {
+                threshold,
+                precision: m.precision,
+                recall: m.recall,
+                f1: m.f1,
+            });
+        }
+        Some(PrCurve {
+            points,
+            positives,
+            total: sorted.len(),
+        })
+    }
+
+    /// The operating points, thresholds descending (recall ascending).
+    pub fn points(&self) -> &[PrPoint] {
+        &self.points
+    }
+
+    /// Number of positive samples behind the curve.
+    pub fn positives(&self) -> usize {
+        self.positives
+    }
+
+    /// Number of samples behind the curve.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The point with the highest F1 (ties: highest threshold).
+    pub fn best_f1(&self) -> PrPoint {
+        *self
+            .points
+            .iter()
+            .max_by(|a, b| {
+                a.f1.partial_cmp(&b.f1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.threshold.partial_cmp(&b.threshold).unwrap_or(std::cmp::Ordering::Equal))
+            })
+            .expect("curve is non-empty")
+    }
+
+    /// Average precision: Σ P(kᵢ) · ΔR(kᵢ) over the curve (the standard
+    /// step-wise AP used in retrieval evaluation), in `[0, 1]`.
+    pub fn average_precision(&self) -> f64 {
+        let mut ap = 0.0;
+        let mut prev_recall = 0.0;
+        for p in &self.points {
+            ap += p.precision * (p.recall - prev_recall);
+            prev_recall = p.recall;
+        }
+        ap.clamp(0.0, 1.0)
+    }
+
+    /// Precision at the smallest threshold whose recall reaches `target`
+    /// (`None` if the curve never reaches it — impossible for
+    /// `target <= 1.0` since the lowest threshold has recall 1 over the
+    /// scored positives, unless positives score −∞).
+    pub fn precision_at_recall(&self, target: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.recall >= target)
+            .map(|p| p.precision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perfect() -> Vec<(f32, bool)> {
+        vec![(0.9, true), (0.8, true), (0.2, false), (0.1, false)]
+    }
+
+    #[test]
+    fn perfect_separation() {
+        let c = PrCurve::from_scores(&perfect()).unwrap();
+        assert_eq!(c.positives(), 2);
+        assert_eq!(c.total(), 4);
+        let best = c.best_f1();
+        assert_eq!(best.f1, 1.0);
+        assert!((c.average_precision() - 1.0).abs() < 1e-12);
+        assert_eq!(c.precision_at_recall(1.0), Some(1.0));
+    }
+
+    #[test]
+    fn empty_or_no_positives_is_none() {
+        assert!(PrCurve::from_scores(&[]).is_none());
+        assert!(PrCurve::from_scores(&[(0.4, false)]).is_none());
+    }
+
+    #[test]
+    fn interleaved_scores() {
+        // positives at 0.9 and 0.3, negative at 0.5.
+        let c = PrCurve::from_scores(&[(0.9, true), (0.5, false), (0.3, true)]).unwrap();
+        let pts = c.points();
+        assert_eq!(pts.len(), 3);
+        // Threshold 0.9: P=1, R=0.5.
+        assert_eq!(pts[0].precision, 1.0);
+        assert_eq!(pts[0].recall, 0.5);
+        // Threshold 0.3: P=2/3, R=1.
+        assert!((pts[2].precision - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(pts[2].recall, 1.0);
+        // AP = 1·0.5 + (2/3)·0.5.
+        assert!((c.average_precision() - (0.5 + 1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tied_scores_collapse_to_one_point() {
+        let c = PrCurve::from_scores(&[(0.5, true), (0.5, false), (0.5, true)]).unwrap();
+        assert_eq!(c.points().len(), 1);
+        let p = c.points()[0];
+        assert!((p.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p.recall, 1.0);
+    }
+
+    #[test]
+    fn recall_is_monotone_nondecreasing() {
+        let scored: Vec<(f32, bool)> = (0..50)
+            .map(|i| ((i as f32) / 50.0, i % 3 == 0))
+            .collect();
+        let c = PrCurve::from_scores(&scored).unwrap();
+        for w in c.points().windows(2) {
+            assert!(w[0].recall <= w[1].recall);
+            assert!(w[0].threshold > w[1].threshold);
+        }
+    }
+
+    #[test]
+    fn best_f1_beats_fixed_threshold() {
+        // Best-F1 point is at least as good as any listed point.
+        let scored = vec![
+            (0.95, true),
+            (0.7, true),
+            (0.65, false),
+            (0.6, true),
+            (0.4, false),
+            (0.3, true),
+        ];
+        let c = PrCurve::from_scores(&scored).unwrap();
+        let best = c.best_f1();
+        for p in c.points() {
+            assert!(best.f1 >= p.f1);
+        }
+    }
+
+    #[test]
+    fn nan_scores_are_dropped() {
+        let c = PrCurve::from_scores(&[(f32::NAN, false), (0.9, true)]).unwrap();
+        assert_eq!(c.points().len(), 1);
+        assert_eq!(c.best_f1().f1, 1.0);
+    }
+}

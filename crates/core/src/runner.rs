@@ -1,0 +1,301 @@
+//! Repeated randomized evaluation (the paper's Table II protocol).
+//!
+//! For each cell of Table II the paper runs LEAPME 25 times with
+//! different random combinations of training sources and reports average
+//! P/R/F1. [`run_repeated`] implements that loop, parallelized across
+//! repetitions with scoped threads (the feature store is shared
+//! read-only; each repetition trains its own network).
+
+use crate::metrics::{Metrics, MetricsSummary};
+use crate::pipeline::{Leapme, LeapmeConfig};
+use crate::sampling;
+use crate::CoreError;
+use leapme_data::model::Dataset;
+use leapme_features::PropertyFeatureStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How the test region is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalMode {
+    /// The paper's protocol: test on the held-out *examples* — all
+    /// ground-truth positives outside the training region plus N sampled
+    /// negatives per positive (N = the same 2:1 ratio as training).
+    SampledExamples,
+    /// Stricter: score every cross-source pair outside the training
+    /// region (the candidate space is ~97% negative, so precision reads
+    /// much lower; reported as a supplementary experiment).
+    FullCandidateSpace,
+}
+
+/// Configuration of a repeated evaluation run.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Fraction of sources used for training (paper: 0.2 and 0.8).
+    pub train_fraction: f64,
+    /// Number of randomized repetitions (paper: 25).
+    pub repetitions: usize,
+    /// Negatives sampled per positive (paper: 2).
+    pub negative_ratio: usize,
+    /// Test-region evaluation mode.
+    pub eval: EvalMode,
+    /// The model configuration trained in every repetition.
+    pub leapme: LeapmeConfig,
+    /// Base seed; repetition `r` derives its own seeds from it.
+    pub base_seed: u64,
+    /// Worker threads (`0` = one per available core).
+    pub threads: usize,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            train_fraction: 0.8,
+            repetitions: 5,
+            negative_ratio: 2,
+            eval: EvalMode::SampledExamples,
+            leapme: LeapmeConfig::default(),
+            base_seed: 0xAB1E,
+            threads: 0,
+        }
+    }
+}
+
+/// Result of one repetition.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Zero-based repetition index.
+    pub repetition: usize,
+    /// Match-quality metrics on the test region.
+    pub metrics: Metrics,
+    /// Number of labeled training pairs used.
+    pub train_pairs: usize,
+    /// Number of test candidate pairs scored.
+    pub test_pairs: usize,
+}
+
+/// Seed used by repetition `repetition` of a run with `base_seed`.
+///
+/// Public so that baseline evaluations can reuse the *same* random source
+/// splits as the LEAPME runs they are compared against.
+pub fn repetition_seed(base_seed: u64, repetition: usize) -> u64 {
+    base_seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(repetition as u64)
+}
+
+/// One repetition: split sources, sample training pairs, fit, evaluate.
+pub fn run_once(
+    dataset: &Dataset,
+    store: &PropertyFeatureStore,
+    cfg: &RunnerConfig,
+    repetition: usize,
+) -> Result<RunOutcome, CoreError> {
+    let seed = repetition_seed(cfg.base_seed, repetition);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let split = sampling::split_sources(dataset.sources().len(), cfg.train_fraction, &mut rng)?;
+    let train = sampling::training_pairs(&dataset, &split.train, cfg.negative_ratio, &mut rng);
+    if train.iter().filter(|(_, y)| *y).count() == 0 {
+        // A degenerate split with no positive pairs can happen on tiny
+        // datasets; report it as empty metrics rather than failing.
+        return Ok(RunOutcome {
+            repetition,
+            metrics: Metrics::from_counts(0, 0, sampling::test_ground_truth(dataset, &split.train).len()),
+            train_pairs: 0,
+            test_pairs: 0,
+        });
+    }
+
+    let mut leapme_cfg = cfg.leapme.clone();
+    leapme_cfg.seed = seed ^ 0x5EED;
+    leapme_cfg.train.shuffle_seed = seed ^ 0x5F1E;
+    let model = Leapme::fit(store, &train, &leapme_cfg)?;
+
+    let (test, gt) = match cfg.eval {
+        EvalMode::SampledExamples => {
+            let examples =
+                sampling::test_examples(dataset, &split.train, cfg.negative_ratio, &mut rng);
+            let gt = examples
+                .iter()
+                .filter(|(_, y)| *y)
+                .map(|(p, _)| p.clone())
+                .collect();
+            let pairs = examples.into_iter().map(|(p, _)| p).collect::<Vec<_>>();
+            (pairs, gt)
+        }
+        EvalMode::FullCandidateSpace => (
+            sampling::test_pairs(dataset, &split.train),
+            sampling::test_ground_truth(dataset, &split.train),
+        ),
+    };
+    let graph = model.predict_graph(store, &test)?;
+    let metrics = Metrics::from_sets(&graph.matches(leapme_cfg.threshold), &gt);
+
+    Ok(RunOutcome {
+        repetition,
+        metrics,
+        train_pairs: train.len(),
+        test_pairs: test.len(),
+    })
+}
+
+/// Run all repetitions (in parallel) and aggregate.
+pub fn run_repeated(
+    dataset: &Dataset,
+    store: &PropertyFeatureStore,
+    cfg: &RunnerConfig,
+) -> Result<(MetricsSummary, Vec<RunOutcome>), CoreError> {
+    if cfg.repetitions == 0 {
+        return Err(CoreError::InvalidSplit("zero repetitions".into()));
+    }
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        cfg.threads
+    }
+    .min(cfg.repetitions);
+
+    let mut outcomes: Vec<Result<RunOutcome, CoreError>> = Vec::with_capacity(cfg.repetitions);
+    if threads <= 1 {
+        for r in 0..cfg.repetitions {
+            outcomes.push(run_once(dataset, store, cfg, r));
+        }
+    } else {
+        let reps: Vec<usize> = (0..cfg.repetitions).collect();
+        let chunks: Vec<&[usize]> = reps.chunks(cfg.repetitions.div_ceil(threads)).collect();
+        let results: Vec<Vec<(usize, Result<RunOutcome, CoreError>)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            chunk
+                                .iter()
+                                .map(|&r| (r, run_once(dataset, store, cfg, r)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            });
+        let mut flat: Vec<(usize, Result<RunOutcome, CoreError>)> =
+            results.into_iter().flatten().collect();
+        flat.sort_by_key(|(r, _)| *r);
+        outcomes.extend(flat.into_iter().map(|(_, o)| o));
+    }
+
+    let mut ok = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        ok.push(o?);
+    }
+    let metrics: Vec<Metrics> = ok.iter().map(|o| o.metrics).collect();
+    let summary = MetricsSummary::aggregate(&metrics).expect("non-empty repetitions");
+    Ok((summary, ok))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leapme_data::corpus::{generate_corpus, CorpusConfig};
+    use leapme_data::domains::{generate, Domain};
+    use leapme_embedding::cooccur::CooccurrenceMatrix;
+    use leapme_embedding::glove::{train as glove_train, GloVeConfig};
+    use leapme_embedding::store::EmbeddingStore;
+    use leapme_embedding::vocab::Vocab;
+    use leapme_nn::network::TrainConfig;
+    use leapme_nn::schedule::LrSchedule;
+
+    fn embeddings(domain: Domain) -> EmbeddingStore {
+        let corpus = generate_corpus(
+            &domain.spec(),
+            &CorpusConfig {
+                sentences_per_synonym: 6,
+                filler_sentences: 30,
+            },
+            17,
+        );
+        let vocab = Vocab::build(corpus.iter().flatten().map(String::as_str), 2);
+        let cooc = CooccurrenceMatrix::from_sentences(&vocab, &corpus, 5);
+        glove_train(
+            &vocab,
+            &cooc,
+            &GloVeConfig {
+                dim: 12,
+                epochs: 6,
+                ..GloVeConfig::default()
+            },
+            3,
+        )
+        .unwrap()
+    }
+
+    fn quick_cfg(reps: usize) -> RunnerConfig {
+        RunnerConfig {
+            repetitions: reps,
+            leapme: LeapmeConfig {
+                train: TrainConfig {
+                    schedule: LrSchedule::new(vec![(5, 1e-3)]),
+                    ..TrainConfig::default()
+                },
+                hidden: vec![16],
+                ..LeapmeConfig::default()
+            },
+            ..RunnerConfig::default()
+        }
+    }
+
+    #[test]
+    fn repeated_run_aggregates() {
+        let ds = generate(Domain::Tvs, 31);
+        let store = PropertyFeatureStore::build(&ds, &embeddings(Domain::Tvs));
+        let (summary, outcomes) = run_repeated(&ds, &store, &quick_cfg(3)).unwrap();
+        assert_eq!(summary.runs, 3);
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes.iter().all(|o| o.test_pairs > 0));
+        assert!(summary.f1_mean > 0.0, "{summary:?}");
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let ds = generate(Domain::Tvs, 32);
+        let store = PropertyFeatureStore::build(&ds, &embeddings(Domain::Tvs));
+        let mut serial_cfg = quick_cfg(3);
+        serial_cfg.threads = 1;
+        let mut parallel_cfg = quick_cfg(3);
+        parallel_cfg.threads = 3;
+        let (s1, o1) = run_repeated(&ds, &store, &serial_cfg).unwrap();
+        let (s2, o2) = run_repeated(&ds, &store, &parallel_cfg).unwrap();
+        assert_eq!(s1, s2);
+        for (a, b) in o1.iter().zip(&o2) {
+            assert_eq!(a.metrics, b.metrics);
+            assert_eq!(a.repetition, b.repetition);
+        }
+    }
+
+    #[test]
+    fn different_repetitions_use_different_splits() {
+        let ds = generate(Domain::Tvs, 33);
+        let store = PropertyFeatureStore::build(&ds, &embeddings(Domain::Tvs));
+        let (_, outcomes) = run_repeated(&ds, &store, &quick_cfg(4)).unwrap();
+        // Train-pair counts should vary across random splits (with high
+        // probability on imbalanced data).
+        let counts: std::collections::HashSet<usize> =
+            outcomes.iter().map(|o| o.train_pairs).collect();
+        assert!(counts.len() > 1, "all splits identical: {counts:?}");
+    }
+
+    #[test]
+    fn zero_repetitions_rejected() {
+        let ds = generate(Domain::Tvs, 34);
+        let store = PropertyFeatureStore::build(&ds, &EmbeddingStore::new(4));
+        let mut cfg = quick_cfg(1);
+        cfg.repetitions = 0;
+        assert!(run_repeated(&ds, &store, &cfg).is_err());
+    }
+}

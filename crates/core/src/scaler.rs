@@ -1,0 +1,158 @@
+//! Feature standardization (z-score scaling).
+//!
+//! LEAPME's feature vector mixes fractions in `[0, 1]`, raw counts, raw
+//! numeric values (an ISO value can be 409600), and embedding components
+//! — scales differing by five orders of magnitude. Standardizing each
+//! column to zero mean / unit variance on the *training* data is the
+//! standard preprocessing for dense networks and is required for the
+//! paper's small learning rates (1e-3…1e-5) to make progress on every
+//! feature; the statistics learned at fit time are reapplied verbatim at
+//! prediction time.
+
+use leapme_nn::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Per-column standardization statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scaler {
+    means: Vec<f32>,
+    /// Inverse standard deviations (0 variance → 0, zeroing the column).
+    inv_stds: Vec<f32>,
+}
+
+impl Scaler {
+    /// Fit column means/stds on a training matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has zero rows.
+    pub fn fit(x: &Matrix) -> Self {
+        assert!(x.rows() > 0, "cannot fit scaler on empty matrix");
+        let (n, d) = x.shape();
+        let mut means = vec![0.0f32; d];
+        for r in 0..n {
+            for (m, &v) in means.iter_mut().zip(x.row(r)) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n as f32;
+        }
+        let mut vars = vec![0.0f32; d];
+        for r in 0..n {
+            for ((v, &x_val), &m) in vars.iter_mut().zip(x.row(r)).zip(&means) {
+                let diff = x_val - m;
+                *v += diff * diff;
+            }
+        }
+        let inv_stds = vars
+            .iter()
+            .map(|&v| {
+                let std = (v / n as f32).sqrt();
+                if std > 1e-8 {
+                    1.0 / std
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        Scaler { means, inv_stds }
+    }
+
+    /// Number of columns the scaler was fitted on.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Standardize a matrix in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the fitted dimension.
+    pub fn transform_inplace(&self, x: &mut Matrix) {
+        assert_eq!(x.cols(), self.dim(), "scaler dimension mismatch");
+        for r in 0..x.rows() {
+            let row = x.row_mut(r);
+            for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.inv_stds) {
+                *v = (*v - m) * s;
+            }
+        }
+    }
+
+    /// Fit on `x` and standardize it in place, returning the scaler.
+    pub fn fit_transform(x: &mut Matrix) -> Self {
+        let s = Scaler::fit(x);
+        s.transform_inplace(x);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[
+            vec![1.0, 100.0, 5.0],
+            vec![2.0, 200.0, 5.0],
+            vec![3.0, 300.0, 5.0],
+        ])
+    }
+
+    #[test]
+    fn standardizes_columns() {
+        let mut x = sample();
+        Scaler::fit_transform(&mut x);
+        // Each non-constant column: mean 0, unit variance.
+        for c in 0..2 {
+            let vals: Vec<f32> = (0..3).map(|r| x.get(r, c)).collect();
+            let mean: f32 = vals.iter().sum::<f32>() / 3.0;
+            assert!(mean.abs() < 1e-6);
+            let var: f32 = vals.iter().map(|v| v * v).sum::<f32>() / 3.0;
+            assert!((var - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn constant_columns_zeroed() {
+        let mut x = sample();
+        Scaler::fit_transform(&mut x);
+        for r in 0..3 {
+            assert_eq!(x.get(r, 2), 0.0);
+        }
+    }
+
+    #[test]
+    fn transform_applies_training_stats() {
+        let train = sample();
+        let scaler = Scaler::fit(&train);
+        let mut test = Matrix::from_rows(&[vec![2.0, 200.0, 9.0]]);
+        scaler.transform_inplace(&mut test);
+        // Column 0: (2 - 2) / std = 0.
+        assert!(test.get(0, 0).abs() < 1e-6);
+        // Constant train column stays zeroed regardless of test value.
+        assert_eq!(test.get(0, 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty matrix")]
+    fn rejects_empty() {
+        Scaler::fit(&Matrix::zeros(0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_wrong_width() {
+        let s = Scaler::fit(&sample());
+        let mut bad = Matrix::zeros(1, 2);
+        s.transform_inplace(&mut bad);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = Scaler::fit(&sample());
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scaler = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,244 @@
+//! The similarity graph of scored property pairs (Algorithm 1 output).
+//!
+//! LEAPME's output `Sim` is a collection of property pairs with similarity
+//! scores — the positive-class probability of the classifier (paper
+//! §IV-D) — kept as a graph so downstream steps (clustering, fusion) can
+//! consume it.
+
+use leapme_data::model::{PropertyKey, PropertyPair};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A weighted graph over properties; edge weight = match similarity.
+///
+/// ```
+/// use leapme_core::simgraph::SimilarityGraph;
+/// use leapme_data::model::{PropertyKey, PropertyPair, SourceId};
+///
+/// let mut g = SimilarityGraph::new();
+/// let pair = PropertyPair::new(
+///     PropertyKey::new(SourceId(0), "mp"),
+///     PropertyKey::new(SourceId(1), "resolution"),
+/// );
+/// g.add(pair.clone(), 0.93);
+/// assert_eq!(g.score(&pair), Some(0.93));
+/// assert_eq!(g.matches(0.5).len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimilarityGraph {
+    /// Serialized as a list of entries because JSON map keys must be
+    /// strings.
+    #[serde(with = "edges_serde")]
+    edges: BTreeMap<PropertyPair, f32>,
+}
+
+mod edges_serde {
+    use super::PropertyPair;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::collections::BTreeMap;
+
+    pub fn serialize<S: Serializer>(
+        map: &BTreeMap<PropertyPair, f32>,
+        ser: S,
+    ) -> Result<S::Ok, S::Error> {
+        let entries: Vec<(&PropertyPair, &f32)> = map.iter().collect();
+        entries.serialize(ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        de: D,
+    ) -> Result<BTreeMap<PropertyPair, f32>, D::Error> {
+        let entries: Vec<(PropertyPair, f32)> = Vec::deserialize(de)?;
+        Ok(entries.into_iter().collect())
+    }
+}
+
+impl SimilarityGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or overwrite) an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the score is not finite.
+    pub fn add(&mut self, pair: PropertyPair, score: f32) {
+        assert!(score.is_finite(), "similarity must be finite");
+        self.edges.insert(pair, score);
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Score of a pair, if present.
+    pub fn score(&self, pair: &PropertyPair) -> Option<f32> {
+        self.edges.get(pair).copied()
+    }
+
+    /// Iterate all `(pair, score)` edges in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&PropertyPair, f32)> + '_ {
+        self.edges.iter().map(|(p, &s)| (p, s))
+    }
+
+    /// The pairs whose score is at least `threshold` — the match decisions.
+    pub fn matches(&self, threshold: f32) -> BTreeSet<PropertyPair> {
+        self.edges
+            .iter()
+            .filter(|(_, &s)| s >= threshold)
+            .map(|(p, _)| p.clone())
+            .collect()
+    }
+
+    /// All distinct properties appearing in the graph.
+    pub fn nodes(&self) -> BTreeSet<PropertyKey> {
+        let mut out = BTreeSet::new();
+        for PropertyPair(a, b) in self.edges.keys() {
+            out.insert(a.clone());
+            out.insert(b.clone());
+        }
+        out
+    }
+
+    /// Neighbors of `key` with score ≥ `threshold`, sorted by descending
+    /// score.
+    pub fn neighbors(&self, key: &PropertyKey, threshold: f32) -> Vec<(PropertyKey, f32)> {
+        let mut out: Vec<(PropertyKey, f32)> = self
+            .edges
+            .iter()
+            .filter(|(_, &s)| s >= threshold)
+            .filter_map(|(PropertyPair(a, b), &s)| {
+                if a == key {
+                    Some((b.clone(), s))
+                } else if b == key {
+                    Some((a.clone(), s))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+
+    /// The `k` highest-scoring edges.
+    pub fn top_k(&self, k: usize) -> Vec<(PropertyPair, f32)> {
+        let mut all: Vec<(PropertyPair, f32)> =
+            self.edges.iter().map(|(p, &s)| (p.clone(), s)).collect();
+        all.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal));
+        all.truncate(k);
+        all
+    }
+
+    /// Merge another graph into this one (overwrites shared pairs).
+    pub fn merge(&mut self, other: SimilarityGraph) {
+        self.edges.extend(other.edges);
+    }
+}
+
+impl FromIterator<(PropertyPair, f32)> for SimilarityGraph {
+    fn from_iter<T: IntoIterator<Item = (PropertyPair, f32)>>(iter: T) -> Self {
+        let mut g = SimilarityGraph::new();
+        for (p, s) in iter {
+            g.add(p, s);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leapme_data::model::SourceId;
+
+    fn key(s: u16, n: &str) -> PropertyKey {
+        PropertyKey::new(SourceId(s), n)
+    }
+
+    fn pair(a: u16, an: &str, b: u16, bn: &str) -> PropertyPair {
+        PropertyPair::new(key(a, an), key(b, bn))
+    }
+
+    fn sample() -> SimilarityGraph {
+        [
+            (pair(0, "mp", 1, "resolution"), 0.9f32),
+            (pair(0, "mp", 2, "pixels"), 0.7),
+            (pair(1, "resolution", 2, "pixels"), 0.8),
+            (pair(0, "mp", 1, "weight"), 0.1),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn add_and_score() {
+        let g = sample();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.score(&pair(0, "mp", 1, "resolution")), Some(0.9));
+        assert_eq!(g.score(&pair(0, "mp", 1, "nope")), None);
+    }
+
+    #[test]
+    fn matches_threshold() {
+        let g = sample();
+        assert_eq!(g.matches(0.75).len(), 2);
+        assert_eq!(g.matches(0.0).len(), 4);
+        assert!(g.matches(0.95).is_empty());
+    }
+
+    #[test]
+    fn nodes_and_neighbors() {
+        let g = sample();
+        assert_eq!(g.nodes().len(), 4);
+        let n = g.neighbors(&key(0, "mp"), 0.5);
+        assert_eq!(n.len(), 2);
+        assert_eq!(n[0].0, key(1, "resolution")); // highest score first
+    }
+
+    #[test]
+    fn top_k_sorted() {
+        let g = sample();
+        let top = g.top_k(2);
+        assert_eq!(top[0].1, 0.9);
+        assert_eq!(top[1].1, 0.8);
+        assert_eq!(g.top_k(100).len(), 4);
+    }
+
+    #[test]
+    fn merge_overwrites() {
+        let mut g = sample();
+        let mut other = SimilarityGraph::new();
+        other.add(pair(0, "mp", 1, "resolution"), 0.2);
+        other.add(pair(3, "x", 4, "y"), 0.5);
+        g.merge(other);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.score(&pair(0, "mp", 1, "resolution")), Some(0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let mut g = SimilarityGraph::new();
+        g.add(pair(0, "a", 1, "b"), f32::NAN);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = sample();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: SimilarityGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), g.len());
+        assert_eq!(
+            back.score(&pair(0, "mp", 2, "pixels")),
+            g.score(&pair(0, "mp", 2, "pixels"))
+        );
+    }
+}

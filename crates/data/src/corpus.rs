@@ -1,0 +1,314 @@
+//! Domain text-corpus generation for embedding training.
+//!
+//! The paper relies on pre-trained GloVe vectors in which domain synonyms
+//! ("MP", "megapixels", "resolution") are close because they co-occur with
+//! the same contexts in Common Crawl. To reproduce that geometry offline,
+//! this module emits a synthetic "product description" corpus in which all
+//! synonyms of a reference property — and the unit/vocabulary tokens of
+//! its values — are embedded in shared, property-specific sentence
+//! contexts. Training GloVe (`leapme-embedding`) on this corpus yields
+//! embeddings with the same relevant structure (DESIGN.md §2).
+
+use crate::spec::{DomainSpec, RefProperty};
+use crate::value::ValueSpec;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for corpus generation.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusConfig {
+    /// Sentences generated per (property, synonym) combination.
+    pub sentences_per_synonym: usize,
+    /// Additional generic filler sentences mixing product words.
+    pub filler_sentences: usize,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            sentences_per_synonym: 30,
+            filler_sentences: 200,
+        }
+    }
+}
+
+/// Generate a tokenized corpus for `spec`, deterministic in `seed`.
+///
+/// Every sentence is returned pre-tokenized (lowercase alphanumeric
+/// tokens) and can be fed directly to
+/// `leapme_embedding::cooccur::CooccurrenceMatrix::from_sentences`.
+pub fn generate_corpus(spec: &DomainSpec, cfg: &CorpusConfig, seed: u64) -> Vec<Vec<String>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sentences = Vec::new();
+
+    for prop in &spec.properties {
+        let value_words = value_vocabulary(&prop.value);
+        for syn in &prop.synonyms {
+            for _ in 0..cfg.sentences_per_synonym {
+                sentences.push(property_sentence(
+                    spec, prop, syn, &value_words, &mut rng,
+                ));
+            }
+        }
+    }
+
+    for _ in 0..cfg.filler_sentences {
+        sentences.push(filler_sentence(spec, &mut rng));
+    }
+
+    // Junk / decoration vocabulary: each word gets its own hash-derived
+    // context neighborhood, so (like in the paper's 1.9M-word pre-trained
+    // space) "catalog" and "availability" have non-zero and mutually
+    // distinct vectors. Without this, all-OOV junk names average to the
+    // zero vector and any two of them look embedding-identical.
+    for word in crate::spec::junk_vocabulary(spec) {
+        for _ in 0..cfg.sentences_per_synonym.div_ceil(2) {
+            sentences.push(junk_sentence(&word, &mut rng));
+        }
+    }
+
+    sentences
+}
+
+/// A sentence anchoring one junk word in a deterministic pseudo-context
+/// derived from its hash, plus a generic commerce word.
+fn junk_sentence(word: &str, rng: &mut StdRng) -> Vec<String> {
+    const COMMERCE: [&str; 8] = [
+        "listing", "shop", "data", "record", "entry", "admin", "export", "portal",
+    ];
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in word.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    let c1 = format!("ctx{}", h % 41);
+    let c2 = format!("ctx{}", (h >> 8) % 41);
+    let mut words = vec![
+        word.to_string(),
+        c1,
+        c2,
+        COMMERCE.choose(rng).expect("non-empty").to_string(),
+    ];
+    words.shuffle(rng);
+    words
+}
+
+/// The embedding-relevant vocabulary of a value spec: unit suffix words
+/// and categorical option words.
+pub fn value_vocabulary(value: &ValueSpec) -> Vec<String> {
+    let mut words = Vec::new();
+    let mut push_text = |text: &str| {
+        words.extend(leapme_tokenize(text));
+    };
+    match value {
+        ValueSpec::Numeric { units, .. } | ValueSpec::Integer { units, .. } => {
+            for u in units {
+                push_text(&u.suffix);
+            }
+        }
+        ValueSpec::Categorical { options } => {
+            for o in options {
+                push_text(o);
+            }
+        }
+        ValueSpec::Dimensions { .. } => {
+            push_text("mm wide tall deep");
+        }
+        ValueSpec::FreeText { words: pool, .. } => {
+            for w in pool {
+                push_text(w);
+            }
+        }
+        ValueSpec::ModelCode { .. } => {}
+        ValueSpec::Fraction { suffix, .. } => push_text(suffix),
+    }
+    words.retain(|w| w.chars().any(|c| c.is_alphabetic()));
+    words.sort();
+    words.dedup();
+    words
+}
+
+fn property_sentence(
+    spec: &DomainSpec,
+    prop: &RefProperty,
+    synonym: &str,
+    value_words: &[String],
+    rng: &mut StdRng,
+) -> Vec<String> {
+    // GloVe learns from co-occurrence counts, not grammar, and on a small
+    // corpus connective filler ("the", "of", "determine") swamps the
+    // property-specific signal. So property sentences are dense bags of
+    // related words: the synonym's tokens plus several words sampled from
+    // the property's context vocabulary and its value vocabulary, with an
+    // occasional product word. Synonyms of the same reference property
+    // draw from the same pools, which is exactly the geometry the matcher
+    // needs.
+    let mut words = leapme_tokenize(synonym);
+    let pool_len = prop.context.len() + value_words.len();
+    let n_context = rng.gen_range(3..=5);
+    for _ in 0..n_context.min(pool_len.max(1)) {
+        let pick = rng.gen_range(0..pool_len.max(1));
+        let w = if pick < prop.context.len() {
+            prop.context.get(pick).cloned()
+        } else {
+            value_words.get(pick - prop.context.len()).cloned()
+        };
+        if let Some(w) = w {
+            words.extend(leapme_tokenize(&w));
+        }
+    }
+    if rng.gen_bool(0.25) {
+        if let Some(p) = spec.product_words.choose(rng) {
+            words.extend(leapme_tokenize(p));
+        }
+    }
+    words.shuffle(rng);
+    words
+}
+
+fn filler_sentence(spec: &DomainSpec, rng: &mut StdRng) -> Vec<String> {
+    const FILLER: [&str; 12] = [
+        "buy", "online", "compare", "specifications", "review", "best", "new", "features",
+        "quality", "ships", "top", "deal",
+    ];
+    let product = spec
+        .product_words
+        .choose(rng)
+        .map(String::as_str)
+        .unwrap_or("product");
+    let mut words = leapme_tokenize(product);
+    for _ in 0..rng.gen_range(3..=5) {
+        words.push(FILLER.choose(rng).expect("non-empty").to_string());
+    }
+    words.shuffle(rng);
+    words
+}
+
+/// Minimal local tokenizer matching `leapme_embedding::tokenize::tokenize`
+/// semantics for the subset of inputs the corpus generator produces
+/// (lowercase split on non-alphanumerics; no camelCase in generated text).
+/// Kept local to avoid a dependency cycle between the data and embedding
+/// crates.
+fn leapme_tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_lowercase)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::Domain;
+
+    #[test]
+    fn corpus_covers_all_synonyms() {
+        let spec = Domain::Headphones.spec();
+        let corpus = generate_corpus(&spec, &CorpusConfig::default(), 1);
+        let all_tokens: std::collections::HashSet<&str> = corpus
+            .iter()
+            .flatten()
+            .map(String::as_str)
+            .collect();
+        for p in &spec.properties {
+            for syn in &p.synonyms {
+                for tok in leapme_tokenize(syn) {
+                    assert!(
+                        all_tokens.contains(tok.as_str()),
+                        "token {tok:?} of synonym {syn:?} missing from corpus"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_includes_unit_words() {
+        let spec = Domain::Cameras.spec();
+        let corpus = generate_corpus(&spec, &CorpusConfig::default(), 2);
+        let all: std::collections::HashSet<&str> =
+            corpus.iter().flatten().map(String::as_str).collect();
+        // "megapixels" (unit of resolution) and "shots" (unit of battery
+        // life) should appear.
+        assert!(all.contains("megapixels"));
+        assert!(all.contains("shots"));
+    }
+
+    #[test]
+    fn synonyms_share_context_words() {
+        // Count co-occurrence of two resolution synonyms with the context
+        // word "sensor" — both must co-occur with it.
+        let spec = Domain::Cameras.spec();
+        let corpus = generate_corpus(&spec, &CorpusConfig::default(), 3);
+        let cooccurs = |word: &str, ctx: &str| {
+            corpus
+                .iter()
+                .filter(|s| s.iter().any(|t| t == word) && s.iter().any(|t| t == ctx))
+                .count()
+        };
+        assert!(cooccurs("megapixels", "sensor") > 0);
+        assert!(cooccurs("resolution", "sensor") > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = Domain::Tvs.spec();
+        let a = generate_corpus(&spec, &CorpusConfig::default(), 9);
+        let b = generate_corpus(&spec, &CorpusConfig::default(), 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_tokens_lowercase_alphanumeric() {
+        let spec = Domain::Phones.spec();
+        let corpus = generate_corpus(&spec, &CorpusConfig::default(), 4);
+        for sentence in &corpus {
+            assert!(!sentence.is_empty());
+            for t in sentence {
+                assert!(t.chars().all(char::is_alphanumeric), "bad token {t:?}");
+                assert_eq!(t, &t.to_lowercase());
+            }
+        }
+    }
+
+    #[test]
+    fn value_vocabulary_extraction() {
+        let v = ValueSpec::numeric(0.0, 10.0, 1, &[(" MP", 1.0), (" megapixels", 1.0)]);
+        assert_eq!(value_vocabulary(&v), vec!["megapixels", "mp"]);
+        let c = ValueSpec::categorical(&["Dolby Vision", "HDR10"]);
+        let words = value_vocabulary(&c);
+        assert!(words.contains(&"dolby".to_string()));
+        assert!(words.contains(&"vision".to_string()));
+        // Pure numbers are dropped.
+        let n = ValueSpec::integer(0, 5, &[("", 1.0)]);
+        assert!(value_vocabulary(&n).is_empty());
+    }
+
+    #[test]
+    fn filler_count_respected() {
+        let spec = Domain::Tvs.spec();
+        let small = generate_corpus(
+            &spec,
+            &CorpusConfig {
+                sentences_per_synonym: 1,
+                filler_sentences: 0,
+            },
+            5,
+        );
+        let syn_count: usize = spec.properties.iter().map(|p| p.synonyms.len()).sum();
+        let junk_count = crate::spec::junk_vocabulary(&spec).len();
+        assert_eq!(small.len(), syn_count + junk_count);
+    }
+
+    #[test]
+    fn junk_vocabulary_gets_sentences() {
+        let spec = Domain::Phones.spec();
+        let corpus = generate_corpus(&spec, &CorpusConfig::default(), 6);
+        let all: std::collections::HashSet<&str> =
+            corpus.iter().flatten().map(String::as_str).collect();
+        for w in ["catalog", "availability", "approx", "sku"] {
+            assert!(all.contains(w), "junk word {w:?} missing from corpus");
+        }
+    }
+}

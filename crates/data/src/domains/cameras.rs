@@ -1,0 +1,347 @@
+//! Camera reference ontology, mirroring the DI2KG'19 camera dataset.
+//!
+//! Thirty reference properties with the kind of synonym spread Fig. 1 of
+//! the paper illustrates ("camera resolution" / "effective pixels" /
+//! "megapixel", several shutter-speed variants, …).
+
+use super::{prop, strings};
+use crate::spec::DomainSpec;
+use crate::value::ValueSpec;
+
+/// The camera domain specification.
+pub fn spec() -> DomainSpec {
+    let properties = vec![
+        prop(
+            "resolution",
+            &[
+                "resolution",
+                "megapixels",
+                "mp",
+                "effective pixels",
+                "camera resolution",
+                "pixel count",
+                "image resolution",
+                "effective megapixel",
+            ],
+            &["image", "sensor", "detail", "sharpness", "pixels"],
+            ValueSpec::numeric(8.0, 61.0, 1, &[(" MP", 1.0), (" megapixels", 1.0), ("", 1.0)]),
+            0.95,
+        ),
+        prop(
+            "sensor type",
+            &["sensor type", "sensor", "image sensor", "sensor technology"],
+            &["chip", "imaging", "photosites", "capture"],
+            ValueSpec::categorical(&["CMOS", "BSI-CMOS", "CCD", "Foveon X3", "Live MOS"]),
+            0.85,
+        ),
+        prop(
+            "sensor size",
+            &["sensor size", "sensor format", "imager size", "sensor dimensions"],
+            &["format", "crop", "full", "frame"],
+            ValueSpec::categorical(&[
+                "1/2.3\"",
+                "1\"",
+                "APS-C",
+                "Full Frame",
+                "Micro Four Thirds",
+                "1/1.7\"",
+            ]),
+            0.80,
+        ),
+        prop(
+            "iso",
+            &["iso", "iso range", "iso sensitivity", "max iso", "light sensitivity"],
+            &["low", "light", "noise", "gain", "exposure"],
+            ValueSpec::integer(1600, 409600, &[("", 1.0), (" ISO", 1.0)]),
+            0.85,
+        ),
+        prop(
+            "shutter speed",
+            &[
+                "shutter speed",
+                "max shutter speed",
+                "fastest shutter",
+                "shutter",
+                "min shutter speed",
+            ],
+            &["exposure", "seconds", "fast", "motion", "freeze"],
+            ValueSpec::Fraction {
+                min_den: 1000,
+                max_den: 32000,
+                suffix: " s".into(),
+            },
+            0.80,
+        ),
+        prop(
+            "aperture",
+            &["aperture", "max aperture", "lens aperture", "f number", "maximum aperture"],
+            &["lens", "bright", "bokeh", "depth", "field"],
+            ValueSpec::categorical(&["f/1.2", "f/1.4", "f/1.8", "f/2.0", "f/2.8", "f/3.5", "f/4.0", "f/5.6"]),
+            0.75,
+        ),
+        prop(
+            "optical zoom",
+            &["optical zoom", "zoom", "zoom ratio", "optical zoom factor", "zoom range"],
+            &["telephoto", "magnification", "lens", "reach"],
+            ValueSpec::numeric(1.0, 125.0, 0, &[("x", 1.0), ("x optical", 1.0)]),
+            0.75,
+        ),
+        prop(
+            "focal length",
+            &["focal length", "lens focal length", "focal range", "focal distance"],
+            &["lens", "wide", "angle", "telephoto", "millimetres"],
+            ValueSpec::integer(10, 600, &[("mm", 1.0), (" mm", 1.0)]),
+            0.75,
+        ),
+        prop(
+            "screen size",
+            &["screen size", "display size", "lcd size", "monitor size", "lcd screen size"],
+            &["display", "rear", "diagonal", "inches", "panel"],
+            ValueSpec::numeric(2.5, 3.5, 1, &[(" inch", 1.0), ("\"", 1.0), (" in", 1.0)]),
+            0.85,
+        ),
+        prop(
+            "screen resolution",
+            &["screen resolution", "lcd resolution", "display dots", "monitor resolution"],
+            &["dots", "display", "panel", "sharpness"],
+            ValueSpec::integer(230, 2360, &[("k dots", 1.0), (" k dots", 1.0)]),
+            0.60,
+        ),
+        prop(
+            "weight",
+            &["weight", "item weight", "body weight", "weight incl battery", "camera weight"],
+            &["grams", "heavy", "light", "body", "mass"],
+            ValueSpec::numeric(200.0, 1500.0, 0, &[(" g", 1.0), (" grams", 1.0), (" oz", 0.035274)]),
+            0.90,
+        ),
+        prop(
+            "dimensions",
+            &["dimensions", "body dimensions", "size", "product dimensions", "body size"],
+            &["width", "height", "depth", "millimetres", "compact"],
+            ValueSpec::Dimensions {
+                min: 50.0,
+                max: 160.0,
+                axes: 3,
+            },
+            0.80,
+        ),
+        prop(
+            "battery life",
+            &[
+                "battery life",
+                "battery",
+                "shots per charge",
+                "battery capacity cipa",
+                "number of shots",
+            ],
+            &["charge", "power", "endurance", "cipa"],
+            ValueSpec::integer(200, 1200, &[(" shots", 1.0), (" images", 1.0)]),
+            0.70,
+        ),
+        prop(
+            "video resolution",
+            &["video resolution", "movie resolution", "video", "max video resolution", "movie mode"],
+            &["recording", "footage", "film", "movie", "uhd"],
+            ValueSpec::categorical(&["4K UHD", "1080p", "8K", "720p", "4K DCI"]),
+            0.80,
+        ),
+        prop(
+            "frame rate",
+            &["frame rate", "fps", "continuous shooting", "burst rate", "burst speed"],
+            &["burst", "continuous", "speed", "action", "sequence"],
+            ValueSpec::integer(3, 30, &[(" fps", 1.0), (" frames per second", 1.0)]),
+            0.65,
+        ),
+        prop(
+            "viewfinder",
+            &["viewfinder", "viewfinder type", "evf", "view finder"],
+            &["eye", "electronic", "optical", "compose"],
+            ValueSpec::categorical(&["electronic", "optical", "hybrid", "none"]),
+            0.65,
+        ),
+        prop(
+            "image stabilization",
+            &[
+                "image stabilization",
+                "stabilization",
+                "ibis",
+                "steady shot",
+                "anti shake",
+            ],
+            &["shake", "blur", "steady", "axis", "handheld"],
+            ValueSpec::categorical(&["5-axis in-body", "optical", "digital", "none", "2-axis"]),
+            0.65,
+        ),
+        prop(
+            "storage",
+            &["storage", "memory card", "card slot", "storage media", "memory card type"],
+            &["card", "slot", "memory", "media"],
+            ValueSpec::categorical(&["SD/SDHC/SDXC", "CFexpress", "dual SD", "microSD", "XQD"]),
+            0.70,
+        ),
+        prop(
+            "connectivity",
+            &["connectivity", "wireless", "wifi", "wireless connectivity", "wifi connectivity"],
+            &["transfer", "remote", "bluetooth", "pairing", "app"],
+            ValueSpec::categorical(&["WiFi + Bluetooth", "WiFi", "WiFi + NFC", "none", "Bluetooth"]),
+            0.65,
+        ),
+        prop(
+            "lens mount",
+            &["lens mount", "mount", "mount type", "lens system"],
+            &["interchangeable", "bayonet", "lenses", "system"],
+            ValueSpec::categorical(&[
+                "Canon EF",
+                "Nikon F",
+                "Sony E",
+                "Micro Four Thirds",
+                "Fujifilm X",
+                "L-mount",
+            ]),
+            0.55,
+        ),
+        prop(
+            "flash",
+            &["flash", "built in flash", "flash type", "flash modes"],
+            &["light", "fill", "strobe", "sync"],
+            ValueSpec::categorical(&[
+                "built-in pop-up",
+                "external only",
+                "built-in + hot shoe",
+                "none",
+            ]),
+            0.60,
+        ),
+        prop(
+            "autofocus points",
+            &["autofocus points", "af points", "focus points", "number of af points"],
+            &["focus", "tracking", "phase", "detect", "subject"],
+            ValueSpec::integer(9, 693, &[(" points", 1.0), (" af points", 1.0)]),
+            0.55,
+        ),
+        prop(
+            "brand",
+            &["brand", "manufacturer", "make", "brand name"],
+            &["company", "maker", "label"],
+            ValueSpec::categorical(&[
+                "Canon",
+                "Nikon",
+                "Sony",
+                "Fujifilm",
+                "Panasonic",
+                "Olympus",
+                "Leica",
+                "Pentax",
+            ]),
+            0.90,
+        ),
+        prop(
+            "model",
+            &["model", "model name", "model number", "model id"],
+            &["series", "edition", "version"],
+            ValueSpec::ModelCode {
+                prefixes: vec![
+                    "EOS".into(),
+                    "DSC".into(),
+                    "DMC".into(),
+                    "XT".into(),
+                    "D".into(),
+                ],
+            },
+            0.85,
+        ),
+        prop(
+            "price",
+            &["price", "retail price", "msrp", "list price", "price usd"],
+            &["cost", "dollars", "buy", "discount"],
+            ValueSpec::numeric(150.0, 6500.0, 2, &[(" USD", 1.0), (" EUR", 0.92), ("", 1.0)]),
+            0.85,
+        ),
+        prop(
+            "color",
+            &["color", "colour", "body color", "finish"],
+            &["black", "silver", "style", "look"],
+            ValueSpec::categorical(&["black", "silver", "graphite", "white"]),
+            0.65,
+        ),
+        prop(
+            "gps",
+            &["gps", "geotagging", "built in gps", "location tagging"],
+            &["location", "coordinates", "tagging", "travel"],
+            ValueSpec::categorical(&["yes", "no", "via smartphone"]),
+            0.45,
+        ),
+        prop(
+            "touchscreen",
+            &["touchscreen", "touch screen", "touch display", "touch panel"],
+            &["tap", "gesture", "swipe", "interface"],
+            ValueSpec::categorical(&["yes", "no", "tilting touchscreen"]),
+            0.55,
+        ),
+        prop(
+            "release year",
+            &["release year", "year", "announced", "launch year"],
+            &["date", "launched", "introduced"],
+            ValueSpec::integer(2005, 2021, &[("", 1.0)]),
+            0.50,
+        ),
+        prop(
+            "warranty",
+            &["warranty", "warranty period", "guarantee"],
+            &["coverage", "repair", "support", "service"],
+            ValueSpec::integer(1, 3, &[(" years", 1.0), (" year warranty", 1.0)]),
+            0.40,
+        ),
+    ];
+
+    DomainSpec {
+        name: "cameras".into(),
+        product_words: strings(&["camera", "dslr", "mirrorless", "compact", "shooter"]),
+        properties,
+        junk_names: strings(&[
+            "sku",
+            "listing id",
+            "availability",
+            "condition",
+            "shipping weight",
+            "seller",
+            "stock status",
+            "item url",
+            "upc",
+            "asin",
+            "product code",
+            "customer rating",
+        ]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ontology_size_and_fig1_examples() {
+        let s = spec();
+        assert_eq!(s.properties.len(), 30);
+        // The Fig. 1 synonym cluster for resolution is represented.
+        let res = s
+            .properties
+            .iter()
+            .find(|p| p.canonical == "resolution")
+            .unwrap();
+        for needle in ["megapixels", "effective pixels", "camera resolution"] {
+            assert!(
+                res.synonyms.iter().any(|x| x == needle),
+                "missing synonym {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn prevalences_give_dense_sources() {
+        let s = spec();
+        let avg: f64 =
+            s.properties.iter().map(|p| p.prevalence).sum::<f64>() / s.properties.len() as f64;
+        assert!(avg > 0.6, "cameras should be dense, avg prevalence {avg}");
+    }
+}

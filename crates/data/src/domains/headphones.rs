@@ -1,0 +1,213 @@
+//! Headphone reference ontology, mirroring the WDC headphone gold
+//! standard (small, imbalanced, noisy — a "low-quality" dataset in the
+//! paper's terminology).
+
+use super::{prop, strings};
+use crate::spec::DomainSpec;
+use crate::value::ValueSpec;
+
+/// The headphone domain specification.
+pub fn spec() -> DomainSpec {
+    let properties = vec![
+        prop(
+            "driver size",
+            &["driver size", "driver", "driver diameter", "driver unit", "speaker size"],
+            &["dynamic", "membrane", "diaphragm", "sound"],
+            ValueSpec::integer(6, 53, &[("mm", 1.0), (" mm driver", 1.0)]),
+            0.80,
+        ),
+        prop(
+            "impedance",
+            &["impedance", "ohms", "nominal impedance", "input impedance"],
+            &["resistance", "amplifier", "load", "drive"],
+            ValueSpec::integer(16, 600, &[(" ohm", 1.0), (" ohms", 1.0), ("Ω", 1.0)]),
+            0.75,
+        ),
+        prop(
+            "frequency response",
+            &[
+                "frequency response",
+                "frequency range",
+                "freq response",
+                "response range",
+            ],
+            &["bass", "treble", "hertz", "spectrum", "audio"],
+            ValueSpec::free_text(
+                &["20hz", "20khz", "5hz", "40khz", "10hz", "to", "-"],
+                2,
+                3,
+            ),
+            0.75,
+        ),
+        prop(
+            "sensitivity",
+            &["sensitivity", "spl", "sound pressure level", "efficiency"],
+            &["loudness", "decibels", "output", "volume"],
+            ValueSpec::integer(85, 120, &[(" dB", 1.0), (" db spl", 1.0)]),
+            0.65,
+        ),
+        prop(
+            "type",
+            &["type", "headphone type", "form factor", "design", "wearing style"],
+            &["ear", "cup", "fit", "style"],
+            ValueSpec::categorical(&["over-ear", "on-ear", "in-ear", "earbuds", "open-back"]),
+            0.85,
+        ),
+        prop(
+            "wireless",
+            &["wireless", "connection type", "connectivity", "cordless"],
+            &["bluetooth", "cable", "pairing", "radio"],
+            ValueSpec::categorical(&["wireless", "wired", "both", "true wireless"]),
+            0.80,
+        ),
+        prop(
+            "battery life",
+            &["battery life", "battery", "playtime", "playback time", "listening time"],
+            &["hours", "charge", "endurance", "power"],
+            ValueSpec::integer(4, 80, &[(" hours", 1.0), ("h", 1.0), (" hrs", 1.0)]),
+            0.70,
+        ),
+        prop(
+            "noise cancellation",
+            &[
+                "noise cancellation",
+                "anc",
+                "active noise cancelling",
+                "noise canceling",
+            ],
+            &["ambient", "isolation", "quiet", "transparency"],
+            ValueSpec::categorical(&["active", "passive", "hybrid anc", "none"]),
+            0.60,
+        ),
+        prop(
+            "weight",
+            &["weight", "item weight", "product weight"],
+            &["grams", "light", "comfort"],
+            ValueSpec::numeric(4.0, 420.0, 0, &[(" g", 1.0), (" grams", 1.0), (" oz", 0.035274)]),
+            0.75,
+        ),
+        prop(
+            "cable length",
+            &["cable length", "cord length", "wire length"],
+            &["metres", "detachable", "cord"],
+            ValueSpec::numeric(0.8, 3.0, 1, &[(" m", 1.0), (" metres", 1.0), (" ft", 3.28084)]),
+            0.50,
+        ),
+        prop(
+            "microphone",
+            &["microphone", "mic", "built in mic", "inline microphone"],
+            &["calls", "voice", "talk", "remote"],
+            ValueSpec::categorical(&["yes", "no", "inline remote mic", "boom mic"]),
+            0.60,
+        ),
+        prop(
+            "bluetooth version",
+            &["bluetooth version", "bluetooth", "bt version"],
+            &["codec", "pairing", "aptx", "wireless"],
+            ValueSpec::categorical(&["5.0", "5.2", "4.2", "5.3", "4.1"]),
+            0.55,
+        ),
+        prop(
+            "color",
+            &["color", "colour", "finish"],
+            &["black", "white", "style"],
+            ValueSpec::categorical(&["black", "white", "blue", "red", "silver"]),
+            0.70,
+        ),
+        prop(
+            "brand",
+            &["brand", "manufacturer", "make"],
+            &["company", "maker", "audio"],
+            ValueSpec::categorical(&[
+                "Sony",
+                "Bose",
+                "Sennheiser",
+                "Audio-Technica",
+                "JBL",
+                "Beats",
+                "AKG",
+            ]),
+            0.85,
+        ),
+        prop(
+            "model",
+            &["model", "model name", "model number"],
+            &["series", "edition"],
+            ValueSpec::ModelCode {
+                prefixes: vec!["WH".into(), "QC".into(), "HD".into(), "ATH".into()],
+            },
+            0.80,
+        ),
+        prop(
+            "price",
+            &["price", "retail price", "msrp", "list price"],
+            &["cost", "dollars", "budget"],
+            ValueSpec::numeric(15.0, 1600.0, 2, &[(" USD", 1.0), ("", 1.0)]),
+            0.80,
+        ),
+        prop(
+            "foldable",
+            &["foldable", "folding design", "collapsible"],
+            &["travel", "portable", "compact"],
+            ValueSpec::categorical(&["yes", "no", "flat folding"]),
+            0.35,
+        ),
+        prop(
+            "water resistance",
+            &["water resistance", "ip rating", "waterproof", "sweat resistance"],
+            &["sport", "rain", "gym", "sweat"],
+            ValueSpec::categorical(&["IPX4", "IPX5", "IPX7", "none", "IP55"]),
+            0.40,
+        ),
+        prop(
+            "charging time",
+            &["charging time", "charge time", "recharge time"],
+            &["quick", "usb", "fast", "hours"],
+            ValueSpec::numeric(0.5, 4.0, 1, &[(" hours", 1.0), ("h", 1.0)]),
+            0.40,
+        ),
+        prop(
+            "warranty",
+            &["warranty", "warranty period", "guarantee"],
+            &["coverage", "support", "service"],
+            ValueSpec::integer(1, 3, &[(" years", 1.0), (" year", 1.0)]),
+            0.35,
+        ),
+    ];
+
+    DomainSpec {
+        name: "headphones".into(),
+        product_words: strings(&["headphones", "earphones", "headset", "earbuds"]),
+        properties,
+        junk_names: strings(&[
+            "sku",
+            "listing id",
+            "availability",
+            "condition",
+            "seller",
+            "stock",
+            "ean",
+            "asin",
+            "shipping",
+            "rating",
+        ]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ontology_size() {
+        assert_eq!(spec().properties.len(), 20);
+    }
+
+    #[test]
+    fn audio_specific_properties_present() {
+        let s = spec();
+        for c in ["impedance", "driver size", "noise cancellation"] {
+            assert!(s.properties.iter().any(|p| p.canonical == c), "missing {c}");
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! The four concrete product domains used in the paper's evaluation.
+//!
+//! * [`Domain::Cameras`] — mirrors the DI2KG'19 camera dataset: 24
+//!   sources, balanced at 100 entities per source, mild noise (the paper's
+//!   "high-quality" dataset).
+//! * [`Domain::Headphones`], [`Domain::Phones`], [`Domain::Tvs`] — mirror
+//!   the WDC Gold Standard datasets: fewer sources, imbalanced entity
+//!   counts, heavy name noise (the paper's "low-quality" datasets).
+//!
+//! Each domain is a [`DomainSpec`] (reference ontology with synonym sets,
+//! typed value distributions, and corpus context words) plus a
+//! [`GeneratorConfig`] fixing its scale and noise level.
+
+mod cameras;
+mod headphones;
+mod phones;
+mod tvs;
+
+use crate::model::Dataset;
+use crate::noise::NoiseConfig;
+use crate::spec::{generate_dataset, DomainSpec, EntityCount, GeneratorConfig, RefProperty};
+use crate::value::ValueSpec;
+
+/// The four evaluation domains (paper §V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// DI2KG'19-style camera data: the large, balanced, high-quality set.
+    Cameras,
+    /// WDC-style headphone data: small, imbalanced, noisy.
+    Headphones,
+    /// WDC-style phone data: small, imbalanced, noisy.
+    Phones,
+    /// WDC-style TV data: small, imbalanced, noisy.
+    Tvs,
+}
+
+impl Domain {
+    /// All four domains in the paper's table order.
+    pub const ALL: [Domain; 4] = [
+        Domain::Cameras,
+        Domain::Headphones,
+        Domain::Phones,
+        Domain::Tvs,
+    ];
+
+    /// Dataset name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Domain::Cameras => "cameras",
+            Domain::Headphones => "headphones",
+            Domain::Phones => "phones",
+            Domain::Tvs => "tvs",
+        }
+    }
+
+    /// Whether the paper classifies this dataset as low-quality
+    /// (imbalanced WDC data).
+    pub fn is_low_quality(self) -> bool {
+        !matches!(self, Domain::Cameras)
+    }
+
+    /// The domain's reference ontology and generation vocabulary.
+    pub fn spec(self) -> DomainSpec {
+        match self {
+            Domain::Cameras => cameras::spec(),
+            Domain::Headphones => headphones::spec(),
+            Domain::Phones => phones::spec(),
+            Domain::Tvs => tvs::spec(),
+        }
+    }
+
+    /// The domain's generation parameters, mirroring the paper's dataset
+    /// characteristics (§V-B).
+    pub fn generator_config(self) -> GeneratorConfig {
+        match self {
+            Domain::Cameras => GeneratorConfig {
+                n_sources: 24,
+                entities: EntityCount::Balanced(100),
+                name_noise: NoiseConfig::mild(),
+                value_noise: NoiseConfig::mild(),
+                missing_value_rate: 0.15,
+                junk_per_source: (2, 5),
+                duplicate_variant_prob: 0.10,
+            },
+            Domain::Headphones | Domain::Phones | Domain::Tvs => GeneratorConfig {
+                n_sources: 8,
+                entities: EntityCount::Imbalanced { min: 5, max: 60 },
+                name_noise: NoiseConfig::heavy(),
+                value_noise: NoiseConfig::heavy(),
+                missing_value_rate: 0.30,
+                junk_per_source: (3, 7),
+                duplicate_variant_prob: 0.15,
+            },
+        }
+    }
+}
+
+/// Generate the dataset of `domain`, deterministic in `seed`.
+pub fn generate(domain: Domain, seed: u64) -> Dataset {
+    generate_dataset(&domain.spec(), &domain.generator_config(), seed)
+}
+
+/// Shorthand constructor for a [`RefProperty`] used by the domain modules.
+pub(crate) fn prop(
+    canonical: &str,
+    synonyms: &[&str],
+    context: &[&str],
+    value: ValueSpec,
+    prevalence: f64,
+) -> RefProperty {
+    RefProperty {
+        canonical: canonical.to_string(),
+        synonyms: synonyms.iter().map(|s| s.to_string()).collect(),
+        context: context.iter().map(|s| s.to_string()).collect(),
+        value,
+        prevalence,
+    }
+}
+
+/// Shorthand for string vectors in domain specs.
+pub(crate) fn strings(items: &[&str]) -> Vec<String> {
+    items.iter().map(|s| s.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_are_well_formed() {
+        for d in Domain::ALL {
+            let spec = d.spec();
+            assert!(!spec.properties.is_empty(), "{d:?} has no properties");
+            assert!(!spec.junk_names.is_empty(), "{d:?} has no junk names");
+            assert!(!spec.product_words.is_empty(), "{d:?} has no product words");
+            for p in &spec.properties {
+                assert!(
+                    !p.synonyms.is_empty(),
+                    "{d:?}::{} has no synonyms",
+                    p.canonical
+                );
+                assert!(
+                    !p.context.is_empty(),
+                    "{d:?}::{} has no context words",
+                    p.canonical
+                );
+                assert!(
+                    (0.0..=1.0).contains(&p.prevalence),
+                    "{d:?}::{} bad prevalence",
+                    p.canonical
+                );
+                for s in &p.synonyms {
+                    assert_eq!(
+                        s.as_str(),
+                        s.to_lowercase().as_str(),
+                        "synonyms must be lowercase: {d:?}::{s}"
+                    );
+                }
+            }
+            // Canonical names are unique within a domain.
+            let mut canon: Vec<&str> = spec
+                .properties
+                .iter()
+                .map(|p| p.canonical.as_str())
+                .collect();
+            canon.sort_unstable();
+            let before = canon.len();
+            canon.dedup();
+            assert_eq!(canon.len(), before, "{d:?} duplicate canonical names");
+        }
+    }
+
+    #[test]
+    fn cameras_scale_mirrors_paper() {
+        let ds = generate(Domain::Cameras, 7);
+        let stats = ds.stats();
+        assert_eq!(stats.sources, 24);
+        assert_eq!(stats.entities, 2400);
+        assert!(
+            stats.properties > 500,
+            "cameras too small: {stats:?}"
+        );
+        assert!(
+            stats.matching_pairs > 3000,
+            "too few matching pairs: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn low_quality_sets_are_smaller_and_imbalanced() {
+        for d in [Domain::Headphones, Domain::Phones, Domain::Tvs] {
+            let ds = generate(d, 11);
+            let stats = ds.stats();
+            assert_eq!(stats.sources, 8, "{d:?}");
+            assert!(stats.properties < 400, "{d:?}: {stats:?}");
+            assert!(stats.matching_pairs > 50, "{d:?}: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn domains_have_distinct_ontologies() {
+        let cam: std::collections::HashSet<String> = Domain::Cameras
+            .spec()
+            .properties
+            .iter()
+            .map(|p| p.canonical.clone())
+            .collect();
+        let tv: std::collections::HashSet<String> = Domain::Tvs
+            .spec()
+            .properties
+            .iter()
+            .map(|p| p.canonical.clone())
+            .collect();
+        // Some overlap (brand/price/weight) but mostly distinct.
+        let inter = cam.intersection(&tv).count();
+        assert!(inter < cam.len() / 2);
+    }
+
+    #[test]
+    fn names_match_paper_tables() {
+        assert_eq!(Domain::Cameras.name(), "cameras");
+        assert_eq!(Domain::Tvs.name(), "tvs");
+        assert!(Domain::Phones.is_low_quality());
+        assert!(!Domain::Cameras.is_low_quality());
+    }
+}

@@ -1,0 +1,230 @@
+//! Phone reference ontology, mirroring the WDC phone gold standard
+//! (small, imbalanced, noisy — a "low-quality" dataset).
+
+use super::{prop, strings};
+use crate::spec::DomainSpec;
+use crate::value::ValueSpec;
+
+/// The phone domain specification.
+pub fn spec() -> DomainSpec {
+    let properties = vec![
+        prop(
+            "screen size",
+            &["screen size", "display size", "display", "screen diagonal"],
+            &["inches", "panel", "diagonal", "display"],
+            ValueSpec::numeric(4.0, 7.0, 2, &[(" inch", 1.0), ("\"", 1.0), (" in display", 1.0)]),
+            0.90,
+        ),
+        prop(
+            "screen resolution",
+            &["screen resolution", "display resolution", "resolution", "pixels"],
+            &["sharp", "ppi", "crisp", "density"],
+            ValueSpec::categorical(&[
+                "1920x1080",
+                "2340x1080",
+                "2778x1284",
+                "3200x1440",
+                "1600x720",
+            ]),
+            0.75,
+        ),
+        prop(
+            "storage",
+            &["storage", "internal storage", "memory", "rom", "internal memory"],
+            &["gigabytes", "capacity", "apps", "space"],
+            ValueSpec::categorical(&["64 GB", "128 GB", "256 GB", "512 GB", "32 GB", "1 TB"]),
+            0.85,
+        ),
+        prop(
+            "ram",
+            &["ram", "memory ram", "system memory", "ram size"],
+            &["gigabytes", "multitasking", "speed"],
+            ValueSpec::integer(2, 16, &[(" GB", 1.0), ("GB RAM", 1.0)]),
+            0.75,
+        ),
+        prop(
+            "battery capacity",
+            &["battery capacity", "battery", "battery size", "battery mah"],
+            &["charge", "mah", "endurance", "power"],
+            ValueSpec::integer(2500, 6000, &[(" mAh", 1.0), ("mah", 1.0)]),
+            0.85,
+        ),
+        prop(
+            "rear camera",
+            &["rear camera", "main camera", "back camera", "primary camera"],
+            &["photo", "lens", "megapixels", "photography"],
+            ValueSpec::integer(8, 200, &[(" MP", 1.0), ("mp camera", 1.0)]),
+            0.80,
+        ),
+        prop(
+            "front camera",
+            &["front camera", "selfie camera", "front facing camera"],
+            &["selfie", "video call", "facetime"],
+            ValueSpec::integer(5, 60, &[(" MP", 1.0), ("mp", 1.0)]),
+            0.60,
+        ),
+        prop(
+            "processor",
+            &["processor", "chipset", "cpu", "soc"],
+            &["cores", "performance", "gigahertz", "chip"],
+            ValueSpec::categorical(&[
+                "Snapdragon 8 Gen 1",
+                "A15 Bionic",
+                "Dimensity 9000",
+                "Exynos 2200",
+                "Snapdragon 778G",
+                "Helio G96",
+            ]),
+            0.70,
+        ),
+        prop(
+            "operating system",
+            &["operating system", "os", "platform", "software"],
+            &["android", "ios", "version", "updates"],
+            ValueSpec::categorical(&["Android 12", "iOS 15", "Android 11", "Android 13", "iOS 16"]),
+            0.70,
+        ),
+        prop(
+            "weight",
+            &["weight", "item weight", "phone weight"],
+            &["grams", "light", "hand"],
+            ValueSpec::numeric(135.0, 240.0, 0, &[(" g", 1.0), (" grams", 1.0), (" oz", 0.035274)]),
+            0.75,
+        ),
+        prop(
+            "dimensions",
+            &["dimensions", "size", "product dimensions", "body dimensions"],
+            &["width", "height", "thickness", "millimetres"],
+            ValueSpec::Dimensions {
+                min: 7.0,
+                max: 170.0,
+                axes: 3,
+            },
+            0.65,
+        ),
+        prop(
+            "sim",
+            &["sim", "sim type", "sim slots", "dual sim"],
+            &["nano", "esim", "card", "slots"],
+            ValueSpec::categorical(&["dual nano-SIM", "nano-SIM", "nano-SIM + eSIM", "eSIM only"]),
+            0.55,
+        ),
+        prop(
+            "network",
+            &["network", "connectivity", "cellular", "network type"],
+            &["bands", "lte", "speed", "carrier"],
+            ValueSpec::categorical(&["5G", "4G LTE", "5G + 4G", "3G/4G"]),
+            0.65,
+        ),
+        prop(
+            "color",
+            &["color", "colour", "finish"],
+            &["black", "style", "gradient"],
+            ValueSpec::categorical(&["black", "white", "blue", "green", "purple", "gold"]),
+            0.70,
+        ),
+        prop(
+            "brand",
+            &["brand", "manufacturer", "make"],
+            &["company", "maker", "mobile"],
+            ValueSpec::categorical(&[
+                "Samsung",
+                "Apple",
+                "Xiaomi",
+                "Google",
+                "OnePlus",
+                "Motorola",
+                "Oppo",
+            ]),
+            0.85,
+        ),
+        prop(
+            "model",
+            &["model", "model name", "model number"],
+            &["series", "edition", "generation"],
+            ValueSpec::ModelCode {
+                prefixes: vec!["SM".into(), "A".into(), "MI".into(), "GT".into()],
+            },
+            0.80,
+        ),
+        prop(
+            "price",
+            &["price", "retail price", "msrp", "list price"],
+            &["cost", "dollars", "unlocked"],
+            ValueSpec::numeric(99.0, 1800.0, 2, &[(" USD", 1.0), ("", 1.0)]),
+            0.80,
+        ),
+        prop(
+            "charging",
+            &["charging", "fast charging", "charging speed", "charger watts"],
+            &["watts", "quick", "usb", "wireless"],
+            ValueSpec::integer(10, 150, &[("W", 1.0), (" watt fast charging", 1.0)]),
+            0.50,
+        ),
+        prop(
+            "water resistance",
+            &["water resistance", "ip rating", "waterproof"],
+            &["dust", "splash", "rating"],
+            ValueSpec::categorical(&["IP68", "IP67", "IP53", "none"]),
+            0.45,
+        ),
+        prop(
+            "release year",
+            &["release year", "year", "launch year", "announced"],
+            &["launched", "date", "generation"],
+            ValueSpec::integer(2015, 2022, &[("", 1.0)]),
+            0.50,
+        ),
+        prop(
+            "refresh rate",
+            &["refresh rate", "display refresh rate", "screen refresh"],
+            &["hertz", "smooth", "scrolling", "panel"],
+            ValueSpec::categorical(&["60 Hz", "90 Hz", "120 Hz", "144 Hz"]),
+            0.45,
+        ),
+        prop(
+            "nfc",
+            &["nfc", "near field communication", "contactless"],
+            &["payments", "tap", "pairing"],
+            ValueSpec::categorical(&["yes", "no"]),
+            0.35,
+        ),
+    ];
+
+    DomainSpec {
+        name: "phones".into(),
+        product_words: strings(&["phone", "smartphone", "handset", "mobile"]),
+        properties,
+        junk_names: strings(&[
+            "sku",
+            "listing id",
+            "availability",
+            "condition",
+            "seller",
+            "stock",
+            "ean",
+            "carrier lock",
+            "shipping",
+            "rating",
+            "bundle",
+        ]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ontology_size() {
+        assert_eq!(spec().properties.len(), 22);
+    }
+
+    #[test]
+    fn phone_specific_properties_present() {
+        let s = spec();
+        for c in ["ram", "battery capacity", "operating system", "nfc"] {
+            assert!(s.properties.iter().any(|p| p.canonical == c), "missing {c}");
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! TV reference ontology, mirroring the WDC TV gold standard (small,
+//! imbalanced, noisy — a "low-quality" dataset).
+
+use super::{prop, strings};
+use crate::spec::DomainSpec;
+use crate::value::ValueSpec;
+
+/// The TV domain specification.
+pub fn spec() -> DomainSpec {
+    let properties = vec![
+        prop(
+            "screen size",
+            &["screen size", "display size", "screen diagonal", "size class", "tv size"],
+            &["inches", "diagonal", "panel", "living"],
+            ValueSpec::integer(24, 85, &[(" inch", 1.0), ("\"", 1.0), (" in class", 1.0)]),
+            0.95,
+        ),
+        prop(
+            "resolution",
+            &["resolution", "display resolution", "screen resolution", "native resolution"],
+            &["pixels", "sharp", "detail", "uhd"],
+            ValueSpec::categorical(&["4K UHD", "1080p Full HD", "8K", "720p HD"]),
+            0.90,
+        ),
+        prop(
+            "panel type",
+            &["panel type", "display type", "panel technology", "screen type"],
+            &["backlight", "contrast", "blacks", "viewing"],
+            ValueSpec::categorical(&["OLED", "QLED", "LED", "Mini-LED", "LCD"]),
+            0.75,
+        ),
+        prop(
+            "refresh rate",
+            &["refresh rate", "native refresh rate", "motion rate", "hz"],
+            &["hertz", "motion", "gaming", "smooth"],
+            ValueSpec::categorical(&["60 Hz", "120 Hz", "100 Hz", "144 Hz"]),
+            0.70,
+        ),
+        prop(
+            "hdr",
+            &["hdr", "hdr format", "high dynamic range", "hdr support"],
+            &["dolby", "vision", "contrast", "highlights"],
+            ValueSpec::categorical(&["HDR10", "Dolby Vision", "HDR10+", "HLG", "none"]),
+            0.65,
+        ),
+        prop(
+            "smart platform",
+            &["smart platform", "smart tv", "operating system", "tv os", "platform"],
+            &["apps", "streaming", "voice", "assistant"],
+            ValueSpec::categorical(&["webOS", "Tizen", "Google TV", "Roku TV", "Fire TV"]),
+            0.70,
+        ),
+        prop(
+            "hdmi ports",
+            &["hdmi ports", "hdmi", "hdmi inputs", "number of hdmi"],
+            &["inputs", "console", "soundbar", "connect"],
+            ValueSpec::integer(2, 4, &[(" hdmi", 1.0), ("", 1.0), (" ports", 1.0)]),
+            0.65,
+        ),
+        prop(
+            "usb ports",
+            &["usb ports", "usb", "usb inputs"],
+            &["media", "playback", "drive"],
+            ValueSpec::integer(1, 3, &[(" usb", 1.0), ("", 1.0)]),
+            0.50,
+        ),
+        prop(
+            "speaker power",
+            &["speaker power", "audio output", "sound output", "speakers"],
+            &["watts", "audio", "loud", "channels"],
+            ValueSpec::integer(10, 60, &[("W", 1.0), (" watts", 1.0), (" w output", 1.0)]),
+            0.55,
+        ),
+        prop(
+            "weight",
+            &["weight", "item weight", "weight without stand"],
+            &["kilograms", "mount", "wall"],
+            ValueSpec::numeric(4.0, 45.0, 1, &[(" kg", 1.0), (" lbs", 2.20462)]),
+            0.70,
+        ),
+        prop(
+            "dimensions",
+            &["dimensions", "product dimensions", "size without stand", "tv dimensions"],
+            &["width", "height", "depth", "centimetres"],
+            ValueSpec::Dimensions {
+                min: 30.0,
+                max: 1900.0,
+                axes: 3,
+            },
+            0.65,
+        ),
+        prop(
+            "vesa",
+            &["vesa", "vesa mount", "wall mount pattern", "mounting"],
+            &["bracket", "wall", "pattern"],
+            ValueSpec::categorical(&["200x200", "300x300", "400x400", "100x100", "600x400"]),
+            0.40,
+        ),
+        prop(
+            "energy rating",
+            &["energy rating", "energy class", "energy efficiency"],
+            &["consumption", "efficiency", "power"],
+            ValueSpec::categorical(&["A", "B", "C", "D", "E", "F", "G"]),
+            0.45,
+        ),
+        prop(
+            "tuner",
+            &["tuner", "tv tuner", "tuner type", "broadcast"],
+            &["antenna", "channels", "digital"],
+            ValueSpec::categorical(&["DVB-T2/C/S2", "ATSC 3.0", "ATSC", "DVB-T2"]),
+            0.40,
+        ),
+        prop(
+            "wifi",
+            &["wifi", "wireless lan", "wifi built in"],
+            &["streaming", "network", "wireless"],
+            ValueSpec::categorical(&["WiFi 5", "WiFi 6", "yes", "WiFi 4"]),
+            0.55,
+        ),
+        prop(
+            "bluetooth",
+            &["bluetooth", "bluetooth audio", "bt"],
+            &["headphones", "pairing", "soundbar"],
+            ValueSpec::categorical(&["yes", "no", "5.0", "4.2"]),
+            0.45,
+        ),
+        prop(
+            "brand",
+            &["brand", "manufacturer", "make"],
+            &["company", "maker", "electronics"],
+            ValueSpec::categorical(&["Samsung", "LG", "Sony", "TCL", "Hisense", "Vizio", "Philips"]),
+            0.85,
+        ),
+        prop(
+            "model",
+            &["model", "model name", "model number", "model code"],
+            &["series", "lineup", "year"],
+            ValueSpec::ModelCode {
+                prefixes: vec!["QN".into(), "OLED".into(), "UN".into(), "X".into()],
+            },
+            0.80,
+        ),
+        prop(
+            "price",
+            &["price", "retail price", "msrp", "list price"],
+            &["cost", "dollars", "deal"],
+            ValueSpec::numeric(120.0, 4500.0, 2, &[(" USD", 1.0), ("", 1.0)]),
+            0.80,
+        ),
+        prop(
+            "release year",
+            &["release year", "year", "model year"],
+            &["lineup", "generation", "launched"],
+            ValueSpec::integer(2015, 2022, &[("", 1.0)]),
+            0.50,
+        ),
+    ];
+
+    DomainSpec {
+        name: "tvs".into(),
+        product_words: strings(&["tv", "television", "smart tv", "display"]),
+        properties,
+        junk_names: strings(&[
+            "sku",
+            "listing id",
+            "availability",
+            "condition",
+            "seller",
+            "stock",
+            "ean",
+            "shipping class",
+            "bundle offer",
+            "rating",
+        ]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ontology_size() {
+        assert_eq!(spec().properties.len(), 20);
+    }
+
+    #[test]
+    fn tv_specific_properties_present() {
+        let s = spec();
+        for c in ["panel type", "hdr", "smart platform", "vesa"] {
+            assert!(s.properties.iter().any(|p| p.canonical == c), "missing {c}");
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! CSV import/export for real-world property data.
+//!
+//! Downstream users rarely start from JSON; scraped property instances
+//! usually live in delimited files. This module reads/writes the two
+//! files a LEAPME run needs, with a small built-in CSV codec (RFC-4180
+//! quoting; no external dependency):
+//!
+//! * **instances**: `source,property,entity,value` rows;
+//! * **alignments** (optional): `source,property,reference` rows mapping
+//!   source-local properties to reference-ontology names.
+
+use crate::model::{Dataset, Instance, ModelError, PropertyKey, SourceId};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+/// Errors from CSV import.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed row.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// The resulting dataset is inconsistent.
+    Model(ModelError),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Malformed { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            CsvError::Model(e) => write!(f, "dataset error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Parse one CSV record (RFC-4180: `"` quoting, `""` escapes).
+///
+/// Returns the fields, or an error message for unterminated quotes.
+pub fn parse_record(line: &str) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        current.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => current.push(other),
+            }
+        } else {
+            match c {
+                '"' if current.is_empty() => in_quotes = true,
+                ',' => {
+                    fields.push(std::mem::take(&mut current));
+                }
+                other => current.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted field".into());
+    }
+    fields.push(current);
+    Ok(fields)
+}
+
+/// Quote a field if needed and append it to `out`.
+fn write_field(out: &mut String, field: &str) {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        out.push('"');
+        out.push_str(&field.replace('"', "\"\""));
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Read `source,property,entity,value` rows (with header) plus an
+/// optional `source,property,reference` alignment file into a [`Dataset`].
+///
+/// Source ids are assigned in first-appearance order across both files.
+pub fn read_dataset(
+    name: &str,
+    instances_path: &Path,
+    alignments_path: Option<&Path>,
+) -> Result<Dataset, CsvError> {
+    let mut sources: Vec<String> = Vec::new();
+    let source_id = |name: &str, sources: &mut Vec<String>| -> SourceId {
+        match sources.iter().position(|s| s == name) {
+            Some(i) => SourceId(i as u16),
+            None => {
+                sources.push(name.to_string());
+                SourceId((sources.len() - 1) as u16)
+            }
+        }
+    };
+
+    let mut instances = Vec::new();
+    let reader = BufReader::new(std::fs::File::open(instances_path)?);
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if lineno == 0 || line.trim().is_empty() {
+            continue; // header / blank
+        }
+        let fields = parse_record(&line).map_err(|message| CsvError::Malformed {
+            line: lineno + 1,
+            message,
+        })?;
+        if fields.len() != 4 {
+            return Err(CsvError::Malformed {
+                line: lineno + 1,
+                message: format!("expected 4 fields, found {}", fields.len()),
+            });
+        }
+        let sid = source_id(&fields[0], &mut sources);
+        instances.push(Instance {
+            source: sid,
+            property: fields[1].clone(),
+            entity: fields[2].clone(),
+            value: fields[3].clone(),
+        });
+    }
+
+    let mut alignment: BTreeMap<PropertyKey, String> = BTreeMap::new();
+    if let Some(path) = alignments_path {
+        let reader = BufReader::new(std::fs::File::open(path)?);
+        for (lineno, line) in reader.lines().enumerate() {
+            let line = line?;
+            if lineno == 0 || line.trim().is_empty() {
+                continue;
+            }
+            let fields = parse_record(&line).map_err(|message| CsvError::Malformed {
+                line: lineno + 1,
+                message,
+            })?;
+            if fields.len() != 3 {
+                return Err(CsvError::Malformed {
+                    line: lineno + 1,
+                    message: format!("expected 3 fields, found {}", fields.len()),
+                });
+            }
+            let sid = source_id(&fields[0], &mut sources);
+            alignment.insert(PropertyKey::new(sid, fields[1].clone()), fields[2].clone());
+        }
+    }
+
+    Dataset::new(name, sources, instances, alignment).map_err(CsvError::Model)
+}
+
+/// Write a dataset's instances (and alignment, if any) back to CSV files.
+pub fn write_dataset(
+    dataset: &Dataset,
+    instances_path: &Path,
+    alignments_path: Option<&Path>,
+) -> Result<(), CsvError> {
+    let mut out = String::from("source,property,entity,value\n");
+    for inst in dataset.instances() {
+        let source = &dataset.sources()[inst.source.0 as usize];
+        for (i, field) in [source, &inst.property, &inst.entity, &inst.value]
+            .into_iter()
+            .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            write_field(&mut out, field);
+        }
+        out.push('\n');
+    }
+    let mut f = std::fs::File::create(instances_path)?;
+    f.write_all(out.as_bytes())?;
+
+    if let Some(path) = alignments_path {
+        let mut out = String::from("source,property,reference\n");
+        for key in dataset.properties() {
+            if let Some(reference) = dataset.alignment_of(&key) {
+                let source = &dataset.sources()[key.source.0 as usize];
+                for (i, field) in [source.as_str(), &key.name, reference].into_iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_field(&mut out, field);
+                }
+                out.push('\n');
+            }
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(out.as_bytes())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::{generate, Domain};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("leapme_data_io_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn parse_record_basics() {
+        assert_eq!(parse_record("a,b,c").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(parse_record("").unwrap(), vec![""]);
+        assert_eq!(parse_record("a,,c").unwrap(), vec!["a", "", "c"]);
+    }
+
+    #[test]
+    fn parse_record_quoting() {
+        assert_eq!(
+            parse_record(r#"shopA,"weight, net",e1,"20.1 ""MP""""#).unwrap(),
+            vec!["shopA", "weight, net", "e1", r#"20.1 "MP""#]
+        );
+        assert!(parse_record(r#""unterminated"#).is_err());
+    }
+
+    #[test]
+    fn round_trip_through_csv() {
+        let original = generate(Domain::Headphones, 8);
+        let inst_path = tmp("rt_instances.csv");
+        let align_path = tmp("rt_alignments.csv");
+        write_dataset(&original, &inst_path, Some(&align_path)).unwrap();
+        let back = read_dataset("headphones", &inst_path, Some(&align_path)).unwrap();
+        let (a, b) = (original.stats(), back.stats());
+        assert_eq!(a.instances, b.instances);
+        assert_eq!(a.properties, b.properties);
+        assert_eq!(a.aligned_properties, b.aligned_properties);
+        assert_eq!(a.matching_pairs, b.matching_pairs);
+        std::fs::remove_file(inst_path).ok();
+        std::fs::remove_file(align_path).ok();
+    }
+
+    #[test]
+    fn read_simple_files() {
+        let inst = tmp("simple_instances.csv");
+        std::fs::write(
+            &inst,
+            "source,property,entity,value\n\
+             shopA,megapixels,e1,20.1 MP\n\
+             shopB,resolution,x1,\"20,1 megapixels\"\n",
+        )
+        .unwrap();
+        let align = tmp("simple_alignments.csv");
+        std::fs::write(
+            &align,
+            "source,property,reference\n\
+             shopA,megapixels,resolution\n\
+             shopB,resolution,resolution\n",
+        )
+        .unwrap();
+        let ds = read_dataset("custom", &inst, Some(&align)).unwrap();
+        assert_eq!(ds.sources().len(), 2);
+        assert_eq!(ds.stats().matching_pairs, 1);
+        let key = PropertyKey::new(SourceId(1), "resolution");
+        assert_eq!(ds.instances_of(&key)[0].value, "20,1 megapixels");
+        std::fs::remove_file(inst).ok();
+        std::fs::remove_file(align).ok();
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        let inst = tmp("bad_instances.csv");
+        std::fs::write(&inst, "header\nonly,three,fields\n").unwrap();
+        let err = read_dataset("bad", &inst, None).unwrap_err();
+        assert!(matches!(err, CsvError::Malformed { line: 2, .. }));
+        std::fs::remove_file(inst).ok();
+    }
+
+    #[test]
+    fn alignment_can_reference_new_sources() {
+        // Alignment file mentions a source absent from instances — allowed
+        // (a schema-only source), ids assigned consistently.
+        let inst = tmp("new_src_instances.csv");
+        std::fs::write(&inst, "h\nshopA,p,e,v\n").unwrap();
+        let align = tmp("new_src_alignments.csv");
+        std::fs::write(&align, "h\nshopB,q,ref\n").unwrap();
+        let ds = read_dataset("x", &inst, Some(&align)).unwrap();
+        assert_eq!(ds.sources().len(), 2);
+        assert_eq!(
+            ds.alignment_of(&PropertyKey::new(SourceId(1), "q")),
+            Some("ref")
+        );
+        std::fs::remove_file(inst).ok();
+        std::fs::remove_file(align).ok();
+    }
+
+    #[test]
+    fn empty_instances_file_is_ok() {
+        let inst = tmp("empty_instances.csv");
+        std::fs::write(&inst, "source,property,entity,value\n").unwrap();
+        let ds = read_dataset("empty", &inst, None).unwrap();
+        assert_eq!(ds.stats().instances, 0);
+        std::fs::remove_file(inst).ok();
+    }
+}

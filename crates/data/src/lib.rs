@@ -1,0 +1,50 @@
+//! Multi-source property data model and synthetic dataset generators.
+//!
+//! The LEAPME evaluation (paper §V-B) uses four multi-source e-commerce
+//! datasets — cameras (DI2KG'19 challenge, 24 sources) and headphones /
+//! phones / TVs (WDC Gold Standard) — where every source-local property is
+//! aligned to a reference ontology, and two properties *match* iff they
+//! align to the same reference property. Those datasets are not available
+//! offline, so this crate provides:
+//!
+//! * [`model`] — the data model: sources, entities, property instances
+//!   `(p, e, v)` (paper §III), datasets with reference alignments, and
+//!   ground-truth pair derivation;
+//! * [`value`] — typed synthetic value generators (numbers with unit
+//!   variants, categorical vocabularies, physical dimensions, model codes,
+//!   free text);
+//! * [`noise`] — realistic corruption: typos, abbreviations, token
+//!   dropout, case jitter;
+//! * [`spec`] — the generation engine: domain specifications (reference
+//!   properties with synonym sets) plus per-source naming styles are
+//!   expanded into a concrete [`model::Dataset`];
+//! * [`domains`] — the four concrete domain ontologies mirroring the
+//!   paper's datasets (balanced high-quality cameras; smaller, imbalanced,
+//!   noisier headphones / phones / TVs);
+//! * [`corpus`] — a domain text-corpus generator whose sentences make
+//!   synonymous property terms share contexts, so that GloVe training in
+//!   `leapme-embedding` reproduces the semantic geometry the paper gets
+//!   from pre-trained vectors (DESIGN.md §2).
+//!
+//! # Example
+//!
+//! ```
+//! use leapme_data::domains::{Domain, generate};
+//!
+//! let dataset = generate(Domain::Cameras, 42);
+//! assert_eq!(dataset.sources().len(), 24);
+//! let stats = dataset.stats();
+//! assert!(stats.properties > 500);
+//! assert!(stats.matching_pairs > 1000);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod corpus;
+pub mod domains;
+pub mod io;
+pub mod model;
+pub mod noise;
+pub mod spec;
+pub mod value;

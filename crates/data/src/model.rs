@@ -1,0 +1,516 @@
+//! The multi-source property data model (paper §III).
+//!
+//! A [`Dataset`] holds property instances `(p, e, v)` from several sources
+//! plus the alignment of each source-local property to a reference
+//! ontology. Ground truth follows the paper's rule: two properties from
+//! *different* sources match iff both are aligned to the same reference
+//! property.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Identifier of a source within a dataset (dense, 0-based).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SourceId(pub u16);
+
+/// A property is identified by its source and its (source-local) name.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PropertyKey {
+    /// Source the property belongs to.
+    pub source: SourceId,
+    /// Source-local property name.
+    pub name: String,
+}
+
+impl PropertyKey {
+    /// Convenience constructor.
+    pub fn new(source: SourceId, name: impl Into<String>) -> Self {
+        PropertyKey {
+            source,
+            name: name.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for PropertyKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}:{}", self.source.0, self.name)
+    }
+}
+
+/// A property instance `(p, e, v)`: property name, entity id, literal value
+/// (paper §III), tagged with its source.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instance {
+    /// Source the instance comes from.
+    pub source: SourceId,
+    /// Property name within the source.
+    pub property: String,
+    /// Entity identifier within the source.
+    pub entity: String,
+    /// Literal value.
+    pub value: String,
+}
+
+/// An unordered pair of properties from different sources.
+///
+/// Stored canonically (lexicographically smaller key first) so it can be
+/// used as a set/map key.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PropertyPair(pub PropertyKey, pub PropertyKey);
+
+impl PropertyPair {
+    /// Build the canonical pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both properties come from the same source — the task only
+    /// matches properties *across* sources (paper §III).
+    pub fn new(a: PropertyKey, b: PropertyKey) -> Self {
+        assert_ne!(a.source, b.source, "pairs must span two sources");
+        if a <= b {
+            PropertyPair(a, b)
+        } else {
+            PropertyPair(b, a)
+        }
+    }
+}
+
+/// Summary statistics of a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of sources.
+    pub sources: usize,
+    /// Number of distinct (source, name) properties.
+    pub properties: usize,
+    /// Number of aligned properties (having a reference property).
+    pub aligned_properties: usize,
+    /// Number of property instances.
+    pub instances: usize,
+    /// Number of entities summed over sources.
+    pub entities: usize,
+    /// Number of cross-source matching property pairs.
+    pub matching_pairs: usize,
+}
+
+/// A multi-source dataset with reference-ontology alignment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    name: String,
+    sources: Vec<String>,
+    instances: Vec<Instance>,
+    /// Alignment of properties to reference-property names. Properties
+    /// absent from the map are unaligned ("junk") and match nothing.
+    /// Serialized as a list of pairs because JSON map keys must be strings.
+    #[serde(with = "alignment_serde")]
+    alignment: BTreeMap<PropertyKey, String>,
+    // ---- caches (rebuilt on deserialize) ----
+    #[serde(skip)]
+    by_property: HashMap<PropertyKey, Vec<usize>>,
+}
+
+impl Dataset {
+    /// Assemble a dataset.
+    ///
+    /// `sources[i]` names the source with id `i`. Instances referring to a
+    /// source id out of range are rejected.
+    pub fn new(
+        name: impl Into<String>,
+        sources: Vec<String>,
+        instances: Vec<Instance>,
+        alignment: BTreeMap<PropertyKey, String>,
+    ) -> Result<Self, ModelError> {
+        let n = sources.len();
+        for inst in &instances {
+            if inst.source.0 as usize >= n {
+                return Err(ModelError::UnknownSource(inst.source));
+            }
+        }
+        for key in alignment.keys() {
+            if key.source.0 as usize >= n {
+                return Err(ModelError::UnknownSource(key.source));
+            }
+        }
+        let mut ds = Dataset {
+            name: name.into(),
+            sources,
+            instances,
+            alignment,
+            by_property: HashMap::new(),
+        };
+        ds.rebuild_index();
+        Ok(ds)
+    }
+
+    fn rebuild_index(&mut self) {
+        self.by_property.clear();
+        for (i, inst) in self.instances.iter().enumerate() {
+            self.by_property
+                .entry(PropertyKey::new(inst.source, inst.property.clone()))
+                .or_default()
+                .push(i);
+        }
+    }
+
+    /// Dataset name (e.g. `"cameras"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Source names; index = source id.
+    pub fn sources(&self) -> &[String] {
+        &self.sources
+    }
+
+    /// All property instances.
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// All distinct properties, sorted.
+    pub fn properties(&self) -> Vec<PropertyKey> {
+        let mut set: BTreeSet<PropertyKey> = self.by_property.keys().cloned().collect();
+        // Aligned properties may exist without instances (rare); include them.
+        set.extend(self.alignment.keys().cloned());
+        set.into_iter().collect()
+    }
+
+    /// The schema of one source: its distinct property names, sorted
+    /// (paper §III "class schema").
+    pub fn schema_of(&self, source: SourceId) -> Vec<String> {
+        let set: BTreeSet<&str> = self
+            .by_property
+            .keys()
+            .filter(|k| k.source == source)
+            .map(|k| k.name.as_str())
+            .collect();
+        set.into_iter().map(str::to_string).collect()
+    }
+
+    /// Instances of one property.
+    pub fn instances_of(&self, key: &PropertyKey) -> Vec<&Instance> {
+        self.by_property
+            .get(key)
+            .map(|idxs| idxs.iter().map(|&i| &self.instances[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Reference property a property is aligned to, if any.
+    pub fn alignment_of(&self, key: &PropertyKey) -> Option<&str> {
+        self.alignment.get(key).map(String::as_str)
+    }
+
+    /// Whether two properties match per the paper's ground-truth rule:
+    /// different sources, both aligned, same reference property.
+    pub fn matches(&self, a: &PropertyKey, b: &PropertyKey) -> bool {
+        if a.source == b.source {
+            return false;
+        }
+        match (self.alignment.get(a), self.alignment.get(b)) {
+            (Some(ra), Some(rb)) => ra == rb,
+            _ => false,
+        }
+    }
+
+    /// All cross-source matching property pairs (the ground truth).
+    pub fn ground_truth_pairs(&self) -> BTreeSet<PropertyPair> {
+        let mut by_ref: BTreeMap<&str, Vec<&PropertyKey>> = BTreeMap::new();
+        for (key, reference) in &self.alignment {
+            by_ref.entry(reference.as_str()).or_default().push(key);
+        }
+        let mut pairs = BTreeSet::new();
+        for keys in by_ref.values() {
+            for (i, a) in keys.iter().enumerate() {
+                for b in &keys[i + 1..] {
+                    if a.source != b.source {
+                        pairs.insert(PropertyPair::new((*a).clone(), (*b).clone()));
+                    }
+                }
+            }
+        }
+        pairs
+    }
+
+    /// All cross-source property pairs restricted to the given sources
+    /// (both endpoints must belong to `sources`). This is the candidate
+    /// space the classifier scores.
+    pub fn cross_source_pairs(&self, sources: &[SourceId]) -> Vec<PropertyPair> {
+        let allowed: BTreeSet<SourceId> = sources.iter().copied().collect();
+        let props: Vec<PropertyKey> = self
+            .properties()
+            .into_iter()
+            .filter(|p| allowed.contains(&p.source))
+            .collect();
+        let mut pairs = Vec::new();
+        for (i, a) in props.iter().enumerate() {
+            for b in &props[i + 1..] {
+                if a.source != b.source {
+                    pairs.push(PropertyPair::new(a.clone(), b.clone()));
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let entities: BTreeSet<(SourceId, &str)> = self
+            .instances
+            .iter()
+            .map(|i| (i.source, i.entity.as_str()))
+            .collect();
+        DatasetStats {
+            sources: self.sources.len(),
+            properties: self.properties().len(),
+            aligned_properties: self.alignment.len(),
+            instances: self.instances.len(),
+            entities: entities.len(),
+            matching_pairs: self.ground_truth_pairs().len(),
+        }
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("dataset is serializable")
+    }
+
+    /// Deserialize from JSON produced by [`Dataset::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, ModelError> {
+        let mut ds: Dataset =
+            serde_json::from_str(json).map_err(|e| ModelError::Json(e.to_string()))?;
+        ds.rebuild_index();
+        Ok(ds)
+    }
+}
+
+mod alignment_serde {
+    //! JSON-friendly (de)serialization of the alignment map: a sequence of
+    //! `(PropertyKey, String)` entries instead of a map with struct keys.
+    use super::PropertyKey;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::collections::BTreeMap;
+
+    pub fn serialize<S: Serializer>(
+        map: &BTreeMap<PropertyKey, String>,
+        ser: S,
+    ) -> Result<S::Ok, S::Error> {
+        let entries: Vec<(&PropertyKey, &String)> = map.iter().collect();
+        entries.serialize(ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        de: D,
+    ) -> Result<BTreeMap<PropertyKey, String>, D::Error> {
+        let entries: Vec<(PropertyKey, String)> = Vec::deserialize(de)?;
+        Ok(entries.into_iter().collect())
+    }
+}
+
+/// Errors constructing or loading datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// An instance or alignment refers to a source id not in the dataset.
+    UnknownSource(SourceId),
+    /// JSON (de)serialization failure.
+    Json(String),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::UnknownSource(s) => write!(f, "unknown source id {}", s.0),
+            ModelError::Json(e) => write!(f, "json error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let s0 = SourceId(0);
+        let s1 = SourceId(1);
+        let s2 = SourceId(2);
+        let instances = vec![
+            Instance {
+                source: s0,
+                property: "megapixels".into(),
+                entity: "e1".into(),
+                value: "20.1 MP".into(),
+            },
+            Instance {
+                source: s0,
+                property: "megapixels".into(),
+                entity: "e2".into(),
+                value: "24 MP".into(),
+            },
+            Instance {
+                source: s1,
+                property: "camera resolution".into(),
+                entity: "x1".into(),
+                value: "20 megapixels".into(),
+            },
+            Instance {
+                source: s2,
+                property: "effective pixels".into(),
+                entity: "z1".into(),
+                value: "18.2".into(),
+            },
+            Instance {
+                source: s1,
+                property: "sku".into(),
+                entity: "x1".into(),
+                value: "A-1023".into(),
+            },
+            Instance {
+                source: s2,
+                property: "sku".into(),
+                entity: "z1".into(),
+                value: "B-884".into(),
+            },
+        ];
+        let mut alignment = BTreeMap::new();
+        alignment.insert(PropertyKey::new(s0, "megapixels"), "resolution".to_string());
+        alignment.insert(
+            PropertyKey::new(s1, "camera resolution"),
+            "resolution".to_string(),
+        );
+        alignment.insert(
+            PropertyKey::new(s2, "effective pixels"),
+            "resolution".to_string(),
+        );
+        Dataset::new(
+            "toy",
+            vec!["a".into(), "b".into(), "c".into()],
+            instances,
+            alignment,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_and_instances() {
+        let ds = toy();
+        assert_eq!(ds.schema_of(SourceId(1)), vec!["camera resolution", "sku"]);
+        let key = PropertyKey::new(SourceId(0), "megapixels");
+        assert_eq!(ds.instances_of(&key).len(), 2);
+        assert_eq!(ds.instances_of(&PropertyKey::new(SourceId(0), "nope")).len(), 0);
+    }
+
+    #[test]
+    fn ground_truth_matches_same_reference() {
+        let ds = toy();
+        let gt = ds.ground_truth_pairs();
+        // 3 aligned properties from 3 different sources → 3 pairs.
+        assert_eq!(gt.len(), 3);
+        assert!(ds.matches(
+            &PropertyKey::new(SourceId(0), "megapixels"),
+            &PropertyKey::new(SourceId(1), "camera resolution"),
+        ));
+    }
+
+    #[test]
+    fn unaligned_properties_never_match() {
+        let ds = toy();
+        // "sku" appears in two sources with the same name but is unaligned.
+        assert!(!ds.matches(
+            &PropertyKey::new(SourceId(1), "sku"),
+            &PropertyKey::new(SourceId(2), "sku"),
+        ));
+    }
+
+    #[test]
+    fn same_source_never_matches() {
+        let ds = toy();
+        assert!(!ds.matches(
+            &PropertyKey::new(SourceId(0), "megapixels"),
+            &PropertyKey::new(SourceId(0), "megapixels"),
+        ));
+    }
+
+    #[test]
+    fn cross_source_pairs_exclude_same_source() {
+        let ds = toy();
+        let pairs = ds.cross_source_pairs(&[SourceId(0), SourceId(1)]);
+        assert!(pairs
+            .iter()
+            .all(|PropertyPair(a, b)| a.source != b.source));
+        // s0 has 1 property, s1 has 2 → 2 cross pairs.
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn pair_is_canonical() {
+        let a = PropertyKey::new(SourceId(0), "x");
+        let b = PropertyKey::new(SourceId(1), "a");
+        assert_eq!(
+            PropertyPair::new(a.clone(), b.clone()),
+            PropertyPair::new(b, a)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "span two sources")]
+    fn pair_rejects_same_source() {
+        let a = PropertyKey::new(SourceId(0), "x");
+        let b = PropertyKey::new(SourceId(0), "y");
+        PropertyPair::new(a, b);
+    }
+
+    #[test]
+    fn stats() {
+        let ds = toy();
+        let s = ds.stats();
+        assert_eq!(s.sources, 3);
+        assert_eq!(s.properties, 5);
+        assert_eq!(s.aligned_properties, 3);
+        assert_eq!(s.instances, 6);
+        assert_eq!(s.entities, 4);
+        assert_eq!(s.matching_pairs, 3);
+    }
+
+    #[test]
+    fn rejects_unknown_source() {
+        let err = Dataset::new(
+            "bad",
+            vec!["only".into()],
+            vec![Instance {
+                source: SourceId(5),
+                property: "p".into(),
+                entity: "e".into(),
+                value: "v".into(),
+            }],
+            BTreeMap::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ModelError::UnknownSource(SourceId(5)));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_ground_truth() {
+        let ds = toy();
+        let json = ds.to_json();
+        let back = Dataset::from_json(&json).unwrap();
+        assert_eq!(back.stats(), ds.stats());
+        assert_eq!(back.ground_truth_pairs(), ds.ground_truth_pairs());
+        // Index rebuilt after deserialization.
+        let key = PropertyKey::new(SourceId(0), "megapixels");
+        assert_eq!(back.instances_of(&key).len(), 2);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(Dataset::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        let k = PropertyKey::new(SourceId(3), "iso");
+        assert_eq!(k.to_string(), "s3:iso");
+    }
+}

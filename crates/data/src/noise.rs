@@ -1,0 +1,289 @@
+//! Noise injection for property names and values.
+//!
+//! The paper's three WDC datasets are described as "low-quality": fewer
+//! sources, imbalanced entity counts, and messier names. This module
+//! provides the corruptions the generators apply — typos, abbreviation,
+//! vowel dropping, token dropout, case jitter, and decorative suffixes —
+//! each applied with a configurable probability.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Probabilistic noise model applied to generated property names/values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseConfig {
+    /// Probability of injecting a single character-level typo.
+    pub typo: f64,
+    /// Probability of abbreviating one word (truncation or vowel removal).
+    pub abbreviate: f64,
+    /// Probability of dropping one token from a multi-token name.
+    pub token_dropout: f64,
+    /// Probability of jittering case (Title Case / UPPER).
+    pub case_jitter: f64,
+    /// Probability of appending a decorative suffix (`" (approx.)"` etc).
+    pub decorate: f64,
+}
+
+impl NoiseConfig {
+    /// No noise at all.
+    pub fn clean() -> Self {
+        NoiseConfig {
+            typo: 0.0,
+            abbreviate: 0.0,
+            token_dropout: 0.0,
+            case_jitter: 0.0,
+            decorate: 0.0,
+        }
+    }
+
+    /// Mild noise for the high-quality (cameras) dataset.
+    pub fn mild() -> Self {
+        NoiseConfig {
+            typo: 0.02,
+            abbreviate: 0.05,
+            token_dropout: 0.02,
+            case_jitter: 0.10,
+            decorate: 0.03,
+        }
+    }
+
+    /// Heavy noise for the low-quality (WDC-style) datasets.
+    ///
+    /// Calibrated so that fully out-of-vocabulary names (which neither
+    /// the paper's 1.9M-word GloVe nor our fuzzy fallback can embed)
+    /// stay rare, as they are in the real WDC data.
+    pub fn heavy() -> Self {
+        NoiseConfig {
+            typo: 0.04,
+            abbreviate: 0.04,
+            token_dropout: 0.05,
+            case_jitter: 0.25,
+            decorate: 0.10,
+        }
+    }
+
+    /// Apply the configured corruptions to `text`.
+    pub fn apply(&self, text: &str, rng: &mut StdRng) -> String {
+        let mut s = text.to_string();
+        if rng.gen_bool(self.token_dropout.clamp(0.0, 1.0)) {
+            s = drop_token(&s, rng);
+        }
+        if rng.gen_bool(self.abbreviate.clamp(0.0, 1.0)) {
+            s = abbreviate_word(&s, rng);
+        }
+        if rng.gen_bool(self.typo.clamp(0.0, 1.0)) {
+            s = inject_typo(&s, rng);
+        }
+        if rng.gen_bool(self.case_jitter.clamp(0.0, 1.0)) {
+            s = jitter_case(&s, rng);
+        }
+        if rng.gen_bool(self.decorate.clamp(0.0, 1.0)) {
+            s = decorate(&s, rng);
+        }
+        s
+    }
+}
+
+/// Inject one random character-level typo: swap, drop, or duplicate.
+///
+/// Strings shorter than 3 characters are returned unchanged (a typo there
+/// would destroy the word entirely).
+pub fn inject_typo(text: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = text.chars().collect();
+    if chars.len() < 3 {
+        return text.to_string();
+    }
+    let mut out = chars.clone();
+    let pos = rng.gen_range(1..chars.len() - 1);
+    match rng.gen_range(0..3) {
+        0 => out.swap(pos, pos - 1),
+        1 => {
+            out.remove(pos);
+        }
+        _ => out.insert(pos, chars[pos]),
+    }
+    out.into_iter().collect()
+}
+
+/// Abbreviate one randomly chosen word of ≥ 5 letters: either truncate to
+/// its first 3–4 characters (optionally adding `.`) or strip its non-lead
+/// vowels (`resolution` → `rsltn`).
+pub fn abbreviate_word(text: &str, rng: &mut StdRng) -> String {
+    let words: Vec<&str> = text.split(' ').collect();
+    let candidates: Vec<usize> = words
+        .iter()
+        .enumerate()
+        .filter(|(_, w)| w.chars().count() >= 5 && w.chars().all(char::is_alphabetic))
+        .map(|(i, _)| i)
+        .collect();
+    let Some(&idx) = candidates.choose(rng) else {
+        return text.to_string();
+    };
+    let word = words[idx];
+    let abbreviated = if rng.gen_bool(0.5) {
+        let keep = rng.gen_range(3..=4);
+        let mut t: String = word.chars().take(keep).collect();
+        if rng.gen_bool(0.5) {
+            t.push('.');
+        }
+        t
+    } else {
+        let mut out = String::new();
+        for (i, c) in word.chars().enumerate() {
+            if i == 0 || !"aeiouAEIOU".contains(c) {
+                out.push(c);
+            }
+        }
+        out
+    };
+    let mut new_words: Vec<String> = words.iter().map(|w| w.to_string()).collect();
+    new_words[idx] = abbreviated;
+    new_words.join(" ")
+}
+
+/// Drop one token from a multi-token string; single tokens are unchanged.
+pub fn drop_token(text: &str, rng: &mut StdRng) -> String {
+    let words: Vec<&str> = text.split(' ').filter(|w| !w.is_empty()).collect();
+    if words.len() < 2 {
+        return text.to_string();
+    }
+    let drop = rng.gen_range(0..words.len());
+    words
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != drop)
+        .map(|(_, w)| *w)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Randomly switch the string to Title Case or UPPER CASE.
+pub fn jitter_case(text: &str, rng: &mut StdRng) -> String {
+    if rng.gen_bool(0.5) {
+        // Title Case.
+        text.split(' ')
+            .map(|w| {
+                let mut c = w.chars();
+                match c.next() {
+                    Some(first) => first.to_uppercase().chain(c).collect::<String>(),
+                    None => String::new(),
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    } else {
+        text.to_uppercase()
+    }
+}
+
+/// The word tokens decorations can introduce into property names
+/// (exported so the corpus generator can give them embedding vectors).
+pub const DECORATION_WORDS: [&str; 3] = ["approx", "max", "info"];
+
+/// Append a decorative suffix commonly seen in scraped spec tables.
+pub fn decorate(text: &str, rng: &mut StdRng) -> String {
+    const SUFFIXES: [&str; 5] = [":", " *", " (approx.)", " (max)", " info"];
+    format!("{text}{}", SUFFIXES.choose(rng).expect("non-empty"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn clean_config_is_identity() {
+        let cfg = NoiseConfig::clean();
+        let mut r = rng(1);
+        for s in ["camera resolution", "MP", ""] {
+            assert_eq!(cfg.apply(s, &mut r), s);
+        }
+    }
+
+    #[test]
+    fn typo_changes_long_strings() {
+        let mut r = rng(2);
+        let mut changed = 0;
+        for _ in 0..30 {
+            if inject_typo("resolution", &mut r) != "resolution" {
+                changed += 1;
+            }
+        }
+        assert!(changed > 25, "typos should nearly always change the string");
+    }
+
+    #[test]
+    fn typo_preserves_short_strings() {
+        let mut r = rng(3);
+        assert_eq!(inject_typo("mp", &mut r), "mp");
+        assert_eq!(inject_typo("", &mut r), "");
+    }
+
+    #[test]
+    fn abbreviation_shortens_a_word() {
+        let mut r = rng(4);
+        let mut saw_shorter = false;
+        for _ in 0..20 {
+            let out = abbreviate_word("maximum shutter speed", &mut r);
+            if out.len() < "maximum shutter speed".len() {
+                saw_shorter = true;
+            }
+            // "speed"/"shutter"/"maximum" are candidates; output keeps 3 tokens.
+            assert_eq!(out.split(' ').count(), 3);
+        }
+        assert!(saw_shorter);
+    }
+
+    #[test]
+    fn abbreviation_skips_short_words() {
+        let mut r = rng(5);
+        assert_eq!(abbreviate_word("iso mp", &mut r), "iso mp");
+    }
+
+    #[test]
+    fn token_dropout_reduces_word_count() {
+        let mut r = rng(6);
+        let out = drop_token("a b c", &mut r);
+        assert_eq!(out.split(' ').count(), 2);
+        assert_eq!(drop_token("single", &mut r), "single");
+    }
+
+    #[test]
+    fn case_jitter_changes_case_only() {
+        let mut r = rng(7);
+        for _ in 0..10 {
+            let out = jitter_case("white balance", &mut r);
+            assert_eq!(out.to_lowercase(), "white balance");
+        }
+    }
+
+    #[test]
+    fn decorate_appends_suffix() {
+        let mut r = rng(8);
+        let out = decorate("zoom", &mut r);
+        assert!(out.starts_with("zoom") && out.len() > 4, "{out}");
+    }
+
+    #[test]
+    fn heavy_noise_often_alters() {
+        let cfg = NoiseConfig::heavy();
+        let mut r = rng(9);
+        let altered = (0..200)
+            .filter(|_| cfg.apply("optical zoom range", &mut r) != "optical zoom range")
+            .count();
+        assert!(altered > 60, "heavy noise altered only {altered}/200");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = NoiseConfig::heavy();
+        let a = cfg.apply("sensor size", &mut rng(10));
+        let b = cfg.apply("sensor size", &mut rng(10));
+        assert_eq!(a, b);
+    }
+}

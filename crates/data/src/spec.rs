@@ -1,0 +1,545 @@
+//! Domain specifications and the dataset generation engine.
+//!
+//! A [`DomainSpec`] describes a product domain the way the paper's
+//! reference ontologies do: a list of reference properties, each with the
+//! synonym names sources use for it, a typed value distribution, and
+//! context words (used by the corpus generator). [`generate_dataset`]
+//! expands a spec into a concrete multi-source [`Dataset`]: every source
+//! gets a naming style, a value-rendering style, a subset of the ontology
+//! under source-specific names, optional extra unaligned ("junk")
+//! properties, and per-entity instance values.
+
+use crate::model::{Dataset, Instance, PropertyKey, SourceId};
+use crate::noise::NoiseConfig;
+use crate::value::{SourceStyle, ValueSpec};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// One reference property of a domain ontology.
+#[derive(Debug, Clone)]
+pub struct RefProperty {
+    /// Reference (canonical) name, e.g. `"resolution"`.
+    pub canonical: String,
+    /// Name variants used across sources (the canonical name may or may
+    /// not be among them).
+    pub synonyms: Vec<String>,
+    /// Context words for corpus generation (semantically related terms).
+    pub context: Vec<String>,
+    /// Distribution of the property's instance values.
+    pub value: ValueSpec,
+    /// Probability that a given source carries this property.
+    pub prevalence: f64,
+}
+
+/// A product-domain ontology plus generation vocabulary.
+#[derive(Debug, Clone)]
+pub struct DomainSpec {
+    /// Domain name (`"cameras"`, …).
+    pub name: String,
+    /// Words naming the product itself (corpus generation).
+    pub product_words: Vec<String>,
+    /// The reference properties.
+    pub properties: Vec<RefProperty>,
+    /// Pool of unaligned property names sources may additionally carry.
+    pub junk_names: Vec<String>,
+}
+
+/// How many entities each source holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntityCount {
+    /// Every source has exactly `n` entities (the paper's balanced camera
+    /// setting: 100 per source).
+    Balanced(usize),
+    /// Each source draws uniformly from `[min, max]` (the imbalanced WDC
+    /// setting).
+    Imbalanced {
+        /// Minimum entities per source.
+        min: usize,
+        /// Maximum entities per source.
+        max: usize,
+    },
+}
+
+/// Generation parameters independent of the ontology.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Number of sources.
+    pub n_sources: usize,
+    /// Entities per source.
+    pub entities: EntityCount,
+    /// Noise applied to property names.
+    pub name_noise: NoiseConfig,
+    /// Noise applied to instance values (typically lighter).
+    pub value_noise: NoiseConfig,
+    /// Probability an entity is missing a value for a property it has.
+    pub missing_value_rate: f64,
+    /// Range (inclusive) of unaligned junk properties per source.
+    pub junk_per_source: (usize, usize),
+    /// Probability a source carries a *second* differently named property
+    /// aligned to the same reference property.
+    pub duplicate_variant_prob: f64,
+}
+
+/// Naming convention a source applies to its property names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NamingStyle {
+    /// `camera resolution`
+    SpaceLower,
+    /// `Camera Resolution`
+    TitleSpace,
+    /// `cameraResolution`
+    CamelCase,
+    /// `camera_resolution`
+    SnakeCase,
+    /// `camera-resolution`
+    KebabCase,
+    /// `CAMERA RESOLUTION`
+    UpperSpace,
+}
+
+impl NamingStyle {
+    /// All styles, for sampling.
+    pub const ALL: [NamingStyle; 6] = [
+        NamingStyle::SpaceLower,
+        NamingStyle::TitleSpace,
+        NamingStyle::CamelCase,
+        NamingStyle::SnakeCase,
+        NamingStyle::KebabCase,
+        NamingStyle::UpperSpace,
+    ];
+
+    /// Render a lowercase space-separated name in this style.
+    pub fn apply(self, name: &str) -> String {
+        let words: Vec<&str> = name.split(' ').filter(|w| !w.is_empty()).collect();
+        match self {
+            NamingStyle::SpaceLower => words.join(" "),
+            NamingStyle::TitleSpace => words
+                .iter()
+                .map(|w| capitalize(w))
+                .collect::<Vec<_>>()
+                .join(" "),
+            NamingStyle::CamelCase => {
+                let mut out = String::new();
+                for (i, w) in words.iter().enumerate() {
+                    if i == 0 {
+                        out.push_str(&w.to_lowercase());
+                    } else {
+                        out.push_str(&capitalize(w));
+                    }
+                }
+                out
+            }
+            NamingStyle::SnakeCase => words.join("_"),
+            NamingStyle::KebabCase => words.join("-"),
+            NamingStyle::UpperSpace => words.join(" ").to_uppercase(),
+        }
+    }
+}
+
+fn capitalize(w: &str) -> String {
+    let mut c = w.chars();
+    match c.next() {
+        Some(first) => first.to_uppercase().chain(c).collect(),
+        None => String::new(),
+    }
+}
+
+/// Expand a domain spec into a concrete dataset. Deterministic given
+/// `seed`.
+///
+/// # Panics
+///
+/// Panics if the spec has no properties or the config has zero sources
+/// (domain specs are static data; misuse is a programming error).
+pub fn generate_dataset(spec: &DomainSpec, cfg: &GeneratorConfig, seed: u64) -> Dataset {
+    assert!(!spec.properties.is_empty(), "spec has no properties");
+    assert!(cfg.n_sources >= 2, "need at least two sources");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let source_names: Vec<String> = (0..cfg.n_sources)
+        .map(|i| format!("{}-src{:02}", spec.name, i))
+        .collect();
+
+    let mut instances: Vec<Instance> = Vec::new();
+    let mut alignment: BTreeMap<PropertyKey, String> = BTreeMap::new();
+
+    for sid in 0..cfg.n_sources {
+        let source = SourceId(sid as u16);
+        let style = *NamingStyle::ALL.choose(&mut rng).expect("non-empty");
+        let value_style = SourceStyle::sample(&mut rng);
+        let n_entities = match cfg.entities {
+            EntityCount::Balanced(n) => n,
+            EntityCount::Imbalanced { min, max } => rng.gen_range(min..=max.max(min)),
+        };
+
+        // ---- choose the source's properties ----
+        // (property name, value spec, aligned reference or None)
+        let mut props: Vec<(String, &ValueSpec, Option<String>)> = Vec::new();
+        let mut used_names: std::collections::BTreeSet<String> = Default::default();
+
+        for rp in &spec.properties {
+            if !rng.gen_bool(rp.prevalence.clamp(0.0, 1.0)) {
+                continue;
+            }
+            // Synonym popularity is Zipf-like: most sources copy the
+            // manufacturer's spec-sheet wording, a minority uses rarer
+            // variants. (Uniform choice would make lexically trivial
+            // matches far rarer than in the paper's real datasets, where
+            // exact-name matchers reach 35-60% recall.)
+            let primary = weighted_synonym_index(rp.synonyms.len(), &mut rng);
+            let mut chosen: Vec<&String> = vec![&rp.synonyms[primary]];
+            if rng.gen_bool(cfg.duplicate_variant_prob.clamp(0.0, 1.0)) && rp.synonyms.len() > 1 {
+                let mut second = rng.gen_range(0..rp.synonyms.len() - 1);
+                if second >= primary {
+                    second += 1;
+                }
+                chosen.push(&rp.synonyms[second]);
+            }
+            for syn in chosen {
+                let noisy = cfg.name_noise.apply(syn, &mut rng);
+                let name = style.apply(&noisy);
+                if name.is_empty() || !used_names.insert(name.clone()) {
+                    continue;
+                }
+                props.push((name, &rp.value, Some(rp.canonical.clone())));
+            }
+        }
+
+        // ---- junk properties ----
+        // Two kinds, mirroring real gold standards:
+        //  * shared-pool names ("sku", "availability", …) recur across
+        //    sources *with the same meaning*, so annotators would align
+        //    them — they become self-aligned reference properties
+        //    (`junk:<name>`), i.e. easy cross-source matches;
+        //  * composed names are source-idiosyncratic leftovers and stay
+        //    unaligned (they match nothing).
+        let (jmin, jmax) = cfg.junk_per_source;
+        let n_junk = rng.gen_range(jmin..=jmax.max(jmin));
+        for _ in 0..n_junk {
+            let (raw, reference) = if rng.gen_bool(0.15) && !spec.junk_names.is_empty() {
+                let n = spec.junk_names.choose(&mut rng).expect("non-empty").clone();
+                let r = format!("junk:{n}");
+                (n, Some(r))
+            } else {
+                (compose_junk_name(&mut rng), None)
+            };
+            let name = style.apply(&raw);
+            if name.is_empty() || !used_names.insert(name.clone()) {
+                continue;
+            }
+            props.push((name, junk_value_spec(&raw), reference));
+        }
+
+        // ---- alignment bookkeeping ----
+        for (name, _, reference) in &props {
+            if let Some(r) = reference {
+                alignment.insert(PropertyKey::new(source, name.clone()), r.clone());
+            }
+        }
+
+        // ---- entities and instance values ----
+        for e in 0..n_entities {
+            let entity = format!("s{sid:02}e{e:04}");
+            for (name, vspec, _) in &props {
+                if rng.gen_bool(cfg.missing_value_rate.clamp(0.0, 1.0)) {
+                    continue;
+                }
+                let raw = vspec.generate(value_style, &mut rng);
+                let value = cfg.value_noise.apply(&raw, &mut rng);
+                instances.push(Instance {
+                    source,
+                    property: name.clone(),
+                    entity: entity.clone(),
+                    value,
+                });
+            }
+        }
+    }
+
+    Dataset::new(spec.name.clone(), source_names, instances, alignment)
+        .expect("generator emits consistent source ids")
+}
+
+/// Zipf-weighted synonym index: weight of synonym `i` ∝ `1/(i+1)^2`, so
+/// roughly two thirds of sources use the head synonym. Calibrated against
+/// the paper's exact-lexical baseline recalls (AML reaches ~0.6 recall on
+/// cameras, so most matching pairs must share near-identical names).
+fn weighted_synonym_index(len: usize, rng: &mut StdRng) -> usize {
+    debug_assert!(len > 0);
+    let weights: Vec<f64> = (0..len).map(|i| 1.0 / ((i + 1) as f64).powf(2.0)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut draw = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if draw < *w {
+            return i;
+        }
+        draw -= w;
+    }
+    len - 1
+}
+
+/// First half of composed junk property names.
+pub const JUNK_BASES: [&str; 10] = [
+    "internal", "listing", "page", "vendor", "feed", "shop", "catalog", "legacy", "import",
+    "meta",
+];
+
+/// Second half of composed junk property names.
+pub const JUNK_TAILS: [&str; 10] = [
+    "id", "code", "ref", "key", "tag", "field", "index", "token", "note", "slot",
+];
+
+/// Optional third word of composed junk property names.
+pub const JUNK_EXTRAS: [&str; 12] = [
+    "alpha", "beta", "main", "aux", "old", "raw", "ext", "sys", "tmp", "src", "alt", "org",
+];
+
+/// Compose a source-idiosyncratic junk property name: base + tail from
+/// the pools, usually with a numeric suffix ("feed tag 17"), so that
+/// cross-source name collisions among *unaligned* properties are rare —
+/// in real gold standards, recurring identically named properties get
+/// aligned, they are not left as impossible negatives.
+fn compose_junk_name(rng: &mut StdRng) -> String {
+    let base = JUNK_BASES.choose(rng).expect("non-empty");
+    let tail = JUNK_TAILS.choose(rng).expect("non-empty");
+    if rng.gen_bool(0.6) {
+        // A third word multiplies the name space to ~1200 combinations;
+        // the pool is part of the embedded junk vocabulary, so the name
+        // stays fully in-vocabulary (numeric suffixes would dilute the
+        // average embedding toward zero).
+        let extra = JUNK_EXTRAS.choose(rng).expect("non-empty");
+        format!("{base} {tail} {extra}")
+    } else {
+        format!("{base} {tail}")
+    }
+}
+
+/// Every word that can appear in a generated property name *without*
+/// being ontology vocabulary: junk-name tokens (shared pool and composed
+/// pools) and the decoration words the noise model appends. The corpus
+/// generator embeds these so that, like the paper's huge pre-trained
+/// vocabulary, they have non-zero and mutually distinct vectors — two
+/// all-OOV names would otherwise both map to the zero vector and look
+/// embedding-identical.
+pub fn junk_vocabulary(spec: &DomainSpec) -> Vec<String> {
+    let mut words: Vec<String> = Vec::new();
+    for name in &spec.junk_names {
+        words.extend(name.split(' ').map(str::to_string));
+    }
+    words.extend(JUNK_BASES.iter().map(|s| s.to_string()));
+    words.extend(JUNK_TAILS.iter().map(|s| s.to_string()));
+    words.extend(JUNK_EXTRAS.iter().map(|s| s.to_string()));
+    words.extend(
+        crate::noise::DECORATION_WORDS
+            .iter()
+            .map(|s| s.to_string()),
+    );
+    words.sort();
+    words.dedup();
+    words
+}
+
+/// A stable value spec for a junk property, derived from its name so the
+/// same junk name renders consistently across sources.
+fn junk_value_spec(name: &str) -> &'static ValueSpec {
+    use std::sync::OnceLock;
+    static SPECS: OnceLock<Vec<ValueSpec>> = OnceLock::new();
+    let specs = SPECS.get_or_init(|| {
+        vec![
+            ValueSpec::ModelCode {
+                prefixes: vec!["SKU".into(), "ID".into(), "REF".into()],
+            },
+            ValueSpec::integer(1, 99999, &[("", 1.0)]),
+            ValueSpec::free_text(
+                &[
+                    "new", "stock", "limited", "offer", "bundle", "deal", "ships", "fast",
+                    "standard", "info",
+                ],
+                1,
+                3,
+            ),
+        ]
+    });
+    // FNV-1a hash for stability across runs (no RandomState).
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    &specs[(h % specs.len() as u64) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> DomainSpec {
+        DomainSpec {
+            name: "widgets".into(),
+            product_words: vec!["widget".into()],
+            properties: vec![
+                RefProperty {
+                    canonical: "resolution".into(),
+                    synonyms: vec![
+                        "resolution".into(),
+                        "megapixels".into(),
+                        "effective pixels".into(),
+                    ],
+                    context: vec!["image".into(), "sensor".into()],
+                    value: ValueSpec::numeric(8.0, 60.0, 1, &[(" MP", 1.0)]),
+                    prevalence: 1.0,
+                },
+                RefProperty {
+                    canonical: "weight".into(),
+                    synonyms: vec!["weight".into(), "item weight".into()],
+                    context: vec!["grams".into()],
+                    value: ValueSpec::numeric(100.0, 900.0, 0, &[(" g", 1.0), (" kg", 0.001)]),
+                    prevalence: 1.0,
+                },
+            ],
+            junk_names: vec!["sku".into(), "listing id".into(), "availability".into()],
+        }
+    }
+
+    fn cfg() -> GeneratorConfig {
+        GeneratorConfig {
+            n_sources: 4,
+            entities: EntityCount::Balanced(10),
+            name_noise: NoiseConfig::clean(),
+            value_noise: NoiseConfig::clean(),
+            missing_value_rate: 0.1,
+            junk_per_source: (1, 2),
+            duplicate_variant_prob: 0.2,
+        }
+    }
+
+    #[test]
+    fn naming_styles() {
+        let n = "camera resolution";
+        assert_eq!(NamingStyle::SpaceLower.apply(n), "camera resolution");
+        assert_eq!(NamingStyle::TitleSpace.apply(n), "Camera Resolution");
+        assert_eq!(NamingStyle::CamelCase.apply(n), "cameraResolution");
+        assert_eq!(NamingStyle::SnakeCase.apply(n), "camera_resolution");
+        assert_eq!(NamingStyle::KebabCase.apply(n), "camera-resolution");
+        assert_eq!(NamingStyle::UpperSpace.apply(n), "CAMERA RESOLUTION");
+    }
+
+    #[test]
+    fn generates_expected_shape() {
+        let ds = generate_dataset(&tiny_spec(), &cfg(), 1);
+        let stats = ds.stats();
+        assert_eq!(stats.sources, 4);
+        // Both ref properties have prevalence 1.0 → ≥ 2 aligned props per source.
+        assert!(stats.aligned_properties >= 8, "{stats:?}");
+        assert!(stats.matching_pairs >= 6, "{stats:?}");
+        assert!(stats.instances > 100, "{stats:?}");
+        assert_eq!(stats.entities, 40);
+    }
+
+    #[test]
+    fn alignment_only_to_known_references() {
+        let ds = generate_dataset(&tiny_spec(), &cfg(), 2);
+        for p in ds.properties() {
+            if let Some(r) = ds.alignment_of(&p) {
+                assert!(
+                    r == "resolution" || r == "weight" || r.starts_with("junk:"),
+                    "unexpected ref {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_junk_is_self_aligned() {
+        // With enough sources, shared-pool junk names recur and must be
+        // aligned to a junk: reference, so identical recurring properties
+        // are matches (as annotators would label them).
+        let mut c = cfg();
+        c.n_sources = 12;
+        c.junk_per_source = (4, 6);
+        let ds = generate_dataset(&tiny_spec(), &c, 9);
+        let junk_aligned = ds
+            .properties()
+            .iter()
+            .filter(|p| {
+                ds.alignment_of(p)
+                    .map(|r| r.starts_with("junk:"))
+                    .unwrap_or(false)
+            })
+            .count();
+        assert!(junk_aligned > 0, "expected some self-aligned junk");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate_dataset(&tiny_spec(), &cfg(), 3);
+        let b = generate_dataset(&tiny_spec(), &cfg(), 3);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_dataset(&tiny_spec(), &cfg(), 4);
+        let b = generate_dataset(&tiny_spec(), &cfg(), 5);
+        assert_ne!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn imbalanced_entity_counts_vary() {
+        let mut c = cfg();
+        c.n_sources = 8;
+        c.entities = EntityCount::Imbalanced { min: 2, max: 50 };
+        let ds = generate_dataset(&tiny_spec(), &c, 6);
+        // Count entities per source.
+        let mut per_source: std::collections::HashMap<u16, std::collections::HashSet<&str>> =
+            Default::default();
+        for i in ds.instances() {
+            per_source
+                .entry(i.source.0)
+                .or_default()
+                .insert(i.entity.as_str());
+        }
+        let counts: Vec<usize> = per_source.values().map(|s| s.len()).collect();
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        assert!(max > min, "expected imbalance, got {counts:?}");
+    }
+
+    #[test]
+    fn missing_values_thin_instances() {
+        let mut dense = cfg();
+        dense.missing_value_rate = 0.0;
+        let mut sparse = cfg();
+        sparse.missing_value_rate = 0.8;
+        let d = generate_dataset(&tiny_spec(), &dense, 7);
+        let s = generate_dataset(&tiny_spec(), &sparse, 7);
+        assert!(s.stats().instances < d.stats().instances / 2);
+    }
+
+    #[test]
+    fn junk_value_spec_is_stable() {
+        let a = junk_value_spec("sku") as *const _;
+        let b = junk_value_spec("sku") as *const _;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn property_names_unique_within_source() {
+        let ds = generate_dataset(&tiny_spec(), &cfg(), 8);
+        for sid in 0..4u16 {
+            let schema = ds.schema_of(SourceId(sid));
+            let set: std::collections::HashSet<&String> = schema.iter().collect();
+            assert_eq!(set.len(), schema.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two sources")]
+    fn rejects_single_source() {
+        let mut c = cfg();
+        c.n_sources = 1;
+        generate_dataset(&tiny_spec(), &c, 0);
+    }
+}

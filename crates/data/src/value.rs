@@ -1,0 +1,386 @@
+//! Typed synthetic value generators.
+//!
+//! Real product-spec values mix numbers, units, enumerations and free
+//! text, and the *same* reference property is rendered differently across
+//! sources ("20.1 MP" vs "20 megapixels" vs "20100000 pixels"). A
+//! [`ValueSpec`] describes the value distribution of one reference
+//! property; [`ValueSpec::generate`] renders a concrete string for one
+//! entity, with per-source unit choice so sources are internally
+//! consistent but mutually heterogeneous.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A unit rendering for a numeric value: suffix text plus the factor that
+/// converts the canonical quantity into this unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Unit {
+    /// Text appended after the number (e.g. `" MP"`, `"mm"`, `" grams"`).
+    pub suffix: String,
+    /// Multiplier applied to the canonical quantity before rendering.
+    pub factor: f64,
+}
+
+impl Unit {
+    /// Convenience constructor.
+    pub fn new(suffix: &str, factor: f64) -> Self {
+        Unit {
+            suffix: suffix.to_string(),
+            factor,
+        }
+    }
+}
+
+/// Distribution of the values of one reference property.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ValueSpec {
+    /// A real-valued quantity with alternative unit renderings.
+    Numeric {
+        /// Inclusive canonical-quantity range.
+        min: f64,
+        /// Inclusive canonical-quantity range.
+        max: f64,
+        /// Decimal places in the rendering.
+        decimals: u8,
+        /// Alternative units; a source picks one and sticks with it.
+        units: Vec<Unit>,
+    },
+    /// An integer quantity with alternative unit renderings.
+    Integer {
+        /// Inclusive range.
+        min: i64,
+        /// Inclusive range.
+        max: i64,
+        /// Alternative units.
+        units: Vec<Unit>,
+    },
+    /// One of a closed vocabulary of strings.
+    Categorical {
+        /// The vocabulary.
+        options: Vec<String>,
+    },
+    /// `W x H` or `W x H x D` physical dimensions.
+    Dimensions {
+        /// Inclusive per-axis range (canonical millimetres).
+        min: f64,
+        /// Inclusive per-axis range.
+        max: f64,
+        /// Number of axes (2 or 3).
+        axes: u8,
+    },
+    /// A short free-text phrase assembled from a word pool.
+    FreeText {
+        /// Word pool.
+        words: Vec<String>,
+        /// Words per value (min).
+        min_words: u8,
+        /// Words per value (max).
+        max_words: u8,
+    },
+    /// An opaque alphanumeric model/stock code like `DSC-RX100M7`.
+    ModelCode {
+        /// Prefix pool (brand-ish fragments).
+        prefixes: Vec<String>,
+    },
+    /// A fraction such as a shutter speed `1/4000 s`.
+    Fraction {
+        /// Denominator range (inclusive).
+        min_den: u32,
+        /// Denominator range (inclusive).
+        max_den: u32,
+        /// Unit suffix (e.g. `" s"`).
+        suffix: String,
+    },
+}
+
+/// Per-source rendering context: which unit index a source picked for each
+/// numeric spec, so a single source renders a property consistently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceStyle {
+    /// Index into the spec's unit list (modulo its length).
+    pub unit_choice: usize,
+    /// Whether the source writes the unit suffix at all.
+    pub write_units: bool,
+}
+
+impl SourceStyle {
+    /// Sample a style for one source.
+    pub fn sample(rng: &mut StdRng) -> Self {
+        SourceStyle {
+            unit_choice: rng.gen_range(0..16),
+            write_units: rng.gen_bool(0.85),
+        }
+    }
+}
+
+impl ValueSpec {
+    /// Helper: a numeric spec.
+    pub fn numeric(min: f64, max: f64, decimals: u8, units: &[(&str, f64)]) -> Self {
+        ValueSpec::Numeric {
+            min,
+            max,
+            decimals,
+            units: units.iter().map(|&(s, f)| Unit::new(s, f)).collect(),
+        }
+    }
+
+    /// Helper: an integer spec.
+    pub fn integer(min: i64, max: i64, units: &[(&str, f64)]) -> Self {
+        ValueSpec::Integer {
+            min,
+            max,
+            units: units.iter().map(|&(s, f)| Unit::new(s, f)).collect(),
+        }
+    }
+
+    /// Helper: a categorical spec.
+    pub fn categorical(options: &[&str]) -> Self {
+        ValueSpec::Categorical {
+            options: options.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Helper: a free-text spec.
+    pub fn free_text(words: &[&str], min_words: u8, max_words: u8) -> Self {
+        ValueSpec::FreeText {
+            words: words.iter().map(|s| s.to_string()).collect(),
+            min_words,
+            max_words,
+        }
+    }
+
+    /// Render one value under a source style.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a range is inverted or an option pool is empty (domain
+    /// specs are static data validated by tests).
+    pub fn generate(&self, style: SourceStyle, rng: &mut StdRng) -> String {
+        match self {
+            ValueSpec::Numeric {
+                min,
+                max,
+                decimals,
+                units,
+            } => {
+                assert!(min <= max, "inverted numeric range");
+                let q = rng.gen_range(*min..=*max);
+                let unit = pick_unit(units, style);
+                let rendered = q * unit.map(|u| u.factor).unwrap_or(1.0);
+                let mut s = format!("{rendered:.prec$}", prec = *decimals as usize);
+                if style.write_units {
+                    if let Some(u) = unit {
+                        s.push_str(&u.suffix);
+                    }
+                }
+                s
+            }
+            ValueSpec::Integer { min, max, units } => {
+                assert!(min <= max, "inverted integer range");
+                let q = rng.gen_range(*min..=*max);
+                let unit = pick_unit(units, style);
+                let rendered = (q as f64 * unit.map(|u| u.factor).unwrap_or(1.0)).round() as i64;
+                let mut s = rendered.to_string();
+                if style.write_units {
+                    if let Some(u) = unit {
+                        s.push_str(&u.suffix);
+                    }
+                }
+                s
+            }
+            ValueSpec::Categorical { options } => {
+                assert!(!options.is_empty(), "empty categorical options");
+                options.choose(rng).expect("non-empty").clone()
+            }
+            ValueSpec::Dimensions { min, max, axes } => {
+                assert!(min <= max, "inverted dimension range");
+                let n = (*axes).clamp(2, 3);
+                let parts: Vec<String> = (0..n)
+                    .map(|_| format!("{:.1}", rng.gen_range(*min..=*max)))
+                    .collect();
+                let sep = if style.unit_choice % 2 == 0 { " x " } else { "x" };
+                let mut s = parts.join(sep);
+                if style.write_units {
+                    s.push_str(" mm");
+                }
+                s
+            }
+            ValueSpec::FreeText {
+                words,
+                min_words,
+                max_words,
+            } => {
+                assert!(!words.is_empty(), "empty word pool");
+                assert!(min_words <= max_words, "inverted word count range");
+                let n = rng.gen_range(*min_words..=*max_words).max(1);
+                (0..n)
+                    .map(|_| words.choose(rng).expect("non-empty").as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            }
+            ValueSpec::ModelCode { prefixes } => {
+                assert!(!prefixes.is_empty(), "empty prefix pool");
+                let p = prefixes.choose(rng).expect("non-empty");
+                let digits = rng.gen_range(100..9999);
+                let tail: String = if rng.gen_bool(0.4) {
+                    let c = (b'A' + rng.gen_range(0..26u8)) as char;
+                    format!("{digits}{c}")
+                } else {
+                    digits.to_string()
+                };
+                format!("{p}-{tail}")
+            }
+            ValueSpec::Fraction {
+                min_den,
+                max_den,
+                suffix,
+            } => {
+                assert!(min_den <= max_den, "inverted denominator range");
+                let den = rng.gen_range(*min_den..=*max_den);
+                if style.write_units {
+                    format!("1/{den}{suffix}")
+                } else {
+                    format!("1/{den}")
+                }
+            }
+        }
+    }
+}
+
+fn pick_unit(units: &[Unit], style: SourceStyle) -> Option<&Unit> {
+    if units.is_empty() {
+        None
+    } else {
+        Some(&units[style.unit_choice % units.len()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    fn style(unit: usize, write: bool) -> SourceStyle {
+        SourceStyle {
+            unit_choice: unit,
+            write_units: write,
+        }
+    }
+
+    #[test]
+    fn numeric_respects_unit_choice() {
+        let spec = ValueSpec::numeric(10.0, 20.0, 1, &[(" MP", 1.0), (" megapixels", 1.0)]);
+        let a = spec.generate(style(0, true), &mut rng());
+        let b = spec.generate(style(1, true), &mut rng());
+        assert!(a.ends_with(" MP"), "{a}");
+        assert!(b.ends_with(" megapixels"), "{b}");
+    }
+
+    #[test]
+    fn numeric_unit_factor_scales() {
+        let spec = ValueSpec::numeric(1.0, 1.0, 0, &[("g", 1.0), ("kg", 0.001)]);
+        let grams = spec.generate(style(0, true), &mut rng());
+        let kilos = spec.generate(style(1, true), &mut rng());
+        assert_eq!(grams, "1g");
+        assert_eq!(kilos, "0kg");
+    }
+
+    #[test]
+    fn write_units_false_omits_suffix() {
+        let spec = ValueSpec::numeric(5.0, 5.0, 0, &[(" MP", 1.0)]);
+        assert_eq!(spec.generate(style(0, false), &mut rng()), "5");
+    }
+
+    #[test]
+    fn integer_in_range() {
+        let spec = ValueSpec::integer(100, 200, &[("", 1.0)]);
+        for _ in 0..50 {
+            let v: i64 = spec
+                .generate(style(0, false), &mut rng())
+                .parse()
+                .unwrap();
+            assert!((100..=200).contains(&v));
+        }
+    }
+
+    #[test]
+    fn categorical_only_from_options() {
+        let spec = ValueSpec::categorical(&["CMOS", "CCD"]);
+        let mut r = rng();
+        for _ in 0..20 {
+            let v = spec.generate(style(0, true), &mut r);
+            assert!(v == "CMOS" || v == "CCD");
+        }
+    }
+
+    #[test]
+    fn dimensions_axes_and_separator() {
+        let spec = ValueSpec::Dimensions {
+            min: 10.0,
+            max: 20.0,
+            axes: 3,
+        };
+        let spaced = spec.generate(style(0, true), &mut rng());
+        assert_eq!(spaced.matches(" x ").count(), 2, "{spaced}");
+        assert!(spaced.ends_with(" mm"));
+        let tight = spec.generate(style(1, false), &mut rng());
+        assert!(tight.contains('x') && !tight.contains(" x "), "{tight}");
+    }
+
+    #[test]
+    fn free_text_word_count() {
+        let spec = ValueSpec::free_text(&["fast", "hybrid", "autofocus"], 2, 4);
+        let mut r = rng();
+        for _ in 0..20 {
+            let v = spec.generate(style(0, true), &mut r);
+            let n = v.split(' ').count();
+            assert!((2..=4).contains(&n), "{v}");
+        }
+    }
+
+    #[test]
+    fn model_code_shape() {
+        let spec = ValueSpec::ModelCode {
+            prefixes: vec!["DSC".into(), "EOS".into()],
+        };
+        let mut r = rng();
+        for _ in 0..20 {
+            let v = spec.generate(style(0, true), &mut r);
+            assert!(v.starts_with("DSC-") || v.starts_with("EOS-"), "{v}");
+        }
+    }
+
+    #[test]
+    fn fraction_shape() {
+        let spec = ValueSpec::Fraction {
+            min_den: 1000,
+            max_den: 8000,
+            suffix: " s".into(),
+        };
+        let v = spec.generate(style(0, true), &mut rng());
+        assert!(v.starts_with("1/") && v.ends_with(" s"), "{v}");
+        let bare = spec.generate(style(0, false), &mut rng());
+        assert!(bare.starts_with("1/") && !bare.ends_with('s'), "{bare}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = ValueSpec::numeric(0.0, 100.0, 2, &[(" u", 1.0)]);
+        let a = spec.generate(style(0, true), &mut StdRng::seed_from_u64(5));
+        let b = spec.generate(style(0, true), &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn style_sampling_is_seeded() {
+        let a = SourceStyle::sample(&mut StdRng::seed_from_u64(3));
+        let b = SourceStyle::sample(&mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+}

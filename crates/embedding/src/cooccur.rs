@@ -1,0 +1,189 @@
+//! Windowed word co-occurrence counting with `1/d` distance weighting.
+//!
+//! GloVe's input is a sparse matrix `X` where `X[i][j]` accumulates, for
+//! every occurrence of word `i`, a weight `1/d` for each word `j` appearing
+//! `d` positions away within a symmetric window (Pennington et al. 2014).
+
+use crate::vocab::Vocab;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Sparse symmetric co-occurrence matrix over vocabulary ids.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CooccurrenceMatrix {
+    /// `(i, j) → weight`, stored once per unordered pair with `i <= j`.
+    cells: HashMap<(u32, u32), f64>,
+}
+
+impl CooccurrenceMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count co-occurrences over tokenized sentences with a symmetric
+    /// window of `window` positions, weighting a pair at distance `d` by
+    /// `1/d`. Tokens missing from `vocab` are skipped but still occupy a
+    /// position (they contribute distance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn from_sentences(vocab: &Vocab, sentences: &[Vec<String>], window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        let mut m = CooccurrenceMatrix::new();
+        for sentence in sentences {
+            let ids: Vec<Option<u32>> = sentence.iter().map(|t| vocab.id(t)).collect();
+            for (pos, &center) in ids.iter().enumerate() {
+                let Some(ci) = center else { continue };
+                let end = (pos + window + 1).min(ids.len());
+                for (offset, &context) in ids[pos + 1..end].iter().enumerate() {
+                    let Some(cj) = context else { continue };
+                    let d = offset + 1;
+                    m.add(ci, cj, 1.0 / d as f64);
+                }
+            }
+        }
+        m
+    }
+
+    /// Accumulate weight for the unordered pair `(i, j)`.
+    pub fn add(&mut self, i: u32, j: u32, weight: f64) {
+        let key = if i <= j { (i, j) } else { (j, i) };
+        *self.cells.entry(key).or_insert(0.0) += weight;
+    }
+
+    /// Co-occurrence weight of the unordered pair `(i, j)`.
+    pub fn get(&self, i: u32, j: u32) -> f64 {
+        let key = if i <= j { (i, j) } else { (j, i) };
+        self.cells.get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// Number of stored (non-zero) unordered pairs.
+    pub fn nnz(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Maximum cell value (GloVe's `x_max` normalization reference).
+    pub fn max_value(&self) -> f64 {
+        self.cells.values().fold(0.0f64, |a, &v| a.max(v))
+    }
+
+    /// Iterate all `(i, j, weight)` entries with `i <= j`, in deterministic
+    /// (sorted) order — important for reproducible training.
+    pub fn iter_sorted(&self) -> Vec<(u32, u32, f64)> {
+        let mut v: Vec<(u32, u32, f64)> = self
+            .cells
+            .iter()
+            .map(|(&(i, j), &w)| (i, j, w))
+            .collect();
+        v.sort_by_key(|&(i, j, _)| (i, j));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::tokenize;
+
+    fn vocab_for(text: &[&str]) -> (Vocab, Vec<Vec<String>>) {
+        let sents: Vec<Vec<String>> = text.iter().map(|s| tokenize(s)).collect();
+        let v = Vocab::build(sents.iter().flatten().map(String::as_str), 1);
+        (v, sents)
+    }
+
+    #[test]
+    fn adjacent_words_weighted_one() {
+        let (v, s) = vocab_for(&["alpha beta"]);
+        let m = CooccurrenceMatrix::from_sentences(&v, &s, 5);
+        let (a, b) = (v.id("alpha").unwrap(), v.id("beta").unwrap());
+        assert_eq!(m.get(a, b), 1.0);
+        assert_eq!(m.get(b, a), 1.0); // symmetric accessor
+    }
+
+    #[test]
+    fn distance_weighting() {
+        let (v, s) = vocab_for(&["alpha mid beta"]);
+        let m = CooccurrenceMatrix::from_sentences(&v, &s, 5);
+        let (a, b) = (v.id("alpha").unwrap(), v.id("beta").unwrap());
+        assert!((m.get(a, b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_limits_reach() {
+        let (v, s) = vocab_for(&["alpha x y z beta"]);
+        let m = CooccurrenceMatrix::from_sentences(&v, &s, 2);
+        let (a, b) = (v.id("alpha").unwrap(), v.id("beta").unwrap());
+        assert_eq!(m.get(a, b), 0.0);
+    }
+
+    #[test]
+    fn repeated_cooccurrence_accumulates() {
+        let (v, s) = vocab_for(&["alpha beta", "alpha beta"]);
+        let m = CooccurrenceMatrix::from_sentences(&v, &s, 5);
+        let (a, b) = (v.id("alpha").unwrap(), v.id("beta").unwrap());
+        assert_eq!(m.get(a, b), 2.0);
+    }
+
+    #[test]
+    fn sentences_do_not_bleed() {
+        let (v, s) = vocab_for(&["alpha", "beta"]);
+        let m = CooccurrenceMatrix::from_sentences(&v, &s, 5);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn oov_tokens_keep_distance() {
+        // vocab lacks "zzz" because min_count filter: build vocab from
+        // restricted token set.
+        let sents: Vec<Vec<String>> = vec![tokenize("alpha zzz beta")];
+        let v = Vocab::build(["alpha", "beta"].into_iter(), 1);
+        let m = CooccurrenceMatrix::from_sentences(&v, &sents, 5);
+        let (a, b) = (v.id("alpha").unwrap(), v.id("beta").unwrap());
+        // zzz occupies a slot → distance 2 → weight 0.5
+        assert!((m.get(a, b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_sorted_is_deterministic_and_complete() {
+        let (v, s) = vocab_for(&["a b c a b"]);
+        let m = CooccurrenceMatrix::from_sentences(&v, &s, 3);
+        let entries = m.iter_sorted();
+        assert_eq!(entries.len(), m.nnz());
+        for w in entries.windows(2) {
+            assert!((w[0].0, w[0].1) < (w[1].0, w[1].1));
+        }
+        let total: f64 = entries.iter().map(|e| e.2).sum();
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn max_value_tracks_largest_cell() {
+        let mut m = CooccurrenceMatrix::new();
+        m.add(0, 1, 2.0);
+        m.add(1, 2, 5.0);
+        m.add(0, 1, 1.0);
+        assert_eq!(m.max_value(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn rejects_zero_window() {
+        let (v, s) = vocab_for(&["a"]);
+        CooccurrenceMatrix::from_sentences(&v, &s, 0);
+    }
+
+    #[test]
+    fn self_cooccurrence_counts_once_per_pair() {
+        let (v, s) = vocab_for(&["dup dup"]);
+        let m = CooccurrenceMatrix::from_sentences(&v, &s, 5);
+        let d = v.id("dup").unwrap();
+        assert_eq!(m.get(d, d), 1.0);
+    }
+}

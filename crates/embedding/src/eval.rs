@@ -1,0 +1,303 @@
+//! Intrinsic embedding-quality evaluation.
+//!
+//! The GloVe substitution (DESIGN.md §2) is only valid if the trained
+//! space reproduces the property the classifier relies on: synonymous
+//! domain terms lie closer together than unrelated terms. This module
+//! measures that directly, without any classifier in the loop:
+//!
+//! * [`separation`] — mean within-group vs across-group cosine over
+//!   labeled synonym groups, plus the gap between the two;
+//! * [`retrieval_accuracy`] — for each word, whether its nearest
+//!   neighbour belongs to the same synonym group (a precision@1 probe);
+//! * [`SimilarityProbe`] — scored word pairs for fine-grained checks.
+
+use crate::store::{cosine, EmbeddingStore};
+
+/// A labeled set of synonym groups (each group: words that should embed
+/// close together).
+#[derive(Debug, Clone, Default)]
+pub struct SynonymGroups {
+    groups: Vec<Vec<String>>,
+}
+
+impl SynonymGroups {
+    /// Build from string groups, dropping words of fewer than one group
+    /// and groups with fewer than two usable words.
+    pub fn new(groups: Vec<Vec<String>>) -> Self {
+        SynonymGroups {
+            groups: groups.into_iter().filter(|g| g.len() >= 2).collect(),
+        }
+    }
+
+    /// The groups.
+    pub fn groups(&self) -> &[Vec<String>] {
+        &self.groups
+    }
+
+    /// Restrict to words present in `store` (groups shrinking below two
+    /// members are dropped).
+    pub fn known_to(&self, store: &EmbeddingStore) -> SynonymGroups {
+        SynonymGroups::new(
+            self.groups
+                .iter()
+                .map(|g| {
+                    g.iter()
+                        .filter(|w| store.get(w).is_some())
+                        .cloned()
+                        .collect::<Vec<_>>()
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Within/across-group cosine statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Separation {
+    /// Mean cosine between words of the same group.
+    pub within_mean: f64,
+    /// Mean cosine between words of different groups.
+    pub across_mean: f64,
+    /// `within_mean − across_mean`; the larger, the better the space.
+    pub gap: f64,
+    /// Number of within-group pairs measured.
+    pub within_pairs: usize,
+    /// Number of across-group pairs measured.
+    pub across_pairs: usize,
+}
+
+/// Measure within- vs across-group cosine separation. Returns `None`
+/// when fewer than two groups survive the vocabulary restriction.
+pub fn separation(store: &EmbeddingStore, groups: &SynonymGroups) -> Option<Separation> {
+    let known = groups.known_to(store);
+    if known.groups().len() < 2 {
+        return None;
+    }
+    let vec_of = |w: &str| store.get(w).expect("restricted to known words");
+
+    let mut within = Vec::new();
+    let mut across = Vec::new();
+    for (gi, g) in known.groups().iter().enumerate() {
+        for (i, a) in g.iter().enumerate() {
+            for b in &g[i + 1..] {
+                within.push(cosine(vec_of(a), vec_of(b)));
+            }
+        }
+        for h in &known.groups()[gi + 1..] {
+            for a in g {
+                for b in h {
+                    across.push(cosine(vec_of(a), vec_of(b)));
+                }
+            }
+        }
+    }
+    if within.is_empty() || across.is_empty() {
+        return None;
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (within_mean, across_mean) = (mean(&within), mean(&across));
+    Some(Separation {
+        within_mean,
+        across_mean,
+        gap: within_mean - across_mean,
+        within_pairs: within.len(),
+        across_pairs: across.len(),
+    })
+}
+
+/// Precision@1 of nearest-neighbour retrieval: the fraction of words
+/// whose closest *probe* word (over all group members, excluding itself)
+/// belongs to the same group. Returns `None` if fewer than two groups
+/// survive.
+pub fn retrieval_accuracy(store: &EmbeddingStore, groups: &SynonymGroups) -> Option<f64> {
+    let known = groups.known_to(store);
+    if known.groups().len() < 2 {
+        return None;
+    }
+    let all: Vec<(usize, &String)> = known
+        .groups()
+        .iter()
+        .enumerate()
+        .flat_map(|(gi, g)| g.iter().map(move |w| (gi, w)))
+        .collect();
+
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for &(gi, word) in &all {
+        let v = store.get(word).expect("known");
+        let best = all
+            .iter()
+            .filter(|(_, w)| *w != word)
+            .map(|&(hj, ref w)| (hj, cosine(v, store.get(w).expect("known"))))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        if let Some((hj, _)) = best {
+            total += 1;
+            if hj == gi {
+                correct += 1;
+            }
+        }
+    }
+    if total == 0 {
+        None
+    } else {
+        Some(correct as f64 / total as f64)
+    }
+}
+
+/// A scored word-pair probe: expected-similar pairs should outscore
+/// expected-dissimilar pairs.
+#[derive(Debug, Clone)]
+pub struct SimilarityProbe {
+    /// Pairs expected to be similar.
+    pub similar: Vec<(String, String)>,
+    /// Pairs expected to be dissimilar.
+    pub dissimilar: Vec<(String, String)>,
+}
+
+impl SimilarityProbe {
+    /// Fraction of (similar, dissimilar) pair combinations ranked
+    /// correctly (similar scoring strictly higher). Pairs with unknown
+    /// words are skipped. Returns `None` when nothing is comparable.
+    pub fn ranking_accuracy(&self, store: &EmbeddingStore) -> Option<f64> {
+        let score = |pair: &(String, String)| -> Option<f64> {
+            store.cosine_similarity(&pair.0, &pair.1)
+        };
+        let sims: Vec<f64> = self.similar.iter().filter_map(score).collect();
+        let diss: Vec<f64> = self.dissimilar.iter().filter_map(score).collect();
+        if sims.is_empty() || diss.is_empty() {
+            return None;
+        }
+        let mut correct = 0usize;
+        for s in &sims {
+            for d in &diss {
+                if s > d {
+                    correct += 1;
+                }
+            }
+        }
+        Some(correct as f64 / (sims.len() * diss.len()) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-built store with two clean clusters and a stray word.
+    fn store() -> EmbeddingStore {
+        let mut s = EmbeddingStore::new(3);
+        s.insert("mp", vec![1.0, 0.1, 0.0]).unwrap();
+        s.insert("megapixels", vec![0.95, 0.15, 0.0]).unwrap();
+        s.insert("resolution", vec![0.9, 0.2, 0.0]).unwrap();
+        s.insert("battery", vec![0.0, 0.1, 1.0]).unwrap();
+        s.insert("mah", vec![0.05, 0.12, 0.95]).unwrap();
+        s.insert("stray", vec![0.4, 0.9, 0.4]).unwrap();
+        s
+    }
+
+    fn groups() -> SynonymGroups {
+        SynonymGroups::new(vec![
+            vec!["mp".into(), "megapixels".into(), "resolution".into()],
+            vec!["battery".into(), "mah".into()],
+        ])
+    }
+
+    #[test]
+    fn separation_on_clean_clusters() {
+        let sep = separation(&store(), &groups()).unwrap();
+        assert!(sep.within_mean > 0.9);
+        assert!(sep.across_mean < 0.3);
+        assert!(sep.gap > 0.6);
+        assert_eq!(sep.within_pairs, 3 + 1);
+        assert_eq!(sep.across_pairs, 6);
+    }
+
+    #[test]
+    fn retrieval_is_perfect_on_clean_clusters() {
+        assert_eq!(retrieval_accuracy(&store(), &groups()), Some(1.0));
+    }
+
+    #[test]
+    fn unknown_words_are_dropped() {
+        let g = SynonymGroups::new(vec![
+            vec!["mp".into(), "megapixels".into(), "ghost".into()],
+            vec!["battery".into(), "mah".into()],
+        ]);
+        let sep = separation(&store(), &g).unwrap();
+        // "ghost" contributes nothing.
+        assert_eq!(sep.within_pairs, 1 + 1);
+    }
+
+    #[test]
+    fn too_few_groups_is_none() {
+        let g = SynonymGroups::new(vec![vec!["mp".into(), "megapixels".into()]]);
+        assert!(separation(&store(), &g).is_none());
+        assert!(retrieval_accuracy(&store(), &g).is_none());
+        // All-unknown groups also collapse.
+        let g = SynonymGroups::new(vec![
+            vec!["x".into(), "y".into()],
+            vec!["z".into(), "w".into()],
+        ]);
+        assert!(separation(&store(), &g).is_none());
+    }
+
+    #[test]
+    fn groups_filter_tiny_groups() {
+        let g = SynonymGroups::new(vec![vec!["only".into()], vec!["a".into(), "b".into()]]);
+        assert_eq!(g.groups().len(), 1);
+    }
+
+    #[test]
+    fn similarity_probe_ranking() {
+        let probe = SimilarityProbe {
+            similar: vec![("mp".into(), "megapixels".into())],
+            dissimilar: vec![("mp".into(), "battery".into()), ("mp".into(), "ghost".into())],
+        };
+        // Pair with unknown "ghost" is skipped; the remaining comparison
+        // is correct.
+        assert_eq!(probe.ranking_accuracy(&store()), Some(1.0));
+
+        let empty = SimilarityProbe {
+            similar: vec![("ghost".into(), "mp".into())],
+            dissimilar: vec![],
+        };
+        assert_eq!(empty.ranking_accuracy(&store()), None);
+    }
+
+    #[test]
+    fn trained_embeddings_pass_probes() {
+        use crate::cooccur::CooccurrenceMatrix;
+        use crate::glove::{train, GloVeConfig};
+        use crate::tokenize::tokenize;
+        use crate::vocab::Vocab;
+        // Reuse the synonym corpus trick: two context-separated clusters.
+        let mut sentences = Vec::new();
+        for round in 0..60 {
+            let r = ["mp", "megapixels", "resolution"][round % 3];
+            let b = ["battery", "mah", "charge"][round % 3];
+            sentences.push(tokenize(&format!("sensor image {r} detail sharpness")));
+            sentences.push(tokenize(&format!("power hours {b} endurance energy")));
+        }
+        let vocab = Vocab::build(sentences.iter().flatten().map(String::as_str), 1);
+        let cooc = CooccurrenceMatrix::from_sentences(&vocab, &sentences, 5);
+        let store = train(
+            &vocab,
+            &cooc,
+            &GloVeConfig {
+                dim: 16,
+                epochs: 40,
+                ..GloVeConfig::default()
+            },
+            11,
+        )
+        .unwrap();
+        let g = SynonymGroups::new(vec![
+            vec!["mp".into(), "megapixels".into(), "resolution".into()],
+            vec!["battery".into(), "mah".into(), "charge".into()],
+        ]);
+        let sep = separation(&store, &g).unwrap();
+        assert!(sep.gap > 0.2, "trained separation too small: {sep:?}");
+        let acc = retrieval_accuracy(&store, &g).unwrap();
+        assert!(acc > 0.8, "retrieval accuracy {acc}");
+    }
+}

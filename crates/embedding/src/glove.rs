@@ -1,0 +1,464 @@
+//! GloVe training: AdaGrad on the weighted least-squares objective.
+//!
+//! For each non-zero co-occurrence `x_ij` the model minimizes
+//!
+//! ```text
+//! f(x_ij) · (wᵢ · w̃ⱼ + bᵢ + b̃ⱼ − ln x_ij)²
+//! f(x) = (x / x_max)^α  capped at 1,   α = 0.75
+//! ```
+//!
+//! with separate "main" and "context" vectors whose sum is the final
+//! embedding, exactly as in Pennington et al. (2014). Updates use AdaGrad
+//! with per-coordinate accumulators, and the co-occurrence entries are
+//! visited in a seeded shuffled order each epoch for reproducibility.
+
+use crate::cooccur::CooccurrenceMatrix;
+use crate::store::EmbeddingStore;
+use crate::vocab::Vocab;
+use crate::EmbeddingError;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Hyper-parameters for GloVe training.
+#[derive(Debug, Clone)]
+pub struct GloVeConfig {
+    /// Embedding dimensionality (the paper's pre-trained vectors: 300; our
+    /// trained-from-scratch default: 50, swept in the ablation bench).
+    pub dim: usize,
+    /// Number of passes over the co-occurrence entries.
+    pub epochs: usize,
+    /// Initial AdaGrad learning rate.
+    pub learning_rate: f64,
+    /// Weighting-function cap `x_max`; entries at or above it get weight 1.
+    pub x_max: f64,
+    /// Weighting-function exponent α.
+    pub alpha: f64,
+    /// Mean-center the final vectors (subtract the average vector).
+    ///
+    /// Embeddings trained on small corpora are strongly anisotropic: all
+    /// vectors share a large common component, so cosine similarities
+    /// crowd toward 1 and thresholds lose their meaning. Removing the
+    /// mean (the first step of the standard "all-but-the-top"
+    /// post-processing) restores a spread of cosines comparable to
+    /// large-corpus GloVe, which the paper's matchers assume.
+    pub mean_center: bool,
+    /// Scale every final vector to unit length (after centering).
+    ///
+    /// GloVe vector norms grow with word frequency; in the paper's huge
+    /// corpus all property-vocabulary words are frequent, so their norms
+    /// are comparable, and vector-difference features reflect *direction*.
+    /// On a small corpus, rare words keep near-initialization (tiny-norm)
+    /// vectors, making any two rare words spuriously "close". Unit
+    /// normalization restores comparable norms.
+    pub unit_norm: bool,
+}
+
+impl Default for GloVeConfig {
+    fn default() -> Self {
+        GloVeConfig {
+            dim: 50,
+            epochs: 25,
+            learning_rate: 0.05,
+            x_max: 100.0,
+            alpha: 0.75,
+            mean_center: true,
+            unit_norm: true,
+        }
+    }
+}
+
+impl GloVeConfig {
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), EmbeddingError> {
+        if self.dim == 0 {
+            return Err(EmbeddingError::InvalidConfig("dim must be > 0".into()));
+        }
+        if self.epochs == 0 {
+            return Err(EmbeddingError::InvalidConfig("epochs must be > 0".into()));
+        }
+        if !(self.learning_rate > 0.0 && self.learning_rate.is_finite()) {
+            return Err(EmbeddingError::InvalidConfig(format!(
+                "learning_rate must be positive, got {}",
+                self.learning_rate
+            )));
+        }
+        if !(self.x_max > 0.0) {
+            return Err(EmbeddingError::InvalidConfig("x_max must be > 0".into()));
+        }
+        if !(0.0..=1.0).contains(&self.alpha) {
+            return Err(EmbeddingError::InvalidConfig(
+                "alpha must be in [0, 1]".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The GloVe weighting function `f(x) = min(1, (x/x_max)^α)`.
+    pub fn weight(&self, x: f64) -> f64 {
+        if x >= self.x_max {
+            1.0
+        } else {
+            (x / self.x_max).powf(self.alpha)
+        }
+    }
+}
+
+/// Train GloVe embeddings over `cooc` and return the final store
+/// (main + context vectors summed).
+///
+/// Training is deterministic given `seed`.
+pub fn train(
+    vocab: &Vocab,
+    cooc: &CooccurrenceMatrix,
+    cfg: &GloVeConfig,
+    seed: u64,
+) -> Result<EmbeddingStore, EmbeddingError> {
+    cfg.validate()?;
+    if vocab.is_empty() {
+        return Err(EmbeddingError::EmptyVocabulary);
+    }
+    if cooc.is_empty() {
+        return Err(EmbeddingError::EmptyCooccurrence);
+    }
+
+    let n = vocab.len();
+    let d = cfg.dim;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Main (w) and context (w~) vectors + biases, flat layout [n * d].
+    let mut w = init_vec(n * d, d, &mut rng);
+    let mut wc = init_vec(n * d, d, &mut rng);
+    let mut b = vec![0.0f64; n];
+    let mut bc = vec![0.0f64; n];
+
+    // AdaGrad accumulators (start at 1.0 like the reference implementation
+    // so early updates aren't huge).
+    let mut gw = vec![1.0f64; n * d];
+    let mut gwc = vec![1.0f64; n * d];
+    let mut gb = vec![1.0f64; n];
+    let mut gbc = vec![1.0f64; n];
+
+    let mut entries = cooc.iter_sorted();
+    let lr = cfg.learning_rate;
+
+    for _epoch in 0..cfg.epochs {
+        entries.shuffle(&mut rng);
+        for &(i, j, x) in &entries {
+            debug_assert!(x > 0.0);
+            let (i, j) = (i as usize, j as usize);
+            let fx = cfg.weight(x);
+            let log_x = x.ln();
+
+            // Symmetric matrix stored once per unordered pair: update both
+            // (i ctr, j ctx) and (j ctr, i ctx) directions, except the
+            // diagonal which exists once.
+            let directions: &[(usize, usize)] = if i == j { &[(i, j)] } else { &[(i, j), (j, i)] };
+            for &(ci, cj) in directions {
+                let wi = ci * d..(ci + 1) * d;
+                let wj = cj * d..(cj + 1) * d;
+
+                let mut dot = 0.0f64;
+                for (a, bb) in w[wi.clone()].iter().zip(&wc[wj.clone()]) {
+                    dot += a * bb;
+                }
+                let diff = dot + b[ci] + bc[cj] - log_x;
+                let coef = fx * diff; // gradient scale (×2 folded into lr)
+
+                // Vector updates.
+                for k in 0..d {
+                    let gi = ci * d + k;
+                    let gj = cj * d + k;
+                    let grad_w = coef * wc[gj];
+                    let grad_c = coef * w[gi];
+                    w[gi] -= lr * grad_w / gw[gi].sqrt();
+                    wc[gj] -= lr * grad_c / gwc[gj].sqrt();
+                    gw[gi] += grad_w * grad_w;
+                    gwc[gj] += grad_c * grad_c;
+                }
+                // Bias updates.
+                b[ci] -= lr * coef / gb[ci].sqrt();
+                bc[cj] -= lr * coef / gbc[cj].sqrt();
+                gb[ci] += coef * coef;
+                gbc[cj] += coef * coef;
+            }
+        }
+    }
+
+    // Final embedding: w + w~ (standard GloVe practice), optionally
+    // mean-centered to remove small-corpus anisotropy.
+    let mut vectors: Vec<Vec<f32>> = (0..n)
+        .map(|id| {
+            let base = id * d;
+            (0..d).map(|k| (w[base + k] + wc[base + k]) as f32).collect()
+        })
+        .collect();
+    if cfg.mean_center && n > 1 {
+        let mut mean = vec![0.0f64; d];
+        for v in &vectors {
+            for (m, &x) in mean.iter_mut().zip(v) {
+                *m += x as f64;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        for v in &mut vectors {
+            for (x, &m) in v.iter_mut().zip(&mean) {
+                *x -= m as f32;
+            }
+        }
+    }
+    if cfg.unit_norm {
+        for v in &mut vectors {
+            let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if norm > 1e-8 {
+                for x in v.iter_mut() {
+                    *x /= norm;
+                }
+            }
+        }
+    }
+    let mut store = EmbeddingStore::new(d);
+    for (id, word, _) in vocab.iter() {
+        store
+            .insert(word, vectors[id as usize].clone())
+            .expect("dim is consistent");
+    }
+    Ok(store)
+}
+
+/// Total weighted least-squares loss of a trained store against the
+/// co-occurrence matrix — used to verify training actually minimizes the
+/// objective. Uses the summed vectors as both main and context (an
+/// approximation adequate for monitoring).
+pub fn objective_proxy(
+    store: &EmbeddingStore,
+    vocab: &Vocab,
+    cooc: &CooccurrenceMatrix,
+    cfg: &GloVeConfig,
+) -> f64 {
+    let mut total = 0.0;
+    for (i, j, x) in cooc.iter_sorted() {
+        let (Some(wi), Some(wj)) = (
+            vocab.word(i).and_then(|w| store.get(w)),
+            vocab.word(j).and_then(|w| store.get(w)),
+        ) else {
+            continue;
+        };
+        let dot: f64 = wi.iter().zip(wj).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        // Summed vectors roughly double the scale; halve the dot product.
+        let diff = dot / 2.0 - x.ln();
+        total += cfg.weight(x) * diff * diff;
+    }
+    total
+}
+
+fn init_vec(len: usize, dim: usize, rng: &mut StdRng) -> Vec<f64> {
+    let scale = 0.5 / dim as f64;
+    (0..len).map(|_| rng.gen_range(-scale..scale)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::tokenize;
+
+    /// A corpus where {mp, megapixels, resolution} share contexts and
+    /// {battery, mah, charge} share different contexts.
+    fn synonym_corpus() -> Vec<Vec<String>> {
+        let mut sentences = Vec::new();
+        let res_words = ["mp", "megapixels", "resolution"];
+        let bat_words = ["battery", "mah", "charge"];
+        for round in 0..40 {
+            let r = res_words[round % 3];
+            let b = bat_words[round % 3];
+            sentences.push(tokenize(&format!("the camera sensor captures {r} of image detail")));
+            sentences.push(tokenize(&format!("image detail depends on sensor {r} quality")));
+            sentences.push(tokenize(&format!("the {b} lasts many hours of power use")));
+            sentences.push(tokenize(&format!("power use drains the {b} over hours")));
+        }
+        sentences
+    }
+
+    fn train_on_corpus(dim: usize, epochs: usize) -> (Vocab, CooccurrenceMatrix, EmbeddingStore) {
+        let sents = synonym_corpus();
+        let vocab = Vocab::build(sents.iter().flatten().map(String::as_str), 1);
+        let cooc = CooccurrenceMatrix::from_sentences(&vocab, &sents, 6);
+        let cfg = GloVeConfig {
+            dim,
+            epochs,
+            ..GloVeConfig::default()
+        };
+        let store = train(&vocab, &cooc, &cfg, 123).unwrap();
+        (vocab, cooc, store)
+    }
+
+    #[test]
+    fn weighting_function_shape() {
+        let cfg = GloVeConfig::default();
+        assert_eq!(cfg.weight(100.0), 1.0);
+        assert_eq!(cfg.weight(1000.0), 1.0);
+        assert!(cfg.weight(1.0) < cfg.weight(10.0));
+        assert!(cfg.weight(10.0) < 1.0);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(GloVeConfig::default().validate().is_ok());
+        let bad = GloVeConfig { dim: 0, ..GloVeConfig::default() };
+        assert!(bad.validate().is_err());
+        let bad = GloVeConfig { epochs: 0, ..GloVeConfig::default() };
+        assert!(bad.validate().is_err());
+        let bad = GloVeConfig { learning_rate: -1.0, ..GloVeConfig::default() };
+        assert!(bad.validate().is_err());
+        let bad = GloVeConfig { alpha: 2.0, ..GloVeConfig::default() };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn errors_on_empty_inputs() {
+        let empty_vocab = Vocab::build(std::iter::empty(), 1);
+        let cooc = CooccurrenceMatrix::new();
+        let cfg = GloVeConfig::default();
+        assert!(matches!(
+            train(&empty_vocab, &cooc, &cfg, 0),
+            Err(EmbeddingError::EmptyVocabulary)
+        ));
+        let vocab = Vocab::build(["a"].into_iter(), 1);
+        assert!(matches!(
+            train(&vocab, &cooc, &cfg, 0),
+            Err(EmbeddingError::EmptyCooccurrence)
+        ));
+    }
+
+    #[test]
+    fn training_reduces_objective() {
+        let sents = synonym_corpus();
+        let vocab = Vocab::build(sents.iter().flatten().map(String::as_str), 1);
+        let cooc = CooccurrenceMatrix::from_sentences(&vocab, &sents, 6);
+        // Centering would change the dot products the proxy measures.
+        let cfg_short = GloVeConfig { dim: 16, epochs: 1, mean_center: false, unit_norm: false, ..GloVeConfig::default() };
+        let cfg_long = GloVeConfig { dim: 16, epochs: 40, mean_center: false, unit_norm: false, ..GloVeConfig::default() };
+        let short = train(&vocab, &cooc, &cfg_short, 7).unwrap();
+        let long = train(&vocab, &cooc, &cfg_long, 7).unwrap();
+        let loss_short = objective_proxy(&short, &vocab, &cooc, &cfg_long);
+        let loss_long = objective_proxy(&long, &vocab, &cooc, &cfg_long);
+        assert!(
+            loss_long < loss_short,
+            "objective should drop: {loss_short} → {loss_long}"
+        );
+    }
+
+    #[test]
+    fn synonyms_closer_than_unrelated_words() {
+        let (_vocab, _cooc, store) = train_on_corpus(24, 60);
+        let syn = store.cosine_similarity("mp", "megapixels").unwrap();
+        let unrel = store.cosine_similarity("mp", "battery").unwrap();
+        assert!(
+            syn > unrel,
+            "synonyms should be closer: sim(mp,megapixels)={syn} vs sim(mp,battery)={unrel}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sents = synonym_corpus();
+        let vocab = Vocab::build(sents.iter().flatten().map(String::as_str), 1);
+        let cooc = CooccurrenceMatrix::from_sentences(&vocab, &sents, 6);
+        let cfg = GloVeConfig { dim: 8, epochs: 3, ..GloVeConfig::default() };
+        let a = train(&vocab, &cooc, &cfg, 99).unwrap();
+        let b = train(&vocab, &cooc, &cfg, 99).unwrap();
+        assert_eq!(a.get("camera"), b.get("camera"));
+    }
+
+    #[test]
+    fn mean_centering_zeroes_the_mean() {
+        let sents = synonym_corpus();
+        let vocab = Vocab::build(sents.iter().flatten().map(String::as_str), 1);
+        let cooc = CooccurrenceMatrix::from_sentences(&vocab, &sents, 6);
+        let cfg = GloVeConfig {
+            dim: 8,
+            epochs: 3,
+            unit_norm: false, // per-vector rescaling would move the mean
+            ..GloVeConfig::default()
+        };
+        let store = train(&vocab, &cooc, &cfg, 77).unwrap();
+        let mut mean = vec![0.0f64; 8];
+        for (_, word, _) in vocab.iter() {
+            for (m, &x) in mean.iter_mut().zip(store.get(word).unwrap()) {
+                *m += x as f64;
+            }
+        }
+        for m in &mean {
+            assert!((m / vocab.len() as f64).abs() < 1e-5, "mean not centered");
+        }
+    }
+
+    #[test]
+    fn centering_spreads_cosines() {
+        let sents = synonym_corpus();
+        let vocab = Vocab::build(sents.iter().flatten().map(String::as_str), 1);
+        let cooc = CooccurrenceMatrix::from_sentences(&vocab, &sents, 6);
+        let raw = train(
+            &vocab,
+            &cooc,
+            &GloVeConfig {
+                dim: 16,
+                epochs: 30,
+                mean_center: false,
+                ..GloVeConfig::default()
+            },
+            7,
+        )
+        .unwrap();
+        let centered = train(
+            &vocab,
+            &cooc,
+            &GloVeConfig {
+                dim: 16,
+                epochs: 30,
+                mean_center: true,
+                ..GloVeConfig::default()
+            },
+            7,
+        )
+        .unwrap();
+        let avg_cos = |s: &EmbeddingStore| {
+            let words: Vec<&str> = vocab.iter().map(|(_, w, _)| w).collect();
+            let mut total = 0.0;
+            let mut count = 0;
+            for (i, a) in words.iter().enumerate() {
+                for b in &words[i + 1..] {
+                    total += s.cosine_similarity(a, b).unwrap();
+                    count += 1;
+                }
+            }
+            total / count as f64
+        };
+        assert!(
+            avg_cos(&centered).abs() < avg_cos(&raw).abs(),
+            "centering should reduce the global cosine bias"
+        );
+    }
+
+    #[test]
+    fn unit_norm_gives_unit_vectors() {
+        let (vocab, _, store) = train_on_corpus(12, 3);
+        for (_, word, _) in vocab.iter() {
+            let v = store.get(word).unwrap();
+            let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-4, "{word}: norm {norm}");
+        }
+    }
+
+    #[test]
+    fn all_vocab_words_have_vectors() {
+        let (vocab, _, store) = train_on_corpus(8, 2);
+        for (_, word, _) in vocab.iter() {
+            let v = store.get(word).expect("every vocab word embedded");
+            assert_eq!(v.len(), 8);
+            assert!(v.iter().all(|x| x.is_finite()));
+        }
+    }
+}

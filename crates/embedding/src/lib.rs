@@ -1,0 +1,97 @@
+//! Word-embedding substrate for LEAPME.
+//!
+//! The paper uses pre-trained 300-dimensional GloVe vectors (Common Crawl,
+//! 1.9 M words) and maps unknown words to the zero vector. Pre-trained
+//! vectors are not available offline, so this crate implements the *whole*
+//! GloVe pipeline from scratch (see DESIGN.md §2 for why this substitution
+//! preserves the paper's behaviour):
+//!
+//! * [`tokenize`] — the word splitter used for property names and values,
+//! * [`vocab::Vocab`] — word ↔ id interning with frequency pruning,
+//! * [`cooccur::CooccurrenceMatrix`] — windowed co-occurrence counts with
+//!   the canonical `1/d` distance weighting,
+//! * [`glove`] — AdaGrad training of the GloVe weighted least-squares
+//!   objective (Pennington et al., EMNLP 2014),
+//! * [`store::EmbeddingStore`] — the lookup table used by feature
+//!   extraction: averaging, OOV→zeros, cosine similarity, and I/O in the
+//!   standard `glove.txt` text format so real pre-trained vectors can be
+//!   dropped in.
+//!
+//! # Example: train embeddings on a tiny corpus
+//!
+//! ```
+//! use leapme_embedding::{cooccur::CooccurrenceMatrix, glove::{GloVeConfig, train},
+//!                        tokenize::tokenize, vocab::Vocab};
+//!
+//! let corpus = [
+//!     "camera resolution measured in megapixels",
+//!     "the resolution of the sensor is twenty megapixels",
+//!     "megapixels describe camera resolution",
+//! ];
+//! let sentences: Vec<Vec<String>> = corpus.iter().map(|s| tokenize(s)).collect();
+//! let vocab = Vocab::build(sentences.iter().flatten().map(String::as_str), 1);
+//! let cooc = CooccurrenceMatrix::from_sentences(&vocab, &sentences, 5);
+//! let cfg = GloVeConfig { dim: 16, epochs: 30, ..GloVeConfig::default() };
+//! let store = train(&vocab, &cooc, &cfg, 42).unwrap();
+//! assert_eq!(store.dim(), 16);
+//! assert!(store.get("resolution").is_some());
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cooccur;
+pub mod eval;
+pub mod glove;
+pub mod store;
+pub mod tokenize;
+pub mod vocab;
+
+/// Errors produced by the embedding substrate.
+#[derive(Debug)]
+pub enum EmbeddingError {
+    /// The vocabulary is empty (nothing to train on).
+    EmptyVocabulary,
+    /// The co-occurrence matrix has no entries.
+    EmptyCooccurrence,
+    /// An invalid configuration value.
+    InvalidConfig(String),
+    /// A malformed line in a text-format embedding file.
+    ParseError {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for EmbeddingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmbeddingError::EmptyVocabulary => write!(f, "vocabulary is empty"),
+            EmbeddingError::EmptyCooccurrence => write!(f, "co-occurrence matrix is empty"),
+            EmbeddingError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            EmbeddingError::ParseError { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            EmbeddingError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EmbeddingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EmbeddingError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for EmbeddingError {
+    fn from(e: std::io::Error) -> Self {
+        EmbeddingError::Io(e)
+    }
+}

@@ -1,0 +1,136 @@
+//! Tokenization of property names and instance values.
+//!
+//! Property names in multi-source product data arrive in many shapes —
+//! `"camera resolution"`, `"cameraResolution"`, `"camera_resolution"`,
+//! `"Camera-Resolution"` — and instance values mix words, numbers and
+//! units (`"20.1 MP"`, `"1/4000s"`). The tokenizer used before embedding
+//! lookup therefore:
+//!
+//! 1. splits on any non-alphanumeric character,
+//! 2. splits camelCase boundaries (`cameraResolution` → `camera`,
+//!    `resolution`),
+//! 3. splits letter↔digit boundaries (`20mp` → `20`, `mp`),
+//! 4. lowercases everything (the paper uses the *uncased* GloVe corpus).
+
+/// Tokenize `text` into lowercase word/number tokens.
+///
+/// # Examples
+///
+/// ```
+/// use leapme_embedding::tokenize::tokenize;
+/// assert_eq!(tokenize("cameraResolution"), vec!["camera", "resolution"]);
+/// assert_eq!(tokenize("20.1 MP"), vec!["20", "1", "mp"]);
+/// assert_eq!(tokenize("shutter_speed-max"), vec!["shutter", "speed", "max"]);
+/// assert!(tokenize("  ").is_empty());
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut prev: Option<char> = None;
+
+    let flush = |buf: &mut String, out: &mut Vec<String>| {
+        if !buf.is_empty() {
+            out.push(buf.to_lowercase());
+            buf.clear();
+        }
+    };
+
+    for c in text.chars() {
+        if !c.is_alphanumeric() {
+            flush(&mut current, &mut tokens);
+            prev = None;
+            continue;
+        }
+        if let Some(p) = prev {
+            let camel = p.is_lowercase() && c.is_uppercase();
+            let letter_digit = p.is_alphabetic() != c.is_alphabetic();
+            if camel || letter_digit {
+                flush(&mut current, &mut tokens);
+            }
+        }
+        current.push(c);
+        prev = Some(c);
+    }
+    flush(&mut current, &mut tokens);
+    tokens
+}
+
+/// Tokenize and keep only alphabetic tokens (drops pure numbers).
+///
+/// Useful for embedding lookups where numerals carry no distributional
+/// semantics in a small trained vocabulary.
+///
+/// ```
+/// use leapme_embedding::tokenize::tokenize_words;
+/// assert_eq!(tokenize_words("20.1 MP sensor"), vec!["mp", "sensor"]);
+/// ```
+pub fn tokenize_words(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| t.chars().any(|c| c.is_alphabetic()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn splits_camel_case() {
+        assert_eq!(tokenize("maxShutterSpeed"), vec!["max", "shutter", "speed"]);
+        // Consecutive uppercase stays together (acronyms).
+        assert_eq!(tokenize("ISORange"), vec!["isorange"]);
+        assert_eq!(tokenize("isoRange"), vec!["iso", "range"]);
+    }
+
+    #[test]
+    fn splits_letter_digit_boundaries() {
+        assert_eq!(tokenize("f2.8"), vec!["f", "2", "8"]);
+        assert_eq!(tokenize("1080p"), vec!["1080", "p"]);
+        assert_eq!(tokenize("mp3player"), vec!["mp", "3", "player"]);
+    }
+
+    #[test]
+    fn separators_and_punctuation() {
+        assert_eq!(tokenize("white-balance"), vec!["white", "balance"]);
+        assert_eq!(tokenize("width_x_height"), vec!["width", "x", "height"]);
+        assert_eq!(tokenize("a,b;c"), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! --- ///").is_empty());
+    }
+
+    #[test]
+    fn unicode_words() {
+        assert_eq!(tokenize("résolution café"), vec!["résolution", "café"]);
+    }
+
+    #[test]
+    fn words_filter_drops_numbers() {
+        assert_eq!(tokenize_words("100 4k tv"), vec!["k", "tv"]);
+        assert!(tokenize_words("12345 678").is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn tokens_are_lowercase_alphanumeric(s in ".{0,40}") {
+            for t in tokenize(&s) {
+                prop_assert!(!t.is_empty());
+                prop_assert!(t.chars().all(char::is_alphanumeric), "token {t:?}");
+                prop_assert_eq!(t.clone(), t.to_lowercase());
+            }
+        }
+
+        #[test]
+        fn idempotent_on_own_output(s in "[a-zA-Z0-9 _-]{0,40}") {
+            let once = tokenize(&s);
+            let joined = once.join(" ");
+            let twice = tokenize(&joined);
+            prop_assert_eq!(once, twice);
+        }
+    }
+}

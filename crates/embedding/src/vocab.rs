@@ -1,0 +1,163 @@
+//! Vocabulary: word ↔ id interning with frequency-based pruning.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An immutable vocabulary mapping words to dense ids `0..len`.
+///
+/// Ids are assigned in descending frequency order (ties broken
+/// lexicographically) so id 0 is the most frequent word — the layout GloVe
+/// implementations conventionally use.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct Vocab {
+    word_to_id: HashMap<String, u32>,
+    id_to_word: Vec<String>,
+    counts: Vec<u64>,
+}
+
+impl Vocab {
+    /// Build a vocabulary from a token stream, keeping words that occur at
+    /// least `min_count` times.
+    pub fn build<'a>(tokens: impl IntoIterator<Item = &'a str>, min_count: u64) -> Self {
+        let mut freq: HashMap<String, u64> = HashMap::new();
+        for t in tokens {
+            *freq.entry(t.to_string()).or_insert(0) += 1;
+        }
+        let mut entries: Vec<(String, u64)> = freq
+            .into_iter()
+            .filter(|&(_, c)| c >= min_count.max(1))
+            .collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+        let mut word_to_id = HashMap::with_capacity(entries.len());
+        let mut id_to_word = Vec::with_capacity(entries.len());
+        let mut counts = Vec::with_capacity(entries.len());
+        for (i, (w, c)) in entries.into_iter().enumerate() {
+            word_to_id.insert(w.clone(), i as u32);
+            id_to_word.push(w);
+            counts.push(c);
+        }
+        Vocab {
+            word_to_id,
+            id_to_word,
+            counts,
+        }
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.id_to_word.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_word.is_empty()
+    }
+
+    /// Id of `word`, if present.
+    pub fn id(&self, word: &str) -> Option<u32> {
+        self.word_to_id.get(word).copied()
+    }
+
+    /// Word for `id`, if in range.
+    pub fn word(&self, id: u32) -> Option<&str> {
+        self.id_to_word.get(id as usize).map(String::as_str)
+    }
+
+    /// Corpus frequency of the word with `id`.
+    pub fn count(&self, id: u32) -> Option<u64> {
+        self.counts.get(id as usize).copied()
+    }
+
+    /// Iterate `(id, word, count)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str, u64)> + '_ {
+        self.id_to_word
+            .iter()
+            .zip(&self.counts)
+            .enumerate()
+            .map(|(i, (w, &c))| (i as u32, w.as_str(), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> Vocab {
+        let tokens = ["b", "a", "b", "c", "b", "a"];
+        Vocab::build(tokens, 1)
+    }
+
+    #[test]
+    fn frequency_ordering() {
+        let v = sample();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.word(0), Some("b")); // freq 3
+        assert_eq!(v.word(1), Some("a")); // freq 2
+        assert_eq!(v.word(2), Some("c")); // freq 1
+        assert_eq!(v.count(0), Some(3));
+    }
+
+    #[test]
+    fn min_count_prunes() {
+        let tokens = ["x", "x", "y"];
+        let v = Vocab::build(tokens, 2);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.id("x"), Some(0));
+        assert_eq!(v.id("y"), None);
+    }
+
+    #[test]
+    fn ties_broken_lexicographically() {
+        let tokens = ["beta", "alpha"];
+        let v = Vocab::build(tokens, 1);
+        assert_eq!(v.word(0), Some("alpha"));
+        assert_eq!(v.word(1), Some("beta"));
+    }
+
+    #[test]
+    fn lookup_round_trips() {
+        let v = sample();
+        for (id, word, _) in v.iter() {
+            assert_eq!(v.id(word), Some(id));
+        }
+        assert_eq!(v.id("missing"), None);
+        assert_eq!(v.word(99), None);
+    }
+
+    #[test]
+    fn empty_vocab() {
+        let v = Vocab::build(std::iter::empty(), 1);
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = sample();
+        let s = serde_json::to_string(&v).unwrap();
+        let back: Vocab = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.len(), v.len());
+        assert_eq!(back.id("b"), v.id("b"));
+        assert_eq!(back.count(0), v.count(0));
+    }
+
+    proptest! {
+        #[test]
+        fn ids_are_dense_and_counts_sorted(words in proptest::collection::vec("[a-d]{1,3}", 0..50)) {
+            let v = Vocab::build(words.iter().map(String::as_str), 1);
+            // Dense ids.
+            for i in 0..v.len() {
+                prop_assert!(v.word(i as u32).is_some());
+            }
+            // Non-increasing counts.
+            for i in 1..v.len() {
+                prop_assert!(v.count(i as u32 - 1).unwrap() >= v.count(i as u32).unwrap());
+            }
+            // Total count preserved.
+            let total: u64 = (0..v.len()).map(|i| v.count(i as u32).unwrap()).sum();
+            prop_assert_eq!(total as usize, words.len());
+        }
+    }
+}

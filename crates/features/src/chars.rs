@@ -1,0 +1,180 @@
+//! Character-type features (paper Table I row 1).
+//!
+//! For each of nine character categories — uppercase letters, lowercase
+//! letters, letters of any case ("both"), mark characters, numbers,
+//! punctuation, symbols, separators, other — the extractor produces the
+//! *count* and the *fraction* of the value's characters: 18 features.
+//!
+//! The category split follows the Unicode general categories the TAPON
+//! feature set uses, approximated with `std` character predicates plus
+//! explicit ASCII punctuation/symbol sets (the standard library exposes no
+//! full general-category lookup; the approximation only affects rare
+//! non-ASCII punctuation, which product data essentially never contains).
+
+/// Number of character categories.
+pub const CATEGORIES: usize = 9;
+
+/// Number of features produced ([`CATEGORIES`] × {count, fraction}).
+pub const LEN: usize = CATEGORIES * 2;
+
+/// Category names, index-aligned with the output layout.
+pub const NAMES: [&str; CATEGORIES] = [
+    "upper_letters",
+    "lower_letters",
+    "letters",
+    "marks",
+    "numbers",
+    "punctuation",
+    "symbols",
+    "separators",
+    "other",
+];
+
+const ASCII_PUNCT: &str = "!\"#%&'()*,-./:;?@[\\]_{}";
+const ASCII_SYM: &str = "$+<=>^`|~";
+
+fn classify(c: char) -> usize {
+    if c.is_alphabetic() {
+        if c.is_uppercase() {
+            0
+        } else if c.is_lowercase() {
+            1
+        } else {
+            2 // caseless letters (e.g. CJK) count toward "letters" only
+        }
+    } else if ('\u{0300}'..='\u{036F}').contains(&c) {
+        3 // combining diacritical marks
+    } else if c.is_numeric() {
+        4
+    } else if ASCII_PUNCT.contains(c) {
+        5
+    } else if ASCII_SYM.contains(c) {
+        6
+    } else if c.is_whitespace() {
+        7
+    } else {
+        8
+    }
+}
+
+/// Extract the 18 character-type features of `text`.
+///
+/// Layout: `[count_0, …, count_8, fraction_0, …, fraction_8]` in
+/// [`NAMES`] order. The "letters" category counts *all* alphabetic
+/// characters (so `count_letters >= count_upper + count_lower`). Fractions
+/// are relative to the total character count; an empty string yields all
+/// zeros.
+pub fn extract(text: &str) -> [f32; LEN] {
+    let mut counts = [0f32; CATEGORIES];
+    let mut total = 0usize;
+    for c in text.chars() {
+        total += 1;
+        let cat = classify(c);
+        counts[cat] += 1.0;
+        // Upper/lower also count as "letters".
+        if cat == 0 || cat == 1 {
+            counts[2] += 1.0;
+        }
+    }
+    let mut out = [0f32; LEN];
+    out[..CATEGORIES].copy_from_slice(&counts);
+    if total > 0 {
+        let t = total as f32;
+        for i in 0..CATEGORIES {
+            out[CATEGORIES + i] = counts[i] / t;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn count(text: &str, name: &str) -> f32 {
+        let idx = NAMES.iter().position(|n| *n == name).unwrap();
+        extract(text)[idx]
+    }
+
+    fn fraction(text: &str, name: &str) -> f32 {
+        let idx = NAMES.iter().position(|n| *n == name).unwrap();
+        extract(text)[CATEGORIES + idx]
+    }
+
+    #[test]
+    fn empty_string_all_zero() {
+        assert_eq!(extract(""), [0.0; LEN]);
+    }
+
+    #[test]
+    fn counts_typical_value() {
+        let v = "20.1 MP";
+        assert_eq!(count(v, "numbers"), 3.0);
+        assert_eq!(count(v, "upper_letters"), 2.0);
+        assert_eq!(count(v, "lower_letters"), 0.0);
+        assert_eq!(count(v, "letters"), 2.0);
+        assert_eq!(count(v, "punctuation"), 1.0); // the dot
+        assert_eq!(count(v, "separators"), 1.0);
+    }
+
+    #[test]
+    fn fractions_sum_to_one_for_disjoint_categories() {
+        // All categories except "letters" are disjoint; letters double-counts.
+        let v = "Nikon D750, 24MP!";
+        let f = extract(v);
+        let disjoint: f32 = (0..CATEGORIES)
+            .filter(|&i| i != 2)
+            .map(|i| f[CATEGORIES + i])
+            .sum();
+        assert!((disjoint - 1.0).abs() < 1e-6, "sum {disjoint}");
+    }
+
+    #[test]
+    fn symbols_vs_punctuation() {
+        assert_eq!(count("$99+", "symbols"), 2.0);
+        assert_eq!(count("$99+", "punctuation"), 0.0);
+        assert_eq!(count("a,b.c", "punctuation"), 2.0);
+    }
+
+    #[test]
+    fn marks_detected() {
+        // e + combining acute accent.
+        let s = "e\u{0301}";
+        assert_eq!(count(s, "marks"), 1.0);
+        assert_eq!(count(s, "lower_letters"), 1.0);
+    }
+
+    #[test]
+    fn letters_superset_of_cased() {
+        let f = extract("Ab日");
+        let (u, l, all) = (f[0], f[1], f[2]);
+        assert_eq!(u, 1.0);
+        assert_eq!(l, 1.0);
+        assert_eq!(all, 3.0); // 日 is a caseless letter
+    }
+
+    proptest! {
+        #[test]
+        fn counts_bounded_by_length(s in ".{0,40}") {
+            let f = extract(&s);
+            let n = s.chars().count() as f32;
+            for i in 0..CATEGORIES {
+                prop_assert!(f[i] <= n);
+                prop_assert!((0.0..=1.0).contains(&f[CATEGORIES + i]));
+            }
+        }
+
+        #[test]
+        fn categories_partition_the_string(s in ".{0,40}") {
+            // "letters" (index 2) counts every alphabetic char, cased or
+            // not; upper (0) and lower (1) are subsets of it. So the
+            // partition is: letters + marks + numbers + punctuation +
+            // symbols + separators + other.
+            let f = extract(&s);
+            let partition: f32 = f[2] + (3..CATEGORIES).map(|i| f[i]).sum::<f32>();
+            prop_assert_eq!(partition, s.chars().count() as f32);
+            prop_assert!(f[0] + f[1] <= f[2]);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Feature configurations (paper §V-A).
+//!
+//! The evaluation varies features along two dimensions:
+//!
+//! * **scope** — instance-related features only, name-related features
+//!   only, or both;
+//! * **kind** — embedding-based features only, non-embedding features
+//!   only, or both;
+//!
+//! giving nine configurations. A configuration is realized as a column
+//! mask over the full pair feature vector, whose blocks are:
+//!
+//! ```text
+//! [ 0 .. 29          )  instance non-embedding diff   (scope=instances, kind=non-emb)
+//! [ 29 .. 29+D       )  instance embedding diff       (scope=instances, kind=emb)
+//! [ 29+D .. 29+2D    )  name embedding diff           (scope=names,     kind=emb)
+//! [ 29+2D .. 29+2D+8 )  name string distances         (scope=names,     kind=non-emb)
+//! ```
+
+use crate::{instance, pair};
+use serde::{Deserialize, Serialize};
+
+/// Which feature *scope* to use (paper Table II row groups
+/// "Instances" / "Names" / "Both").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureScope {
+    /// Instance-value features only.
+    Instances,
+    /// Property-name features only.
+    Names,
+    /// Both instance and name features.
+    Both,
+}
+
+/// Which feature *kind* to use (paper Table II columns LEAPME /
+/// LEAPME(emb) / LEAPME(−emb)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureKind {
+    /// Embedding features only — "LEAPME(emb)".
+    Embeddings,
+    /// Non-embedding features only — "LEAPME(−emb)".
+    NonEmbeddings,
+    /// All features — plain "LEAPME".
+    Both,
+}
+
+/// One of the nine feature configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FeatureConfig {
+    /// Feature scope.
+    pub scope: FeatureScope,
+    /// Feature kind.
+    pub kind: FeatureKind,
+}
+
+impl FeatureConfig {
+    /// The full configuration (all features): plain LEAPME on Both scope.
+    pub fn full() -> Self {
+        FeatureConfig {
+            scope: FeatureScope::Both,
+            kind: FeatureKind::Both,
+        }
+    }
+
+    /// All nine configurations in the paper's Table II order
+    /// (Instances, Names, Both × LEAPME, emb, −emb).
+    pub fn all() -> [FeatureConfig; 9] {
+        let scopes = [
+            FeatureScope::Instances,
+            FeatureScope::Names,
+            FeatureScope::Both,
+        ];
+        let kinds = [
+            FeatureKind::Both,
+            FeatureKind::Embeddings,
+            FeatureKind::NonEmbeddings,
+        ];
+        let mut out = [FeatureConfig::full(); 9];
+        let mut i = 0;
+        for scope in scopes {
+            for kind in kinds {
+                out[i] = FeatureConfig { scope, kind };
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Short label matching the paper ("LEAPME", "LEAPME(emb)",
+    /// "LEAPME(-emb)").
+    pub fn kind_label(&self) -> &'static str {
+        match self.kind {
+            FeatureKind::Both => "LEAPME",
+            FeatureKind::Embeddings => "LEAPME(emb)",
+            FeatureKind::NonEmbeddings => "LEAPME(-emb)",
+        }
+    }
+
+    /// Row-group label matching the paper ("Instances"/"Names"/"Both").
+    pub fn scope_label(&self) -> &'static str {
+        match self.scope {
+            FeatureScope::Instances => "Instances",
+            FeatureScope::Names => "Names",
+            FeatureScope::Both => "Both",
+        }
+    }
+
+    /// The column indices of the full pair vector (dimension `dim`) this
+    /// configuration keeps, in ascending order.
+    pub fn mask(&self, dim: usize) -> Vec<usize> {
+        let n = instance::NON_EMBEDDING_LEN; // 29
+        let blocks: [(usize, usize, FeatureScope, FeatureKind); 4] = [
+            (0, n, FeatureScope::Instances, FeatureKind::NonEmbeddings),
+            (n, n + dim, FeatureScope::Instances, FeatureKind::Embeddings),
+            (n + dim, n + 2 * dim, FeatureScope::Names, FeatureKind::Embeddings),
+            (
+                n + 2 * dim,
+                n + 2 * dim + pair::STRING_FEATURES,
+                FeatureScope::Names,
+                FeatureKind::NonEmbeddings,
+            ),
+        ];
+        let scope_ok = |s: FeatureScope| self.scope == FeatureScope::Both || self.scope == s;
+        let kind_ok = |k: FeatureKind| self.kind == FeatureKind::Both || self.kind == k;
+        let mut out = Vec::new();
+        for (start, end, s, k) in blocks {
+            if scope_ok(s) && kind_ok(k) {
+                out.extend(start..end);
+            }
+        }
+        out
+    }
+
+    /// Number of features the configuration keeps at dimension `dim`.
+    pub fn feature_count(&self, dim: usize) -> usize {
+        self.mask(dim).len()
+    }
+
+    /// Project a full pair vector down to this configuration's columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full.len()` does not match the full pair length for
+    /// `dim`.
+    pub fn project(&self, full: &[f32], dim: usize) -> Vec<f32> {
+        assert_eq!(full.len(), pair::len(dim), "full vector length mismatch");
+        self.mask(dim).into_iter().map(|i| full[i]).collect()
+    }
+}
+
+impl std::fmt::Display for FeatureConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.scope_label(), self.kind_label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_distinct_configs() {
+        let all = FeatureConfig::all();
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), 9);
+    }
+
+    #[test]
+    fn paper_feature_counts_at_d300() {
+        let d = 300;
+        let c = |scope, kind| FeatureConfig { scope, kind }.feature_count(d);
+        use FeatureKind as K;
+        use FeatureScope as S;
+        assert_eq!(c(S::Both, K::Both), 637);
+        assert_eq!(c(S::Both, K::Embeddings), 600); // both embedding blocks
+        assert_eq!(c(S::Both, K::NonEmbeddings), 37); // 29 + 8
+        assert_eq!(c(S::Instances, K::Both), 329);
+        assert_eq!(c(S::Instances, K::Embeddings), 300);
+        assert_eq!(c(S::Instances, K::NonEmbeddings), 29);
+        assert_eq!(c(S::Names, K::Both), 308); // 300 + 8
+        assert_eq!(c(S::Names, K::Embeddings), 300);
+        assert_eq!(c(S::Names, K::NonEmbeddings), 8);
+    }
+
+    #[test]
+    fn masks_are_sorted_and_in_range() {
+        for cfg in FeatureConfig::all() {
+            let m = cfg.mask(50);
+            assert!(!m.is_empty());
+            assert!(m.windows(2).all(|w| w[0] < w[1]));
+            assert!(*m.last().unwrap() < pair::len(50));
+        }
+    }
+
+    #[test]
+    fn project_selects_expected_columns() {
+        let dim = 2;
+        // Full vector: 29 + 2 + 2 + 8 = 41 columns, values = index.
+        let full: Vec<f32> = (0..pair::len(dim)).map(|i| i as f32).collect();
+        let names_nonemb = FeatureConfig {
+            scope: FeatureScope::Names,
+            kind: FeatureKind::NonEmbeddings,
+        };
+        let v = names_nonemb.project(&full, dim);
+        assert_eq!(v, vec![33.0, 34.0, 35.0, 36.0, 37.0, 38.0, 39.0, 40.0]);
+
+        let inst_emb = FeatureConfig {
+            scope: FeatureScope::Instances,
+            kind: FeatureKind::Embeddings,
+        };
+        assert_eq!(inst_emb.project(&full, dim), vec![29.0, 30.0]);
+    }
+
+    #[test]
+    fn full_config_keeps_everything() {
+        let dim = 3;
+        let full: Vec<f32> = (0..pair::len(dim)).map(|i| i as f32).collect();
+        assert_eq!(FeatureConfig::full().project(&full, dim), full);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn project_rejects_wrong_length() {
+        FeatureConfig::full().project(&[0.0; 10], 300);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        let cfg = FeatureConfig {
+            scope: FeatureScope::Names,
+            kind: FeatureKind::Embeddings,
+        };
+        assert_eq!(cfg.kind_label(), "LEAPME(emb)");
+        assert_eq!(cfg.scope_label(), "Names");
+        assert_eq!(cfg.to_string(), "Names/LEAPME(emb)");
+    }
+}

@@ -1,0 +1,139 @@
+//! Instance-level features (paper Table I rows 1–4).
+//!
+//! One feature vector per property *value*: character-type features (18),
+//! token-type features (10), the numeric value of the instance (−1 when
+//! it is not a number), and the average embedding of the value's words.
+//! With embedding dimension `D`, the vector has `29 + D` components
+//! (`329` at the paper's `D = 300`).
+
+use crate::{chars, tokens};
+use leapme_embedding::store::EmbeddingStore;
+
+/// Number of non-embedding instance features
+/// (18 character + 10 token + 1 numeric = 29; Table I rows 1–3).
+pub const NON_EMBEDDING_LEN: usize = chars::LEN + tokens::LEN + 1;
+
+/// Total instance-feature length for embedding dimension `dim`.
+pub fn len(dim: usize) -> usize {
+    NON_EMBEDDING_LEN + dim
+}
+
+/// Parse the numeric value of an instance (Table I row 3): the value as a
+/// number, or −1.0 if it is not (entirely) a number.
+///
+/// Accepts surrounding whitespace and a single thousands/decimal comma
+/// style (`"1,299.99"`), mirroring how product prices are written.
+pub fn numeric_value(text: &str) -> f64 {
+    let t = text.trim();
+    if t.is_empty() {
+        return -1.0;
+    }
+    let cleaned: String = t.replace(',', "");
+    match cleaned.parse::<f64>() {
+        Ok(v) if v.is_finite() => v,
+        _ => -1.0,
+    }
+}
+
+/// Extract the instance feature vector of one value.
+///
+/// Layout: `[chars (18) | tokens (10) | numeric (1) | embedding (D)]`.
+pub fn extract(value: &str, embeddings: &EmbeddingStore) -> Vec<f32> {
+    let mut out = Vec::with_capacity(len(embeddings.dim()));
+    out.extend_from_slice(&chars::extract(value));
+    out.extend_from_slice(&tokens::extract(value));
+    out.push(numeric_value(value) as f32);
+    out.extend(embeddings.average_text(value));
+    out
+}
+
+/// Column index where the embedding block starts.
+pub const EMBEDDING_OFFSET: usize = NON_EMBEDDING_LEN;
+
+/// Human-readable names of the 29 non-embedding instance features.
+pub fn non_embedding_names() -> Vec<String> {
+    let mut names = Vec::with_capacity(NON_EMBEDDING_LEN);
+    for n in chars::NAMES {
+        names.push(format!("char_count_{n}"));
+    }
+    for n in chars::NAMES {
+        names.push(format!("char_frac_{n}"));
+    }
+    for n in tokens::NAMES {
+        names.push(format!("token_count_{n}"));
+    }
+    for n in tokens::NAMES {
+        names.push(format!("token_frac_{n}"));
+    }
+    names.push("numeric_value".into());
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> EmbeddingStore {
+        let mut s = EmbeddingStore::new(4);
+        s.insert("mp", vec![1.0, 0.0, 0.0, 0.0]).unwrap();
+        s.insert("megapixels", vec![0.9, 0.1, 0.0, 0.0]).unwrap();
+        s
+    }
+
+    #[test]
+    fn paper_feature_counts() {
+        // Table I: rows 1-3 sum to 29 non-embedding features; with the
+        // paper's 300-d embeddings an instance has 329 features.
+        assert_eq!(NON_EMBEDDING_LEN, 29);
+        assert_eq!(len(300), 329);
+        assert_eq!(non_embedding_names().len(), 29);
+    }
+
+    #[test]
+    fn layout_matches_len() {
+        let s = store();
+        let v = extract("20.1 MP", &s);
+        assert_eq!(v.len(), len(4));
+    }
+
+    #[test]
+    fn numeric_value_parsing() {
+        assert_eq!(numeric_value("42"), 42.0);
+        assert_eq!(numeric_value("  3.5 "), 3.5);
+        assert_eq!(numeric_value("1,299.99"), 1299.99);
+        assert_eq!(numeric_value("-7"), -7.0);
+        assert_eq!(numeric_value("20.1 MP"), -1.0);
+        assert_eq!(numeric_value(""), -1.0);
+        assert_eq!(numeric_value("abc"), -1.0);
+        assert_eq!(numeric_value("NaN"), -1.0);
+        assert_eq!(numeric_value("inf"), -1.0);
+    }
+
+    #[test]
+    fn numeric_feature_position() {
+        let s = store();
+        let v = extract("123", &s);
+        assert_eq!(v[EMBEDDING_OFFSET - 1], 123.0);
+        let v2 = extract("not a number", &s);
+        assert_eq!(v2[EMBEDDING_OFFSET - 1], -1.0);
+    }
+
+    #[test]
+    fn embedding_block_is_value_average() {
+        let s = store();
+        let v = extract("mp", &s);
+        assert_eq!(&v[EMBEDDING_OFFSET..], &[1.0, 0.0, 0.0, 0.0]);
+        // "20 mp" → tokens [20, mp]; 20 is OOV → zero; average halves.
+        let v2 = extract("20 mp", &s);
+        assert_eq!(&v2[EMBEDDING_OFFSET..], &[0.5, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_value_is_zeros_and_minus_one() {
+        let s = store();
+        let v = extract("", &s);
+        assert_eq!(v[EMBEDDING_OFFSET - 1], -1.0);
+        assert!(v[..EMBEDDING_OFFSET - 1].iter().all(|&x| x == 0.0));
+        assert!(v[EMBEDDING_OFFSET..].iter().all(|&x| x == 0.0));
+    }
+}

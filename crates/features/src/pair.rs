@@ -1,0 +1,130 @@
+//! Property-pair features (paper Table I rows 7–15).
+//!
+//! Per candidate pair: the component-wise difference between the two
+//! property feature vectors (row 7; `29 + 2D` components) plus the eight
+//! string distances between the property names (rows 8–15): `29 + 2D + 8`
+//! total (`637` at the paper's `D = 300`).
+
+use leapme_textsim::StringDistances;
+
+/// Number of string-distance features (Table I rows 8–15).
+pub const STRING_FEATURES: usize = StringDistances::LEN;
+
+/// Total pair-feature length for embedding dimension `dim`.
+pub fn len(dim: usize) -> usize {
+    crate::property::len(dim) + STRING_FEATURES
+}
+
+/// Component-wise absolute difference of two property vectors.
+///
+/// The paper's row 7 is "the difference between the features vectors of
+/// the two properties"; we use the absolute difference so the feature is
+/// symmetric in the pair order (pairs are unordered, §III).
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn vector_difference(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "property vector length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).collect()
+}
+
+/// Normalize a property name for string comparison: lowercase, split on
+/// non-alphanumerics and camelCase boundaries, join with single spaces.
+///
+/// Multi-source names differ in *styling* (`Retail_Price`,
+/// `RETAIL PRICE`, `retailPrice`) far more than in substance; raw-string
+/// edit distances would be dominated by case and separator conventions.
+pub fn normalize_name(name: &str) -> String {
+    leapme_embedding::tokenize::tokenize(name).join(" ")
+}
+
+/// The eight name string-distance features, computed on normalized names,
+/// as `f32`.
+pub fn string_features(name_a: &str, name_b: &str) -> [f32; STRING_FEATURES] {
+    let d = StringDistances::compute(&normalize_name(name_a), &normalize_name(name_b)).as_array();
+    let mut out = [0f32; STRING_FEATURES];
+    for (o, v) in out.iter_mut().zip(d) {
+        *o = v as f32;
+    }
+    out
+}
+
+/// Assemble the full pair feature vector:
+/// `[ |pf_a − pf_b| (29+2D) | string distances (8) ]`.
+pub fn assemble(
+    pf_a: &[f32],
+    pf_b: &[f32],
+    name_a: &str,
+    name_b: &str,
+) -> Vec<f32> {
+    let mut out = vector_difference(pf_a, pf_b);
+    out.extend_from_slice(&string_features(name_a, name_b));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_feature_counts() {
+        // 629 difference features + 8 string features = 637 at D = 300.
+        assert_eq!(len(300), 637);
+        assert_eq!(STRING_FEATURES, 8);
+    }
+
+    #[test]
+    fn difference_is_symmetric() {
+        let a = vec![1.0, -2.0, 3.0];
+        let b = vec![0.5, 2.0, 3.0];
+        assert_eq!(vector_difference(&a, &b), vector_difference(&b, &a));
+        assert_eq!(vector_difference(&a, &b), vec![0.5, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn identical_vectors_zero_difference() {
+        let a = vec![1.0, 2.0];
+        assert_eq!(vector_difference(&a, &a), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_vectors() {
+        vector_difference(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn string_features_symmetric_and_bounded() {
+        let f1 = string_features("camera resolution", "image resolution");
+        let f2 = string_features("image resolution", "camera resolution");
+        assert_eq!(f1, f2);
+        assert!(f1.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn identical_names_zero_string_features() {
+        let f = string_features("iso", "iso");
+        assert!(f.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn assemble_layout() {
+        let pf_a = vec![1.0, 2.0, 3.0];
+        let pf_b = vec![1.0, 0.0, 3.0];
+        let v = assemble(&pf_a, &pf_b, "mp", "megapixels");
+        assert_eq!(v.len(), 3 + STRING_FEATURES);
+        assert_eq!(&v[..3], &[0.0, 2.0, 0.0]);
+        // String block present and non-zero for different names.
+        assert!(v[3..].iter().any(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn assemble_symmetric_in_pair_order() {
+        let pf_a = vec![0.2, 0.9];
+        let pf_b = vec![0.4, 0.1];
+        let ab = assemble(&pf_a, &pf_b, "zoom", "optical zoom");
+        let ba = assemble(&pf_b, &pf_a, "optical zoom", "zoom");
+        assert_eq!(ab, ba);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-level features (paper Table I rows 5–6).
+//!
+//! Per property: the component-wise average of its instance feature
+//! vectors (row 5; `29 + D` components) concatenated with the average
+//! embedding of the words in the property *name* (row 6; `D` components):
+//! `29 + 2D` total (`629` at the paper's `D = 300`).
+
+use crate::instance;
+use leapme_embedding::store::EmbeddingStore;
+
+/// Total property-feature length for embedding dimension `dim`.
+pub fn len(dim: usize) -> usize {
+    instance::len(dim) + dim
+}
+
+/// Offset of the instance-average block (always 0; for symmetry).
+pub const INSTANCE_AVG_OFFSET: usize = 0;
+
+/// Offset where the name-embedding block starts, for dimension `dim`.
+pub fn name_embedding_offset(dim: usize) -> usize {
+    instance::len(dim)
+}
+
+/// Build the property feature vector from the property name and its
+/// already-extracted instance feature vectors.
+///
+/// A property with no instances gets zeros for the instance-average block
+/// (its name features still carry signal), mirroring the paper's ability
+/// to run on name features alone.
+///
+/// # Panics
+///
+/// Panics if instance vectors have inconsistent lengths.
+pub fn aggregate(
+    name: &str,
+    instance_vectors: &[Vec<f32>],
+    embeddings: &EmbeddingStore,
+) -> Vec<f32> {
+    let ilen = instance::len(embeddings.dim());
+    let mut out = vec![0.0f32; ilen];
+    if !instance_vectors.is_empty() {
+        for v in instance_vectors {
+            assert_eq!(v.len(), ilen, "inconsistent instance vector length");
+            for (o, &x) in out.iter_mut().zip(v) {
+                *o += x;
+            }
+        }
+        let n = instance_vectors.len() as f32;
+        for o in &mut out {
+            *o /= n;
+        }
+    }
+    out.extend(embeddings.average_text(name));
+    out
+}
+
+/// Convenience: extract instance features for all values and aggregate.
+pub fn from_values(name: &str, values: &[&str], embeddings: &EmbeddingStore) -> Vec<f32> {
+    let vectors: Vec<Vec<f32>> = values
+        .iter()
+        .map(|v| instance::extract(v, embeddings))
+        .collect();
+    aggregate(name, &vectors, embeddings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> EmbeddingStore {
+        let mut s = EmbeddingStore::new(2);
+        s.insert("resolution", vec![1.0, 0.0]).unwrap();
+        s.insert("mp", vec![0.8, 0.2]).unwrap();
+        s
+    }
+
+    #[test]
+    fn paper_feature_counts() {
+        // Table I row 5 (329) + row 6 (300) = 629 at D = 300.
+        assert_eq!(len(300), 629);
+        assert_eq!(name_embedding_offset(300), 329);
+    }
+
+    #[test]
+    fn averages_instance_vectors() {
+        let s = store();
+        let v = from_values("resolution", &["10", "20"], &s);
+        // numeric feature (index 28) should be the mean of 10 and 20.
+        assert_eq!(v[instance::EMBEDDING_OFFSET - 1], 15.0);
+    }
+
+    #[test]
+    fn name_embedding_appended() {
+        let s = store();
+        let v = from_values("resolution", &["10"], &s);
+        let off = name_embedding_offset(2);
+        assert_eq!(&v[off..], &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn no_instances_zeroes_instance_block() {
+        let s = store();
+        let v = from_values("mp", &[], &s);
+        let off = name_embedding_offset(2);
+        assert!(v[..off].iter().all(|&x| x == 0.0));
+        assert_eq!(&v[off..], &[0.8, 0.2]);
+    }
+
+    #[test]
+    fn multiword_name_averaged_with_oov() {
+        let s = store();
+        // "mp count": count is OOV → averaged with zero vector.
+        let v = from_values("mp count", &[], &s);
+        let off = name_embedding_offset(2);
+        assert_eq!(&v[off..], &[0.4, 0.1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent instance vector length")]
+    fn rejects_ragged_instance_vectors() {
+        let s = store();
+        aggregate("x", &[vec![0.0; 3]], &s);
+    }
+}

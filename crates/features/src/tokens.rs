@@ -1,0 +1,154 @@
+//! Token-type features (paper Table I row 2).
+//!
+//! For each of five token categories — words, words starting with a
+//! lowercase letter, words starting with an uppercase letter followed by a
+//! non-separator character, uppercase words, numeric strings — the
+//! extractor produces the count and the fraction of the value's
+//! whitespace-separated tokens: 10 features.
+
+/// Number of token categories.
+pub const CATEGORIES: usize = 5;
+
+/// Number of features produced ([`CATEGORIES`] × {count, fraction}).
+pub const LEN: usize = CATEGORIES * 2;
+
+/// Category names, index-aligned with the output layout.
+pub const NAMES: [&str; CATEGORIES] = [
+    "words",
+    "lowercase_words",
+    "capitalized_words",
+    "uppercase_words",
+    "numeric_strings",
+];
+
+fn is_word(t: &str) -> bool {
+    !t.is_empty() && t.chars().all(char::is_alphabetic)
+}
+
+fn starts_lowercase(t: &str) -> bool {
+    t.chars().next().is_some_and(char::is_lowercase)
+}
+
+fn is_capitalized(t: &str) -> bool {
+    let mut cs = t.chars();
+    match (cs.next(), cs.next()) {
+        (Some(first), Some(second)) => {
+            first.is_uppercase() && !second.is_whitespace() && !second.is_uppercase()
+        }
+        _ => false,
+    }
+}
+
+fn is_uppercase_word(t: &str) -> bool {
+    is_word(t) && t.chars().all(char::is_uppercase)
+}
+
+fn is_numeric_string(t: &str) -> bool {
+    !t.is_empty() && t.chars().all(|c| c.is_numeric() || c == '.' || c == ',')
+        && t.chars().any(char::is_numeric)
+}
+
+/// Extract the 10 token-type features of `text`.
+///
+/// Layout: `[count_0, …, count_4, fraction_0, …, fraction_4]` in
+/// [`NAMES`] order. Fractions are relative to the total token count; a
+/// string with no tokens yields all zeros. Categories overlap (a
+/// lowercase word is also a word), matching TAPON's feature definitions.
+pub fn extract(text: &str) -> [f32; LEN] {
+    let mut counts = [0f32; CATEGORIES];
+    let mut total = 0usize;
+    for t in text.split_whitespace() {
+        total += 1;
+        if is_word(t) {
+            counts[0] += 1.0;
+        }
+        if starts_lowercase(t) {
+            counts[1] += 1.0;
+        }
+        if is_capitalized(t) {
+            counts[2] += 1.0;
+        }
+        if is_uppercase_word(t) {
+            counts[3] += 1.0;
+        }
+        if is_numeric_string(t) {
+            counts[4] += 1.0;
+        }
+    }
+    let mut out = [0f32; LEN];
+    out[..CATEGORIES].copy_from_slice(&counts);
+    if total > 0 {
+        let t = total as f32;
+        for i in 0..CATEGORIES {
+            out[CATEGORIES + i] = counts[i] / t;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn count(text: &str, name: &str) -> f32 {
+        let idx = NAMES.iter().position(|n| *n == name).unwrap();
+        extract(text)[idx]
+    }
+
+    #[test]
+    fn empty_all_zero() {
+        assert_eq!(extract(""), [0.0; LEN]);
+        assert_eq!(extract("   "), [0.0; LEN]);
+    }
+
+    #[test]
+    fn classifies_typical_value() {
+        let v = "Canon EOS 5000 digital camera";
+        assert_eq!(count(v, "words"), 4.0); // Canon EOS digital camera
+        assert_eq!(count(v, "lowercase_words"), 2.0); // digital camera
+        assert_eq!(count(v, "capitalized_words"), 1.0); // Canon
+        assert_eq!(count(v, "uppercase_words"), 1.0); // EOS
+        assert_eq!(count(v, "numeric_strings"), 1.0); // 5000
+    }
+
+    #[test]
+    fn numeric_strings_allow_decimal_marks() {
+        assert_eq!(count("20.1", "numeric_strings"), 1.0);
+        assert_eq!(count("1,000", "numeric_strings"), 1.0);
+        assert_eq!(count("...", "numeric_strings"), 0.0);
+        assert_eq!(count("20mm", "numeric_strings"), 0.0);
+    }
+
+    #[test]
+    fn capitalized_needs_following_char() {
+        assert_eq!(count("A", "capitalized_words"), 0.0);
+        assert_eq!(count("Ab", "capitalized_words"), 1.0);
+        assert_eq!(count("AB", "capitalized_words"), 0.0); // second is uppercase
+    }
+
+    #[test]
+    fn mixed_alphanumeric_not_word() {
+        assert_eq!(count("d750", "words"), 0.0);
+        assert_eq!(count("d750", "lowercase_words"), 1.0); // starts lowercase
+    }
+
+    #[test]
+    fn fractions_relative_to_tokens() {
+        let f = extract("one TWO 3");
+        // 3 tokens; words = 2.
+        assert!((f[CATEGORIES] - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn bounded(s in ".{0,40}") {
+            let f = extract(&s);
+            let n = s.split_whitespace().count() as f32;
+            for i in 0..CATEGORIES {
+                prop_assert!(f[i] <= n);
+                prop_assert!((0.0..=1.0).contains(&f[CATEGORIES + i]));
+            }
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! End-to-end feature vectorization of a dataset.
+//!
+//! [`PropertyFeatureStore::build`] runs steps 1–3 of Algorithm 1 once per
+//! dataset: it extracts instance features for every property instance,
+//! aggregates them into property feature vectors, and caches everything.
+//! [`PropertyFeatureStore::pair_vector`] then produces the pair features
+//! (step 4) for any candidate pair under any [`FeatureConfig`] — the
+//! expensive property-level work is shared across the paper's nine
+//! configurations, 25 repetitions, and two training fractions.
+//!
+//! String distances only depend on the property *names*, which repeat
+//! heavily across sources, so they are memoized per unordered name pair.
+
+use crate::config::FeatureConfig;
+use crate::{instance, pair, property};
+use leapme_data::model::{Dataset, PropertyKey};
+use leapme_embedding::store::EmbeddingStore;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Precomputed property feature vectors for one dataset, plus a memo table
+/// for name string distances.
+pub struct PropertyFeatureStore {
+    dim: usize,
+    features: HashMap<PropertyKey, Vec<f32>>,
+    string_cache: Mutex<HashMap<(String, String), [f32; pair::STRING_FEATURES]>>,
+}
+
+impl PropertyFeatureStore {
+    /// Extract and cache property features for every property of
+    /// `dataset` (Algorithm 1 lines 2–6).
+    pub fn build(dataset: &Dataset, embeddings: &EmbeddingStore) -> Self {
+        let mut features = HashMap::new();
+        for key in dataset.properties() {
+            let instances = dataset.instances_of(&key);
+            let vectors: Vec<Vec<f32>> = instances
+                .iter()
+                .map(|inst| instance::extract(&inst.value, embeddings))
+                .collect();
+            let pf = property::aggregate(&key.name, &vectors, embeddings);
+            features.insert(key, pf);
+        }
+        PropertyFeatureStore {
+            dim: embeddings.dim(),
+            features,
+            string_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Embedding dimensionality the store was built with.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of properties with cached features.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Full pair-feature length (before configuration masking).
+    pub fn full_pair_len(&self) -> usize {
+        pair::len(self.dim)
+    }
+
+    /// The cached property feature vector, if the property exists.
+    pub fn property_vector(&self, key: &PropertyKey) -> Option<&[f32]> {
+        self.features.get(key).map(Vec::as_slice)
+    }
+
+    fn string_features_cached(&self, a: &str, b: &str) -> [f32; pair::STRING_FEATURES] {
+        let key = if a <= b {
+            (a.to_string(), b.to_string())
+        } else {
+            (b.to_string(), a.to_string())
+        };
+        if let Some(v) = self.string_cache.lock().expect("no poisoning").get(&key) {
+            return *v;
+        }
+        let v = pair::string_features(&key.0, &key.1);
+        self.string_cache
+            .lock()
+            .expect("no poisoning")
+            .insert(key, v);
+        v
+    }
+
+    /// The full (unmasked) pair feature vector for `(a, b)`
+    /// (Algorithm 1 lines 7–8), or `None` if either property is unknown.
+    pub fn full_pair_vector(&self, a: &PropertyKey, b: &PropertyKey) -> Option<Vec<f32>> {
+        let pa = self.features.get(a)?;
+        let pb = self.features.get(b)?;
+        let mut v = pair::vector_difference(pa, pb);
+        v.extend_from_slice(&self.string_features_cached(&a.name, &b.name));
+        Some(v)
+    }
+
+    /// The pair feature vector masked to `config`'s columns.
+    pub fn pair_vector(
+        &self,
+        a: &PropertyKey,
+        b: &PropertyKey,
+        config: &FeatureConfig,
+    ) -> Option<Vec<f32>> {
+        let full = self.full_pair_vector(a, b)?;
+        Some(config.project(&full, self.dim))
+    }
+
+    /// Pair vectors for a batch of pairs under one configuration, row per
+    /// pair. Unknown properties yield an error naming the missing key.
+    pub fn pair_matrix(
+        &self,
+        pairs: &[(PropertyKey, PropertyKey)],
+        config: &FeatureConfig,
+    ) -> Result<Vec<Vec<f32>>, FeatureError> {
+        pairs
+            .iter()
+            .map(|(a, b)| {
+                self.pair_vector(a, b, config).ok_or_else(|| {
+                    let missing = if self.features.contains_key(a) { b } else { a };
+                    FeatureError::UnknownProperty(missing.clone())
+                })
+            })
+            .collect()
+    }
+}
+
+/// Errors produced by the vectorizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FeatureError {
+    /// A pair referenced a property the store has no features for.
+    UnknownProperty(PropertyKey),
+}
+
+impl std::fmt::Display for FeatureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FeatureError::UnknownProperty(p) => write!(f, "unknown property {p}"),
+        }
+    }
+}
+
+impl std::error::Error for FeatureError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FeatureKind, FeatureScope};
+    use leapme_data::model::{Instance, SourceId};
+    use std::collections::BTreeMap;
+
+    fn toy_dataset() -> Dataset {
+        let mk = |source: u16, property: &str, entity: &str, value: &str| Instance {
+            source: SourceId(source),
+            property: property.into(),
+            entity: entity.into(),
+            value: value.into(),
+        };
+        let instances = vec![
+            mk(0, "megapixels", "e1", "20.1 MP"),
+            mk(0, "megapixels", "e2", "24 MP"),
+            mk(1, "resolution", "x1", "18 megapixels"),
+            mk(1, "weight", "x1", "450 g"),
+        ];
+        let mut alignment = BTreeMap::new();
+        alignment.insert(
+            PropertyKey::new(SourceId(0), "megapixels"),
+            "resolution".to_string(),
+        );
+        alignment.insert(
+            PropertyKey::new(SourceId(1), "resolution"),
+            "resolution".to_string(),
+        );
+        alignment.insert(
+            PropertyKey::new(SourceId(1), "weight"),
+            "weight".to_string(),
+        );
+        Dataset::new("toy", vec!["a".into(), "b".into()], instances, alignment).unwrap()
+    }
+
+    fn embeddings() -> EmbeddingStore {
+        let mut s = EmbeddingStore::new(4);
+        s.insert("megapixels", vec![1.0, 0.0, 0.0, 0.0]).unwrap();
+        s.insert("resolution", vec![0.9, 0.1, 0.0, 0.0]).unwrap();
+        s.insert("mp", vec![0.95, 0.05, 0.0, 0.0]).unwrap();
+        s.insert("weight", vec![0.0, 0.0, 1.0, 0.0]).unwrap();
+        s.insert("g", vec![0.0, 0.0, 0.9, 0.1]).unwrap();
+        s
+    }
+
+    #[test]
+    fn builds_features_for_all_properties() {
+        let ds = toy_dataset();
+        let store = PropertyFeatureStore::build(&ds, &embeddings());
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.dim(), 4);
+        let key = PropertyKey::new(SourceId(0), "megapixels");
+        let pf = store.property_vector(&key).unwrap();
+        assert_eq!(pf.len(), property::len(4));
+    }
+
+    #[test]
+    fn full_pair_vector_layout() {
+        let ds = toy_dataset();
+        let store = PropertyFeatureStore::build(&ds, &embeddings());
+        let a = PropertyKey::new(SourceId(0), "megapixels");
+        let b = PropertyKey::new(SourceId(1), "resolution");
+        let v = store.full_pair_vector(&a, &b).unwrap();
+        assert_eq!(v.len(), store.full_pair_len());
+        assert_eq!(v.len(), 29 + 2 * 4 + 8);
+    }
+
+    #[test]
+    fn matching_pair_has_smaller_distances_than_unrelated() {
+        let ds = toy_dataset();
+        let store = PropertyFeatureStore::build(&ds, &embeddings());
+        let mp = PropertyKey::new(SourceId(0), "megapixels");
+        let res = PropertyKey::new(SourceId(1), "resolution");
+        let wt = PropertyKey::new(SourceId(1), "weight");
+        let cfg = FeatureConfig {
+            scope: FeatureScope::Names,
+            kind: FeatureKind::Embeddings,
+        };
+        let sim_pair: f32 = store.pair_vector(&mp, &res, &cfg).unwrap().iter().sum();
+        let diff_pair: f32 = store.pair_vector(&mp, &wt, &cfg).unwrap().iter().sum();
+        // Name-embedding differences should be smaller for the true match.
+        assert!(sim_pair < diff_pair, "{sim_pair} vs {diff_pair}");
+    }
+
+    #[test]
+    fn unknown_property_is_none_or_error() {
+        let ds = toy_dataset();
+        let store = PropertyFeatureStore::build(&ds, &embeddings());
+        let a = PropertyKey::new(SourceId(0), "megapixels");
+        let ghost = PropertyKey::new(SourceId(1), "ghost");
+        assert!(store.full_pair_vector(&a, &ghost).is_none());
+        let err = store
+            .pair_matrix(&[(a, ghost.clone())], &FeatureConfig::full())
+            .unwrap_err();
+        assert_eq!(err, FeatureError::UnknownProperty(ghost));
+    }
+
+    #[test]
+    fn pair_matrix_shapes() {
+        let ds = toy_dataset();
+        let store = PropertyFeatureStore::build(&ds, &embeddings());
+        let a = PropertyKey::new(SourceId(0), "megapixels");
+        let b = PropertyKey::new(SourceId(1), "resolution");
+        let c = PropertyKey::new(SourceId(1), "weight");
+        let cfg = FeatureConfig::full();
+        let m = store
+            .pair_matrix(&[(a.clone(), b), (a, c)], &cfg)
+            .unwrap();
+        assert_eq!(m.len(), 2);
+        assert!(m.iter().all(|r| r.len() == cfg.feature_count(4)));
+    }
+
+    #[test]
+    fn string_cache_consistency() {
+        let ds = toy_dataset();
+        let store = PropertyFeatureStore::build(&ds, &embeddings());
+        let a = PropertyKey::new(SourceId(0), "megapixels");
+        let b = PropertyKey::new(SourceId(1), "resolution");
+        let v1 = store.full_pair_vector(&a, &b).unwrap();
+        let v2 = store.full_pair_vector(&a, &b).unwrap();
+        assert_eq!(v1, v2);
+        // Cached direction-independence.
+        let v3 = store.full_pair_vector(&b, &a).unwrap();
+        assert_eq!(v1, v3);
+    }
+}

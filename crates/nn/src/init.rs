@@ -1,0 +1,84 @@
+//! Weight initialization schemes.
+//!
+//! ReLU hidden layers use He (Kaiming) initialization; the softmax output
+//! layer uses Xavier (Glorot). Both draw from a uniform distribution with
+//! the appropriate variance, seeded deterministically so that an entire
+//! LEAPME run is reproducible from a single seed.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// An initialization scheme for a dense layer's weight matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// He/Kaiming uniform: `U(−√(6/fan_in), √(6/fan_in))`, suited to ReLU.
+    HeUniform,
+    /// Xavier/Glorot uniform: `U(−√(6/(fan_in+fan_out)), …)`, suited to
+    /// linear/softmax layers.
+    XavierUniform,
+    /// All zeros (used for biases and in tests).
+    Zeros,
+}
+
+impl Init {
+    /// Sample a `fan_in × fan_out` weight matrix.
+    pub fn sample(self, fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Matrix {
+        let limit = match self {
+            Init::HeUniform => (6.0 / fan_in.max(1) as f64).sqrt(),
+            Init::XavierUniform => (6.0 / (fan_in + fan_out).max(1) as f64).sqrt(),
+            Init::Zeros => 0.0,
+        };
+        let mut m = Matrix::zeros(fan_in, fan_out);
+        if limit > 0.0 {
+            for v in m.data_mut() {
+                *v = rng.gen_range(-limit..limit) as f32;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_bounds_and_spread() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Init::HeUniform.sample(64, 32, &mut rng);
+        let limit = (6.0f64 / 64.0).sqrt() as f32;
+        assert!(m.data().iter().all(|v| v.abs() <= limit));
+        // Not degenerate: plenty of distinct values.
+        let distinct: std::collections::HashSet<u32> =
+            m.data().iter().map(|v| v.to_bits()).collect();
+        assert!(distinct.len() > 100);
+    }
+
+    #[test]
+    fn xavier_tighter_than_he_for_wide_output() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let he = Init::HeUniform.sample(10, 1000, &mut rng);
+        let xa = Init::XavierUniform.sample(10, 1000, &mut rng);
+        let max_he = he.data().iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        let max_xa = xa.data().iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        assert!(max_xa < max_he);
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = Init::Zeros.sample(4, 4, &mut rng);
+        assert!(m.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        let a = Init::HeUniform.sample(8, 8, &mut r1);
+        let b = Init::HeUniform.sample(8, 8, &mut r2);
+        assert_eq!(a, b);
+    }
+}

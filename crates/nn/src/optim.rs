@@ -1,0 +1,212 @@
+//! First-order optimizers: SGD (with momentum), Adam, AdaGrad.
+//!
+//! The paper trains its network with a staged learning rate but does not
+//! name the optimizer; Adam is the de-facto default for small dense
+//! networks and is what we use for LEAPME, while AdaGrad is required by the
+//! GloVe trainer in `leapme-embedding`, which reuses this module's math
+//! via its own per-parameter implementation. SGD is kept for ablations.
+
+use serde::{Deserialize, Serialize};
+
+/// Optimizer selection and hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Optimizer {
+    /// Stochastic gradient descent with optional momentum.
+    Sgd {
+        /// Momentum coefficient in `[0, 1)`; `0.0` disables momentum.
+        momentum: f32,
+    },
+    /// Adam (Kingma & Ba 2015).
+    Adam {
+        /// First-moment decay (default `0.9`).
+        beta1: f32,
+        /// Second-moment decay (default `0.999`).
+        beta2: f32,
+        /// Division-by-zero guard (default `1e-8`).
+        eps: f32,
+    },
+    /// AdaGrad (Duchi et al. 2011).
+    Adagrad {
+        /// Division-by-zero guard (default `1e-8`).
+        eps: f32,
+    },
+}
+
+impl Optimizer {
+    /// Adam with standard hyper-parameters.
+    pub fn adam() -> Self {
+        Optimizer::Adam {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+
+    /// Plain SGD (no momentum).
+    pub fn sgd() -> Self {
+        Optimizer::Sgd { momentum: 0.0 }
+    }
+
+    /// AdaGrad with the standard epsilon.
+    pub fn adagrad() -> Self {
+        Optimizer::Adagrad { eps: 1e-8 }
+    }
+}
+
+/// Per-parameter-tensor optimizer state.
+///
+/// One `ParamState` is kept per weight matrix / bias vector; it lazily
+/// allocates the moment buffers on first update.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParamState {
+    m: Vec<f32>,
+    v: Vec<f32>,
+    step: u64,
+}
+
+impl ParamState {
+    /// Fresh state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply one update: `params ← params − lr · direction(grads)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != grads.len()`, or if state was previously
+    /// used with a different-size tensor.
+    pub fn update(&mut self, opt: &Optimizer, lr: f32, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        match *opt {
+            Optimizer::Sgd { momentum } => {
+                if momentum == 0.0 {
+                    for (p, &g) in params.iter_mut().zip(grads) {
+                        *p -= lr * g;
+                    }
+                } else {
+                    self.ensure_m(params.len());
+                    for ((p, &g), m) in params.iter_mut().zip(grads).zip(&mut self.m) {
+                        *m = momentum * *m + g;
+                        *p -= lr * *m;
+                    }
+                }
+            }
+            Optimizer::Adam { beta1, beta2, eps } => {
+                self.ensure_m(params.len());
+                self.ensure_v(params.len());
+                self.step += 1;
+                let t = self.step as f32;
+                let bc1 = 1.0 - beta1.powf(t);
+                let bc2 = 1.0 - beta2.powf(t);
+                for (((p, &g), m), v) in params
+                    .iter_mut()
+                    .zip(grads)
+                    .zip(&mut self.m)
+                    .zip(&mut self.v)
+                {
+                    *m = beta1 * *m + (1.0 - beta1) * g;
+                    *v = beta2 * *v + (1.0 - beta2) * g * g;
+                    let m_hat = *m / bc1;
+                    let v_hat = *v / bc2;
+                    *p -= lr * m_hat / (v_hat.sqrt() + eps);
+                }
+            }
+            Optimizer::Adagrad { eps } => {
+                self.ensure_v(params.len());
+                for ((p, &g), v) in params.iter_mut().zip(grads).zip(&mut self.v) {
+                    *v += g * g;
+                    *p -= lr * g / (v.sqrt() + eps);
+                }
+            }
+        }
+    }
+
+    fn ensure_m(&mut self, len: usize) {
+        if self.m.is_empty() {
+            self.m = vec![0.0; len];
+        }
+        assert_eq!(self.m.len(), len, "optimizer state reused with new shape");
+    }
+
+    fn ensure_v(&mut self, len: usize) {
+        if self.v.is_empty() {
+            self.v = vec![0.0; len];
+        }
+        assert_eq!(self.v.len(), len, "optimizer state reused with new shape");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(x) = (x-3)² starting from 0 and check convergence.
+    fn minimize(opt: Optimizer, lr: f32, steps: usize) -> f32 {
+        let mut x = [0.0f32];
+        let mut state = ParamState::new();
+        for _ in 0..steps {
+            let g = [2.0 * (x[0] - 3.0)];
+            state.update(&opt, lr, &mut x, &g);
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let x = minimize(Optimizer::sgd(), 0.1, 200);
+        assert!((x - 3.0).abs() < 1e-3, "got {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let x = minimize(Optimizer::Sgd { momentum: 0.9 }, 0.02, 400);
+        assert!((x - 3.0).abs() < 1e-2, "got {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let x = minimize(Optimizer::adam(), 0.1, 600);
+        assert!((x - 3.0).abs() < 1e-2, "got {x}");
+    }
+
+    #[test]
+    fn adagrad_makes_progress() {
+        let x = minimize(Optimizer::adagrad(), 1.0, 500);
+        assert!((x - 3.0).abs() < 0.1, "got {x}");
+    }
+
+    #[test]
+    fn adam_step_size_bounded_by_lr() {
+        // Adam's first step is ≈ lr regardless of gradient scale.
+        let mut x = [0.0f32];
+        let mut state = ParamState::new();
+        state.update(&Optimizer::adam(), 0.001, &mut x, &[1e6]);
+        assert!(x[0].abs() < 0.0011, "got {}", x[0]);
+    }
+
+    #[test]
+    fn zero_gradient_is_noop_for_sgd() {
+        let mut x = [5.0f32];
+        let mut state = ParamState::new();
+        state.update(&Optimizer::sgd(), 0.1, &mut x, &[0.0]);
+        assert_eq!(x[0], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_lengths() {
+        let mut x = [0.0f32; 2];
+        ParamState::new().update(&Optimizer::sgd(), 0.1, &mut x, &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "new shape")]
+    fn rejects_shape_change() {
+        let mut state = ParamState::new();
+        let mut a = [0.0f32; 2];
+        state.update(&Optimizer::adam(), 0.1, &mut a, &[1.0, 1.0]);
+        let mut b = [0.0f32; 3];
+        state.update(&Optimizer::adam(), 0.1, &mut b, &[1.0, 1.0, 1.0]);
+    }
+}

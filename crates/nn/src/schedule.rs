@@ -1,0 +1,119 @@
+//! Staged learning-rate schedules.
+//!
+//! LEAPME (paper §IV-D) trains for 10 epochs at learning rate 1e-3, then
+//! 5 at 1e-4, then 5 at 1e-5. [`LrSchedule`] generalizes this to any
+//! sequence of `(epochs, lr)` stages.
+
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-constant learning-rate schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LrSchedule {
+    stages: Vec<(usize, f32)>,
+}
+
+impl LrSchedule {
+    /// Build from `(epochs, learning_rate)` stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty, any stage has zero epochs, or any
+    /// learning rate is non-positive or non-finite.
+    pub fn new(stages: Vec<(usize, f32)>) -> Self {
+        assert!(!stages.is_empty(), "schedule needs at least one stage");
+        for &(epochs, lr) in &stages {
+            assert!(epochs > 0, "stage with zero epochs");
+            assert!(lr > 0.0 && lr.is_finite(), "invalid learning rate {lr}");
+        }
+        LrSchedule { stages }
+    }
+
+    /// The paper's exact schedule: 10 epochs @ 1e-3, 5 @ 1e-4, 5 @ 1e-5.
+    pub fn leapme() -> Self {
+        LrSchedule::new(vec![(10, 1e-3), (5, 1e-4), (5, 1e-5)])
+    }
+
+    /// A constant learning rate for `epochs` epochs.
+    pub fn constant(epochs: usize, lr: f32) -> Self {
+        LrSchedule::new(vec![(epochs, lr)])
+    }
+
+    /// Total number of epochs across all stages.
+    pub fn total_epochs(&self) -> usize {
+        self.stages.iter().map(|&(e, _)| e).sum()
+    }
+
+    /// Learning rate for a zero-based epoch index.
+    ///
+    /// Epochs past the end of the schedule keep the final stage's rate.
+    pub fn lr_for_epoch(&self, epoch: usize) -> f32 {
+        let mut remaining = epoch;
+        for &(epochs, lr) in &self.stages {
+            if remaining < epochs {
+                return lr;
+            }
+            remaining -= epochs;
+        }
+        self.stages.last().expect("non-empty").1
+    }
+
+    /// Iterate `(epoch_index, lr)` over the whole schedule.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f32)> + '_ {
+        (0..self.total_epochs()).map(move |e| (e, self.lr_for_epoch(e)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leapme_schedule_matches_paper() {
+        let s = LrSchedule::leapme();
+        assert_eq!(s.total_epochs(), 20);
+        assert_eq!(s.lr_for_epoch(0), 1e-3);
+        assert_eq!(s.lr_for_epoch(9), 1e-3);
+        assert_eq!(s.lr_for_epoch(10), 1e-4);
+        assert_eq!(s.lr_for_epoch(14), 1e-4);
+        assert_eq!(s.lr_for_epoch(15), 1e-5);
+        assert_eq!(s.lr_for_epoch(19), 1e-5);
+    }
+
+    #[test]
+    fn epochs_past_end_keep_final_rate() {
+        let s = LrSchedule::leapme();
+        assert_eq!(s.lr_for_epoch(100), 1e-5);
+    }
+
+    #[test]
+    fn iter_covers_all_epochs_in_order() {
+        let s = LrSchedule::new(vec![(2, 0.1), (1, 0.01)]);
+        let v: Vec<(usize, f32)> = s.iter().collect();
+        assert_eq!(v, vec![(0, 0.1), (1, 0.1), (2, 0.01)]);
+    }
+
+    #[test]
+    fn constant_schedule() {
+        let s = LrSchedule::constant(3, 0.5);
+        assert_eq!(s.total_epochs(), 3);
+        assert!(s.iter().all(|(_, lr)| lr == 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn rejects_empty() {
+        LrSchedule::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero epochs")]
+    fn rejects_zero_epochs() {
+        LrSchedule::new(vec![(0, 0.1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid learning rate")]
+    fn rejects_negative_lr() {
+        LrSchedule::new(vec![(1, -0.1)]);
+    }
+}

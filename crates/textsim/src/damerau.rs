@@ -1,0 +1,132 @@
+//! Full (unrestricted) Damerau–Levenshtein distance.
+//!
+//! Unlike [`crate::osa`], the full Damerau–Levenshtein distance allows a
+//! transposed pair to be further edited, making it a true metric. The
+//! implementation follows Lowrance & Wagner's O(|a|·|b|) algorithm with a
+//! per-character "last seen row" map.
+
+use crate::normalize_by_max_len;
+use std::collections::HashMap;
+
+/// Full Damerau–Levenshtein distance between `a` and `b`.
+///
+/// # Examples
+///
+/// ```
+/// use leapme_textsim::damerau::distance;
+/// assert_eq!(distance("ca", "abc"), 2); // OSA would give 3
+/// assert_eq!(distance("ab", "ba"), 1);
+/// ```
+pub fn distance(a: &str, b: &str) -> usize {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    let (n, m) = (av.len(), bv.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+
+    let max_dist = n + m;
+    // d has an extra leading row/column holding max_dist sentinels.
+    let w = m + 2;
+    let mut d = vec![0usize; (n + 2) * w];
+    let idx = |i: usize, j: usize| i * w + j;
+
+    d[idx(0, 0)] = max_dist;
+    for i in 0..=n {
+        d[idx(i + 1, 0)] = max_dist;
+        d[idx(i + 1, 1)] = i;
+    }
+    for j in 0..=m {
+        d[idx(0, j + 1)] = max_dist;
+        d[idx(1, j + 1)] = j;
+    }
+
+    let mut last_row: HashMap<char, usize> = HashMap::new();
+
+    for i in 1..=n {
+        let mut last_match_col = 0usize;
+        for j in 1..=m {
+            let i1 = *last_row.get(&bv[j - 1]).unwrap_or(&0);
+            let j1 = last_match_col;
+            let cost = if av[i - 1] == bv[j - 1] {
+                last_match_col = j;
+                0
+            } else {
+                1
+            };
+            let substitution = d[idx(i, j)] + cost;
+            let insertion = d[idx(i + 1, j)] + 1;
+            let deletion = d[idx(i, j + 1)] + 1;
+            let transposition = d[idx(i1, j1)] + (i - i1 - 1) + 1 + (j - j1 - 1);
+            d[idx(i + 1, j + 1)] = substitution
+                .min(insertion)
+                .min(deletion)
+                .min(transposition);
+        }
+        last_row.insert(av[i - 1], i);
+    }
+    d[idx(n + 1, m + 1)]
+}
+
+/// Full Damerau–Levenshtein distance normalized by the longer string's
+/// character count, in `[0, 1]`.
+pub fn normalized_distance(a: &str, b: &str) -> f64 {
+    normalize_by_max_len(distance(a, b), a.chars().count(), b.chars().count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{levenshtein, osa};
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(distance("", ""), 0);
+        assert_eq!(distance("abc", ""), 3);
+        assert_eq!(distance("", "abc"), 3);
+        assert_eq!(distance("abc", "abc"), 0);
+        assert_eq!(distance("ab", "ba"), 1);
+        assert_eq!(distance("ca", "abc"), 2);
+        assert_eq!(distance("a cat", "an abct"), 3);
+    }
+
+    #[test]
+    fn differs_from_osa_on_canonical_case() {
+        assert_eq!(osa::distance("ca", "abc"), 3);
+        assert_eq!(distance("ca", "abc"), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn symmetric(a in "[a-e]{0,12}", b in "[a-e]{0,12}") {
+            prop_assert_eq!(distance(&a, &b), distance(&b, &a));
+        }
+
+        #[test]
+        fn at_most_osa(a in "[a-e]{0,12}", b in "[a-e]{0,12}") {
+            prop_assert!(distance(&a, &b) <= osa::distance(&a, &b));
+        }
+
+        #[test]
+        fn at_most_levenshtein(a in "[a-e]{0,12}", b in "[a-e]{0,12}") {
+            prop_assert!(distance(&a, &b) <= levenshtein::distance(&a, &b));
+        }
+
+        #[test]
+        fn triangle_inequality(a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}") {
+            // Full DL is a metric (unlike OSA).
+            prop_assert!(distance(&a, &c) <= distance(&a, &b) + distance(&b, &c));
+        }
+
+        #[test]
+        fn identity_and_bounds(a in ".{0,16}", b in ".{0,16}") {
+            prop_assert_eq!(distance(&a, &a), 0);
+            let d = normalized_distance(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&d));
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Jaro and Jaro–Winkler similarity (LEAPME Table I row 15).
+//!
+//! Jaro similarity counts matching characters within a sliding window and
+//! penalizes transpositions; Jaro–Winkler boosts strings sharing a common
+//! prefix, which suits attribute names ("resolution" vs "resolutions").
+
+/// Jaro similarity in `[0, 1]` (1 = identical).
+///
+/// # Examples
+///
+/// ```
+/// use leapme_textsim::jaro::jaro_similarity;
+/// assert_eq!(jaro_similarity("abc", "abc"), 1.0);
+/// assert_eq!(jaro_similarity("abc", "xyz"), 0.0);
+/// assert!((jaro_similarity("martha", "marhta") - 0.944444).abs() < 1e-5);
+/// ```
+pub fn jaro_similarity(a: &str, b: &str) -> f64 {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    if av.is_empty() && bv.is_empty() {
+        return 1.0;
+    }
+    if av.is_empty() || bv.is_empty() {
+        return 0.0;
+    }
+    let window = (av.len().max(bv.len()) / 2).saturating_sub(1);
+    let mut b_matched = vec![false; bv.len()];
+    let mut a_matches: Vec<char> = Vec::new();
+    for (i, ac) in av.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(bv.len());
+        for j in lo..hi {
+            if !b_matched[j] && bv[j] == *ac {
+                b_matched[j] = true;
+                a_matches.push(*ac);
+                break;
+            }
+        }
+    }
+    let m = a_matches.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let b_matches: Vec<char> = bv
+        .iter()
+        .zip(&b_matched)
+        .filter(|(_, &used)| used)
+        .map(|(c, _)| *c)
+        .collect();
+    let transpositions = a_matches
+        .iter()
+        .zip(&b_matches)
+        .filter(|(x, y)| x != y)
+        .count();
+    let t = transpositions as f64 / 2.0;
+    let m = m as f64;
+    (m / av.len() as f64 + m / bv.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity in `[0, 1]` with the standard prefix scale
+/// `p = 0.1` and maximum prefix length 4.
+///
+/// ```
+/// use leapme_textsim::jaro::jaro_winkler_similarity;
+/// let jw = jaro_winkler_similarity("dixon", "dicksonx");
+/// assert!((jw - 0.81333).abs() < 1e-4);
+/// ```
+pub fn jaro_winkler_similarity(a: &str, b: &str) -> f64 {
+    jaro_winkler_similarity_with(a, b, 0.1, 4)
+}
+
+/// Jaro–Winkler similarity with explicit prefix scale and max prefix length.
+///
+/// # Panics
+///
+/// Panics if `prefix_scale` is not in `[0, 0.25]` (values above 0.25 can
+/// push the similarity over 1 for a max prefix of 4).
+pub fn jaro_winkler_similarity_with(
+    a: &str,
+    b: &str,
+    prefix_scale: f64,
+    max_prefix: usize,
+) -> f64 {
+    assert!(
+        (0.0..=0.25).contains(&prefix_scale),
+        "prefix_scale must be in [0, 0.25]"
+    );
+    let j = jaro_similarity(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(max_prefix)
+        .take_while(|(x, y)| x == y)
+        .count();
+    (j + prefix as f64 * prefix_scale * (1.0 - j)).clamp(0.0, 1.0)
+}
+
+/// Jaro–Winkler *distance*: `1 − jaro_winkler_similarity`.
+pub fn jaro_winkler_distance(a: &str, b: &str) -> f64 {
+    1.0 - jaro_winkler_similarity(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_values() {
+        assert!((jaro_similarity("dwayne", "duane") - 0.822222).abs() < 1e-5);
+        assert!((jaro_similarity("dixon", "dicksonx") - 0.766667).abs() < 1e-5);
+        assert!((jaro_winkler_similarity("martha", "marhta") - 0.961111).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(jaro_similarity("", ""), 1.0);
+        assert_eq!(jaro_similarity("", "abc"), 0.0);
+        assert_eq!(jaro_winkler_distance("", ""), 0.0);
+        assert_eq!(jaro_winkler_distance("x", ""), 1.0);
+    }
+
+    #[test]
+    fn prefix_boost_helps_shared_prefixes() {
+        let plain = jaro_similarity("resolution", "resolutions");
+        let boosted = jaro_winkler_similarity("resolution", "resolutions");
+        assert!(boosted > plain);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix_scale")]
+    fn rejects_bad_scale() {
+        jaro_winkler_similarity_with("a", "b", 0.5, 4);
+    }
+
+    proptest! {
+        #[test]
+        fn symmetric(a in ".{0,16}", b in ".{0,16}") {
+            let s1 = jaro_similarity(&a, &b);
+            let s2 = jaro_similarity(&b, &a);
+            prop_assert!((s1 - s2).abs() < 1e-12);
+        }
+
+        #[test]
+        fn bounded(a in ".{0,16}", b in ".{0,16}") {
+            let s = jaro_winkler_similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn identity(a in ".{0,16}") {
+            prop_assert!((jaro_similarity(&a, &a) - 1.0).abs() < 1e-12);
+            prop_assert!(jaro_winkler_distance(&a, &a).abs() < 1e-12);
+        }
+
+        #[test]
+        fn winkler_at_least_jaro(a in ".{0,16}", b in ".{0,16}") {
+            prop_assert!(jaro_winkler_similarity(&a, &b) + 1e-12 >= jaro_similarity(&a, &b));
+        }
+    }
+}

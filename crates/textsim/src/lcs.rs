@@ -1,0 +1,146 @@
+//! Longest common substring (contiguous) length and distance.
+//!
+//! LEAPME Table I row 11 uses "the longest common substring distance
+//! between the property names": the longer the shared contiguous run
+//! relative to the strings, the smaller the distance.
+
+/// Length (in characters) of the longest *contiguous* common substring.
+///
+/// # Examples
+///
+/// ```
+/// use leapme_textsim::lcs::longest_common_substring_len;
+/// assert_eq!(longest_common_substring_len("camera resolution", "sensor resolution"), 11);
+/// assert_eq!(longest_common_substring_len("abc", "xyz"), 0);
+/// ```
+pub fn longest_common_substring_len(a: &str, b: &str) -> usize {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    if av.is_empty() || bv.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; bv.len() + 1];
+    let mut curr = vec![0usize; bv.len() + 1];
+    let mut best = 0usize;
+    for ac in &av {
+        for (j, bc) in bv.iter().enumerate() {
+            if ac == bc {
+                curr[j + 1] = prev[j] + 1;
+                best = best.max(curr[j + 1]);
+            } else {
+                curr[j + 1] = 0;
+            }
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    best
+}
+
+/// Longest common substring *distance* in `[0, 1]`:
+/// `1 − lcs_len / max(|a|, |b|)`.
+///
+/// Identical strings have distance `0.0`; strings sharing no character run
+/// have distance `1.0`. Two empty strings have distance `0.0`.
+///
+/// ```
+/// use leapme_textsim::lcs::substring_distance;
+/// assert_eq!(substring_distance("abcd", "abcd"), 0.0);
+/// assert_eq!(substring_distance("ab", "cd"), 1.0);
+/// ```
+pub fn substring_distance(a: &str, b: &str) -> f64 {
+    let (la, lb) = (a.chars().count(), b.chars().count());
+    let m = la.max(lb);
+    if m == 0 {
+        return 0.0;
+    }
+    1.0 - longest_common_substring_len(a, b) as f64 / m as f64
+}
+
+/// Length of the longest common *subsequence* (not necessarily contiguous).
+///
+/// Provided as an auxiliary metric used by some baseline matchers.
+///
+/// ```
+/// use leapme_textsim::lcs::longest_common_subsequence_len;
+/// assert_eq!(longest_common_subsequence_len("abcde", "ace"), 3);
+/// ```
+pub fn longest_common_subsequence_len(a: &str, b: &str) -> usize {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    let mut prev = vec![0usize; bv.len() + 1];
+    let mut curr = vec![0usize; bv.len() + 1];
+    for ac in &av {
+        for (j, bc) in bv.iter().enumerate() {
+            curr[j + 1] = if ac == bc {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(curr[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[bv.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn substring_known_values() {
+        assert_eq!(longest_common_substring_len("", ""), 0);
+        assert_eq!(longest_common_substring_len("abc", ""), 0);
+        assert_eq!(longest_common_substring_len("abab", "baba"), 3);
+        assert_eq!(longest_common_substring_len("megapixels", "pixel count"), 5);
+    }
+
+    #[test]
+    fn subsequence_known_values() {
+        assert_eq!(longest_common_subsequence_len("abcde", "ace"), 3);
+        assert_eq!(longest_common_subsequence_len("abc", "def"), 0);
+        assert_eq!(longest_common_subsequence_len("", "abc"), 0);
+    }
+
+    #[test]
+    fn distance_bounds() {
+        assert_eq!(substring_distance("", ""), 0.0);
+        assert_eq!(substring_distance("x", ""), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn substring_symmetric(a in ".{0,16}", b in ".{0,16}") {
+            prop_assert_eq!(
+                longest_common_substring_len(&a, &b),
+                longest_common_substring_len(&b, &a)
+            );
+        }
+
+        #[test]
+        fn substring_le_subsequence(a in "[a-d]{0,12}", b in "[a-d]{0,12}") {
+            prop_assert!(
+                longest_common_substring_len(&a, &b)
+                    <= longest_common_subsequence_len(&a, &b)
+            );
+        }
+
+        #[test]
+        fn subsequence_le_min_len(a in ".{0,16}", b in ".{0,16}") {
+            let l = longest_common_subsequence_len(&a, &b);
+            prop_assert!(l <= a.chars().count().min(b.chars().count()));
+        }
+
+        #[test]
+        fn distance_in_unit_interval(a in ".{0,16}", b in ".{0,16}") {
+            let d = substring_distance(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&d));
+        }
+
+        #[test]
+        fn self_substring_is_full(a in ".{1,16}") {
+            prop_assert_eq!(longest_common_substring_len(&a, &a), a.chars().count());
+            prop_assert!(substring_distance(&a, &a).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Levenshtein (edit) distance.
+//!
+//! The classic dynamic-programming edit distance counting insertions,
+//! deletions and substitutions, implemented with a two-row rolling buffer
+//! (O(min(|a|,|b|)) memory) over Unicode scalar values.
+
+use crate::normalize_by_max_len;
+
+/// Levenshtein distance between `a` and `b` over Unicode scalar values.
+///
+/// # Examples
+///
+/// ```
+/// use leapme_textsim::levenshtein::distance;
+/// assert_eq!(distance("kitten", "sitting"), 3);
+/// assert_eq!(distance("", "abc"), 3);
+/// assert_eq!(distance("same", "same"), 0);
+/// ```
+pub fn distance(a: &str, b: &str) -> usize {
+    let (short, long): (Vec<char>, Vec<char>) = {
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        if av.len() <= bv.len() {
+            (av, bv)
+        } else {
+            (bv, av)
+        }
+    };
+    if short.is_empty() {
+        return long.len();
+    }
+
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut curr: Vec<usize> = vec![0; short.len() + 1];
+
+    for (i, lc) in long.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[short.len()]
+}
+
+/// Levenshtein distance normalized by the longer string's character count,
+/// in `[0, 1]`. Two empty strings have distance `0.0`.
+///
+/// ```
+/// use leapme_textsim::levenshtein::normalized_distance;
+/// assert_eq!(normalized_distance("abcd", "abce"), 0.25);
+/// ```
+pub fn normalized_distance(a: &str, b: &str) -> f64 {
+    normalize_by_max_len(distance(a, b), a.chars().count(), b.chars().count())
+}
+
+/// Levenshtein similarity: `1 − normalized_distance`.
+pub fn normalized_similarity(a: &str, b: &str) -> f64 {
+    1.0 - normalized_distance(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(distance("kitten", "sitting"), 3);
+        assert_eq!(distance("flaw", "lawn"), 2);
+        assert_eq!(distance("gumbo", "gambol"), 2);
+        assert_eq!(distance("", ""), 0);
+        assert_eq!(distance("a", ""), 1);
+        assert_eq!(distance("", "a"), 1);
+    }
+
+    #[test]
+    fn unicode_counts_scalars_not_bytes() {
+        // 'é' is 2 bytes but one scalar; one substitution.
+        assert_eq!(distance("café", "cafe"), 1);
+        assert_eq!(distance("日本語", "日本"), 1);
+    }
+
+    #[test]
+    fn transposition_costs_two() {
+        // Plain Levenshtein has no transposition operation.
+        assert_eq!(distance("ab", "ba"), 2);
+    }
+
+    #[test]
+    fn normalized_bounds() {
+        assert_eq!(normalized_distance("", ""), 0.0);
+        assert_eq!(normalized_distance("abc", "abc"), 0.0);
+        assert_eq!(normalized_distance("abc", "xyz"), 1.0);
+        assert_eq!(normalized_similarity("abc", "xyz"), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn symmetric(a in ".{0,24}", b in ".{0,24}") {
+            prop_assert_eq!(distance(&a, &b), distance(&b, &a));
+        }
+
+        #[test]
+        fn identity(a in ".{0,24}") {
+            prop_assert_eq!(distance(&a, &a), 0);
+        }
+
+        #[test]
+        fn triangle_inequality(a in "[a-e]{0,10}", b in "[a-e]{0,10}", c in "[a-e]{0,10}") {
+            prop_assert!(distance(&a, &c) <= distance(&a, &b) + distance(&b, &c));
+        }
+
+        #[test]
+        fn bounded_by_longer_len(a in ".{0,24}", b in ".{0,24}") {
+            let d = distance(&a, &b);
+            let (la, lb) = (a.chars().count(), b.chars().count());
+            prop_assert!(d <= la.max(lb));
+            // And at least the length difference.
+            prop_assert!(d >= la.abs_diff(lb));
+        }
+
+        #[test]
+        fn normalized_in_unit_interval(a in ".{0,24}", b in ".{0,24}") {
+            let d = normalized_distance(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&d));
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! String similarity and distance substrate for LEAPME.
+//!
+//! The LEAPME paper (Table I, rows 8–15) feeds eight string-distance
+//! features between property names to its classifier:
+//!
+//! 1. optimal string alignment distance ([`osa::distance`])
+//! 2. Levenshtein distance ([`levenshtein::distance`])
+//! 3. full Damerau–Levenshtein distance ([`damerau::distance`])
+//! 4. longest common substring distance ([`lcs::substring_distance`])
+//! 5. 3-gram distance ([`ngram::distance`])
+//! 6. cosine distance between 3-gram profiles ([`qgram::cosine_distance`])
+//! 7. Jaccard distance between 3-gram profiles ([`qgram::jaccard_distance`])
+//! 8. Jaro–Winkler distance ([`jaro::jaro_winkler_distance`])
+//!
+//! All distances operate on Unicode scalar values (`char`), not bytes, and
+//! every module offers a `normalized` variant mapping into `[0, 1]` so the
+//! features are comparable regardless of string length.
+//!
+//! # Example
+//!
+//! ```
+//! use leapme_textsim::{levenshtein, jaro, StringDistances};
+//!
+//! assert_eq!(levenshtein::distance("megapixels", "megapixel"), 1);
+//! assert!(jaro::jaro_winkler_similarity("resolution", "resolutions") > 0.9);
+//!
+//! // All eight paper features at once:
+//! let feats = StringDistances::compute("shutter speed", "shutter-speed");
+//! assert!(feats.levenshtein_norm < 0.2);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod damerau;
+pub mod jaro;
+pub mod lcs;
+pub mod levenshtein;
+pub mod ngram;
+pub mod osa;
+pub mod qgram;
+pub mod token;
+
+/// The eight normalized string-distance features of LEAPME Table I
+/// (rows 8–15), computed between two property names.
+///
+/// Every field is a *distance* in `[0, 1]`: `0.0` means the strings are
+/// identical under that metric, `1.0` means maximally dissimilar.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StringDistances {
+    /// Row 8: optimal string alignment distance, normalized by the longer
+    /// string length.
+    pub osa_norm: f64,
+    /// Row 9: Levenshtein distance, normalized by the longer string length.
+    pub levenshtein_norm: f64,
+    /// Row 10: full (unrestricted) Damerau–Levenshtein distance, normalized
+    /// by the longer string length.
+    pub damerau_norm: f64,
+    /// Row 11: longest common substring distance, normalized.
+    pub lcs_norm: f64,
+    /// Row 12: 3-gram distance (Kondrak-style positional n-gram distance),
+    /// normalized.
+    pub trigram_norm: f64,
+    /// Row 13: cosine distance between the 3-gram frequency profiles.
+    pub trigram_cosine: f64,
+    /// Row 14: Jaccard distance between the 3-gram profile sets.
+    pub trigram_jaccard: f64,
+    /// Row 15: Jaro–Winkler distance (`1 −` Jaro–Winkler similarity).
+    pub jaro_winkler: f64,
+}
+
+impl StringDistances {
+    /// Number of scalar features carried by [`StringDistances`]; matches the
+    /// eight string-distance rows of the paper's Table I.
+    pub const LEN: usize = 8;
+
+    /// Compute all eight distances between `a` and `b`.
+    pub fn compute(a: &str, b: &str) -> Self {
+        StringDistances {
+            osa_norm: osa::normalized_distance(a, b),
+            levenshtein_norm: levenshtein::normalized_distance(a, b),
+            damerau_norm: damerau::normalized_distance(a, b),
+            lcs_norm: lcs::substring_distance(a, b),
+            trigram_norm: ngram::normalized_distance(a, b, 3),
+            trigram_cosine: qgram::cosine_distance(a, b, 3),
+            trigram_jaccard: qgram::jaccard_distance(a, b, 3),
+            jaro_winkler: jaro::jaro_winkler_distance(a, b),
+        }
+    }
+
+    /// The features as a fixed-order slice, in Table I row order (8–15).
+    pub fn as_array(&self) -> [f64; Self::LEN] {
+        [
+            self.osa_norm,
+            self.levenshtein_norm,
+            self.damerau_norm,
+            self.lcs_norm,
+            self.trigram_norm,
+            self.trigram_cosine,
+            self.trigram_jaccard,
+            self.jaro_winkler,
+        ]
+    }
+
+    /// Human-readable names for the eight features, aligned with
+    /// [`Self::as_array`].
+    pub fn feature_names() -> [&'static str; Self::LEN] {
+        [
+            "osa_norm",
+            "levenshtein_norm",
+            "damerau_norm",
+            "lcs_norm",
+            "trigram_norm",
+            "trigram_cosine",
+            "trigram_jaccard",
+            "jaro_winkler",
+        ]
+    }
+}
+
+/// Normalize an absolute edit-style distance by the longer input length.
+///
+/// Returns `0.0` for two empty strings. The result is in `[0, 1]` for any
+/// distance bounded by `max(|a|, |b|)` (true for every edit distance in
+/// this crate).
+pub(crate) fn normalize_by_max_len(dist: usize, a_len: usize, b_len: usize) -> f64 {
+    let m = a_len.max(b_len);
+    if m == 0 {
+        0.0
+    } else {
+        dist as f64 / m as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_distances_identical_strings_are_zero() {
+        let d = StringDistances::compute("resolution", "resolution");
+        for (name, v) in StringDistances::feature_names().iter().zip(d.as_array()) {
+            assert!(v.abs() < 1e-12, "{name} should be 0 for equal strings, got {v}");
+        }
+    }
+
+    #[test]
+    fn string_distances_disjoint_strings_are_near_one() {
+        let d = StringDistances::compute("aaaa", "zzzz");
+        assert!(d.levenshtein_norm > 0.99);
+        assert!(d.trigram_jaccard > 0.99);
+        assert!(d.trigram_cosine > 0.99);
+    }
+
+    #[test]
+    fn as_array_order_matches_names() {
+        let d = StringDistances::compute("abc", "abd");
+        let arr = d.as_array();
+        assert_eq!(arr[1], d.levenshtein_norm);
+        assert_eq!(arr[7], d.jaro_winkler);
+        assert_eq!(StringDistances::feature_names()[1], "levenshtein_norm");
+    }
+
+    #[test]
+    fn all_features_bounded() {
+        for (a, b) in [
+            ("", ""),
+            ("", "x"),
+            ("camera resolution", "megapixels"),
+            ("ISO", "iso sensitivity"),
+            ("ünïcode", "unicode"),
+        ] {
+            let d = StringDistances::compute(a, b);
+            for (name, v) in StringDistances::feature_names().iter().zip(d.as_array()) {
+                assert!(
+                    (0.0..=1.0).contains(&v),
+                    "{name}({a:?},{b:?}) = {v} out of bounds"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn len_constant_matches_array() {
+        let d = StringDistances::compute("a", "b");
+        assert_eq!(d.as_array().len(), StringDistances::LEN);
+        assert_eq!(StringDistances::feature_names().len(), StringDistances::LEN);
+    }
+}

@@ -1,0 +1,165 @@
+//! Positional n-gram distance (Kondrak, SPIRE 2005).
+//!
+//! LEAPME Table I row 12 uses "the 3-gram distance between the property
+//! names". We implement Kondrak's N-GRAM distance: an edit-distance-style
+//! dynamic program whose substitution cost is the fraction of mismatched
+//! characters between the two aligned n-grams, computed over strings padded
+//! with `n − 1` copies of a sentinel prefix character.
+
+use crate::normalize_by_max_len;
+
+const PAD: char = '\u{0}';
+
+/// Kondrak n-gram distance between `a` and `b` (un-normalized; bounded by
+/// `max(|a|, |b|)`).
+///
+/// For `n == 1` this degenerates to the Levenshtein distance.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use leapme_textsim::ngram::distance;
+/// assert_eq!(distance("abc", "abc", 3), 0.0);
+/// assert!(distance("resolution", "resolutions", 3) < 2.0);
+/// ```
+pub fn distance(a: &str, b: &str, n: usize) -> f64 {
+    assert!(n > 0, "n-gram size must be positive");
+    let av: Vec<char> = std::iter::repeat(PAD)
+        .take(n - 1)
+        .chain(a.chars())
+        .collect();
+    let bv: Vec<char> = std::iter::repeat(PAD)
+        .take(n - 1)
+        .chain(b.chars())
+        .collect();
+    let la = av.len() - (n - 1);
+    let lb = bv.len() - (n - 1);
+    if la == 0 {
+        return lb as f64;
+    }
+    if lb == 0 {
+        return la as f64;
+    }
+
+    // Cost of aligning the n-grams starting at av[i], bv[j]: fraction of
+    // mismatching characters.
+    let gram_cost = |i: usize, j: usize| -> f64 {
+        let mut mismatch = 0usize;
+        for k in 0..n {
+            if av[i + k] != bv[j + k] {
+                mismatch += 1;
+            }
+        }
+        mismatch as f64 / n as f64
+    };
+
+    let mut prev: Vec<f64> = (0..=lb).map(|j| j as f64).collect();
+    let mut curr: Vec<f64> = vec![0.0; lb + 1];
+    for i in 1..=la {
+        curr[0] = i as f64;
+        for j in 1..=lb {
+            let sub = prev[j - 1] + gram_cost(i - 1, j - 1);
+            let del = prev[j] + 1.0;
+            let ins = curr[j - 1] + 1.0;
+            curr[j] = sub.min(del).min(ins);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[lb]
+}
+
+/// N-gram distance normalized by the longer string's character count, in
+/// `[0, 1]`.
+pub fn normalized_distance(a: &str, b: &str, n: usize) -> f64 {
+    let d = distance(a, b, n);
+    let m = a.chars().count().max(b.chars().count());
+    if m == 0 {
+        0.0
+    } else {
+        (d / m as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// Convenience wrapper: the 3-gram distance used by LEAPME, normalized.
+pub fn trigram_distance(a: &str, b: &str) -> f64 {
+    normalized_distance(a, b, 3)
+}
+
+/// Re-export style helper matching the crate-wide naming: absolute distance
+/// rounded into edit-distance units (useful in tests comparing against
+/// Levenshtein for `n == 1`).
+pub fn unigram_equals_levenshtein(a: &str, b: &str) -> bool {
+    let d = distance(a, b, 1);
+    (d - crate::levenshtein::distance(a, b) as f64).abs() < 1e-9 || {
+        let _ = normalize_by_max_len(0, 1, 1); // keep helper linked
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_for_equal() {
+        assert_eq!(distance("megapixels", "megapixels", 3), 0.0);
+        assert_eq!(trigram_distance("", ""), 0.0);
+    }
+
+    #[test]
+    fn empty_vs_nonempty() {
+        assert_eq!(distance("", "abc", 3), 3.0);
+        assert_eq!(distance("abc", "", 3), 3.0);
+    }
+
+    #[test]
+    fn close_strings_have_small_distance() {
+        let near = trigram_distance("shutter speed", "shutter-speed");
+        let far = trigram_distance("shutter speed", "white balance");
+        assert!(near < far, "near={near} far={far}");
+    }
+
+    #[test]
+    fn unigram_degenerates_to_levenshtein() {
+        for (a, b) in [("kitten", "sitting"), ("abc", "abd"), ("", "xy")] {
+            assert!(unigram_equals_levenshtein(a, b), "failed for ({a}, {b})");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn symmetric(a in "[a-e]{0,12}", b in "[a-e]{0,12}") {
+            let d1 = distance(&a, &b, 3);
+            let d2 = distance(&b, &a, 3);
+            prop_assert!((d1 - d2).abs() < 1e-9);
+        }
+
+        #[test]
+        fn nonnegative_and_identity(a in ".{0,16}", b in ".{0,16}") {
+            prop_assert!(distance(&a, &b, 3) >= 0.0);
+            prop_assert!(distance(&a, &a, 3).abs() < 1e-9);
+        }
+
+        #[test]
+        fn normalized_bounds(a in ".{0,16}", b in ".{0,16}", n in 1usize..5) {
+            let d = normalized_distance(&a, &b, n);
+            prop_assert!((0.0..=1.0).contains(&d));
+        }
+
+        #[test]
+        fn bounded_by_longer_length(a in "[a-d]{0,10}", b in "[a-d]{0,10}") {
+            // The all-deletions/insertions alignment costs max(|a|,|b|), so
+            // the optimum can never exceed it. (Unlike Levenshtein, the
+            // n-gram distance is NOT bounded by the Levenshtein distance:
+            // padded grams add fractional substitution costs.)
+            let d = distance(&a, &b, 3);
+            let m = a.chars().count().max(b.chars().count());
+            prop_assert!(d <= m as f64 + 1e-9);
+        }
+    }
+}

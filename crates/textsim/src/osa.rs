@@ -1,0 +1,105 @@
+//! Optimal string alignment (OSA) distance.
+//!
+//! OSA — also called the *restricted* Damerau–Levenshtein distance — extends
+//! Levenshtein with transposition of two adjacent characters, under the
+//! restriction that no substring is edited more than once. Unlike the full
+//! Damerau–Levenshtein distance ([`crate::damerau`]), OSA does not satisfy
+//! the triangle inequality (e.g. `osa("ca","abc") = 3` but
+//! `osa("ca","ac") + osa("ac","abc") = 1 + 2`).
+
+use crate::normalize_by_max_len;
+
+/// Optimal string alignment distance between `a` and `b`.
+///
+/// # Examples
+///
+/// ```
+/// use leapme_textsim::osa::distance;
+/// assert_eq!(distance("ab", "ba"), 1);    // one transposition
+/// assert_eq!(distance("ca", "abc"), 3);   // restriction: cannot reuse edited substring
+/// ```
+pub fn distance(a: &str, b: &str) -> usize {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    let (n, m) = (av.len(), bv.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+
+    // Three rolling rows: i-2, i-1, i.
+    let mut prev2: Vec<usize> = vec![0; m + 1];
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut curr: Vec<usize> = vec![0; m + 1];
+
+    for i in 1..=n {
+        curr[0] = i;
+        for j in 1..=m {
+            let cost = usize::from(av[i - 1] != bv[j - 1]);
+            let mut d = (prev[j] + 1).min(curr[j - 1] + 1).min(prev[j - 1] + cost);
+            if i > 1 && j > 1 && av[i - 1] == bv[j - 2] && av[i - 2] == bv[j - 1] {
+                d = d.min(prev2[j - 2] + 1);
+            }
+            curr[j] = d;
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// OSA distance normalized by the longer string's character count, in `[0, 1]`.
+pub fn normalized_distance(a: &str, b: &str) -> f64 {
+    normalize_by_max_len(distance(a, b), a.chars().count(), b.chars().count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levenshtein;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(distance("", ""), 0);
+        assert_eq!(distance("abc", ""), 3);
+        assert_eq!(distance("", "abc"), 3);
+        assert_eq!(distance("abc", "abc"), 0);
+        assert_eq!(distance("ab", "ba"), 1);
+        assert_eq!(distance("abcdef", "abcfed"), 2);
+    }
+
+    #[test]
+    fn restricted_semantics() {
+        // The canonical example distinguishing OSA from full DL:
+        // OSA("ca","abc") = 3 while full DL("ca","abc") = 2.
+        assert_eq!(distance("ca", "abc"), 3);
+    }
+
+    #[test]
+    fn transposition_cheaper_than_levenshtein() {
+        assert_eq!(distance("shutterspeed", "shutterseped"), 1);
+        assert_eq!(levenshtein::distance("shutterspeed", "shutterseped"), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn symmetric(a in ".{0,20}", b in ".{0,20}") {
+            prop_assert_eq!(distance(&a, &b), distance(&b, &a));
+        }
+
+        #[test]
+        fn never_exceeds_levenshtein(a in "[a-d]{0,14}", b in "[a-d]{0,14}") {
+            prop_assert!(distance(&a, &b) <= levenshtein::distance(&a, &b));
+        }
+
+        #[test]
+        fn identity_and_bounds(a in ".{0,20}", b in ".{0,20}") {
+            prop_assert_eq!(distance(&a, &a), 0);
+            let d = normalized_distance(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&d));
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Q-gram profiles and profile-based distances (cosine, Jaccard).
+//!
+//! LEAPME Table I rows 13–14 use the cosine distance and the Jaccard
+//! distance between the *3-gram profiles* of the property names. A q-gram
+//! profile is the multiset of all contiguous character q-grams of a string;
+//! cosine works on the frequency vectors, Jaccard on the gram sets.
+
+use std::collections::HashMap;
+
+/// Multiset of character q-grams of a string.
+///
+/// Grams are stored with their occurrence counts. Strings shorter than `q`
+/// produce a single gram consisting of the whole string (so that very short
+/// property names like "MP" still have a non-empty profile), except the
+/// empty string, whose profile is empty.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QGramProfile {
+    grams: HashMap<String, u32>,
+    total: u32,
+}
+
+impl QGramProfile {
+    /// Build the q-gram profile of `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`.
+    pub fn new(s: &str, q: usize) -> Self {
+        assert!(q > 0, "q must be positive");
+        let chars: Vec<char> = s.chars().collect();
+        let mut grams = HashMap::new();
+        let mut total = 0u32;
+        if chars.is_empty() {
+            return QGramProfile { grams, total };
+        }
+        if chars.len() < q {
+            grams.insert(chars.iter().collect::<String>(), 1);
+            return QGramProfile { grams, total: 1 };
+        }
+        for w in chars.windows(q) {
+            *grams.entry(w.iter().collect::<String>()).or_insert(0) += 1;
+            total += 1;
+        }
+        QGramProfile { grams, total }
+    }
+
+    /// Number of *distinct* grams in the profile.
+    pub fn distinct(&self) -> usize {
+        self.grams.len()
+    }
+
+    /// Total gram occurrences (multiset cardinality).
+    pub fn total(&self) -> u32 {
+        self.total.max(self.grams.values().sum())
+    }
+
+    /// Occurrence count of a specific gram.
+    pub fn count(&self, gram: &str) -> u32 {
+        self.grams.get(gram).copied().unwrap_or(0)
+    }
+
+    /// Cosine similarity between two profiles' frequency vectors, in `[0, 1]`.
+    ///
+    /// Two empty profiles have similarity `1.0`; an empty and a non-empty
+    /// profile have similarity `0.0`.
+    pub fn cosine_similarity(&self, other: &Self) -> f64 {
+        if self.grams.is_empty() && other.grams.is_empty() {
+            return 1.0;
+        }
+        if self.grams.is_empty() || other.grams.is_empty() {
+            return 0.0;
+        }
+        let mut dot = 0.0f64;
+        for (g, &c) in &self.grams {
+            dot += c as f64 * other.count(g) as f64;
+        }
+        let na: f64 = self.grams.values().map(|&c| (c as f64).powi(2)).sum::<f64>().sqrt();
+        let nb: f64 = other.grams.values().map(|&c| (c as f64).powi(2)).sum::<f64>().sqrt();
+        (dot / (na * nb)).clamp(0.0, 1.0)
+    }
+
+    /// Jaccard similarity between the *sets* of distinct grams, in `[0, 1]`.
+    ///
+    /// Two empty profiles have similarity `1.0`.
+    pub fn jaccard_similarity(&self, other: &Self) -> f64 {
+        if self.grams.is_empty() && other.grams.is_empty() {
+            return 1.0;
+        }
+        let inter = self
+            .grams
+            .keys()
+            .filter(|g| other.grams.contains_key(*g))
+            .count();
+        let union = self.grams.len() + other.grams.len() - inter;
+        if union == 0 {
+            1.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+}
+
+/// Cosine *distance* (`1 − cosine similarity`) between the q-gram profiles
+/// of `a` and `b`.
+///
+/// ```
+/// use leapme_textsim::qgram::cosine_distance;
+/// assert_eq!(cosine_distance("abc", "abc", 3), 0.0);
+/// assert_eq!(cosine_distance("aaa", "zzz", 3), 1.0);
+/// ```
+pub fn cosine_distance(a: &str, b: &str, q: usize) -> f64 {
+    1.0 - QGramProfile::new(a, q).cosine_similarity(&QGramProfile::new(b, q))
+}
+
+/// Jaccard *distance* (`1 − Jaccard similarity`) between the q-gram profile
+/// sets of `a` and `b`.
+pub fn jaccard_distance(a: &str, b: &str, q: usize) -> f64 {
+    1.0 - QGramProfile::new(a, q).jaccard_similarity(&QGramProfile::new(b, q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn profile_counts() {
+        let p = QGramProfile::new("banana", 3);
+        // ban, ana, nan, ana -> {ban:1, ana:2, nan:1}
+        assert_eq!(p.distinct(), 3);
+        assert_eq!(p.count("ana"), 2);
+        assert_eq!(p.count("ban"), 1);
+        assert_eq!(p.count("xyz"), 0);
+        assert_eq!(p.total(), 4);
+    }
+
+    #[test]
+    fn short_string_profile() {
+        let p = QGramProfile::new("mp", 3);
+        assert_eq!(p.distinct(), 1);
+        assert_eq!(p.count("mp"), 1);
+        let empty = QGramProfile::new("", 3);
+        assert_eq!(empty.distinct(), 0);
+    }
+
+    #[test]
+    fn empty_profiles_similarity() {
+        let e = QGramProfile::new("", 3);
+        let x = QGramProfile::new("abc", 3);
+        assert_eq!(e.cosine_similarity(&e), 1.0);
+        assert_eq!(e.jaccard_similarity(&e), 1.0);
+        assert_eq!(e.cosine_similarity(&x), 0.0);
+        assert_eq!(e.jaccard_similarity(&x), 0.0);
+    }
+
+    #[test]
+    fn distances_distinguish_near_from_far() {
+        let near = cosine_distance("camera resolution", "image resolution", 3);
+        let far = cosine_distance("camera resolution", "battery life", 3);
+        assert!(near < far);
+        let nearj = jaccard_distance("camera resolution", "image resolution", 3);
+        let farj = jaccard_distance("camera resolution", "battery life", 3);
+        assert!(nearj < farj);
+    }
+
+    proptest! {
+        #[test]
+        fn cosine_symmetric_and_bounded(a in ".{0,16}", b in ".{0,16}") {
+            let d1 = cosine_distance(&a, &b, 3);
+            let d2 = cosine_distance(&b, &a, 3);
+            prop_assert!((d1 - d2).abs() < 1e-12);
+            prop_assert!((0.0..=1.0).contains(&d1));
+        }
+
+        #[test]
+        fn jaccard_symmetric_and_bounded(a in ".{0,16}", b in ".{0,16}") {
+            let d1 = jaccard_distance(&a, &b, 3);
+            let d2 = jaccard_distance(&b, &a, 3);
+            prop_assert!((d1 - d2).abs() < 1e-12);
+            prop_assert!((0.0..=1.0).contains(&d1));
+        }
+
+        #[test]
+        fn self_distance_zero(a in ".{0,16}", q in 1usize..5) {
+            prop_assert!(cosine_distance(&a, &a, q).abs() < 1e-12);
+            prop_assert!(jaccard_distance(&a, &a, q).abs() < 1e-12);
+        }
+
+        #[test]
+        fn profile_total_matches_window_count(a in "[a-d]{3,20}") {
+            let p = QGramProfile::new(&a, 3);
+            prop_assert_eq!(p.total() as usize, a.chars().count() - 2);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Token-level (hybrid) similarity measures.
+//!
+//! Multi-word attribute names are often better compared token-by-token
+//! than character-by-character: `"maximum shutter speed"` vs
+//! `"shutter speed max"` is a near-perfect match at the token level but
+//! mediocre for char-level edit distances. This module provides the
+//! standard hybrid measures used by lexical matching systems such as AML:
+//!
+//! * [`jaccard`] / [`dice`] / [`overlap`] — set measures over tokens,
+//! * [`cosine_tf`] — cosine over token frequency vectors,
+//! * [`monge_elkan`] — average best inner similarity (Monge–Elkan) with a
+//!   pluggable inner measure,
+//! * [`soft_jaccard`] — Jaccard with fuzzy token equality.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Split into lowercase tokens on non-alphanumeric boundaries.
+pub fn tokens(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_lowercase)
+        .collect()
+}
+
+fn token_set(text: &str) -> BTreeSet<String> {
+    tokens(text).into_iter().collect()
+}
+
+/// Jaccard similarity of the token sets, in `[0, 1]`.
+///
+/// Two token-less strings are defined as similarity 0 (no evidence).
+///
+/// ```
+/// use leapme_textsim::token::jaccard;
+/// assert_eq!(jaccard("shutter speed", "speed shutter"), 1.0);
+/// assert_eq!(jaccard("shutter speed", "shutter"), 0.5);
+/// ```
+pub fn jaccard(a: &str, b: &str) -> f64 {
+    let (sa, sb) = (token_set(a), token_set(b));
+    if sa.is_empty() && sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Dice similarity `2·|A∩B| / (|A|+|B|)` of the token sets.
+pub fn dice(a: &str, b: &str) -> f64 {
+    let (sa, sb) = (token_set(a), token_set(b));
+    if sa.is_empty() && sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    2.0 * inter as f64 / (sa.len() + sb.len()) as f64
+}
+
+/// Overlap coefficient `|A∩B| / min(|A|,|B|)` of the token sets.
+///
+/// `1.0` whenever one name's tokens are a subset of the other's —
+/// useful for "zoom" vs "optical zoom".
+pub fn overlap(a: &str, b: &str) -> f64 {
+    let (sa, sb) = (token_set(a), token_set(b));
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    inter as f64 / sa.len().min(sb.len()) as f64
+}
+
+/// Cosine similarity of token frequency (TF) vectors.
+pub fn cosine_tf(a: &str, b: &str) -> f64 {
+    let count = |text: &str| {
+        let mut m: BTreeMap<String, usize> = BTreeMap::new();
+        for t in tokens(text) {
+            *m.entry(t).or_insert(0) += 1;
+        }
+        m
+    };
+    let (ca, cb) = (count(a), count(b));
+    if ca.is_empty() || cb.is_empty() {
+        return 0.0;
+    }
+    let dot: f64 = ca
+        .iter()
+        .filter_map(|(t, &x)| cb.get(t).map(|&y| (x * y) as f64))
+        .sum();
+    let na: f64 = ca.values().map(|&x| (x * x) as f64).sum::<f64>().sqrt();
+    let nb: f64 = cb.values().map(|&x| (x * x) as f64).sum::<f64>().sqrt();
+    (dot / (na * nb)).clamp(0.0, 1.0)
+}
+
+/// Monge–Elkan similarity: for each token of `a`, the best `inner`
+/// similarity against any token of `b`, averaged over `a`'s tokens.
+///
+/// Asymmetric by definition; use [`monge_elkan_sym`] for the symmetric
+/// max. `inner` must return similarities in `[0, 1]`.
+///
+/// ```
+/// use leapme_textsim::token::monge_elkan;
+/// use leapme_textsim::jaro::jaro_winkler_similarity;
+/// let sim = monge_elkan("shuter speed", "shutter speed", jaro_winkler_similarity);
+/// assert!(sim > 0.9);
+/// ```
+pub fn monge_elkan(a: &str, b: &str, inner: impl Fn(&str, &str) -> f64) -> f64 {
+    let ta = tokens(a);
+    let tb = tokens(b);
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for x in &ta {
+        let best = tb
+            .iter()
+            .map(|y| inner(x, y))
+            .fold(f64::NEG_INFINITY, f64::max);
+        total += best.clamp(0.0, 1.0);
+    }
+    total / ta.len() as f64
+}
+
+/// Symmetric Monge–Elkan: `max(me(a,b), me(b,a))`.
+pub fn monge_elkan_sym(a: &str, b: &str, inner: impl Fn(&str, &str) -> f64 + Copy) -> f64 {
+    monge_elkan(a, b, inner).max(monge_elkan(b, a, inner))
+}
+
+/// Soft Jaccard: tokens count as equal when `inner` similarity ≥
+/// `threshold`; greedy one-to-one matching by best similarity.
+pub fn soft_jaccard(
+    a: &str,
+    b: &str,
+    threshold: f64,
+    inner: impl Fn(&str, &str) -> f64,
+) -> f64 {
+    let ta = tokens(a);
+    let tb = tokens(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 0.0;
+    }
+    // Greedy maximum matching over similarity-sorted candidate pairs.
+    let mut candidates: Vec<(f64, usize, usize)> = Vec::new();
+    for (i, x) in ta.iter().enumerate() {
+        for (j, y) in tb.iter().enumerate() {
+            let s = inner(x, y);
+            if s >= threshold {
+                candidates.push((s, i, j));
+            }
+        }
+    }
+    candidates.sort_by(|p, q| q.0.partial_cmp(&p.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut used_a = vec![false; ta.len()];
+    let mut used_b = vec![false; tb.len()];
+    let mut matched = 0usize;
+    for (_, i, j) in candidates {
+        if !used_a[i] && !used_b[j] {
+            used_a[i] = true;
+            used_b[j] = true;
+            matched += 1;
+        }
+    }
+    let union = ta.len() + tb.len() - matched;
+    if union == 0 {
+        0.0
+    } else {
+        matched as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jaro::jaro_winkler_similarity;
+    use proptest::prelude::*;
+
+    #[test]
+    fn set_measures_known_values() {
+        assert_eq!(jaccard("a b", "b c"), 1.0 / 3.0);
+        assert_eq!(dice("a b", "b c"), 0.5);
+        assert_eq!(overlap("zoom", "optical zoom"), 1.0);
+        assert_eq!(overlap("a b", "c d"), 0.0);
+    }
+
+    #[test]
+    fn order_and_case_insensitive() {
+        assert_eq!(jaccard("Shutter Speed", "speed shutter"), 1.0);
+        assert!((cosine_tf("A_B", "b a") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        for f in [jaccard, dice, overlap, cosine_tf] {
+            assert_eq!(f("", ""), 0.0);
+            assert_eq!(f("", "x"), 0.0);
+        }
+        assert_eq!(monge_elkan("", "x", jaro_winkler_similarity), 0.0);
+        assert_eq!(soft_jaccard("", "", 0.9, jaro_winkler_similarity), 0.0);
+    }
+
+    #[test]
+    fn cosine_tf_respects_frequency() {
+        // "a a b" vs "a b": tf vectors (2,1) and (1,1).
+        let s = cosine_tf("a a b", "a b");
+        let expected = 3.0 / (5.0f64.sqrt() * 2.0f64.sqrt());
+        assert!((s - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monge_elkan_tolerates_typos() {
+        let exact = monge_elkan("shutter speed", "shutter speed", jaro_winkler_similarity);
+        let typo = monge_elkan("shuter sped", "shutter speed", jaro_winkler_similarity);
+        let unrelated = monge_elkan("white balance", "shutter speed", jaro_winkler_similarity);
+        assert!((exact - 1.0).abs() < 1e-12);
+        assert!(typo > 0.9);
+        assert!(unrelated < typo);
+    }
+
+    #[test]
+    fn monge_elkan_asymmetry_and_sym() {
+        let inner = jaro_winkler_similarity;
+        let ab = monge_elkan("zoom", "optical zoom range", inner);
+        let ba = monge_elkan("optical zoom range", "zoom", inner);
+        assert!(ab > ba); // every token of "zoom" matches perfectly
+        let sym = monge_elkan_sym("zoom", "optical zoom range", inner);
+        assert_eq!(sym, ab.max(ba));
+    }
+
+    #[test]
+    fn soft_jaccard_bridges_typos() {
+        let hard = jaccard("shuter speed", "shutter speed");
+        let soft = soft_jaccard("shuter speed", "shutter speed", 0.85, jaro_winkler_similarity);
+        assert!(hard < 0.5);
+        assert_eq!(soft, 1.0);
+    }
+
+    #[test]
+    fn soft_jaccard_greedy_is_one_to_one() {
+        // Both tokens of a want the single token of b; only one may match.
+        let s = soft_jaccard("speed speeed", "speed", 0.8, jaro_winkler_similarity);
+        // tokens a = {speed, speeed} (2), b = {speed} (1): matched = 1,
+        // union = 2 → 0.5.
+        assert!((s - 0.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn all_measures_bounded(a in ".{0,24}", b in ".{0,24}") {
+            let inner = jaro_winkler_similarity;
+            for v in [
+                jaccard(&a, &b),
+                dice(&a, &b),
+                overlap(&a, &b),
+                cosine_tf(&a, &b),
+                monge_elkan(&a, &b, inner),
+                soft_jaccard(&a, &b, 0.9, inner),
+            ] {
+                prop_assert!((0.0..=1.0).contains(&v), "{v}");
+            }
+        }
+
+        #[test]
+        fn set_measures_symmetric(a in ".{0,24}", b in ".{0,24}") {
+            prop_assert_eq!(jaccard(&a, &b).to_bits(), jaccard(&b, &a).to_bits());
+            prop_assert_eq!(dice(&a, &b).to_bits(), dice(&b, &a).to_bits());
+            prop_assert_eq!(overlap(&a, &b).to_bits(), overlap(&b, &a).to_bits());
+        }
+
+        #[test]
+        fn identity_on_tokenful_strings(a in "[a-z]{1,8}( [a-z]{1,8}){0,3}") {
+            prop_assert_eq!(jaccard(&a, &a), 1.0);
+            prop_assert_eq!(dice(&a, &a), 1.0);
+            prop_assert!((cosine_tf(&a, &a) - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn dice_at_least_jaccard(a in ".{0,20}", b in ".{0,20}") {
+            prop_assert!(dice(&a, &b) + 1e-12 >= jaccard(&a, &b));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Using LEAPME on your own data, with drop-in embedding files.
+//!
+//! The synthetic domains are only for reproducing the paper's evaluation;
+//! the library works on any property instances. This example shows the
+//! two integration points a downstream user needs:
+//!
+//! 1. building a [`Dataset`] from raw `(source, property, entity, value)`
+//!    records plus (optionally partial) reference alignments, and
+//! 2. loading word embeddings from a standard GloVe-format text file
+//!    (e.g. real `glove.840B.300d.txt` vectors) instead of training them.
+//!
+//! Run with: `cargo run --release --example custom_dataset`
+
+use leapme::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Raw records as they might arrive from a scraper: one line per
+/// property instance.
+const RAW: &[(&str, &str, &str, &str)] = &[
+    // (source, property, entity, value)
+    ("shopA", "megapixels", "cam1", "20.1 MP"),
+    ("shopA", "megapixels", "cam2", "24.2 MP"),
+    ("shopA", "optical zoom", "cam1", "30x"),
+    ("shopA", "optical zoom", "cam2", "8x"),
+    ("shopA", "weight", "cam1", "299 g"),
+    ("shopB", "camera resolution", "p9", "20 megapixels"),
+    ("shopB", "camera resolution", "p10", "16 megapixels"),
+    ("shopB", "zoom", "p9", "30x optical"),
+    ("shopB", "item weight", "p9", "310 g"),
+    ("shopC", "effective pixels", "z1", "20.9"),
+    ("shopC", "zoom ratio", "z1", "28x"),
+    ("shopC", "weight incl battery", "z1", "305 grams"),
+];
+
+/// Known alignments (e.g. from a partially curated ontology). Pairs of
+/// aligned properties in the same reference group become training
+/// positives.
+const ALIGNMENTS: &[(&str, &str, &str)] = &[
+    // (source, property, reference)
+    ("shopA", "megapixels", "resolution"),
+    ("shopB", "camera resolution", "resolution"),
+    ("shopC", "effective pixels", "resolution"),
+    ("shopA", "optical zoom", "zoom"),
+    ("shopB", "zoom", "zoom"),
+    ("shopC", "zoom ratio", "zoom"),
+    ("shopA", "weight", "weight"),
+    ("shopB", "item weight", "weight"),
+    ("shopC", "weight incl battery", "weight"),
+];
+
+fn build_dataset() -> Dataset {
+    let sources: Vec<String> = vec!["shopA".into(), "shopB".into(), "shopC".into()];
+    let source_id = |name: &str| {
+        SourceId(sources.iter().position(|s| s == name).expect("known source") as u16)
+    };
+    let instances: Vec<Instance> = RAW
+        .iter()
+        .map(|&(s, p, e, v)| Instance {
+            source: source_id(s),
+            property: p.to_string(),
+            entity: e.to_string(),
+            value: v.to_string(),
+        })
+        .collect();
+    let alignment: BTreeMap<PropertyKey, String> = ALIGNMENTS
+        .iter()
+        .map(|&(s, p, r)| (PropertyKey::new(source_id(s), p), r.to_string()))
+        .collect();
+    Dataset::new("my-cameras", sources, instances, alignment).expect("consistent dataset")
+}
+
+fn main() {
+    println!("== LEAPME on custom data ==\n");
+
+    let dataset = build_dataset();
+    let stats = dataset.stats();
+    println!(
+        "custom dataset: {} sources, {} properties, {} instances",
+        stats.sources, stats.properties, stats.instances
+    );
+
+    // --- Embeddings: write a tiny GloVe-format file, then load it, the
+    // same way you would load real pre-trained vectors. ---
+    let dir = std::env::temp_dir().join("leapme_custom_example");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("vectors.txt");
+    {
+        // In real use this file is glove.840B.300d.txt or similar.
+        let mut demo = EmbeddingStore::new(4);
+        for (w, v) in [
+            ("megapixels", [0.9f32, 0.1, 0.0, 0.0]),
+            ("resolution", [0.85, 0.15, 0.0, 0.0]),
+            ("pixels", [0.8, 0.2, 0.0, 0.0]),
+            ("mp", [0.92, 0.08, 0.0, 0.0]),
+            ("zoom", [0.0, 0.9, 0.1, 0.0]),
+            ("optical", [0.05, 0.85, 0.1, 0.0]),
+            ("ratio", [0.0, 0.7, 0.2, 0.1]),
+            ("weight", [0.0, 0.0, 0.9, 0.1]),
+            ("grams", [0.0, 0.0, 0.85, 0.15]),
+            ("g", [0.0, 0.05, 0.8, 0.15]),
+            ("item", [0.1, 0.1, 0.4, 0.4]),
+            ("battery", [0.0, 0.1, 0.3, 0.6]),
+            ("incl", [0.1, 0.1, 0.3, 0.5]),
+            ("camera", [0.4, 0.3, 0.2, 0.1]),
+            ("effective", [0.6, 0.2, 0.1, 0.1]),
+        ] {
+            demo.insert(w, v.to_vec()).expect("dims");
+        }
+        demo.save_text(&path).expect("save vectors");
+    }
+    let embeddings = EmbeddingStore::load_text(&path).expect("load vectors");
+    println!(
+        "loaded {} vectors × {} dims from {}",
+        embeddings.len(),
+        embeddings.dim(),
+        path.display()
+    );
+
+    // --- Match: train on shops A+B, match shop C against them. ---
+    let store = PropertyFeatureStore::build(&dataset, &embeddings);
+    let mut rng = StdRng::seed_from_u64(3);
+    let train_sources = [SourceId(0), SourceId(1)];
+    let train = training_pairs(&dataset, &train_sources, 2, &mut rng);
+    println!("\ntraining on shopA × shopB: {} labeled pairs", train.len());
+
+    // A small network suits a small problem.
+    let cfg = LeapmeConfig {
+        hidden: vec![16, 8],
+        ..LeapmeConfig::default()
+    };
+    let model = Leapme::fit(&store, &train, &cfg).expect("fit");
+
+    let candidates = test_pairs(&dataset, &train_sources);
+    let graph = model.predict_graph(&store, &candidates).expect("predict");
+
+    println!("\nmatches for the new source shopC:");
+    for (PropertyPair(a, b), score) in graph.top_k(candidates.len()) {
+        if score < 0.5 {
+            continue;
+        }
+        let ok = if dataset.matches(&a, &b) { "✓" } else { "✗" };
+        println!("  {ok} [{score:.2}] {} ≈ {}", a, b);
+    }
+
+    let gt = test_ground_truth(&dataset, &train_sources);
+    let metrics = Metrics::from_sets(&graph.matches(0.5), &gt);
+    println!("\n{metrics}");
+
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,192 @@
+//! # LEAPME — LEArning-based Property Matching with Embeddings
+//!
+//! A from-scratch Rust reproduction of *"Towards the smart use of
+//! embedding and instance features for property matching"* (Ayala,
+//! Hernández, Ruiz, Rahm — ICDE 2021).
+//!
+//! LEAPME matches properties (attributes) of entities coming from many
+//! heterogeneous sources — e.g. `"megapixels"`, `"camera resolution"`,
+//! and `"effective pixels"` across 24 camera shops — by classifying
+//! property pairs with a dense neural network over features built from
+//! property names *and* instance values, with heavy use of word
+//! embeddings.
+//!
+//! ## Crates under this facade
+//!
+//! | re-export | crate | contents |
+//! |---|---|---|
+//! | [`textsim`] | `leapme-textsim` | eight string-distance families (Table I rows 8–15) |
+//! | [`nn`] | `leapme-nn` | matrices, MLP, optimizers, staged LR schedule |
+//! | [`embedding`] | `leapme-embedding` | tokenizer, vocab, co-occurrence, GloVe trainer, store |
+//! | [`data`] | `leapme-data` | data model + the four synthetic evaluation domains |
+//! | [`features`] | `leapme-features` | instance/property/pair features, nine feature configs |
+//! | [`core`] | `leapme-core` | Algorithm 1 pipeline, sampling, metrics, clustering, runner |
+//! | [`baselines`] | `leapme-baselines` | AML, FCA-Map, Nezhadi, SemProp, LSH |
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use leapme::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // 1. Generate a multi-source camera dataset (DI2KG'19-style).
+//! let dataset = generate(Domain::Cameras, 42);
+//!
+//! // 2. Train domain embeddings (substitute for pre-trained GloVe).
+//! let embeddings =
+//!     train_domain_embeddings(&[Domain::Cameras], &EmbeddingTrainingConfig::default(), 42)
+//!         .unwrap();
+//!
+//! // 3. Extract features once.
+//! let store = PropertyFeatureStore::build(&dataset, &embeddings);
+//!
+//! // 4. Split sources, sample training pairs, fit, predict.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let split = split_sources(dataset.sources().len(), 0.8, &mut rng).unwrap();
+//! let train = training_pairs(&dataset, &split.train, 2, &mut rng);
+//! let model = Leapme::fit(&store, &train, &LeapmeConfig::default()).unwrap();
+//! let graph = model
+//!     .predict_graph(&store, &test_pairs(&dataset, &split.train))
+//!     .unwrap();
+//! println!("{} matches found", graph.matches(0.5).len());
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use leapme_baselines as baselines;
+pub use leapme_core as core;
+pub use leapme_data as data;
+pub use leapme_embedding as embedding;
+pub use leapme_features as features;
+pub use leapme_nn as nn;
+pub use leapme_textsim as textsim;
+
+use leapme_data::corpus::{generate_corpus, CorpusConfig};
+use leapme_data::domains::Domain;
+use leapme_embedding::cooccur::CooccurrenceMatrix;
+use leapme_embedding::glove::{train as glove_train, GloVeConfig};
+use leapme_embedding::store::EmbeddingStore;
+use leapme_embedding::vocab::Vocab;
+use leapme_embedding::EmbeddingError;
+
+/// Configuration of [`train_domain_embeddings`].
+#[derive(Debug, Clone)]
+pub struct EmbeddingTrainingConfig {
+    /// Corpus size per domain.
+    pub corpus: CorpusConfig,
+    /// GloVe hyper-parameters (dimension, epochs, …).
+    pub glove: GloVeConfig,
+    /// Minimum corpus frequency for a word to be embedded.
+    pub min_count: u64,
+    /// Co-occurrence window size.
+    pub window: usize,
+}
+
+impl Default for EmbeddingTrainingConfig {
+    fn default() -> Self {
+        EmbeddingTrainingConfig {
+            corpus: CorpusConfig::default(),
+            glove: GloVeConfig::default(),
+            min_count: 2,
+            window: 6,
+        }
+    }
+}
+
+/// Train GloVe embeddings on the synthetic corpora of one or more domains
+/// (the offline substitute for the paper's pre-trained Common Crawl GloVe
+/// vectors — see DESIGN.md §2).
+///
+/// Passing several domains yields one shared embedding space, which the
+/// transfer-learning experiments require.
+pub fn train_domain_embeddings(
+    domains: &[Domain],
+    cfg: &EmbeddingTrainingConfig,
+    seed: u64,
+) -> Result<EmbeddingStore, EmbeddingError> {
+    let mut corpus = Vec::new();
+    for (i, d) in domains.iter().enumerate() {
+        corpus.extend(generate_corpus(
+            &d.spec(),
+            &cfg.corpus,
+            seed.wrapping_add(i as u64),
+        ));
+    }
+    let vocab = Vocab::build(corpus.iter().flatten().map(String::as_str), cfg.min_count);
+    let cooc = CooccurrenceMatrix::from_sentences(&vocab, &corpus, cfg.window);
+    let mut store = glove_train(&vocab, &cooc, &cfg.glove, seed)?;
+    // The paper's 1.9M-word pre-trained vocabulary absorbs most typos; a
+    // small trained vocabulary needs the fuzzy OOV fallback to behave
+    // equivalently on noisy names (DESIGN.md §2).
+    store.set_fuzzy_oov(true);
+    Ok(store)
+}
+
+/// One-stop imports for the common workflow.
+pub mod prelude {
+    pub use crate::{train_domain_embeddings, EmbeddingTrainingConfig};
+    pub use leapme_core::analysis::analyze;
+    pub use leapme_core::blocking::{
+        combined_candidates, EmbeddingBlocker, TokenBlocker,
+    };
+    pub use leapme_core::cluster::{connected_components, star_clustering};
+    pub use leapme_core::fusion::fuse;
+    pub use leapme_core::prcurve::PrCurve;
+    pub use leapme_core::metrics::{Metrics, MetricsSummary};
+    pub use leapme_core::pipeline::{Leapme, LeapmeConfig, LeapmeModel};
+    pub use leapme_core::runner::{run_repeated, RunnerConfig};
+    pub use leapme_core::sampling::{
+        split_sources, test_ground_truth, test_pairs, training_pairs,
+    };
+    pub use leapme_core::simgraph::SimilarityGraph;
+    pub use leapme_data::domains::{generate, Domain};
+    pub use leapme_data::model::{Dataset, Instance, PropertyKey, PropertyPair, SourceId};
+    pub use leapme_embedding::store::EmbeddingStore;
+    pub use leapme_features::{FeatureConfig, FeatureKind, FeatureScope, PropertyFeatureStore};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_trains_embeddings() {
+        let cfg = EmbeddingTrainingConfig {
+            corpus: CorpusConfig {
+                sentences_per_synonym: 3,
+                filler_sentences: 10,
+            },
+            glove: GloVeConfig {
+                dim: 8,
+                epochs: 2,
+                ..GloVeConfig::default()
+            },
+            ..EmbeddingTrainingConfig::default()
+        };
+        let store = train_domain_embeddings(&[Domain::Tvs], &cfg, 1).unwrap();
+        assert_eq!(store.dim(), 8);
+        assert!(store.len() > 20);
+    }
+
+    #[test]
+    fn shared_space_covers_both_domains() {
+        let cfg = EmbeddingTrainingConfig {
+            corpus: CorpusConfig {
+                sentences_per_synonym: 3,
+                filler_sentences: 5,
+            },
+            glove: GloVeConfig {
+                dim: 8,
+                epochs: 2,
+                ..GloVeConfig::default()
+            },
+            ..EmbeddingTrainingConfig::default()
+        };
+        let store =
+            train_domain_embeddings(&[Domain::Tvs, Domain::Headphones], &cfg, 2).unwrap();
+        // TV-specific and headphone-specific words both embedded.
+        assert!(store.get("hdmi").is_some());
+        assert!(store.get("impedance").is_some());
+    }
+}

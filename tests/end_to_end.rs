@@ -1,0 +1,135 @@
+//! End-to-end integration: dataset generation → embedding training →
+//! feature extraction → classifier training → similarity graph →
+//! clustering, across every crate in the workspace.
+
+use leapme::core::sampling;
+use leapme::data::corpus::CorpusConfig;
+use leapme::embedding::glove::GloVeConfig;
+use leapme::nn::network::TrainConfig;
+use leapme::nn::schedule::LrSchedule;
+use leapme::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Small but real embedding setup shared by the integration tests.
+fn embeddings(domain: Domain, seed: u64) -> EmbeddingStore {
+    train_domain_embeddings(
+        &[domain],
+        &EmbeddingTrainingConfig {
+            corpus: CorpusConfig {
+                sentences_per_synonym: 10,
+                filler_sentences: 40,
+            },
+            glove: GloVeConfig {
+                dim: 16,
+                epochs: 10,
+                ..GloVeConfig::default()
+            },
+            ..EmbeddingTrainingConfig::default()
+        },
+        seed,
+    )
+    .expect("embedding training")
+}
+
+fn quick_config() -> LeapmeConfig {
+    LeapmeConfig {
+        train: TrainConfig {
+            schedule: LrSchedule::new(vec![(8, 1e-3), (2, 1e-4)]),
+            ..TrainConfig::default()
+        },
+        hidden: vec![32, 16],
+        ..LeapmeConfig::default()
+    }
+}
+
+#[test]
+fn full_pipeline_on_tvs() {
+    let seed = 71;
+    let dataset = generate(Domain::Tvs, seed);
+    let stats = dataset.stats();
+    assert_eq!(stats.sources, 8);
+    assert!(stats.matching_pairs > 50);
+
+    let embeddings = embeddings(Domain::Tvs, seed);
+    let store = PropertyFeatureStore::build(&dataset, &embeddings);
+    assert_eq!(store.len(), dataset.properties().len());
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let split = split_sources(dataset.sources().len(), 0.8, &mut rng).unwrap();
+    let train = training_pairs(&dataset, &split.train, 2, &mut rng);
+    let model = Leapme::fit(&store, &train, &quick_config()).unwrap();
+
+    // Evaluate on the paper's sampled test examples.
+    let examples = sampling::test_examples(&dataset, &split.train, 2, &mut rng);
+    let pairs: Vec<PropertyPair> = examples.iter().map(|(p, _)| p.clone()).collect();
+    let gt = examples
+        .iter()
+        .filter(|(_, y)| *y)
+        .map(|(p, _)| p.clone())
+        .collect();
+    let graph = model.predict_graph(&store, &pairs).unwrap();
+    let metrics = Metrics::from_sets(&graph.matches(0.5), &gt);
+    assert!(
+        metrics.f1 > 0.5,
+        "end-to-end quality collapsed: {metrics}"
+    );
+
+    // Clustering consumes the graph.
+    let clusters = star_clustering(&graph, 0.5);
+    assert!(clusters.non_trivial().count() > 0);
+    let cluster_metrics = clusters.pairwise_metrics(&dataset);
+    assert!(cluster_metrics.f1 > 0.0);
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let dataset = generate(Domain::Headphones, 5);
+        let embeddings = embeddings(Domain::Headphones, 5);
+        let store = PropertyFeatureStore::build(&dataset, &embeddings);
+        let mut rng = StdRng::seed_from_u64(5);
+        let split = split_sources(dataset.sources().len(), 0.8, &mut rng).unwrap();
+        let train = training_pairs(&dataset, &split.train, 2, &mut rng);
+        let model = Leapme::fit(&store, &train, &quick_config()).unwrap();
+        let test = test_pairs(&dataset, &split.train);
+        model.score_pairs(&store, &test).unwrap()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn feature_dimensions_consistent_across_crates() {
+    let dataset = generate(Domain::Headphones, 9);
+    let embeddings = embeddings(Domain::Headphones, 9);
+    let store = PropertyFeatureStore::build(&dataset, &embeddings);
+    let d = store.dim();
+    // Table I arithmetic at this dimension.
+    assert_eq!(store.full_pair_len(), 29 + 2 * d + 8);
+    for cfg in FeatureConfig::all() {
+        let props = dataset.properties();
+        let (a, b) = (&props[0], props.iter().find(|p| p.source != props[0].source).unwrap());
+        let v = store.pair_vector(a, b, &cfg).unwrap();
+        assert_eq!(v.len(), cfg.feature_count(d), "{cfg}");
+    }
+}
+
+#[test]
+fn sampled_eval_protocol_consistency() {
+    // The runner and a manual evaluation with the same seed must agree.
+    use leapme::core::runner::{run_once, RunnerConfig};
+    let dataset = generate(Domain::Tvs, 13);
+    let embeddings = embeddings(Domain::Tvs, 13);
+    let store = PropertyFeatureStore::build(&dataset, &embeddings);
+    let cfg = RunnerConfig {
+        repetitions: 1,
+        leapme: quick_config(),
+        base_seed: 13,
+        ..RunnerConfig::default()
+    };
+    let a = run_once(&dataset, &store, &cfg, 0).unwrap();
+    let b = run_once(&dataset, &store, &cfg, 0).unwrap();
+    assert_eq!(a.metrics, b.metrics);
+    assert!(a.test_pairs > 0);
+    assert!(a.train_pairs > 0);
+}

@@ -1,0 +1,209 @@
+//! Integration tests for the extension modules (blocking, fusion,
+//! incremental matching, PR curves, calibration, feature importance) —
+//! the paper's future-work surface, exercised end-to-end through the
+//! facade.
+
+use leapme::core::blocking::{
+    combined_candidates, evaluate_blocking, EmbeddingBlocker, TokenBlocker,
+};
+use leapme::core::calibration::calibration_report;
+use leapme::core::fusion::fuse;
+use leapme::core::importance::permutation_importance;
+use leapme::core::incremental::integrate_source;
+use leapme::core::prcurve::PrCurve;
+use leapme::core::sampling;
+use leapme::data::corpus::CorpusConfig;
+use leapme::embedding::glove::GloVeConfig;
+use leapme::nn::network::TrainConfig;
+use leapme::nn::schedule::LrSchedule;
+use leapme::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn embeddings(domain: Domain, seed: u64) -> EmbeddingStore {
+    train_domain_embeddings(
+        &[domain],
+        &EmbeddingTrainingConfig {
+            corpus: CorpusConfig {
+                sentences_per_synonym: 10,
+                filler_sentences: 40,
+            },
+            glove: GloVeConfig {
+                dim: 16,
+                epochs: 10,
+                ..GloVeConfig::default()
+            },
+            ..EmbeddingTrainingConfig::default()
+        },
+        seed,
+    )
+    .unwrap()
+}
+
+fn quick_config() -> LeapmeConfig {
+    LeapmeConfig {
+        train: TrainConfig {
+            schedule: LrSchedule::new(vec![(8, 1e-3), (2, 1e-4)]),
+            ..TrainConfig::default()
+        },
+        hidden: vec![32, 16],
+        ..LeapmeConfig::default()
+    }
+}
+
+#[test]
+fn blocked_matching_preserves_most_quality() {
+    let seed = 90;
+    let dataset = generate(Domain::Tvs, seed);
+    let emb = embeddings(Domain::Tvs, seed);
+    let store = PropertyFeatureStore::build(&dataset, &emb);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let split = split_sources(dataset.sources().len(), 0.8, &mut rng).unwrap();
+    let train = training_pairs(&dataset, &split.train, 2, &mut rng);
+    let model = Leapme::fit(&store, &train, &quick_config()).unwrap();
+
+    // Full-space matching vs blocked matching on the held-out region.
+    let full: Vec<PropertyPair> = test_pairs(&dataset, &split.train);
+    let gt = test_ground_truth(&dataset, &split.train);
+
+    let candidates = combined_candidates(
+        &dataset,
+        &emb,
+        &TokenBlocker::default(),
+        &EmbeddingBlocker { k: 25 },
+    );
+    let stats = evaluate_blocking(&dataset, &candidates);
+    assert!(stats.reduction_ratio > 0.3);
+
+    let blocked: Vec<PropertyPair> = full
+        .iter()
+        .filter(|p| candidates.contains(*p))
+        .cloned()
+        .collect();
+    assert!(blocked.len() < full.len());
+
+    let full_matches = model.predict_graph(&store, &full).unwrap().matches(0.5);
+    let blocked_matches = model.predict_graph(&store, &blocked).unwrap().matches(0.5);
+    let full_m = Metrics::from_sets(&full_matches, &gt);
+    let blocked_m = Metrics::from_sets(&blocked_matches, &gt);
+    // Blocking can only lose recall, and should lose little.
+    assert!(blocked_m.recall <= full_m.recall + 1e-12);
+    assert!(
+        blocked_m.recall > full_m.recall * 0.75,
+        "blocking lost too much recall: {} vs {}",
+        blocked_m.recall,
+        full_m.recall
+    );
+}
+
+#[test]
+fn fusion_builds_unified_schema_from_predictions() {
+    let seed = 91;
+    let dataset = generate(Domain::Headphones, seed);
+    let emb = embeddings(Domain::Headphones, seed);
+    let store = PropertyFeatureStore::build(&dataset, &emb);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let split = split_sources(dataset.sources().len(), 0.8, &mut rng).unwrap();
+    let train = training_pairs(&dataset, &split.train, 2, &mut rng);
+    let model = Leapme::fit(&store, &train, &quick_config()).unwrap();
+    let graph = model
+        .predict_graph(&store, &test_pairs(&dataset, &split.train))
+        .unwrap();
+
+    let clustering = star_clustering(&graph, 0.5);
+    let schema = fuse(&dataset, &clustering);
+    assert!(!schema.properties.is_empty());
+    // Every fused property spans at least two sources and has samples.
+    for p in &schema.properties {
+        assert!(p.sources.len() >= 2 || p.members.len() >= 2);
+        assert!(!p.sample_values.is_empty() || p.instance_count == 0);
+    }
+    // Rendering works.
+    assert!(schema.to_text().contains("unified schema"));
+}
+
+#[test]
+fn incremental_integration_through_facade() {
+    let seed = 92;
+    let dataset = generate(Domain::Tvs, seed);
+    let emb = embeddings(Domain::Tvs, seed);
+    let store = PropertyFeatureStore::build(&dataset, &emb);
+    let train_sources: Vec<SourceId> = (0..6).map(SourceId).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let train = sampling::training_pairs(&dataset, &train_sources, 2, &mut rng);
+    let model = Leapme::fit(&store, &train, &quick_config()).unwrap();
+    let mut graph = model
+        .predict_graph(&store, &dataset.cross_source_pairs(&train_sources))
+        .unwrap();
+
+    let before_nodes = graph.nodes().len();
+    let out = integrate_source(&model, &store, &dataset, &mut graph, SourceId(7)).unwrap();
+    assert!(out.scored_pairs > 0);
+    assert!(graph.nodes().len() > before_nodes);
+    assert!(!out.attached.is_empty());
+}
+
+#[test]
+fn prcurve_and_calibration_over_real_scores() {
+    let seed = 93;
+    let dataset = generate(Domain::Tvs, seed);
+    let emb = embeddings(Domain::Tvs, seed);
+    let store = PropertyFeatureStore::build(&dataset, &emb);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let split = split_sources(dataset.sources().len(), 0.8, &mut rng).unwrap();
+    let train = training_pairs(&dataset, &split.train, 2, &mut rng);
+    let model = Leapme::fit(&store, &train, &quick_config()).unwrap();
+
+    let examples = sampling::test_examples(&dataset, &split.train, 2, &mut rng);
+    let pairs: Vec<PropertyPair> = examples.iter().map(|(p, _)| p.clone()).collect();
+    let scores = model.score_pairs(&store, &pairs).unwrap();
+    let scored: Vec<(f32, bool)> = scores
+        .iter()
+        .zip(&examples)
+        .map(|(&s, (_, y))| (s, *y))
+        .collect();
+
+    let curve = PrCurve::from_scores(&scored).expect("positives exist");
+    let best = curve.best_f1();
+    assert!(best.f1 > 0.5, "best F1 {}", best.f1);
+    assert!(curve.average_precision() > 0.5);
+    // The fixed 0.5 threshold cannot beat the curve's optimum.
+    let fixed = {
+        let predicted: std::collections::BTreeSet<PropertyPair> = pairs
+            .iter()
+            .zip(&scores)
+            .filter(|(_, &s)| s >= 0.5)
+            .map(|(p, _)| p.clone())
+            .collect();
+        let gt = examples
+            .iter()
+            .filter(|(_, y)| *y)
+            .map(|(p, _)| p.clone())
+            .collect();
+        Metrics::from_sets(&predicted, &gt).f1
+    };
+    assert!(best.f1 + 1e-9 >= fixed);
+
+    let report = calibration_report(&scored, 10).expect("non-empty");
+    assert_eq!(report.samples, scored.len());
+    assert!(report.brier < 0.3, "brier {}", report.brier);
+    assert!(report.ece < 0.5);
+}
+
+#[test]
+fn importance_through_facade() {
+    let seed = 94;
+    let dataset = generate(Domain::Headphones, seed);
+    let emb = embeddings(Domain::Headphones, seed);
+    let store = PropertyFeatureStore::build(&dataset, &emb);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let split = split_sources(dataset.sources().len(), 0.8, &mut rng).unwrap();
+    let train = training_pairs(&dataset, &split.train, 2, &mut rng);
+    // Importance needs the full feature configuration.
+    let model = Leapme::fit(&store, &train, &quick_config()).unwrap();
+    let examples = sampling::test_examples(&dataset, &split.train, 2, &mut rng);
+    let report = permutation_importance(&model, &store, &examples, seed).unwrap();
+    assert_eq!(report.blocks.len(), 4);
+    assert!(report.baseline_f1 > 0.5);
+}

@@ -1,0 +1,100 @@
+//! Property-based invariants spanning crates: generated datasets obey the
+//! model's contracts at every seed, and the feature stack stays
+//! layout-consistent over them.
+
+use leapme::data::domains::{generate, Domain};
+use leapme::data::model::{PropertyPair, SourceId};
+use leapme::features::{FeatureConfig, PropertyFeatureStore};
+use leapme::prelude::*;
+use proptest::prelude::*;
+
+fn small_embeddings(dim: usize) -> EmbeddingStore {
+    let mut s = EmbeddingStore::new(dim);
+    for (i, w) in [
+        "screen", "size", "resolution", "panel", "brand", "price", "weight", "battery", "model",
+        "hdmi", "refresh", "rate", "smart", "inch", "color",
+    ]
+    .iter()
+    .enumerate()
+    {
+        let mut v = vec![0.0f32; dim];
+        v[i % dim] = 1.0;
+        s.insert(w, v).unwrap();
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Dataset invariants hold for arbitrary generation seeds.
+    #[test]
+    fn generated_datasets_are_consistent(seed in 0u64..500) {
+        let ds = generate(Domain::Tvs, seed);
+        let stats = ds.stats();
+        prop_assert_eq!(stats.sources, 8);
+        prop_assert!(stats.aligned_properties <= stats.properties);
+
+        // Ground truth only contains cross-source, same-reference pairs.
+        for PropertyPair(a, b) in ds.ground_truth_pairs() {
+            prop_assert_ne!(a.source, b.source);
+            prop_assert_eq!(ds.alignment_of(&a), ds.alignment_of(&b));
+            prop_assert!(ds.alignment_of(&a).is_some());
+        }
+
+        // Schemas have unique names and cover all instances.
+        for sid in 0..stats.sources {
+            let schema = ds.schema_of(SourceId(sid as u16));
+            let set: std::collections::BTreeSet<&String> = schema.iter().collect();
+            prop_assert_eq!(set.len(), schema.len());
+        }
+
+        // JSON round trip is lossless with respect to ground truth.
+        let back = Dataset::from_json(&ds.to_json()).unwrap();
+        prop_assert_eq!(back.ground_truth_pairs(), ds.ground_truth_pairs());
+    }
+
+    /// Pair feature vectors are symmetric, finite, and layout-stable for
+    /// arbitrary seeds.
+    #[test]
+    fn pair_features_are_symmetric_and_finite(seed in 0u64..200) {
+        let ds = generate(Domain::Headphones, seed);
+        let emb = small_embeddings(6);
+        let store = PropertyFeatureStore::build(&ds, &emb);
+        let props = ds.properties();
+        let a = &props[0];
+        let b = props
+            .iter()
+            .find(|p| p.source != a.source)
+            .expect("multi-source dataset");
+
+        let ab = store.full_pair_vector(a, b).unwrap();
+        let ba = store.full_pair_vector(b, a).unwrap();
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.len(), store.full_pair_len());
+        prop_assert!(ab.iter().all(|v| v.is_finite()));
+
+        // Every configuration projects to its advertised width.
+        for cfg in FeatureConfig::all() {
+            let v = store.pair_vector(a, b, &cfg).unwrap();
+            prop_assert_eq!(v.len(), cfg.feature_count(store.dim()));
+        }
+    }
+
+    /// Cross-source pair counts follow the handshake formula.
+    #[test]
+    fn cross_source_pair_count_formula(seed in 0u64..100) {
+        let ds = generate(Domain::Phones, seed);
+        let all: Vec<SourceId> = (0..ds.sources().len()).map(|i| SourceId(i as u16)).collect();
+        let pairs = ds.cross_source_pairs(&all);
+        // Σ over source pairs of |schema_i| · |schema_j|.
+        let sizes: Vec<usize> = all.iter().map(|&s| ds.schema_of(s).len()).collect();
+        let mut expected = 0usize;
+        for i in 0..sizes.len() {
+            for j in i + 1..sizes.len() {
+                expected += sizes[i] * sizes[j];
+            }
+        }
+        prop_assert_eq!(pairs.len(), expected);
+    }
+}

@@ -1,0 +1,173 @@
+//! Shape assertions from the paper's evaluation (§V-C), checked on a
+//! reduced budget so they run inside `cargo test`:
+//!
+//! * LEAPME (all features) beats every unsupervised baseline in F1;
+//! * unsupervised lexical baselines have (near-)perfect precision but
+//!   limited recall;
+//! * embedding features beat non-embedding features on name matching;
+//! * 80% training sources beat 20%.
+
+use leapme::baselines::{aml::AmlMatcher, fcamap::FcaMapMatcher, lsh::LshMatcher, Matcher};
+use leapme::core::runner::{run_repeated, RunnerConfig};
+use leapme::core::sampling;
+use leapme::data::corpus::CorpusConfig;
+use leapme::embedding::glove::GloVeConfig;
+use leapme::nn::network::TrainConfig;
+use leapme::nn::schedule::LrSchedule;
+use leapme::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup(domain: Domain, seed: u64) -> (Dataset, EmbeddingStore, PropertyFeatureStore) {
+    let dataset = generate(domain, seed);
+    let embeddings = train_domain_embeddings(
+        &[domain],
+        &EmbeddingTrainingConfig {
+            corpus: CorpusConfig {
+                sentences_per_synonym: 12,
+                filler_sentences: 40,
+            },
+            glove: GloVeConfig {
+                dim: 24,
+                epochs: 12,
+                ..GloVeConfig::default()
+            },
+            ..EmbeddingTrainingConfig::default()
+        },
+        seed,
+    )
+    .unwrap();
+    let store = PropertyFeatureStore::build(&dataset, &embeddings);
+    (dataset, embeddings, store)
+}
+
+fn runner(features: FeatureConfig, fraction: f64, seed: u64) -> RunnerConfig {
+    RunnerConfig {
+        train_fraction: fraction,
+        repetitions: 2,
+        leapme: LeapmeConfig {
+            features,
+            train: TrainConfig {
+                schedule: LrSchedule::new(vec![(8, 1e-3), (4, 1e-4)]),
+                ..TrainConfig::default()
+            },
+            hidden: vec![48, 24],
+            ..LeapmeConfig::default()
+        },
+        base_seed: seed,
+        ..RunnerConfig::default()
+    }
+}
+
+#[test]
+fn leapme_beats_unsupervised_baselines() {
+    let seed = 40;
+    let (dataset, _emb, store) = setup(Domain::Tvs, seed);
+    let (leapme, _) =
+        run_repeated(&dataset, &store, &runner(FeatureConfig::full(), 0.8, seed)).unwrap();
+
+    // Baselines on the identical protocol (single rep is enough for a
+    // strict ordering at this margin).
+    let mut rng = StdRng::seed_from_u64(leapme_seed(seed));
+    let split = sampling::split_sources(dataset.sources().len(), 0.8, &mut rng).unwrap();
+    let _ = sampling::training_pairs(&dataset, &split.train, 2, &mut rng);
+    let examples = sampling::test_examples(&dataset, &split.train, 2, &mut rng);
+    let pairs: Vec<PropertyPair> = examples.iter().map(|(p, _)| p.clone()).collect();
+    let gt = examples
+        .iter()
+        .filter(|(_, y)| *y)
+        .map(|(p, _)| p.clone())
+        .collect();
+
+    for matcher in [
+        Box::new(AmlMatcher::new()) as Box<dyn Matcher>,
+        Box::new(FcaMapMatcher::new()),
+        Box::new(LshMatcher::new()),
+    ] {
+        let m = Metrics::from_sets(&matcher.predict(&dataset, &pairs), &gt);
+        assert!(
+            leapme.f1_mean > m.f1,
+            "{} (F1 {:.2}) not beaten by LEAPME (F1 {:.2})",
+            matcher.name(),
+            m.f1,
+            leapme.f1_mean
+        );
+    }
+}
+
+fn leapme_seed(base: u64) -> u64 {
+    leapme::core::runner::repetition_seed(base, 0)
+}
+
+#[test]
+fn unsupervised_lexical_baselines_are_high_precision_low_recall() {
+    let seed = 41;
+    let (dataset, _emb, _store) = setup(Domain::Headphones, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let split = sampling::split_sources(dataset.sources().len(), 0.8, &mut rng).unwrap();
+    let examples = sampling::test_examples(&dataset, &split.train, 2, &mut rng);
+    let pairs: Vec<PropertyPair> = examples.iter().map(|(p, _)| p.clone()).collect();
+    let gt = examples
+        .iter()
+        .filter(|(_, y)| *y)
+        .map(|(p, _)| p.clone())
+        .collect();
+
+    for matcher in [
+        Box::new(AmlMatcher::new()) as Box<dyn Matcher>,
+        Box::new(FcaMapMatcher::new()),
+    ] {
+        let m = Metrics::from_sets(&matcher.predict(&dataset, &pairs), &gt);
+        assert!(
+            m.precision > 0.85,
+            "{} precision {:.2} not high",
+            matcher.name(),
+            m.precision
+        );
+        assert!(
+            m.recall < 0.8,
+            "{} recall {:.2} unexpectedly high",
+            matcher.name(),
+            m.recall
+        );
+    }
+}
+
+#[test]
+fn embeddings_beat_non_embeddings_on_names() {
+    let seed = 42;
+    let (dataset, _emb, store) = setup(Domain::Phones, seed);
+    let emb_cfg = FeatureConfig {
+        scope: FeatureScope::Names,
+        kind: FeatureKind::Embeddings,
+    };
+    let nonemb_cfg = FeatureConfig {
+        scope: FeatureScope::Names,
+        kind: FeatureKind::NonEmbeddings,
+    };
+    let (with_emb, _) = run_repeated(&dataset, &store, &runner(emb_cfg, 0.8, seed)).unwrap();
+    let (without_emb, _) =
+        run_repeated(&dataset, &store, &runner(nonemb_cfg, 0.8, seed)).unwrap();
+    assert!(
+        with_emb.f1_mean > without_emb.f1_mean,
+        "emb {:.3} vs -emb {:.3}",
+        with_emb.f1_mean,
+        without_emb.f1_mean
+    );
+}
+
+#[test]
+fn more_training_sources_help() {
+    let seed = 43;
+    let (dataset, _emb, store) = setup(Domain::Tvs, seed);
+    let (low, _) =
+        run_repeated(&dataset, &store, &runner(FeatureConfig::full(), 0.2, seed)).unwrap();
+    let (high, _) =
+        run_repeated(&dataset, &store, &runner(FeatureConfig::full(), 0.8, seed)).unwrap();
+    assert!(
+        high.f1_mean >= low.f1_mean - 0.02,
+        "80% ({:.3}) should not trail 20% ({:.3})",
+        high.f1_mean,
+        low.f1_mean
+    );
+}

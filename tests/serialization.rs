@@ -1,0 +1,115 @@
+//! Cross-crate serialization: datasets, embeddings, trained models, and
+//! similarity graphs survive round trips and still interoperate.
+
+use leapme::core::sampling;
+use leapme::core::pipeline::{Leapme, LeapmeConfig, LeapmeModel};
+use leapme::core::simgraph::SimilarityGraph;
+use leapme::nn::network::TrainConfig;
+use leapme::nn::schedule::LrSchedule;
+use leapme::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_embeddings() -> EmbeddingStore {
+    let mut s = EmbeddingStore::new(8);
+    let words = [
+        "screen", "size", "resolution", "panel", "brand", "price", "weight", "model", "hdmi",
+        "inch", "refresh", "rate",
+    ];
+    for (i, w) in words.iter().enumerate() {
+        let mut v = vec![0.0f32; 8];
+        v[i % 8] = 1.0;
+        v[(i + 3) % 8] = 0.5;
+        s.insert(w, v).unwrap();
+    }
+    s
+}
+
+#[test]
+fn dataset_round_trip_preserves_everything() {
+    let dataset = generate(Domain::Tvs, 3);
+    let json = dataset.to_json();
+    let back = Dataset::from_json(&json).unwrap();
+    assert_eq!(back.stats(), dataset.stats());
+    assert_eq!(back.ground_truth_pairs(), dataset.ground_truth_pairs());
+    // Indices are rebuilt: instance lookups still work.
+    let key = dataset.properties().into_iter().next().unwrap();
+    assert_eq!(
+        back.instances_of(&key).len(),
+        dataset.instances_of(&key).len()
+    );
+}
+
+#[test]
+fn embedding_text_round_trip_preserves_features() {
+    let emb = small_embeddings();
+    let dir = std::env::temp_dir().join("leapme_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("itest_vectors.txt");
+    emb.save_text(&path).unwrap();
+    let loaded = EmbeddingStore::load_text(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let dataset = generate(Domain::Tvs, 4);
+    let store_a = PropertyFeatureStore::build(&dataset, &emb);
+    let store_b = PropertyFeatureStore::build(&dataset, &loaded);
+    let props = dataset.properties();
+    let a = &props[0];
+    let b = props.iter().find(|p| p.source != a.source).unwrap();
+    assert_eq!(
+        store_a.full_pair_vector(a, b),
+        store_b.full_pair_vector(a, b)
+    );
+}
+
+#[test]
+fn trained_model_round_trip_scores_identically() {
+    let dataset = generate(Domain::Tvs, 5);
+    let emb = small_embeddings();
+    let store = PropertyFeatureStore::build(&dataset, &emb);
+    let mut rng = StdRng::seed_from_u64(5);
+    let split = sampling::split_sources(dataset.sources().len(), 0.8, &mut rng).unwrap();
+    let train = sampling::training_pairs(&dataset, &split.train, 2, &mut rng);
+    let cfg = LeapmeConfig {
+        train: TrainConfig {
+            schedule: LrSchedule::constant(3, 1e-3),
+            ..TrainConfig::default()
+        },
+        hidden: vec![8],
+        ..LeapmeConfig::default()
+    };
+    let model = Leapme::fit(&store, &train, &cfg).unwrap();
+
+    let json = serde_json::to_string(&model).unwrap();
+    let restored: LeapmeModel = serde_json::from_str(&json).unwrap();
+
+    let test = sampling::test_pairs(&dataset, &split.train);
+    assert_eq!(
+        model.score_pairs(&store, &test).unwrap(),
+        restored.score_pairs(&store, &test).unwrap()
+    );
+}
+
+#[test]
+fn similarity_graph_round_trip() {
+    let dataset = generate(Domain::Headphones, 6);
+    let props = dataset.properties();
+    let mut graph = SimilarityGraph::new();
+    let mut n = 0;
+    'outer: for a in &props {
+        for b in &props {
+            if a.source != b.source {
+                graph.add(PropertyPair::new(a.clone(), b.clone()), 0.1 * (n % 10) as f32);
+                n += 1;
+                if n >= 50 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    let json = serde_json::to_string(&graph).unwrap();
+    let back: SimilarityGraph = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.len(), graph.len());
+    assert_eq!(back.matches(0.5), graph.matches(0.5));
+    assert_eq!(back.nodes(), graph.nodes());
+}

@@ -119,6 +119,72 @@ fn bench_nn(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_matmul(c: &mut Criterion) {
+    // The two shapes that dominate training and scoring: one minibatch
+    // (32×637 · 637×128) and one scoring block (256×637 · 637×128).
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut rand_matrix = |r: usize, k: usize| {
+        Matrix::from_vec(r, k, (0..r * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+    };
+    let a32 = rand_matrix(32, 637);
+    let a256 = rand_matrix(256, 637);
+    let w = rand_matrix(637, 128);
+    let threads = leapme::nn::threads::thread_count();
+
+    let mut g = c.benchmark_group("matmul");
+    g.bench_function("serial_32x637x128", |b| {
+        b.iter(|| black_box(&a32).matmul_with_threads(black_box(&w), 1))
+    });
+    g.bench_function("threaded_32x637x128", |b| {
+        b.iter(|| black_box(&a32).matmul_with_threads(black_box(&w), threads))
+    });
+    g.bench_function("serial_256x637x128", |b| {
+        b.iter(|| black_box(&a256).matmul_with_threads(black_box(&w), 1))
+    });
+    g.bench_function("threaded_256x637x128", |b| {
+        b.iter(|| black_box(&a256).matmul_with_threads(black_box(&w), threads))
+    });
+    g.finish();
+}
+
+fn bench_pair_matrix(c: &mut Criterion) {
+    // Nested (Vec<Vec<f32>>) vs flat contiguous pair featurization, and
+    // the flat path's serial vs threaded fill.
+    let dataset = generate(Domain::Cameras, 3);
+    let embeddings = small_embeddings(16);
+    let store = PropertyFeatureStore::build(&dataset, &embeddings);
+    let sources: Vec<SourceId> = (0..dataset.sources().len())
+        .map(|i| SourceId(i as u16))
+        .collect();
+    let pairs: Vec<(PropertyKey, PropertyKey)> = dataset
+        .cross_source_pairs(&sources)
+        .into_iter()
+        .map(|PropertyPair(a, b)| (a, b))
+        .collect();
+    let cfg = FeatureConfig::full();
+    let threads = leapme::nn::threads::thread_count();
+
+    let mut g = c.benchmark_group("pair_matrix");
+    g.bench_function("nested", |b| {
+        b.iter(|| store.pair_matrix(black_box(&pairs), black_box(&cfg)).unwrap())
+    });
+    g.bench_function("flat_serial", |b| {
+        b.iter(|| {
+            store
+                .pair_matrix_flat_with_threads(black_box(&pairs), black_box(&cfg), 1)
+                .unwrap()
+        })
+    });
+    g.bench_function("flat_threaded", |b| {
+        b.iter(|| {
+            store
+                .pair_matrix_flat_with_threads(black_box(&pairs), black_box(&cfg), threads)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
 fn bench_pipeline(c: &mut Criterion) {
     // End-to-end pair vectorization + scoring on a small real dataset.
     let dataset = generate(Domain::Tvs, 1);
@@ -163,6 +229,8 @@ criterion_group! {
     bench_features,
     bench_minhash,
     bench_nn,
+    bench_matmul,
+    bench_pair_matrix,
     bench_pipeline
 }
 criterion_main!(benches);

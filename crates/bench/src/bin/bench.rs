@@ -1,0 +1,166 @@
+//! PR benchmark — wall-clock comparison of the serial vs threaded hot
+//! path on a synthetic multi-source corpus (≥ 5 000 candidate pairs).
+//!
+//! Measures the four pipeline stages end to end in a single process:
+//!
+//! * **build** — `PropertyFeatureStore::build` (per-property extraction),
+//! * **featurize** — `pair_matrix_flat` over the full candidate space,
+//! * **train** — `Leapme::fit` (minibatch MLP, paper schedule),
+//! * **score** — scoring the full candidate space.
+//!
+//! Each stage runs once with `LEAPME_THREADS=1` (serial) and once with
+//! the machine's available parallelism, flipping the mode at runtime via
+//! the environment override. Results (and the measured speedups) go to
+//! `BENCH_PR1.json` in the repository root.
+//!
+//! ```text
+//! cargo run --release -p leapme-bench --bin bench -- [--sources 16] [--dim 50] [--seed 42]
+//! ```
+
+use leapme::core::pipeline::{Leapme, LeapmeConfig};
+use leapme::core::sampling;
+use leapme::data::spec::{generate_dataset, EntityCount};
+use leapme::nn::threads::THREADS_ENV;
+use leapme::prelude::*;
+use leapme_bench::{prepare_embeddings, Args};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Wall times of the four stages, in seconds.
+#[derive(Debug, Clone, Serialize)]
+struct StageTimes {
+    threads: usize,
+    build_s: f64,
+    featurize_s: f64,
+    train_s: f64,
+    score_s: f64,
+    total_s: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    cores: usize,
+    sources: usize,
+    properties: usize,
+    pairs: usize,
+    feature_dim: usize,
+    serial: StageTimes,
+    parallel: StageTimes,
+    speedup_build: f64,
+    speedup_featurize: f64,
+    speedup_train: f64,
+    speedup_score: f64,
+    speedup_total: f64,
+}
+
+fn run_stages(
+    dataset: &Dataset,
+    embeddings: &EmbeddingStore,
+    pairs: &[PropertyPair],
+    seed: u64,
+    threads: usize,
+) -> StageTimes {
+    std::env::set_var(THREADS_ENV, threads.to_string());
+
+    let t = Instant::now();
+    let store = PropertyFeatureStore::build(dataset, embeddings);
+    let build_s = t.elapsed().as_secs_f64();
+
+    let keyed: Vec<(PropertyKey, PropertyKey)> = pairs
+        .iter()
+        .map(|PropertyPair(a, b)| (a.clone(), b.clone()))
+        .collect();
+    let t = Instant::now();
+    let flat = store
+        .pair_matrix_flat(&keyed, &FeatureConfig::full())
+        .expect("featurize");
+    let featurize_s = t.elapsed().as_secs_f64();
+    assert_eq!(flat.rows, pairs.len());
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let split = sampling::split_sources(dataset.sources().len(), 0.5, &mut rng).expect("split");
+    let train_pairs = sampling::training_pairs(dataset, &split.train, 2, &mut rng);
+    let t = Instant::now();
+    let model = Leapme::fit(&store, &train_pairs, &LeapmeConfig::default()).expect("fit");
+    let train_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let scores = model
+        .score_pairs_parallel(&store, pairs, threads)
+        .expect("score");
+    let score_s = t.elapsed().as_secs_f64();
+    assert_eq!(scores.len(), pairs.len());
+
+    StageTimes {
+        threads,
+        build_s,
+        featurize_s,
+        train_s,
+        score_s,
+        total_s: build_s + featurize_s + train_s + score_s,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let sources: usize = args.get_or("sources", 16);
+    let dim: usize = args.get_or("dim", 50);
+    let seed: u64 = args.get_or("seed", 42);
+
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let spec = Domain::Cameras.spec();
+    let mut cfg = Domain::Cameras.generator_config();
+    cfg.n_sources = sources;
+    cfg.entities = EntityCount::Balanced(40);
+    let dataset = generate_dataset(&spec, &cfg, seed);
+    let embeddings = prepare_embeddings(&[Domain::Cameras], dim, seed);
+
+    let all_sources: Vec<SourceId> = (0..sources).map(|i| SourceId(i as u16)).collect();
+    let pairs = dataset.cross_source_pairs(&all_sources);
+    assert!(
+        pairs.len() >= 5000,
+        "corpus too small: {} pairs (raise --sources)",
+        pairs.len()
+    );
+    println!(
+        "corpus: {} sources, {} properties, {} candidate pairs, {} cores",
+        sources,
+        dataset.properties().len(),
+        pairs.len(),
+        cores
+    );
+
+    // Warm-up pass (untimed) so allocator and page-cache state is
+    // comparable between the two measured runs.
+    let _ = run_stages(&dataset, &embeddings, &pairs, seed, 1);
+
+    let serial = run_stages(&dataset, &embeddings, &pairs, seed, 1);
+    let parallel = run_stages(&dataset, &embeddings, &pairs, seed, cores);
+    std::env::remove_var(THREADS_ENV);
+
+    let ratio = |s: f64, p: f64| if p > 0.0 { s / p } else { f64::NAN };
+    let report = BenchReport {
+        cores,
+        sources,
+        properties: dataset.properties().len(),
+        pairs: pairs.len(),
+        feature_dim: FeatureConfig::full().feature_count(dim),
+        speedup_build: ratio(serial.build_s, parallel.build_s),
+        speedup_featurize: ratio(serial.featurize_s, parallel.featurize_s),
+        speedup_train: ratio(serial.train_s, parallel.train_s),
+        speedup_score: ratio(serial.score_s, parallel.score_s),
+        speedup_total: ratio(serial.total_s, parallel.total_s),
+        serial,
+        parallel,
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    println!("{json}");
+    std::fs::write("BENCH_PR1.json", format!("{json}\n")).expect("write BENCH_PR1.json");
+    println!("wrote BENCH_PR1.json");
+}

@@ -65,7 +65,9 @@ fn main() {
         let all_sources: Vec<SourceId> = (0..n).map(|i| SourceId(i as u16)).collect();
         let full: Vec<PropertyPair> = dataset.cross_source_pairs(&all_sources);
         let t0 = Instant::now();
-        let _ = model.score_pairs(&store, &full).expect("score full");
+        let _ = model
+            .score_pairs_parallel(&store, &full, 0)
+            .expect("score full");
         let full_time = t0.elapsed().as_secs_f64();
 
         // Blocked candidate space.
@@ -78,7 +80,9 @@ fn main() {
         let stats = evaluate_blocking(&dataset, &candidates);
         let blocked: Vec<PropertyPair> = candidates.iter().cloned().collect();
         let t1 = Instant::now();
-        let _ = model.score_pairs(&store, &blocked).expect("score blocked");
+        let _ = model
+            .score_pairs_parallel(&store, &blocked, 0)
+            .expect("score blocked");
         let blocked_time = t1.elapsed().as_secs_f64();
 
         println!(

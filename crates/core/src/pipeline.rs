@@ -77,8 +77,8 @@ impl Leapme {
                 .iter()
                 .map(|(PropertyPair(a, b), _)| (a.clone(), b.clone()))
                 .collect();
-        let rows = store.pair_matrix(&pairs, &cfg.features)?;
-        let mut x = Matrix::from_rows(&rows);
+        let (n, cols, data) = store.pair_matrix_flat(&pairs, &cfg.features)?.into_parts();
+        let mut x = Matrix::from_vec(n, cols, data);
         let labels: Vec<usize> = labeled.iter().map(|(_, y)| usize::from(*y)).collect();
 
         let scaler = Scaler::fit_transform(&mut x);
@@ -137,8 +137,8 @@ impl LeapmeModel {
                 .iter()
                 .map(|PropertyPair(a, b)| (a.clone(), b.clone()))
                 .collect();
-            let rows = store.pair_matrix(&keyed, &self.features)?;
-            let mut x = Matrix::from_rows(&rows);
+            let (n, cols, data) = store.pair_matrix_flat(&keyed, &self.features)?.into_parts();
+            let mut x = Matrix::from_vec(n, cols, data);
             self.scaler.transform_inplace(&mut x);
             scores.extend(self.net.predict_proba(&x));
         }

@@ -8,42 +8,204 @@
 //! expensive property-level work is shared across the paper's nine
 //! configurations, 25 repetitions, and two training fractions.
 //!
+//! # Concurrency and determinism
+//!
+//! Property extraction is embarrassingly parallel (one unit per
+//! property), so [`PropertyFeatureStore::build`] fans it out across
+//! worker threads; each property's vector is computed by exactly one
+//! thread with the same arithmetic as the serial path, so the store
+//! contents are bitwise identical for every thread count. The same holds
+//! for [`PropertyFeatureStore::pair_matrix_flat`], which partitions pairs
+//! into disjoint row ranges of one contiguous output buffer.
+//!
 //! String distances only depend on the property *names*, which repeat
-//! heavily across sources, so they are memoized per unordered name pair.
+//! heavily across sources. Names are interned to dense `u32` ids at
+//! build time, and memoized distances live in sharded reader–writer maps
+//! keyed by `(u32, u32)` — a cache hit costs one shard read-lock and
+//! zero allocations.
 
 use crate::config::FeatureConfig;
 use crate::{instance, pair, property};
 use leapme_data::model::{Dataset, PropertyKey};
 use leapme_embedding::store::EmbeddingStore;
+use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Precomputed property feature vectors for one dataset, plus a memo table
-/// for name string distances.
+/// Number of shards in the string-distance cache. Shard choice only
+/// affects contention, never results.
+const CACHE_SHARDS: usize = 16;
+
+/// Minimum number of work items (properties or pairs) per worker thread;
+/// below this, fan-out overhead outweighs the parallelism.
+const MIN_ITEMS_PER_THREAD: usize = 16;
+
+/// Worker count for the parallel paths: `LEAPME_THREADS` overrides
+/// `available_parallelism` (same policy as `leapme_nn::threads`,
+/// duplicated here to keep the crates' dependency graphs disjoint).
+/// Re-read on every call so benchmarks can flip modes at runtime.
+fn worker_threads() -> usize {
+    if let Ok(v) = std::env::var("LEAPME_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Split `items` into at most `threads` contiguous `(start, end)` chunks.
+fn partition(items: usize, threads: usize) -> Vec<(usize, usize)> {
+    let threads = threads.max(1).min(items.max(1));
+    let base = items / threads;
+    let extra = items % threads;
+    let mut out = Vec::with_capacity(threads);
+    let mut start = 0;
+    for t in 0..threads {
+        let len = base + usize::from(t < extra);
+        if len == 0 {
+            break;
+        }
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// One shard of the string-distance memo table.
+type CacheShard = RwLock<HashMap<(u32, u32), [f32; pair::STRING_FEATURES]>>;
+
+/// Sharded `(name id, name id) → string distances` memo table.
+struct StringCache {
+    shards: Vec<CacheShard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl StringCache {
+    fn new() -> Self {
+        StringCache {
+            shards: (0..CACHE_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn shard_of(key: (u32, u32)) -> usize {
+        // Cheap mix; ids are dense, so spreading the low bits suffices.
+        let h = (key.0 as u64).wrapping_mul(0x9E37_79B9).wrapping_add(key.1 as u64);
+        (h as usize) % CACHE_SHARDS
+    }
+
+    fn get_or_compute(
+        &self,
+        id_a: u32,
+        id_b: u32,
+        name_a: &str,
+        name_b: &str,
+    ) -> [f32; pair::STRING_FEATURES] {
+        let key = if id_a <= id_b { (id_a, id_b) } else { (id_b, id_a) };
+        let shard = &self.shards[Self::shard_of(key)];
+        if let Some(v) = shard.read().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *v;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Compute outside any lock; distances are symmetric, so the
+        // argument order does not matter and concurrent duplicate
+        // computations insert the same value.
+        let v = pair::string_features(name_a, name_b);
+        shard.write().insert(key, v);
+        v
+    }
+}
+
+/// Precomputed property feature vectors for one dataset, plus an
+/// interned-name memo table for name string distances.
 pub struct PropertyFeatureStore {
     dim: usize,
     features: HashMap<PropertyKey, Vec<f32>>,
-    string_cache: Mutex<HashMap<(String, String), [f32; pair::STRING_FEATURES]>>,
+    /// Distinct property names → dense id, fixed at build time.
+    name_ids: HashMap<String, u32>,
+    string_cache: StringCache,
 }
 
 impl PropertyFeatureStore {
     /// Extract and cache property features for every property of
-    /// `dataset` (Algorithm 1 lines 2–6).
+    /// `dataset` (Algorithm 1 lines 2–6), fanning the per-property work
+    /// out across [`worker_threads`] threads.
     pub fn build(dataset: &Dataset, embeddings: &EmbeddingStore) -> Self {
-        let mut features = HashMap::new();
-        for key in dataset.properties() {
-            let instances = dataset.instances_of(&key);
+        Self::build_with_threads(dataset, embeddings, worker_threads())
+    }
+
+    /// [`Self::build`] with an explicit worker-thread count. The result
+    /// is bitwise identical for every `threads` value.
+    pub fn build_with_threads(
+        dataset: &Dataset,
+        embeddings: &EmbeddingStore,
+        threads: usize,
+    ) -> Self {
+        let keys: Vec<PropertyKey> = dataset.properties();
+
+        let extract_one = |key: &PropertyKey| -> Vec<f32> {
+            let instances = dataset.instances_of(key);
             let vectors: Vec<Vec<f32>> = instances
                 .iter()
                 .map(|inst| instance::extract(&inst.value, embeddings))
                 .collect();
-            let pf = property::aggregate(&key.name, &vectors, embeddings);
-            features.insert(key, pf);
+            property::aggregate(&key.name, &vectors, embeddings)
+        };
+
+        let mut features = HashMap::with_capacity(keys.len());
+        if threads <= 1 || keys.len() < 2 * MIN_ITEMS_PER_THREAD {
+            for key in keys {
+                let pf = extract_one(&key);
+                features.insert(key, pf);
+            }
+        } else {
+            let chunks = partition(keys.len(), threads);
+            let results = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|&(start, end)| {
+                        let keys = &keys[start..end];
+                        let extract_one = &extract_one;
+                        scope.spawn(move |_| {
+                            keys.iter().map(extract_one).collect::<Vec<Vec<f32>>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("feature worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("feature build scope");
+            for (key, pf) in keys.into_iter().zip(results.into_iter().flatten()) {
+                features.insert(key, pf);
+            }
         }
+
+        // Intern every distinct property name in sorted order so ids are
+        // reproducible across runs and thread counts.
+        let mut names: Vec<&str> = features.keys().map(|k| k.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        let name_ids = names
+            .into_iter()
+            .enumerate()
+            .map(|(i, n)| (n.to_string(), i as u32))
+            .collect();
+
         PropertyFeatureStore {
             dim: embeddings.dim(),
             features,
-            string_cache: Mutex::new(HashMap::new()),
+            name_ids,
+            string_cache: StringCache::new(),
         }
     }
 
@@ -72,21 +234,22 @@ impl PropertyFeatureStore {
         self.features.get(key).map(Vec::as_slice)
     }
 
+    /// `(hits, misses)` of the string-distance cache, for tests and
+    /// instrumentation.
+    pub fn string_cache_stats(&self) -> (u64, u64) {
+        (
+            self.string_cache.hits.load(Ordering::Relaxed),
+            self.string_cache.misses.load(Ordering::Relaxed),
+        )
+    }
+
     fn string_features_cached(&self, a: &str, b: &str) -> [f32; pair::STRING_FEATURES] {
-        let key = if a <= b {
-            (a.to_string(), b.to_string())
-        } else {
-            (b.to_string(), a.to_string())
-        };
-        if let Some(v) = self.string_cache.lock().expect("no poisoning").get(&key) {
-            return *v;
+        match (self.name_ids.get(a), self.name_ids.get(b)) {
+            (Some(&ia), Some(&ib)) => self.string_cache.get_or_compute(ia, ib, a, b),
+            // Names outside the build-time set (possible only through
+            // future API surface) are computed without memoization.
+            _ => pair::string_features(a, b),
         }
-        let v = pair::string_features(&key.0, &key.1);
-        self.string_cache
-            .lock()
-            .expect("no poisoning")
-            .insert(key, v);
-        v
     }
 
     /// The full (unmasked) pair feature vector for `(a, b)`
@@ -127,6 +290,127 @@ impl PropertyFeatureStore {
             })
             .collect()
     }
+
+    /// Pair vectors for a batch of pairs written directly into one
+    /// contiguous row-major buffer (row per pair, `config`'s columns),
+    /// skipping the per-pair `Vec` allocations and the intermediate full
+    /// vector of [`Self::pair_matrix`]. The fill is partitioned over
+    /// pair chunks across [`worker_threads`] threads; every element is
+    /// computed by exactly one thread with serial-identical arithmetic,
+    /// so the buffer is bitwise identical for every thread count.
+    pub fn pair_matrix_flat(
+        &self,
+        pairs: &[(PropertyKey, PropertyKey)],
+        config: &FeatureConfig,
+    ) -> Result<FlatPairMatrix, FeatureError> {
+        self.pair_matrix_flat_with_threads(pairs, config, worker_threads())
+    }
+
+    /// [`Self::pair_matrix_flat`] with an explicit worker-thread count.
+    pub fn pair_matrix_flat_with_threads(
+        &self,
+        pairs: &[(PropertyKey, PropertyKey)],
+        config: &FeatureConfig,
+        threads: usize,
+    ) -> Result<FlatPairMatrix, FeatureError> {
+        let mask = config.mask(self.dim);
+        let cols = mask.len();
+        let mut data = vec![0.0f32; pairs.len() * cols];
+
+        if threads <= 1 || pairs.len() < 2 * MIN_ITEMS_PER_THREAD {
+            self.fill_pair_rows(pairs, &mask, &mut data)?;
+        } else {
+            let chunks = partition(pairs.len(), threads);
+            let mut results: Vec<Result<(), FeatureError>> = Vec::with_capacity(chunks.len());
+            crossbeam::thread::scope(|scope| {
+                let mut rest: &mut [f32] = &mut data;
+                let mut handles = Vec::with_capacity(chunks.len());
+                for &(start, end) in &chunks {
+                    let (head, tail) = rest.split_at_mut((end - start) * cols);
+                    rest = tail;
+                    let pairs = &pairs[start..end];
+                    let mask = &mask;
+                    handles.push(scope.spawn(move |_| self.fill_pair_rows(pairs, mask, head)));
+                }
+                results.extend(
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("pair-matrix worker panicked")),
+                );
+            })
+            .expect("pair-matrix scope");
+            // Report the error of the earliest failing chunk so the
+            // result matches what the serial path would return.
+            for r in results {
+                r?;
+            }
+        }
+
+        Ok(FlatPairMatrix {
+            rows: pairs.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Write the masked pair features of `pairs` into `out` (row-major,
+    /// `mask.len()` columns per row). Mask indices below the property
+    /// vector length select `|pa[i] − pb[i]|` directly; the rest select
+    /// string-distance components — no full vector is materialized.
+    fn fill_pair_rows(
+        &self,
+        pairs: &[(PropertyKey, PropertyKey)],
+        mask: &[usize],
+        out: &mut [f32],
+    ) -> Result<(), FeatureError> {
+        let cols = mask.len();
+        let prop_len = property::len(self.dim);
+        let needs_strings = mask.last().is_some_and(|&i| i >= prop_len);
+        for ((a, b), out_row) in pairs.iter().zip(out.chunks_mut(cols.max(1))) {
+            let (pa, pb) = match (self.features.get(a), self.features.get(b)) {
+                (Some(pa), Some(pb)) => (pa, pb),
+                (Some(_), None) => return Err(FeatureError::UnknownProperty(b.clone())),
+                _ => return Err(FeatureError::UnknownProperty(a.clone())),
+            };
+            let strings = if needs_strings {
+                self.string_features_cached(&a.name, &b.name)
+            } else {
+                [0.0; pair::STRING_FEATURES]
+            };
+            for (&i, o) in mask.iter().zip(out_row.iter_mut()) {
+                *o = if i < prop_len {
+                    (pa[i] - pb[i]).abs()
+                } else {
+                    strings[i - prop_len]
+                };
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A batch of pair feature vectors in one contiguous row-major buffer,
+/// ready for `Matrix::from_vec(rows, cols, data)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatPairMatrix {
+    /// Number of pairs (rows).
+    pub rows: usize,
+    /// Features per pair (columns).
+    pub cols: usize,
+    /// Row-major feature values, `rows × cols` long.
+    pub data: Vec<f32>,
+}
+
+impl FlatPairMatrix {
+    /// Decompose into `(rows, cols, data)`.
+    pub fn into_parts(self) -> (usize, usize, Vec<f32>) {
+        (self.rows, self.cols, self.data)
+    }
+
+    /// Immutable view of row `r`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
 }
 
 /// Errors produced by the vectorizer.
@@ -151,6 +435,7 @@ mod tests {
     use super::*;
     use crate::config::{FeatureKind, FeatureScope};
     use leapme_data::model::{Instance, SourceId};
+    use proptest::prelude::*;
     use std::collections::BTreeMap;
 
     fn toy_dataset() -> Dataset {
@@ -190,6 +475,37 @@ mod tests {
         s.insert("weight", vec![0.0, 0.0, 1.0, 0.0]).unwrap();
         s.insert("g", vec![0.0, 0.0, 0.9, 0.1]).unwrap();
         s
+    }
+
+    /// A synthetic multi-source dataset big enough to exercise the
+    /// parallel build path (≥ 2 × MIN_ITEMS_PER_THREAD properties).
+    fn wide_dataset(properties_per_source: usize) -> Dataset {
+        let mut instances = Vec::new();
+        let mut alignment = BTreeMap::new();
+        for source in 0..2u16 {
+            for p in 0..properties_per_source {
+                let name = format!("prop {p} s{source}");
+                for e in 0..3 {
+                    instances.push(Instance {
+                        source: SourceId(source),
+                        property: name.clone(),
+                        entity: format!("e{e}"),
+                        value: format!("{}.{} units", p * 7 + e, e),
+                    });
+                }
+                alignment.insert(
+                    PropertyKey::new(SourceId(source), &name),
+                    format!("unified {p}"),
+                );
+            }
+        }
+        Dataset::new(
+            "wide",
+            vec!["a".into(), "b".into()],
+            instances,
+            alignment,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -239,7 +555,11 @@ mod tests {
         let ghost = PropertyKey::new(SourceId(1), "ghost");
         assert!(store.full_pair_vector(&a, &ghost).is_none());
         let err = store
-            .pair_matrix(&[(a, ghost.clone())], &FeatureConfig::full())
+            .pair_matrix(&[(a.clone(), ghost.clone())], &FeatureConfig::full())
+            .unwrap_err();
+        assert_eq!(err, FeatureError::UnknownProperty(ghost.clone()));
+        let err = store
+            .pair_matrix_flat(&[(a, ghost.clone())], &FeatureConfig::full())
             .unwrap_err();
         assert_eq!(err, FeatureError::UnknownProperty(ghost));
     }
@@ -271,5 +591,183 @@ mod tests {
         // Cached direction-independence.
         let v3 = store.full_pair_vector(&b, &a).unwrap();
         assert_eq!(v1, v3);
+    }
+
+    #[test]
+    fn string_cache_hits_after_first_computation() {
+        // Regression for the old double-lock/double-alloc cache: the memo
+        // table must actually be consulted — repeated and order-swapped
+        // lookups hit, only the first computes.
+        let ds = toy_dataset();
+        let store = PropertyFeatureStore::build(&ds, &embeddings());
+        let a = PropertyKey::new(SourceId(0), "megapixels");
+        let b = PropertyKey::new(SourceId(1), "resolution");
+        assert_eq!(store.string_cache_stats(), (0, 0));
+        store.full_pair_vector(&a, &b).unwrap();
+        assert_eq!(store.string_cache_stats(), (0, 1));
+        store.full_pair_vector(&a, &b).unwrap();
+        store.full_pair_vector(&b, &a).unwrap();
+        assert_eq!(store.string_cache_stats(), (2, 1));
+        // A distinct name pair misses once, then hits.
+        let c = PropertyKey::new(SourceId(1), "weight");
+        store.full_pair_vector(&a, &c).unwrap();
+        store.full_pair_vector(&a, &c).unwrap();
+        assert_eq!(store.string_cache_stats(), (3, 2));
+    }
+
+    #[test]
+    fn flat_matrix_matches_nested_for_every_config() {
+        let ds = toy_dataset();
+        let store = PropertyFeatureStore::build(&ds, &embeddings());
+        let a = PropertyKey::new(SourceId(0), "megapixels");
+        let b = PropertyKey::new(SourceId(1), "resolution");
+        let c = PropertyKey::new(SourceId(1), "weight");
+        let pairs = vec![(a.clone(), b.clone()), (a.clone(), c.clone()), (b, c)];
+        for cfg in FeatureConfig::all() {
+            let nested = store.pair_matrix(&pairs, &cfg).unwrap();
+            let flat = store.pair_matrix_flat(&pairs, &cfg).unwrap();
+            assert_eq!(flat.rows, pairs.len());
+            assert_eq!(flat.cols, cfg.feature_count(store.dim()));
+            for (r, row) in nested.iter().enumerate() {
+                assert_eq!(flat.row(r), row.as_slice(), "config {cfg}, row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_bitwise_serial() {
+        let ds = wide_dataset(24); // 48 properties → parallel path
+        let emb = embeddings();
+        let serial = PropertyFeatureStore::build_with_threads(&ds, &emb, 1);
+        for threads in [2, 3, 5, 8] {
+            let par = PropertyFeatureStore::build_with_threads(&ds, &emb, threads);
+            assert_eq!(par.len(), serial.len());
+            for (key, v) in &serial.features {
+                let pv = par.property_vector(key).unwrap();
+                assert_eq!(
+                    pv.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                    v.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                    "property {key} differs at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_flat_matrix_is_bitwise_serial() {
+        let ds = wide_dataset(24);
+        let emb = embeddings();
+        let store = PropertyFeatureStore::build_with_threads(&ds, &emb, 1);
+        let keys = {
+            let mut k: Vec<PropertyKey> = ds.properties();
+            k.sort();
+            k
+        };
+        // All cross-source pairs → well above the parallel threshold.
+        let pairs: Vec<(PropertyKey, PropertyKey)> = keys
+            .iter()
+            .filter(|k| k.source == SourceId(0))
+            .flat_map(|a| {
+                keys.iter()
+                    .filter(|k| k.source == SourceId(1))
+                    .map(move |b| (a.clone(), b.clone()))
+            })
+            .collect();
+        assert!(pairs.len() >= 2 * MIN_ITEMS_PER_THREAD);
+        let cfg = FeatureConfig::full();
+        let serial = store
+            .pair_matrix_flat_with_threads(&pairs, &cfg, 1)
+            .unwrap();
+        for threads in [2, 4, 7] {
+            let par = store
+                .pair_matrix_flat_with_threads(&pairs, &cfg, threads)
+                .unwrap();
+            assert_eq!(par.rows, serial.rows);
+            assert_eq!(par.cols, serial.cols);
+            assert_eq!(
+                par.data.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                serial.data.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                "flat matrix differs at {threads} threads"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn flat_matrix_equivalence_on_random_datasets(
+            props in 2usize..8, seed in 0u64..50,
+        ) {
+            // Random small corpus: property names share tokens so string
+            // distances and interning get non-trivial coverage.
+            let mut s = seed.wrapping_add(41);
+            let mut next = move || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (s >> 33) as usize
+            };
+            let tokens = ["max", "speed", "weight", "zoom", "iso", "price"];
+            let mut instances = Vec::new();
+            let mut alignment = BTreeMap::new();
+            for source in 0..2u16 {
+                for p in 0..props {
+                    let name = format!(
+                        "{} {}",
+                        tokens[next() % tokens.len()],
+                        tokens[p % tokens.len()]
+                    );
+                    for e in 0..2 {
+                        instances.push(Instance {
+                            source: SourceId(source),
+                            property: name.clone(),
+                            entity: format!("e{e}"),
+                            value: format!("{} units", next() % 100),
+                        });
+                    }
+                    alignment.insert(
+                        PropertyKey::new(SourceId(source), &name),
+                        format!("u{p}"),
+                    );
+                }
+            }
+            let ds = Dataset::new("rand", vec!["a".into(), "b".into()], instances, alignment)
+                .unwrap();
+            let emb = embeddings();
+            let store = PropertyFeatureStore::build_with_threads(&ds, &emb, 1);
+            let par_store = PropertyFeatureStore::build_with_threads(&ds, &emb, 4);
+            let keys: Vec<PropertyKey> = {
+                let mut k = ds.properties();
+                k.sort();
+                k
+            };
+            for key in &keys {
+                let a = store.property_vector(key).unwrap();
+                let b = par_store.property_vector(key).unwrap();
+                prop_assert_eq!(
+                    a.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                    b.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+                );
+            }
+            let pairs: Vec<(PropertyKey, PropertyKey)> = keys
+                .iter()
+                .filter(|k| k.source == SourceId(0))
+                .flat_map(|a| {
+                    keys.iter()
+                        .filter(|k| k.source == SourceId(1))
+                        .map(move |b| (a.clone(), b.clone()))
+                })
+                .collect();
+            for cfg in FeatureConfig::all() {
+                let nested = store.pair_matrix(&pairs, &cfg).unwrap();
+                let flat = store.pair_matrix_flat_with_threads(&pairs, &cfg, 4).unwrap();
+                for (r, row) in nested.iter().enumerate() {
+                    prop_assert_eq!(
+                        flat.row(r).iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                        row.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                        "config {}, row {}", cfg, r
+                    );
+                }
+            }
+        }
     }
 }

@@ -51,6 +51,7 @@ pub mod matrix;
 pub mod network;
 pub mod optim;
 pub mod schedule;
+pub mod threads;
 
 /// Errors produced by the neural-network substrate.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -118,85 +118,112 @@ impl Matrix {
         out
     }
 
-    /// Matrix product `self × rhs` using ikj loop order.
+    /// Matrix product `self × rhs`.
+    ///
+    /// Large products (≥ [`PAR_MIN_FLOPS`] multiply–adds) are partitioned
+    /// over output rows across [`threads::thread_count`] worker threads;
+    /// smaller ones run serially on the calling thread. Each output
+    /// element is always accumulated over `k` in ascending order, so the
+    /// result is bitwise identical for every thread count.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        self.matmul_with_threads(rhs, gated_threads(self.rows * self.cols * rhs.cols))
+    }
+
+    /// [`Self::matmul`] forced onto the calling thread.
+    pub fn matmul_serial(&self, rhs: &Matrix) -> Matrix {
+        self.matmul_with_threads(rhs, 1)
+    }
+
+    /// [`Self::matmul`] with an explicit worker-thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul_with_threads(&self, rhs: &Matrix, threads: usize) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} × {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(k);
-                for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
-                    *o += a_ik * b_kj;
-                }
-            }
-        }
+        run_row_partitioned(self.rows, rhs.cols, &mut out.data, threads, |start, chunk| {
+            matmul_rows(self, rhs, start, chunk)
+        });
         out
     }
 
     /// `selfᵀ × rhs` without materializing the transpose.
     ///
+    /// Threaded and deterministic under the same policy as
+    /// [`Self::matmul`]: output rows are partitioned, and each element is
+    /// reduced over the shared dimension in ascending order.
+    ///
     /// # Panics
     ///
     /// Panics if `self.rows != rhs.rows`.
     pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        self.t_matmul_with_threads(rhs, gated_threads(self.rows * self.cols * rhs.cols))
+    }
+
+    /// [`Self::t_matmul`] forced onto the calling thread.
+    pub fn t_matmul_serial(&self, rhs: &Matrix) -> Matrix {
+        self.t_matmul_with_threads(rhs, 1)
+    }
+
+    /// [`Self::t_matmul`] with an explicit worker-thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != rhs.rows`.
+    pub fn t_matmul_with_threads(&self, rhs: &Matrix, threads: usize) -> Matrix {
         assert_eq!(
             self.rows, rhs.rows,
             "t_matmul shape mismatch: {}x{} vs {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = rhs.row(r);
-            for (i, &a_ri) in a_row.iter().enumerate() {
-                if a_ri == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b_rj) in out_row.iter_mut().zip(b_row) {
-                    *o += a_ri * b_rj;
-                }
-            }
-        }
+        run_row_partitioned(self.cols, rhs.cols, &mut out.data, threads, |start, chunk| {
+            t_matmul_rows(self, rhs, start, chunk)
+        });
         out
     }
 
     /// `self × rhsᵀ` without materializing the transpose.
     ///
+    /// Threaded and deterministic under the same policy as
+    /// [`Self::matmul`].
+    ///
     /// # Panics
     ///
     /// Panics if `self.cols != rhs.cols`.
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        self.matmul_t_with_threads(rhs, gated_threads(self.rows * self.cols * rhs.rows))
+    }
+
+    /// [`Self::matmul_t`] forced onto the calling thread.
+    pub fn matmul_t_serial(&self, rhs: &Matrix) -> Matrix {
+        self.matmul_t_with_threads(rhs, 1)
+    }
+
+    /// [`Self::matmul_t`] with an explicit worker-thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.cols`.
+    pub fn matmul_t_with_threads(&self, rhs: &Matrix, threads: usize) -> Matrix {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_t shape mismatch: {}x{} vs {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out.set(i, j, acc);
-            }
-        }
+        run_row_partitioned(self.rows, rhs.rows, &mut out.data, threads, |start, chunk| {
+            matmul_t_rows(self, rhs, start, chunk)
+        });
         out
     }
 
@@ -277,6 +304,107 @@ impl Matrix {
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f32 {
         self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+/// Minimum multiply–add count before a product is worth fanning out to
+/// worker threads; below this, spawn overhead dominates. 2²⁰ ≈ a
+/// 32×637 × 637×128 training batch, the smallest shape where threading
+/// pays off on the LEAPME workload.
+pub const PAR_MIN_FLOPS: usize = 1 << 20;
+
+/// Column-tile width (in `f32` elements) for the blocked kernels: 1 KiB
+/// tiles keep the active output and operand segments resident in L1
+/// without changing any per-element accumulation order.
+const J_TILE: usize = 256;
+
+fn gated_threads(flops: usize) -> usize {
+    if flops < PAR_MIN_FLOPS {
+        1
+    } else {
+        crate::threads::thread_count()
+    }
+}
+
+/// Split `out` (a `rows × out_cols` row-major buffer) into contiguous
+/// row chunks and run `kernel(first_row, chunk)` on each, in parallel
+/// when `threads > 1`. Chunks never share output rows, so the kernels
+/// write disjoint memory; determinism is up to each kernel's reduction
+/// order, which all three kernels keep ascending.
+fn run_row_partitioned<K>(rows: usize, out_cols: usize, out: &mut [f32], threads: usize, kernel: K)
+where
+    K: Fn(usize, &mut [f32]) + Sync,
+{
+    if out.is_empty() {
+        return;
+    }
+    let chunks = crate::threads::partition(rows, threads);
+    if chunks.len() <= 1 {
+        kernel(0, out);
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        for &(start, end) in &chunks {
+            let (head, tail) = rest.split_at_mut((end - start) * out_cols);
+            rest = tail;
+            let kernel = &kernel;
+            scope.spawn(move || kernel(start, head));
+        }
+    });
+}
+
+/// ikj product kernel for output rows `[row_start, row_start + n)`,
+/// where `n = out.len() / rhs.cols`. `k` ascends for every element.
+fn matmul_rows(a: &Matrix, rhs: &Matrix, row_start: usize, out: &mut [f32]) {
+    let out_cols = rhs.cols;
+    for (local, out_row) in out.chunks_mut(out_cols).enumerate() {
+        let a_row = a.row(row_start + local);
+        for jb in (0..out_cols).step_by(J_TILE) {
+            let je = (jb + J_TILE).min(out_cols);
+            let out_seg = &mut out_row[jb..je];
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                let b_seg = &rhs.row(k)[jb..je];
+                for (o, &b_kj) in out_seg.iter_mut().zip(b_seg) {
+                    *o += a_ik * b_kj;
+                }
+            }
+        }
+    }
+}
+
+/// `aᵀ × rhs` kernel for output rows `[row_start, row_start + n)`; the
+/// output row index is a column of `a`. The reduction over `a.rows`
+/// ascends for every element, matching the serial order exactly.
+fn t_matmul_rows(a: &Matrix, rhs: &Matrix, row_start: usize, out: &mut [f32]) {
+    let out_cols = rhs.cols;
+    let n = out.len() / out_cols.max(1);
+    for r in 0..a.rows {
+        let a_row = a.row(r);
+        let b_row = rhs.row(r);
+        for local in 0..n {
+            let a_ri = a_row[row_start + local];
+            let out_row = &mut out[local * out_cols..(local + 1) * out_cols];
+            for (o, &b_rj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ri * b_rj;
+            }
+        }
+    }
+}
+
+/// `a × rhsᵀ` kernel: independent dot products per output element.
+fn matmul_t_rows(a: &Matrix, rhs: &Matrix, row_start: usize, out: &mut [f32]) {
+    let out_cols = rhs.rows;
+    for (local, out_row) in out.chunks_mut(out_cols).enumerate() {
+        let a_row = a.row(row_start + local);
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = rhs.row(j);
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
     }
 }
 
@@ -407,5 +535,69 @@ mod tests {
             let m = Matrix::from_vec(rows, cols, data);
             prop_assert_eq!(m.transpose().transpose(), m);
         }
+
+        #[test]
+        fn threaded_products_are_bitwise_serial(
+            a_rows in 1usize..24, shared in 1usize..24, b_cols in 1usize..24,
+            threads in 2usize..7, seed in 0u64..500,
+        ) {
+            let mut s = seed.wrapping_add(13);
+            let mut next = || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 33) as f32 / u32::MAX as f32) - 0.5
+            };
+            let a = Matrix::from_vec(a_rows, shared, (0..a_rows * shared).map(|_| next()).collect());
+            let b = Matrix::from_vec(shared, b_cols, (0..shared * b_cols).map(|_| next()).collect());
+
+            // matmul: serial vs explicit thread counts, bit for bit.
+            let serial = a.matmul_serial(&b);
+            let par = a.matmul_with_threads(&b, threads);
+            prop_assert_eq!(serial.data(), par.data());
+
+            // t_matmul: aᵀ shares its row count with b.
+            let at = a.transpose();
+            let serial = at.t_matmul_serial(&b);
+            let par = at.t_matmul_with_threads(&b, threads);
+            prop_assert_eq!(serial.data(), par.data());
+
+            // matmul_t: b fed transposed so the shared dims line up.
+            let bt = b.transpose();
+            let serial = a.matmul_t_serial(&bt);
+            let par = a.matmul_t_with_threads(&bt, threads);
+            prop_assert_eq!(serial.data(), par.data());
+        }
+
+        #[test]
+        fn thread_count_exceeding_rows_is_safe(rows in 1usize..4, cols in 1usize..4) {
+            let data: Vec<f32> = (0..rows * cols).map(|i| i as f32 + 1.0).collect();
+            let a = Matrix::from_vec(rows, cols, data);
+            let b = a.transpose();
+            let serial = a.matmul_serial(&b);
+            let par = a.matmul_with_threads(&b, 64);
+            prop_assert_eq!(serial.data(), par.data());
+        }
+    }
+
+    #[test]
+    fn empty_products_do_not_panic() {
+        let empty = Matrix::zeros(0, 0);
+        assert_eq!(empty.matmul(&empty).shape(), (0, 0));
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 2);
+        assert_eq!(a.matmul(&b).shape(), (3, 2));
+        assert_eq!(a.matmul_with_threads(&b, 4).shape(), (3, 2));
+    }
+
+    #[test]
+    fn zero_entries_contribute_like_any_other_value() {
+        // Regression for the removed `a_ik == 0.0` skip branches: products
+        // where one operand is mostly zeros must match the dense math,
+        // including signed-zero and subnormal interactions.
+        let a = Matrix::from_rows(&[vec![0.0, -0.0, 2.0], vec![0.0, 0.0, 0.0]]);
+        let b = Matrix::from_rows(&[vec![1.0, -1.0], vec![f32::MIN_POSITIVE, 3.0], vec![0.5, 0.25]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[1.0, 0.5, 0.0, 0.0]);
+        let explicit = a.transpose().t_matmul(&b);
+        assert_eq!(explicit.data(), c.data());
     }
 }

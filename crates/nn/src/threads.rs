@@ -1,0 +1,86 @@
+//! Thread-count policy for the parallel math kernels.
+//!
+//! The effective worker count comes from `std::thread::available_parallelism`
+//! and can be overridden with the `LEAPME_THREADS` environment variable
+//! (values < 1 are ignored). The variable is re-read on every call so a
+//! process can switch between serial and parallel execution at runtime —
+//! the benchmark harness relies on this to measure both modes in one run.
+
+/// Environment variable overriding the worker thread count.
+pub const THREADS_ENV: &str = "LEAPME_THREADS";
+
+/// Number of worker threads to use for parallel kernels.
+///
+/// Reads [`THREADS_ENV`] on every call (no caching); falls back to
+/// `available_parallelism`, and to 1 if that is unavailable.
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Split `items` into at most `threads` contiguous chunks of near-equal
+/// size, returned as `(start, end)` index pairs. Never returns empty
+/// chunks; returns a single chunk when `items` or `threads` is small.
+pub fn partition(items: usize, threads: usize) -> Vec<(usize, usize)> {
+    let threads = threads.max(1).min(items.max(1));
+    let base = items / threads;
+    let extra = items % threads;
+    let mut out = Vec::with_capacity(threads);
+    let mut start = 0;
+    for t in 0..threads {
+        let len = base + usize::from(t < extra);
+        if len == 0 {
+            break;
+        }
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_range_without_gaps() {
+        for items in [0usize, 1, 2, 7, 64, 1000] {
+            for threads in [1usize, 2, 3, 8, 64] {
+                let chunks = partition(items, threads);
+                let mut expected_start = 0;
+                for &(s, e) in &chunks {
+                    assert_eq!(s, expected_start);
+                    assert!(e > s, "empty chunk for {items} items / {threads} threads");
+                    expected_start = e;
+                }
+                assert_eq!(expected_start, items);
+                assert!(chunks.len() <= threads.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn env_override_wins() {
+        // Serialize with other env-reading tests by using a unique var
+        // value and restoring afterwards.
+        let prev = std::env::var(THREADS_ENV).ok();
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(thread_count(), 3);
+        std::env::set_var(THREADS_ENV, "0"); // invalid → fallback
+        assert!(thread_count() >= 1);
+        std::env::set_var(THREADS_ENV, "junk"); // invalid → fallback
+        assert!(thread_count() >= 1);
+        match prev {
+            Some(v) => std::env::set_var(THREADS_ENV, v),
+            None => std::env::remove_var(THREADS_ENV),
+        }
+    }
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full verification gate: release build, test suite, lints.
+#
+#   scripts/verify.sh
+#
+# Run from anywhere; operates on the repository containing this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace"
+# Clippy may be unavailable in minimal toolchains; warn instead of fail.
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets
+else
+    echo "warning: clippy not installed; skipping lint step" >&2
+fi
+
+echo "==> verify OK"

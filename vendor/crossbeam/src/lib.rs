@@ -1,0 +1,85 @@
+//! Minimal in-tree stand-in for `crossbeam`, backed by `std::thread::scope`
+//! (stable since Rust 1.63). Only the `thread::scope` API surface this
+//! workspace uses is provided.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Handle to a scoped thread, mirroring crossbeam's
+    /// `ScopedJoinHandle::join` signature.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` carries the panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Scope passed to the `scope` closure; crossbeam's spawn closures take
+    /// the scope as an argument, hence the reconstructed wrapper below.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'env, 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'env, 'scope> Scope<'env, 'scope> {
+        /// Spawn a scoped thread. The closure receives the scope back,
+        /// matching crossbeam's `|_| ...` spawn signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'env, 'scope>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a thread scope; all spawned threads are joined before
+    /// this returns. Always `Ok` — std scopes propagate child panics by
+    /// resuming them in the parent, so the crossbeam-style error arm is
+    /// unreachable here.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'env, 'scope>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_share_borrows() {
+        let data = vec![1u32, 2, 3, 4];
+        let total: u32 = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_from_scope_argument() {
+        let n = crate::thread::scope(|scope| {
+            let h = scope.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21);
+                h2.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

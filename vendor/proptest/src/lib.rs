@@ -1,0 +1,625 @@
+//! Minimal in-tree stand-in for `proptest`.
+//!
+//! Supports the subset this workspace uses: the `proptest!` macro with
+//! `arg in strategy` bindings, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assert_ne!`, numeric range strategies, regex-like string
+//! strategies (literals, `.`, `[...]` classes, `(...)` groups, and
+//! `{n}`/`{min,max}`/`*`/`+`/`?` repetition), and
+//! `collection::{vec, hash_set}`.
+//!
+//! Cases are generated deterministically from the test name and case
+//! index (no shrinking); the case count defaults to 96 and can be
+//! overridden with `PROPTEST_CASES`.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Failure raised by `prop_assert*` macros inside a property body.
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Construct a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+/// Deterministic per-test RNG (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of values for one property argument.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let v = self.start as f64
+                    + (self.end as f64 - self.start as f64) * rng.unit_f64();
+                if v >= self.end as f64 { self.start } else { v as $t }
+            }
+        }
+    )*};
+}
+
+impl_strategy_float_range!(f32, f64);
+
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let nodes = regex_lite::parse(self);
+        let mut out = String::new();
+        for node in &nodes {
+            node.emit(rng, &mut out);
+        }
+        out
+    }
+}
+
+/// Regex-lite pattern parsing and generation for string strategies.
+mod regex_lite {
+    use super::TestRng;
+
+    pub(crate) enum Node {
+        Lit(char),
+        Dot,
+        Class(Vec<(char, char)>),
+        Group(Vec<Node>),
+        Repeat(Box<Node>, u32, u32),
+    }
+
+    impl Node {
+        pub(crate) fn emit(&self, rng: &mut TestRng, out: &mut String) {
+            match self {
+                Node::Lit(c) => out.push(*c),
+                Node::Dot => out.push(sample_any_char(rng)),
+                Node::Class(ranges) => {
+                    let total: u32 = ranges
+                        .iter()
+                        .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                        .sum();
+                    let mut pick = rng.below(total as u64) as u32;
+                    for (lo, hi) in ranges {
+                        let size = *hi as u32 - *lo as u32 + 1;
+                        if pick < size {
+                            out.push(char::from_u32(*lo as u32 + pick).unwrap());
+                            return;
+                        }
+                        pick -= size;
+                    }
+                    unreachable!("class sampling out of bounds");
+                }
+                Node::Group(nodes) => {
+                    for n in nodes {
+                        n.emit(rng, out);
+                    }
+                }
+                Node::Repeat(inner, min, max) => {
+                    let n = *min + rng.below((*max - *min + 1) as u64) as u32;
+                    for _ in 0..n {
+                        inner.emit(rng, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `.` samples printable ASCII most of the time with an occasional
+    /// multi-byte character, exercising unicode paths without making
+    /// every case non-ASCII.
+    fn sample_any_char(rng: &mut TestRng) -> char {
+        const EXOTIC: &[char] = &['é', 'ß', 'λ', 'Ω', '漢', '字', '→', '😀', 'ñ', 'ü'];
+        if rng.below(8) == 0 {
+            EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+        } else {
+            char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap() // ' '..='~'
+        }
+    }
+
+    pub(crate) fn parse(pattern: &str) -> Vec<Node> {
+        let mut chars = pattern.chars().peekable();
+        let nodes = parse_seq(&mut chars, None);
+        assert!(
+            chars.next().is_none(),
+            "unbalanced pattern: {pattern:?}"
+        );
+        nodes
+    }
+
+    fn parse_seq(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        terminator: Option<char>,
+    ) -> Vec<Node> {
+        let mut nodes = Vec::new();
+        loop {
+            match chars.peek().copied() {
+                None => {
+                    assert!(terminator.is_none(), "unterminated group in pattern");
+                    return nodes;
+                }
+                Some(c) if Some(c) == terminator => {
+                    chars.next();
+                    return nodes;
+                }
+                Some('(') => {
+                    chars.next();
+                    let inner = parse_seq(chars, Some(')'));
+                    push_with_repeat(chars, &mut nodes, Node::Group(inner));
+                }
+                Some('[') => {
+                    chars.next();
+                    let class = parse_class(chars);
+                    push_with_repeat(chars, &mut nodes, Node::Class(class));
+                }
+                Some('.') => {
+                    chars.next();
+                    push_with_repeat(chars, &mut nodes, Node::Dot);
+                }
+                Some('\\') => {
+                    chars.next();
+                    let escaped = chars.next().expect("dangling escape in pattern");
+                    push_with_repeat(chars, &mut nodes, Node::Lit(escaped));
+                }
+                Some(c) => {
+                    chars.next();
+                    push_with_repeat(chars, &mut nodes, Node::Lit(c));
+                }
+            }
+        }
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            let c = chars.next().expect("unterminated character class");
+            match c {
+                ']' => {
+                    if let Some(p) = pending {
+                        ranges.push((p, p));
+                    }
+                    assert!(!ranges.is_empty(), "empty character class");
+                    return ranges;
+                }
+                '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                    let lo = pending.take().unwrap();
+                    let hi = chars.next().unwrap();
+                    assert!(lo <= hi, "inverted class range {lo}-{hi}");
+                    ranges.push((lo, hi));
+                }
+                '\\' => {
+                    if let Some(p) = pending.replace(chars.next().unwrap()) {
+                        ranges.push((p, p));
+                    }
+                }
+                c => {
+                    if let Some(p) = pending.replace(c) {
+                        ranges.push((p, p));
+                    }
+                }
+            }
+        }
+    }
+
+    fn push_with_repeat(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        nodes: &mut Vec<Node>,
+        node: Node,
+    ) {
+        let node = match chars.peek().copied() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                let (min, max) = match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repeat min"),
+                        hi.trim().parse().expect("bad repeat max"),
+                    ),
+                    None => {
+                        let n: u32 = spec.trim().parse().expect("bad repeat count");
+                        (n, n)
+                    }
+                };
+                assert!(min <= max, "inverted repeat {{{min},{max}}}");
+                Node::Repeat(Box::new(node), min, max)
+            }
+            Some('*') => {
+                chars.next();
+                Node::Repeat(Box::new(node), 0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                Node::Repeat(Box::new(node), 1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                Node::Repeat(Box::new(node), 0, 1)
+            }
+            _ => node,
+        };
+        nodes.push(node);
+    }
+}
+
+/// Size argument for collection strategies: an exact size or a range.
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+/// Collection strategies (`vec`, `hash_set`).
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Strategy for `Vec<S::Value>` with sizes drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` of elements from `element`, length within `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with sizes drawn from `size`.
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `HashSet` of elements from `element`, cardinality within `size`
+    /// (retries duplicates to honor the minimum).
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let target = self.size.min + rng.below(span.max(1)) as usize;
+            let mut out = HashSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 64 + 64 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            assert!(
+                out.len() >= self.size.min,
+                "hash_set strategy could not reach minimum size {} (value space too small?)",
+                self.size.min
+            );
+            out
+        }
+    }
+}
+
+/// Per-block runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(96),
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Test-runner entry used by the `proptest!` macro expansion.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name.as_bytes());
+    for i in 0..config.cases {
+        let mut rng = TestRng::new(base ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if let Err(e) = case(&mut rng) {
+            panic!("property `{name}` failed at case {i}: {e}");
+        }
+    }
+}
+
+/// Define property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+/// An optional leading `#![proptest_config(expr)]` sets the case count
+/// for every test in the block.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        $vis fn $name() {
+            $crate::run_cases(&$config, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::generate(&$strat, __rng);)+
+                let __case = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                __case()
+            });
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ( ($config:expr) ) => {};
+}
+
+/// Assert a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let __l = $left;
+        let __r = $right;
+        $crate::prop_assert!(__l == __r, "assertion failed: {:?} == {:?}", __l, __r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let __l = $left;
+        let __r = $right;
+        $crate::prop_assert!(__l == __r, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let __l = $left;
+        let __r = $right;
+        $crate::prop_assert!(__l != __r, "assertion failed: {:?} != {:?}", __l, __r);
+    }};
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn string_strategy_respects_pattern() {
+        let mut rng = crate::TestRng::new(42);
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[a-d]{1,3}", &mut rng);
+            assert!((1..=3).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='d').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn grouped_pattern_generates() {
+        let mut rng = crate::TestRng::new(7);
+        for _ in 0..100 {
+            let s = crate::Strategy::generate(&"[a-z]{1,8}( [a-z]{1,8}){0,3}", &mut rng);
+            for word in s.split(' ') {
+                assert!(!word.is_empty(), "{s:?}");
+                assert!(word.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn class_with_trailing_dash_and_specials() {
+        let mut rng = crate::TestRng::new(9);
+        for _ in 0..100 {
+            let s = crate::Strategy::generate(&"[a-zA-Z0-9 _-]{0,40}", &mut rng);
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == ' ' || c == '_' || c == '-'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn collection_sizes_respected() {
+        let mut rng = crate::TestRng::new(3);
+        for _ in 0..50 {
+            let v = crate::Strategy::generate(
+                &crate::collection::vec(-1.0f32..1.0, 6usize),
+                &mut rng,
+            );
+            assert_eq!(v.len(), 6);
+            assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+            let hs = crate::Strategy::generate(
+                &crate::collection::hash_set("[a-f]{1,3}", 2..10),
+                &mut rng,
+            );
+            assert!((2..10).contains(&hs.len()), "{}", hs.len());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_binds_multiple_args(a in 0u64..100, b in "[x-z]{2}", v in crate::collection::vec(1usize..4, 0..5)) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(b.chars().count(), 2);
+            prop_assert!(v.len() < 5);
+            prop_assert_ne!(b.len(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failures_panic_with_case_info() {
+        crate::run_cases(&ProptestConfig::default(), "always_fails", |_rng| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+}

@@ -1,0 +1,662 @@
+//! Minimal in-tree stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the serde API surface it actually uses. The design differs
+//! from real serde internally — serialization goes through an owned
+//! [`Value`] tree instead of a streaming visitor — but the trait *names*
+//! and call-site shapes match:
+//!
+//! * `#[derive(Serialize, Deserialize)]` (via the sibling `serde_derive`
+//!   proc-macro crate, re-exported behind the `derive` feature);
+//! * `#[serde(skip)]`, `#[serde(default)]`, `#[serde(default = "path")]`,
+//!   and `#[serde(with = "module")]` field attributes;
+//! * hand-written `with`-modules of the form
+//!   `fn serialize<S: Serializer>(&T, S) -> Result<S::Ok, S::Error>` /
+//!   `fn deserialize<'de, D: Deserializer<'de>>(D) -> Result<T, D::Error>`.
+//!
+//! `serde_json` (also vendored) renders [`Value`] trees to JSON text and
+//! parses them back.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned, JSON-shaped data tree.
+///
+/// Map keys are full `Value`s so that maps with non-string keys (tuples,
+/// integers) can be represented; JSON rendering encodes such keys as
+/// compact-JSON strings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (used when the value does not fit `i64` or the
+    /// source type is unsigned).
+    UInt(u64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Map with arbitrary (usually string) keys, in insertion order.
+    Map(Vec<(Value, Value)>),
+}
+
+impl Value {
+    /// Look up a string key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| matches!(k, Value::Str(s) if s == key))
+                .map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization-side error support, mirroring `serde::ser`.
+pub mod ser {
+    /// Trait every serializer error type implements.
+    pub trait Error: Sized + std::fmt::Display {
+        /// Build an error from a display-able message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side error support, mirroring `serde::de`.
+pub mod de {
+    /// Trait every deserializer error type implements.
+    pub trait Error: Sized + std::fmt::Display {
+        /// Build an error from a display-able message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// The concrete error produced by [`crate::Deserialize::from_value`].
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct DeError(String);
+
+    impl DeError {
+        /// Construct from a message.
+        pub fn new(msg: impl Into<String>) -> Self {
+            DeError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for DeError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for DeError {}
+
+    impl Error for DeError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            DeError(msg.to_string())
+        }
+    }
+
+    impl super::ser::Error for DeError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            DeError(msg.to_string())
+        }
+    }
+}
+
+/// A type that can be rendered into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert into the value tree.
+    fn to_value(&self) -> Value;
+
+    /// Serde-compatible entry point: feed the value tree to a serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.to_value())
+    }
+}
+
+/// A sink for value trees (serde's `Serializer`, collapsed to one method).
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Consume a finished value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild from a value tree.
+    fn from_value(value: &Value) -> Result<Self, de::DeError>;
+
+    /// Serde-compatible entry point: pull a value tree out of a
+    /// deserializer and rebuild from it.
+    fn deserialize<'de, D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.take_value()?;
+        Self::from_value(&value).map_err(<D::Error as de::Error>::custom)
+    }
+}
+
+/// A source of value trees (serde's `Deserializer`, collapsed).
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Produce the complete value tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// In-memory (de)serializers used by derive-generated code for
+/// `#[serde(with = "...")]` fields.
+pub mod value {
+    use super::{de::DeError, Value};
+
+    /// Serializer whose output *is* the value tree. Never fails.
+    pub struct ValueSerializer;
+
+    impl super::Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = DeError;
+
+        fn serialize_value(self, value: Value) -> Result<Value, DeError> {
+            Ok(value)
+        }
+    }
+
+    /// Deserializer reading from an owned value tree.
+    pub struct ValueDeserializer(Value);
+
+    impl ValueDeserializer {
+        /// Wrap an owned value.
+        pub fn new(value: Value) -> Self {
+            ValueDeserializer(value)
+        }
+    }
+
+    impl<'de> super::Deserializer<'de> for ValueDeserializer {
+        type Error = DeError;
+
+        fn take_value(self) -> Result<Value, DeError> {
+            Ok(self.0)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize / Deserialize implementations for std types.
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, de::DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(de::DeError::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, de::DeError> {
+                let n: i64 = match value {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u)
+                        .map_err(|_| de::DeError::new("unsigned value out of signed range"))?,
+                    Value::Float(f) if f.fract() == 0.0 => *f as i64,
+                    other => return Err(de::DeError::new(format!(
+                        "expected integer, got {other:?}"
+                    ))),
+                };
+                <$t>::try_from(n).map_err(|_| de::DeError::new(concat!(
+                    "integer out of range for ", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_serde_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, de::DeError> {
+                let n: u64 = match value {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) => u64::try_from(*i)
+                        .map_err(|_| de::DeError::new("negative value for unsigned type"))?,
+                    Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    other => return Err(de::DeError::new(format!(
+                        "expected unsigned integer, got {other:?}"
+                    ))),
+                };
+                <$t>::try_from(n).map_err(|_| de::DeError::new(concat!(
+                    "integer out of range for ", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_serde_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, de::DeError> {
+                match value {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    Value::Null => Ok(<$t>::NAN), // non-finite floats render as null
+                    other => Err(de::DeError::new(format!(
+                        "expected number, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, de::DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(de::DeError::new(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, de::DeError> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(de::DeError::new(format!(
+                "expected single-char string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, de::DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, de::DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(de::DeError::new(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, de::DeError> {
+        let v: Vec<T> = Vec::from_value(value)?;
+        let n = v.len();
+        v.try_into()
+            .map_err(|_| de::DeError::new(format!("expected array of length {N}, got {n}")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, de::DeError> {
+                const ARITY: usize = [$(stringify!($idx)),+].len();
+                match value {
+                    Value::Seq(items) if items.len() == ARITY => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(de::DeError::new(format!(
+                        "expected {ARITY}-tuple sequence, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )+};
+}
+
+impl_serde_tuple!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+);
+
+/// Parse a map key that was JSON-encoded as a string back into a value
+/// tree. JSON objects only allow string keys, so maps with tuple or
+/// numeric keys store the key as compact JSON inside the string; this is
+/// the inverse used by the map `Deserialize` impls below.
+fn parse_key_fallback(s: &str) -> Option<Value> {
+    fn parse(input: &mut std::iter::Peekable<std::str::Chars>) -> Option<Value> {
+        while matches!(input.peek(), Some(c) if c.is_whitespace()) {
+            input.next();
+        }
+        match input.peek()? {
+            '[' => {
+                input.next();
+                let mut items = Vec::new();
+                loop {
+                    while matches!(input.peek(), Some(c) if c.is_whitespace()) {
+                        input.next();
+                    }
+                    if input.peek() == Some(&']') {
+                        input.next();
+                        return Some(Value::Seq(items));
+                    }
+                    items.push(parse(input)?);
+                    while matches!(input.peek(), Some(c) if c.is_whitespace()) {
+                        input.next();
+                    }
+                    match input.next()? {
+                        ',' => continue,
+                        ']' => return Some(Value::Seq(items)),
+                        _ => return None,
+                    }
+                }
+            }
+            '"' => {
+                input.next();
+                let mut out = String::new();
+                loop {
+                    match input.next()? {
+                        '"' => return Some(Value::Str(out)),
+                        '\\' => out.push(input.next()?),
+                        c => out.push(c),
+                    }
+                }
+            }
+            't' | 'f' => {
+                let mut word = String::new();
+                while matches!(input.peek(), Some(c) if c.is_ascii_alphabetic()) {
+                    word.push(input.next().unwrap());
+                }
+                match word.as_str() {
+                    "true" => Some(Value::Bool(true)),
+                    "false" => Some(Value::Bool(false)),
+                    _ => None,
+                }
+            }
+            _ => {
+                let mut num = String::new();
+                while matches!(
+                    input.peek(),
+                    Some(c) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')
+                ) {
+                    num.push(input.next().unwrap());
+                }
+                if num.is_empty() {
+                    return None;
+                }
+                if !num.contains(['.', 'e', 'E']) {
+                    if let Ok(i) = num.parse::<i64>() {
+                        return Some(if i >= 0 {
+                            Value::UInt(i as u64)
+                        } else {
+                            Value::Int(i)
+                        });
+                    }
+                    if let Ok(u) = num.parse::<u64>() {
+                        return Some(Value::UInt(u));
+                    }
+                }
+                num.parse::<f64>().ok().map(Value::Float)
+            }
+        }
+    }
+    let mut chars = s.chars().peekable();
+    let v = parse(&mut chars)?;
+    while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+        chars.next();
+    }
+    chars.peek().is_none().then_some(v)
+}
+
+fn map_key_from_value<K: Deserialize>(key: &Value) -> Result<K, de::DeError> {
+    match K::from_value(key) {
+        Ok(k) => Ok(k),
+        Err(e) => {
+            if let Value::Str(s) = key {
+                if let Some(reparsed) = parse_key_fallback(s) {
+                    return K::from_value(&reparsed);
+                }
+            }
+            Err(e)
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_value(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + std::hash::Hash + Eq, V: Deserialize, S> Deserialize for HashMap<K, V, S>
+where
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, de::DeError> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((map_key_from_value(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(de::DeError::new(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_value(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, de::DeError> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((map_key_from_value(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(de::DeError::new(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, de::DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(de::DeError::new(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize, S> Serialize for std::collections::HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::hash::Hash + Eq, S> Deserialize for std::collections::HashSet<T, S>
+where
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, de::DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(de::DeError::new(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, de::DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1usize, 2.5f32), (3, 4.0)];
+        assert_eq!(Vec::<(usize, f32)>::from_value(&v.to_value()).unwrap(), v);
+        let m: BTreeMap<String, u32> = [("a".to_string(), 1u32)].into_iter().collect();
+        assert_eq!(BTreeMap::from_value(&m.to_value()).unwrap(), m);
+        let o: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&o.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn tuple_keyed_map_key_fallback() {
+        // Simulates what the JSON parser produces for a tuple-keyed map:
+        // the key arrives as a compact-JSON string.
+        let value = Value::Map(vec![(
+            Value::Str("[1,2]".to_string()),
+            Value::Float(0.5),
+        )]);
+        let m: HashMap<(u32, u32), f64> = HashMap::from_value(&value).unwrap();
+        assert_eq!(m.get(&(1, 2)), Some(&0.5));
+    }
+
+    #[test]
+    fn signed_range_checks() {
+        assert!(u8::from_value(&Value::Int(-1)).is_err());
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert_eq!(i8::from_value(&Value::UInt(127)).unwrap(), 127);
+    }
+}

@@ -1,0 +1,517 @@
+//! `#[derive(Serialize, Deserialize)]` for the in-tree serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no syn/quote — the
+//! build environment has no crates.io access). Supports the shapes this
+//! workspace uses: structs with named fields, tuple structs, and enums
+//! with unit / tuple / struct variants; field attributes
+//! `#[serde(skip)]`, `#[serde(default)]`, `#[serde(default = "path")]`,
+//! and `#[serde(with = "module")]`.
+//!
+//! Generated code targets the `Value`-tree model of the vendored `serde`
+//! crate: `Serialize::to_value` and `Deserialize::from_value`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    /// `None` = no default; `Some(None)` = `Default::default()`;
+    /// `Some(Some(path))` = call `path()`.
+    default: Option<Option<String>>,
+    with: Option<String>,
+}
+
+struct NamedField {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum Body {
+    NamedStruct(Vec<NamedField>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<NamedField>),
+}
+
+/// Derive `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_item(input);
+    let code = gen_serialize(&name, &body);
+    code.parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_item(input);
+    let code = gen_deserialize(&name, &body);
+    code.parse().expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> (String, Body) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (doc comments, other derives are stripped by
+    // rustc, but `#[serde(...)]` container attrs and docs remain).
+    while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        i += 2; // '#' + [ ... ]
+    }
+    // Skip visibility.
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum keyword, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported by the in-tree derive");
+    }
+
+    let body = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_top_level_items(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::NamedStruct(Vec::new()),
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive: unsupported item kind `{other}`"),
+    };
+    (name, body)
+}
+
+/// Collect any `#[...]` attribute groups starting at `*i`, advancing past
+/// them, and fold recognised `#[serde(...)]` args into `FieldAttrs`.
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            parse_serde_attr(g.stream(), &mut attrs);
+        }
+        *i += 2;
+    }
+    attrs
+}
+
+fn parse_serde_attr(attr: TokenStream, out: &mut FieldAttrs) {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let args = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return,
+    };
+    let args: Vec<TokenTree> = args.into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        let key = match &args[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => {
+                j += 1;
+                continue;
+            }
+        };
+        let has_eq = matches!(args.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+        let lit = if has_eq {
+            match args.get(j + 2) {
+                Some(TokenTree::Literal(l)) => Some(strip_quotes(&l.to_string())),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        match (key.as_str(), lit) {
+            ("skip", _) | ("skip_serializing", _) | ("skip_deserializing", _) => out.skip = true,
+            ("default", Some(path)) => out.default = Some(Some(path)),
+            ("default", None) => out.default = Some(None),
+            ("with", Some(path)) => out.with = Some(path),
+            (other, _) => panic!("serde_derive: unsupported serde attribute `{other}`"),
+        }
+        j += if has_eq { 3 } else { 1 };
+        if matches!(args.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            j += 1;
+        }
+    }
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<NamedField> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        // Visibility.
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        i += 1;
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(NamedField { name, attrs });
+    }
+    fields
+}
+
+/// Count comma-separated items at angle-depth 0 (tuple-struct arity).
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut items = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens_since_comma = true;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if idx + 1 == tokens.len() {
+                    saw_tokens_since_comma = false; // trailing comma
+                } else {
+                    items += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = saw_tokens_since_comma;
+    items
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let _attrs = take_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_top_level_items(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip to (and past) the separating comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn field_to_value_expr(field: &NamedField, access: &str) -> String {
+    match &field.attrs.with {
+        Some(path) => format!(
+            "{path}::serialize({access}, ::serde::value::ValueSerializer)\
+             .expect(\"with-module serialization\")"
+        ),
+        None => format!("::serde::Serialize::to_value({access})"),
+    }
+}
+
+fn gen_serialize(name: &str, body: &Body) -> String {
+    let inner = match body {
+        Body::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut __map: ::std::vec::Vec<(::serde::Value, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.attrs.skip) {
+                let value = field_to_value_expr(f, &format!("&self.{}", f.name));
+                s.push_str(&format!(
+                    "__map.push((::serde::Value::Str(\"{n}\".to_string()), {value}));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("::serde::Value::Map(__map)");
+            s
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Map(vec![(\
+                         ::serde::Value::Str(\"{vn}\".to_string()), \
+                         ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Map(vec![(\
+                             ::serde::Value::Str(\"{vn}\".to_string()), \
+                             ::serde::Value::Seq(vec![{items}]))]),\n",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut entries = String::new();
+                        for f in fields.iter().filter(|f| !f.attrs.skip) {
+                            let value = field_to_value_expr(f, &f.name);
+                            entries.push_str(&format!(
+                                "(::serde::Value::Str(\"{n}\".to_string()), {value}), ",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\
+                             ::serde::Value::Str(\"{vn}\".to_string()), \
+                             ::serde::Value::Map(vec![{entries}]))]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{inner}\n}}\n\
+         }}\n"
+    )
+}
+
+fn named_field_de_expr(type_name: &str, f: &NamedField, source: &str) -> String {
+    if f.attrs.skip {
+        return "::std::default::Default::default()".to_string();
+    }
+    let found = match &f.attrs.with {
+        Some(path) => format!(
+            "{path}::deserialize(::serde::value::ValueDeserializer::new(__fv.clone()))?"
+        ),
+        None => "::serde::Deserialize::from_value(__fv)?".to_string(),
+    };
+    let missing = match &f.attrs.default {
+        Some(Some(path)) => format!("{path}()"),
+        Some(None) => "::std::default::Default::default()".to_string(),
+        None => format!(
+            "return Err(::serde::de::DeError::new(\
+             \"missing field `{n}` for {type_name}\"))",
+            n = f.name
+        ),
+    };
+    format!(
+        "match {source}.get(\"{n}\") {{ Some(__fv) => {found}, None => {missing} }}",
+        n = f.name
+    )
+}
+
+fn gen_deserialize(name: &str, body: &Body) -> String {
+    let inner = match body {
+        Body::NamedStruct(fields) => {
+            let mut init = String::new();
+            for f in fields {
+                init.push_str(&format!(
+                    "{n}: {expr},\n",
+                    n = f.name,
+                    expr = named_field_de_expr(name, f, "__value")
+                ));
+            }
+            format!(
+                "match __value {{ ::serde::Value::Map(_) => (), __other => \
+                 return Err(::serde::de::DeError::new(format!(\
+                 \"expected map for struct {name}, got {{:?}}\", __other))) }};\n\
+                 Ok({name} {{\n{init}}})"
+            )
+        }
+        Body::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                 Ok({name}({items})),\n\
+                 __other => Err(::serde::de::DeError::new(format!(\
+                 \"expected {n}-element sequence for {name}, got {{:?}}\", __other))),\n\
+                 }}",
+                items = items.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(__payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => match __payload {{\n\
+                             ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                             Ok({name}::{vn}({items})),\n\
+                             __other => Err(::serde::de::DeError::new(format!(\
+                             \"expected {n}-element sequence for {name}::{vn}, got {{:?}}\", \
+                             __other))),\n}},\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut init = String::new();
+                        for f in fields {
+                            init.push_str(&format!(
+                                "{n}: {expr},\n",
+                                n = f.name,
+                                expr = named_field_de_expr(&format!("{name}::{vn}"), f, "__payload")
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn} {{\n{init}}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(::serde::de::DeError::new(format!(\
+                 \"unknown unit variant `{{}}` for {name}\", __other))),\n\
+                 }},\n\
+                 ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__k, __payload) = &__entries[0];\n\
+                 let __k = match __k {{ ::serde::Value::Str(__s) => __s.as_str(), _ => \
+                 return Err(::serde::de::DeError::new(\"enum tag must be a string\")) }};\n\
+                 match __k {{\n\
+                 {data_arms}\
+                 __other => Err(::serde::de::DeError::new(format!(\
+                 \"unknown variant `{{}}` for {name}\", __other))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => Err(::serde::de::DeError::new(format!(\
+                 \"expected string or single-entry map for enum {name}, got {{:?}}\", \
+                 __other))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::de::DeError> {{\n{inner}\n}}\n\
+         }}\n"
+    )
+}

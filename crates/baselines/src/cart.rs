@@ -117,6 +117,9 @@ impl DecisionTree {
         let parent_gini = gini(pos, total);
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
         let n_features = x[idx[0]].len();
+        // `f` indexes a column across *different* rows of `x`, so there is
+        // no single slice to iterate (clippy's needless_range_loop).
+        #[allow(clippy::needless_range_loop)]
         for f in 0..n_features {
             let mut vals: Vec<(f64, bool)> = idx.iter().map(|&i| (x[i][f], y[i])).collect();
             vals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));

@@ -100,7 +100,7 @@ mod tests {
             PropertyKey::new(SourceId(0), "x"),
             PropertyKey::new(SourceId(1), "y"),
         );
-        assert_eq!(Always(0.9).predict(&ds, &[pair.clone()]).len(), 1);
+        assert_eq!(Always(0.9).predict(&ds, std::slice::from_ref(&pair)).len(), 1);
         assert_eq!(Always(0.1).predict(&ds, &[pair]).len(), 0);
     }
 }

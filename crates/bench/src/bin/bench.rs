@@ -9,34 +9,73 @@
 //! * **score** — scoring the full candidate space.
 //!
 //! Each stage runs once with `LEAPME_THREADS=1` (serial) and once with
-//! the machine's available parallelism, flipping the mode at runtime via
-//! the environment override. Results (and the measured speedups) go to
-//! `BENCH_PR1.json` in the repository root.
+//! `--threads` workers (default: the machine's available parallelism),
+//! flipping the mode at runtime via the environment override. The report
+//! records the *requested* thread count, the *effective* count the
+//! kernels resolve from the environment, and the detected core count —
+//! and warns when they disagree (an override that did not stick, or
+//! oversubscription past the physical cores). Results, the measured
+//! speedups, and a comparison against the previous PR's `BENCH_PR1.json`
+//! baseline (same thread count only) go to `BENCH_PR2.json` in the
+//! repository root.
+//!
+//! Each mode's stage times are the per-stage minima over `--repeats`
+//! runs (default 3): the workload is deterministic, so the minimum
+//! estimates its cost and damps scheduler noise on shared machines. The
+//! serial and parallel passes are interleaved so slow machine drift
+//! (frequency scaling, thermal state) affects both modes equally.
 //!
 //! ```text
-//! cargo run --release -p leapme-bench --bin bench -- [--sources 16] [--dim 50] [--seed 42]
+//! cargo run --release -p leapme-bench --bin bench -- \
+//!     [--sources 16] [--dim 50] [--seed 42] [--threads N] [--repeats 3]
 //! ```
 
 use leapme::core::pipeline::{Leapme, LeapmeConfig};
 use leapme::core::sampling;
 use leapme::data::spec::{generate_dataset, EntityCount};
-use leapme::nn::threads::THREADS_ENV;
+use leapme::nn::threads::{thread_count, THREADS_ENV};
 use leapme::prelude::*;
 use leapme_bench::{prepare_embeddings, Args};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-/// Wall times of the four stages, in seconds.
+/// Wall times of the four stages, in seconds, plus the thread counts the
+/// run asked for and actually got.
 #[derive(Debug, Clone, Serialize)]
 struct StageTimes {
-    threads: usize,
+    threads_requested: usize,
+    threads_effective: usize,
     build_s: f64,
     featurize_s: f64,
     train_s: f64,
     score_s: f64,
     total_s: f64,
+}
+
+/// The fields of the previous PR's report this one compares against.
+#[derive(Debug, Deserialize)]
+struct BaselineStage {
+    threads: usize,
+    train_s: f64,
+    score_s: f64,
+}
+
+#[derive(Debug, Deserialize)]
+struct Baseline {
+    pairs: usize,
+    serial: BaselineStage,
+    parallel: BaselineStage,
+}
+
+/// Speedup of this PR over the `BENCH_PR1.json` baseline at an equal
+/// thread count (baseline seconds / current seconds; > 1 is faster).
+#[derive(Debug, Serialize)]
+struct VsBaseline {
+    threads: usize,
+    train_speedup: f64,
+    score_speedup: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -53,6 +92,25 @@ struct BenchReport {
     speedup_train: f64,
     speedup_score: f64,
     speedup_total: f64,
+    vs_pr1_serial: Option<VsBaseline>,
+    vs_pr1_parallel: Option<VsBaseline>,
+}
+
+/// Warn when the thread counts a run requested, resolved, and has
+/// hardware for disagree with each other.
+fn warn_thread_mismatch(requested: usize, effective: usize, cores: usize) {
+    if effective != requested {
+        eprintln!(
+            "warning: requested {requested} worker threads but the kernels \
+             resolved {effective} (is {THREADS_ENV} being overridden elsewhere?)"
+        );
+    }
+    if effective > cores {
+        eprintln!(
+            "warning: effective thread count {effective} exceeds the \
+             {cores} detected core(s); expect oversubscription, not speedup"
+        );
+    }
 }
 
 fn run_stages(
@@ -60,9 +118,12 @@ fn run_stages(
     embeddings: &EmbeddingStore,
     pairs: &[PropertyPair],
     seed: u64,
-    threads: usize,
+    requested: usize,
+    cores: usize,
 ) -> StageTimes {
-    std::env::set_var(THREADS_ENV, threads.to_string());
+    std::env::set_var(THREADS_ENV, requested.to_string());
+    let effective = thread_count();
+    warn_thread_mismatch(requested, effective, cores);
 
     let t = Instant::now();
     let store = PropertyFeatureStore::build(dataset, embeddings);
@@ -88,18 +149,105 @@ fn run_stages(
 
     let t = Instant::now();
     let scores = model
-        .score_pairs_parallel(&store, pairs, threads)
+        .score_pairs_parallel(&store, pairs, effective)
         .expect("score");
     let score_s = t.elapsed().as_secs_f64();
     assert_eq!(scores.len(), pairs.len());
 
     StageTimes {
-        threads,
+        threads_requested: requested,
+        threads_effective: effective,
         build_s,
         featurize_s,
         train_s,
         score_s,
         total_s: build_s + featurize_s + train_s + score_s,
+    }
+}
+
+/// Fold one run into the per-stage minima accumulated so far.
+fn min_stages(best: Option<StageTimes>, run: StageTimes) -> StageTimes {
+    match best {
+        None => run,
+        Some(b) => StageTimes {
+            build_s: b.build_s.min(run.build_s),
+            featurize_s: b.featurize_s.min(run.featurize_s),
+            train_s: b.train_s.min(run.train_s),
+            score_s: b.score_s.min(run.score_s),
+            ..b
+        },
+    }
+}
+
+/// Run both modes `repeats` times and keep each mode's per-stage
+/// minima — the workload is deterministic, so the minimum estimates its
+/// cost and damps scheduler noise on shared machines. The serial and
+/// parallel passes are *interleaved* (serial, parallel, serial, …)
+/// rather than blocked, so slow machine drift (frequency scaling,
+/// thermal state, noisy neighbours) hits both modes equally instead of
+/// penalizing whichever mode runs last. `total_s` is the sum of the
+/// per-stage minima.
+fn run_modes_min_of(
+    dataset: &Dataset,
+    embeddings: &EmbeddingStore,
+    pairs: &[PropertyPair],
+    seed: u64,
+    parallel_threads: usize,
+    cores: usize,
+    repeats: usize,
+) -> (StageTimes, StageTimes) {
+    let mut serial: Option<StageTimes> = None;
+    let mut parallel: Option<StageTimes> = None;
+    for _ in 0..repeats.max(1) {
+        let run = run_stages(dataset, embeddings, pairs, seed, 1, cores);
+        serial = Some(min_stages(serial, run));
+        let run = run_stages(dataset, embeddings, pairs, seed, parallel_threads, cores);
+        parallel = Some(min_stages(parallel, run));
+    }
+    let finish = |best: Option<StageTimes>| {
+        let mut best = best.expect("repeats >= 1");
+        best.total_s = best.build_s + best.featurize_s + best.train_s + best.score_s;
+        best
+    };
+    (finish(serial), finish(parallel))
+}
+
+/// Load the previous PR's report, if present, and compute the speedup at
+/// an equal thread count. Returns `None` (with a warning) when the
+/// baseline is missing, unparsable, or was measured at a different
+/// thread count — cross-thread-count comparisons are not apples to
+/// apples and are deliberately not reported.
+fn compare_with_baseline(stage: &StageTimes, baseline: &BaselineStage) -> Option<VsBaseline> {
+    if baseline.threads != stage.threads_effective {
+        eprintln!(
+            "warning: baseline ran with {} thread(s) but this run used {}; \
+             skipping vs-PR1 comparison for this mode",
+            baseline.threads, stage.threads_effective
+        );
+        return None;
+    }
+    let ratio = |b: f64, c: f64| if c > 0.0 { b / c } else { f64::NAN };
+    Some(VsBaseline {
+        threads: stage.threads_effective,
+        train_speedup: ratio(baseline.train_s, stage.train_s),
+        score_speedup: ratio(baseline.score_s, stage.score_s),
+    })
+}
+
+fn load_baseline() -> Option<Baseline> {
+    let text = match std::fs::read_to_string("BENCH_PR1.json") {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("warning: BENCH_PR1.json not readable ({e}); skipping vs-PR1 comparison");
+            return None;
+        }
+    };
+    match serde_json::from_str(&text) {
+        Ok(b) => Some(b),
+        Err(e) => {
+            eprintln!("warning: BENCH_PR1.json not parsable ({e}); skipping vs-PR1 comparison");
+            None
+        }
     }
 }
 
@@ -112,6 +260,7 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
+    let parallel_threads: usize = args.get_or("threads", cores);
 
     let spec = Domain::Cameras.spec();
     let mut cfg = Domain::Cameras.generator_config();
@@ -128,20 +277,48 @@ fn main() {
         pairs.len()
     );
     println!(
-        "corpus: {} sources, {} properties, {} candidate pairs, {} cores",
+        "corpus: {} sources, {} properties, {} candidate pairs, {} cores detected, {} threads requested for the parallel run",
         sources,
         dataset.properties().len(),
         pairs.len(),
-        cores
+        cores,
+        parallel_threads
     );
 
     // Warm-up pass (untimed) so allocator and page-cache state is
     // comparable between the two measured runs.
-    let _ = run_stages(&dataset, &embeddings, &pairs, seed, 1);
+    let _ = run_stages(&dataset, &embeddings, &pairs, seed, 1, cores);
 
-    let serial = run_stages(&dataset, &embeddings, &pairs, seed, 1);
-    let parallel = run_stages(&dataset, &embeddings, &pairs, seed, cores);
+    let repeats: usize = args.get_or("repeats", 3);
+    let (serial, parallel) = run_modes_min_of(
+        &dataset,
+        &embeddings,
+        &pairs,
+        seed,
+        parallel_threads,
+        cores,
+        repeats,
+    );
     std::env::remove_var(THREADS_ENV);
+
+    let baseline = load_baseline().filter(|b| {
+        if b.pairs != pairs.len() {
+            eprintln!(
+                "warning: baseline measured {} candidate pairs but this run has {}; \
+                 skipping vs-PR1 comparison (rerun with the baseline's --sources)",
+                b.pairs,
+                pairs.len()
+            );
+        }
+        b.pairs == pairs.len()
+    });
+    let (vs_pr1_serial, vs_pr1_parallel) = match &baseline {
+        Some(b) => (
+            compare_with_baseline(&serial, &b.serial),
+            compare_with_baseline(&parallel, &b.parallel),
+        ),
+        None => (None, None),
+    };
 
     let ratio = |s: f64, p: f64| if p > 0.0 { s / p } else { f64::NAN };
     let report = BenchReport {
@@ -155,12 +332,14 @@ fn main() {
         speedup_train: ratio(serial.train_s, parallel.train_s),
         speedup_score: ratio(serial.score_s, parallel.score_s),
         speedup_total: ratio(serial.total_s, parallel.total_s),
+        vs_pr1_serial,
+        vs_pr1_parallel,
         serial,
         parallel,
     };
 
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     println!("{json}");
-    std::fs::write("BENCH_PR1.json", format!("{json}\n")).expect("write BENCH_PR1.json");
-    println!("wrote BENCH_PR1.json");
+    std::fs::write("BENCH_PR2.json", format!("{json}\n")).expect("write BENCH_PR2.json");
+    println!("wrote BENCH_PR2.json");
 }

@@ -37,7 +37,6 @@ mod tests {
     use super::*;
     use leapme::core::simgraph::SimilarityGraph;
     use leapme::data::domains::{generate, Domain};
-    use leapme::data::model::PropertyPair;
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("leapme_cli_tests");

@@ -13,6 +13,7 @@ use leapme_data::model::PropertyPair;
 use leapme_features::{FeatureConfig, PropertyFeatureStore};
 use leapme_nn::matrix::Matrix;
 use leapme_nn::network::{Mlp, TrainConfig};
+use leapme_nn::workspace::ScoreWorkspace;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a LEAPME fit.
@@ -117,20 +118,53 @@ impl LeapmeModel {
     }
 
     /// Similarity scores (positive-class probabilities) for a batch of
-    /// pairs, in input order. Scores pairs in batches to bound memory on
-    /// large candidate spaces.
+    /// pairs, in input order. Streams fixed-size pair blocks through
+    /// reusable feature/activation buffers, so peak memory is bounded by
+    /// O([`SCORE_BATCH`] × dim) regardless of how many pairs are scored
+    /// and the steady-state block costs zero heap allocations.
     pub fn score_pairs(
         &self,
         store: &PropertyFeatureStore,
         pairs: &[PropertyPair],
     ) -> Result<Vec<f32>, CoreError> {
-        if store.dim() != self.dim {
-            return Err(CoreError::InvalidSplit(format!(
-                "feature store dim {} != model dim {}",
-                store.dim(),
-                self.dim
-            )));
+        self.score_pairs_streaming(store, pairs, SCORE_BATCH)
+    }
+
+    /// [`Self::score_pairs`] with an explicit chunk size — the knob
+    /// trading peak memory (O(chunk × dim) for the feature block plus the
+    /// network activations) against per-chunk overhead. Scores are
+    /// bitwise identical for every chunk size: each pair's row is
+    /// featurized, scaled, and scored independently of its block.
+    pub fn score_pairs_streaming(
+        &self,
+        store: &PropertyFeatureStore,
+        pairs: &[PropertyPair],
+        chunk_size: usize,
+    ) -> Result<Vec<f32>, CoreError> {
+        self.check_store(store)?;
+        let chunk = chunk_size.max(1);
+        let mask = self.features.mask(store.dim());
+        let cols = mask.len();
+        let mut scores = Vec::with_capacity(pairs.len());
+        let mut x = Matrix::zeros(0, 0);
+        let mut ws = ScoreWorkspace::new();
+        for block in pairs.chunks(chunk) {
+            x.resize_zeroed(block.len(), cols);
+            store.fill_pair_block(block, &mask, x.data_mut())?;
+            self.scaler.transform_inplace(&mut x);
+            self.net.predict_proba_into(&x, &mut ws, &mut scores);
         }
+        Ok(scores)
+    }
+
+    /// The original materialize-per-chunk scorer, kept as the equivalence
+    /// oracle the streaming-path tests check against.
+    pub fn score_pairs_materialized(
+        &self,
+        store: &PropertyFeatureStore,
+        pairs: &[PropertyPair],
+    ) -> Result<Vec<f32>, CoreError> {
+        self.check_store(store)?;
         let mut scores = Vec::with_capacity(pairs.len());
         for chunk in pairs.chunks(SCORE_BATCH) {
             let keyed: Vec<_> = chunk
@@ -143,6 +177,18 @@ impl LeapmeModel {
             scores.extend(self.net.predict_proba(&x));
         }
         Ok(scores)
+    }
+
+    /// Reject stores whose feature space differs from the model's.
+    fn check_store(&self, store: &PropertyFeatureStore) -> Result<(), CoreError> {
+        if store.dim() != self.dim {
+            return Err(CoreError::InvalidSplit(format!(
+                "feature store dim {} != model dim {}",
+                store.dim(),
+                self.dim
+            )));
+        }
+        Ok(())
     }
 
     /// Parallel variant of [`Self::score_pairs`]: splits the candidate
@@ -195,10 +241,16 @@ impl LeapmeModel {
     /// Panics if a row's width differs from [`Self::input_dim`].
     pub fn score_rows(&self, rows: &[Vec<f32>]) -> Vec<f32> {
         let mut scores = Vec::with_capacity(rows.len());
+        let mut x = Matrix::zeros(0, 0);
+        let mut ws = ScoreWorkspace::new();
         for chunk in rows.chunks(SCORE_BATCH) {
-            let mut x = Matrix::from_rows(chunk);
+            x.resize_zeroed(chunk.len(), self.input_dim());
+            for (i, row) in chunk.iter().enumerate() {
+                assert_eq!(row.len(), self.input_dim(), "feature row width mismatch");
+                x.row_mut(i).copy_from_slice(row);
+            }
             self.scaler.transform_inplace(&mut x);
-            scores.extend(self.net.predict_proba(&x));
+            self.net.predict_proba_into(&x, &mut ws, &mut scores);
         }
         scores
     }
@@ -326,6 +378,33 @@ mod tests {
         for (d, s) in decisions.iter().zip(&scores) {
             assert_eq!(*d, *s >= model.threshold());
         }
+    }
+
+    #[test]
+    fn streaming_matches_materialized_for_any_chunk_size() {
+        let ds = generate(Domain::Tvs, 27);
+        let store = PropertyFeatureStore::build(&ds, &embeddings(Domain::Tvs));
+        let mut rng = StdRng::seed_from_u64(10);
+        let split = sampling::split_sources(ds.sources().len(), 0.8, &mut rng).unwrap();
+        let train = sampling::training_pairs(&ds, &split.train, 2, &mut rng);
+        let cfg = LeapmeConfig {
+            train: quick_train_cfg(),
+            hidden: vec![16],
+            ..LeapmeConfig::default()
+        };
+        let model = Leapme::fit(&store, &train, &cfg).unwrap();
+        let test = sampling::test_pairs(&ds, &split.train);
+        let reference = model.score_pairs_materialized(&store, &test).unwrap();
+        assert_eq!(model.score_pairs(&store, &test).unwrap(), reference);
+        for chunk in [1, 3, 17, 256, usize::MAX] {
+            let streamed = model.score_pairs_streaming(&store, &test, chunk).unwrap();
+            assert_eq!(streamed, reference, "chunk={chunk}");
+        }
+        // Chunk size 0 is clamped, not a panic.
+        assert_eq!(
+            model.score_pairs_streaming(&store, &test, 0).unwrap(),
+            reference
+        );
     }
 
     #[test]

@@ -95,7 +95,7 @@ pub fn run_once(
     let mut rng = StdRng::seed_from_u64(seed);
 
     let split = sampling::split_sources(dataset.sources().len(), cfg.train_fraction, &mut rng)?;
-    let train = sampling::training_pairs(&dataset, &split.train, cfg.negative_ratio, &mut rng);
+    let train = sampling::training_pairs(dataset, &split.train, cfg.negative_ratio, &mut rng);
     if train.iter().filter(|(_, y)| *y).count() == 0 {
         // A degenerate split with no positive pairs can happen on tiny
         // datasets; report it as empty metrics rather than failing.

@@ -200,7 +200,7 @@ impl ValueSpec {
                 let parts: Vec<String> = (0..n)
                     .map(|_| format!("{:.1}", rng.gen_range(*min..=*max)))
                     .collect();
-                let sep = if style.unit_choice % 2 == 0 { " x " } else { "x" };
+                let sep = if style.unit_choice.is_multiple_of(2) { " x " } else { "x" };
                 let mut s = parts.join(sep);
                 if style.write_units {
                     s.push_str(" mm");

@@ -143,7 +143,7 @@ mod tests {
         // vocab lacks "zzz" because min_count filter: build vocab from
         // restricted token set.
         let sents: Vec<Vec<String>> = vec![tokenize("alpha zzz beta")];
-        let v = Vocab::build(["alpha", "beta"].into_iter(), 1);
+        let v = Vocab::build(["alpha", "beta"], 1);
         let m = CooccurrenceMatrix::from_sentences(&v, &sents, 5);
         let (a, b) = (v.id("alpha").unwrap(), v.id("beta").unwrap());
         // zzz occupies a slot → distance 2 → weight 0.5

@@ -128,7 +128,7 @@ pub fn retrieval_accuracy(store: &EmbeddingStore, groups: &SynonymGroups) -> Opt
         let best = all
             .iter()
             .filter(|(_, w)| *w != word)
-            .map(|&(hj, ref w)| (hj, cosine(v, store.get(w).expect("known"))))
+            .map(|(hj, w)| (*hj, cosine(v, store.get(w).expect("known"))))
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         if let Some((hj, _)) = best {
             total += 1;

@@ -83,7 +83,7 @@ impl GloVeConfig {
                 self.learning_rate
             )));
         }
-        if !(self.x_max > 0.0) {
+        if self.x_max.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(EmbeddingError::InvalidConfig("x_max must be > 0".into()));
         }
         if !(0.0..=1.0).contains(&self.alpha) {
@@ -325,7 +325,7 @@ mod tests {
             train(&empty_vocab, &cooc, &cfg, 0),
             Err(EmbeddingError::EmptyVocabulary)
         ));
-        let vocab = Vocab::build(["a"].into_iter(), 1);
+        let vocab = Vocab::build(["a"], 1);
         assert!(matches!(
             train(&vocab, &cooc, &cfg, 0),
             Err(EmbeddingError::EmptyCooccurrence)

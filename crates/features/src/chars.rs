@@ -116,6 +116,9 @@ mod tests {
         assert_eq!(count(v, "letters"), 2.0);
         assert_eq!(count(v, "punctuation"), 1.0); // the dot
         assert_eq!(count(v, "separators"), 1.0);
+        // Fractions are the counts over the 7-char length.
+        assert_eq!(fraction(v, "numbers"), 3.0 / 7.0);
+        assert_eq!(fraction(v, "upper_letters"), 2.0 / 7.0);
     }
 
     #[test]

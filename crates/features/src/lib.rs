@@ -35,4 +35,4 @@ pub mod tokens;
 pub mod vectorizer;
 
 pub use config::{FeatureConfig, FeatureKind, FeatureScope};
-pub use vectorizer::PropertyFeatureStore;
+pub use vectorizer::{PairKeys, PropertyFeatureStore};

@@ -5,10 +5,19 @@
 //! string distances between the property names (rows 8–15): `29 + 2D + 8`
 //! total (`637` at the paper's `D = 300`).
 
-use leapme_textsim::StringDistances;
+use leapme_textsim::{DistanceScratch, StringDistances};
+use std::cell::RefCell;
 
 /// Number of string-distance features (Table I rows 8–15).
 pub const STRING_FEATURES: usize = StringDistances::LEN;
+
+thread_local! {
+    /// Per-thread scratch for the three DP-based edit distances, so the
+    /// eight-distance name block stops allocating fresh DP rows per call
+    /// (the pair fill fans out across threads; each worker gets its own
+    /// buffers and results are thread-count independent).
+    static DISTANCE_SCRATCH: RefCell<DistanceScratch> = RefCell::new(DistanceScratch::new());
+}
 
 /// Total pair-feature length for embedding dimension `dim`.
 pub fn len(dim: usize) -> usize {
@@ -42,7 +51,14 @@ pub fn normalize_name(name: &str) -> String {
 /// The eight name string-distance features, computed on normalized names,
 /// as `f32`.
 pub fn string_features(name_a: &str, name_b: &str) -> [f32; STRING_FEATURES] {
-    let d = StringDistances::compute(&normalize_name(name_a), &normalize_name(name_b)).as_array();
+    let d = DISTANCE_SCRATCH.with(|scratch| {
+        StringDistances::compute_with(
+            &normalize_name(name_a),
+            &normalize_name(name_b),
+            &mut scratch.borrow_mut(),
+        )
+        .as_array()
+    });
     let mut out = [0f32; STRING_FEATURES];
     for (o, v) in out.iter_mut().zip(d) {
         *o = v as f32;

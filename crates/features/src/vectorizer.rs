@@ -26,7 +26,7 @@
 
 use crate::config::FeatureConfig;
 use crate::{instance, pair, property};
-use leapme_data::model::{Dataset, PropertyKey};
+use leapme_data::model::{Dataset, PropertyKey, PropertyPair};
 use leapme_embedding::store::EmbeddingStore;
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -73,6 +73,26 @@ fn partition(items: usize, threads: usize) -> Vec<(usize, usize)> {
         start += len;
     }
     out
+}
+
+/// Borrowed access to a pair's two [`PropertyKey`]s, letting the fill
+/// APIs accept `(PropertyKey, PropertyKey)` tuples and [`PropertyPair`]s
+/// alike without cloning keys into a common representation.
+pub trait PairKeys: Sync {
+    /// The two property keys of the pair.
+    fn pair_keys(&self) -> (&PropertyKey, &PropertyKey);
+}
+
+impl PairKeys for (PropertyKey, PropertyKey) {
+    fn pair_keys(&self) -> (&PropertyKey, &PropertyKey) {
+        (&self.0, &self.1)
+    }
+}
+
+impl PairKeys for PropertyPair {
+    fn pair_keys(&self) -> (&PropertyKey, &PropertyKey) {
+        (&self.0, &self.1)
+    }
 }
 
 /// One shard of the string-distance memo table.
@@ -316,36 +336,7 @@ impl PropertyFeatureStore {
         let mask = config.mask(self.dim);
         let cols = mask.len();
         let mut data = vec![0.0f32; pairs.len() * cols];
-
-        if threads <= 1 || pairs.len() < 2 * MIN_ITEMS_PER_THREAD {
-            self.fill_pair_rows(pairs, &mask, &mut data)?;
-        } else {
-            let chunks = partition(pairs.len(), threads);
-            let mut results: Vec<Result<(), FeatureError>> = Vec::with_capacity(chunks.len());
-            crossbeam::thread::scope(|scope| {
-                let mut rest: &mut [f32] = &mut data;
-                let mut handles = Vec::with_capacity(chunks.len());
-                for &(start, end) in &chunks {
-                    let (head, tail) = rest.split_at_mut((end - start) * cols);
-                    rest = tail;
-                    let pairs = &pairs[start..end];
-                    let mask = &mask;
-                    handles.push(scope.spawn(move |_| self.fill_pair_rows(pairs, mask, head)));
-                }
-                results.extend(
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("pair-matrix worker panicked")),
-                );
-            })
-            .expect("pair-matrix scope");
-            // Report the error of the earliest failing chunk so the
-            // result matches what the serial path would return.
-            for r in results {
-                r?;
-            }
-        }
-
+        self.fill_pair_rows_threaded(pairs, &mask, &mut data, threads)?;
         Ok(FlatPairMatrix {
             rows: pairs.len(),
             cols,
@@ -353,20 +344,87 @@ impl PropertyFeatureStore {
         })
     }
 
+    /// Fill `out` with the masked features of `pairs` — the streaming
+    /// building block: the caller owns (and reuses) both the mask and
+    /// the output buffer, so a steady-state block fill performs no
+    /// allocations beyond string-cache misses. `mask` comes from
+    /// [`FeatureConfig::mask`]. The fill is partitioned across
+    /// [`worker_threads`] like [`Self::pair_matrix_flat`], with bitwise
+    /// identical results at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != pairs.len() * mask.len()`.
+    pub fn fill_pair_block<P: PairKeys>(
+        &self,
+        pairs: &[P],
+        mask: &[usize],
+        out: &mut [f32],
+    ) -> Result<(), FeatureError> {
+        assert_eq!(
+            out.len(),
+            pairs.len() * mask.len(),
+            "output buffer size mismatch"
+        );
+        self.fill_pair_rows_threaded(pairs, mask, out, worker_threads())
+    }
+
+    /// Partition `pairs` into contiguous row ranges of `out` and fill
+    /// them on up to `threads` workers (serial under the fan-out
+    /// threshold). Every element is computed by exactly one thread with
+    /// serial-identical arithmetic.
+    fn fill_pair_rows_threaded<P: PairKeys>(
+        &self,
+        pairs: &[P],
+        mask: &[usize],
+        out: &mut [f32],
+        threads: usize,
+    ) -> Result<(), FeatureError> {
+        if threads <= 1 || pairs.len() < 2 * MIN_ITEMS_PER_THREAD {
+            return self.fill_pair_rows(pairs, mask, out);
+        }
+        let cols = mask.len();
+        let chunks = partition(pairs.len(), threads);
+        let mut results: Vec<Result<(), FeatureError>> = Vec::with_capacity(chunks.len());
+        crossbeam::thread::scope(|scope| {
+            let mut rest: &mut [f32] = out;
+            let mut handles = Vec::with_capacity(chunks.len());
+            for &(start, end) in &chunks {
+                let (head, tail) = rest.split_at_mut((end - start) * cols);
+                rest = tail;
+                let pairs = &pairs[start..end];
+                handles.push(scope.spawn(move |_| self.fill_pair_rows(pairs, mask, head)));
+            }
+            results.extend(
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pair-matrix worker panicked")),
+            );
+        })
+        .expect("pair-matrix scope");
+        // Report the error of the earliest failing chunk so the
+        // result matches what the serial path would return.
+        for r in results {
+            r?;
+        }
+        Ok(())
+    }
+
     /// Write the masked pair features of `pairs` into `out` (row-major,
     /// `mask.len()` columns per row). Mask indices below the property
     /// vector length select `|pa[i] − pb[i]|` directly; the rest select
     /// string-distance components — no full vector is materialized.
-    fn fill_pair_rows(
+    fn fill_pair_rows<P: PairKeys>(
         &self,
-        pairs: &[(PropertyKey, PropertyKey)],
+        pairs: &[P],
         mask: &[usize],
         out: &mut [f32],
     ) -> Result<(), FeatureError> {
         let cols = mask.len();
         let prop_len = property::len(self.dim);
         let needs_strings = mask.last().is_some_and(|&i| i >= prop_len);
-        for ((a, b), out_row) in pairs.iter().zip(out.chunks_mut(cols.max(1))) {
+        for (p, out_row) in pairs.iter().zip(out.chunks_mut(cols.max(1))) {
+            let (a, b) = p.pair_keys();
             let (pa, pb) = match (self.features.get(a), self.features.get(b)) {
                 (Some(pa), Some(pb)) => (pa, pb),
                 (Some(_), None) => return Err(FeatureError::UnknownProperty(b.clone())),

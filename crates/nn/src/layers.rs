@@ -68,6 +68,16 @@ pub struct DenseGrads {
     pub bias: Vec<f32>,
 }
 
+impl DenseGrads {
+    /// An empty gradient buffer; sized lazily by [`Dense::backward_into`].
+    pub fn empty() -> Self {
+        DenseGrads {
+            weights: Matrix::zeros(0, 0),
+            bias: Vec::new(),
+        }
+    }
+}
+
 impl Dense {
     /// A new dense layer with the given initialization (bias starts at 0).
     pub fn new(
@@ -123,6 +133,23 @@ impl Dense {
         out
     }
 
+    /// Forward pass writing the post-activation output into a reusable
+    /// matrix. The values are bitwise identical to [`Self::forward`] /
+    /// [`Self::forward_inference`]; no cache is produced — workspace
+    /// callers keep the input and output buffers alive themselves and
+    /// hand them back to [`Self::backward_into`].
+    ///
+    /// `out` must not alias `input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.cols() != self.in_dim()`.
+    pub fn forward_into(&self, input: &Matrix, out: &mut Matrix) {
+        input.matmul_into(&self.weights, out);
+        out.add_row_bias(&self.bias);
+        self.activation.forward_inplace(out);
+    }
+
     /// Backward pass.
     ///
     /// `grad_out` is ∂L/∂output (batch × out_dim). Returns the parameter
@@ -141,6 +168,32 @@ impl Dense {
             },
             d_input,
         )
+    }
+
+    /// Backward pass through preallocated buffers; bitwise identical to
+    /// [`Self::backward`].
+    ///
+    /// `grad` arrives as ∂L/∂output and is consumed in place (the
+    /// activation derivative is applied to it). `input` and `output` are
+    /// the forward buffers that [`DenseCache`] would otherwise have
+    /// cloned (`output` is the *pre-dropout* post-activation output).
+    /// Parameter gradients land in `grads`; ∂L/∂input is written into
+    /// `d_input` when provided (the first layer of a network can skip
+    /// it). None of the buffers may alias each other.
+    pub fn backward_into(
+        &self,
+        grad: &mut Matrix,
+        input: &Matrix,
+        output: &Matrix,
+        grads: &mut DenseGrads,
+        d_input: Option<&mut Matrix>,
+    ) {
+        self.activation.backward_inplace(grad, output);
+        input.t_matmul_into(grad, &mut grads.weights);
+        grad.column_sums_into(&mut grads.bias);
+        if let Some(d) = d_input {
+            grad.matmul_t_into(&self.weights, d);
+        }
     }
 }
 

@@ -42,8 +42,14 @@
 //! ```
 
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+// The debug-only `alloc-count` feature installs a counting
+// `#[global_allocator]`, whose `GlobalAlloc` impl is necessarily unsafe;
+// every other configuration keeps the crate-wide forbid.
+#![cfg_attr(not(feature = "alloc-count"), forbid(unsafe_code))]
+#![cfg_attr(feature = "alloc-count", deny(unsafe_code))]
 
+#[cfg(feature = "alloc-count")]
+pub mod alloc_count;
 pub mod init;
 pub mod layers;
 pub mod loss;
@@ -52,6 +58,7 @@ pub mod network;
 pub mod optim;
 pub mod schedule;
 pub mod threads;
+pub mod workspace;
 
 /// Errors produced by the neural-network substrate.
 #[derive(Debug, Clone, PartialEq, Eq)]

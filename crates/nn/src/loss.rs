@@ -12,8 +12,15 @@ use crate::matrix::Matrix;
 /// Numerically stable: subtracts the row max before exponentiating.
 pub fn softmax_rows(logits: &Matrix) -> Matrix {
     let mut out = logits.clone();
-    for r in 0..out.rows() {
-        let row = out.row_mut(r);
+    softmax_rows_inplace(&mut out);
+    out
+}
+
+/// Row-wise softmax applied in place (same arithmetic as
+/// [`softmax_rows`], no allocation).
+pub fn softmax_rows_inplace(m: &mut Matrix) {
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
         let max = row.iter().fold(f32::NEG_INFINITY, |a, &v| a.max(v));
         let mut sum = 0.0f32;
         for v in row.iter_mut() {
@@ -24,7 +31,6 @@ pub fn softmax_rows(logits: &Matrix) -> Matrix {
             *v /= sum;
         }
     }
-    out
 }
 
 /// Mean cross-entropy of `logits` against integer `labels`, plus the
@@ -47,6 +53,34 @@ pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix)
     }
     grad.scale_inplace(1.0 / n as f32);
     (loss / n as f32, grad)
+}
+
+/// Fused softmax + cross-entropy through a reusable gradient buffer.
+///
+/// Writes ∂L/∂logits (batch-averaged) into `grad` — reshaped to the
+/// logits' shape, reusing its allocation — and returns the mean loss.
+/// Loss and gradient are bitwise identical to [`softmax_cross_entropy`];
+/// the only difference is that the softmax probabilities are
+/// materialized once, in place, in `grad`, instead of in two fresh
+/// matrices. `grad` must not alias `logits`.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or a label is out of range.
+pub fn softmax_cross_entropy_into(logits: &Matrix, labels: &[usize], grad: &mut Matrix) -> f32 {
+    assert_eq!(labels.len(), logits.rows(), "label count mismatch");
+    let n = logits.rows().max(1);
+    grad.copy_from(logits);
+    softmax_rows_inplace(grad);
+    let mut loss = 0.0f32;
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < logits.cols(), "label {label} out of range");
+        let p = grad.get(r, label).max(1e-12);
+        loss -= p.ln();
+        grad.set(r, label, grad.get(r, label) - 1.0);
+    }
+    grad.scale_inplace(1.0 / n as f32);
+    loss / n as f32
 }
 
 /// Mean cross-entropy only (no gradient), for validation monitoring.

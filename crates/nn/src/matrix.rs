@@ -8,7 +8,10 @@
 use serde::{Deserialize, Serialize};
 
 /// A dense row-major matrix of `f32`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Default` is the empty `0 × 0` matrix — the lazily-sized initial state
+/// of every workspace buffer.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -112,10 +115,39 @@ impl Matrix {
     /// (in `idx` order). Useful for minibatching.
     pub fn select_rows(&self, idx: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(idx.len(), self.cols);
+        self.select_rows_into(idx, &mut out);
+        out
+    }
+
+    /// [`Self::select_rows`] writing into a reusable matrix: `out` is
+    /// reshaped to `idx.len() × self.cols` (reusing its allocation when
+    /// capacity permits) and filled with the gathered rows. The result is
+    /// identical to [`Self::select_rows`].
+    pub fn select_rows_into(&self, idx: &[usize], out: &mut Matrix) {
+        out.resize_zeroed(idx.len(), self.cols);
         for (i, &r) in idx.iter().enumerate() {
             out.row_mut(i).copy_from_slice(self.row(r));
         }
-        out
+    }
+
+    /// Reshape to `rows × cols` with every element set to `0.0`, reusing
+    /// the existing allocation when it has enough capacity. This is the
+    /// workspace primitive: after warmup no call allocates, because every
+    /// steady-state shape fits the capacity established on first use.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Become a copy of `src` (shape and data), reusing the existing
+    /// allocation when capacity permits.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
     }
 
     /// Matrix product `self × rhs`.
@@ -144,16 +176,35 @@ impl Matrix {
     ///
     /// Panics if `self.cols != rhs.rows`.
     pub fn matmul_with_threads(&self, rhs: &Matrix, threads: usize) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into_with_threads(rhs, &mut out, threads);
+        out
+    }
+
+    /// [`Self::matmul`] writing into a reusable output matrix.
+    ///
+    /// `out` is reshaped to `self.rows × rhs.cols` (reusing its
+    /// allocation when capacity permits); the values are bitwise
+    /// identical to [`Self::matmul`]. `out` must not alias an operand.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.matmul_into_with_threads(rhs, out, gated_threads(self.rows * self.cols * rhs.cols));
+    }
+
+    /// [`Self::matmul_into`] with an explicit worker-thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul_into_with_threads(&self, rhs: &Matrix, out: &mut Matrix, threads: usize) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} × {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        out.resize_zeroed(self.rows, rhs.cols);
         run_row_partitioned(self.rows, rhs.cols, &mut out.data, threads, |start, chunk| {
             matmul_rows(self, rhs, start, chunk)
         });
-        out
     }
 
     /// `selfᵀ × rhs` without materializing the transpose.
@@ -180,16 +231,32 @@ impl Matrix {
     ///
     /// Panics if `self.rows != rhs.rows`.
     pub fn t_matmul_with_threads(&self, rhs: &Matrix, threads: usize) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.t_matmul_into_with_threads(rhs, &mut out, threads);
+        out
+    }
+
+    /// [`Self::t_matmul`] writing into a reusable output matrix; bitwise
+    /// identical values. `out` must not alias an operand.
+    pub fn t_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.t_matmul_into_with_threads(rhs, out, gated_threads(self.rows * self.cols * rhs.cols));
+    }
+
+    /// [`Self::t_matmul_into`] with an explicit worker-thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != rhs.rows`.
+    pub fn t_matmul_into_with_threads(&self, rhs: &Matrix, out: &mut Matrix, threads: usize) {
         assert_eq!(
             self.rows, rhs.rows,
             "t_matmul shape mismatch: {}x{} vs {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        out.resize_zeroed(self.cols, rhs.cols);
         run_row_partitioned(self.cols, rhs.cols, &mut out.data, threads, |start, chunk| {
             t_matmul_rows(self, rhs, start, chunk)
         });
-        out
     }
 
     /// `self × rhsᵀ` without materializing the transpose.
@@ -215,16 +282,32 @@ impl Matrix {
     ///
     /// Panics if `self.cols != rhs.cols`.
     pub fn matmul_t_with_threads(&self, rhs: &Matrix, threads: usize) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_t_into_with_threads(rhs, &mut out, threads);
+        out
+    }
+
+    /// [`Self::matmul_t`] writing into a reusable output matrix; bitwise
+    /// identical values. `out` must not alias an operand.
+    pub fn matmul_t_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.matmul_t_into_with_threads(rhs, out, gated_threads(self.rows * self.cols * rhs.rows));
+    }
+
+    /// [`Self::matmul_t_into`] with an explicit worker-thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.cols`.
+    pub fn matmul_t_into_with_threads(&self, rhs: &Matrix, out: &mut Matrix, threads: usize) {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_t shape mismatch: {}x{} vs {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        out.resize_zeroed(self.rows, rhs.rows);
         run_row_partitioned(self.rows, rhs.rows, &mut out.data, threads, |start, chunk| {
             matmul_t_rows(self, rhs, start, chunk)
         });
-        out
     }
 
     /// The transpose as a new matrix.
@@ -254,13 +337,21 @@ impl Matrix {
 
     /// Sum over rows, producing a length-`cols` vector.
     pub fn column_sums(&self) -> Vec<f32> {
-        let mut out = vec![0.0f32; self.cols];
+        let mut out = Vec::new();
+        self.column_sums_into(&mut out);
+        out
+    }
+
+    /// [`Self::column_sums`] writing into a reusable vector (cleared and
+    /// refilled, reusing its allocation when capacity permits).
+    pub fn column_sums_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(self.cols, 0.0);
         for r in 0..self.rows {
             for (o, &v) in out.iter_mut().zip(self.row(r)) {
                 *o += v;
             }
         }
-        out
     }
 
     /// In-place element-wise map.
@@ -313,11 +404,6 @@ impl Matrix {
 /// pays off on the LEAPME workload.
 pub const PAR_MIN_FLOPS: usize = 1 << 20;
 
-/// Column-tile width (in `f32` elements) for the blocked kernels: 1 KiB
-/// tiles keep the active output and operand segments resident in L1
-/// without changing any per-element accumulation order.
-const J_TILE: usize = 256;
-
 fn gated_threads(flops: usize) -> usize {
     if flops < PAR_MIN_FLOPS {
         1
@@ -338,6 +424,12 @@ where
     if out.is_empty() {
         return;
     }
+    // Serial fast path: no chunk vector, no scope — the workspace paths
+    // rely on this performing zero heap allocations.
+    if threads <= 1 || rows <= 1 {
+        kernel(0, out);
+        return;
+    }
     let chunks = crate::threads::partition(rows, threads);
     if chunks.len() <= 1 {
         kernel(0, out);
@@ -354,21 +446,44 @@ where
     });
 }
 
+/// Register-block width (in `f32` elements) of the product kernel's
+/// accumulator tile: 64 floats fit the SIMD register file, so a full
+/// tile is summed entirely in registers and written back once instead
+/// of being re-loaded and re-stored from L1 on every `k` step.
+const REG_TILE: usize = 64;
+
 /// ikj product kernel for output rows `[row_start, row_start + n)`,
-/// where `n = out.len() / rhs.cols`. `k` ascends for every element.
+/// where `n = out.len() / rhs.cols`. `k` ascends for every element, and
+/// multiply and add stay separate IEEE operations, so the register
+/// blocking leaves every output bitwise identical to the naive loop.
 fn matmul_rows(a: &Matrix, rhs: &Matrix, row_start: usize, out: &mut [f32]) {
     let out_cols = rhs.cols;
     for (local, out_row) in out.chunks_mut(out_cols).enumerate() {
         let a_row = a.row(row_start + local);
-        for jb in (0..out_cols).step_by(J_TILE) {
-            let je = (jb + J_TILE).min(out_cols);
-            let out_seg = &mut out_row[jb..je];
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                let b_seg = &rhs.row(k)[jb..je];
-                for (o, &b_kj) in out_seg.iter_mut().zip(b_seg) {
-                    *o += a_ik * b_kj;
+        for jb in (0..out_cols).step_by(REG_TILE) {
+            let je = (jb + REG_TILE).min(out_cols);
+            let w = je - jb;
+            let mut acc = [0f32; REG_TILE];
+            if w == REG_TILE {
+                // Fixed-width path: the compiler keeps `acc` in
+                // registers across the whole `k` loop.
+                let acc: &mut [f32; REG_TILE] = &mut acc;
+                for (k, &a_ik) in a_row.iter().enumerate() {
+                    let b_seg: &[f32; REG_TILE] =
+                        rhs.row(k)[jb..je].try_into().expect("tile width");
+                    for (o, &b_kj) in acc.iter_mut().zip(b_seg) {
+                        *o += a_ik * b_kj;
+                    }
+                }
+            } else {
+                for (k, &a_ik) in a_row.iter().enumerate() {
+                    let b_seg = &rhs.row(k)[jb..je];
+                    for (o, &b_kj) in acc[..w].iter_mut().zip(b_seg) {
+                        *o += a_ik * b_kj;
+                    }
                 }
             }
+            out_row[jb..je].copy_from_slice(&acc[..w]);
         }
     }
 }

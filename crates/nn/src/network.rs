@@ -7,10 +7,11 @@
 
 use crate::init::Init;
 use crate::layers::{Activation, Dense, DenseCache};
-use crate::loss::{accuracy, softmax_cross_entropy, softmax_rows};
+use crate::loss::{accuracy, softmax_cross_entropy, softmax_cross_entropy_into, softmax_rows};
 use crate::matrix::Matrix;
 use crate::optim::{Optimizer, ParamState};
 use crate::schedule::LrSchedule;
+use crate::workspace::{self, ScoreWorkspace, TrainWorkspace};
 use crate::NnError;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -161,6 +162,46 @@ impl Mlp {
         h
     }
 
+    /// Forward pass producing raw logits through a reusable workspace;
+    /// bitwise identical to [`Self::logits`] but allocation-free once
+    /// the workspace buffers are warm. The returned reference points at
+    /// the workspace's final-layer activation buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.input_dim()` or the network has no
+    /// layers.
+    pub fn logits_into<'w>(&self, x: &Matrix, ws: &'w mut ScoreWorkspace) -> &'w Matrix {
+        assert_eq!(x.cols(), self.input_dim(), "input width mismatch");
+        assert!(!self.layers.is_empty(), "network has no layers");
+        ws.ensure_layers(self.layers.len());
+        for (idx, layer) in self.layers.iter().enumerate() {
+            let (before, rest) = ws.act.split_at_mut(idx);
+            let input = if idx == 0 { x } else { &before[idx - 1] };
+            layer.forward_into(input, &mut rest[0]);
+        }
+        ws.act.last().expect("network has layers")
+    }
+
+    /// Append the probability of class 1 for each row of `x` to `out`,
+    /// reusing workspace buffers; bitwise identical to
+    /// [`Self::predict_proba`]. Appending (rather than overwriting) lets
+    /// streaming callers accumulate scores across fixed-size chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network does not have ≥ 2 output classes.
+    pub fn predict_proba_into(&self, x: &Matrix, ws: &mut ScoreWorkspace, out: &mut Vec<f32>) {
+        assert!(self.output_dim() >= 2, "need ≥2 classes for positive prob");
+        self.logits_into(x, ws);
+        let last = ws.act.last_mut().expect("network has layers");
+        crate::loss::softmax_rows_inplace(last);
+        out.reserve(last.rows());
+        for r in 0..last.rows() {
+            out.push(last.get(r, 1));
+        }
+    }
+
     /// Row-wise class probabilities.
     pub fn predict_proba_matrix(&self, x: &Matrix) -> Matrix {
         softmax_rows(&self.logits(x))
@@ -197,12 +238,212 @@ impl Mlp {
     ///
     /// Returns per-epoch telemetry. Errors if `x` is empty, label counts
     /// mismatch, a label is out of range, or the input width is wrong.
+    ///
+    /// This is the workspace-backed fast path: all per-batch buffers live
+    /// in a [`TrainWorkspace`] created once per call, so the steady-state
+    /// training step performs zero heap allocations. Results are bitwise
+    /// identical to the allocating [`Self::fit_reference`]. To amortize
+    /// the warm-up allocations across repeated fits, create the workspace
+    /// yourself and call [`Self::fit_with_workspace`].
     pub fn fit(
         &mut self,
         x: &Matrix,
         labels: &[usize],
         cfg: &TrainConfig,
     ) -> Result<TrainReport, NnError> {
+        let mut ws = TrainWorkspace::new();
+        self.fit_with_workspace(x, labels, cfg, &mut ws)
+    }
+
+    /// [`Self::fit`] with a caller-provided workspace, reusing its
+    /// buffers across calls.
+    pub fn fit_with_workspace(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        cfg: &TrainConfig,
+        ws: &mut TrainWorkspace,
+    ) -> Result<TrainReport, NnError> {
+        self.check_fit_inputs(x, labels)?;
+        if self.states.len() != self.layers.len() {
+            self.states = self.layers.iter().map(|_| LayerState::default()).collect();
+        }
+        ws.ensure_layers(self.layers.len());
+        ws.checkpoint_valid = false;
+
+        let batch = cfg.batch_size.max(1);
+        let mut rng = StdRng::seed_from_u64(cfg.shuffle_seed);
+        let mut report = TrainReport::default();
+
+        // Optional validation split for early stopping. The rng is
+        // consumed in exactly the reference order (full shuffle, then
+        // per-epoch shuffles, then dropout masks) so every downstream
+        // draw matches bitwise.
+        let mut all: Vec<usize> = (0..x.rows()).collect();
+        all.shuffle(&mut rng);
+        let val_fraction = cfg.validation_fraction.clamp(0.0, 0.5);
+        let n_val = if val_fraction > 0.0 {
+            ((x.rows() as f32 * val_fraction) as usize).min(x.rows().saturating_sub(1))
+        } else {
+            0
+        };
+        let (val_idx, train_idx) = all.split_at(n_val);
+        let has_val = !val_idx.is_empty();
+        if has_val {
+            x.select_rows_into(val_idx, &mut ws.val_x);
+        }
+        let val_y: Vec<usize> = val_idx.iter().map(|&i| labels[i]).collect();
+        let mut order: Vec<usize> = train_idx.to_vec();
+
+        let mut best_val = f32::INFINITY;
+        let mut since_best = 0usize;
+
+        for (_epoch, lr) in cfg.schedule.iter() {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f32;
+            let mut batches = 0usize;
+            for chunk in order.chunks(batch) {
+                x.select_rows_into(chunk, &mut ws.batch_x);
+                ws.batch_y.clear();
+                ws.batch_y.extend(chunk.iter().map(|&i| labels[i]));
+                epoch_loss += self.train_step_ws(lr, cfg, &mut rng, ws);
+                batches += 1;
+            }
+            report.epoch_losses.push(epoch_loss / batches.max(1) as f32);
+
+            if has_val {
+                let val_loss = {
+                    let TrainWorkspace {
+                        val_x,
+                        val_grad,
+                        score,
+                        ..
+                    } = &mut *ws;
+                    let logits = self.logits_into(val_x, score);
+                    softmax_cross_entropy_into(logits, &val_y, val_grad)
+                };
+                report.validation_losses.push(val_loss);
+                if val_loss < best_val {
+                    best_val = val_loss;
+                    workspace::copy_layers_into(&mut ws.checkpoint, &self.layers);
+                    ws.checkpoint_valid = true;
+                    since_best = 0;
+                } else {
+                    since_best += 1;
+                    if since_best >= cfg.patience.max(1) {
+                        report.stopped_early = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if ws.checkpoint_valid {
+            workspace::copy_layers_into(&mut self.layers, &ws.checkpoint);
+        }
+        report.final_accuracy = {
+            let logits = self.logits_into(x, &mut ws.score);
+            accuracy(logits, labels)
+        };
+        Ok(report)
+    }
+
+    /// One allocation-free forward/backward/update step on the minibatch
+    /// currently gathered in the workspace (`batch_x`/`batch_y`); returns
+    /// the loss. Bitwise identical to the reference `train_step`.
+    fn train_step_ws(
+        &mut self,
+        lr: f32,
+        cfg: &TrainConfig,
+        rng: &mut StdRng,
+        ws: &mut TrainWorkspace,
+    ) -> f32 {
+        use rand::Rng;
+        let opt = &cfg.optimizer;
+        let n_layers = self.layers.len();
+        let keep = 1.0 - cfg.dropout.clamp(0.0, 0.95);
+        let dropout_at = |idx: usize| cfg.dropout > 0.0 && idx + 1 < n_layers;
+        let TrainWorkspace {
+            batch_x,
+            batch_y,
+            act,
+            dropped,
+            d_act,
+            masks,
+            grads,
+            ..
+        } = &mut *ws;
+
+        // Forward: post-activation outputs land in `act[idx]`; when
+        // dropout is on, the masked copy lands in `dropped[idx]` so the
+        // pre-dropout output survives for the ReLU backward pass (the
+        // role `DenseCache.output` plays in the reference path).
+        for (idx, layer) in self.layers.iter().enumerate() {
+            let (before, rest) = act.split_at_mut(idx);
+            let out = &mut rest[0];
+            let input: &Matrix = if idx == 0 {
+                batch_x
+            } else if dropout_at(idx - 1) {
+                &dropped[idx - 1]
+            } else {
+                &before[idx - 1]
+            };
+            layer.forward_into(input, out);
+            if dropout_at(idx) {
+                let mask = &mut masks[idx];
+                mask.resize_zeroed(out.rows(), out.cols());
+                for v in mask.data_mut() {
+                    *v = if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 };
+                }
+                let drop = &mut dropped[idx];
+                drop.copy_from(out);
+                drop.hadamard_inplace(mask);
+            }
+        }
+
+        // Fused loss + gradient straight into the last gradient buffer
+        // (dropout never applies to the output layer).
+        let last = n_layers - 1;
+        let loss = softmax_cross_entropy_into(&act[last], batch_y, &mut d_act[last]);
+
+        // Backward and update layer by layer (output → input). The
+        // gradient arriving at layer `idx` in `d_act[idx]` is
+        // ∂L/∂(dropped output); undo the mask to get ∂L/∂output before
+        // the layer's own backward pass. ∂L/∂input is written into
+        // `d_act[idx − 1]` before this layer's weights are updated.
+        for (idx, layer) in self.layers.iter_mut().enumerate().rev() {
+            let (d_before, d_rest) = d_act.split_at_mut(idx);
+            let g = &mut d_rest[0];
+            if dropout_at(idx) {
+                g.hadamard_inplace(&masks[idx]);
+            }
+            let input: &Matrix = if idx == 0 {
+                batch_x
+            } else if dropout_at(idx - 1) {
+                &dropped[idx - 1]
+            } else {
+                &act[idx - 1]
+            };
+            let gr = &mut grads[idx];
+            let d_input = if idx > 0 {
+                Some(&mut d_before[idx - 1])
+            } else {
+                None
+            };
+            layer.backward_into(g, input, &act[idx], gr, d_input);
+            if cfg.weight_decay > 0.0 {
+                gr.weights.axpy_inplace(cfg.weight_decay, &layer.weights);
+            }
+            let state = &mut self.states[idx];
+            state
+                .weights
+                .update(opt, lr, layer.weights.data_mut(), gr.weights.data());
+            state.bias.update(opt, lr, &mut layer.bias, &gr.bias);
+        }
+        loss
+    }
+
+    /// Validate `fit` inputs against the network's shape.
+    fn check_fit_inputs(&self, x: &Matrix, labels: &[usize]) -> Result<(), NnError> {
         if x.rows() == 0 {
             return Err(NnError::EmptyTrainingSet);
         }
@@ -225,7 +466,19 @@ impl Mlp {
                 classes,
             });
         }
+        Ok(())
+    }
 
+    /// The original allocating trainer, kept verbatim as the equivalence
+    /// oracle for [`Self::fit`] — the proptest suite asserts both paths
+    /// produce bitwise-identical weights, reports, and predictions.
+    pub fn fit_reference(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        cfg: &TrainConfig,
+    ) -> Result<TrainReport, NnError> {
+        self.check_fit_inputs(x, labels)?;
         if self.states.len() != self.layers.len() {
             self.states = self.layers.iter().map(|_| LayerState::default()).collect();
         }
@@ -345,6 +598,71 @@ impl Mlp {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Regression tests for the tentpole claim: once the workspace is
+    /// warm, a training step and a scoring pass touch the heap zero
+    /// times. Shapes are kept far below `PAR_MIN_FLOPS` so every matmul
+    /// stays on the calling thread (spawning workers allocates).
+    #[cfg(feature = "alloc-count")]
+    mod alloc_free {
+        use super::*;
+        use crate::alloc_count::allocation_count;
+        use crate::workspace::{ScoreWorkspace, TrainWorkspace};
+
+        fn fill(m: &mut Matrix, rows: usize, cols: usize) {
+            m.resize_zeroed(rows, cols);
+            for (i, v) in m.data_mut().iter_mut().enumerate() {
+                *v = ((i % 7) as f32) * 0.25 - 0.5;
+            }
+        }
+
+        #[test]
+        fn steady_state_train_step_is_allocation_free() {
+            let mut net = Mlp::new(&[12, 10, 6, 2], 9);
+            // Dropout and weight decay on, so the mask-fill and decay
+            // branches are exercised too.
+            let cfg = TrainConfig {
+                dropout: 0.2,
+                weight_decay: 0.01,
+                ..TrainConfig::default()
+            };
+            let mut rng = StdRng::seed_from_u64(33);
+            let mut ws = TrainWorkspace::new();
+            ws.ensure_layers(net.layers.len());
+            fill(&mut ws.batch_x, 16, 12);
+            ws.batch_y.clear();
+            ws.batch_y.extend((0..16).map(|i| i % 2));
+
+            // Warm-up: the first steps grow the activation/gradient
+            // buffers and the optimizer's lazily-created moment vectors.
+            for _ in 0..3 {
+                net.train_step_ws(1e-3, &cfg, &mut rng, &mut ws);
+            }
+
+            let before = allocation_count();
+            let loss = net.train_step_ws(1e-3, &cfg, &mut rng, &mut ws);
+            let allocated = allocation_count() - before;
+            assert!(loss.is_finite());
+            assert_eq!(allocated, 0, "steady-state train_step hit the heap");
+        }
+
+        #[test]
+        fn steady_state_scoring_is_allocation_free() {
+            let net = Mlp::new(&[12, 10, 6, 2], 9);
+            let mut x = Matrix::zeros(0, 0);
+            fill(&mut x, 16, 12);
+            let mut ws = ScoreWorkspace::new();
+            let mut out = Vec::new();
+            net.predict_proba_into(&x, &mut ws, &mut out);
+
+            out.clear();
+            let before = allocation_count();
+            net.predict_proba_into(&x, &mut ws, &mut out);
+            let allocated = allocation_count() - before;
+            assert_eq!(out.len(), 16);
+            assert_eq!(allocated, 0, "steady-state scoring hit the heap");
+        }
+    }
 
     fn xor_data() -> (Matrix, Vec<usize>) {
         // XOR with slight feature redundancy so the 2-layer net solves it fast.
@@ -612,6 +930,200 @@ mod tests {
         assert!(!report.stopped_early);
         assert!(report.validation_losses.is_empty());
         assert_eq!(report.epoch_losses.len(), 5);
+    }
+
+    #[test]
+    fn workspace_fit_matches_reference_bitwise() {
+        let (x, y) = xor_data();
+        for cfg in [
+            TrainConfig::default(),
+            TrainConfig {
+                dropout: 0.3,
+                ..TrainConfig::default()
+            },
+            TrainConfig {
+                batch_size: 7,
+                validation_fraction: 0.25,
+                patience: 2,
+                weight_decay: 0.01,
+                ..TrainConfig::default()
+            },
+        ] {
+            let mut a = Mlp::new(&[2, 8, 4, 2], 21);
+            let mut b = a.clone();
+            let ra = a.fit(&x, &y, &cfg).unwrap();
+            let rb = b.fit_reference(&x, &y, &cfg).unwrap();
+            assert_eq!(ra.epoch_losses, rb.epoch_losses);
+            assert_eq!(ra.validation_losses, rb.validation_losses);
+            assert_eq!(ra.stopped_early, rb.stopped_early);
+            assert_eq!(ra.final_accuracy, rb.final_accuracy);
+            assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
+            for (la, lb) in a.layers().iter().zip(b.layers()) {
+                assert_eq!(la.weights, lb.weights);
+                assert_eq!(la.bias, lb.bias);
+            }
+        }
+    }
+
+    #[test]
+    fn logits_into_matches_logits() {
+        let (x, y) = xor_data();
+        let mut net = Mlp::new(&[2, 8, 2], 13);
+        net.fit(&x, &y, &TrainConfig::default()).unwrap();
+        let mut ws = crate::workspace::ScoreWorkspace::new();
+        let reference = net.logits(&x);
+        let streamed = net.logits_into(&x, &mut ws);
+        assert_eq!(reference, *streamed);
+        let mut out = Vec::new();
+        net.predict_proba_into(&x, &mut ws, &mut out);
+        assert_eq!(out, net.predict_proba(&x));
+        // Appending semantics: a second call extends instead of clobbering.
+        net.predict_proba_into(&x, &mut ws, &mut out);
+        assert_eq!(out.len(), 2 * x.rows());
+    }
+
+    #[test]
+    fn workspace_reuse_across_fits_is_clean() {
+        // A stale checkpoint or buffer from a previous fit must not leak
+        // into the next one, even across different configs.
+        let (x, y) = xor_data();
+        let cfg_es = TrainConfig {
+            validation_fraction: 0.25,
+            patience: 1,
+            schedule: LrSchedule::new(vec![(30, 0.01)]),
+            ..TrainConfig::default()
+        };
+        let mut ws = TrainWorkspace::new();
+        let mut warm = Mlp::new(&[2, 8, 2], 14);
+        warm.fit_with_workspace(&x, &y, &cfg_es, &mut ws).unwrap();
+        // Now run a no-validation fit through the same workspace.
+        let mut a = Mlp::new(&[2, 8, 2], 15);
+        let mut b = a.clone();
+        let cfg = TrainConfig::default();
+        a.fit_with_workspace(&x, &y, &cfg, &mut ws).unwrap();
+        b.fit_reference(&x, &y, &cfg).unwrap();
+        assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
+    }
+
+    #[test]
+    fn workspace_fit_matches_reference_across_thread_counts() {
+        // Shapes chosen so the first-layer matmul crosses PAR_MIN_FLOPS
+        // (64 × 96 × 192 ≈ 1.2 M multiply–adds) and the kernels actually
+        // consult the LEAPME_THREADS override; training must stay bitwise
+        // identical no matter how many workers the matmuls fan out to.
+        let _guard = crate::threads::ENV_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let prev = std::env::var(crate::threads::THREADS_ENV).ok();
+
+        let mut rng = StdRng::seed_from_u64(99);
+        let x = random_matrix(64, 96, &mut rng);
+        let y: Vec<usize> = (0..64).map(|i| i % 2).collect();
+        let cfg = TrainConfig {
+            batch_size: 64,
+            schedule: LrSchedule::new(vec![(2, 1e-3)]),
+            ..TrainConfig::default()
+        };
+
+        let mut baseline: Option<Mlp> = None;
+        for threads in [1usize, 2, 3] {
+            std::env::set_var(crate::threads::THREADS_ENV, threads.to_string());
+            let mut net = Mlp::new(&[96, 192, 2], 5);
+            net.fit(&x, &y, &cfg).unwrap();
+            match &baseline {
+                None => baseline = Some(net),
+                Some(b) => {
+                    for (la, lb) in net.layers().iter().zip(b.layers()) {
+                        assert_eq!(la.weights, lb.weights, "threads={threads}");
+                        assert_eq!(la.bias, lb.bias, "threads={threads}");
+                    }
+                }
+            }
+        }
+
+        match prev {
+            Some(v) => std::env::set_var(crate::threads::THREADS_ENV, v),
+            None => std::env::remove_var(crate::threads::THREADS_ENV),
+        }
+    }
+
+    fn random_matrix(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+        use rand::Rng;
+        let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen::<f32>() - 0.5).collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    mod equivalence_proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            /// The workspace trainer is bitwise-identical to the
+            /// allocating reference over random shapes, batch sizes,
+            /// dropout rates, and early-stopping splits.
+            #[test]
+            fn fit_matches_reference(
+                rows in 4usize..24,
+                cols in 1usize..8,
+                hidden in 1usize..10,
+                batch_size in 1usize..12,
+                dropout_on in 0usize..2,
+                validation_on in 0usize..2,
+                seed in 0u64..1_000,
+            ) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let x = random_matrix(rows, cols, &mut rng);
+                let y: Vec<usize> = (0..rows).map(|i| (i + seed as usize) % 2).collect();
+                let cfg = TrainConfig {
+                    batch_size,
+                    schedule: LrSchedule::new(vec![(3, 1e-3)]),
+                    shuffle_seed: seed ^ 0xABCD,
+                    dropout: if dropout_on == 1 { 0.25 } else { 0.0 },
+                    weight_decay: 0.01,
+                    validation_fraction: if validation_on == 1 { 0.25 } else { 0.0 },
+                    patience: 1,
+                    ..TrainConfig::default()
+                };
+                let mut a = Mlp::new(&[cols, hidden, 2], seed.wrapping_add(1));
+                let mut b = a.clone();
+                let ra = a.fit(&x, &y, &cfg).unwrap();
+                let rb = b.fit_reference(&x, &y, &cfg).unwrap();
+                prop_assert_eq!(ra.epoch_losses, rb.epoch_losses);
+                prop_assert_eq!(ra.validation_losses, rb.validation_losses);
+                prop_assert_eq!(ra.stopped_early, rb.stopped_early);
+                prop_assert_eq!(ra.final_accuracy, rb.final_accuracy);
+                prop_assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
+                for (la, lb) in a.layers().iter().zip(b.layers()) {
+                    prop_assert_eq!(&la.weights, &lb.weights);
+                    prop_assert_eq!(&la.bias, &lb.bias);
+                }
+            }
+
+            /// Workspace scoring equals the allocating path for random
+            /// shapes, including when one workspace is reused across
+            /// differently-shaped batches.
+            #[test]
+            fn scoring_matches_reference(
+                rows_a in 1usize..20,
+                rows_b in 1usize..20,
+                cols in 1usize..10,
+                hidden in 1usize..12,
+                seed in 0u64..1_000,
+            ) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let net = Mlp::new(&[cols, hidden, 2], seed.wrapping_add(7));
+                let mut ws = crate::workspace::ScoreWorkspace::new();
+                for rows in [rows_a, rows_b] {
+                    let x = random_matrix(rows, cols, &mut rng);
+                    prop_assert_eq!(&net.logits(&x), net.logits_into(&x, &mut ws));
+                    let mut out = Vec::new();
+                    net.predict_proba_into(&x, &mut ws, &mut out);
+                    prop_assert_eq!(out, net.predict_proba(&x));
+                }
+            }
+        }
     }
 
     #[test]

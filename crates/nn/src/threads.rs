@@ -9,6 +9,11 @@
 /// Environment variable overriding the worker thread count.
 pub const THREADS_ENV: &str = "LEAPME_THREADS";
 
+/// Serializes tests that mutate [`THREADS_ENV`] — the environment is
+/// process-global, so concurrent test threads would otherwise race.
+#[cfg(test)]
+pub(crate) static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// Number of worker threads to use for parallel kernels.
 ///
 /// Reads [`THREADS_ENV`] on every call (no caching); falls back to
@@ -69,8 +74,7 @@ mod tests {
 
     #[test]
     fn env_override_wins() {
-        // Serialize with other env-reading tests by using a unique var
-        // value and restoring afterwards.
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let prev = std::env::var(THREADS_ENV).ok();
         std::env::set_var(THREADS_ENV, "3");
         assert_eq!(thread_count(), 3);

@@ -6,7 +6,7 @@
 //! per-character "last seen row" map.
 
 use crate::normalize_by_max_len;
-use std::collections::HashMap;
+use crate::scratch::{decode_and_trim, DistanceScratch};
 
 /// Full Damerau–Levenshtein distance between `a` and `b`.
 ///
@@ -18,8 +18,28 @@ use std::collections::HashMap;
 /// assert_eq!(distance("ab", "ba"), 1);
 /// ```
 pub fn distance(a: &str, b: &str) -> usize {
-    let av: Vec<char> = a.chars().collect();
-    let bv: Vec<char> = b.chars().collect();
+    distance_with(a, b, &mut DistanceScratch::new())
+}
+
+/// [`distance`] through caller-provided scratch buffers: equal strings
+/// short-circuit to `0`, the shared prefix and suffix are trimmed off
+/// (exact for the full Damerau–Levenshtein metric; verified exhaustively
+/// against the untrimmed DP), and the DP matrix plus the per-character
+/// last-row map live in `scratch` — the map's capacity survives across
+/// calls, so a warm steady-state call performs no heap allocations
+/// beyond first-seen characters.
+pub fn distance_with(a: &str, b: &str, scratch: &mut DistanceScratch) -> usize {
+    if a == b {
+        return 0;
+    }
+    let DistanceScratch {
+        ca,
+        cb,
+        matrix: d,
+        last_row,
+        ..
+    } = scratch;
+    let (av, bv) = decode_and_trim(ca, cb, a, b);
     let (n, m) = (av.len(), bv.len());
     if n == 0 {
         return m;
@@ -31,7 +51,8 @@ pub fn distance(a: &str, b: &str) -> usize {
     let max_dist = n + m;
     // d has an extra leading row/column holding max_dist sentinels.
     let w = m + 2;
-    let mut d = vec![0usize; (n + 2) * w];
+    d.clear();
+    d.resize((n + 2) * w, 0);
     let idx = |i: usize, j: usize| i * w + j;
 
     d[idx(0, 0)] = max_dist;
@@ -44,7 +65,7 @@ pub fn distance(a: &str, b: &str) -> usize {
         d[idx(1, j + 1)] = j;
     }
 
-    let mut last_row: HashMap<char, usize> = HashMap::new();
+    last_row.clear();
 
     for i in 1..=n {
         let mut last_match_col = 0usize;
@@ -77,11 +98,90 @@ pub fn normalized_distance(a: &str, b: &str) -> f64 {
     normalize_by_max_len(distance(a, b), a.chars().count(), b.chars().count())
 }
 
+/// [`normalized_distance`] through caller-provided scratch buffers.
+pub fn normalized_distance_with(a: &str, b: &str, scratch: &mut DistanceScratch) -> f64 {
+    normalize_by_max_len(
+        distance_with(a, b, scratch),
+        a.chars().count(),
+        b.chars().count(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{levenshtein, osa};
     use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    /// The original untrimmed Lowrance–Wagner DP, kept as the oracle for
+    /// the equal-string / affix-trimming fast path.
+    fn reference(a: &str, b: &str) -> usize {
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        let (n, m) = (av.len(), bv.len());
+        if n == 0 {
+            return m;
+        }
+        if m == 0 {
+            return n;
+        }
+        let max_dist = n + m;
+        let w = m + 2;
+        let mut d = vec![0usize; (n + 2) * w];
+        let idx = |i: usize, j: usize| i * w + j;
+        d[idx(0, 0)] = max_dist;
+        for i in 0..=n {
+            d[idx(i + 1, 0)] = max_dist;
+            d[idx(i + 1, 1)] = i;
+        }
+        for j in 0..=m {
+            d[idx(0, j + 1)] = max_dist;
+            d[idx(1, j + 1)] = j;
+        }
+        let mut last_row: HashMap<char, usize> = HashMap::new();
+        for i in 1..=n {
+            let mut last_match_col = 0usize;
+            for j in 1..=m {
+                let i1 = *last_row.get(&bv[j - 1]).unwrap_or(&0);
+                let j1 = last_match_col;
+                let cost = if av[i - 1] == bv[j - 1] {
+                    last_match_col = j;
+                    0
+                } else {
+                    1
+                };
+                let substitution = d[idx(i, j)] + cost;
+                let insertion = d[idx(i + 1, j)] + 1;
+                let deletion = d[idx(i, j + 1)] + 1;
+                let transposition = d[idx(i1, j1)] + (i - i1 - 1) + 1 + (j - j1 - 1);
+                d[idx(i + 1, j + 1)] = substitution
+                    .min(insertion)
+                    .min(deletion)
+                    .min(transposition);
+            }
+            last_row.insert(av[i - 1], i);
+        }
+        d[idx(n + 1, m + 1)]
+    }
+
+    #[test]
+    fn fast_path_matches_untrimmed_dp_exhaustively() {
+        // Long-range transpositions (the last-row map) are the risky
+        // interaction with affix trimming, so check every pair over
+        // {a,b,c} up to length 4.
+        let strings = crate::levenshtein::tests::small_strings(4);
+        let mut scratch = crate::scratch::DistanceScratch::new();
+        for a in &strings {
+            for b in &strings {
+                assert_eq!(
+                    distance_with(a, b, &mut scratch),
+                    reference(a, b),
+                    "damerau({a:?},{b:?})"
+                );
+            }
+        }
+    }
 
     #[test]
     fn known_values() {
@@ -127,6 +227,12 @@ mod tests {
             prop_assert_eq!(distance(&a, &a), 0);
             let d = normalized_distance(&a, &b);
             prop_assert!((0.0..=1.0).contains(&d));
+        }
+
+        #[test]
+        fn fast_path_matches_untrimmed_dp(a in ".{0,16}", b in ".{0,16}") {
+            let mut scratch = crate::scratch::DistanceScratch::new();
+            prop_assert_eq!(distance_with(&a, &b, &mut scratch), reference(&a, &b));
         }
     }
 }

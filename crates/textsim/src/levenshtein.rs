@@ -5,6 +5,7 @@
 //! (O(min(|a|,|b|)) memory) over Unicode scalar values.
 
 use crate::normalize_by_max_len;
+use crate::scratch::{decode_and_trim, DistanceScratch};
 
 /// Levenshtein distance between `a` and `b` over Unicode scalar values.
 ///
@@ -17,21 +18,34 @@ use crate::normalize_by_max_len;
 /// assert_eq!(distance("same", "same"), 0);
 /// ```
 pub fn distance(a: &str, b: &str) -> usize {
-    let (short, long): (Vec<char>, Vec<char>) = {
-        let av: Vec<char> = a.chars().collect();
-        let bv: Vec<char> = b.chars().collect();
-        if av.len() <= bv.len() {
-            (av, bv)
-        } else {
-            (bv, av)
-        }
-    };
+    distance_with(a, b, &mut DistanceScratch::new())
+}
+
+/// [`distance`] through caller-provided scratch buffers: equal strings
+/// short-circuit to `0`, the shared prefix and suffix are trimmed off
+/// (both exact for Levenshtein), and the DP rows live in `scratch`, so a
+/// warm steady-state call performs no heap allocations.
+pub fn distance_with(a: &str, b: &str, scratch: &mut DistanceScratch) -> usize {
+    if a == b {
+        return 0;
+    }
+    let DistanceScratch {
+        ca,
+        cb,
+        row0: prev,
+        row1: curr,
+        ..
+    } = scratch;
+    let (av, bv) = decode_and_trim(ca, cb, a, b);
+    let (short, long) = if av.len() <= bv.len() { (av, bv) } else { (bv, av) };
     if short.is_empty() {
         return long.len();
     }
 
-    let mut prev: Vec<usize> = (0..=short.len()).collect();
-    let mut curr: Vec<usize> = vec![0; short.len() + 1];
+    prev.clear();
+    prev.extend(0..=short.len());
+    curr.clear();
+    curr.resize(short.len() + 1, 0);
 
     for (i, lc) in long.iter().enumerate() {
         curr[0] = i + 1;
@@ -39,7 +53,7 @@ pub fn distance(a: &str, b: &str) -> usize {
             let cost = usize::from(lc != sc);
             curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
         }
-        std::mem::swap(&mut prev, &mut curr);
+        std::mem::swap(prev, curr);
     }
     prev[short.len()]
 }
@@ -55,15 +69,86 @@ pub fn normalized_distance(a: &str, b: &str) -> f64 {
     normalize_by_max_len(distance(a, b), a.chars().count(), b.chars().count())
 }
 
+/// [`normalized_distance`] through caller-provided scratch buffers.
+pub fn normalized_distance_with(a: &str, b: &str, scratch: &mut DistanceScratch) -> f64 {
+    normalize_by_max_len(
+        distance_with(a, b, scratch),
+        a.chars().count(),
+        b.chars().count(),
+    )
+}
+
 /// Levenshtein similarity: `1 − normalized_distance`.
 pub fn normalized_similarity(a: &str, b: &str) -> f64 {
     1.0 - normalized_distance(a, b)
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    /// The original untrimmed two-row DP, kept as the oracle for the
+    /// equal-string / affix-trimming fast path.
+    fn reference(a: &str, b: &str) -> usize {
+        let (short, long): (Vec<char>, Vec<char>) = {
+            let av: Vec<char> = a.chars().collect();
+            let bv: Vec<char> = b.chars().collect();
+            if av.len() <= bv.len() {
+                (av, bv)
+            } else {
+                (bv, av)
+            }
+        };
+        if short.is_empty() {
+            return long.len();
+        }
+        let mut prev: Vec<usize> = (0..=short.len()).collect();
+        let mut curr: Vec<usize> = vec![0; short.len() + 1];
+        for (i, lc) in long.iter().enumerate() {
+            curr[0] = i + 1;
+            for (j, sc) in short.iter().enumerate() {
+                let cost = usize::from(lc != sc);
+                curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[short.len()]
+    }
+
+    /// Every string over {a,b,c} up to the given length.
+    pub(crate) fn small_strings(max_len: usize) -> Vec<String> {
+        let mut all = vec![String::new()];
+        let mut frontier = vec![String::new()];
+        for _ in 0..max_len {
+            let mut next = Vec::new();
+            for s in &frontier {
+                for c in ['a', 'b', 'c'] {
+                    let mut t = s.clone();
+                    t.push(c);
+                    next.push(t);
+                }
+            }
+            all.extend(next.iter().cloned());
+            frontier = next;
+        }
+        all
+    }
+
+    #[test]
+    fn fast_path_matches_untrimmed_dp_exhaustively() {
+        let strings = small_strings(4);
+        let mut scratch = crate::scratch::DistanceScratch::new();
+        for a in &strings {
+            for b in &strings {
+                assert_eq!(
+                    distance_with(a, b, &mut scratch),
+                    reference(a, b),
+                    "levenshtein({a:?},{b:?})"
+                );
+            }
+        }
+    }
 
     #[test]
     fn known_values() {
@@ -125,6 +210,20 @@ mod tests {
         fn normalized_in_unit_interval(a in ".{0,24}", b in ".{0,24}") {
             let d = normalized_distance(&a, &b);
             prop_assert!((0.0..=1.0).contains(&d));
+        }
+
+        #[test]
+        fn fast_path_matches_untrimmed_dp(a in ".{0,24}", b in ".{0,24}") {
+            let mut scratch = crate::scratch::DistanceScratch::new();
+            prop_assert_eq!(distance_with(&a, &b, &mut scratch), reference(&a, &b));
+        }
+
+        #[test]
+        fn scratch_reuse_is_stateless(a in "[a-d]{0,12}", b in "[a-d]{0,12}", c in "[a-d]{0,12}") {
+            // A dirty scratch from unrelated inputs must not change results.
+            let mut scratch = crate::scratch::DistanceScratch::new();
+            distance_with(&c, &a, &mut scratch);
+            prop_assert_eq!(distance_with(&a, &b, &mut scratch), distance(&a, &b));
         }
     }
 }

@@ -39,7 +39,10 @@ pub mod levenshtein;
 pub mod ngram;
 pub mod osa;
 pub mod qgram;
+pub mod scratch;
 pub mod token;
+
+pub use scratch::DistanceScratch;
 
 /// The eight normalized string-distance features of LEAPME Table I
 /// (rows 8–15), computed between two property names.
@@ -76,10 +79,18 @@ impl StringDistances {
 
     /// Compute all eight distances between `a` and `b`.
     pub fn compute(a: &str, b: &str) -> Self {
+        Self::compute_with(a, b, &mut DistanceScratch::new())
+    }
+
+    /// [`Self::compute`] through caller-provided scratch buffers: the
+    /// three DP-based edit distances reuse `scratch`'s decoded-char and
+    /// DP-row buffers instead of allocating fresh ones per call. Results
+    /// are identical to [`Self::compute`].
+    pub fn compute_with(a: &str, b: &str, scratch: &mut DistanceScratch) -> Self {
         StringDistances {
-            osa_norm: osa::normalized_distance(a, b),
-            levenshtein_norm: levenshtein::normalized_distance(a, b),
-            damerau_norm: damerau::normalized_distance(a, b),
+            osa_norm: osa::normalized_distance_with(a, b, scratch),
+            levenshtein_norm: levenshtein::normalized_distance_with(a, b, scratch),
+            damerau_norm: damerau::normalized_distance_with(a, b, scratch),
             lcs_norm: lcs::substring_distance(a, b),
             trigram_norm: ngram::normalized_distance(a, b, 3),
             trigram_cosine: qgram::cosine_distance(a, b, 3),

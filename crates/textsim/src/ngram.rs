@@ -28,14 +28,8 @@ const PAD: char = '\u{0}';
 /// ```
 pub fn distance(a: &str, b: &str, n: usize) -> f64 {
     assert!(n > 0, "n-gram size must be positive");
-    let av: Vec<char> = std::iter::repeat(PAD)
-        .take(n - 1)
-        .chain(a.chars())
-        .collect();
-    let bv: Vec<char> = std::iter::repeat(PAD)
-        .take(n - 1)
-        .chain(b.chars())
-        .collect();
+    let av: Vec<char> = std::iter::repeat_n(PAD, n - 1).chain(a.chars()).collect();
+    let bv: Vec<char> = std::iter::repeat_n(PAD, n - 1).chain(b.chars()).collect();
     let la = av.len() - (n - 1);
     let lb = bv.len() - (n - 1);
     if la == 0 {

@@ -8,6 +8,7 @@
 //! `osa("ca","ac") + osa("ac","abc") = 1 + 2`).
 
 use crate::normalize_by_max_len;
+use crate::scratch::{decode_and_trim, DistanceScratch};
 
 /// Optimal string alignment distance between `a` and `b`.
 ///
@@ -19,8 +20,28 @@ use crate::normalize_by_max_len;
 /// assert_eq!(distance("ca", "abc"), 3);   // restriction: cannot reuse edited substring
 /// ```
 pub fn distance(a: &str, b: &str) -> usize {
-    let av: Vec<char> = a.chars().collect();
-    let bv: Vec<char> = b.chars().collect();
+    distance_with(a, b, &mut DistanceScratch::new())
+}
+
+/// [`distance`] through caller-provided scratch buffers: equal strings
+/// short-circuit to `0`, the shared prefix and suffix are trimmed off
+/// (exact for OSA — matching affix characters align with zero cost in an
+/// optimal restricted edit script; verified exhaustively against the
+/// untrimmed DP), and the three rolling DP rows live in `scratch`, so a
+/// warm steady-state call performs no heap allocations.
+pub fn distance_with(a: &str, b: &str, scratch: &mut DistanceScratch) -> usize {
+    if a == b {
+        return 0;
+    }
+    let DistanceScratch {
+        ca,
+        cb,
+        row0: prev2,
+        row1: prev,
+        row2: curr,
+        ..
+    } = scratch;
+    let (av, bv) = decode_and_trim(ca, cb, a, b);
     let (n, m) = (av.len(), bv.len());
     if n == 0 {
         return m;
@@ -30,9 +51,12 @@ pub fn distance(a: &str, b: &str) -> usize {
     }
 
     // Three rolling rows: i-2, i-1, i.
-    let mut prev2: Vec<usize> = vec![0; m + 1];
-    let mut prev: Vec<usize> = (0..=m).collect();
-    let mut curr: Vec<usize> = vec![0; m + 1];
+    prev2.clear();
+    prev2.resize(m + 1, 0);
+    prev.clear();
+    prev.extend(0..=m);
+    curr.clear();
+    curr.resize(m + 1, 0);
 
     for i in 1..=n {
         curr[0] = i;
@@ -44,8 +68,8 @@ pub fn distance(a: &str, b: &str) -> usize {
             }
             curr[j] = d;
         }
-        std::mem::swap(&mut prev2, &mut prev);
-        std::mem::swap(&mut prev, &mut curr);
+        std::mem::swap(prev2, prev);
+        std::mem::swap(prev, curr);
     }
     prev[m]
 }
@@ -55,11 +79,68 @@ pub fn normalized_distance(a: &str, b: &str) -> f64 {
     normalize_by_max_len(distance(a, b), a.chars().count(), b.chars().count())
 }
 
+/// [`normalized_distance`] through caller-provided scratch buffers.
+pub fn normalized_distance_with(a: &str, b: &str, scratch: &mut DistanceScratch) -> f64 {
+    normalize_by_max_len(
+        distance_with(a, b, scratch),
+        a.chars().count(),
+        b.chars().count(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::levenshtein;
     use proptest::prelude::*;
+
+    /// The original untrimmed three-row DP, kept as the oracle for the
+    /// equal-string / affix-trimming fast path.
+    fn reference(a: &str, b: &str) -> usize {
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        let (n, m) = (av.len(), bv.len());
+        if n == 0 {
+            return m;
+        }
+        if m == 0 {
+            return n;
+        }
+        let mut prev2: Vec<usize> = vec![0; m + 1];
+        let mut prev: Vec<usize> = (0..=m).collect();
+        let mut curr: Vec<usize> = vec![0; m + 1];
+        for i in 1..=n {
+            curr[0] = i;
+            for j in 1..=m {
+                let cost = usize::from(av[i - 1] != bv[j - 1]);
+                let mut d = (prev[j] + 1).min(curr[j - 1] + 1).min(prev[j - 1] + cost);
+                if i > 1 && j > 1 && av[i - 1] == bv[j - 2] && av[i - 2] == bv[j - 1] {
+                    d = d.min(prev2[j - 2] + 1);
+                }
+                curr[j] = d;
+            }
+            std::mem::swap(&mut prev2, &mut prev);
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[m]
+    }
+
+    #[test]
+    fn fast_path_matches_untrimmed_dp_exhaustively() {
+        // Transpositions are the risky interaction with affix trimming,
+        // so check every pair over {a,b,c} up to length 4.
+        let strings = crate::levenshtein::tests::small_strings(4);
+        let mut scratch = crate::scratch::DistanceScratch::new();
+        for a in &strings {
+            for b in &strings {
+                assert_eq!(
+                    distance_with(a, b, &mut scratch),
+                    reference(a, b),
+                    "osa({a:?},{b:?})"
+                );
+            }
+        }
+    }
 
     #[test]
     fn known_values() {
@@ -100,6 +181,12 @@ mod tests {
             prop_assert_eq!(distance(&a, &a), 0);
             let d = normalized_distance(&a, &b);
             prop_assert!((0.0..=1.0).contains(&d));
+        }
+
+        #[test]
+        fn fast_path_matches_untrimmed_dp(a in ".{0,20}", b in ".{0,20}") {
+            let mut scratch = crate::scratch::DistanceScratch::new();
+            prop_assert_eq!(distance_with(&a, &b, &mut scratch), reference(&a, &b));
         }
     }
 }

@@ -1,0 +1,97 @@
+//! Caller-provided scratch buffers for the edit-distance kernels.
+//!
+//! The LEAPME name-feature block evaluates eight string distances per
+//! property pair, and the three DP-based edit distances ([`crate::osa`],
+//! [`crate::levenshtein`], [`crate::damerau`]) each used to allocate
+//! fresh `char` buffers and DP rows on every call. A [`DistanceScratch`]
+//! owns all of those buffers; the `distance_with` variants reuse them,
+//! so a steady-state distance call performs zero heap allocations (the
+//! Damerau last-row map keeps its capacity across calls too).
+
+use std::collections::HashMap;
+
+/// Reusable buffers for [`crate::osa::distance_with`],
+/// [`crate::levenshtein::distance_with`], and
+/// [`crate::damerau::distance_with`]. One scratch serves all three —
+/// buffers are resized per call and never shrink, so after warm-up no
+/// call allocates. Not thread-safe; use one scratch per thread.
+#[derive(Debug, Default)]
+pub struct DistanceScratch {
+    /// Decoded scalar values of the first input.
+    pub(crate) ca: Vec<char>,
+    /// Decoded scalar values of the second input.
+    pub(crate) cb: Vec<char>,
+    /// Rolling DP row (`i − 2` for OSA).
+    pub(crate) row0: Vec<usize>,
+    /// Rolling DP row (`i − 1`).
+    pub(crate) row1: Vec<usize>,
+    /// Rolling DP row (`i`).
+    pub(crate) row2: Vec<usize>,
+    /// Flat DP matrix for the Lowrance–Wagner Damerau kernel.
+    pub(crate) matrix: Vec<usize>,
+    /// Per-character "last seen row" map for the Damerau kernel.
+    pub(crate) last_row: HashMap<char, usize>,
+}
+
+impl DistanceScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Decode `a` and `b` into the given buffers and return views with the
+/// shared prefix and suffix trimmed off.
+///
+/// Trimming the common affixes is exact for all three edit distances in
+/// this crate: matching end characters always align with zero cost in
+/// some optimal edit script, including scripts with transpositions (the
+/// unit tests verify this exhaustively against untrimmed DP references).
+/// After trimming, either side may be empty, and the first/last
+/// remaining characters of the two sides differ.
+pub(crate) fn decode_and_trim<'s>(
+    ca: &'s mut Vec<char>,
+    cb: &'s mut Vec<char>,
+    a: &str,
+    b: &str,
+) -> (&'s [char], &'s [char]) {
+    ca.clear();
+    ca.extend(a.chars());
+    cb.clear();
+    cb.extend(b.chars());
+    let mut start = 0usize;
+    let shorter = ca.len().min(cb.len());
+    while start < shorter && ca[start] == cb[start] {
+        start += 1;
+    }
+    let mut end_a = ca.len();
+    let mut end_b = cb.len();
+    while end_a > start && end_b > start && ca[end_a - 1] == cb[end_b - 1] {
+        end_a -= 1;
+        end_b -= 1;
+    }
+    (&ca[start..end_a], &cb[start..end_b])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trim(a: &str, b: &str) -> (String, String) {
+        let (mut ca, mut cb) = (Vec::new(), Vec::new());
+        let (ta, tb) = decode_and_trim(&mut ca, &mut cb, a, b);
+        (ta.iter().collect(), tb.iter().collect())
+    }
+
+    #[test]
+    fn trims_prefix_and_suffix_without_overlap() {
+        assert_eq!(trim("sitten", "sitting"), ("en".into(), "ing".into()));
+        assert_eq!(trim("kitten", "kitchen"), ("t".into(), "ch".into()));
+        assert_eq!(trim("abcdef", "abxdef"), ("c".into(), "x".into()));
+        assert_eq!(trim("same", "same"), (String::new(), String::new()));
+        // Prefix and suffix regions must not double-count shared chars.
+        assert_eq!(trim("abcabc", "abc"), ("abc".into(), String::new()));
+        assert_eq!(trim("aaa", "aa"), ("a".into(), String::new()));
+        assert_eq!(trim("", "xyz"), (String::new(), "xyz".into()));
+    }
+}

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full verification gate: release build, test suite, lints.
+# Full verification gate: release build, test suite, lints, allocation
+# regression, bench-report sanity.
 #
 #   scripts/verify.sh
 #
@@ -10,15 +11,60 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
 
-echo "==> cargo clippy --workspace"
+echo "==> cargo test -p leapme-nn --features alloc-count (zero-allocation regression)"
+cargo test -p leapme-nn --features alloc-count -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
 # Clippy may be unavailable in minimal toolchains; warn instead of fail.
 if cargo clippy --version >/dev/null 2>&1; then
-    cargo clippy --workspace --all-targets
+    cargo clippy --workspace --all-targets -- -D warnings
 else
     echo "warning: clippy not installed; skipping lint step" >&2
 fi
+
+echo "==> bench smoke run (regenerates BENCH_PR2.json at the PR1 corpus size)"
+cargo run --release -p leapme-bench --bin bench -- --sources 12 >/dev/null
+
+echo "==> bench smoke: BENCH_PR2.json parses and records speedups"
+python3 - <<'EOF'
+import json, math, sys
+
+with open("BENCH_PR2.json") as f:
+    report = json.load(f)
+
+for mode in ("serial", "parallel"):
+    stage = report[mode]
+    for key in ("threads_requested", "threads_effective",
+                "build_s", "featurize_s", "train_s", "score_s", "total_s"):
+        if key not in stage:
+            sys.exit(f"BENCH_PR2.json: {mode}.{key} missing")
+    if stage["total_s"] <= 0:
+        sys.exit(f"BENCH_PR2.json: {mode}.total_s not positive")
+
+for key in ("speedup_build", "speedup_featurize", "speedup_train",
+            "speedup_score", "speedup_total"):
+    v = report.get(key)
+    if not isinstance(v, (int, float)) or not math.isfinite(v) or v <= 0:
+        sys.exit(f"BENCH_PR2.json: {key} missing or not a positive number")
+
+vs = [report.get("vs_pr1_serial"), report.get("vs_pr1_parallel")]
+recorded = [v for v in vs if v is not None]
+if not recorded:
+    sys.exit("BENCH_PR2.json: no vs-PR1 comparison recorded "
+             "(rerun bench with the baseline's corpus: --sources 12)")
+for v in recorded:
+    for key in ("threads", "train_speedup", "score_speedup"):
+        if key not in v:
+            sys.exit(f"BENCH_PR2.json: vs_pr1 comparison missing {key}")
+print("BENCH_PR2.json OK:",
+      ", ".join(f"{k}={report[k]:.3f}" for k in
+                ("speedup_train", "speedup_score")),
+      "| vs PR1:",
+      ", ".join(f"train×{v['train_speedup']:.2f} score×{v['score_speedup']:.2f}"
+                for v in recorded))
+EOF
 
 echo "==> verify OK"

@@ -58,7 +58,7 @@ pub mod thread {
 mod tests {
     #[test]
     fn scoped_threads_share_borrows() {
-        let data = vec![1u32, 2, 3, 4];
+        let data = [1u32, 2, 3, 4];
         let total: u32 = crate::thread::scope(|scope| {
             let handles: Vec<_> = data
                 .chunks(2)

@@ -80,6 +80,10 @@ struct VsBaseline {
 
 #[derive(Debug, Serialize)]
 struct BenchReport {
+    /// Whether the fault-injection hooks were compiled into this
+    /// binary. Must be `false` for any benchmark that counts: the
+    /// chaos stage of scripts/verify.sh greps for it.
+    faults_enabled: bool,
     cores: usize,
     sources: usize,
     properties: usize,
@@ -322,6 +326,7 @@ fn main() {
 
     let ratio = |s: f64, p: f64| if p > 0.0 { s / p } else { f64::NAN };
     let report = BenchReport {
+        faults_enabled: cfg!(feature = "faults"),
         cores,
         sources,
         properties: dataset.properties().len(),

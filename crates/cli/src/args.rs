@@ -9,9 +9,14 @@ pub struct Flags {
     values: BTreeMap<String, String>,
 }
 
+/// Flags that stand alone: their presence means `true` and no value
+/// token follows them on the command line.
+const BOOLEAN_FLAGS: &[&str] = &["lenient"];
+
 impl Flags {
     /// Parse a flag list. Every flag must start with `--` and carry
-    /// exactly one value; repeated flags keep the last value.
+    /// exactly one value — except the boolean flags in [`BOOLEAN_FLAGS`],
+    /// which take none. Repeated flags keep the last value.
     pub fn parse(argv: &[String]) -> Result<Self, CliError> {
         let mut values = BTreeMap::new();
         let mut iter = argv.iter();
@@ -21,6 +26,10 @@ impl Flags {
                     "expected --flag, found {token:?}"
                 )));
             };
+            if BOOLEAN_FLAGS.contains(&key) {
+                values.insert(key.to_string(), "true".to_string());
+                continue;
+            }
             let Some(value) = iter.next() else {
                 return Err(CliError::Usage(format!("flag --{key} is missing a value")));
             };
@@ -48,6 +57,11 @@ impl Flags {
     pub fn require(&self, key: &str) -> Result<&str, CliError> {
         self.get(key)
             .ok_or_else(|| CliError::Usage(format!("missing required flag --{key}")))
+    }
+
+    /// Whether a boolean flag (e.g. `--lenient`) was given.
+    pub fn is_set(&self, key: &str) -> bool {
+        self.get(key).is_some_and(|v| v != "false" && v != "0")
     }
 
     /// Optional typed flag with default; malformed values are an error.
@@ -86,6 +100,20 @@ mod tests {
     #[test]
     fn rejects_dangling_flag() {
         assert!(Flags::parse(&strings(&["--seed"])).is_err());
+    }
+
+    #[test]
+    fn boolean_flag_takes_no_value() {
+        let f = Flags::parse(&strings(&["--lenient", "--out", "x.json"])).unwrap();
+        assert!(f.is_set("lenient"));
+        assert_eq!(f.get("out"), Some("x.json"));
+    }
+
+    #[test]
+    fn trailing_boolean_flag_parses() {
+        let f = Flags::parse(&strings(&["--out", "x.json", "--lenient"])).unwrap();
+        assert!(f.is_set("lenient"));
+        assert!(!f.is_set("missing"));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! `leapme cluster` — derive property clusters from a similarity graph.
 
-use super::load_graph;
+use super::{load_graph, to_json_pretty};
 use crate::args::Flags;
 use crate::CliError;
 use leapme::core::cluster::{connected_components, star_clustering, Clustering};
@@ -49,10 +49,7 @@ pub fn run(flags: &Flags) -> Result<String, CliError> {
             .iter()
             .map(|c| c.iter().map(|k| k.to_string()).collect())
             .collect();
-        std::fs::write(
-            json_out,
-            serde_json::to_string_pretty(&clusters_json).expect("serializable"),
-        )?;
+        std::fs::write(json_out, to_json_pretty(&clusters_json, "clusters")?)?;
         writeln!(out, "[clusters written to {json_out}]").unwrap();
     }
     Ok(out)

@@ -1,6 +1,6 @@
 //! `leapme fuse` — derive a unified schema from a similarity graph.
 
-use super::{load_dataset, load_graph};
+use super::{load_dataset, load_graph, to_json_pretty};
 use crate::args::Flags;
 use crate::CliError;
 use leapme::core::cluster::{connected_components, star_clustering};
@@ -26,7 +26,7 @@ pub fn run(flags: &Flags) -> Result<String, CliError> {
 
     let mut out = schema.to_text();
     if let Some(path) = flags.get("out") {
-        std::fs::write(path, serde_json::to_string_pretty(&schema).expect("serializable"))?;
+        std::fs::write(path, to_json_pretty(&schema, "unified schema")?)?;
         out.push_str(&format!("\n[schema written to {path}]\n"));
     }
     Ok(out)

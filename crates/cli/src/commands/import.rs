@@ -3,7 +3,7 @@
 
 use crate::args::Flags;
 use crate::CliError;
-use leapme::data::io::read_dataset;
+use leapme::data::io::{read_dataset, read_dataset_lenient};
 use std::path::Path;
 
 /// Run the command.
@@ -13,12 +13,27 @@ pub fn run(flags: &Flags) -> Result<String, CliError> {
     let out = flags.require("out")?;
     let alignments = flags.get("alignments").map(Path::new);
 
-    let dataset = read_dataset(name, Path::new(instances), alignments)
-        .map_err(|e| CliError::Parse(e.to_string()))?;
+    // Strict mode (the default) fails the whole import on the first
+    // malformed row; `--lenient` imports the good rows and reports the
+    // skipped ones (capped at the first 20).
+    let (dataset, note) = if flags.is_set("lenient") {
+        let (dataset, report) = read_dataset_lenient(name, Path::new(instances), alignments)
+            .map_err(|e| CliError::Parse(e.to_string()))?;
+        let note = if report.skipped > 0 {
+            format!("\n{}", report.summary())
+        } else {
+            String::new()
+        };
+        (dataset, note)
+    } else {
+        let dataset = read_dataset(name, Path::new(instances), alignments)
+            .map_err(|e| CliError::Parse(e.to_string()))?;
+        (dataset, String::new())
+    };
     std::fs::write(out, dataset.to_json())?;
     let s = dataset.stats();
     Ok(format!(
-        "wrote {out}: {} sources, {} properties ({} aligned), {} instances, {} matching pairs",
+        "wrote {out}: {} sources, {} properties ({} aligned), {} instances, {} matching pairs{note}",
         s.sources, s.properties, s.aligned_properties, s.instances, s.matching_pairs
     ))
 }
@@ -60,6 +75,32 @@ mod tests {
         let ds = Dataset::from_json(&std::fs::read_to_string(&out).unwrap()).unwrap();
         assert_eq!(ds.name(), "myshop");
         for p in [inst, align, out] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn lenient_import_skips_bad_rows_and_reports_them() {
+        let inst = tmp("import_lenient.csv");
+        std::fs::write(
+            &inst,
+            "source,property,entity,value\n\
+             shopA,mp,e1,20 MP\n\
+             too,few\n\
+             shopB,resolution,x1,20\n",
+        )
+        .unwrap();
+        let out = tmp("import_lenient_out.json");
+        let msg = run(&Flags::from_pairs(&[
+            ("instances", inst.to_str().unwrap()),
+            ("lenient", "true"),
+            ("out", out.to_str().unwrap()),
+        ]))
+        .unwrap();
+        assert!(msg.contains("2 instances"), "{msg}");
+        assert!(msg.contains("skipped 1 malformed"), "{msg}");
+        assert!(msg.contains("line 3"), "{msg}");
+        for p in [inst, out] {
             std::fs::remove_file(p).ok();
         }
     }

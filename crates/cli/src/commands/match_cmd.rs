@@ -1,7 +1,7 @@
 //! `leapme match` — train LEAPME on part of a dataset and score the
 //! held-out pairs into a similarity graph.
 
-use super::load_dataset;
+use super::{load_dataset, to_json, to_json_pretty};
 use crate::args::Flags;
 use crate::CliError;
 use leapme::core::pipeline::{Leapme, LeapmeConfig};
@@ -50,7 +50,22 @@ pub fn run(flags: &Flags) -> Result<String, CliError> {
         ));
     }
 
-    let store = PropertyFeatureStore::build(&dataset, &embeddings);
+    let store = PropertyFeatureStore::try_build(&dataset, &embeddings)
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    // Degraded-mode report: properties without embedding signal are
+    // still scored on the 29 non-embedding features, but the user
+    // should know their run is degraded (DESIGN.md §8).
+    let mut warnings = String::new();
+    if !store.degradation().is_clean() {
+        warnings.push_str(&format!("warning: {}\n", store.degradation().summary()));
+    }
+    let sanitize = store.sanitize_stats();
+    if !sanitize.is_clean() {
+        warnings.push_str(&format!(
+            "warning: repaired {} non-finite and clamped {} oversized feature values\n",
+            sanitize.nonfinite, sanitize.clamped
+        ));
+    }
     let train = sampling::training_pairs(&dataset, &train_sources, 2, &mut rng);
     if train.is_empty() {
         return Err(CliError::Pipeline(
@@ -68,17 +83,14 @@ pub fn run(flags: &Flags) -> Result<String, CliError> {
     let graph = model
         .predict_graph(&store, &candidates)
         .map_err(|e| CliError::Pipeline(e.to_string()))?;
-    std::fs::write(out, serde_json::to_string_pretty(&graph).expect("graph serializes"))?;
+    std::fs::write(out, to_json_pretty(&graph, "similarity graph")?)?;
 
     if let Some(model_path) = flags.get("save-model") {
-        std::fs::write(
-            model_path,
-            serde_json::to_string(&model).expect("model serializes"),
-        )?;
+        std::fs::write(model_path, to_json(&model, "model")?)?;
     }
 
     Ok(format!(
-        "wrote {out}: {} scored pairs, {} matches at threshold {threshold} \
+        "{warnings}wrote {out}: {} scored pairs, {} matches at threshold {threshold} \
          ({} training pairs from {} sources)",
         graph.len(),
         graph.matches(threshold).len(),
@@ -151,6 +163,28 @@ mod tests {
         .unwrap();
         assert!(msg.contains("6 sources"));
         std::fs::remove_file(graph_path).ok();
+    }
+
+    #[test]
+    fn degraded_embeddings_warn_but_still_match() {
+        let (ds, _emb) = fixture();
+        // An embedding vocabulary that resolves nothing: every property
+        // falls back to the non-embedding features, and the run reports it.
+        let emb_path = tmp("match_emb_useless.txt");
+        std::fs::write(&emb_path, "qqqq 0.1 0.2 0.3 0.4 0.5 0.6 0.7 0.8\n").unwrap();
+        let graph_path = tmp("match_graph_degraded.json");
+        let msg = run(&Flags::from_pairs(&[
+            ("dataset", ds.to_str().unwrap()),
+            ("embeddings", emb_path.to_str().unwrap()),
+            ("fuzzy-oov", "0"),
+            ("out", graph_path.to_str().unwrap()),
+        ]))
+        .unwrap();
+        assert!(msg.contains("degraded"), "{msg}");
+        assert!(msg.contains("scored pairs"), "{msg}");
+        for p in [emb_path, graph_path] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]

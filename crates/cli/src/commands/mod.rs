@@ -32,6 +32,23 @@ pub(crate) fn load_dataset(path: &str) -> Result<leapme::data::model::Dataset, C
         .map_err(|e| CliError::Parse(format!("{path}: {e}")))
 }
 
+/// Serialize a value to pretty JSON, surfacing failures as a
+/// [`CliError`] instead of panicking.
+pub(crate) fn to_json_pretty<T: serde::Serialize>(
+    value: &T,
+    what: &str,
+) -> Result<String, CliError> {
+    serde_json::to_string_pretty(value)
+        .map_err(|e| CliError::Pipeline(format!("cannot serialize {what}: {e}")))
+}
+
+/// Serialize a value to compact JSON, surfacing failures as a
+/// [`CliError`] instead of panicking.
+pub(crate) fn to_json<T: serde::Serialize>(value: &T, what: &str) -> Result<String, CliError> {
+    serde_json::to_string(value)
+        .map_err(|e| CliError::Pipeline(format!("cannot serialize {what}: {e}")))
+}
+
 /// Load a similarity graph JSON file.
 pub(crate) fn load_graph(path: &str) -> Result<leapme::core::simgraph::SimilarityGraph, CliError> {
     let json = std::fs::read_to_string(path)?;

@@ -36,6 +36,25 @@ pub enum CliError {
     Pipeline(String),
 }
 
+impl CliError {
+    /// Process exit code the top-level handler should use: `2` for
+    /// usage errors (bad flags, unknown command), `1` for everything
+    /// else that fails at run time. Success exits `0`.
+    pub fn exit_code(&self) -> i32 {
+        if self.is_usage() {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Whether the top-level handler should append [`USAGE`] — only
+    /// worth it when the user got the invocation itself wrong.
+    pub fn is_usage(&self) -> bool {
+        matches!(self, CliError::Usage(_))
+    }
+}
+
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -65,7 +84,9 @@ USAGE:
 COMMANDS:
     generate   --domain <cameras|headphones|phones|tvs> [--seed N] --out <dataset.json>
     import     --instances <instances.csv> [--alignments <alignments.csv>]
-               [--name NAME] --out <dataset.json>
+               [--name NAME] [--lenient] --out <dataset.json>
+               (--lenient skips malformed CSV rows and reports them
+                instead of failing the import)
     embed      --domains <d1,d2,…> [--dim N] [--seed N] --out <vectors.txt>
     stats      --dataset <dataset.json>
     match      --dataset <dataset.json> --embeddings <vectors.txt>
@@ -120,5 +141,20 @@ mod tests {
     fn unknown_command_is_usage_error() {
         let err = run(&["frobnicate".to_string()]).unwrap_err();
         assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn usage_errors_exit_2_run_errors_exit_1() {
+        let usage = CliError::Usage("bad".into());
+        assert!(usage.is_usage());
+        assert_eq!(usage.exit_code(), 2);
+        for err in [
+            CliError::Io(std::io::Error::other("disk")),
+            CliError::Parse("bad json".into()),
+            CliError::Pipeline("training failed".into()),
+        ] {
+            assert!(!err.is_usage());
+            assert_eq!(err.exit_code(), 1);
+        }
     }
 }

@@ -13,9 +13,13 @@ fn main() {
             let _ = writeln!(handle, "{output}");
         }
         Err(e) => {
+            // The single top-level error printer: usage mistakes get the
+            // usage text and exit 2, runtime failures exit 1.
             eprintln!("error: {e}");
-            eprintln!("\n{}", leapme_cli::USAGE);
-            std::process::exit(2);
+            if e.is_usage() {
+                eprintln!("\n{}", leapme_cli::USAGE);
+            }
+            std::process::exit(e.exit_code());
         }
     }
 }

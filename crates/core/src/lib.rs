@@ -78,6 +78,14 @@ pub enum CoreError {
     Feature(leapme_features::vectorizer::FeatureError),
     /// The underlying network failed.
     Nn(leapme_nn::NnError),
+    /// A worker thread panicked twice (once in parallel, once on the
+    /// serial requeue), so its shard's work could not be recovered.
+    WorkerPanic {
+        /// Pipeline site where the worker died (e.g. `core.score.worker`).
+        site: String,
+        /// Rendered panic payload.
+        payload: String,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -87,6 +95,9 @@ impl std::fmt::Display for CoreError {
             CoreError::InvalidSplit(msg) => write!(f, "invalid split: {msg}"),
             CoreError::Feature(e) => write!(f, "feature error: {e}"),
             CoreError::Nn(e) => write!(f, "network error: {e}"),
+            CoreError::WorkerPanic { site, payload } => {
+                write!(f, "worker panic at {site}: {payload}")
+            }
         }
     }
 }

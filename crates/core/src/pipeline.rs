@@ -196,6 +196,10 @@ impl LeapmeModel {
     /// scoped threads; `0` = one per available core). Results are
     /// bit-identical to the serial path and returned in input order —
     /// inference is deterministic, only the work scheduling differs.
+    ///
+    /// A panicking worker loses only its own chunk: the chunk is requeued
+    /// once on the calling thread, and a second panic surfaces as
+    /// [`CoreError::WorkerPanic`] instead of aborting the process.
     pub fn score_pairs_parallel(
         &self,
         store: &PropertyFeatureStore,
@@ -213,20 +217,45 @@ impl LeapmeModel {
             return self.score_pairs(store, pairs);
         }
         let chunk_len = pairs.len().div_ceil(threads);
-        let results: Vec<Result<Vec<f32>, CoreError>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = pairs
-                .chunks(chunk_len)
-                .map(|chunk| scope.spawn(move |_| self.score_pairs(store, chunk)))
+        let chunks: Vec<&[PropertyPair]> = pairs.chunks(chunk_len).collect();
+        let score_chunk = |chunk: &[PropertyPair]| {
+            #[cfg(feature = "faults")]
+            leapme_faults::maybe_panic(leapme_faults::sites::SCORE_WORKER);
+            self.score_pairs(store, chunk)
+        };
+        let mut results: Vec<Option<Result<Vec<f32>, CoreError>>> = Vec::new();
+        let mut failed: Vec<usize> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| scope.spawn(move |_| score_chunk(chunk)))
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("scorer thread panicked"))
-                .collect()
+            // Joining every handle keeps a worker panic contained in its
+            // join result instead of re-panicking out of the scope.
+            for (i, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(r) => results.push(Some(r)),
+                    Err(_) => {
+                        results.push(None);
+                        failed.push(i);
+                    }
+                }
+            }
         })
-        .expect("crossbeam scope");
+        .expect("crossbeam scope with joined handles");
+        for i in failed {
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| score_chunk(chunks[i])));
+            results[i] = Some(outcome.unwrap_or_else(|payload| {
+                Err(CoreError::WorkerPanic {
+                    site: "core.score.worker".into(),
+                    payload: leapme_features::vectorizer::panic_message(payload.as_ref()),
+                })
+            }));
+        }
         let mut out = Vec::with_capacity(pairs.len());
         for r in results {
-            out.extend(r?);
+            out.extend(r.expect("every chunk resolved")?);
         }
         Ok(out)
     }

@@ -166,26 +166,59 @@ pub fn run_repeated(
     } else {
         let reps: Vec<usize> = (0..cfg.repetitions).collect();
         let chunks: Vec<&[usize]> = reps.chunks(cfg.repetitions.div_ceil(threads)).collect();
-        let results: Vec<Vec<(usize, Result<RunOutcome, CoreError>)>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .map(|chunk| {
-                        scope.spawn(move || {
-                            chunk
-                                .iter()
-                                .map(|&r| (r, run_once(dataset, store, cfg, r)))
-                                .collect::<Vec<_>>()
-                        })
+        let run_chunk = |chunk: &[usize]| {
+            #[cfg(feature = "faults")]
+            leapme_faults::maybe_panic(leapme_faults::sites::RUNNER_WORKER);
+            chunk
+                .iter()
+                .map(|&r| (r, run_once(dataset, store, cfg, r)))
+                .collect::<Vec<_>>()
+        };
+        type ChunkResult = Vec<(usize, Result<RunOutcome, CoreError>)>;
+        // A panicking worker loses only its own chunk of repetitions:
+        // the chunk is requeued once on the calling thread, and a second
+        // panic fails those repetitions with a structured error instead
+        // of aborting the process.
+        let mut results: Vec<Option<ChunkResult>> = Vec::new();
+        let mut failed: Vec<usize> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| scope.spawn(move || run_chunk(chunk)))
+                .collect();
+            for (i, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(r) => results.push(Some(r)),
+                    Err(_) => {
+                        results.push(None);
+                        failed.push(i);
+                    }
+                }
+            }
+        });
+        for i in failed {
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_chunk(chunks[i])));
+            results[i] = Some(outcome.unwrap_or_else(|payload| {
+                let payload = leapme_features::vectorizer::panic_message(payload.as_ref());
+                chunks[i]
+                    .iter()
+                    .map(|&r| {
+                        (
+                            r,
+                            Err(CoreError::WorkerPanic {
+                                site: "core.runner.worker".into(),
+                                payload: payload.clone(),
+                            }),
+                        )
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
                     .collect()
-            });
-        let mut flat: Vec<(usize, Result<RunOutcome, CoreError>)> =
-            results.into_iter().flatten().collect();
+            }));
+        }
+        let mut flat: Vec<(usize, Result<RunOutcome, CoreError>)> = results
+            .into_iter()
+            .flat_map(|r| r.expect("every chunk resolved"))
+            .collect();
         flat.sort_by_key(|(r, _)| *r);
         outcomes.extend(flat.into_iter().map(|(_, o)| o));
     }

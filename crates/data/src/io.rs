@@ -50,6 +50,48 @@ impl From<std::io::Error> for CsvError {
     }
 }
 
+/// Maximum number of per-line errors kept in an [`ImportReport`].
+pub const MAX_REPORTED_ERRORS: usize = 20;
+
+/// Outcome summary of a lenient CSV import ([`read_dataset_lenient`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ImportReport {
+    /// Data rows imported successfully (instances + alignments).
+    pub imported: usize,
+    /// Malformed rows skipped.
+    pub skipped: usize,
+    /// The first [`MAX_REPORTED_ERRORS`] skipped rows as
+    /// `(1-based line, message)`; later errors are counted but dropped.
+    pub errors: Vec<(usize, String)>,
+}
+
+impl ImportReport {
+    fn record(&mut self, line: usize, message: String) {
+        self.skipped += 1;
+        if self.errors.len() < MAX_REPORTED_ERRORS {
+            self.errors.push((line, message));
+        }
+    }
+
+    /// Human-readable multi-line summary of what was skipped.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "imported {} rows, skipped {} malformed",
+            self.imported, self.skipped
+        );
+        for (line, message) in &self.errors {
+            out.push_str(&format!("\n  line {line}: {message}"));
+        }
+        if self.skipped > self.errors.len() {
+            out.push_str(&format!(
+                "\n  … and {} more",
+                self.skipped - self.errors.len()
+            ));
+        }
+        out
+    }
+}
+
 /// Parse one CSV record (RFC-4180: `"` quoting, `""` escapes).
 ///
 /// Returns the fields, or an error message for unterminated quotes.
@@ -100,15 +142,52 @@ fn write_field(out: &mut String, field: &str) {
     }
 }
 
-/// Read `source,property,entity,value` rows (with header) plus an
-/// optional `source,property,reference` alignment file into a [`Dataset`].
-///
-/// Source ids are assigned in first-appearance order across both files.
-pub fn read_dataset(
+/// Fault hook: pretend the underlying reader failed for this line.
+#[cfg(feature = "faults")]
+fn injected_line_io() -> Option<std::io::Error> {
+    (leapme_faults::fires(leapme_faults::sites::CSV_LINE) == Some(leapme_faults::FaultKind::Io))
+        .then(|| std::io::Error::other("injected fault: csv read error"))
+}
+
+#[cfg(not(feature = "faults"))]
+fn injected_line_io() -> Option<std::io::Error> {
+    None
+}
+
+/// Fault hook: pretend this row failed structural validation.
+#[cfg(feature = "faults")]
+fn injected_malformed_row() -> Option<String> {
+    (leapme_faults::fires(leapme_faults::sites::CSV_ROW)
+        == Some(leapme_faults::FaultKind::Malformed))
+    .then(|| "injected fault: malformed row".to_string())
+}
+
+#[cfg(not(feature = "faults"))]
+fn injected_malformed_row() -> Option<String> {
+    None
+}
+
+/// Validate one data row: parse, check the field count, apply faults.
+fn parse_row(line: &str, expected_fields: usize) -> Result<Vec<String>, String> {
+    if let Some(message) = injected_malformed_row() {
+        return Err(message);
+    }
+    let fields = parse_record(line)?;
+    if fields.len() != expected_fields {
+        return Err(format!(
+            "expected {expected_fields} fields, found {}",
+            fields.len()
+        ));
+    }
+    Ok(fields)
+}
+
+fn read_dataset_inner(
     name: &str,
     instances_path: &Path,
     alignments_path: Option<&Path>,
-) -> Result<Dataset, CsvError> {
+    lenient: bool,
+) -> Result<(Dataset, ImportReport), CsvError> {
     let mut sources: Vec<String> = Vec::new();
     let source_id = |name: &str, sources: &mut Vec<String>| -> SourceId {
         match sources.iter().position(|s| s == name) {
@@ -119,24 +198,33 @@ pub fn read_dataset(
             }
         }
     };
+    let mut report = ImportReport::default();
 
     let mut instances = Vec::new();
     let reader = BufReader::new(std::fs::File::open(instances_path)?);
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
+        // An I/O failure is a property of the stream, not of one row, so
+        // it aborts the import even in lenient mode.
+        if let Some(e) = injected_line_io() {
+            return Err(CsvError::Io(e));
+        }
         if lineno == 0 || line.trim().is_empty() {
             continue; // header / blank
         }
-        let fields = parse_record(&line).map_err(|message| CsvError::Malformed {
-            line: lineno + 1,
-            message,
-        })?;
-        if fields.len() != 4 {
-            return Err(CsvError::Malformed {
-                line: lineno + 1,
-                message: format!("expected 4 fields, found {}", fields.len()),
-            });
-        }
+        let fields = match parse_row(&line, 4) {
+            Ok(fields) => fields,
+            Err(message) if lenient => {
+                report.record(lineno + 1, message);
+                continue;
+            }
+            Err(message) => {
+                return Err(CsvError::Malformed {
+                    line: lineno + 1,
+                    message,
+                })
+            }
+        };
         let sid = source_id(&fields[0], &mut sources);
         instances.push(Instance {
             source: sid,
@@ -144,6 +232,7 @@ pub fn read_dataset(
             entity: fields[2].clone(),
             value: fields[3].clone(),
         });
+        report.imported += 1;
     }
 
     let mut alignment: BTreeMap<PropertyKey, String> = BTreeMap::new();
@@ -151,25 +240,58 @@ pub fn read_dataset(
         let reader = BufReader::new(std::fs::File::open(path)?);
         for (lineno, line) in reader.lines().enumerate() {
             let line = line?;
+            if let Some(e) = injected_line_io() {
+                return Err(CsvError::Io(e));
+            }
             if lineno == 0 || line.trim().is_empty() {
                 continue;
             }
-            let fields = parse_record(&line).map_err(|message| CsvError::Malformed {
-                line: lineno + 1,
-                message,
-            })?;
-            if fields.len() != 3 {
-                return Err(CsvError::Malformed {
-                    line: lineno + 1,
-                    message: format!("expected 3 fields, found {}", fields.len()),
-                });
-            }
+            let fields = match parse_row(&line, 3) {
+                Ok(fields) => fields,
+                Err(message) if lenient => {
+                    report.record(lineno + 1, message);
+                    continue;
+                }
+                Err(message) => {
+                    return Err(CsvError::Malformed {
+                        line: lineno + 1,
+                        message,
+                    })
+                }
+            };
             let sid = source_id(&fields[0], &mut sources);
             alignment.insert(PropertyKey::new(sid, fields[1].clone()), fields[2].clone());
+            report.imported += 1;
         }
     }
 
-    Dataset::new(name, sources, instances, alignment).map_err(CsvError::Model)
+    let dataset = Dataset::new(name, sources, instances, alignment).map_err(CsvError::Model)?;
+    Ok((dataset, report))
+}
+
+/// Read `source,property,entity,value` rows (with header) plus an
+/// optional `source,property,reference` alignment file into a [`Dataset`].
+///
+/// Source ids are assigned in first-appearance order across both files.
+/// Strict: the first malformed row aborts the import. See
+/// [`read_dataset_lenient`] for the fail-soft variant.
+pub fn read_dataset(
+    name: &str,
+    instances_path: &Path,
+    alignments_path: Option<&Path>,
+) -> Result<Dataset, CsvError> {
+    read_dataset_inner(name, instances_path, alignments_path, false).map(|(ds, _)| ds)
+}
+
+/// Like [`read_dataset`], but malformed rows are skipped and collected
+/// into an [`ImportReport`] (first [`MAX_REPORTED_ERRORS`] kept verbatim)
+/// instead of aborting the import. I/O errors still abort.
+pub fn read_dataset_lenient(
+    name: &str,
+    instances_path: &Path,
+    alignments_path: Option<&Path>,
+) -> Result<(Dataset, ImportReport), CsvError> {
+    read_dataset_inner(name, instances_path, alignments_path, true)
 }
 
 /// Write a dataset's instances (and alignment, if any) back to CSV files.
@@ -292,6 +414,62 @@ mod tests {
         let err = read_dataset("bad", &inst, None).unwrap_err();
         assert!(matches!(err, CsvError::Malformed { line: 2, .. }));
         std::fs::remove_file(inst).ok();
+    }
+
+    #[test]
+    fn lenient_skips_malformed_rows_and_reports() {
+        let inst = tmp("lenient_instances.csv");
+        std::fs::write(
+            &inst,
+            "source,property,entity,value\n\
+             shopA,megapixels,e1,20.1 MP\n\
+             only,three,fields\n\
+             \"unterminated,x,y,z\n\
+             shopB,resolution,x1,24 MP\n",
+        )
+        .unwrap();
+        let (ds, report) = read_dataset_lenient("lenient", &inst, None).unwrap();
+        assert_eq!(ds.stats().instances, 2);
+        assert_eq!(report.imported, 2);
+        assert_eq!(report.skipped, 2);
+        assert_eq!(report.errors.len(), 2);
+        assert_eq!(report.errors[0].0, 3);
+        assert_eq!(report.errors[1].0, 4);
+        assert!(report.summary().contains("skipped 2 malformed"));
+        std::fs::remove_file(inst).ok();
+    }
+
+    #[test]
+    fn lenient_report_caps_error_list() {
+        let inst = tmp("lenient_cap_instances.csv");
+        let mut csv = String::from("source,property,entity,value\n");
+        for _ in 0..(MAX_REPORTED_ERRORS + 5) {
+            csv.push_str("only,three,fields\n");
+        }
+        csv.push_str("shopA,p,e,v\n");
+        std::fs::write(&inst, &csv).unwrap();
+        let (ds, report) = read_dataset_lenient("cap", &inst, None).unwrap();
+        assert_eq!(ds.stats().instances, 1);
+        assert_eq!(report.skipped, MAX_REPORTED_ERRORS + 5);
+        assert_eq!(report.errors.len(), MAX_REPORTED_ERRORS);
+        assert!(report.summary().contains("and 5 more"));
+        std::fs::remove_file(inst).ok();
+    }
+
+    #[test]
+    fn lenient_matches_strict_on_clean_input() {
+        let original = generate(Domain::Cameras, 5);
+        let inst_path = tmp("lenient_clean_instances.csv");
+        let align_path = tmp("lenient_clean_alignments.csv");
+        write_dataset(&original, &inst_path, Some(&align_path)).unwrap();
+        let strict = read_dataset("c", &inst_path, Some(&align_path)).unwrap();
+        let (lenient, report) =
+            read_dataset_lenient("c", &inst_path, Some(&align_path)).unwrap();
+        assert_eq!(strict.stats(), lenient.stats());
+        assert_eq!(report.skipped, 0);
+        assert!(report.errors.is_empty());
+        std::fs::remove_file(inst_path).ok();
+        std::fs::remove_file(align_path).ok();
     }
 
     #[test]

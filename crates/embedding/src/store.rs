@@ -78,6 +78,14 @@ impl EmbeddingStore {
 
     /// Resolve a token to a vector, applying the fuzzy OOV policy.
     fn resolve(&self, word: &str) -> Option<&[f32]> {
+        // Fault hook: treat this token as out-of-vocabulary, exercising
+        // the zero-vector OOV degradation path.
+        #[cfg(feature = "faults")]
+        if leapme_faults::fires(leapme_faults::sites::EMBEDDING_LOOKUP)
+            == Some(leapme_faults::FaultKind::MissingEmbedding)
+        {
+            return None;
+        }
         if let Some(v) = self.vectors.get(word) {
             return Some(v.as_slice());
         }

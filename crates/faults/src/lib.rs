@@ -1,0 +1,521 @@
+//! Deterministic, spec-driven fault injection for chaos testing.
+//!
+//! The pipeline crates expose named *fault sites* (see [`sites`]) at
+//! which this module can inject failures: I/O errors, malformed rows,
+//! non-finite numerics, oversized values, missing-embedding lookups,
+//! and worker panics. Whether a given visit to a site fires is decided
+//! deterministically from `(seed, site, visit-counter)` via a
+//! splitmix64 hash, so a chaos run is exactly reproducible from its
+//! spec string.
+//!
+//! # Spec grammar
+//!
+//! A plan is a `;`-separated list of directives:
+//!
+//! ```text
+//! seed=42;data.csv.row:malformed@0.1;nn.loss:nan@1.0#2
+//! ```
+//!
+//! * `seed=N` — base seed for the deterministic decisions (default 0).
+//! * `site:kind@prob` — at `site`, inject `kind` with probability
+//!   `prob` per visit.
+//! * `site:kind@prob#max` — same, but fire at most `max` times.
+//!
+//! Kinds: `io`, `malformed`, `nan`, `inf`, `oversize`,
+//! `missing-embedding`, `panic`.
+//!
+//! The plan is installed either programmatically ([`install`] /
+//! [`with_plan`]) or lazily from the `LEAPME_FAULTS` environment
+//! variable on first use. Production binaries compile the hooks out
+//! entirely: the dependent crates only call into this crate under
+//! their `faults` cargo feature.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
+
+/// Canonical fault-site names used across the workspace.
+///
+/// Keeping them in one place documents the full fault surface and
+/// prevents typo'd site strings from silently never firing.
+pub mod sites {
+    /// Reading a line from a CSV source (`kind: io`).
+    pub const CSV_LINE: &str = "data.csv.line";
+    /// Structural validation of a parsed CSV row (`kind: malformed`).
+    pub const CSV_ROW: &str = "data.csv.row";
+    /// Embedding vocabulary lookup (`kind: missing-embedding`).
+    pub const EMBEDDING_LOOKUP: &str = "embedding.lookup";
+    /// Numeric feature extraction from an instance value
+    /// (`kind: nan | inf | oversize`).
+    pub const INSTANCE_VALUE: &str = "features.instance.value";
+    /// Parallel feature-build worker (`kind: panic`).
+    pub const FEATURE_WORKER: &str = "features.worker";
+    /// Parallel pair-matrix worker (`kind: panic`).
+    pub const PAIR_WORKER: &str = "features.pair.worker";
+    /// Mini-batch loss computation in training (`kind: nan`).
+    pub const NN_LOSS: &str = "nn.loss";
+    /// Parallel scoring worker (`kind: panic`).
+    pub const SCORE_WORKER: &str = "core.score.worker";
+    /// Repeated-evaluation worker (`kind: panic`).
+    pub const RUNNER_WORKER: &str = "core.runner.worker";
+}
+
+/// What kind of failure to inject at a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// An I/O error (e.g. a failed read).
+    Io,
+    /// A structurally malformed record.
+    Malformed,
+    /// A `NaN` value.
+    Nan,
+    /// An infinite value.
+    Inf,
+    /// A finite but absurdly large value (e.g. `1e30`).
+    Oversize,
+    /// A vocabulary token with no embedding vector.
+    MissingEmbedding,
+    /// A worker-thread panic.
+    Panic,
+}
+
+impl FaultKind {
+    fn parse(s: &str) -> Option<FaultKind> {
+        Some(match s {
+            "io" => FaultKind::Io,
+            "malformed" => FaultKind::Malformed,
+            "nan" => FaultKind::Nan,
+            "inf" => FaultKind::Inf,
+            "oversize" => FaultKind::Oversize,
+            "missing-embedding" => FaultKind::MissingEmbedding,
+            "panic" => FaultKind::Panic,
+            _ => return None,
+        })
+    }
+
+    /// The spec-string name of this kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Io => "io",
+            FaultKind::Malformed => "malformed",
+            FaultKind::Nan => "nan",
+            FaultKind::Inf => "inf",
+            FaultKind::Oversize => "oversize",
+            FaultKind::MissingEmbedding => "missing-embedding",
+            FaultKind::Panic => "panic",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One `site:kind@prob[#max]` directive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteSpec {
+    /// The fault-site name (see [`sites`]).
+    pub site: String,
+    /// What to inject there.
+    pub kind: FaultKind,
+    /// Per-visit firing probability in `[0, 1]`.
+    pub prob: f64,
+    /// Optional cap on the total number of firings.
+    pub max: Option<u64>,
+}
+
+/// A parsed `LEAPME_FAULTS` spec.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Base seed for the deterministic decisions.
+    pub seed: u64,
+    /// The per-site directives, in spec order.
+    pub sites: Vec<SiteSpec>,
+}
+
+/// A malformed fault-spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError(String);
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+impl FaultPlan {
+    /// Parse a spec string (see the module docs for the grammar).
+    pub fn parse(spec: &str) -> Result<FaultPlan, FaultSpecError> {
+        let mut plan = FaultPlan::default();
+        for directive in spec.split(';') {
+            let directive = directive.trim();
+            if directive.is_empty() {
+                continue;
+            }
+            if let Some(seed) = directive.strip_prefix("seed=") {
+                plan.seed = seed
+                    .trim()
+                    .parse()
+                    .map_err(|_| FaultSpecError(format!("bad seed {seed:?}")))?;
+                continue;
+            }
+            let (site, rest) = directive.split_once(':').ok_or_else(|| {
+                FaultSpecError(format!("directive {directive:?} is not site:kind@prob"))
+            })?;
+            let (kind, rest) = rest.split_once('@').ok_or_else(|| {
+                FaultSpecError(format!("directive {directive:?} is missing @prob"))
+            })?;
+            let kind = FaultKind::parse(kind.trim())
+                .ok_or_else(|| FaultSpecError(format!("unknown fault kind {kind:?}")))?;
+            let (prob, max) = match rest.split_once('#') {
+                Some((p, m)) => {
+                    let max: u64 = m
+                        .trim()
+                        .parse()
+                        .map_err(|_| FaultSpecError(format!("bad max count {m:?}")))?;
+                    (p, Some(max))
+                }
+                None => (rest, None),
+            };
+            let prob: f64 = prob
+                .trim()
+                .parse()
+                .map_err(|_| FaultSpecError(format!("bad probability {prob:?}")))?;
+            if !(0.0..=1.0).contains(&prob) {
+                return Err(FaultSpecError(format!("probability {prob} not in [0, 1]")));
+            }
+            let site = site.trim();
+            if site.is_empty() {
+                return Err(FaultSpecError(format!("empty site in {directive:?}")));
+            }
+            plan.sites.push(SiteSpec {
+                site: site.to_string(),
+                kind,
+                prob,
+                max,
+            });
+        }
+        Ok(plan)
+    }
+}
+
+struct ActiveSite {
+    spec: SiteSpec,
+    visits: AtomicU64,
+    fired: AtomicU64,
+}
+
+struct ActivePlan {
+    seed: u64,
+    sites: Vec<ActiveSite>,
+}
+
+fn activate(plan: FaultPlan) -> Arc<ActivePlan> {
+    Arc::new(ActivePlan {
+        seed: plan.seed,
+        sites: plan
+            .sites
+            .into_iter()
+            .map(|spec| ActiveSite {
+                spec,
+                visits: AtomicU64::new(0),
+                fired: AtomicU64::new(0),
+            })
+            .collect(),
+    })
+}
+
+fn plan_from_env() -> Option<FaultPlan> {
+    let spec = std::env::var("LEAPME_FAULTS").ok()?;
+    if spec.trim().is_empty() {
+        return None;
+    }
+    match FaultPlan::parse(&spec) {
+        Ok(plan) => Some(plan),
+        Err(e) => {
+            eprintln!("warning: ignoring LEAPME_FAULTS: {e}");
+            None
+        }
+    }
+}
+
+fn state() -> &'static RwLock<Option<Arc<ActivePlan>>> {
+    static STATE: OnceLock<RwLock<Option<Arc<ActivePlan>>>> = OnceLock::new();
+    STATE.get_or_init(|| RwLock::new(plan_from_env().map(activate)))
+}
+
+fn read_plan() -> Option<Arc<ActivePlan>> {
+    state()
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_ref()
+        .map(Arc::clone)
+}
+
+/// Install `plan` as the process-wide fault plan (`None` disarms all
+/// sites). Replaces any plan previously loaded from `LEAPME_FAULTS`.
+pub fn install(plan: Option<FaultPlan>) {
+    *state().write().unwrap_or_else(|e| e.into_inner()) = plan.map(activate);
+}
+
+/// splitmix64 — a small, high-quality bit mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+fn site_hash(site: &str) -> u64 {
+    // FNV-1a over the site name; stable across runs and platforms.
+    let mut h: u64 = 0xCBF29CE484222325;
+    for b in site.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001B3);
+    }
+    h
+}
+
+/// Deterministic uniform draw in `[0, 1)` for visit `n` of `site`.
+fn unit_draw(seed: u64, site: &str, n: u64) -> f64 {
+    let mixed = splitmix64(seed ^ site_hash(site).wrapping_add(splitmix64(n)));
+    // Top 53 bits → f64 mantissa.
+    (mixed >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Decide whether the current visit to `site` injects a fault.
+///
+/// Returns the configured [`FaultKind`] when the site fires, `None`
+/// when no plan is installed, the site is not configured, the per-site
+/// `#max` cap is exhausted, or the probability draw misses. Each call
+/// counts as one visit.
+pub fn fires(site: &str) -> Option<FaultKind> {
+    let plan = read_plan()?;
+    let active = plan.sites.iter().find(|s| s.spec.site == site)?;
+    let n = active.visits.fetch_add(1, Ordering::Relaxed);
+    if unit_draw(plan.seed, site, n) >= active.spec.prob {
+        return None;
+    }
+    if let Some(max) = active.spec.max {
+        // Atomically claim one of the remaining firings so concurrent
+        // workers cannot overshoot the cap.
+        if active
+            .fired
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |f| {
+                (f < max).then_some(f + 1)
+            })
+            .is_err()
+        {
+            return None;
+        }
+    } else {
+        active.fired.fetch_add(1, Ordering::Relaxed);
+    }
+    Some(active.spec.kind)
+}
+
+/// Panic with a recognizable payload if `site` fires with
+/// [`FaultKind::Panic`]. Other configured kinds at the site are
+/// ignored by this helper.
+pub fn maybe_panic(site: &str) {
+    if fires(site) == Some(FaultKind::Panic) {
+        panic!("injected fault: worker panic at {site}");
+    }
+}
+
+/// Total number of times `site` has fired under the current plan.
+pub fn fired_count(site: &str) -> u64 {
+    read_plan()
+        .and_then(|p| {
+            p.sites
+                .iter()
+                .find(|s| s.spec.site == site)
+                .map(|s| s.fired.load(Ordering::Relaxed))
+        })
+        .unwrap_or(0)
+}
+
+/// Per-site `(site, kind, fired)` telemetry for the current plan.
+pub fn fired_counts() -> Vec<(String, FaultKind, u64)> {
+    read_plan()
+        .map(|p| {
+            p.sites
+                .iter()
+                .map(|s| {
+                    (
+                        s.spec.site.clone(),
+                        s.spec.kind,
+                        s.fired.load(Ordering::Relaxed),
+                    )
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn test_lock() -> MutexGuard<'static, ()> {
+    static TEST_MUTEX: Mutex<()> = Mutex::new(());
+    TEST_MUTEX.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct PlanGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Drop for PlanGuard {
+    fn drop(&mut self) {
+        // Restore the environment-derived plan (usually: no plan) even
+        // if the closure panicked, so later tests start clean.
+        install(plan_from_env());
+    }
+}
+
+/// Run `f` with the given spec installed, serialized against other
+/// [`with_plan`] callers, restoring the previous (environment-derived)
+/// state afterwards — even on panic. Panics if the spec is invalid;
+/// intended for tests.
+pub fn with_plan<R>(spec: &str, f: impl FnOnce() -> R) -> R {
+    let _guard = PlanGuard(test_lock());
+    install(Some(FaultPlan::parse(spec).expect("valid fault spec")));
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_grammar() {
+        let plan =
+            FaultPlan::parse("seed=42; data.csv.row:malformed@0.25 ; nn.loss:nan@1.0#2").unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.sites.len(), 2);
+        assert_eq!(plan.sites[0].site, "data.csv.row");
+        assert_eq!(plan.sites[0].kind, FaultKind::Malformed);
+        assert!((plan.sites[0].prob - 0.25).abs() < 1e-12);
+        assert_eq!(plan.sites[0].max, None);
+        assert_eq!(plan.sites[1].kind, FaultKind::Nan);
+        assert_eq!(plan.sites[1].max, Some(2));
+    }
+
+    #[test]
+    fn parses_every_kind() {
+        for kind in [
+            "io",
+            "malformed",
+            "nan",
+            "inf",
+            "oversize",
+            "missing-embedding",
+            "panic",
+        ] {
+            let plan = FaultPlan::parse(&format!("s:{kind}@0.5")).unwrap();
+            assert_eq!(plan.sites[0].kind.name(), kind);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        for bad in [
+            "nonsense",
+            "site:nope@0.5",
+            "site:nan@1.5",
+            "site:nan@x",
+            "site:nan",
+            "seed=abc",
+            ":nan@0.5",
+            "site:nan@0.5#x",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn empty_spec_is_empty_plan() {
+        let plan = FaultPlan::parse("  ;; ").unwrap();
+        assert_eq!(plan, FaultPlan::default());
+    }
+
+    #[test]
+    fn disarmed_sites_never_fire() {
+        with_plan("seed=1;a:nan@1.0", || {
+            assert_eq!(fires("other-site"), None);
+        });
+        // No plan installed → nothing fires.
+        assert_eq!(fires("a"), None);
+    }
+
+    #[test]
+    fn probability_one_always_fires() {
+        with_plan("seed=7;a:inf@1.0", || {
+            for _ in 0..100 {
+                assert_eq!(fires("a"), Some(FaultKind::Inf));
+            }
+            assert_eq!(fired_count("a"), 100);
+        });
+    }
+
+    #[test]
+    fn probability_zero_never_fires() {
+        with_plan("seed=7;a:inf@0.0", || {
+            for _ in 0..100 {
+                assert_eq!(fires("a"), None);
+            }
+            assert_eq!(fired_count("a"), 0);
+        });
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let run = |spec: &str| {
+            with_plan(spec, || (0..200).map(|_| fires("a").is_some()).collect::<Vec<_>>())
+        };
+        let a = run("seed=3;a:nan@0.3");
+        let b = run("seed=3;a:nan@0.3");
+        let c = run("seed=4;a:nan@0.3");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let hits = a.iter().filter(|&&h| h).count();
+        assert!((30..=90).contains(&hits), "hit rate off: {hits}/200");
+    }
+
+    #[test]
+    fn max_cap_is_respected_across_threads() {
+        with_plan("seed=1;a:panic@1.0#3", || {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| s.spawn(|| (0..50).filter(|_| fires("a").is_some()).count()))
+                    .collect();
+                let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+                assert_eq!(total, 3);
+            });
+            assert_eq!(fired_count("a"), 3);
+        });
+    }
+
+    #[test]
+    fn maybe_panic_panics_with_payload() {
+        with_plan("seed=1;w:panic@1.0", || {
+            let err = std::panic::catch_unwind(|| maybe_panic("w")).unwrap_err();
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("injected fault"), "{msg}");
+        });
+    }
+
+    #[test]
+    fn telemetry_reports_all_sites() {
+        with_plan("seed=1;a:nan@1.0;b:io@0.0", || {
+            fires("a");
+            fires("b");
+            let counts = fired_counts();
+            assert_eq!(counts.len(), 2);
+            assert_eq!(counts[0], ("a".into(), FaultKind::Nan, 1));
+            assert_eq!(counts[1], ("b".into(), FaultKind::Io, 0));
+        });
+    }
+}

@@ -38,11 +38,27 @@ pub fn numeric_value(text: &str) -> f64 {
 /// Extract the instance feature vector of one value.
 ///
 /// Layout: `[chars (18) | tokens (10) | numeric (1) | embedding (D)]`.
+///
+/// The numeric feature saturates at ±[`crate::vectorizer::MAX_ABS_FEATURE`]:
+/// a finite but huge `f64` (e.g. `1e308`) would overflow the `f32` cast to
+/// `Inf` and, after a pair difference, poison training with `NaN`.
 pub fn extract(value: &str, embeddings: &EmbeddingStore) -> Vec<f32> {
+    let max = crate::vectorizer::MAX_ABS_FEATURE as f64;
+    #[allow(unused_mut)]
+    let mut numeric = numeric_value(value).clamp(-max, max) as f32;
+    // Fault hook: poison the numeric feature; the sanitization pass at
+    // the vectorizer boundary must neutralize every injected value.
+    #[cfg(feature = "faults")]
+    match leapme_faults::fires(leapme_faults::sites::INSTANCE_VALUE) {
+        Some(leapme_faults::FaultKind::Nan) => numeric = f32::NAN,
+        Some(leapme_faults::FaultKind::Inf) => numeric = f32::INFINITY,
+        Some(leapme_faults::FaultKind::Oversize) => numeric = 1e30,
+        _ => {}
+    }
     let mut out = Vec::with_capacity(len(embeddings.dim()));
     out.extend_from_slice(&chars::extract(value));
     out.extend_from_slice(&tokens::extract(value));
-    out.push(numeric_value(value) as f32);
+    out.push(numeric);
     out.extend(embeddings.average_text(value));
     out
 }
@@ -107,6 +123,24 @@ mod tests {
         assert_eq!(numeric_value("abc"), -1.0);
         assert_eq!(numeric_value("NaN"), -1.0);
         assert_eq!(numeric_value("inf"), -1.0);
+    }
+
+    #[test]
+    fn huge_numeric_saturates_instead_of_overflowing() {
+        // "1e308" is a finite f64 but overflows the f32 cast; unclamped it
+        // would become Inf and poison pair differences with NaN.
+        let s = store();
+        let v = extract("1e308", &s);
+        assert_eq!(
+            v[EMBEDDING_OFFSET - 1],
+            crate::vectorizer::MAX_ABS_FEATURE
+        );
+        let v = extract("-1e308", &s);
+        assert_eq!(
+            v[EMBEDDING_OFFSET - 1],
+            -crate::vectorizer::MAX_ABS_FEATURE
+        );
+        assert!(extract("1e308", &s).iter().all(|x| x.is_finite()));
     }
 
     #[test]

@@ -35,4 +35,6 @@ pub mod tokens;
 pub mod vectorizer;
 
 pub use config::{FeatureConfig, FeatureKind, FeatureScope};
-pub use vectorizer::{PairKeys, PropertyFeatureStore};
+pub use vectorizer::{
+    DegradationReport, PairKeys, PropertyFeatureStore, SanitizeStats, MAX_ABS_FEATURE,
+};

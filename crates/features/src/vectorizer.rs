@@ -30,7 +30,102 @@ use leapme_data::model::{Dataset, PropertyKey, PropertyPair};
 use leapme_embedding::store::EmbeddingStore;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Largest absolute value a feature may carry out of the vectorizer.
+///
+/// The unbounded `numeric_value` instance feature is the only natural
+/// escape hatch for huge magnitudes; everything else is a count, a
+/// fraction, an embedding component, or a normalized distance. Clamping
+/// here keeps one absurd instance value (`"1e308"`) from dominating the
+/// z-score statistics of the whole column.
+pub const MAX_ABS_FEATURE: f32 = 1e6;
+
+/// Counters from the numeric-hygiene pass applied to every property
+/// vector at build time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SanitizeStats {
+    /// Components that were `NaN`/`±Inf` and were reset to `0.0`.
+    pub nonfinite: u64,
+    /// Finite components clamped to ±[`MAX_ABS_FEATURE`].
+    pub clamped: u64,
+}
+
+impl SanitizeStats {
+    /// Whether the pass changed nothing.
+    pub fn is_clean(&self) -> bool {
+        self.nonfinite == 0 && self.clamped == 0
+    }
+}
+
+/// Replace non-finite components with `0.0` and clamp the rest to
+/// ±[`MAX_ABS_FEATURE`], counting every repair.
+fn sanitize_vec(v: &mut [f32], stats: &mut SanitizeStats) {
+    for x in v {
+        if !x.is_finite() {
+            *x = 0.0;
+            stats.nonfinite += 1;
+        } else if x.abs() > MAX_ABS_FEATURE {
+            *x = x.signum() * MAX_ABS_FEATURE;
+            stats.clamped += 1;
+        }
+    }
+}
+
+/// Which properties lost their embedding signal — the per-run degraded-mode
+/// report (DESIGN.md §8).
+///
+/// A property is *degraded* when every embedding-derived component of its
+/// feature vector (instance-embedding average and name embedding) is zero:
+/// no token of its name or values resolved to a vector. Such properties
+/// are still scored — the 29 non-embedding instance features and the
+/// string distances carry the pair — matching the paper's
+/// instance-only/non-embedding ablations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegradationReport {
+    /// Properties with no embedding signal, sorted.
+    pub degraded: Vec<PropertyKey>,
+    /// Total number of properties in the store.
+    pub total: usize,
+}
+
+impl DegradationReport {
+    /// Fraction of properties that are degraded (`0.0` for an empty store).
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.degraded.len() as f64 / self.total as f64
+        }
+    }
+
+    /// Whether every property has embedding signal.
+    pub fn is_clean(&self) -> bool {
+        self.degraded.is_empty()
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}/{} properties degraded to non-embedding features ({:.0}%)",
+            self.degraded.len(),
+            self.total,
+            self.fraction() * 100.0
+        )
+    }
+}
+
+/// Render a panic payload as a human-readable message (used for
+/// [`FeatureError::WorkerPanic`] and reused by downstream crates that
+/// isolate their own workers).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".into())
+}
 
 /// Number of shards in the string-distance cache. Shard choice only
 /// affects contention, never results.
@@ -152,14 +247,24 @@ pub struct PropertyFeatureStore {
     /// Distinct property names → dense id, fixed at build time.
     name_ids: HashMap<String, u32>,
     string_cache: StringCache,
+    /// Repairs made by the build-time numeric-hygiene pass.
+    sanitize: SanitizeStats,
+    /// Properties with no embedding signal (degraded mode).
+    degradation: DegradationReport,
 }
 
 impl PropertyFeatureStore {
     /// Extract and cache property features for every property of
     /// `dataset` (Algorithm 1 lines 2–6), fanning the per-property work
     /// out across [`worker_threads`] threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a feature worker panics twice (parallel run plus the
+    /// serial requeue); use [`Self::try_build`] to handle that as an
+    /// error instead.
     pub fn build(dataset: &Dataset, embeddings: &EmbeddingStore) -> Self {
-        Self::build_with_threads(dataset, embeddings, worker_threads())
+        Self::try_build(dataset, embeddings).expect("feature build failed")
     }
 
     /// [`Self::build`] with an explicit worker-thread count. The result
@@ -169,6 +274,25 @@ impl PropertyFeatureStore {
         embeddings: &EmbeddingStore,
         threads: usize,
     ) -> Self {
+        Self::try_build_with_threads(dataset, embeddings, threads).expect("feature build failed")
+    }
+
+    /// Fallible [`Self::build`]: a worker panic is retried serially and,
+    /// if it repeats, surfaces as [`FeatureError::WorkerPanic`].
+    pub fn try_build(
+        dataset: &Dataset,
+        embeddings: &EmbeddingStore,
+    ) -> Result<Self, FeatureError> {
+        Self::try_build_with_threads(dataset, embeddings, worker_threads())
+    }
+
+    /// [`Self::try_build`] with an explicit worker-thread count. The
+    /// result is bitwise identical for every `threads` value.
+    pub fn try_build_with_threads(
+        dataset: &Dataset,
+        embeddings: &EmbeddingStore,
+        threads: usize,
+    ) -> Result<Self, FeatureError> {
         let keys: Vec<PropertyKey> = dataset.properties();
 
         let extract_one = |key: &PropertyKey| -> Vec<f32> {
@@ -188,27 +312,83 @@ impl PropertyFeatureStore {
             }
         } else {
             let chunks = partition(keys.len(), threads);
-            let results = crossbeam::thread::scope(|scope| {
+            // The chunk closure carries the fault hook so an injected
+            // panic hits the serial requeue too (its #cap decides whether
+            // the requeue recovers or surfaces `WorkerPanic`).
+            let extract_chunk = |keys: &[PropertyKey]| {
+                #[cfg(feature = "faults")]
+                leapme_faults::maybe_panic(leapme_faults::sites::FEATURE_WORKER);
+                keys.iter().map(&extract_one).collect::<Vec<Vec<f32>>>()
+            };
+            // One result slot per chunk; a panicked worker leaves `None`
+            // and its range is requeued serially below, so a single bad
+            // shard cannot take down the whole build.
+            let mut results: Vec<Option<Vec<Vec<f32>>>> = Vec::new();
+            results.resize_with(chunks.len(), || None);
+            let mut failed: Vec<usize> = Vec::new();
+            crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = chunks
                     .iter()
                     .map(|&(start, end)| {
                         let keys = &keys[start..end];
-                        let extract_one = &extract_one;
-                        scope.spawn(move |_| {
-                            keys.iter().map(extract_one).collect::<Vec<Vec<f32>>>()
-                        })
+                        let extract_chunk = &extract_chunk;
+                        scope.spawn(move |_| extract_chunk(keys))
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("feature worker panicked"))
-                    .collect::<Vec<_>>()
+                for (c, h) in handles.into_iter().enumerate() {
+                    match h.join() {
+                        Ok(v) => results[c] = Some(v),
+                        Err(_) => failed.push(c),
+                    }
+                }
             })
             .expect("feature build scope");
-            for (key, pf) in keys.into_iter().zip(results.into_iter().flatten()) {
+            for c in failed {
+                let (start, end) = chunks[c];
+                match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    extract_chunk(&keys[start..end])
+                })) {
+                    Ok(v) => results[c] = Some(v),
+                    Err(payload) => {
+                        return Err(FeatureError::WorkerPanic {
+                            site: "features.worker".into(),
+                            message: panic_message(payload.as_ref()),
+                        })
+                    }
+                }
+            }
+            for (key, pf) in keys.into_iter().zip(
+                results
+                    .into_iter()
+                    .flat_map(|r| r.expect("every chunk resolved")),
+            ) {
                 features.insert(key, pf);
             }
         }
+
+        // Numeric hygiene at the store boundary: whatever the extractors
+        // produced, nothing non-finite or absurdly large escapes into
+        // scaling and training.
+        let mut sanitize = SanitizeStats::default();
+        for v in features.values_mut() {
+            sanitize_vec(v, &mut sanitize);
+        }
+
+        // Degraded-mode detection: embedding-derived columns span
+        // [29, 29 + 2D) of the property vector (instance-embedding
+        // average, then name embedding). All-zero ⇒ the property will be
+        // scored from non-embedding features alone.
+        let emb_range = instance::EMBEDDING_OFFSET..property::len(embeddings.dim());
+        let mut degraded: Vec<PropertyKey> = features
+            .iter()
+            .filter(|(_, v)| v[emb_range.clone()].iter().all(|&x| x == 0.0))
+            .map(|(k, _)| k.clone())
+            .collect();
+        degraded.sort();
+        let degradation = DegradationReport {
+            degraded,
+            total: features.len(),
+        };
 
         // Intern every distinct property name in sorted order so ids are
         // reproducible across runs and thread counts.
@@ -221,12 +401,25 @@ impl PropertyFeatureStore {
             .map(|(i, n)| (n.to_string(), i as u32))
             .collect();
 
-        PropertyFeatureStore {
+        Ok(PropertyFeatureStore {
             dim: embeddings.dim(),
             features,
             name_ids,
             string_cache: StringCache::new(),
-        }
+            sanitize,
+            degradation,
+        })
+    }
+
+    /// Repairs made by the build-time numeric-hygiene pass.
+    pub fn sanitize_stats(&self) -> SanitizeStats {
+        self.sanitize
+    }
+
+    /// The per-run degraded-mode report: which properties have no
+    /// embedding signal and fall back to non-embedding features.
+    pub fn degradation(&self) -> &DegradationReport {
+        &self.degradation
     }
 
     /// Embedding dimensionality the store was built with.
@@ -385,27 +578,56 @@ impl PropertyFeatureStore {
         }
         let cols = mask.len();
         let chunks = partition(pairs.len(), threads);
-        let mut results: Vec<Result<(), FeatureError>> = Vec::with_capacity(chunks.len());
+        // The chunk closure carries the fault hook so an injected panic
+        // hits the serial requeue too (its #cap decides whether the
+        // requeue recovers or surfaces `WorkerPanic`).
+        let fill_chunk = |pairs: &[P], seg: &mut [f32]| {
+            #[cfg(feature = "faults")]
+            leapme_faults::maybe_panic(leapme_faults::sites::PAIR_WORKER);
+            self.fill_pair_rows(pairs, mask, seg)
+        };
+        // One result slot per chunk; a panicked worker leaves `None` and
+        // its row range is refilled serially after the scope ends (the
+        // mutable borrows of `out` are released by then).
+        let mut results: Vec<Option<Result<(), FeatureError>>> = vec![None; chunks.len()];
+        let mut failed: Vec<usize> = Vec::new();
         crossbeam::thread::scope(|scope| {
-            let mut rest: &mut [f32] = out;
+            let mut rest: &mut [f32] = &mut *out;
             let mut handles = Vec::with_capacity(chunks.len());
             for &(start, end) in &chunks {
                 let (head, tail) = rest.split_at_mut((end - start) * cols);
                 rest = tail;
                 let pairs = &pairs[start..end];
-                handles.push(scope.spawn(move |_| self.fill_pair_rows(pairs, mask, head)));
+                let fill_chunk = &fill_chunk;
+                handles.push(scope.spawn(move |_| fill_chunk(pairs, head)));
             }
-            results.extend(
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("pair-matrix worker panicked")),
-            );
+            for (c, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(r) => results[c] = Some(r),
+                    Err(_) => failed.push(c),
+                }
+            }
         })
         .expect("pair-matrix scope");
+        for c in failed {
+            let (start, end) = chunks[c];
+            let seg = &mut out[start * cols..end * cols];
+            match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                fill_chunk(&pairs[start..end], seg)
+            })) {
+                Ok(r) => results[c] = Some(r),
+                Err(payload) => {
+                    return Err(FeatureError::WorkerPanic {
+                        site: "features.pair.worker".into(),
+                        message: panic_message(payload.as_ref()),
+                    })
+                }
+            }
+        }
         // Report the error of the earliest failing chunk so the
         // result matches what the serial path would return.
         for r in results {
-            r?;
+            r.expect("every chunk resolved")?;
         }
         Ok(())
     }
@@ -476,12 +698,23 @@ impl FlatPairMatrix {
 pub enum FeatureError {
     /// A pair referenced a property the store has no features for.
     UnknownProperty(PropertyKey),
+    /// A worker thread panicked in the parallel run *and* in the serial
+    /// requeue of its shard.
+    WorkerPanic {
+        /// The worker pool where the panic surfaced (fault-site name).
+        site: String,
+        /// Rendered panic payload.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for FeatureError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FeatureError::UnknownProperty(p) => write!(f, "unknown property {p}"),
+            FeatureError::WorkerPanic { site, message } => {
+                write!(f, "worker panic at {site}: {message}")
+            }
         }
     }
 }
@@ -690,6 +923,115 @@ mod tests {
                 assert_eq!(flat.row(r), row.as_slice(), "config {cfg}, row {r}");
             }
         }
+    }
+
+    #[test]
+    fn clean_build_reports_no_repairs() {
+        let ds = toy_dataset();
+        let store = PropertyFeatureStore::build(&ds, &embeddings());
+        assert!(store.sanitize_stats().is_clean());
+        assert!(store.degradation().is_clean());
+        assert_eq!(store.degradation().total, 3);
+        assert_eq!(store.degradation().fraction(), 0.0);
+    }
+
+    #[test]
+    fn oversized_numeric_is_clamped_not_poisonous() {
+        // "1e308" parses to a finite f64; unchecked it becomes Inf as f32
+        // and a pair difference turns into NaN. The store must emit only
+        // finite, bounded features.
+        let mk = |source: u16, property: &str, entity: &str, value: &str| Instance {
+            source: SourceId(source),
+            property: property.into(),
+            entity: entity.into(),
+            value: value.into(),
+        };
+        let instances = vec![
+            mk(0, "price", "e1", "1e308"),
+            mk(0, "price", "e2", "99"),
+            mk(1, "cost", "x1", "-1e308"),
+        ];
+        let ds = Dataset::new(
+            "poison",
+            vec!["a".into(), "b".into()],
+            instances,
+            BTreeMap::new(),
+        )
+        .unwrap();
+        let store = PropertyFeatureStore::build(&ds, &embeddings());
+        for key in [
+            PropertyKey::new(SourceId(0), "price"),
+            PropertyKey::new(SourceId(1), "cost"),
+        ] {
+            let v = store.property_vector(&key).unwrap();
+            assert!(v.iter().all(|x| x.is_finite()), "non-finite feature for {key}");
+            assert!(v.iter().all(|x| x.abs() <= MAX_ABS_FEATURE));
+        }
+        let v = store
+            .full_pair_vector(
+                &PropertyKey::new(SourceId(0), "price"),
+                &PropertyKey::new(SourceId(1), "cost"),
+            )
+            .unwrap();
+        assert!(v.iter().all(|x| x.is_finite()), "pair vector poisoned");
+    }
+
+    #[test]
+    fn zero_embedding_coverage_reports_all_degraded() {
+        // An embedding store that knows none of the dataset's tokens:
+        // every property degrades to non-embedding features.
+        let ds = toy_dataset();
+        let empty = EmbeddingStore::new(4);
+        let store = PropertyFeatureStore::build(&ds, &empty);
+        assert_eq!(store.degradation().degraded.len(), 3);
+        assert_eq!(store.degradation().total, 3);
+        assert_eq!(store.degradation().fraction(), 1.0);
+        assert!(store.degradation().summary().contains("3/3"));
+        // Degraded properties still produce usable pair vectors.
+        let a = PropertyKey::new(SourceId(0), "megapixels");
+        let b = PropertyKey::new(SourceId(1), "resolution");
+        let v = store.full_pair_vector(&a, &b).unwrap();
+        assert!(v.iter().all(|x| x.is_finite()));
+        assert!(v.iter().any(|&x| x != 0.0), "non-embedding features empty");
+    }
+
+    #[test]
+    fn partial_embedding_coverage_names_the_degraded_properties() {
+        // Embeddings cover the resolution-related tokens but not "weight"
+        // or "g" → exactly the weight property degrades.
+        let mut emb = EmbeddingStore::new(4);
+        emb.insert("megapixels", vec![1.0, 0.0, 0.0, 0.0]).unwrap();
+        emb.insert("resolution", vec![0.9, 0.1, 0.0, 0.0]).unwrap();
+        emb.insert("mp", vec![0.95, 0.05, 0.0, 0.0]).unwrap();
+        let ds = toy_dataset();
+        let store = PropertyFeatureStore::build(&ds, &emb);
+        assert_eq!(
+            store.degradation().degraded,
+            vec![PropertyKey::new(SourceId(1), "weight")]
+        );
+    }
+
+    #[test]
+    fn try_build_matches_build() {
+        let ds = wide_dataset(24);
+        let emb = embeddings();
+        let a = PropertyFeatureStore::build_with_threads(&ds, &emb, 3);
+        let b = PropertyFeatureStore::try_build_with_threads(&ds, &emb, 3).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (key, v) in &a.features {
+            assert_eq!(b.property_vector(key).unwrap(), v.as_slice());
+        }
+        assert_eq!(a.sanitize_stats(), b.sanitize_stats());
+        assert_eq!(a.degradation(), b.degradation());
+    }
+
+    #[test]
+    fn worker_panic_error_formats() {
+        let e = FeatureError::WorkerPanic {
+            site: "features.worker".into(),
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "worker panic at features.worker: boom");
     }
 
     #[test]

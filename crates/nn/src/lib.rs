@@ -79,6 +79,15 @@ pub enum NnError {
         /// Number of classes of the output layer.
         classes: usize,
     },
+    /// An epoch produced a non-finite (NaN/∞) loss and the bounded
+    /// checkpoint-rollback retries were exhausted
+    /// (see [`network::TrainConfig::max_loss_retries`]).
+    NonFiniteLoss {
+        /// Epoch (schedule index) whose loss was non-finite.
+        epoch: usize,
+        /// Rollback retries attempted before giving up.
+        retries: usize,
+    },
 }
 
 impl std::fmt::Display for NnError {
@@ -90,6 +99,12 @@ impl std::fmt::Display for NnError {
             NnError::EmptyTrainingSet => write!(f, "training set is empty"),
             NnError::InvalidLabel { label, classes } => {
                 write!(f, "label {label} out of range for {classes} classes")
+            }
+            NnError::NonFiniteLoss { epoch, retries } => {
+                write!(
+                    f,
+                    "non-finite training loss at epoch {epoch} after {retries} rollback retries"
+                )
             }
         }
     }

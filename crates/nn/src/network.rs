@@ -64,10 +64,27 @@ pub struct TrainConfig {
     /// Only used when `validation_fraction > 0`.
     #[serde(default = "default_patience")]
     pub patience: usize,
+    /// Maximum checkpoint-rollback retries across a fit when an epoch
+    /// produces a non-finite loss; `0` fails fast on the first poisoned
+    /// epoch with [`NnError::NonFiniteLoss`].
+    #[serde(default = "default_loss_retries")]
+    pub max_loss_retries: usize,
+    /// Learning-rate multiplier applied after each non-finite-loss
+    /// rollback; the scale persists for the rest of the fit.
+    #[serde(default = "default_lr_backoff")]
+    pub lr_backoff: f32,
 }
 
 fn default_patience() -> usize {
     3
+}
+
+fn default_loss_retries() -> usize {
+    3
+}
+
+fn default_lr_backoff() -> f32 {
+    0.1
 }
 
 impl Default for TrainConfig {
@@ -82,6 +99,8 @@ impl Default for TrainConfig {
             weight_decay: 0.0,
             validation_fraction: 0.0,
             patience: 3,
+            max_loss_retries: 3,
+            lr_backoff: 0.1,
         }
     }
 }
@@ -97,6 +116,9 @@ pub struct TrainReport {
     pub stopped_early: bool,
     /// Training-set accuracy after the final epoch.
     pub final_accuracy: f64,
+    /// Non-finite-loss rollbacks performed during the fit.
+    #[serde(default)]
+    pub recoveries: usize,
 }
 
 impl Mlp {
@@ -238,6 +260,11 @@ impl Mlp {
     ///
     /// Returns per-epoch telemetry. Errors if `x` is empty, label counts
     /// mismatch, a label is out of range, or the input width is wrong.
+    /// An epoch whose loss or parameters turn non-finite is rolled back
+    /// to its start checkpoint and replayed at `lr × lr_backoff`, at most
+    /// `max_loss_retries` times across the fit; exhausting the budget
+    /// yields [`NnError::NonFiniteLoss`] instead of propagating NaN
+    /// weights.
     ///
     /// This is the workspace-backed fast path: all per-batch buffers live
     /// in a [`TrainWorkspace`] created once per call, so the steady-state
@@ -298,16 +325,70 @@ impl Mlp {
         let mut best_val = f32::INFINITY;
         let mut since_best = 0usize;
 
-        for (_epoch, lr) in cfg.schedule.iter() {
+        // Non-finite-loss recovery: before each epoch, checkpoint the
+        // weights, optimizer moments, rng, and batch order (pre-shuffle,
+        // so a rolled-back epoch replays the exact same shuffle and
+        // dropout draws at the stepped-down rate). When every loss stays
+        // finite the checkpoints are never read and `lr_scale` stays
+        // exactly 1.0, keeping this path bitwise identical to
+        // [`Self::fit_reference`].
+        let stages: Vec<(usize, f32)> = cfg.schedule.iter().collect();
+        let mut lr_scale: f32 = 1.0;
+        let mut retries_left = cfg.max_loss_retries;
+        let mut good_layers: Vec<Dense> = Vec::new();
+        let mut good_states: Vec<LayerState> = Vec::new();
+        let mut good_order: Vec<usize> = Vec::new();
+
+        let mut stage = 0usize;
+        while stage < stages.len() {
+            let (epoch, base_lr) = stages[stage];
+            workspace::copy_layers_into(&mut good_layers, &self.layers);
+            good_states.clone_from(&self.states);
+            good_order.clone_from(&order);
+            let good_rng = rng.clone();
+
             order.shuffle(&mut rng);
+            let lr = base_lr * lr_scale;
             let mut epoch_loss = 0.0f32;
             let mut batches = 0usize;
             for chunk in order.chunks(batch) {
                 x.select_rows_into(chunk, &mut ws.batch_x);
                 ws.batch_y.clear();
                 ws.batch_y.extend(chunk.iter().map(|&i| labels[i]));
-                epoch_loss += self.train_step_ws(lr, cfg, &mut rng, ws);
+                #[allow(unused_mut)]
+                let mut loss = self.train_step_ws(lr, cfg, &mut rng, ws);
+                #[cfg(feature = "faults")]
+                if leapme_faults::fires(leapme_faults::sites::NN_LOSS)
+                    == Some(leapme_faults::FaultKind::Nan)
+                {
+                    loss = f32::NAN;
+                }
+                epoch_loss += loss;
                 batches += 1;
+                if !epoch_loss.is_finite() {
+                    // The weights are already poisoned; finishing the
+                    // epoch would only deepen the damage.
+                    break;
+                }
+            }
+            // The loss clamps probabilities at 1e-12 before the log
+            // (and `f32::max(NaN, x)` is `x`), so a poisoned network can
+            // still report a finite loss — also scan the parameters.
+            if !epoch_loss.is_finite() || !self.params_finite() {
+                if retries_left == 0 {
+                    return Err(NnError::NonFiniteLoss {
+                        epoch,
+                        retries: cfg.max_loss_retries,
+                    });
+                }
+                retries_left -= 1;
+                report.recoveries += 1;
+                workspace::copy_layers_into(&mut self.layers, &good_layers);
+                self.states.clone_from(&good_states);
+                order.clone_from(&good_order);
+                rng = good_rng;
+                lr_scale *= cfg.lr_backoff.clamp(0.0, 1.0);
+                continue;
             }
             report.epoch_losses.push(epoch_loss / batches.max(1) as f32);
 
@@ -336,6 +417,7 @@ impl Mlp {
                     }
                 }
             }
+            stage += 1;
         }
         if ws.checkpoint_valid {
             workspace::copy_layers_into(&mut self.layers, &ws.checkpoint);
@@ -440,6 +522,13 @@ impl Mlp {
             state.bias.update(opt, lr, &mut layer.bias, &gr.bias);
         }
         loss
+    }
+
+    /// Whether every weight and bias is finite (NaN/∞ free).
+    fn params_finite(&self) -> bool {
+        self.layers.iter().all(|l| {
+            l.weights.data().iter().all(|v| v.is_finite()) && l.bias.iter().all(|v| v.is_finite())
+        })
     }
 
     /// Validate `fit` inputs against the network's shape.
@@ -911,6 +1000,67 @@ mod tests {
         assert_eq!(cfg.weight_decay, 0.0);
         assert_eq!(cfg.validation_fraction, 0.0);
         assert_eq!(cfg.patience, 3);
+        assert_eq!(cfg.max_loss_retries, 3);
+        assert_eq!(cfg.lr_backoff, 0.1);
+    }
+
+    #[test]
+    fn train_report_deserializes_old_format() {
+        // Reports serialized before recovery telemetry existed must
+        // still load (the counter defaults to zero).
+        let old = r#"{
+            "epoch_losses": [0.7, 0.5],
+            "validation_losses": [],
+            "stopped_early": false,
+            "final_accuracy": 0.9
+        }"#;
+        let report: TrainReport = serde_json::from_str(old).unwrap();
+        assert_eq!(report.recoveries, 0);
+    }
+
+    #[test]
+    fn nonfinite_loss_exhausts_retries_and_errors() {
+        // An absurd learning rate blows the weights up after the first
+        // minibatch; the second batch's gradients overflow and poison
+        // the weights with NaN (the clamped loss stays finite, so the
+        // parameter scan is what must catch it). Stepping the rate down
+        // by 0.1 three times (1e30 → 1e27) cannot save it, so every
+        // rollback re-poisons and the retry budget runs out at epoch 0.
+        let (x, y) = xor_data();
+        let mut net = Mlp::new(&[2, 16, 8, 2], 3);
+        let cfg = TrainConfig {
+            batch_size: 8,
+            schedule: LrSchedule::new(vec![(5, 1e30)]),
+            ..TrainConfig::default()
+        };
+        let err = net.fit(&x, &y, &cfg).unwrap_err();
+        assert_eq!(
+            err,
+            NnError::NonFiniteLoss {
+                epoch: 0,
+                retries: 3
+            }
+        );
+    }
+
+    #[test]
+    fn zero_retries_fails_fast_on_poisoned_epoch() {
+        let (x, y) = xor_data();
+        let mut net = Mlp::new(&[2, 16, 8, 2], 3);
+        let cfg = TrainConfig {
+            batch_size: 8,
+            schedule: LrSchedule::new(vec![(5, 1e30)]),
+            max_loss_retries: 0,
+            ..TrainConfig::default()
+        };
+        let err = net.fit(&x, &y, &cfg).unwrap_err();
+        assert_eq!(
+            err,
+            NnError::NonFiniteLoss {
+                epoch: 0,
+                retries: 0
+            }
+        );
     }
 
     #[test]

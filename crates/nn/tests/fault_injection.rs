@@ -1,0 +1,74 @@
+//! Fault-injection tests for the NN trainer.
+//!
+//! These live in their own integration-test binary (not in the lib's
+//! unit tests) because `leapme_faults::with_plan` installs a
+//! process-wide plan: in the unit-test process it could fire inside a
+//! concurrently-running bitwise-equivalence proptest and poison its
+//! `fit` while leaving `fit_reference` clean.
+#![cfg(feature = "faults")]
+
+use leapme_nn::matrix::Matrix;
+use leapme_nn::network::{Mlp, TrainConfig};
+use leapme_nn::schedule::LrSchedule;
+use leapme_nn::NnError;
+
+fn xor_data() -> (Matrix, Vec<usize>) {
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+        for _ in 0..8 {
+            rows.push(vec![a, b]);
+            labels.push(((a as i32) ^ (b as i32)) as usize);
+        }
+    }
+    (Matrix::from_rows(&rows), labels)
+}
+
+#[test]
+fn injected_nan_loss_rolls_back_and_training_converges() {
+    let (x, y) = xor_data();
+    // Exactly one batch loss is poisoned (prob 1, capped at #1): the
+    // epoch rolls back to its checkpoint and replays at lr × 0.1.
+    let report = leapme_faults::with_plan("seed=7;nn.loss:nan@1.0#1", || {
+        let mut net = Mlp::new(&[2, 16, 8, 2], 3);
+        let cfg = TrainConfig {
+            batch_size: 8,
+            schedule: LrSchedule::new(vec![(300, 0.05)]),
+            ..TrainConfig::default()
+        };
+        net.fit(&x, &y, &cfg).unwrap()
+    });
+    assert_eq!(report.recoveries, 1);
+    assert_eq!(report.epoch_losses.len(), 300);
+    assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+    assert!(
+        report.final_accuracy > 0.9,
+        "post-recovery accuracy {}",
+        report.final_accuracy
+    );
+}
+
+#[test]
+fn persistent_nan_loss_surfaces_structured_error() {
+    let (x, y) = xor_data();
+    // Every batch loss is poisoned: rollbacks cannot help, and the
+    // retry budget must convert the fault into a structured error
+    // rather than NaN weights or a panic.
+    let err = leapme_faults::with_plan("seed=7;nn.loss:nan@1.0", || {
+        let mut net = Mlp::new(&[2, 16, 8, 2], 3);
+        let cfg = TrainConfig {
+            batch_size: 8,
+            schedule: LrSchedule::new(vec![(5, 0.01)]),
+            max_loss_retries: 2,
+            ..TrainConfig::default()
+        };
+        net.fit(&x, &y, &cfg).unwrap_err()
+    });
+    assert_eq!(
+        err,
+        NnError::NonFiniteLoss {
+            epoch: 0,
+            retries: 2
+        }
+    );
+}

@@ -67,4 +67,20 @@ print("BENCH_PR2.json OK:",
                 for v in recorded))
 EOF
 
+echo "==> chaos stage: fault-injection suites under --features faults"
+for t in 1 4; do
+    echo "    LEAPME_THREADS=$t"
+    LEAPME_THREADS=$t cargo test -q -p leapme-faults
+    LEAPME_THREADS=$t cargo test -q -p leapme-nn --features faults --test fault_injection
+    LEAPME_THREADS=$t cargo test -q -p leapme-core --features faults --test fault_injection
+    LEAPME_THREADS=$t cargo test -q -p leapme --features faults --test chaos --test robustness
+done
+
+echo "==> chaos stage: faults compiled out of the release bench"
+if ! grep -q '"faults_enabled": false' BENCH_PR2.json; then
+    echo "BENCH_PR2.json does not record faults_enabled=false — the bench" \
+         "binary was built with the fault hooks armed" >&2
+    exit 1
+fi
+
 echo "==> verify OK"

@@ -55,6 +55,8 @@
 #![forbid(unsafe_code)]
 
 pub use leapme_baselines as baselines;
+#[cfg(feature = "faults")]
+pub use leapme_faults as faults;
 pub use leapme_core as core;
 pub use leapme_data as data;
 pub use leapme_embedding as embedding;

@@ -1,0 +1,129 @@
+//! Robustness: poisoned inputs must never panic the pipeline or leak
+//! non-finite scores (DESIGN.md §8).
+//!
+//! These tests run without the `faults` feature — they poison the
+//! *data* (NaN/±Inf/1e308 literals, empty and whitespace-only property
+//! names, zero embedding coverage), not the code paths.
+
+use leapme::nn::network::TrainConfig;
+use leapme::nn::schedule::LrSchedule;
+use leapme::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Numeric literals that historically break careless float pipelines.
+const POISON_VALUES: &[&str] = &[
+    "NaN", "nan", "inf", "-inf", "1e308", "-1e308", "9e307", "", "  ", "∞",
+];
+
+fn quick_config() -> LeapmeConfig {
+    LeapmeConfig {
+        train: TrainConfig {
+            schedule: LrSchedule::new(vec![(4, 1e-3)]),
+            ..TrainConfig::default()
+        },
+        hidden: vec![8],
+        ..LeapmeConfig::default()
+    }
+}
+
+/// A four-source dataset whose values are drawn from `values` and whose
+/// schema includes an empty-named and a whitespace-only property.
+fn poisoned_dataset(values: &[&str]) -> Dataset {
+    let sources: Vec<String> = (0..4).map(|i| format!("s{i}")).collect();
+    // (local name, reference name); "" and "   " are deliberately
+    // degenerate but aligned, so they appear in training pairs too.
+    let schema = [
+        ("weight", "weight"),
+        ("price", "price"),
+        ("", "blank"),
+        ("   ", "space"),
+    ];
+    let mut instances = Vec::new();
+    let mut alignment = BTreeMap::new();
+    let mut v = 0usize;
+    for s in 0..4u16 {
+        for (name, reference) in schema {
+            alignment.insert(PropertyKey::new(SourceId(s), name), reference.to_string());
+            for e in 0..3 {
+                instances.push(Instance {
+                    source: SourceId(s),
+                    property: name.to_string(),
+                    entity: format!("e{e}"),
+                    value: values[v % values.len()].to_string(),
+                });
+                v += 1;
+            }
+        }
+    }
+    Dataset::new("poisoned", sources, instances, alignment).unwrap()
+}
+
+/// Fit + score on a poisoned dataset; every score must be a finite
+/// probability. Returns the scores for extra assertions.
+fn fit_and_score(dataset: &Dataset, seed: u64) -> Vec<f32> {
+    let store = PropertyFeatureStore::try_build(dataset, &EmbeddingStore::new(8)).unwrap();
+    let train_sources = vec![SourceId(0), SourceId(1), SourceId(2)];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let train = training_pairs(dataset, &train_sources, 2, &mut rng);
+    assert!(!train.is_empty());
+    let model = Leapme::fit(&store, &train, &quick_config()).unwrap();
+    let all_sources: Vec<SourceId> = (0..4).map(SourceId).collect();
+    let candidates = dataset.cross_source_pairs(&all_sources);
+    assert!(!candidates.is_empty());
+    model.score_pairs(&store, &candidates).unwrap()
+}
+
+#[test]
+fn poisoned_values_and_degenerate_names_score_finite() {
+    let dataset = poisoned_dataset(POISON_VALUES);
+    let scores = fit_and_score(&dataset, 7);
+    for s in &scores {
+        assert!(s.is_finite(), "non-finite score {s}");
+        assert!((0.0..=1.0).contains(s), "score {s} out of [0, 1]");
+    }
+}
+
+#[test]
+fn zero_embedding_coverage_still_trains_in_degraded_mode() {
+    // An empty embedding store resolves nothing: every property loses
+    // its embedding signal and the run must fall back to the 29
+    // non-embedding features for all of them.
+    let dataset = generate(Domain::Tvs, 23);
+    let store = PropertyFeatureStore::try_build(&dataset, &EmbeddingStore::new(16)).unwrap();
+    assert!((store.degradation().fraction() - 1.0).abs() < f64::EPSILON);
+    assert_eq!(store.degradation().total, dataset.properties().len());
+    assert!(store.degradation().summary().contains("100%"));
+
+    let mut rng = StdRng::seed_from_u64(23);
+    let split = split_sources(dataset.sources().len(), 0.8, &mut rng).unwrap();
+    let train = training_pairs(&dataset, &split.train, 2, &mut rng);
+    let model = Leapme::fit(&store, &train, &quick_config()).unwrap();
+    let graph = model
+        .predict_graph(&store, &test_pairs(&dataset, &split.train))
+        .unwrap();
+    assert!(!graph.is_empty());
+    for (_, score) in graph.iter() {
+        assert!(score.is_finite());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any mix of poison literals trains and scores finite.
+    #[test]
+    fn arbitrary_poison_mixes_never_panic(
+        picks in proptest::collection::vec(0usize..POISON_VALUES.len(), 3..10),
+        seed in 0u64..1000,
+    ) {
+        let values: Vec<&str> = picks.iter().map(|&i| POISON_VALUES[i]).collect();
+        let dataset = poisoned_dataset(&values);
+        let scores = fit_and_score(&dataset, seed);
+        for s in &scores {
+            prop_assert!(s.is_finite(), "non-finite score {}", s);
+        }
+    }
+}

@@ -16,8 +16,8 @@
 //! and warns when they disagree (an override that did not stick, or
 //! oversubscription past the physical cores). Results, the measured
 //! speedups, and a comparison against the previous PR's `BENCH_PR1.json`
-//! baseline (same thread count only) go to `BENCH_PR2.json` in the
-//! repository root.
+//! baseline (same thread count only) go to `--out` (default
+//! `BENCH_PR4.json`), written atomically.
 //!
 //! Each mode's stage times are the per-stage minima over `--repeats`
 //! runs (default 3): the workload is deterministic, so the minimum
@@ -25,13 +25,19 @@
 //! serial and parallel passes are interleaved so slow machine drift
 //! (frequency scaling, thermal state) affects both modes equally.
 //!
+//! A final pass measures the durability tax: the same training run with
+//! a checkpoint written after every epoch versus none, reported as
+//! milliseconds of overhead per epoch.
+//!
 //! ```text
 //! cargo run --release -p leapme-bench --bin bench -- \
-//!     [--sources 16] [--dim 50] [--seed 42] [--threads N] [--repeats 3]
+//!     [--sources 16] [--dim 50] [--seed 42] [--threads N] [--repeats 3] \
+//!     [--out BENCH_PR4.json]
 //! ```
 
-use leapme::core::pipeline::{Leapme, LeapmeConfig};
+use leapme::core::pipeline::{DurableFitOptions, Leapme, LeapmeConfig};
 use leapme::core::sampling;
+use leapme::data::io::atomic_write;
 use leapme::data::spec::{generate_dataset, EntityCount};
 use leapme::nn::threads::{thread_count, THREADS_ENV};
 use leapme::prelude::*;
@@ -78,6 +84,16 @@ struct VsBaseline {
     score_speedup: f64,
 }
 
+/// Cost of per-epoch checkpointing during training: the same fit run
+/// with a checkpoint written after every epoch vs none at all.
+#[derive(Debug, Serialize)]
+struct CheckpointOverhead {
+    epochs: usize,
+    fit_s: f64,
+    fit_checkpointed_s: f64,
+    overhead_ms_per_epoch: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchReport {
     /// Whether the fault-injection hooks were compiled into this
@@ -96,6 +112,7 @@ struct BenchReport {
     speedup_train: f64,
     speedup_score: f64,
     speedup_total: f64,
+    checkpoint: CheckpointOverhead,
     vs_pr1_serial: Option<VsBaseline>,
     vs_pr1_parallel: Option<VsBaseline>,
 }
@@ -216,6 +233,55 @@ fn run_modes_min_of(
     (finish(serial), finish(parallel))
 }
 
+/// Measure the durability tax: `Leapme::fit_durable` with a checkpoint
+/// written after every epoch against the same fit with checkpointing
+/// off, as the per-stage minimum over `repeats` runs. Reported per
+/// epoch so the number stays comparable across schedules.
+fn measure_checkpoint_overhead(
+    dataset: &Dataset,
+    embeddings: &EmbeddingStore,
+    seed: u64,
+    repeats: usize,
+) -> CheckpointOverhead {
+    let store = PropertyFeatureStore::build(dataset, embeddings);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let split = sampling::split_sources(dataset.sources().len(), 0.5, &mut rng).expect("split");
+    let train_pairs = sampling::training_pairs(dataset, &split.train, 2, &mut rng);
+    let cfg = LeapmeConfig::default();
+    let epochs = cfg.train.schedule.total_epochs();
+    let ckpt_path = std::env::temp_dir().join("leapme_bench_overhead.ckpt");
+
+    let mut fit_s = f64::INFINITY;
+    let mut fit_checkpointed_s = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        Leapme::fit_durable(&store, &train_pairs, &cfg, &DurableFitOptions::default())
+            .expect("fit without checkpointing");
+        fit_s = fit_s.min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        Leapme::fit_durable(
+            &store,
+            &train_pairs,
+            &cfg,
+            &DurableFitOptions {
+                checkpoint_path: Some(&ckpt_path),
+                checkpoint_every: 1,
+                ..Default::default()
+            },
+        )
+        .expect("fit with per-epoch checkpointing");
+        fit_checkpointed_s = fit_checkpointed_s.min(t.elapsed().as_secs_f64());
+    }
+    std::fs::remove_file(&ckpt_path).ok();
+    CheckpointOverhead {
+        epochs,
+        fit_s,
+        fit_checkpointed_s,
+        overhead_ms_per_epoch: (fit_checkpointed_s - fit_s) * 1000.0 / epochs.max(1) as f64,
+    }
+}
+
 /// Load the previous PR's report, if present, and compute the speedup at
 /// an equal thread count. Returns `None` (with a warning) when the
 /// baseline is missing, unparsable, or was measured at a different
@@ -303,6 +369,10 @@ fn main() {
         cores,
         repeats,
     );
+    // The durability tax is measured serially: checkpoint writes are
+    // I/O-bound, so thread count is noise here.
+    std::env::set_var(THREADS_ENV, "1");
+    let checkpoint = measure_checkpoint_overhead(&dataset, &embeddings, seed, repeats);
     std::env::remove_var(THREADS_ENV);
 
     let baseline = load_baseline().filter(|b| {
@@ -337,14 +407,17 @@ fn main() {
         speedup_train: ratio(serial.train_s, parallel.train_s),
         speedup_score: ratio(serial.score_s, parallel.score_s),
         speedup_total: ratio(serial.total_s, parallel.total_s),
+        checkpoint,
         vs_pr1_serial,
         vs_pr1_parallel,
         serial,
         parallel,
     };
 
+    let out = args.get_or("out", "BENCH_PR4.json".to_string());
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     println!("{json}");
-    std::fs::write("BENCH_PR2.json", format!("{json}\n")).expect("write BENCH_PR2.json");
-    println!("wrote BENCH_PR2.json");
+    atomic_write(std::path::Path::new(&out), format!("{json}\n").as_bytes())
+        .unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out}");
 }

@@ -49,7 +49,10 @@ pub fn run(flags: &Flags) -> Result<String, CliError> {
             .iter()
             .map(|c| c.iter().map(|k| k.to_string()).collect())
             .collect();
-        std::fs::write(json_out, to_json_pretty(&clusters_json, "clusters")?)?;
+        leapme::data::io::atomic_write(
+            std::path::Path::new(json_out),
+            to_json_pretty(&clusters_json, "clusters")?.as_bytes(),
+        )?;
         writeln!(out, "[clusters written to {json_out}]").unwrap();
     }
     Ok(out)

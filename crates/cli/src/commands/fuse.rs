@@ -26,7 +26,10 @@ pub fn run(flags: &Flags) -> Result<String, CliError> {
 
     let mut out = schema.to_text();
     if let Some(path) = flags.get("out") {
-        std::fs::write(path, to_json_pretty(&schema, "unified schema")?)?;
+        leapme::data::io::atomic_write(
+            std::path::Path::new(path),
+            to_json_pretty(&schema, "unified schema")?.as_bytes(),
+        )?;
         out.push_str(&format!("\n[schema written to {path}]\n"));
     }
     Ok(out)

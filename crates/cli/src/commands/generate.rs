@@ -12,7 +12,7 @@ pub fn run(flags: &Flags) -> Result<String, CliError> {
     let out = flags.require("out")?;
 
     let dataset = generate(domain, seed);
-    std::fs::write(out, dataset.to_json())?;
+    leapme::data::io::atomic_write(std::path::Path::new(out), dataset.to_json().as_bytes())?;
     let stats = dataset.stats();
     Ok(format!(
         "wrote {out}: {} sources, {} properties, {} instances, {} matching pairs (seed {seed})",

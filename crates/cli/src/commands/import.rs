@@ -30,7 +30,7 @@ pub fn run(flags: &Flags) -> Result<String, CliError> {
             .map_err(|e| CliError::Parse(e.to_string()))?;
         (dataset, String::new())
     };
-    std::fs::write(out, dataset.to_json())?;
+    leapme::data::io::atomic_write(Path::new(out), dataset.to_json().as_bytes())?;
     let s = dataset.stats();
     Ok(format!(
         "wrote {out}: {} sources, {} properties ({} aligned), {} instances, {} matching pairs{note}",

@@ -1,57 +1,77 @@
-//! `leapme match` — train LEAPME on part of a dataset and score the
-//! held-out pairs into a similarity graph.
+//! `leapme match` — train LEAPME on part of a dataset (or load a
+//! previously trained `.lmp` model) and score pairs into a similarity
+//! graph.
 
-use super::{load_dataset, to_json, to_json_pretty};
+use super::{cancel_token, load_dataset, pipeline_err, to_json, to_json_pretty};
 use crate::args::Flags;
 use crate::CliError;
-use leapme::core::pipeline::{Leapme, LeapmeConfig};
+use leapme::core::pipeline::{Leapme, LeapmeConfig, LeapmeModel};
 use leapme::core::sampling;
+use leapme::data::io::atomic_write;
 use leapme::data::model::SourceId;
 use leapme::embedding::store::EmbeddingStore;
 use leapme::features::PropertyFeatureStore;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::Path;
 
 /// Run the command.
 pub fn run(flags: &Flags) -> Result<String, CliError> {
     let dataset = load_dataset(flags.require("dataset")?)?;
     let emb_path = flags.require("embeddings")?;
-    let mut embeddings = EmbeddingStore::load_text(std::path::Path::new(emb_path))
+    let mut embeddings = EmbeddingStore::load_text(Path::new(emb_path))
         .map_err(|e| CliError::Parse(format!("{emb_path}: {e}")))?;
     embeddings.set_fuzzy_oov(flags.get_or("fuzzy-oov", 1u8)? != 0);
 
     let seed: u64 = flags.get_or("seed", 42)?;
     let threshold: f32 = flags.get_or("threshold", 0.5)?;
     let out = flags.require("out")?;
+    let token = cancel_token(flags)?;
+    let check = token.checker();
+    const NOTHING_SAVED: &str = "no partial output written";
 
     let mut rng = StdRng::seed_from_u64(seed);
-    // Training sources: explicit list wins over a fraction.
-    let train_sources: Vec<SourceId> = match flags.get("train-sources") {
-        Some(spec) => spec
-            .split(',')
-            .filter(|s| !s.is_empty())
-            .map(|s| {
-                s.trim()
-                    .parse::<u16>()
-                    .map(SourceId)
-                    .map_err(|_| CliError::Usage(format!("bad source id {s:?}")))
-            })
-            .collect::<Result<_, _>>()?,
-        None => {
-            let fraction: f64 = flags.get_or("train-fraction", 0.8)?;
-            sampling::split_sources(dataset.sources().len(), fraction, &mut rng)
-                .map_err(|e| CliError::Pipeline(e.to_string()))?
-                .train
+    // A pretrained `.lmp` model skips the training half entirely and
+    // scores every cross-source pair; otherwise train on part of the
+    // dataset and score only the held-out pairs.
+    let pretrained = flags.get("model");
+    let train_sources: Vec<SourceId> = if pretrained.is_some() {
+        Vec::new()
+    } else {
+        // Training sources: explicit list wins over a fraction.
+        let train_sources: Vec<SourceId> = match flags.get("train-sources") {
+            Some(spec) => spec
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    s.trim()
+                        .parse::<u16>()
+                        .map(SourceId)
+                        .map_err(|_| CliError::Usage(format!("bad source id {s:?}")))
+                })
+                .collect::<Result<_, _>>()?,
+            None => {
+                let fraction: f64 = flags.get_or("train-fraction", 0.8)?;
+                sampling::split_sources(dataset.sources().len(), fraction, &mut rng)
+                    .map_err(|e| CliError::Pipeline(e.to_string()))?
+                    .train
+            }
+        };
+        if train_sources.len() < 2 {
+            return Err(CliError::Usage(
+                "need at least two training sources".into(),
+            ));
         }
+        train_sources
     };
-    if train_sources.len() < 2 {
-        return Err(CliError::Usage(
-            "need at least two training sources".into(),
-        ));
-    }
 
-    let store = PropertyFeatureStore::try_build(&dataset, &embeddings)
-        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let store = PropertyFeatureStore::try_build_cancellable(
+        &dataset,
+        &embeddings,
+        leapme::features::worker_threads(),
+        Some(&check),
+    )
+    .map_err(|e| pipeline_err(e.into(), NOTHING_SAVED))?;
     // Degraded-mode report: properties without embedding signal are
     // still scored on the 29 non-embedding features, but the user
     // should know their run is degraded (DESIGN.md §8).
@@ -66,36 +86,63 @@ pub fn run(flags: &Flags) -> Result<String, CliError> {
             sanitize.nonfinite, sanitize.clamped
         ));
     }
-    let train = sampling::training_pairs(&dataset, &train_sources, 2, &mut rng);
-    if train.is_empty() {
-        return Err(CliError::Pipeline(
-            "no labeled pairs within the chosen training sources".into(),
-        ));
-    }
-    let cfg = LeapmeConfig {
-        threshold,
-        seed,
-        ..LeapmeConfig::default()
+
+    let (model, train_len) = match pretrained {
+        Some(model_path) => {
+            // Dataset compatibility (feature dimension) is validated by
+            // the model itself before any pair is scored.
+            let model = LeapmeModel::load(Path::new(model_path))
+                .map_err(|e| CliError::Pipeline(e.to_string()))?;
+            (model, 0)
+        }
+        None => {
+            let train = sampling::training_pairs(&dataset, &train_sources, 2, &mut rng);
+            if train.is_empty() {
+                return Err(CliError::Pipeline(
+                    "no labeled pairs within the chosen training sources".into(),
+                ));
+            }
+            let cfg = LeapmeConfig {
+                threshold,
+                seed,
+                ..LeapmeConfig::default()
+            };
+            let opts = leapme::core::pipeline::DurableFitOptions {
+                cancel: Some(&check),
+                ..Default::default()
+            };
+            let model = Leapme::fit_durable(&store, &train, &cfg, &opts)
+                .map_err(|e| pipeline_err(e, NOTHING_SAVED))?;
+            let len = train.len();
+            (model, len)
+        }
     };
-    let model = Leapme::fit(&store, &train, &cfg).map_err(|e| CliError::Pipeline(e.to_string()))?;
 
     let candidates = sampling::test_pairs(&dataset, &train_sources);
     let graph = model
-        .predict_graph(&store, &candidates)
-        .map_err(|e| CliError::Pipeline(e.to_string()))?;
-    std::fs::write(out, to_json_pretty(&graph, "similarity graph")?)?;
+        .predict_graph_cancellable(&store, &candidates, Some(&check))
+        .map_err(|e| pipeline_err(e, NOTHING_SAVED))?;
+    atomic_write(
+        Path::new(out),
+        to_json_pretty(&graph, "similarity graph")?.as_bytes(),
+    )?;
 
     if let Some(model_path) = flags.get("save-model") {
-        std::fs::write(model_path, to_json(&model, "model")?)?;
+        atomic_write(Path::new(model_path), to_json(&model, "model")?.as_bytes())?;
     }
 
+    let provenance = if train_sources.is_empty() {
+        "pretrained model, all cross-source pairs".to_string()
+    } else {
+        format!(
+            "{train_len} training pairs from {} sources",
+            train_sources.len()
+        )
+    };
     Ok(format!(
-        "{warnings}wrote {out}: {} scored pairs, {} matches at threshold {threshold} \
-         ({} training pairs from {} sources)",
+        "{warnings}wrote {out}: {} scored pairs, {} matches at threshold {threshold} ({provenance})",
         graph.len(),
         graph.matches(threshold).len(),
-        train.len(),
-        train_sources.len()
     ))
 }
 
@@ -185,6 +232,69 @@ mod tests {
         for p in [emb_path, graph_path] {
             std::fs::remove_file(p).ok();
         }
+    }
+
+    #[test]
+    fn pretrained_model_scores_all_cross_source_pairs() {
+        let (ds, emb) = fixture();
+        let model_path = tmp("match_pretrained.lmp");
+        crate::commands::train::run(&Flags::from_pairs(&[
+            ("dataset", ds.to_str().unwrap()),
+            ("embeddings", emb.to_str().unwrap()),
+            ("save", model_path.to_str().unwrap()),
+        ]))
+        .unwrap();
+        let graph_path = tmp("match_graph_pretrained.json");
+        let msg = run(&Flags::from_pairs(&[
+            ("dataset", ds.to_str().unwrap()),
+            ("embeddings", emb.to_str().unwrap()),
+            ("model", model_path.to_str().unwrap()),
+            ("out", graph_path.to_str().unwrap()),
+        ]))
+        .unwrap();
+        assert!(msg.contains("pretrained model"), "{msg}");
+        let graph: SimilarityGraph =
+            serde_json::from_str(&std::fs::read_to_string(&graph_path).unwrap()).unwrap();
+        // With no sources held out for training, the pretrained path
+        // scores strictly more pairs than any train/test split could.
+        assert!(!graph.is_empty());
+        for p in [graph_path, model_path] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn corrupt_model_file_is_reported_not_scored() {
+        let (ds, emb) = fixture();
+        let model_path = tmp("match_corrupt.lmp");
+        std::fs::write(&model_path, b"LEAPMECPgarbage").unwrap();
+        let err = run(&Flags::from_pairs(&[
+            ("dataset", ds.to_str().unwrap()),
+            ("embeddings", emb.to_str().unwrap()),
+            ("model", model_path.to_str().unwrap()),
+            ("out", tmp("unused_graph.json").to_str().unwrap()),
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Pipeline(_)), "{err}");
+        assert!(err.to_string().contains("checkpoint"), "{err}");
+        std::fs::remove_file(model_path).ok();
+    }
+
+    #[test]
+    fn timeout_zero_exits_cancelled_without_output() {
+        let (ds, emb) = fixture();
+        let graph_path = tmp("match_never.json");
+        let _ = std::fs::remove_file(&graph_path);
+        let err = run(&Flags::from_pairs(&[
+            ("dataset", ds.to_str().unwrap()),
+            ("embeddings", emb.to_str().unwrap()),
+            ("out", graph_path.to_str().unwrap()),
+            ("timeout-secs", "0"),
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Cancelled(_)), "{err}");
+        assert_eq!(err.exit_code(), 3);
+        assert!(!graph_path.exists(), "no partial graph on cancellation");
     }
 
     #[test]

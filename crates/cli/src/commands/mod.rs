@@ -9,8 +9,11 @@ pub mod generate;
 pub mod import;
 pub mod match_cmd;
 pub mod stats;
+pub mod train;
 
 use crate::CliError;
+use leapme::core::cancel::CancelToken;
+use leapme::core::CoreError;
 use leapme::data::domains::Domain;
 
 /// Resolve a domain name flag.
@@ -53,6 +56,30 @@ pub(crate) fn to_json<T: serde::Serialize>(value: &T, what: &str) -> Result<Stri
 pub(crate) fn load_graph(path: &str) -> Result<leapme::core::simgraph::SimilarityGraph, CliError> {
     let json = std::fs::read_to_string(path)?;
     serde_json::from_str(&json).map_err(|e| CliError::Parse(format!("{path}: {e}")))
+}
+
+/// Build the cancellation token every long-running command polls: it
+/// observes the process-wide SIGINT/SIGTERM flag and, when the command
+/// was given `--timeout-secs`, a wall-clock deadline.
+pub(crate) fn cancel_token(flags: &crate::args::Flags) -> Result<CancelToken, CliError> {
+    let mut token = CancelToken::new().with_flag(crate::interrupted_flag());
+    if let Some(raw) = flags.get("timeout-secs") {
+        let secs: u64 = raw.parse().map_err(|_| {
+            CliError::Usage(format!("flag --timeout-secs has invalid value {raw:?}"))
+        })?;
+        token = token.with_timeout(std::time::Duration::from_secs(secs));
+    }
+    Ok(token)
+}
+
+/// Map a pipeline error to the CLI error space, routing cooperative
+/// cancellation to exit code 3 with a note about what durable state
+/// survived the interruption.
+pub(crate) fn pipeline_err(e: CoreError, saved: &str) -> CliError {
+    match e {
+        CoreError::Cancelled => CliError::Cancelled(saved.to_string()),
+        e => CliError::Pipeline(e.to_string()),
+    }
 }
 
 #[cfg(test)]

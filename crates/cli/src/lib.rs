@@ -8,12 +8,23 @@
 //! | `generate` | emit one of the four synthetic evaluation datasets as JSON |
 //! | `embed` | train GloVe embeddings on domain corpora, save as `glove.txt` |
 //! | `stats` | print dataset statistics (sources, properties, ground truth) |
-//! | `match` | train LEAPME and score held-out pairs into a similarity graph |
+//! | `train` | train LEAPME and save the model as a checksummed `.lmp` file |
+//! | `match` | train LEAPME (or load a `.lmp` model) and score pairs into a similarity graph |
 //! | `evaluate` | score a similarity graph against a dataset's ground truth |
 //! | `cluster` | derive property clusters from a similarity graph |
 //!
 //! Run `leapme help` (or any command with `--help`-less wrong args) for
 //! usage.
+//!
+//! # Exit codes
+//!
+//! * `0` — success.
+//! * `1` — runtime failure (I/O, parse, pipeline).
+//! * `2` — usage error (bad flags, unknown command).
+//! * `3` — cancelled: a `--timeout-secs` deadline elapsed or the process
+//!   received SIGINT/SIGTERM. Durable state (training checkpoint, run
+//!   journal) is persisted before exiting, so rerunning with `--resume`
+//!   continues where the run stopped.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -22,6 +33,19 @@ pub mod args;
 pub mod commands;
 
 use std::fmt;
+use std::sync::atomic::AtomicBool;
+
+/// Process-wide interruption flag, set by the binary's SIGINT/SIGTERM
+/// handler and observed by every cancellable command through a
+/// [`leapme::core::cancel::CancelToken`].
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// The flag flipped on SIGINT/SIGTERM. Exposed so the binary's signal
+/// handler (the only unsafe code in the CLI) can reach it, and so tests
+/// can simulate an interrupt.
+pub fn interrupted_flag() -> &'static AtomicBool {
+    &INTERRUPTED
+}
 
 /// CLI-level errors with user-facing messages.
 #[derive(Debug)]
@@ -34,17 +58,21 @@ pub enum CliError {
     Parse(String),
     /// A pipeline stage failed.
     Pipeline(String),
+    /// The run was cancelled (deadline or signal) after persisting any
+    /// configured durable state; the message says what was saved.
+    Cancelled(String),
 }
 
 impl CliError {
     /// Process exit code the top-level handler should use: `2` for
-    /// usage errors (bad flags, unknown command), `1` for everything
-    /// else that fails at run time. Success exits `0`.
+    /// usage errors (bad flags, unknown command), `3` for cooperative
+    /// cancellation (deadline / SIGINT with durable state saved), `1`
+    /// for everything else that fails at run time. Success exits `0`.
     pub fn exit_code(&self) -> i32 {
-        if self.is_usage() {
-            2
-        } else {
-            1
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Cancelled(_) => 3,
+            _ => 1,
         }
     }
 
@@ -62,6 +90,7 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Parse(m) => write!(f, "parse error: {m}"),
             CliError::Pipeline(m) => write!(f, "{m}"),
+            CliError::Cancelled(m) => write!(f, "cancelled: {m}"),
         }
     }
 }
@@ -89,15 +118,30 @@ COMMANDS:
                 instead of failing the import)
     embed      --domains <d1,d2,…> [--dim N] [--seed N] --out <vectors.txt>
     stats      --dataset <dataset.json>
-    match      --dataset <dataset.json> --embeddings <vectors.txt>
+    train      --dataset <dataset.json> --embeddings <vectors.txt>
+               --save <model.lmp>
                [--train-fraction 0.8 | --train-sources 0,1,2] [--seed N]
-               [--threshold 0.5] --out <graph.json> [--save-model <model.json>]
+               [--threshold 0.5] [--checkpoint <train.ckpt>]
+               [--checkpoint-every N] [--resume] [--timeout-secs N]
+               (on timeout or Ctrl-C the training state is checkpointed
+                and the process exits 3; rerun with --resume to continue)
+    match      --dataset <dataset.json> --embeddings <vectors.txt>
+               [--model <model.lmp>]
+               [--train-fraction 0.8 | --train-sources 0,1,2] [--seed N]
+               [--threshold 0.5] [--timeout-secs N]
+               --out <graph.json> [--save-model <model.json>]
+               (--model skips training and scores every cross-source
+                pair with the loaded model)
     evaluate   --dataset <dataset.json> --graph <graph.json> [--threshold 0.5]
     analyze    --dataset <dataset.json> --graph <graph.json> [--threshold 0.5]
     cluster    --graph <graph.json> [--method components|star] [--threshold 0.5]
     fuse       --dataset <dataset.json> --graph <graph.json>
                [--method components|star] [--threshold 0.5] [--out <schema.json>]
     help       print this message
+
+EXIT CODES:
+    0 success · 1 runtime failure · 2 usage error · 3 cancelled
+    (deadline or SIGINT; durable state was saved first)
 ";
 
 /// Dispatch a full argument vector (excluding the binary name).
@@ -112,6 +156,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "import" => commands::import::run(&flags),
         "embed" => commands::embed::run(&flags),
         "stats" => commands::stats::run(&flags),
+        "train" => commands::train::run(&flags),
         "match" => commands::match_cmd::run(&flags),
         "evaluate" => commands::evaluate::run(&flags),
         "cluster" => commands::cluster::run(&flags),
@@ -156,5 +201,13 @@ mod tests {
             assert!(!err.is_usage());
             assert_eq!(err.exit_code(), 1);
         }
+    }
+
+    #[test]
+    fn cancellation_exits_3() {
+        let err = CliError::Cancelled("checkpoint saved".into());
+        assert!(!err.is_usage());
+        assert_eq!(err.exit_code(), 3);
+        assert!(err.to_string().starts_with("cancelled:"));
     }
 }

@@ -1,8 +1,33 @@
 //! The `leapme` command-line binary (thin wrapper over `leapme_cli`).
 
 use std::io::Write;
+use std::sync::atomic::Ordering;
+
+/// Signal handler for SIGINT/SIGTERM: flip the process-wide flag that
+/// every cancellable command polls. Only async-signal-safe work happens
+/// here (a single atomic store); the command notices the flag at its
+/// next poll point, checkpoints durable state, and exits 3.
+extern "C" fn on_interrupt(_signum: i32) {
+    leapme_cli::interrupted_flag().store(true, Ordering::SeqCst);
+}
+
+/// Install [`on_interrupt`] for SIGINT (2) and SIGTERM (15) via the
+/// libc `signal` symbol, declared here directly so the crate needs no
+/// FFI dependency. This is the only unsafe code in the CLI.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_interrupt);
+        signal(SIGTERM, on_interrupt);
+    }
+}
 
 fn main() {
+    install_signal_handlers();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match leapme_cli::run(&argv) {
         Ok(output) => {
@@ -14,7 +39,8 @@ fn main() {
         }
         Err(e) => {
             // The single top-level error printer: usage mistakes get the
-            // usage text and exit 2, runtime failures exit 1.
+            // usage text and exit 2, runtime failures exit 1, cancelled
+            // runs (deadline or signal, durable state saved) exit 3.
             eprintln!("error: {e}");
             if e.is_usage() {
                 eprintln!("\n{}", leapme_cli::USAGE);

@@ -1,0 +1,135 @@
+//! Cooperative cancellation and deadlines for long-running pipeline work.
+//!
+//! A [`CancelToken`] bundles the three ways a LEAPME run can be asked to
+//! stop — an in-process [`CancelToken::cancel`] call, an external signal
+//! flag (the CLI's SIGINT handler flips a static `AtomicBool`), and a
+//! wall-clock deadline (`--timeout-secs`). Work sites never block on it;
+//! they poll [`CancelToken::is_cancelled`] between work blocks (feature
+//! build blocks, pair-fill chunks, training epochs, scoring batches) and
+//! bail out with a `Cancelled` error, giving the caller a chance to
+//! checkpoint state before exiting.
+//!
+//! Substrate crates (`leapme-features`, `leapme-nn`) stay independent of
+//! this type: they accept plain `Fn() -> bool` closures, produced here by
+//! [`CancelToken::checker`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shareable cancellation token with an optional deadline.
+///
+/// Cloning is cheap (an `Arc` bump); all clones observe the same
+/// [`CancelToken::cancel`] call. The token is *cooperative*: it never
+/// interrupts anything, it only answers "should we stop?".
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    /// External stop flag, e.g. flipped by a signal handler.
+    external: Option<&'static AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .field("has_external", &self.external.is_some())
+            .field("has_deadline", &self.deadline.is_some())
+            .finish()
+    }
+}
+
+impl CancelToken {
+    /// A token that only fires when [`Self::cancel`] is called.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a wall-clock deadline `timeout` from now; the token reports
+    /// cancelled once the deadline passes.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Also observe an external flag (e.g. set from a signal handler):
+    /// the token reports cancelled while `flag` is `true`.
+    pub fn with_flag(mut self, flag: &'static AtomicBool) -> Self {
+        self.external = Some(flag);
+        self
+    }
+
+    /// Request cancellation; all clones observe it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether any stop condition holds: explicit cancel, external flag,
+    /// or an elapsed deadline.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+            || self.external.is_some_and(|f| f.load(Ordering::SeqCst))
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Remaining time before the deadline (`None` when no deadline is
+    /// set; zero once it has passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// A plain-closure view of this token, in the shape the substrate
+    /// crates accept (`Option<&(dyn Fn() -> bool + Sync)>`). The closure
+    /// clones the token, so it is `'static` apart from the borrow rules
+    /// of whatever holds it.
+    pub fn checker(&self) -> impl Fn() -> bool + Send + Sync + 'static {
+        let token = self.clone();
+        move || token.is_cancelled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_not_cancelled() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.remaining().is_none());
+    }
+
+    #[test]
+    fn cancel_is_visible_to_clones_and_checkers() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        let check = t.checker();
+        assert!(!check());
+        clone.cancel();
+        assert!(t.is_cancelled());
+        assert!(check());
+    }
+
+    #[test]
+    fn elapsed_deadline_cancels() {
+        let t = CancelToken::new().with_timeout(Duration::from_secs(0));
+        assert!(t.is_cancelled());
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+        let far = CancelToken::new().with_timeout(Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+        assert!(far.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn external_flag_cancels() {
+        static FLAG: AtomicBool = AtomicBool::new(false);
+        let t = CancelToken::new().with_flag(&FLAG);
+        assert!(!t.is_cancelled());
+        FLAG.store(true, Ordering::SeqCst);
+        assert!(t.is_cancelled());
+        FLAG.store(false, Ordering::SeqCst);
+        assert!(!t.is_cancelled());
+    }
+}

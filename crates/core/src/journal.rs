@@ -1,0 +1,395 @@
+//! Append-only, checksummed run journal for resumable evaluations.
+//!
+//! A long repeated-evaluation run (`run_repeated` executes up to 25
+//! trainings per Table II cell) can die mid-way — OOM kill, deadline,
+//! Ctrl-C. The journal makes the completed portion durable: every
+//! finished repetition is appended as one line
+//!
+//! ```text
+//! <16 hex digits of CRC-64/XZ over the JSON>\t<compact JSON>\n
+//! ```
+//!
+//! and fsynced, so on restart [`RunJournal::open`] replays the intact
+//! records and the runner re-executes only the missing repetitions.
+//!
+//! Corruption policy (mirrors the checkpoint container's): a *trailing*
+//! corrupt record — a torn final append, detected as an unterminated
+//! last line or a checksum-mismatched final record — is truncated away
+//! and the run continues, because a crash mid-append is exactly the
+//! failure the journal exists to survive. Corruption *before* the last
+//! record means the file was damaged at rest and surfaces as a typed
+//! [`JournalError::Corrupt`]; it is never silently skipped.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use leapme_nn::checkpoint::crc64;
+use serde::{Deserialize, Serialize};
+
+/// Errors produced by the run journal.
+#[derive(Debug)]
+pub enum JournalError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A record *before* the final one failed validation (bad structure,
+    /// checksum mismatch): at-rest corruption the journal will not paper
+    /// over.
+    Corrupt {
+        /// Zero-based index of the damaged record.
+        record: usize,
+        /// What failed to validate.
+        reason: String,
+    },
+    /// A checksummed record did not deserialize into the requested type.
+    Serde {
+        /// Zero-based index of the offending record.
+        record: usize,
+        /// Deserializer error text.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Corrupt { record, reason } => {
+                write!(f, "journal record {record} corrupt: {reason}")
+            }
+            JournalError::Serde { record, message } => {
+                write!(f, "journal record {record} undecodable: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// An open, validated journal file.
+///
+/// Appends are serialized through an internal mutex, so a shared
+/// reference can be handed to parallel workers.
+#[derive(Debug)]
+pub struct RunJournal {
+    path: PathBuf,
+    file: Mutex<File>,
+    /// JSON payloads of the records that were intact at open time.
+    replayed: Vec<String>,
+    /// Whether a torn/corrupt trailing record was truncated at open.
+    truncated_tail: bool,
+}
+
+/// Validate one complete journal line (without its `\n`), returning the
+/// JSON payload.
+fn validate_line(line: &[u8]) -> Result<String, String> {
+    let tab = line
+        .iter()
+        .position(|&b| b == b'\t')
+        .ok_or("missing checksum separator")?;
+    let (hex, json) = (&line[..tab], &line[tab + 1..]);
+    if hex.len() != 16 {
+        return Err(format!("checksum field is {} bytes, want 16", hex.len()));
+    }
+    let hex = std::str::from_utf8(hex).map_err(|_| "non-ASCII checksum".to_string())?;
+    let expected = u64::from_str_radix(hex, 16).map_err(|_| format!("bad checksum hex {hex:?}"))?;
+    let actual = crc64(json);
+    if expected != actual {
+        return Err(format!(
+            "checksum mismatch: recorded {expected:016x}, computed {actual:016x}"
+        ));
+    }
+    let json = std::str::from_utf8(json).map_err(|_| "payload is not UTF-8".to_string())?;
+    Ok(json.to_string())
+}
+
+impl RunJournal {
+    /// Open (or create) the journal at `path`, replaying and validating
+    /// every record.
+    ///
+    /// A corrupt **final** record is truncated off the file and noted in
+    /// [`Self::truncated_tail`]; a corrupt earlier record is a
+    /// [`JournalError::Corrupt`].
+    pub fn open(path: &Path) -> Result<Self, JournalError> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+
+        // Complete records end in '\n'; anything after the last '\n' is
+        // a torn tail from an interrupted append.
+        let complete_len = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+        let mut truncated_tail = complete_len < bytes.len();
+
+        let mut replayed = Vec::new();
+        let mut valid_len = 0usize;
+        let lines: Vec<&[u8]> = if complete_len == 0 {
+            Vec::new()
+        } else {
+            bytes[..complete_len - 1].split(|&b| b == b'\n').collect()
+        };
+        for (i, line) in lines.iter().enumerate() {
+            match validate_line(line) {
+                Ok(json) => {
+                    replayed.push(json);
+                    valid_len += line.len() + 1;
+                }
+                Err(reason) if i + 1 == lines.len() => {
+                    // Torn final append that happened to include a
+                    // newline: drop it and continue.
+                    let _ = reason;
+                    truncated_tail = true;
+                }
+                Err(reason) => {
+                    return Err(JournalError::Corrupt { record: i, reason });
+                }
+            }
+        }
+
+        if truncated_tail {
+            // Physically remove the damaged tail so later readers see a
+            // clean file.
+            let f = OpenOptions::new().write(true).open(path)?;
+            f.set_len(valid_len as u64)?;
+            f.sync_all()?;
+        }
+
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(RunJournal {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+            replayed,
+            truncated_tail,
+        })
+    }
+
+    /// Path of the journal file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of intact records replayed at open.
+    pub fn len(&self) -> usize {
+        self.replayed.len()
+    }
+
+    /// Whether no intact records were replayed at open.
+    pub fn is_empty(&self) -> bool {
+        self.replayed.is_empty()
+    }
+
+    /// Whether a torn/corrupt trailing record was truncated at open.
+    pub fn truncated_tail(&self) -> bool {
+        self.truncated_tail
+    }
+
+    /// The records replayed at open, deserialized as `T`.
+    pub fn replayed<T: Deserialize>(&self) -> Result<Vec<T>, JournalError> {
+        self.replayed
+            .iter()
+            .enumerate()
+            .map(|(record, json)| {
+                serde_json::from_str(json).map_err(|e| JournalError::Serde {
+                    record,
+                    message: e.to_string(),
+                })
+            })
+            .collect()
+    }
+
+    /// Append one record and fsync it. The record is durable once this
+    /// returns `Ok`.
+    pub fn append<T: Serialize>(&self, record: &T) -> Result<(), JournalError> {
+        let json = serde_json::to_string(record).map_err(|e| JournalError::Serde {
+            record: self.replayed.len(),
+            message: e.to_string(),
+        })?;
+        debug_assert!(!json.contains('\n'), "compact JSON is single-line");
+        let line = format!("{:016x}\t{}\n", crc64(json.as_bytes()), json);
+
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(e) = injected_append_fault(&file, line.as_bytes()) {
+            return Err(e.into());
+        }
+        file.write_all(line.as_bytes())?;
+        file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// Fault hook for `core.journal.append`: `torn` leaves a prefix of the
+/// line in the file (as if the process died mid-append) and reports the
+/// write as failed; `io` fails without writing.
+#[cfg(feature = "faults")]
+fn injected_append_fault(file: &File, line: &[u8]) -> Option<std::io::Error> {
+    use leapme_faults::{fires, sites, FaultKind};
+    match fires(sites::JOURNAL_APPEND)? {
+        FaultKind::Torn => {
+            let mut f = file;
+            let _ = f.write_all(&line[..line.len() / 2]);
+            let _ = f.sync_data();
+            Some(std::io::Error::other("injected fault: torn journal append"))
+        }
+        FaultKind::Io => Some(std::io::Error::other("injected fault: journal append")),
+        _ => None,
+    }
+}
+
+#[cfg(not(feature = "faults"))]
+fn injected_append_fault(_file: &File, _line: &[u8]) -> Option<std::io::Error> {
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Rec {
+        id: usize,
+        score: f64,
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "leapme-journal-{name}-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("run.journal")
+    }
+
+    #[test]
+    fn append_then_reopen_replays() {
+        let path = tmp("replay");
+        let _ = std::fs::remove_file(&path);
+        let j = RunJournal::open(&path).unwrap();
+        assert!(j.is_empty());
+        for id in 0..3 {
+            j.append(&Rec {
+                id,
+                score: id as f64 * 0.5,
+            })
+            .unwrap();
+        }
+        drop(j);
+        let j = RunJournal::open(&path).unwrap();
+        assert_eq!(j.len(), 3);
+        assert!(!j.truncated_tail());
+        let recs: Vec<Rec> = j.replayed().unwrap();
+        assert_eq!(recs[2], Rec { id: 2, score: 1.0 });
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_run_continues() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        let j = RunJournal::open(&path).unwrap();
+        j.append(&Rec { id: 0, score: 0.0 }).unwrap();
+        j.append(&Rec { id: 1, score: 1.0 }).unwrap();
+        drop(j);
+        // Simulate a crash mid-append: half a record, no newline.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"deadbeefdeadbeef\t{\"id\":9").unwrap();
+        }
+        let j = RunJournal::open(&path).unwrap();
+        assert_eq!(j.len(), 2);
+        assert!(j.truncated_tail());
+        // The tail is physically gone: a further reopen is clean and the
+        // journal stays appendable.
+        j.append(&Rec { id: 2, score: 2.0 }).unwrap();
+        drop(j);
+        let j = RunJournal::open(&path).unwrap();
+        assert_eq!(j.len(), 3);
+        assert!(!j.truncated_tail());
+    }
+
+    #[test]
+    fn corrupt_final_complete_record_is_truncated() {
+        let path = tmp("tail-flip");
+        let _ = std::fs::remove_file(&path);
+        let j = RunJournal::open(&path).unwrap();
+        j.append(&Rec { id: 0, score: 0.0 }).unwrap();
+        j.append(&Rec { id: 1, score: 1.0 }).unwrap();
+        drop(j);
+        // Flip one payload byte in the final record (newline intact).
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let j = RunJournal::open(&path).unwrap();
+        assert_eq!(j.len(), 1);
+        assert!(j.truncated_tail());
+    }
+
+    #[test]
+    fn mid_file_corruption_is_a_typed_error() {
+        let path = tmp("mid");
+        let _ = std::fs::remove_file(&path);
+        let j = RunJournal::open(&path).unwrap();
+        for id in 0..3 {
+            j.append(&Rec { id, score: 0.0 }).unwrap();
+        }
+        drop(j);
+        // Corrupt the FIRST record; two intact records follow it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[20] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        match RunJournal::open(&path) {
+            Err(JournalError::Corrupt { record: 0, reason }) => {
+                assert!(reason.contains("mismatch"), "{reason}");
+            }
+            other => panic!("expected Corrupt{{record:0}}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_type_is_a_serde_error() {
+        let path = tmp("serde");
+        let _ = std::fs::remove_file(&path);
+        let j = RunJournal::open(&path).unwrap();
+        j.append(&Rec { id: 0, score: 0.0 }).unwrap();
+        drop(j);
+        let j = RunJournal::open(&path).unwrap();
+        #[derive(Debug, Deserialize)]
+        struct Other {
+            #[allow(dead_code)]
+            name: String,
+        }
+        assert!(matches!(
+            j.replayed::<Other>(),
+            Err(JournalError::Serde { record: 0, .. })
+        ));
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn injected_torn_append_is_survivable() {
+        let path = tmp("fault-torn");
+        let _ = std::fs::remove_file(&path);
+        let site = leapme_faults::sites::JOURNAL_APPEND;
+        let j = RunJournal::open(&path).unwrap();
+        j.append(&Rec { id: 0, score: 0.0 }).unwrap();
+        leapme_faults::with_plan(&format!("seed=1;{site}:torn@1.0#1"), || {
+            let err = j.append(&Rec { id: 1, score: 1.0 }).unwrap_err();
+            assert!(matches!(err, JournalError::Io(_)), "{err}");
+        });
+        drop(j);
+        // The torn half-record is detected and truncated on reopen.
+        let j = RunJournal::open(&path).unwrap();
+        assert_eq!(j.len(), 1);
+        assert!(j.truncated_tail());
+        let recs: Vec<Rec> = j.replayed().unwrap();
+        assert_eq!(recs[0].id, 0);
+    }
+}

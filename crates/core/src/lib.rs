@@ -53,10 +53,12 @@
 pub mod analysis;
 pub mod blocking;
 pub mod calibration;
+pub mod cancel;
 pub mod cluster;
 pub mod fusion;
 pub mod importance;
 pub mod incremental;
+pub mod journal;
 pub mod metrics;
 pub mod pipeline;
 pub mod prcurve;
@@ -86,6 +88,14 @@ pub enum CoreError {
         /// Rendered panic payload.
         payload: String,
     },
+    /// The operation was cancelled cooperatively (deadline, signal, or
+    /// an explicit [`cancel::CancelToken::cancel`] call); durable state
+    /// was checkpointed first where configured.
+    Cancelled,
+    /// A model/checkpoint container failed to read, write, or validate.
+    Checkpoint(leapme_nn::checkpoint::CheckpointError),
+    /// The run journal failed (I/O or at-rest corruption).
+    Journal(journal::JournalError),
 }
 
 impl std::fmt::Display for CoreError {
@@ -98,6 +108,9 @@ impl std::fmt::Display for CoreError {
             CoreError::WorkerPanic { site, payload } => {
                 write!(f, "worker panic at {site}: {payload}")
             }
+            CoreError::Cancelled => write!(f, "run cancelled"),
+            CoreError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            CoreError::Journal(e) => write!(f, "{e}"),
         }
     }
 }
@@ -106,12 +119,32 @@ impl std::error::Error for CoreError {}
 
 impl From<leapme_features::vectorizer::FeatureError> for CoreError {
     fn from(e: leapme_features::vectorizer::FeatureError) -> Self {
-        CoreError::Feature(e)
+        // Cancellation keeps its identity across layers so callers can
+        // map every cancelled pipeline stage to one exit path.
+        match e {
+            leapme_features::vectorizer::FeatureError::Cancelled => CoreError::Cancelled,
+            e => CoreError::Feature(e),
+        }
     }
 }
 
 impl From<leapme_nn::NnError> for CoreError {
     fn from(e: leapme_nn::NnError) -> Self {
-        CoreError::Nn(e)
+        match e {
+            leapme_nn::NnError::Cancelled => CoreError::Cancelled,
+            e => CoreError::Nn(e),
+        }
+    }
+}
+
+impl From<leapme_nn::checkpoint::CheckpointError> for CoreError {
+    fn from(e: leapme_nn::checkpoint::CheckpointError) -> Self {
+        CoreError::Checkpoint(e)
+    }
+}
+
+impl From<journal::JournalError> for CoreError {
+    fn from(e: journal::JournalError) -> Self {
+        CoreError::Journal(e)
     }
 }

@@ -10,11 +10,13 @@ use crate::scaler::Scaler;
 use crate::simgraph::SimilarityGraph;
 use crate::CoreError;
 use leapme_data::model::PropertyPair;
-use leapme_features::{FeatureConfig, PropertyFeatureStore};
+use leapme_features::{CancelCheck, FeatureConfig, FeatureKind, FeatureScope, PropertyFeatureStore};
+use leapme_nn::checkpoint::{self, CheckpointError, Decoder, Encoder, KIND_PIPELINE};
 use leapme_nn::matrix::Matrix;
-use leapme_nn::network::{Mlp, TrainConfig};
+use leapme_nn::network::{FitControl, Mlp, TrainConfig};
 use leapme_nn::workspace::ScoreWorkspace;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// Configuration of a LEAPME fit.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -56,6 +58,33 @@ pub struct LeapmeModel {
 /// Batch size used when scoring large candidate spaces.
 const SCORE_BATCH: usize = 4096;
 
+/// Durability knobs for [`Leapme::fit_durable`]: where to checkpoint
+/// training, how often, whether to resume, and the cancellation check
+/// polled between pipeline work blocks.
+#[derive(Default)]
+pub struct DurableFitOptions<'a> {
+    /// Training checkpoint file (removed on successful completion).
+    /// `None` disables checkpointing entirely.
+    pub checkpoint_path: Option<&'a Path>,
+    /// Checkpoint every N epochs; `0` = only when cancellation fires.
+    pub checkpoint_every: usize,
+    /// Resume from `checkpoint_path` if it exists and matches this run.
+    pub resume: bool,
+    /// Cooperative cancellation check, polled between work blocks.
+    pub cancel: Option<&'a (dyn Fn() -> bool + Sync)>,
+}
+
+impl std::fmt::Debug for DurableFitOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableFitOptions")
+            .field("checkpoint_path", &self.checkpoint_path)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("resume", &self.resume)
+            .field("cancel", &self.cancel.is_some())
+            .finish()
+    }
+}
+
 /// Entry point for fitting LEAPME models.
 pub struct Leapme;
 
@@ -69,6 +98,22 @@ impl Leapme {
         labeled: &[(PropertyPair, bool)],
         cfg: &LeapmeConfig,
     ) -> Result<LeapmeModel, CoreError> {
+        Self::fit_durable(store, labeled, cfg, &DurableFitOptions::default())
+    }
+
+    /// [`Self::fit`] with durability: optional training checkpoints,
+    /// resume-from-checkpoint, and cooperative cancellation threaded
+    /// through the pair-matrix fill and every training epoch. When
+    /// cancellation fires after a checkpoint path is configured, the
+    /// training state is persisted before [`CoreError::Cancelled`] is
+    /// returned, and a later call with `resume: true` continues the run
+    /// bitwise identically to one that was never interrupted.
+    pub fn fit_durable(
+        store: &PropertyFeatureStore,
+        labeled: &[(PropertyPair, bool)],
+        cfg: &LeapmeConfig,
+        opts: &DurableFitOptions<'_>,
+    ) -> Result<LeapmeModel, CoreError> {
         if labeled.is_empty() {
             return Err(CoreError::NoTrainingData);
         }
@@ -78,7 +123,14 @@ impl Leapme {
                 .iter()
                 .map(|(PropertyPair(a, b), _)| (a.clone(), b.clone()))
                 .collect();
-        let (n, cols, data) = store.pair_matrix_flat(&pairs, &cfg.features)?.into_parts();
+        let (n, cols, data) = store
+            .pair_matrix_flat_cancellable(
+                &pairs,
+                &cfg.features,
+                leapme_features::worker_threads(),
+                opts.cancel,
+            )?
+            .into_parts();
         let mut x = Matrix::from_vec(n, cols, data);
         let labels: Vec<usize> = labeled.iter().map(|(_, y)| usize::from(*y)).collect();
 
@@ -89,7 +141,13 @@ impl Leapme {
         sizes.extend_from_slice(&cfg.hidden);
         sizes.push(2);
         let mut net = Mlp::new(&sizes, cfg.seed);
-        net.fit(&x, &labels, &cfg.train)?;
+        let ctl = FitControl {
+            checkpoint_path: opts.checkpoint_path,
+            checkpoint_every: opts.checkpoint_every,
+            resume: opts.resume,
+            cancel: opts.cancel,
+        };
+        net.fit_durable(&x, &labels, &cfg.train, &ctl)?;
 
         Ok(LeapmeModel {
             net,
@@ -101,7 +159,95 @@ impl Leapme {
     }
 }
 
+/// Stable on-disk tags for [`FeatureScope`] / [`FeatureKind`] in the
+/// `.lmp` container (independent of in-memory enum layout).
+fn scope_tag(scope: FeatureScope) -> u8 {
+    match scope {
+        FeatureScope::Instances => 0,
+        FeatureScope::Names => 1,
+        FeatureScope::Both => 2,
+    }
+}
+
+fn scope_from_tag(tag: u8) -> Result<FeatureScope, CheckpointError> {
+    Ok(match tag {
+        0 => FeatureScope::Instances,
+        1 => FeatureScope::Names,
+        2 => FeatureScope::Both,
+        t => return Err(CheckpointError::Malformed(format!("feature scope tag {t}"))),
+    })
+}
+
+fn kind_tag(kind: FeatureKind) -> u8 {
+    match kind {
+        FeatureKind::Embeddings => 0,
+        FeatureKind::NonEmbeddings => 1,
+        FeatureKind::Both => 2,
+    }
+}
+
+fn kind_from_tag(tag: u8) -> Result<FeatureKind, CheckpointError> {
+    Ok(match tag {
+        0 => FeatureKind::Embeddings,
+        1 => FeatureKind::NonEmbeddings,
+        2 => FeatureKind::Both,
+        t => return Err(CheckpointError::Malformed(format!("feature kind tag {t}"))),
+    })
+}
+
 impl LeapmeModel {
+    /// Persist the trained model to `path` as a versioned, checksummed
+    /// `.lmp` container (atomic write: temp file + fsync + rename).
+    /// Weights are stored as raw little-endian `f32` bits, so
+    /// [`Self::load`] scores bitwise identically to the saved model.
+    pub fn save(&self, path: &Path) -> Result<(), CoreError> {
+        let mut e = Encoder::new();
+        checkpoint::encode_mlp(&mut e, &self.net);
+        let (means, inv_stds) = self.scaler.parts();
+        e.f32s(means);
+        e.f32s(inv_stds);
+        e.u8(scope_tag(self.features.scope));
+        e.u8(kind_tag(self.features.kind));
+        e.f32(self.threshold);
+        e.u64(self.dim as u64);
+        checkpoint::write_container(path, KIND_PIPELINE, &e.finish())?;
+        Ok(())
+    }
+
+    /// Load a model saved by [`Self::save`]. Every corruption mode —
+    /// wrong magic, unsupported version, wrong container kind,
+    /// truncation, flipped payload bits — surfaces as a typed
+    /// [`CoreError::Checkpoint`]; a damaged file is never loaded
+    /// silently.
+    pub fn load(path: &Path) -> Result<LeapmeModel, CoreError> {
+        let payload = checkpoint::read_container(path, KIND_PIPELINE)?;
+        let mut d = Decoder::new(&payload);
+        let net = checkpoint::decode_mlp(&mut d)?;
+        let means = d.f32s()?;
+        let inv_stds = d.f32s()?;
+        if means.len() != inv_stds.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "scaler stats length mismatch: {} means vs {} stds",
+                means.len(),
+                inv_stds.len()
+            ))
+            .into());
+        }
+        let scope = scope_from_tag(d.u8()?)?;
+        let kind = kind_from_tag(d.u8()?)?;
+        let threshold = d.f32()?;
+        let dim = usize::try_from(d.u64()?)
+            .map_err(|_| CheckpointError::Malformed("dim overflows usize".into()))?;
+        d.done()?;
+        Ok(LeapmeModel {
+            net,
+            scaler: Scaler::from_parts(means, inv_stds),
+            features: FeatureConfig { scope, kind },
+            threshold,
+            dim,
+        })
+    }
+
     /// The feature configuration the model was trained with.
     pub fn features(&self) -> &FeatureConfig {
         &self.features
@@ -141,6 +287,20 @@ impl LeapmeModel {
         pairs: &[PropertyPair],
         chunk_size: usize,
     ) -> Result<Vec<f32>, CoreError> {
+        self.score_pairs_cancellable(store, pairs, chunk_size, None)
+    }
+
+    /// [`Self::score_pairs_streaming`] with cooperative cancellation,
+    /// polled once per block; returns [`CoreError::Cancelled`] when the
+    /// check fires. With `cancel: None` scores are bitwise identical to
+    /// the other scoring entry points.
+    pub fn score_pairs_cancellable(
+        &self,
+        store: &PropertyFeatureStore,
+        pairs: &[PropertyPair],
+        chunk_size: usize,
+        cancel: CancelCheck<'_>,
+    ) -> Result<Vec<f32>, CoreError> {
         self.check_store(store)?;
         let chunk = chunk_size.max(1);
         let mask = self.features.mask(store.dim());
@@ -150,7 +310,7 @@ impl LeapmeModel {
         let mut ws = ScoreWorkspace::new();
         for block in pairs.chunks(chunk) {
             x.resize_zeroed(block.len(), cols);
-            store.fill_pair_block(block, &mask, x.data_mut())?;
+            store.fill_pair_block_cancellable(block, &mask, x.data_mut(), cancel)?;
             self.scaler.transform_inplace(&mut x);
             self.net.predict_proba_into(&x, &mut ws, &mut scores);
         }
@@ -206,6 +366,21 @@ impl LeapmeModel {
         pairs: &[PropertyPair],
         threads: usize,
     ) -> Result<Vec<f32>, CoreError> {
+        self.score_pairs_parallel_cancellable(store, pairs, threads, None)
+    }
+
+    /// [`Self::score_pairs_parallel`] with cooperative cancellation:
+    /// every worker polls the shared check once per [`SCORE_BATCH`]
+    /// block, so a cancel request stops all chunks within one block of
+    /// work each. With `cancel: None` results are bitwise identical to
+    /// the serial path.
+    pub fn score_pairs_parallel_cancellable(
+        &self,
+        store: &PropertyFeatureStore,
+        pairs: &[PropertyPair],
+        threads: usize,
+        cancel: CancelCheck<'_>,
+    ) -> Result<Vec<f32>, CoreError> {
         let threads = if threads == 0 {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
@@ -214,14 +389,14 @@ impl LeapmeModel {
             threads
         };
         if threads <= 1 || pairs.len() < 2 * SCORE_BATCH {
-            return self.score_pairs(store, pairs);
+            return self.score_pairs_cancellable(store, pairs, SCORE_BATCH, cancel);
         }
         let chunk_len = pairs.len().div_ceil(threads);
         let chunks: Vec<&[PropertyPair]> = pairs.chunks(chunk_len).collect();
         let score_chunk = |chunk: &[PropertyPair]| {
             #[cfg(feature = "faults")]
             leapme_faults::maybe_panic(leapme_faults::sites::SCORE_WORKER);
-            self.score_pairs(store, chunk)
+            self.score_pairs_cancellable(store, chunk, SCORE_BATCH, cancel)
         };
         let mut results: Vec<Option<Result<Vec<f32>, CoreError>>> = Vec::new();
         let mut failed: Vec<usize> = Vec::new();
@@ -291,7 +466,18 @@ impl LeapmeModel {
         store: &PropertyFeatureStore,
         pairs: &[PropertyPair],
     ) -> Result<SimilarityGraph, CoreError> {
-        let scores = self.score_pairs(store, pairs)?;
+        self.predict_graph_cancellable(store, pairs, None)
+    }
+
+    /// [`Self::predict_graph`] with cooperative cancellation (polled
+    /// once per [`SCORE_BATCH`] scoring block).
+    pub fn predict_graph_cancellable(
+        &self,
+        store: &PropertyFeatureStore,
+        pairs: &[PropertyPair],
+        cancel: CancelCheck<'_>,
+    ) -> Result<SimilarityGraph, CoreError> {
+        let scores = self.score_pairs_cancellable(store, pairs, SCORE_BATCH, cancel)?;
         Ok(pairs.iter().cloned().zip(scores).collect())
     }
 
@@ -475,6 +661,136 @@ mod tests {
             model.score_pairs(&store, &test).unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    fn fitted_model_and_test(
+        seed: u64,
+    ) -> (LeapmeModel, PropertyFeatureStore, Vec<PropertyPair>) {
+        let ds = generate(Domain::Tvs, 28);
+        let store = PropertyFeatureStore::build(&ds, &embeddings(Domain::Tvs));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let split = sampling::split_sources(ds.sources().len(), 0.8, &mut rng).unwrap();
+        let train = sampling::training_pairs(&ds, &split.train, 2, &mut rng);
+        let cfg = LeapmeConfig {
+            train: quick_train_cfg(),
+            hidden: vec![16],
+            ..LeapmeConfig::default()
+        };
+        let model = Leapme::fit(&store, &train, &cfg).unwrap();
+        let test = sampling::test_pairs(&ds, &split.train);
+        (model, store, test)
+    }
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("leapme-pipeline-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn lmp_save_load_scores_bitwise_identically() {
+        let (model, store, test) = fitted_model_and_test(11);
+        let path = tmp_dir("lmp").join("model.lmp");
+        model.save(&path).unwrap();
+        let back = LeapmeModel::load(&path).unwrap();
+        let a = model.score_pairs(&store, &test).unwrap();
+        let b = back.score_pairs(&store, &test).unwrap();
+        assert_eq!(
+            a.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(model.threshold(), back.threshold());
+        assert_eq!(model.features(), back.features());
+        assert_eq!(model.input_dim(), back.input_dim());
+    }
+
+    #[test]
+    fn corrupted_lmp_is_a_typed_error_never_a_silent_model() {
+        let (model, _store, _test) = fitted_model_and_test(12);
+        let dir = tmp_dir("lmp-corrupt");
+        let path = dir.join("model.lmp");
+        model.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Truncations and single-byte flips across the file must all be
+        // typed checkpoint errors.
+        let bad = dir.join("bad.lmp");
+        for cut in [0, 4, bytes.len() / 2, bytes.len() - 1] {
+            std::fs::write(&bad, &bytes[..cut]).unwrap();
+            match LeapmeModel::load(&bad) {
+                Err(CoreError::Checkpoint(_)) => {}
+                other => panic!("truncation at {cut}: expected Checkpoint error, got {other:?}"),
+            }
+        }
+        for pos in [0, 9, bytes.len() / 2, bytes.len() - 4] {
+            let mut flipped = bytes.clone();
+            flipped[pos] ^= 0x40;
+            std::fs::write(&bad, &flipped).unwrap();
+            match LeapmeModel::load(&bad) {
+                Err(CoreError::Checkpoint(_)) => {}
+                other => panic!("bit flip at {pos}: expected Checkpoint error, got {other:?}"),
+            }
+        }
+        // Missing file is a typed I/O checkpoint error too.
+        assert!(matches!(
+            LeapmeModel::load(&dir.join("nope.lmp")),
+            Err(CoreError::Checkpoint(CheckpointError::Io(_)))
+        ));
+    }
+
+    #[test]
+    fn durable_fit_cancel_then_resume_matches_uninterrupted() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let ds = generate(Domain::Tvs, 29);
+        let store = PropertyFeatureStore::build(&ds, &embeddings(Domain::Tvs));
+        let mut rng = StdRng::seed_from_u64(13);
+        let split = sampling::split_sources(ds.sources().len(), 0.8, &mut rng).unwrap();
+        let train = sampling::training_pairs(&ds, &split.train, 2, &mut rng);
+        let cfg = LeapmeConfig {
+            train: quick_train_cfg(),
+            hidden: vec![16],
+            ..LeapmeConfig::default()
+        };
+        let test = sampling::test_pairs(&ds, &split.train);
+        let reference = Leapme::fit(&store, &train, &cfg).unwrap();
+        let ref_scores = reference.score_pairs(&store, &test).unwrap();
+
+        let ckpt = tmp_dir("fit-resume").join("train.ckpt");
+        let _ = std::fs::remove_file(&ckpt);
+        // Cancel partway into the epoch loop (the fit polls once per
+        // epoch; earlier polls belong to the pair fill).
+        let polls = AtomicUsize::new(0);
+        let cancel = move || polls.fetch_add(1, Ordering::SeqCst) >= 4;
+        let opts = DurableFitOptions {
+            checkpoint_path: Some(&ckpt),
+            checkpoint_every: 0,
+            resume: false,
+            cancel: Some(&cancel),
+        };
+        match Leapme::fit_durable(&store, &train, &cfg, &opts) {
+            Err(CoreError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {:?}", other.map(|_| "model")),
+        }
+        assert!(ckpt.exists(), "cancellation must leave a checkpoint");
+
+        let resumed = Leapme::fit_durable(
+            &store,
+            &train,
+            &cfg,
+            &DurableFitOptions {
+                checkpoint_path: Some(&ckpt),
+                checkpoint_every: 0,
+                resume: true,
+                cancel: None,
+            },
+        )
+        .unwrap();
+        assert!(!ckpt.exists(), "completion must remove the checkpoint");
+        let resumed_scores = resumed.score_pairs(&store, &test).unwrap();
+        assert_eq!(
+            ref_scores.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            resumed_scores.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            "resumed model must score bitwise identically to uninterrupted"
+        );
     }
 
     #[test]

@@ -6,14 +6,17 @@
 //! repetitions with scoped threads (the feature store is shared
 //! read-only; each repetition trains its own network).
 
+use crate::journal::RunJournal;
 use crate::metrics::{Metrics, MetricsSummary};
-use crate::pipeline::{Leapme, LeapmeConfig};
+use crate::pipeline::{DurableFitOptions, Leapme, LeapmeConfig};
 use crate::sampling;
 use crate::CoreError;
 use leapme_data::model::Dataset;
-use leapme_features::PropertyFeatureStore;
+use leapme_features::{CancelCheck, PropertyFeatureStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// How the test region is evaluated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,7 +65,7 @@ impl Default for RunnerConfig {
 }
 
 /// Result of one repetition.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunOutcome {
     /// Zero-based repetition index.
     pub repetition: usize,
@@ -91,6 +94,19 @@ pub fn run_once(
     cfg: &RunnerConfig,
     repetition: usize,
 ) -> Result<RunOutcome, CoreError> {
+    run_once_cancellable(dataset, store, cfg, repetition, None)
+}
+
+/// [`run_once`] with cooperative cancellation threaded into the fit
+/// (per-epoch polls) and the scoring pass (per-block polls). With
+/// `cancel: None` the outcome is identical to [`run_once`].
+pub fn run_once_cancellable(
+    dataset: &Dataset,
+    store: &PropertyFeatureStore,
+    cfg: &RunnerConfig,
+    repetition: usize,
+    cancel: CancelCheck<'_>,
+) -> Result<RunOutcome, CoreError> {
     let seed = repetition_seed(cfg.base_seed, repetition);
     let mut rng = StdRng::seed_from_u64(seed);
 
@@ -110,7 +126,15 @@ pub fn run_once(
     let mut leapme_cfg = cfg.leapme.clone();
     leapme_cfg.seed = seed ^ 0x5EED;
     leapme_cfg.train.shuffle_seed = seed ^ 0x5F1E;
-    let model = Leapme::fit(store, &train, &leapme_cfg)?;
+    let model = Leapme::fit_durable(
+        store,
+        &train,
+        &leapme_cfg,
+        &DurableFitOptions {
+            cancel,
+            ..DurableFitOptions::default()
+        },
+    )?;
 
     let (test, gt) = match cfg.eval {
         EvalMode::SampledExamples => {
@@ -129,7 +153,7 @@ pub fn run_once(
             sampling::test_ground_truth(dataset, &split.train),
         ),
     };
-    let graph = model.predict_graph(store, &test)?;
+    let graph = model.predict_graph_cancellable(store, &test, cancel)?;
     let metrics = Metrics::from_sets(&graph.matches(leapme_cfg.threshold), &gt);
 
     Ok(RunOutcome {
@@ -227,6 +251,58 @@ pub fn run_repeated(
     for o in outcomes {
         ok.push(o?);
     }
+    let metrics: Vec<Metrics> = ok.iter().map(|o| o.metrics).collect();
+    let summary = MetricsSummary::aggregate(&metrics).expect("non-empty repetitions");
+    Ok((summary, ok))
+}
+
+/// Durable [`run_repeated`]: repetitions completed before a crash or
+/// cancellation are replayed from the journal at `journal_path` instead
+/// of being recomputed, and the cancellation check is polled between
+/// repetitions (plus per-epoch and per-scoring-block inside each one).
+///
+/// Each finished repetition is appended to the journal and fsynced
+/// before the next one starts, so after a kill the journal holds exactly
+/// the completed work (modulo one torn trailing record, which
+/// [`RunJournal::open`] truncates away). Repetitions are seeded
+/// independently by [`repetition_seed`], so the journaled-then-resumed
+/// outcomes equal an uninterrupted run's exactly.
+///
+/// Runs repetitions serially; for maximum throughput without durability
+/// use [`run_repeated`].
+pub fn run_repeated_durable(
+    dataset: &Dataset,
+    store: &PropertyFeatureStore,
+    cfg: &RunnerConfig,
+    journal_path: Option<&Path>,
+    cancel: CancelCheck<'_>,
+) -> Result<(MetricsSummary, Vec<RunOutcome>), CoreError> {
+    if cfg.repetitions == 0 {
+        return Err(CoreError::InvalidSplit("zero repetitions".into()));
+    }
+    let journal = journal_path.map(RunJournal::open).transpose()?;
+    let mut done: std::collections::BTreeMap<usize, RunOutcome> = std::collections::BTreeMap::new();
+    if let Some(j) = &journal {
+        for rec in j.replayed::<RunOutcome>()? {
+            if rec.repetition < cfg.repetitions {
+                done.insert(rec.repetition, rec);
+            }
+        }
+    }
+    for r in 0..cfg.repetitions {
+        if done.contains_key(&r) {
+            continue;
+        }
+        if cancel.is_some_and(|c| c()) {
+            return Err(CoreError::Cancelled);
+        }
+        let outcome = run_once_cancellable(dataset, store, cfg, r, cancel)?;
+        if let Some(j) = &journal {
+            j.append(&outcome)?;
+        }
+        done.insert(r, outcome);
+    }
+    let ok: Vec<RunOutcome> = done.into_values().collect();
     let metrics: Vec<Metrics> = ok.iter().map(|o| o.metrics).collect();
     let summary = MetricsSummary::aggregate(&metrics).expect("non-empty repetitions");
     Ok((summary, ok))
@@ -330,5 +406,97 @@ mod tests {
         let mut cfg = quick_cfg(1);
         cfg.repetitions = 0;
         assert!(run_repeated(&ds, &store, &cfg).is_err());
+        assert!(run_repeated_durable(&ds, &store, &cfg, None, None).is_err());
+    }
+
+    fn journal_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("leapme-runner-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("run.journal")
+    }
+
+    #[test]
+    fn durable_run_without_journal_matches_plain() {
+        let ds = generate(Domain::Tvs, 35);
+        let store = PropertyFeatureStore::build(&ds, &embeddings(Domain::Tvs));
+        let mut cfg = quick_cfg(3);
+        cfg.threads = 1;
+        let (s1, o1) = run_repeated(&ds, &store, &cfg).unwrap();
+        let (s2, o2) = run_repeated_durable(&ds, &store, &cfg, None, None).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn journaled_repetitions_are_skipped_on_restart() {
+        let ds = generate(Domain::Tvs, 36);
+        let store = PropertyFeatureStore::build(&ds, &embeddings(Domain::Tvs));
+        let path = journal_path("skip");
+        let _ = std::fs::remove_file(&path);
+
+        // First run completes 2 repetitions and journals them.
+        let (_, first) =
+            run_repeated_durable(&ds, &store, &quick_cfg(2), Some(&path), None).unwrap();
+        assert_eq!(first.len(), 2);
+
+        // Second run asks for 4: the journaled 2 are replayed verbatim,
+        // only repetitions 2 and 3 execute.
+        let (_, all) = run_repeated_durable(&ds, &store, &quick_cfg(4), Some(&path), None).unwrap();
+        assert_eq!(all.len(), 4);
+        assert_eq!(&all[..2], &first[..]);
+        // And the whole thing equals an uninterrupted durable run.
+        let fresh = journal_path("skip-fresh");
+        let _ = std::fs::remove_file(&fresh);
+        let (_, uninterrupted) =
+            run_repeated_durable(&ds, &store, &quick_cfg(4), Some(&fresh), None).unwrap();
+        assert_eq!(all, uninterrupted);
+    }
+
+    #[test]
+    fn cancelled_run_resumes_from_journal() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let ds = generate(Domain::Tvs, 37);
+        let store = PropertyFeatureStore::build(&ds, &embeddings(Domain::Tvs));
+        let path = journal_path("cancel");
+        let _ = std::fs::remove_file(&path);
+
+        // Cancel as soon as the first repetition has been journaled: the
+        // journal flips the flag from a thread watching the file.
+        let path_clone = path.clone();
+        let flag = AtomicBool::new(false);
+        let cancel = || {
+            if !flag.load(Ordering::SeqCst)
+                && std::fs::metadata(&path_clone).map(|m| m.len()).unwrap_or(0) > 0
+            {
+                flag.store(true, Ordering::SeqCst);
+            }
+            flag.load(Ordering::SeqCst)
+        };
+        let err = run_repeated_durable(&ds, &store, &quick_cfg(3), Some(&path), Some(&cancel))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Cancelled), "{err}");
+        let j = crate::journal::RunJournal::open(&path).unwrap();
+        let done = j.len();
+        assert!((1..3).contains(&done), "journaled {done} of 3");
+        drop(j);
+
+        // Resume without cancellation and compare to a fresh run.
+        let (s1, o1) = run_repeated_durable(&ds, &store, &quick_cfg(3), Some(&path), None).unwrap();
+        let fresh = journal_path("cancel-fresh");
+        let _ = std::fs::remove_file(&fresh);
+        let (s2, o2) =
+            run_repeated_durable(&ds, &store, &quick_cfg(3), Some(&fresh), None).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn immediate_cancellation_short_circuits() {
+        let ds = generate(Domain::Tvs, 38);
+        let store = PropertyFeatureStore::build(&ds, &EmbeddingStore::new(4));
+        let cancel = || true;
+        let err =
+            run_repeated_durable(&ds, &store, &quick_cfg(2), None, Some(&cancel)).unwrap_err();
+        assert!(matches!(err, CoreError::Cancelled));
     }
 }

@@ -85,6 +85,22 @@ impl Scaler {
         s.transform_inplace(x);
         s
     }
+
+    /// The fitted statistics `(means, inverse stds)`, for binary
+    /// persistence of trained models.
+    pub(crate) fn parts(&self) -> (&[f32], &[f32]) {
+        (&self.means, &self.inv_stds)
+    }
+
+    /// Rebuild a scaler from persisted statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors' lengths differ.
+    pub(crate) fn from_parts(means: Vec<f32>, inv_stds: Vec<f32>) -> Self {
+        assert_eq!(means.len(), inv_stds.len(), "scaler stats length mismatch");
+        Scaler { means, inv_stds }
+    }
 }
 
 #[cfg(test)]

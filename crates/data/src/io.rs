@@ -63,6 +63,9 @@ pub struct ImportReport {
     /// The first [`MAX_REPORTED_ERRORS`] skipped rows as
     /// `(1-based line, message)`; later errors are counted but dropped.
     pub errors: Vec<(usize, String)>,
+    /// Whether `errors` overflowed: `skipped` counts every bad row, but
+    /// only the first [`MAX_REPORTED_ERRORS`] are kept verbatim.
+    pub truncated: bool,
 }
 
 impl ImportReport {
@@ -70,6 +73,8 @@ impl ImportReport {
         self.skipped += 1;
         if self.errors.len() < MAX_REPORTED_ERRORS {
             self.errors.push((line, message));
+        } else {
+            self.truncated = true;
         }
     }
 
@@ -82,7 +87,7 @@ impl ImportReport {
         for (line, message) in &self.errors {
             out.push_str(&format!("\n  line {line}: {message}"));
         }
-        if self.skipped > self.errors.len() {
+        if self.truncated {
             out.push_str(&format!(
                 "\n  … and {} more",
                 self.skipped - self.errors.len()
@@ -90,6 +95,31 @@ impl ImportReport {
         }
         out
     }
+}
+
+/// Write `bytes` to `path` durably: write to a temp sibling, fsync, then
+/// atomically rename over the destination (plus a best-effort directory
+/// sync), so readers never observe a torn file. Shared by every file
+/// writer in the workspace that persists results.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "output".into());
+    name.push(".tmp");
+    let tmp = path.with_file_name(name);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
 }
 
 /// Parse one CSV record (RFC-4180: `"` quoting, `""` escapes).
@@ -314,8 +344,7 @@ pub fn write_dataset(
         }
         out.push('\n');
     }
-    let mut f = std::fs::File::create(instances_path)?;
-    f.write_all(out.as_bytes())?;
+    atomic_write(instances_path, out.as_bytes())?;
 
     if let Some(path) = alignments_path {
         let mut out = String::from("source,property,reference\n");
@@ -331,8 +360,7 @@ pub fn write_dataset(
                 out.push('\n');
             }
         }
-        let mut f = std::fs::File::create(path)?;
-        f.write_all(out.as_bytes())?;
+        atomic_write(path, out.as_bytes())?;
     }
     Ok(())
 }
@@ -435,7 +463,9 @@ mod tests {
         assert_eq!(report.errors.len(), 2);
         assert_eq!(report.errors[0].0, 3);
         assert_eq!(report.errors[1].0, 4);
+        assert!(!report.truncated);
         assert!(report.summary().contains("skipped 2 malformed"));
+        assert!(!report.summary().contains("more"));
         std::fs::remove_file(inst).ok();
     }
 
@@ -452,6 +482,7 @@ mod tests {
         assert_eq!(ds.stats().instances, 1);
         assert_eq!(report.skipped, MAX_REPORTED_ERRORS + 5);
         assert_eq!(report.errors.len(), MAX_REPORTED_ERRORS);
+        assert!(report.truncated);
         assert!(report.summary().contains("and 5 more"));
         std::fs::remove_file(inst).ok();
     }
@@ -488,6 +519,16 @@ mod tests {
         );
         std::fs::remove_file(inst).ok();
         std::fs::remove_file(align).ok();
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp() {
+        let path = tmp("atomic_out.txt");
+        atomic_write(&path, b"first").unwrap();
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        assert!(!path.with_file_name("atomic_out.txt.tmp").exists());
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -218,7 +218,11 @@ impl EmbeddingStore {
 
     /// Write in the standard GloVe text format: `word v1 v2 … vD` per line.
     pub fn save_text(&self, path: &Path) -> Result<(), EmbeddingError> {
-        let file = std::fs::File::create(path)?;
+        // Write-to-temp + fsync + atomic rename, so an interrupted save
+        // leaves either the previous file or the new one — never a torn
+        // vector table (DESIGN.md §9).
+        let tmp = path.with_extension("txt.tmp");
+        let file = std::fs::File::create(&tmp)?;
         let mut w = BufWriter::new(file);
         let mut words: Vec<&String> = self.vectors.keys().collect();
         words.sort();
@@ -230,6 +234,8 @@ impl EmbeddingStore {
             writeln!(w)?;
         }
         w.flush()?;
+        w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+        std::fs::rename(&tmp, path)?;
         Ok(())
     }
 

@@ -22,7 +22,7 @@
 //! * `site:kind@prob#max` — same, but fire at most `max` times.
 //!
 //! Kinds: `io`, `malformed`, `nan`, `inf`, `oversize`,
-//! `missing-embedding`, `panic`.
+//! `missing-embedding`, `panic`, `torn`, `short-read`, `bit-flip`.
 //!
 //! The plan is installed either programmatically ([`install`] /
 //! [`with_plan`]) or lazily from the `LEAPME_FAULTS` environment
@@ -61,6 +61,13 @@ pub mod sites {
     pub const SCORE_WORKER: &str = "core.score.worker";
     /// Repeated-evaluation worker (`kind: panic`).
     pub const RUNNER_WORKER: &str = "core.runner.worker";
+    /// Writing a checkpoint/model container to disk (`kind: torn | io`).
+    pub const CHECKPOINT_WRITE: &str = "nn.checkpoint.write";
+    /// Reading a checkpoint/model container back
+    /// (`kind: short-read | bit-flip | io`).
+    pub const CHECKPOINT_READ: &str = "nn.checkpoint.read";
+    /// Appending a record to the run journal (`kind: torn | io`).
+    pub const JOURNAL_APPEND: &str = "core.journal.append";
 }
 
 /// What kind of failure to inject at a site.
@@ -80,6 +87,13 @@ pub enum FaultKind {
     MissingEmbedding,
     /// A worker-thread panic.
     Panic,
+    /// A torn write: only a prefix of the bytes reaches the disk, as if
+    /// the process died mid-write.
+    Torn,
+    /// A short read: the file's tail is missing from the read buffer.
+    ShortRead,
+    /// A single bit flipped in a read buffer (silent media corruption).
+    BitFlip,
 }
 
 impl FaultKind {
@@ -92,6 +106,9 @@ impl FaultKind {
             "oversize" => FaultKind::Oversize,
             "missing-embedding" => FaultKind::MissingEmbedding,
             "panic" => FaultKind::Panic,
+            "torn" => FaultKind::Torn,
+            "short-read" => FaultKind::ShortRead,
+            "bit-flip" => FaultKind::BitFlip,
             _ => return None,
         })
     }
@@ -106,6 +123,9 @@ impl FaultKind {
             FaultKind::Oversize => "oversize",
             FaultKind::MissingEmbedding => "missing-embedding",
             FaultKind::Panic => "panic",
+            FaultKind::Torn => "torn",
+            FaultKind::ShortRead => "short-read",
+            FaultKind::BitFlip => "bit-flip",
         }
     }
 }
@@ -413,6 +433,9 @@ mod tests {
             "oversize",
             "missing-embedding",
             "panic",
+            "torn",
+            "short-read",
+            "bit-flip",
         ] {
             let plan = FaultPlan::parse(&format!("s:{kind}@0.5")).unwrap();
             assert_eq!(plan.sites[0].kind.name(), kind);

@@ -36,5 +36,6 @@ pub mod vectorizer;
 
 pub use config::{FeatureConfig, FeatureKind, FeatureScope};
 pub use vectorizer::{
-    DegradationReport, PairKeys, PropertyFeatureStore, SanitizeStats, MAX_ABS_FEATURE,
+    worker_threads, CancelCheck, DegradationReport, PairKeys, PropertyFeatureStore, SanitizeStats,
+    MAX_ABS_FEATURE,
 };

@@ -139,7 +139,7 @@ const MIN_ITEMS_PER_THREAD: usize = 16;
 /// `available_parallelism` (same policy as `leapme_nn::threads`,
 /// duplicated here to keep the crates' dependency graphs disjoint).
 /// Re-read on every call so benchmarks can flip modes at runtime.
-fn worker_threads() -> usize {
+pub fn worker_threads() -> usize {
     if let Ok(v) = std::env::var("LEAPME_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n >= 1 {
@@ -151,6 +151,22 @@ fn worker_threads() -> usize {
         .map(|n| n.get())
         .unwrap_or(1)
 }
+
+/// Cooperative-cancellation callback type: the long-running build/fill
+/// entry points poll it between work blocks and bail out with
+/// [`FeatureError::Cancelled`] when it returns `true`. Plain closures
+/// keep this crate independent of `leapme-core`'s `CancelToken` (which
+/// hands its checker down through this type).
+pub type CancelCheck<'a> = Option<&'a (dyn Fn() -> bool + Sync)>;
+
+#[inline]
+fn is_cancelled(cancel: CancelCheck<'_>) -> bool {
+    cancel.is_some_and(|c| c())
+}
+
+/// How many rows/properties are processed between cancellation polls in
+/// the cancellable entry points.
+const CANCEL_BLOCK: usize = 4096;
 
 /// Split `items` into at most `threads` contiguous `(start, end)` chunks.
 fn partition(items: usize, threads: usize) -> Vec<(usize, usize)> {
@@ -293,6 +309,23 @@ impl PropertyFeatureStore {
         embeddings: &EmbeddingStore,
         threads: usize,
     ) -> Result<Self, FeatureError> {
+        Self::try_build_cancellable(dataset, embeddings, threads, None)
+    }
+
+    /// [`Self::try_build_with_threads`] with cooperative cancellation:
+    /// the build polls `cancel` between property blocks (serial path)
+    /// and between fan-out rounds (parallel path), returning
+    /// [`FeatureError::Cancelled`] once it fires. With `cancel: None`
+    /// the output is identical to the other build entry points.
+    pub fn try_build_cancellable(
+        dataset: &Dataset,
+        embeddings: &EmbeddingStore,
+        threads: usize,
+        cancel: CancelCheck<'_>,
+    ) -> Result<Self, FeatureError> {
+        if is_cancelled(cancel) {
+            return Err(FeatureError::Cancelled);
+        }
         let keys: Vec<PropertyKey> = dataset.properties();
 
         let extract_one = |key: &PropertyKey| -> Vec<f32> {
@@ -306,7 +339,10 @@ impl PropertyFeatureStore {
 
         let mut features = HashMap::with_capacity(keys.len());
         if threads <= 1 || keys.len() < 2 * MIN_ITEMS_PER_THREAD {
-            for key in keys {
+            for (i, key) in keys.into_iter().enumerate() {
+                if i % CANCEL_BLOCK == 0 && i > 0 && is_cancelled(cancel) {
+                    return Err(FeatureError::Cancelled);
+                }
                 let pf = extract_one(&key);
                 features.insert(key, pf);
             }
@@ -343,6 +379,11 @@ impl PropertyFeatureStore {
                 }
             })
             .expect("feature build scope");
+            // Workers run one fan-out round to completion; poll between
+            // the round and the serial requeue.
+            if is_cancelled(cancel) {
+                return Err(FeatureError::Cancelled);
+            }
             for c in failed {
                 let (start, end) = chunks[c];
                 match std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -526,10 +567,38 @@ impl PropertyFeatureStore {
         config: &FeatureConfig,
         threads: usize,
     ) -> Result<FlatPairMatrix, FeatureError> {
+        self.pair_matrix_flat_cancellable(pairs, config, threads, None)
+    }
+
+    /// [`Self::pair_matrix_flat_with_threads`] with cooperative
+    /// cancellation, polled every [`CANCEL_BLOCK`] pairs; returns
+    /// [`FeatureError::Cancelled`] once the check fires. With
+    /// `cancel: None` the output is bitwise identical to the other
+    /// pair-matrix entry points.
+    pub fn pair_matrix_flat_cancellable(
+        &self,
+        pairs: &[(PropertyKey, PropertyKey)],
+        config: &FeatureConfig,
+        threads: usize,
+        cancel: CancelCheck<'_>,
+    ) -> Result<FlatPairMatrix, FeatureError> {
+        if is_cancelled(cancel) {
+            return Err(FeatureError::Cancelled);
+        }
         let mask = config.mask(self.dim);
         let cols = mask.len();
         let mut data = vec![0.0f32; pairs.len() * cols];
-        self.fill_pair_rows_threaded(pairs, &mask, &mut data, threads)?;
+        if cancel.is_none() {
+            self.fill_pair_rows_threaded(pairs, &mask, &mut data, threads)?;
+        } else {
+            for (i, chunk) in pairs.chunks(CANCEL_BLOCK).enumerate() {
+                if i > 0 && is_cancelled(cancel) {
+                    return Err(FeatureError::Cancelled);
+                }
+                let seg = &mut data[i * CANCEL_BLOCK * cols..][..chunk.len() * cols];
+                self.fill_pair_rows_threaded(chunk, &mask, seg, threads)?;
+            }
+        }
         Ok(FlatPairMatrix {
             rows: pairs.len(),
             cols,
@@ -560,6 +629,22 @@ impl PropertyFeatureStore {
             "output buffer size mismatch"
         );
         self.fill_pair_rows_threaded(pairs, mask, out, worker_threads())
+    }
+
+    /// [`Self::fill_pair_block`] with a cancellation poll at entry —
+    /// streaming callers hand fixed-size blocks in, so per-block entry
+    /// polling already bounds the cancellation latency.
+    pub fn fill_pair_block_cancellable<P: PairKeys>(
+        &self,
+        pairs: &[P],
+        mask: &[usize],
+        out: &mut [f32],
+        cancel: CancelCheck<'_>,
+    ) -> Result<(), FeatureError> {
+        if is_cancelled(cancel) {
+            return Err(FeatureError::Cancelled);
+        }
+        self.fill_pair_block(pairs, mask, out)
     }
 
     /// Partition `pairs` into contiguous row ranges of `out` and fill
@@ -706,6 +791,8 @@ pub enum FeatureError {
         /// Rendered panic payload.
         message: String,
     },
+    /// A cooperative cancellation check fired mid-build or mid-fill.
+    Cancelled,
 }
 
 impl std::fmt::Display for FeatureError {
@@ -715,6 +802,7 @@ impl std::fmt::Display for FeatureError {
             FeatureError::WorkerPanic { site, message } => {
                 write!(f, "worker panic at {site}: {message}")
             }
+            FeatureError::Cancelled => write!(f, "feature work cancelled"),
         }
     }
 }
@@ -1168,6 +1256,91 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    mod cancellation {
+        use super::*;
+
+        #[test]
+        fn cancelled_build_returns_cancelled() {
+            let ds = toy_dataset();
+            let cancel = || true;
+            let err =
+                match PropertyFeatureStore::try_build_cancellable(&ds, &embeddings(), 1, Some(&cancel)) {
+                    Err(e) => e,
+                    Ok(_) => panic!("expected cancellation"),
+                };
+            assert_eq!(format!("{err}"), "feature work cancelled");
+            assert!(matches!(err, FeatureError::Cancelled));
+        }
+
+        #[test]
+        fn uncancelled_build_is_bitwise_identical() {
+            let ds = wide_dataset(2 * MIN_ITEMS_PER_THREAD);
+            let emb = embeddings();
+            let plain = PropertyFeatureStore::build_with_threads(&ds, &emb, 4);
+            let cancel = || false;
+            let polled =
+                PropertyFeatureStore::try_build_cancellable(&ds, &emb, 4, Some(&cancel)).unwrap();
+            for key in ds.properties() {
+                let a = plain.property_vector(&key).unwrap();
+                let b = polled.property_vector(&key).unwrap();
+                assert_eq!(
+                    a.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                    b.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+                );
+            }
+        }
+
+        #[test]
+        fn pair_fill_cancels_between_blocks() {
+            let ds = toy_dataset();
+            let store = PropertyFeatureStore::build(&ds, &embeddings());
+            let a = PropertyKey::new(SourceId(0), "megapixels");
+            let b = PropertyKey::new(SourceId(1), "resolution");
+            // More than one CANCEL_BLOCK of pairs so the mid-fill poll runs.
+            let pairs: Vec<_> = (0..CANCEL_BLOCK + 8).map(|_| (a.clone(), b.clone())).collect();
+            let cfg = FeatureConfig::full();
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            let calls = AtomicUsize::new(0);
+            // First poll (entry) passes, second (between blocks) fires.
+            let cancel = || calls.fetch_add(1, Ordering::SeqCst) >= 1;
+            let err = store
+                .pair_matrix_flat_cancellable(&pairs, &cfg, 1, Some(&cancel))
+                .unwrap_err();
+            assert!(matches!(err, FeatureError::Cancelled));
+            assert!(calls.load(Ordering::SeqCst) >= 2);
+
+            // With cancellation never firing, output matches the plain path.
+            let plain = store.pair_matrix_flat_with_threads(&pairs, &cfg, 1).unwrap();
+            let never = || false;
+            let polled = store
+                .pair_matrix_flat_cancellable(&pairs, &cfg, 1, Some(&never))
+                .unwrap();
+            assert_eq!(plain.row(0), polled.row(0));
+            assert_eq!(plain.row(pairs.len() - 1), polled.row(pairs.len() - 1));
+        }
+
+        #[test]
+        fn pair_block_cancel_entry_check() {
+            let ds = toy_dataset();
+            let store = PropertyFeatureStore::build(&ds, &embeddings());
+            let a = PropertyKey::new(SourceId(0), "megapixels");
+            let b = PropertyKey::new(SourceId(1), "resolution");
+            let cfg = FeatureConfig::full();
+            let mask = cfg.mask(store.dim());
+            let pairs = [(a, b)];
+            let mut out = vec![0.0f32; mask.len()];
+            let cancel = || true;
+            let err = store
+                .fill_pair_block_cancellable(&pairs, &mask, &mut out, Some(&cancel))
+                .unwrap_err();
+            assert!(matches!(err, FeatureError::Cancelled));
+            store
+                .fill_pair_block_cancellable(&pairs, &mask, &mut out, None)
+                .unwrap();
+            assert!(out.iter().any(|v| *v != 0.0));
         }
     }
 }

@@ -50,6 +50,7 @@
 
 #[cfg(feature = "alloc-count")]
 pub mod alloc_count;
+pub mod checkpoint;
 pub mod init;
 pub mod layers;
 pub mod loss;
@@ -88,6 +89,12 @@ pub enum NnError {
         /// Rollback retries attempted before giving up.
         retries: usize,
     },
+    /// Training was cancelled cooperatively (deadline or signal); when a
+    /// checkpoint path was configured, the state was persisted first.
+    Cancelled,
+    /// A checkpoint could not be written, read, or applied
+    /// (see [`checkpoint::CheckpointError`] for the underlying cause).
+    Checkpoint(String),
 }
 
 impl std::fmt::Display for NnError {
@@ -106,6 +113,8 @@ impl std::fmt::Display for NnError {
                     "non-finite training loss at epoch {epoch} after {retries} rollback retries"
                 )
             }
+            NnError::Cancelled => write!(f, "training cancelled"),
+            NnError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }

@@ -22,15 +22,15 @@ use serde::{Deserialize, Serialize};
 /// (softmax is applied by the loss / inference helpers).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Mlp {
-    layers: Vec<Dense>,
+    pub(crate) layers: Vec<Dense>,
     #[serde(skip)]
-    states: Vec<LayerState>,
+    pub(crate) states: Vec<LayerState>,
 }
 
 #[derive(Debug, Clone, Default)]
-struct LayerState {
-    weights: ParamState,
-    bias: ParamState,
+pub(crate) struct LayerState {
+    pub(crate) weights: ParamState,
+    pub(crate) bias: ParamState,
 }
 
 /// Configuration for [`Mlp::fit`].
@@ -105,6 +105,37 @@ impl Default for TrainConfig {
     }
 }
 
+/// Durability and cancellation controls for [`Mlp::fit_durable`].
+///
+/// The default control (no checkpoint path, no cancellation) makes
+/// `fit_durable` behave exactly — bitwise — like [`Mlp::fit`].
+#[derive(Default)]
+pub struct FitControl<'a> {
+    /// Where to persist mid-schedule training state; `None` disables
+    /// checkpointing (a cancellation then exits without saving).
+    pub checkpoint_path: Option<&'a std::path::Path>,
+    /// Write a checkpoint at every Nth epoch boundary; `0` writes only
+    /// when a cancellation is honored.
+    pub checkpoint_every: usize,
+    /// Restore from `checkpoint_path` when the file exists.
+    pub resume: bool,
+    /// Cooperative cancellation, polled at every epoch boundary; return
+    /// `true` to checkpoint (if configured) and stop with
+    /// [`NnError::Cancelled`].
+    pub cancel: Option<&'a (dyn Fn() -> bool + Sync)>,
+}
+
+impl std::fmt::Debug for FitControl<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FitControl")
+            .field("checkpoint_path", &self.checkpoint_path)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("resume", &self.resume)
+            .field("cancel", &self.cancel.is_some())
+            .finish()
+    }
+}
+
 /// Per-epoch training telemetry returned by [`Mlp::fit`].
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TrainReport {
@@ -148,6 +179,13 @@ impl Mlp {
     /// The paper's architecture: `input → 128 → 64 → 2`.
     pub fn leapme(input_dim: usize, seed: u64) -> Self {
         Mlp::new(&[input_dim, 128, 64, 2], seed)
+    }
+
+    /// Rebuild a network from decoded layers (checkpoint loading);
+    /// optimizer state starts fresh, as after deserialization.
+    pub(crate) fn from_layers(layers: Vec<Dense>) -> Self {
+        let states = layers.iter().map(|_| LayerState::default()).collect();
+        Mlp { layers, states }
     }
 
     /// Input dimensionality expected by the first layer.
@@ -426,6 +464,248 @@ impl Mlp {
             let logits = self.logits_into(x, &mut ws.score);
             accuracy(logits, labels)
         };
+        Ok(report)
+    }
+
+    /// Train like [`Self::fit`], with durability: periodic resumable
+    /// checkpoints, resume-from-checkpoint, and cooperative cancellation
+    /// at every epoch boundary.
+    ///
+    /// With a default [`FitControl`] this is bitwise identical to
+    /// [`Self::fit`]. When `ctl.checkpoint_path` is set, the complete
+    /// training state — weights, optimizer moments, RNG state, epoch
+    /// order, LR-stage position, and telemetry so far — is persisted
+    /// atomically every `checkpoint_every` epochs (and on cancellation),
+    /// so a killed run resumed with `ctl.resume` finishes with a model
+    /// bitwise identical to an uninterrupted run. The checkpoint file is
+    /// deleted once training completes.
+    ///
+    /// Cancellation returns [`NnError::Cancelled`] after writing the
+    /// checkpoint (when a path is configured). A checkpoint recorded for
+    /// different inputs, seed, schedule, or architecture is rejected
+    /// with [`NnError::Checkpoint`] instead of silently training the
+    /// wrong run.
+    pub fn fit_durable(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        cfg: &TrainConfig,
+        ctl: &FitControl<'_>,
+    ) -> Result<TrainReport, NnError> {
+        use crate::checkpoint::{labels_crc, TrainFingerprint, TrainState};
+
+        let mut ws = TrainWorkspace::new();
+        self.check_fit_inputs(x, labels)?;
+        if self.states.len() != self.layers.len() {
+            self.states = self.layers.iter().map(|_| LayerState::default()).collect();
+        }
+        ws.ensure_layers(self.layers.len());
+        ws.checkpoint_valid = false;
+
+        let batch = cfg.batch_size.max(1);
+        let mut rng = StdRng::seed_from_u64(cfg.shuffle_seed);
+        let mut report = TrainReport::default();
+
+        // Deterministic prefix: identical to `fit_with_workspace`, and
+        // re-derived on resume too (the initial full shuffle and the
+        // validation split depend only on `cfg.shuffle_seed`), after
+        // which the saved RNG/order state overwrite the fresh ones.
+        let mut all: Vec<usize> = (0..x.rows()).collect();
+        all.shuffle(&mut rng);
+        let val_fraction = cfg.validation_fraction.clamp(0.0, 0.5);
+        let n_val = if val_fraction > 0.0 {
+            ((x.rows() as f32 * val_fraction) as usize).min(x.rows().saturating_sub(1))
+        } else {
+            0
+        };
+        let (val_idx, train_idx) = all.split_at(n_val);
+        let has_val = !val_idx.is_empty();
+        if has_val {
+            x.select_rows_into(val_idx, &mut ws.val_x);
+        }
+        let val_y: Vec<usize> = val_idx.iter().map(|&i| labels[i]).collect();
+        let mut order: Vec<usize> = train_idx.to_vec();
+
+        let mut best_val = f32::INFINITY;
+        let mut since_best = 0usize;
+
+        let stages: Vec<(usize, f32)> = cfg.schedule.iter().collect();
+        let mut lr_scale: f32 = 1.0;
+        let mut retries_left = cfg.max_loss_retries;
+        let mut good_layers: Vec<Dense> = Vec::new();
+        let mut good_states: Vec<LayerState> = Vec::new();
+        let mut good_order: Vec<usize> = Vec::new();
+        let mut stage = 0usize;
+
+        let fingerprint = TrainFingerprint {
+            rows: x.rows() as u64,
+            cols: x.cols() as u64,
+            labels_crc: labels_crc(labels),
+            shuffle_seed: cfg.shuffle_seed,
+            total_epochs: stages.len() as u64,
+            batch: batch as u64,
+        };
+
+        if ctl.resume {
+            if let Some(path) = ctl.checkpoint_path.filter(|p| p.exists()) {
+                let st = TrainState::load(path).map_err(|e| NnError::Checkpoint(e.to_string()))?;
+                if st.fingerprint != fingerprint {
+                    return Err(NnError::Checkpoint(
+                        "checkpoint does not match this run (data, seed, schedule, or batch size changed)"
+                            .into(),
+                    ));
+                }
+                let shapes = |ls: &[Dense]| -> Vec<(usize, usize)> {
+                    ls.iter().map(|l| (l.in_dim(), l.out_dim())).collect()
+                };
+                if shapes(&st.layers) != shapes(&self.layers) {
+                    return Err(NnError::Checkpoint(
+                        "checkpoint network architecture does not match".into(),
+                    ));
+                }
+                self.layers = st.layers;
+                self.states = st
+                    .states
+                    .into_iter()
+                    .map(|(weights, bias)| LayerState { weights, bias })
+                    .collect();
+                rng = StdRng::from_state(st.rng);
+                order = st.order.iter().map(|&i| i as usize).collect();
+                stage = st.stage as usize;
+                lr_scale = st.lr_scale;
+                retries_left = st.retries_left as usize;
+                report.epoch_losses = st.epoch_losses;
+                report.validation_losses = st.validation_losses;
+                report.recoveries = st.recoveries as usize;
+                best_val = st.best_val;
+                since_best = st.since_best as usize;
+                if let Some(best) = st.best_layers {
+                    ws.checkpoint = best;
+                    ws.checkpoint_valid = true;
+                }
+            }
+        }
+
+        while stage < stages.len() {
+            // Epoch boundary: persist (periodically, or before honoring a
+            // cancellation) and then bail out cleanly if asked to stop.
+            // The snapshot is taken pre-shuffle, so a resumed run replays
+            // this epoch's shuffle and dropout draws exactly.
+            let stop = ctl.cancel.map(|c| c()).unwrap_or(false);
+            if let Some(path) = ctl.checkpoint_path {
+                let periodic = ctl.checkpoint_every > 0 && stage.is_multiple_of(ctl.checkpoint_every);
+                if stop || periodic {
+                    let st = TrainState {
+                        fingerprint: fingerprint.clone(),
+                        stage: stage as u64,
+                        lr_scale,
+                        retries_left: retries_left as u64,
+                        rng: rng.state(),
+                        order: order.iter().map(|&i| i as u64).collect(),
+                        epoch_losses: report.epoch_losses.clone(),
+                        validation_losses: report.validation_losses.clone(),
+                        recoveries: report.recoveries as u64,
+                        best_val,
+                        since_best: since_best as u64,
+                        layers: self.layers.clone(),
+                        states: self
+                            .states
+                            .iter()
+                            .map(|s| (s.weights.clone(), s.bias.clone()))
+                            .collect(),
+                        best_layers: ws.checkpoint_valid.then(|| ws.checkpoint.clone()),
+                    };
+                    st.save(path).map_err(|e| NnError::Checkpoint(e.to_string()))?;
+                }
+            }
+            if stop {
+                return Err(NnError::Cancelled);
+            }
+
+            let (epoch, base_lr) = stages[stage];
+            workspace::copy_layers_into(&mut good_layers, &self.layers);
+            good_states.clone_from(&self.states);
+            good_order.clone_from(&order);
+            let good_rng = rng.clone();
+
+            order.shuffle(&mut rng);
+            let lr = base_lr * lr_scale;
+            let mut epoch_loss = 0.0f32;
+            let mut batches = 0usize;
+            for chunk in order.chunks(batch) {
+                x.select_rows_into(chunk, &mut ws.batch_x);
+                ws.batch_y.clear();
+                ws.batch_y.extend(chunk.iter().map(|&i| labels[i]));
+                #[allow(unused_mut)]
+                let mut loss = self.train_step_ws(lr, cfg, &mut rng, &mut ws);
+                #[cfg(feature = "faults")]
+                if leapme_faults::fires(leapme_faults::sites::NN_LOSS)
+                    == Some(leapme_faults::FaultKind::Nan)
+                {
+                    loss = f32::NAN;
+                }
+                epoch_loss += loss;
+                batches += 1;
+                if !epoch_loss.is_finite() {
+                    break;
+                }
+            }
+            if !epoch_loss.is_finite() || !self.params_finite() {
+                if retries_left == 0 {
+                    return Err(NnError::NonFiniteLoss {
+                        epoch,
+                        retries: cfg.max_loss_retries,
+                    });
+                }
+                retries_left -= 1;
+                report.recoveries += 1;
+                workspace::copy_layers_into(&mut self.layers, &good_layers);
+                self.states.clone_from(&good_states);
+                order.clone_from(&good_order);
+                rng = good_rng;
+                lr_scale *= cfg.lr_backoff.clamp(0.0, 1.0);
+                continue;
+            }
+            report.epoch_losses.push(epoch_loss / batches.max(1) as f32);
+
+            if has_val {
+                let val_loss = {
+                    let TrainWorkspace {
+                        val_x,
+                        val_grad,
+                        score,
+                        ..
+                    } = &mut ws;
+                    let logits = self.logits_into(val_x, score);
+                    softmax_cross_entropy_into(logits, &val_y, val_grad)
+                };
+                report.validation_losses.push(val_loss);
+                if val_loss < best_val {
+                    best_val = val_loss;
+                    workspace::copy_layers_into(&mut ws.checkpoint, &self.layers);
+                    ws.checkpoint_valid = true;
+                    since_best = 0;
+                } else {
+                    since_best += 1;
+                    if since_best >= cfg.patience.max(1) {
+                        report.stopped_early = true;
+                        break;
+                    }
+                }
+            }
+            stage += 1;
+        }
+        if ws.checkpoint_valid {
+            workspace::copy_layers_into(&mut self.layers, &ws.checkpoint);
+        }
+        report.final_accuracy = {
+            let logits = self.logits_into(x, &mut ws.score);
+            accuracy(logits, labels)
+        };
+        // The run completed; the mid-schedule state is now stale.
+        if let Some(path) = ctl.checkpoint_path.filter(|p| p.exists()) {
+            let _ = std::fs::remove_file(path);
+        }
         Ok(report)
     }
 
@@ -1273,6 +1553,251 @@ mod tests {
                     prop_assert_eq!(out, net.predict_proba(&x));
                 }
             }
+        }
+    }
+
+    mod durable {
+        use super::*;
+        use std::path::PathBuf;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        fn tmp(name: &str) -> PathBuf {
+            let dir = std::env::temp_dir().join("leapme_nn_durable_tests");
+            std::fs::create_dir_all(&dir).unwrap();
+            dir.join(name)
+        }
+
+        fn assert_same_net(a: &Mlp, b: &Mlp) {
+            for (la, lb) in a.layers().iter().zip(b.layers()) {
+                assert_eq!(la.weights, lb.weights);
+                assert_eq!(la.bias, lb.bias);
+            }
+        }
+
+        #[test]
+        fn durable_fit_matches_fit_bitwise() {
+            let (x, y) = xor_data();
+            for cfg in [
+                TrainConfig::default(),
+                TrainConfig {
+                    dropout: 0.3,
+                    validation_fraction: 0.25,
+                    patience: 2,
+                    ..TrainConfig::default()
+                },
+            ] {
+                let mut a = Mlp::new(&[2, 8, 4, 2], 31);
+                let mut b = a.clone();
+                let ra = a.fit(&x, &y, &cfg).unwrap();
+                let rb = b.fit_durable(&x, &y, &cfg, &FitControl::default()).unwrap();
+                assert_eq!(ra.epoch_losses, rb.epoch_losses);
+                assert_eq!(ra.validation_losses, rb.validation_losses);
+                assert_eq!(ra.final_accuracy, rb.final_accuracy);
+                assert_same_net(&a, &b);
+            }
+        }
+
+        #[test]
+        fn checkpointing_does_not_change_the_model() {
+            let (x, y) = xor_data();
+            let cfg = TrainConfig::default();
+            let path = tmp("every_epoch.ckpt");
+            let mut a = Mlp::new(&[2, 8, 2], 32);
+            let mut b = a.clone();
+            a.fit(&x, &y, &cfg).unwrap();
+            b.fit_durable(
+                &x,
+                &y,
+                &cfg,
+                &FitControl {
+                    checkpoint_path: Some(&path),
+                    checkpoint_every: 1,
+                    ..FitControl::default()
+                },
+            )
+            .unwrap();
+            assert_same_net(&a, &b);
+            assert!(!path.exists(), "checkpoint must be removed on completion");
+        }
+
+        #[test]
+        fn cancel_then_resume_is_bitwise_identical() {
+            let (x, y) = xor_data();
+            // Exercise the full state surface: dropout (RNG mid-stream),
+            // early-stopping bookkeeping, and the staged schedule.
+            let cfg = TrainConfig {
+                dropout: 0.2,
+                validation_fraction: 0.25,
+                patience: 50,
+                schedule: LrSchedule::new(vec![(8, 1e-3), (6, 1e-4)]),
+                ..TrainConfig::default()
+            };
+            let mut reference = Mlp::new(&[2, 8, 4, 2], 33);
+            let fresh = reference.clone();
+            let ref_report = reference.fit(&x, &y, &cfg).unwrap();
+
+            for cancel_after in [1usize, 3, 7, 11] {
+                let path = tmp(&format!("cancel_at_{cancel_after}.ckpt"));
+                std::fs::remove_file(&path).ok();
+                let mut net = fresh.clone();
+                let seen = AtomicUsize::new(0);
+                let cancel = move || seen.fetch_add(1, Ordering::SeqCst) >= cancel_after;
+                let err = net
+                    .fit_durable(
+                        &x,
+                        &y,
+                        &cfg,
+                        &FitControl {
+                            checkpoint_path: Some(&path),
+                            checkpoint_every: 0,
+                            resume: false,
+                            cancel: Some(&cancel),
+                        },
+                    )
+                    .unwrap_err();
+                assert_eq!(err, NnError::Cancelled);
+                assert!(path.exists(), "cancellation must persist a checkpoint");
+
+                let mut resumed = fresh.clone();
+                let report = resumed
+                    .fit_durable(
+                        &x,
+                        &y,
+                        &cfg,
+                        &FitControl {
+                            checkpoint_path: Some(&path),
+                            resume: true,
+                            ..FitControl::default()
+                        },
+                    )
+                    .unwrap();
+                assert_same_net(&reference, &resumed);
+                assert_eq!(report.epoch_losses, ref_report.epoch_losses);
+                assert_eq!(report.validation_losses, ref_report.validation_losses);
+                assert!(!path.exists());
+            }
+        }
+
+        #[test]
+        fn mismatched_checkpoint_is_rejected() {
+            let (x, y) = xor_data();
+            let cfg = TrainConfig::default();
+            let path = tmp("mismatch.ckpt");
+            std::fs::remove_file(&path).ok();
+            let mut net = Mlp::new(&[2, 8, 2], 34);
+            let cancel = || true;
+            let err = net
+                .fit_durable(
+                    &x,
+                    &y,
+                    &cfg,
+                    &FitControl {
+                        checkpoint_path: Some(&path),
+                        cancel: Some(&cancel),
+                        ..FitControl::default()
+                    },
+                )
+                .unwrap_err();
+            assert_eq!(err, NnError::Cancelled);
+
+            // Different shuffle seed → different run identity.
+            let other = TrainConfig {
+                shuffle_seed: cfg.shuffle_seed ^ 1,
+                ..cfg.clone()
+            };
+            let mut resumed = Mlp::new(&[2, 8, 2], 34);
+            let err = resumed
+                .fit_durable(
+                    &x,
+                    &y,
+                    &other,
+                    &FitControl {
+                        checkpoint_path: Some(&path),
+                        resume: true,
+                        ..FitControl::default()
+                    },
+                )
+                .unwrap_err();
+            assert!(matches!(err, NnError::Checkpoint(_)), "got {err:?}");
+
+            // Different architecture with the same data/config.
+            let mut wrong_arch = Mlp::new(&[2, 16, 2], 34);
+            let err = wrong_arch
+                .fit_durable(
+                    &x,
+                    &y,
+                    &cfg,
+                    &FitControl {
+                        checkpoint_path: Some(&path),
+                        resume: true,
+                        ..FitControl::default()
+                    },
+                )
+                .unwrap_err();
+            assert!(matches!(err, NnError::Checkpoint(_)), "got {err:?}");
+            std::fs::remove_file(&path).ok();
+        }
+
+        #[test]
+        fn resume_without_checkpoint_trains_from_scratch() {
+            let (x, y) = xor_data();
+            let cfg = TrainConfig::default();
+            let path = tmp("never_written.ckpt");
+            std::fs::remove_file(&path).ok();
+            let mut a = Mlp::new(&[2, 8, 2], 35);
+            let mut b = a.clone();
+            a.fit(&x, &y, &cfg).unwrap();
+            b.fit_durable(
+                &x,
+                &y,
+                &cfg,
+                &FitControl {
+                    checkpoint_path: Some(&path),
+                    resume: true,
+                    ..FitControl::default()
+                },
+            )
+            .unwrap();
+            assert_same_net(&a, &b);
+        }
+
+        #[test]
+        fn corrupt_checkpoint_is_typed_error_on_resume() {
+            let (x, y) = xor_data();
+            let cfg = TrainConfig::default();
+            let path = tmp("corrupt.ckpt");
+            let mut net = Mlp::new(&[2, 8, 2], 36);
+            let cancel = || true;
+            net.fit_durable(
+                &x,
+                &y,
+                &cfg,
+                &FitControl {
+                    checkpoint_path: Some(&path),
+                    cancel: Some(&cancel),
+                    ..FitControl::default()
+                },
+            )
+            .unwrap_err();
+            let mut bytes = std::fs::read(&path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x40;
+            std::fs::write(&path, &bytes).unwrap();
+            let mut resumed = Mlp::new(&[2, 8, 2], 36);
+            let err = resumed
+                .fit_durable(
+                    &x,
+                    &y,
+                    &cfg,
+                    &FitControl {
+                        checkpoint_path: Some(&path),
+                        resume: true,
+                        ..FitControl::default()
+                    },
+                )
+                .unwrap_err();
+            assert!(matches!(err, NnError::Checkpoint(_)), "got {err:?}");
+            std::fs::remove_file(&path).ok();
         }
     }
 

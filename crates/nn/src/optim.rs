@@ -122,6 +122,17 @@ impl ParamState {
         }
     }
 
+    /// The raw moment buffers and step counter `(m, v, step)`, for
+    /// checkpoint persistence.
+    pub fn parts(&self) -> (&[f32], &[f32], u64) {
+        (&self.m, &self.v, self.step)
+    }
+
+    /// Rebuild state from buffers previously returned by [`Self::parts`].
+    pub fn from_parts(m: Vec<f32>, v: Vec<f32>, step: u64) -> Self {
+        ParamState { m, v, step }
+    }
+
     fn ensure_m(&mut self, len: usize) {
         if self.m.is_empty() {
             self.m = vec![0.0; len];

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Full verification gate: release build, test suite, lints, allocation
-# regression, bench-report sanity.
+# regression, bench-report sanity, durability (kill-and-resume) drill.
 #
 #   scripts/verify.sh
 #
@@ -8,8 +8,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+# --workspace matters: the repo root is itself a package (the `leapme`
+# facade), so a bare `cargo build` would skip the CLI binary the
+# durability drill below runs.
+cargo build --release --workspace
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
@@ -25,14 +28,14 @@ else
     echo "warning: clippy not installed; skipping lint step" >&2
 fi
 
-echo "==> bench smoke run (regenerates BENCH_PR2.json at the PR1 corpus size)"
-cargo run --release -p leapme-bench --bin bench -- --sources 12 >/dev/null
+echo "==> bench smoke run (regenerates BENCH_PR4.json at the PR1 corpus size)"
+cargo run --release -p leapme-bench --bin bench -- --sources 12 --out BENCH_PR4.json >/dev/null
 
-echo "==> bench smoke: BENCH_PR2.json parses and records speedups"
+echo "==> bench smoke: BENCH_PR4.json parses and records speedups + checkpoint overhead"
 python3 - <<'EOF'
 import json, math, sys
 
-with open("BENCH_PR2.json") as f:
+with open("BENCH_PR4.json") as f:
     report = json.load(f)
 
 for mode in ("serial", "parallel"):
@@ -40,31 +43,42 @@ for mode in ("serial", "parallel"):
     for key in ("threads_requested", "threads_effective",
                 "build_s", "featurize_s", "train_s", "score_s", "total_s"):
         if key not in stage:
-            sys.exit(f"BENCH_PR2.json: {mode}.{key} missing")
+            sys.exit(f"BENCH_PR4.json: {mode}.{key} missing")
     if stage["total_s"] <= 0:
-        sys.exit(f"BENCH_PR2.json: {mode}.total_s not positive")
+        sys.exit(f"BENCH_PR4.json: {mode}.total_s not positive")
 
 for key in ("speedup_build", "speedup_featurize", "speedup_train",
             "speedup_score", "speedup_total"):
     v = report.get(key)
     if not isinstance(v, (int, float)) or not math.isfinite(v) or v <= 0:
-        sys.exit(f"BENCH_PR2.json: {key} missing or not a positive number")
+        sys.exit(f"BENCH_PR4.json: {key} missing or not a positive number")
+
+ckpt = report.get("checkpoint")
+if not isinstance(ckpt, dict):
+    sys.exit("BENCH_PR4.json: checkpoint overhead section missing")
+for key in ("epochs", "fit_s", "fit_checkpointed_s", "overhead_ms_per_epoch"):
+    v = ckpt.get(key)
+    if not isinstance(v, (int, float)) or not math.isfinite(v):
+        sys.exit(f"BENCH_PR4.json: checkpoint.{key} missing or not finite")
+if ckpt["epochs"] <= 0 or ckpt["fit_s"] <= 0 or ckpt["fit_checkpointed_s"] <= 0:
+    sys.exit("BENCH_PR4.json: checkpoint timings not positive")
 
 vs = [report.get("vs_pr1_serial"), report.get("vs_pr1_parallel")]
 recorded = [v for v in vs if v is not None]
 if not recorded:
-    sys.exit("BENCH_PR2.json: no vs-PR1 comparison recorded "
+    sys.exit("BENCH_PR4.json: no vs-PR1 comparison recorded "
              "(rerun bench with the baseline's corpus: --sources 12)")
 for v in recorded:
     for key in ("threads", "train_speedup", "score_speedup"):
         if key not in v:
-            sys.exit(f"BENCH_PR2.json: vs_pr1 comparison missing {key}")
-print("BENCH_PR2.json OK:",
+            sys.exit(f"BENCH_PR4.json: vs_pr1 comparison missing {key}")
+print("BENCH_PR4.json OK:",
       ", ".join(f"{k}={report[k]:.3f}" for k in
                 ("speedup_train", "speedup_score")),
       "| vs PR1:",
       ", ".join(f"train×{v['train_speedup']:.2f} score×{v['score_speedup']:.2f}"
-                for v in recorded))
+                for v in recorded),
+      f"| checkpoint tax {ckpt['overhead_ms_per_epoch']:.2f} ms/epoch")
 EOF
 
 echo "==> chaos stage: fault-injection suites under --features faults"
@@ -73,14 +87,75 @@ for t in 1 4; do
     LEAPME_THREADS=$t cargo test -q -p leapme-faults
     LEAPME_THREADS=$t cargo test -q -p leapme-nn --features faults --test fault_injection
     LEAPME_THREADS=$t cargo test -q -p leapme-core --features faults --test fault_injection
-    LEAPME_THREADS=$t cargo test -q -p leapme --features faults --test chaos --test robustness
+    LEAPME_THREADS=$t cargo test -q -p leapme-core --features faults --lib journal
+    LEAPME_THREADS=$t cargo test -q -p leapme --features faults \
+        --test chaos --test robustness --test durability
 done
 
 echo "==> chaos stage: faults compiled out of the release bench"
-if ! grep -q '"faults_enabled": false' BENCH_PR2.json; then
-    echo "BENCH_PR2.json does not record faults_enabled=false — the bench" \
+if ! grep -q '"faults_enabled": false' BENCH_PR4.json; then
+    echo "BENCH_PR4.json does not record faults_enabled=false — the bench" \
          "binary was built with the fault hooks armed" >&2
     exit 1
 fi
+
+echo "==> durability drill: SIGKILL mid-training, resume, bitwise-identical model"
+LEAPME="./target/release/leapme"
+DRILL_DIR="$(mktemp -d)"
+trap 'rm -rf "$DRILL_DIR"' EXIT
+
+"$LEAPME" generate --domain tvs --seed 7 --out "$DRILL_DIR/ds.json" >/dev/null
+"$LEAPME" embed --domains tvs --dim 8 --epochs 2 --seed 7 \
+    --out "$DRILL_DIR/emb.txt" >/dev/null
+
+# Reference: one uninterrupted serial run.
+LEAPME_THREADS=1 "$LEAPME" train \
+    --dataset "$DRILL_DIR/ds.json" --embeddings "$DRILL_DIR/emb.txt" \
+    --seed 5 --save "$DRILL_DIR/ref.lmp" >/dev/null
+
+# Interrupted run: per-epoch checkpoints; SIGKILL the *binary itself*
+# (not a cargo wrapper) as soon as the first checkpoint lands.
+LEAPME_THREADS=1 "$LEAPME" train \
+    --dataset "$DRILL_DIR/ds.json" --embeddings "$DRILL_DIR/emb.txt" \
+    --seed 5 --save "$DRILL_DIR/int.lmp" \
+    --checkpoint "$DRILL_DIR/train.ckpt" --checkpoint-every 1 >/dev/null &
+TRAIN_PID=$!
+for _ in $(seq 1 300); do
+    [ -f "$DRILL_DIR/train.ckpt" ] && break
+    kill -0 "$TRAIN_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -9 "$TRAIN_PID" 2>/dev/null; then
+    echo "    killed training (pid $TRAIN_PID) after its first checkpoint"
+fi
+wait "$TRAIN_PID" 2>/dev/null || true
+if [ ! -f "$DRILL_DIR/train.ckpt" ] && [ ! -f "$DRILL_DIR/int.lmp" ]; then
+    echo "durability drill: training died before writing a checkpoint" >&2
+    exit 1
+fi
+
+# Resume from the checkpoint (or rerun if the race let it finish).
+LEAPME_THREADS=1 "$LEAPME" train \
+    --dataset "$DRILL_DIR/ds.json" --embeddings "$DRILL_DIR/emb.txt" \
+    --seed 5 --save "$DRILL_DIR/int.lmp" \
+    --checkpoint "$DRILL_DIR/train.ckpt" --resume >/dev/null
+if ! cmp -s "$DRILL_DIR/ref.lmp" "$DRILL_DIR/int.lmp"; then
+    echo "durability drill: resumed model differs from the uninterrupted one" >&2
+    exit 1
+fi
+echo "    resumed model is bitwise identical to the uninterrupted run"
+
+# A zero-second deadline must checkpoint-and-exit with code 3.
+set +e
+LEAPME_THREADS=1 "$LEAPME" train \
+    --dataset "$DRILL_DIR/ds.json" --embeddings "$DRILL_DIR/emb.txt" \
+    --seed 5 --save "$DRILL_DIR/never.lmp" --timeout-secs 0 >/dev/null 2>&1
+TIMEOUT_CODE=$?
+set -e
+if [ "$TIMEOUT_CODE" -ne 3 ]; then
+    echo "durability drill: --timeout-secs 0 exited $TIMEOUT_CODE, expected 3" >&2
+    exit 1
+fi
+echo "    deadline exit code 3 confirmed"
 
 echo "==> verify OK"

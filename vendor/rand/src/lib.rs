@@ -236,6 +236,25 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state words, for checkpoint persistence.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from state words previously returned by
+        /// [`Self::state`]. The all-zero state is a fixed point of
+        /// xoshiro256++ (the generator would emit zeros forever), so it
+        /// is replaced by the seed-0 expansion.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                <StdRng as SeedableRng>::seed_from_u64(0)
+            } else {
+                StdRng { s }
+            }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
@@ -272,6 +291,22 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn state_round_trip_resumes_stream() {
+        let mut a = StdRng::seed_from_u64(11);
+        for _ in 0..13 {
+            a.next_u64();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // The all-zero fixed point is rejected, not propagated: a
+        // generator rebuilt from zeros still produces nonzero output.
+        let mut z = StdRng::from_state([0; 4]);
+        assert!((0..4).any(|_| z.next_u64() != 0));
     }
 
     #[test]

@@ -15,9 +15,18 @@
 //! kernels resolve from the environment, and the detected core count —
 //! and warns when they disagree (an override that did not stick, or
 //! oversubscription past the physical cores). Results, the measured
-//! speedups, and a comparison against the previous PR's `BENCH_PR1.json`
+//! speedups, and a comparison against the previous PR's `BENCH_PR4.json`
 //! baseline (same thread count only) go to `--out` (default
-//! `BENCH_PR4.json`), written atomically.
+//! `BENCH_PR5.json`), written atomically.
+//!
+//! Two featurization-specific passes complement the stage times:
+//!
+//! * **featurize_breakdown** — serial per-substage minima over the same
+//!   workload: character/token features, embedding averaging, pair name
+//!   distances, and pair-vector assembly (the |a−b| kernel sweep).
+//! * **warm_cache** — a cold `PropertyFeatureStore::build` against
+//!   loading the same store back from a persisted feature cache,
+//!   verifying the loaded store is bitwise identical.
 //!
 //! Each mode's stage times are the per-stage minima over `--repeats`
 //! runs (default 3): the workload is deterministic, so the minimum
@@ -32,9 +41,10 @@
 //! ```text
 //! cargo run --release -p leapme-bench --bin bench -- \
 //!     [--sources 16] [--dim 50] [--seed 42] [--threads N] [--repeats 3] \
-//!     [--out BENCH_PR4.json]
+//!     [--out BENCH_PR5.json]
 //! ```
 
+use leapme::core::feature_cache;
 use leapme::core::pipeline::{DurableFitOptions, Leapme, LeapmeConfig};
 use leapme::core::sampling;
 use leapme::data::io::atomic_write;
@@ -63,7 +73,9 @@ struct StageTimes {
 /// The fields of the previous PR's report this one compares against.
 #[derive(Debug, Deserialize)]
 struct BaselineStage {
-    threads: usize,
+    threads_effective: usize,
+    build_s: f64,
+    featurize_s: f64,
     train_s: f64,
     score_s: f64,
 }
@@ -75,13 +87,45 @@ struct Baseline {
     parallel: BaselineStage,
 }
 
-/// Speedup of this PR over the `BENCH_PR1.json` baseline at an equal
+/// Speedup of this PR over the `BENCH_PR4.json` baseline at an equal
 /// thread count (baseline seconds / current seconds; > 1 is faster).
 #[derive(Debug, Serialize)]
 struct VsBaseline {
     threads: usize,
+    build_speedup: f64,
+    featurize_speedup: f64,
     train_speedup: f64,
     score_speedup: f64,
+}
+
+/// Serial wall times of the featurization substages, each measured in
+/// isolation over the same corpus/pair workload as the stage pass.
+#[derive(Debug, Serialize)]
+struct FeaturizeBreakdown {
+    /// Character- and token-feature extraction over every instance value.
+    char_token_s: f64,
+    /// Streaming embedding averaging over every instance value.
+    embedding_average_s: f64,
+    /// The 8 pair name distances over every candidate pair (uncached).
+    name_distances_s: f64,
+    /// Pair-vector assembly: the |a−b| kernel over every candidate pair.
+    assembly_s: f64,
+}
+
+/// Cold featurization vs loading the persisted feature cache.
+#[derive(Debug, Serialize)]
+struct WarmCache {
+    /// `PropertyFeatureStore::build` from scratch, seconds.
+    cold_build_s: f64,
+    /// Loading the same store from the feature-cache file, seconds.
+    cache_load_s: f64,
+    /// Whether the load path reported a fingerprint match.
+    cache_hit: bool,
+    /// Whether every loaded property vector is bitwise identical to the
+    /// freshly built one.
+    store_identical: bool,
+    /// `cold_build_s / cache_load_s` — what a warm rerun saves.
+    featurize_speedup: f64,
 }
 
 /// Cost of per-epoch checkpointing during training: the same fit run
@@ -112,9 +156,11 @@ struct BenchReport {
     speedup_train: f64,
     speedup_score: f64,
     speedup_total: f64,
+    featurize_breakdown: FeaturizeBreakdown,
+    warm_cache: WarmCache,
     checkpoint: CheckpointOverhead,
-    vs_pr1_serial: Option<VsBaseline>,
-    vs_pr1_parallel: Option<VsBaseline>,
+    vs_pr4_serial: Option<VsBaseline>,
+    vs_pr4_parallel: Option<VsBaseline>,
 }
 
 /// Warn when the thread counts a run requested, resolved, and has
@@ -282,40 +328,139 @@ fn measure_checkpoint_overhead(
     }
 }
 
+/// Serial substage minima over `repeats` runs: the four pieces of
+/// featurization timed in isolation through the same public entry points
+/// the pipeline uses.
+fn measure_featurize_breakdown(
+    dataset: &Dataset,
+    embeddings: &EmbeddingStore,
+    store: &PropertyFeatureStore,
+    pairs: &[PropertyPair],
+    repeats: usize,
+) -> FeaturizeBreakdown {
+    use leapme::features::{chars, pair, property, tokens};
+    use std::hint::black_box;
+    let values: Vec<&str> = dataset
+        .instances()
+        .iter()
+        .map(|i| i.value.as_str())
+        .collect();
+    let mut avg = vec![0.0f32; embeddings.dim()];
+    let mut diff = vec![0.0f32; property::len(embeddings.dim())];
+
+    let mut char_token_s = f64::INFINITY;
+    let mut embedding_average_s = f64::INFINITY;
+    let mut name_distances_s = f64::INFINITY;
+    let mut assembly_s = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        for v in &values {
+            black_box(chars::extract(v));
+            black_box(tokens::extract(v));
+        }
+        char_token_s = char_token_s.min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        for v in &values {
+            embeddings.average_text_into(v, &mut avg);
+            black_box(&avg);
+        }
+        embedding_average_s = embedding_average_s.min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        for PropertyPair(a, b) in pairs {
+            black_box(pair::string_features(&a.name, &b.name));
+        }
+        name_distances_s = name_distances_s.min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        for PropertyPair(a, b) in pairs {
+            let pa = store.property_vector(a).expect("property vector");
+            let pb = store.property_vector(b).expect("property vector");
+            pair::vector_difference_into(&mut diff, pa, pb);
+            black_box(&diff);
+        }
+        assembly_s = assembly_s.min(t.elapsed().as_secs_f64());
+    }
+    FeaturizeBreakdown {
+        char_token_s,
+        embedding_average_s,
+        name_distances_s,
+        assembly_s,
+    }
+}
+
+/// Cold build vs persisted-cache load, with a bitwise identity check of
+/// every loaded property vector.
+fn measure_warm_cache(dataset: &Dataset, embeddings: &EmbeddingStore) -> WarmCache {
+    let path = std::env::temp_dir().join("leapme_bench_feature_cache.lfc");
+    let _ = std::fs::remove_file(&path);
+
+    let t = Instant::now();
+    let cold = PropertyFeatureStore::build(dataset, embeddings);
+    let cold_build_s = t.elapsed().as_secs_f64();
+
+    let fp = feature_cache::fingerprint(dataset, embeddings);
+    feature_cache::save(&path, &cold, &fp).expect("save feature cache");
+    let t = Instant::now();
+    let warm = feature_cache::load(&path, &fp).expect("load feature cache");
+    let cache_load_s = t.elapsed().as_secs_f64();
+    std::fs::remove_file(&path).ok();
+
+    let store_identical = cold.len() == warm.len()
+        && cold.iter().all(|(k, v)| {
+            warm.property_vector(k)
+                .is_some_and(|w| v.iter().zip(w).all(|(x, y)| x.to_bits() == y.to_bits()))
+        });
+    WarmCache {
+        cold_build_s,
+        cache_load_s,
+        cache_hit: true,
+        store_identical,
+        featurize_speedup: if cache_load_s > 0.0 {
+            cold_build_s / cache_load_s
+        } else {
+            f64::NAN
+        },
+    }
+}
+
 /// Load the previous PR's report, if present, and compute the speedup at
 /// an equal thread count. Returns `None` (with a warning) when the
 /// baseline is missing, unparsable, or was measured at a different
 /// thread count — cross-thread-count comparisons are not apples to
 /// apples and are deliberately not reported.
 fn compare_with_baseline(stage: &StageTimes, baseline: &BaselineStage) -> Option<VsBaseline> {
-    if baseline.threads != stage.threads_effective {
+    if baseline.threads_effective != stage.threads_effective {
         eprintln!(
             "warning: baseline ran with {} thread(s) but this run used {}; \
-             skipping vs-PR1 comparison for this mode",
-            baseline.threads, stage.threads_effective
+             skipping vs-PR4 comparison for this mode",
+            baseline.threads_effective, stage.threads_effective
         );
         return None;
     }
     let ratio = |b: f64, c: f64| if c > 0.0 { b / c } else { f64::NAN };
     Some(VsBaseline {
         threads: stage.threads_effective,
+        build_speedup: ratio(baseline.build_s, stage.build_s),
+        featurize_speedup: ratio(baseline.featurize_s, stage.featurize_s),
         train_speedup: ratio(baseline.train_s, stage.train_s),
         score_speedup: ratio(baseline.score_s, stage.score_s),
     })
 }
 
 fn load_baseline() -> Option<Baseline> {
-    let text = match std::fs::read_to_string("BENCH_PR1.json") {
+    let text = match std::fs::read_to_string("BENCH_PR4.json") {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("warning: BENCH_PR1.json not readable ({e}); skipping vs-PR1 comparison");
+            eprintln!("warning: BENCH_PR4.json not readable ({e}); skipping vs-PR4 comparison");
             return None;
         }
     };
     match serde_json::from_str(&text) {
         Ok(b) => Some(b),
         Err(e) => {
-            eprintln!("warning: BENCH_PR1.json not parsable ({e}); skipping vs-PR1 comparison");
+            eprintln!("warning: BENCH_PR4.json not parsable ({e}); skipping vs-PR4 comparison");
             None
         }
     }
@@ -369,9 +514,16 @@ fn main() {
         cores,
         repeats,
     );
-    // The durability tax is measured serially: checkpoint writes are
-    // I/O-bound, so thread count is noise here.
+    // The featurization substages, the warm-cache pass and the
+    // durability tax are all measured serially: the first two isolate
+    // single-thread kernel cost, and checkpoint writes are I/O-bound,
+    // so thread count is noise here.
     std::env::set_var(THREADS_ENV, "1");
+    let store = PropertyFeatureStore::build(&dataset, &embeddings);
+    let featurize_breakdown =
+        measure_featurize_breakdown(&dataset, &embeddings, &store, &pairs, repeats);
+    drop(store);
+    let warm_cache = measure_warm_cache(&dataset, &embeddings);
     let checkpoint = measure_checkpoint_overhead(&dataset, &embeddings, seed, repeats);
     std::env::remove_var(THREADS_ENV);
 
@@ -379,14 +531,14 @@ fn main() {
         if b.pairs != pairs.len() {
             eprintln!(
                 "warning: baseline measured {} candidate pairs but this run has {}; \
-                 skipping vs-PR1 comparison (rerun with the baseline's --sources)",
+                 skipping vs-PR4 comparison (rerun with the baseline's --sources)",
                 b.pairs,
                 pairs.len()
             );
         }
         b.pairs == pairs.len()
     });
-    let (vs_pr1_serial, vs_pr1_parallel) = match &baseline {
+    let (vs_pr4_serial, vs_pr4_parallel) = match &baseline {
         Some(b) => (
             compare_with_baseline(&serial, &b.serial),
             compare_with_baseline(&parallel, &b.parallel),
@@ -407,14 +559,16 @@ fn main() {
         speedup_train: ratio(serial.train_s, parallel.train_s),
         speedup_score: ratio(serial.score_s, parallel.score_s),
         speedup_total: ratio(serial.total_s, parallel.total_s),
+        featurize_breakdown,
+        warm_cache,
         checkpoint,
-        vs_pr1_serial,
-        vs_pr1_parallel,
+        vs_pr4_serial,
+        vs_pr4_parallel,
         serial,
         parallel,
     };
 
-    let out = args.get_or("out", "BENCH_PR4.json".to_string());
+    let out = args.get_or("out", "BENCH_PR5.json".to_string());
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     println!("{json}");
     atomic_write(std::path::Path::new(&out), format!("{json}\n").as_bytes())

@@ -5,14 +5,16 @@
 use super::{cancel_token, load_dataset, pipeline_err, to_json, to_json_pretty};
 use crate::args::Flags;
 use crate::CliError;
+use leapme::core::blocking::{self, EmbeddingBlocker, TokenBlocker};
+use leapme::core::feature_cache;
 use leapme::core::pipeline::{Leapme, LeapmeConfig, LeapmeModel};
 use leapme::core::sampling;
 use leapme::data::io::atomic_write;
-use leapme::data::model::SourceId;
+use leapme::data::model::{PropertyPair, SourceId};
 use leapme::embedding::store::EmbeddingStore;
-use leapme::features::PropertyFeatureStore;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeSet;
 use std::path::Path;
 
 /// Run the command.
@@ -65,17 +67,19 @@ pub fn run(flags: &Flags) -> Result<String, CliError> {
         train_sources
     };
 
-    let store = PropertyFeatureStore::try_build_cancellable(
+    let (store, cache_status) = feature_cache::load_or_build(
+        flags.get("feature-cache").map(Path::new),
         &dataset,
         &embeddings,
         leapme::features::worker_threads(),
         Some(&check),
     )
-    .map_err(|e| pipeline_err(e.into(), NOTHING_SAVED))?;
+    .map_err(|e| pipeline_err(e, NOTHING_SAVED))?;
     // Degraded-mode report: properties without embedding signal are
     // still scored on the 29 non-embedding features, but the user
     // should know their run is degraded (DESIGN.md §8).
     let mut warnings = String::new();
+    warnings.push_str(&cache_status.describe(store.len()));
     if !store.degradation().is_clean() {
         warnings.push_str(&format!("warning: {}\n", store.degradation().summary()));
     }
@@ -118,7 +122,38 @@ pub fn run(flags: &Flags) -> Result<String, CliError> {
         }
     };
 
-    let candidates = sampling::test_pairs(&dataset, &train_sources);
+    let mut candidates = sampling::test_pairs(&dataset, &train_sources);
+    // Optional candidate blocking: prune the quadratic pair space before
+    // scoring, reporting completeness/reduction so a too-aggressive
+    // blocker is visible rather than silently dropping true matches.
+    if let Some(mode) = flags.get("blocking") {
+        let k: usize = flags.get_or("blocking-k", EmbeddingBlocker::default().k)?;
+        let keep: BTreeSet<PropertyPair> = match mode {
+            "token" => TokenBlocker::default().candidates(&dataset),
+            "embedding" => EmbeddingBlocker { k }.candidates(&dataset, &embeddings),
+            "combined" => blocking::combined_candidates(
+                &dataset,
+                &embeddings,
+                &TokenBlocker::default(),
+                &EmbeddingBlocker { k },
+            ),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "--blocking must be token, embedding or combined (got {other:?})"
+                )))
+            }
+        };
+        let stats = blocking::evaluate_blocking(&dataset, &keep);
+        let before = candidates.len();
+        candidates.retain(|p| keep.contains(p));
+        warnings.push_str(&format!(
+            "blocking({mode}): scoring {} of {before} test pairs \
+             (reduction {:.1}%, pair completeness {:.3})\n",
+            candidates.len(),
+            100.0 * stats.reduction_ratio,
+            stats.pair_completeness,
+        ));
+    }
     let graph = model
         .predict_graph_cancellable(&store, &candidates, Some(&check))
         .map_err(|e| pipeline_err(e, NOTHING_SAVED))?;
@@ -295,6 +330,87 @@ mod tests {
         assert!(matches!(err, CliError::Cancelled(_)), "{err}");
         assert_eq!(err.exit_code(), 3);
         assert!(!graph_path.exists(), "no partial graph on cancellation");
+    }
+
+    #[test]
+    fn feature_cache_round_trip_is_byte_identical_and_heals() {
+        let (ds, emb) = fixture();
+        let cache_path = tmp("match_feature_cache.lfc");
+        let _ = std::fs::remove_file(&cache_path);
+        let graph_a = tmp("match_graph_cache_a.json");
+        let graph_b = tmp("match_graph_cache_b.json");
+        let base = [
+            ("dataset", ds.to_str().unwrap().to_string()),
+            ("embeddings", emb.to_str().unwrap().to_string()),
+            ("train-sources", "0,1,2,3,4,5".to_string()),
+            ("feature-cache", cache_path.to_str().unwrap().to_string()),
+        ];
+        let run_to = |graph: &std::path::Path| {
+            let mut pairs: Vec<(&str, &str)> =
+                base.iter().map(|(k, v)| (*k, v.as_str())).collect();
+            let g = graph.to_str().unwrap();
+            pairs.push(("out", g));
+            run(&Flags::from_pairs(&pairs)).unwrap()
+        };
+
+        let cold = run_to(&graph_a);
+        assert!(cold.contains("feature cache rebuilt"), "{cold}");
+        assert!(cache_path.exists());
+        let warm = run_to(&graph_b);
+        assert!(warm.contains("feature cache hit"), "{warm}");
+        assert_eq!(
+            std::fs::read(&graph_a).unwrap(),
+            std::fs::read(&graph_b).unwrap(),
+            "cached features must score byte-identically"
+        );
+
+        // A damaged cache degrades to a clean rebuild, not a failure.
+        let mut bytes = std::fs::read(&cache_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&cache_path, &bytes).unwrap();
+        let healed = run_to(&graph_b);
+        assert!(healed.contains("feature cache rebuilt"), "{healed}");
+        assert_eq!(
+            std::fs::read(&graph_a).unwrap(),
+            std::fs::read(&graph_b).unwrap()
+        );
+        for p in [graph_a, graph_b, cache_path] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn blocking_prunes_candidates_and_reports_stats() {
+        let (ds, emb) = fixture();
+        let graph_path = tmp("match_graph_blocking.json");
+        let msg = run(&Flags::from_pairs(&[
+            ("dataset", ds.to_str().unwrap()),
+            ("embeddings", emb.to_str().unwrap()),
+            ("train-sources", "0,1,2,3,4,5"),
+            ("blocking", "combined"),
+            ("blocking-k", "5"),
+            ("out", graph_path.to_str().unwrap()),
+        ]))
+        .unwrap();
+        assert!(msg.contains("blocking(combined): scoring"), "{msg}");
+        assert!(msg.contains("pair completeness"), "{msg}");
+        assert!(msg.contains("scored pairs"), "{msg}");
+        std::fs::remove_file(graph_path).ok();
+    }
+
+    #[test]
+    fn unknown_blocking_mode_is_usage_error() {
+        let (ds, emb) = fixture();
+        let err = run(&Flags::from_pairs(&[
+            ("dataset", ds.to_str().unwrap()),
+            ("embeddings", emb.to_str().unwrap()),
+            ("blocking", "psychic"),
+            ("out", "unused.json"),
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        assert!(err.to_string().contains("psychic"), "{err}");
     }
 
     #[test]

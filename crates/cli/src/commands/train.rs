@@ -15,11 +15,11 @@
 use super::{cancel_token, load_dataset, pipeline_err};
 use crate::args::Flags;
 use crate::CliError;
+use leapme::core::feature_cache;
 use leapme::core::pipeline::{DurableFitOptions, Leapme, LeapmeConfig};
 use leapme::core::sampling;
 use leapme::data::model::SourceId;
 use leapme::embedding::store::EmbeddingStore;
-use leapme::features::PropertyFeatureStore;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::Path;
@@ -74,14 +74,16 @@ pub fn run(flags: &Flags) -> Result<String, CliError> {
         Some(p) => format!("training state checkpointed to {}", p.display()),
         None => "no --checkpoint configured, training state lost".to_string(),
     };
-    let store = PropertyFeatureStore::try_build_cancellable(
+    let (store, cache_status) = feature_cache::load_or_build(
+        flags.get("feature-cache").map(Path::new),
         &dataset,
         &embeddings,
         leapme::features::worker_threads(),
         Some(&check),
     )
-    .map_err(|e| pipeline_err(e.into(), &cancelled_note))?;
+    .map_err(|e| pipeline_err(e, &cancelled_note))?;
     let mut warnings = String::new();
+    warnings.push_str(&cache_status.describe(store.len()));
     if !store.degradation().is_clean() {
         warnings.push_str(&format!("warning: {}\n", store.degradation().summary()));
     }

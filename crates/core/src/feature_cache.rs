@@ -1,0 +1,544 @@
+//! Persisted property-feature cache.
+//!
+//! Building the [`PropertyFeatureStore`] is pure recomputation: the same
+//! dataset and embeddings always produce the same vectors (bitwise — see
+//! the thread-sweep suites in `leapme-features`). Repeated runs — bench
+//! `--repeats`, `match --model`, durable reruns — therefore waste the
+//! whole featurize stage. This module persists the store in the PR 4
+//! checkpoint container format (`KIND_FEATURE_CACHE`, CRC-64 trailer,
+//! atomic write) together with a fingerprint of everything the vectors
+//! depend on: the dataset's full instance stream, the embedding-store
+//! contents (including the fuzzy-OOV flag, which changes lookups), and a
+//! feature-layout version.
+//!
+//! A cache is only ever used when every fingerprint component matches;
+//! any mismatch, corruption, or format skew surfaces as a typed error
+//! and [`load_or_build`] falls back to a clean rebuild (then rewrites the
+//! cache). The store caches *full* property vectors — feature
+//! configurations are masks applied downstream, so one cache serves all
+//! nine paper configurations.
+
+use crate::CoreError;
+use leapme_data::model::{Dataset, PropertyKey, SourceId};
+use leapme_embedding::store::EmbeddingStore;
+use leapme_features::{CancelCheck, PropertyFeatureStore, SanitizeStats};
+use leapme_nn::checkpoint::{
+    self, crc64, CheckpointError, Decoder, Encoder, KIND_FEATURE_CACHE,
+};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Version of the *feature layout* a cache stores. Bump whenever the
+/// meaning, order, or count of property-vector components changes —
+/// stale caches from older layouts are then rejected by fingerprint
+/// rather than silently decoded into wrong columns.
+pub const FEATURE_LAYOUT_VERSION: u32 = 1;
+
+/// Everything a cached feature store depends on, reduced to checkable
+/// integers. Recorded at save time, recomputed and compared at load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureFingerprint {
+    /// CRC-64 over the dataset identity: name, source list, and the full
+    /// instance stream in stored (deterministic) order.
+    pub dataset: u64,
+    /// Order-independent digest of the embedding store: XOR of per-entry
+    /// CRCs, folded with the dimension and the fuzzy-OOV flag.
+    pub embeddings: u64,
+    /// [`FEATURE_LAYOUT_VERSION`] at write time.
+    pub layout: u32,
+    /// Embedding dimensionality (also implied by `embeddings`, but kept
+    /// separate so a dimension skew yields a precise error).
+    pub dim: u64,
+}
+
+/// Fingerprint of `dataset`'s feature-relevant content.
+pub fn dataset_fingerprint(dataset: &Dataset) -> u64 {
+    let mut e = Encoder::new();
+    e.u64(dataset.name().len() as u64);
+    e.bytes(dataset.name().as_bytes());
+    e.u64(dataset.sources().len() as u64);
+    for s in dataset.sources() {
+        e.u64(s.len() as u64);
+        e.bytes(s.as_bytes());
+    }
+    let instances = dataset.instances();
+    e.u64(instances.len() as u64);
+    for inst in instances {
+        e.u32(u32::from(inst.source.0));
+        for field in [&inst.property, &inst.entity, &inst.value] {
+            e.u64(field.len() as u64);
+            e.bytes(field.as_bytes());
+        }
+    }
+    crc64(&e.finish())
+}
+
+/// Fingerprint of `embeddings`' content.
+///
+/// The store is hash-map-backed with no stable iteration order, so
+/// per-entry CRCs are combined with XOR (order-independent), then folded
+/// with the dimension and the fuzzy-OOV flag — both of which change
+/// every lookup result.
+pub fn embeddings_fingerprint(embeddings: &EmbeddingStore) -> u64 {
+    let mut acc = 0u64;
+    for (word, vector) in embeddings.iter() {
+        let mut e = Encoder::new();
+        e.u64(word.len() as u64);
+        e.bytes(word.as_bytes());
+        e.f32s(vector);
+        acc ^= crc64(&e.finish());
+    }
+    let mut tail = Encoder::new();
+    tail.u64(acc);
+    tail.u64(embeddings.dim() as u64);
+    tail.u8(u8::from(embeddings.fuzzy_oov()));
+    crc64(&tail.finish())
+}
+
+/// The full fingerprint for a `(dataset, embeddings)` input pair.
+pub fn fingerprint(dataset: &Dataset, embeddings: &EmbeddingStore) -> FeatureFingerprint {
+    FeatureFingerprint {
+        dataset: dataset_fingerprint(dataset),
+        embeddings: embeddings_fingerprint(embeddings),
+        layout: FEATURE_LAYOUT_VERSION,
+        dim: embeddings.dim() as u64,
+    }
+}
+
+/// Which fingerprint component a stale cache failed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mismatch {
+    /// The cache was written by a different feature layout.
+    Layout {
+        /// Layout version recorded in the file.
+        found: u32,
+        /// Layout version this build produces.
+        expected: u32,
+    },
+    /// The cache was built at a different embedding dimensionality.
+    Dim {
+        /// Dimension recorded in the file.
+        found: u64,
+        /// Dimension of the current embeddings.
+        expected: u64,
+    },
+    /// The dataset changed since the cache was written.
+    Dataset,
+    /// The embedding store changed since the cache was written.
+    Embeddings,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mismatch::Layout { found, expected } => write!(
+                f,
+                "feature layout version {found} (this build produces {expected})"
+            ),
+            Mismatch::Dim { found, expected } => {
+                write!(f, "embedding dimension {found} (current is {expected})")
+            }
+            Mismatch::Dataset => write!(f, "dataset contents changed"),
+            Mismatch::Embeddings => write!(f, "embedding store contents changed"),
+        }
+    }
+}
+
+/// Errors from the cache load path. A [`FeatureCacheError::Stale`] cache
+/// is healthy on disk but built from different inputs; everything else
+/// is a container-level failure ([`CheckpointError`] keeps the precise
+/// corruption mode).
+#[derive(Debug)]
+pub enum FeatureCacheError {
+    /// The container failed to read, parse, or checksum.
+    Checkpoint(CheckpointError),
+    /// The container is valid but fingerprints do not match the current
+    /// inputs.
+    Stale(Mismatch),
+}
+
+impl std::fmt::Display for FeatureCacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FeatureCacheError::Checkpoint(e) => write!(f, "{e}"),
+            FeatureCacheError::Stale(m) => write!(f, "stale feature cache: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FeatureCacheError {}
+
+impl From<CheckpointError> for FeatureCacheError {
+    fn from(e: CheckpointError) -> Self {
+        FeatureCacheError::Checkpoint(e)
+    }
+}
+
+/// How [`load_or_build`] obtained its store — surfaced in CLI output so
+/// operators (and the verify.sh cache drill) can see cache behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// No cache path configured; the store was built directly.
+    Disabled,
+    /// The cache matched and was loaded; featurization was skipped.
+    Hit,
+    /// The cache was absent, stale, or damaged; the store was rebuilt
+    /// and the cache rewritten. The string says why.
+    Rebuilt(String),
+}
+
+impl CacheStatus {
+    /// One-line human-readable description for CLI output.
+    pub fn describe(&self, properties: usize) -> String {
+        match self {
+            CacheStatus::Disabled => String::new(),
+            CacheStatus::Hit => {
+                format!("feature cache hit: loaded {properties} property vectors\n")
+            }
+            CacheStatus::Rebuilt(reason) => {
+                format!("feature cache rebuilt ({reason}): stored {properties} property vectors\n")
+            }
+        }
+    }
+}
+
+/// Persist `store` to `path` under `fp`, atomically.
+pub fn save(
+    path: &Path,
+    store: &PropertyFeatureStore,
+    fp: &FeatureFingerprint,
+) -> Result<(), CheckpointError> {
+    let mut e = Encoder::new();
+    e.u32(fp.layout);
+    e.u64(fp.dim);
+    e.u64(fp.dataset);
+    e.u64(fp.embeddings);
+    let sanitize = store.sanitize_stats();
+    e.u64(sanitize.nonfinite);
+    e.u64(sanitize.clamped);
+    // Sort keys so the byte stream (and thus the file CRC) is
+    // deterministic across runs and hash-map orders.
+    let mut entries: Vec<(&PropertyKey, &[f32])> = store.iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    e.u64(entries.len() as u64);
+    for (key, vector) in entries {
+        e.u32(u32::from(key.source.0));
+        e.u64(key.name.len() as u64);
+        e.bytes(key.name.as_bytes());
+        e.f32s(vector);
+    }
+    checkpoint::write_container(path, KIND_FEATURE_CACHE, &e.finish())
+}
+
+/// Load a store from `path`, verifying the container and every
+/// fingerprint component against `expected` before any vectors are
+/// decoded.
+pub fn load(
+    path: &Path,
+    expected: &FeatureFingerprint,
+) -> Result<PropertyFeatureStore, FeatureCacheError> {
+    let payload = checkpoint::read_container(path, KIND_FEATURE_CACHE)?;
+    let mut d = Decoder::new(&payload);
+    let layout = d.u32()?;
+    if layout != expected.layout {
+        return Err(FeatureCacheError::Stale(Mismatch::Layout {
+            found: layout,
+            expected: expected.layout,
+        }));
+    }
+    let dim = d.u64()?;
+    if dim != expected.dim {
+        return Err(FeatureCacheError::Stale(Mismatch::Dim {
+            found: dim,
+            expected: expected.dim,
+        }));
+    }
+    if d.u64()? != expected.dataset {
+        return Err(FeatureCacheError::Stale(Mismatch::Dataset));
+    }
+    if d.u64()? != expected.embeddings {
+        return Err(FeatureCacheError::Stale(Mismatch::Embeddings));
+    }
+    let sanitize = SanitizeStats {
+        nonfinite: d.u64()?,
+        clamped: d.u64()?,
+    };
+    let dim = dim as usize;
+    let expected_len = leapme_features::property::len(dim);
+    let n = d.u64()? as usize;
+    let mut features: HashMap<PropertyKey, Vec<f32>> = HashMap::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let source = d.u32()?;
+        let source = u16::try_from(source)
+            .map_err(|_| CheckpointError::Malformed(format!("source id {source} overflows u16")))?;
+        let name_len = d.u64()? as usize;
+        let name = std::str::from_utf8(d.raw(name_len)?)
+            .map_err(|_| CheckpointError::Malformed("property name is not UTF-8".into()))?
+            .to_string();
+        let vector = d.f32s()?;
+        if vector.len() != expected_len {
+            return Err(CheckpointError::Malformed(format!(
+                "property vector has {} components, layout needs {expected_len}",
+                vector.len()
+            ))
+            .into());
+        }
+        if features
+            .insert(PropertyKey::new(SourceId(source), &name), vector)
+            .is_some()
+        {
+            return Err(
+                CheckpointError::Malformed(format!("duplicate property entry {name:?}")).into(),
+            );
+        }
+    }
+    d.done()?;
+    Ok(PropertyFeatureStore::from_parts(dim, features, sanitize))
+}
+
+/// Obtain the feature store for `(dataset, embeddings)`: from the cache
+/// when `path` holds a matching one, otherwise by a (cancellable) clean
+/// rebuild — after which the cache is (re)written so the next run hits.
+///
+/// Every load failure short of I/O on the *write* side degrades to a
+/// rebuild, never an error: a stale, truncated, bit-flipped, or
+/// wrong-kind file costs one featurize stage, not the run.
+pub fn load_or_build(
+    path: Option<&Path>,
+    dataset: &Dataset,
+    embeddings: &EmbeddingStore,
+    threads: usize,
+    cancel: CancelCheck<'_>,
+) -> Result<(PropertyFeatureStore, CacheStatus), CoreError> {
+    let Some(path) = path else {
+        let store =
+            PropertyFeatureStore::try_build_cancellable(dataset, embeddings, threads, cancel)?;
+        return Ok((store, CacheStatus::Disabled));
+    };
+    let fp = fingerprint(dataset, embeddings);
+    let reason = match load(path, &fp) {
+        Ok(store) => return Ok((store, CacheStatus::Hit)),
+        Err(FeatureCacheError::Checkpoint(CheckpointError::Io(e)))
+            if e.kind() == std::io::ErrorKind::NotFound =>
+        {
+            "no cache file yet".to_string()
+        }
+        Err(e) => e.to_string(),
+    };
+    let store = PropertyFeatureStore::try_build_cancellable(dataset, embeddings, threads, cancel)?;
+    save(path, &store, &fp).map_err(CoreError::Checkpoint)?;
+    Ok((store, CacheStatus::Rebuilt(reason)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leapme_data::model::Instance;
+    use std::collections::BTreeMap;
+
+    fn dataset() -> Dataset {
+        let mk = |source: u16, property: &str, entity: &str, value: &str| Instance {
+            source: SourceId(source),
+            property: property.into(),
+            entity: entity.into(),
+            value: value.into(),
+        };
+        let instances = vec![
+            mk(0, "megapixels", "e1", "20.1 MP"),
+            mk(0, "price", "e1", "1,299.99"),
+            mk(1, "resolution", "x1", "18 megapixels"),
+            mk(1, "weight", "x1", "450 g"),
+        ];
+        let mut alignment = BTreeMap::new();
+        for (s, p, u) in [
+            (0u16, "megapixels", "resolution"),
+            (0, "price", "price"),
+            (1, "resolution", "resolution"),
+            (1, "weight", "weight"),
+        ] {
+            alignment.insert(PropertyKey::new(SourceId(s), p), u.to_string());
+        }
+        Dataset::new("toy", vec!["a".into(), "b".into()], instances, alignment).unwrap()
+    }
+
+    fn embeddings() -> EmbeddingStore {
+        let mut s = EmbeddingStore::new(4);
+        s.insert("megapixels", vec![1.0, 0.0, 0.0, 0.0]).unwrap();
+        s.insert("resolution", vec![0.9, 0.1, 0.0, 0.0]).unwrap();
+        s.insert("weight", vec![0.0, 0.0, 1.0, 0.0]).unwrap();
+        s.insert("price", vec![0.0, 1.0, 0.0, 0.0]).unwrap();
+        s
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("leapme_feature_cache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn assert_stores_bitwise_equal(a: &PropertyFeatureStore, b: &PropertyFeatureStore) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.dim(), b.dim());
+        assert_eq!(a.sanitize_stats(), b.sanitize_stats());
+        assert_eq!(a.degradation(), b.degradation());
+        for (k, v) in a.iter() {
+            let w = b.property_vector(k).expect("key present");
+            assert_eq!(
+                v.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                w.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "property {k:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn save_load_round_trips_bitwise() {
+        let ds = dataset();
+        let emb = embeddings();
+        let store = PropertyFeatureStore::build(&ds, &emb);
+        let fp = fingerprint(&ds, &emb);
+        let path = temp_path("roundtrip.lfc");
+        save(&path, &store, &fp).unwrap();
+        let loaded = load(&path, &fp).unwrap();
+        assert_stores_bitwise_equal(&store, &loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dataset_change_is_detected() {
+        let ds = dataset();
+        let emb = embeddings();
+        let store = PropertyFeatureStore::build(&ds, &emb);
+        let path = temp_path("stale_dataset.lfc");
+        save(&path, &store, &fingerprint(&ds, &emb)).unwrap();
+
+        let mk = |value: &str| Instance {
+            source: SourceId(0),
+            property: "megapixels".into(),
+            entity: "e1".into(),
+            value: value.into(),
+        };
+        let mut alignment = BTreeMap::new();
+        alignment.insert(
+            PropertyKey::new(SourceId(0), "megapixels"),
+            "resolution".to_string(),
+        );
+        let other = Dataset::new(
+            "toy",
+            vec!["a".into(), "b".into()],
+            vec![mk("999 MP")],
+            alignment,
+        )
+        .unwrap();
+        let err = load(&path, &fingerprint(&other, &emb)).err().expect("load must fail");
+        assert!(matches!(err, FeatureCacheError::Stale(Mismatch::Dataset)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn embedding_change_and_fuzzy_flag_are_detected() {
+        let ds = dataset();
+        let emb = embeddings();
+        let store = PropertyFeatureStore::build(&ds, &emb);
+        let path = temp_path("stale_embeddings.lfc");
+        save(&path, &store, &fingerprint(&ds, &emb)).unwrap();
+
+        let mut changed = emb.clone();
+        changed.insert("new", vec![0.1, 0.2, 0.3, 0.4]).unwrap();
+        let err = load(&path, &fingerprint(&ds, &changed)).err().expect("load must fail");
+        assert!(matches!(
+            err,
+            FeatureCacheError::Stale(Mismatch::Embeddings)
+        ));
+
+        // The fuzzy-OOV flag changes lookup results, so it must also
+        // invalidate the cache.
+        let mut fuzzed = emb.clone();
+        fuzzed.set_fuzzy_oov(true);
+        let err = load(&path, &fingerprint(&ds, &fuzzed)).err().expect("load must fail");
+        assert!(matches!(
+            err,
+            FeatureCacheError::Stale(Mismatch::Embeddings)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dim_skew_is_detected_before_decoding() {
+        let ds = dataset();
+        let emb = embeddings();
+        let store = PropertyFeatureStore::build(&ds, &emb);
+        let path = temp_path("stale_dim.lfc");
+        save(&path, &store, &fingerprint(&ds, &emb)).unwrap();
+        let mut other_dim = EmbeddingStore::new(8);
+        other_dim
+            .insert("megapixels", vec![0.0; 8])
+            .unwrap();
+        let err = load(&path, &fingerprint(&ds, &other_dim)).err().expect("load must fail");
+        assert!(matches!(
+            err,
+            FeatureCacheError::Stale(Mismatch::Dim { found: 4, expected: 8 })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_surfaces_as_checkpoint_error_and_rebuilds() {
+        let ds = dataset();
+        let emb = embeddings();
+        let store = PropertyFeatureStore::build(&ds, &emb);
+        let fp = fingerprint(&ds, &emb);
+        let path = temp_path("corrupt.lfc");
+        save(&path, &store, &fp).unwrap();
+
+        // Flip one payload byte: the CRC must catch it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load(&path, &fp).err().expect("load must fail");
+        assert!(matches!(
+            err,
+            FeatureCacheError::Checkpoint(CheckpointError::ChecksumMismatch { .. })
+        ));
+
+        // load_or_build degrades to a clean rebuild and heals the file.
+        let (rebuilt, status) = load_or_build(Some(&path), &ds, &emb, 1, None).unwrap();
+        assert!(matches!(status, CacheStatus::Rebuilt(_)));
+        assert_stores_bitwise_equal(&store, &rebuilt);
+        let (hit, status) = load_or_build(Some(&path), &ds, &emb, 1, None).unwrap();
+        assert_eq!(status, CacheStatus::Hit);
+        assert_stores_bitwise_equal(&store, &hit);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_or_build_cold_then_hot() {
+        let ds = dataset();
+        let emb = embeddings();
+        let path = temp_path("cold_hot.lfc");
+        std::fs::remove_file(&path).ok();
+        let (built, status) = load_or_build(Some(&path), &ds, &emb, 1, None).unwrap();
+        assert_eq!(
+            status,
+            CacheStatus::Rebuilt("no cache file yet".to_string())
+        );
+        let (loaded, status) = load_or_build(Some(&path), &ds, &emb, 1, None).unwrap();
+        assert_eq!(status, CacheStatus::Hit);
+        assert_stores_bitwise_equal(&built, &loaded);
+        // Without a path the cache machinery is bypassed entirely.
+        let (_, status) = load_or_build(None, &ds, &emb, 1, None).unwrap();
+        assert_eq!(status, CacheStatus::Disabled);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fingerprints_are_order_and_instance_sensitive() {
+        let ds = dataset();
+        let emb = embeddings();
+        assert_eq!(dataset_fingerprint(&ds), dataset_fingerprint(&ds));
+        assert_eq!(embeddings_fingerprint(&emb), embeddings_fingerprint(&emb));
+        // Clone resets the fuzzy cache but not the contents: same print.
+        assert_eq!(embeddings_fingerprint(&emb), embeddings_fingerprint(&emb.clone()));
+    }
+}

@@ -55,6 +55,7 @@ pub mod blocking;
 pub mod calibration;
 pub mod cancel;
 pub mod cluster;
+pub mod feature_cache;
 pub mod fusion;
 pub mod importance;
 pub mod incremental;

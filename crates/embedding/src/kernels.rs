@@ -1,0 +1,254 @@
+//! Shared unrolled vector kernels for the featurization hot path.
+//!
+//! Every dense-vector loop along the instance→property→pair chain —
+//! embedding averaging in [`crate::store`], property aggregation in
+//! `leapme-features`, pair differencing, and the cosine similarities used
+//! by blocking and the semantic baselines — funnels through this one
+//! module so there is exactly one implementation of each arithmetic
+//! pattern to optimize and to prove correct.
+//!
+//! The elementwise kernels ([`add_assign`], [`axpy`], [`div_assign`],
+//! [`sub_abs`]) use the same fixed-width register-tile idiom as the
+//! matmul kernel in `leapme-nn/src/matrix.rs`: the body iterates over
+//! `[f32; LANES]` array views so the compiler sees compile-time-constant
+//! indices and keeps the tile in SIMD registers, with a scalar remainder
+//! loop for the tail. Because each output element depends only on the
+//! matching input elements, blocking does not reorder any floating-point
+//! operation — results are bitwise identical to the naive loops they
+//! replace, at every width.
+//!
+//! [`cosine`] is a *reduction*: unrolling it into multiple partial
+//! accumulators would reassociate the sums and change the result in the
+//! last ulp. Determinism (bitwise-reproducible scores, resumable
+//! training) outranks throughput here, so it keeps the single
+//! ascending-index `f64` accumulator chain the rest of the repo already
+//! relies on.
+
+/// Width of the fixed-size lane tile used by the elementwise kernels.
+///
+/// 16 `f32`s = one AVX-512 register or two AVX2 registers — wide enough
+/// that the compiler emits packed SIMD, small enough that the scalar
+/// remainder (at most `LANES - 1` elements) stays cheap for the short
+/// 8-element string-feature tails.
+pub const LANES: usize = 16;
+
+/// `acc[i] += x[i]` for all `i`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn add_assign(acc: &mut [f32], x: &[f32]) {
+    assert_eq!(acc.len(), x.len(), "kernel length mismatch");
+    let mut a = acc.chunks_exact_mut(LANES);
+    let mut b = x.chunks_exact(LANES);
+    for (at, xt) in (&mut a).zip(&mut b) {
+        let at: &mut [f32; LANES] = at.try_into().expect("tile width");
+        let xt: &[f32; LANES] = xt.try_into().expect("tile width");
+        for i in 0..LANES {
+            at[i] += xt[i];
+        }
+    }
+    for (o, &v) in a.into_remainder().iter_mut().zip(b.remainder()) {
+        *o += v;
+    }
+}
+
+/// `acc[i] += a * x[i]` for all `i` (the classic axpy update).
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn axpy(acc: &mut [f32], a: f32, x: &[f32]) {
+    assert_eq!(acc.len(), x.len(), "kernel length mismatch");
+    let mut ac = acc.chunks_exact_mut(LANES);
+    let mut xc = x.chunks_exact(LANES);
+    for (at, xt) in (&mut ac).zip(&mut xc) {
+        let at: &mut [f32; LANES] = at.try_into().expect("tile width");
+        let xt: &[f32; LANES] = xt.try_into().expect("tile width");
+        for i in 0..LANES {
+            at[i] += a * xt[i];
+        }
+    }
+    for (o, &v) in ac.into_remainder().iter_mut().zip(xc.remainder()) {
+        *o += a * v;
+    }
+}
+
+/// `v[i] /= d` for all `i`.
+///
+/// Division (not multiplication by a reciprocal) so the result stays
+/// bitwise identical to the scalar `x / n` averaging loops it replaces.
+pub fn div_assign(v: &mut [f32], d: f32) {
+    let mut c = v.chunks_exact_mut(LANES);
+    for vt in &mut c {
+        let vt: &mut [f32; LANES] = vt.try_into().expect("tile width");
+        for x in vt.iter_mut() {
+            *x /= d;
+        }
+    }
+    for o in c.into_remainder() {
+        *o /= d;
+    }
+}
+
+/// `out[i] = (a[i] - b[i]).abs()` for all `i` — the one subtraction
+/// kernel behind both `pair::vector_difference` and the flat pair-matrix
+/// fill path.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn sub_abs(out: &mut [f32], a: &[f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "kernel length mismatch");
+    assert_eq!(out.len(), a.len(), "kernel length mismatch");
+    let mut oc = out.chunks_exact_mut(LANES);
+    let mut ac = a.chunks_exact(LANES);
+    let mut bc = b.chunks_exact(LANES);
+    for ((ot, at), bt) in (&mut oc).zip(&mut ac).zip(&mut bc) {
+        let ot: &mut [f32; LANES] = ot.try_into().expect("tile width");
+        let at: &[f32; LANES] = at.try_into().expect("tile width");
+        let bt: &[f32; LANES] = bt.try_into().expect("tile width");
+        for i in 0..LANES {
+            ot[i] = (at[i] - bt[i]).abs();
+        }
+    }
+    for ((o, &x), &y) in oc
+        .into_remainder()
+        .iter_mut()
+        .zip(ac.remainder())
+        .zip(bc.remainder())
+    {
+        *o = (x - y).abs();
+    }
+}
+
+/// Cosine similarity between two vectors, accumulated in `f64`.
+///
+/// Kept as a single ascending-index accumulator chain — see the module
+/// docs for why this reduction must not be unrolled. Returns 0.0 when
+/// either vector has zero norm (the OOV-property convention from the
+/// paper: an all-zero embedding matches nothing).
+pub fn cosine(a: &[f32], b: &[f32]) -> f64 {
+    let mut dot = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let (x, y) = (f64::from(x), f64::from(y));
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na.sqrt() * nb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scalar references: the loops the kernels replaced.
+    fn add_assign_ref(acc: &mut [f32], x: &[f32]) {
+        for (o, &v) in acc.iter_mut().zip(x) {
+            *o += v;
+        }
+    }
+
+    fn sub_abs_ref(a: &[f32], b: &[f32]) -> Vec<f32> {
+        a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).collect()
+    }
+
+    fn vectors(len: usize, seed: u32) -> (Vec<f32>, Vec<f32>) {
+        // Deterministic awkward values: mix of signs, magnitudes, exact
+        // and inexact fractions.
+        let gen = |i: usize, salt: u32| -> f32 {
+            let h = (i as u32).wrapping_mul(2654435761).wrapping_add(salt ^ seed);
+            ((h % 2001) as f32 - 1000.0) / 7.0
+        };
+        (
+            (0..len).map(|i| gen(i, 0xA5A5)).collect(),
+            (0..len).map(|i| gen(i, 0x5A5A)).collect(),
+        )
+    }
+
+    #[test]
+    fn add_assign_matches_scalar_at_all_tail_widths() {
+        for len in 0..(3 * LANES + 3) {
+            let (a, b) = vectors(len, 1);
+            let mut fast = a.clone();
+            let mut slow = a.clone();
+            add_assign(&mut fast, &b);
+            add_assign_ref(&mut slow, &b);
+            assert_eq!(
+                fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                slow.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn axpy_matches_scalar_at_all_tail_widths() {
+        for len in 0..(3 * LANES + 3) {
+            let (a, b) = vectors(len, 2);
+            let mut fast = a.clone();
+            let mut slow = a.clone();
+            axpy(&mut fast, 0.37, &b);
+            for (o, &v) in slow.iter_mut().zip(&b) {
+                *o += 0.37 * v;
+            }
+            assert_eq!(
+                fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                slow.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn div_assign_matches_scalar_division() {
+        for len in 0..(3 * LANES + 3) {
+            let (a, _) = vectors(len, 3);
+            let mut fast = a.clone();
+            let mut slow = a;
+            div_assign(&mut fast, 3.0);
+            for o in slow.iter_mut() {
+                *o /= 3.0;
+            }
+            assert_eq!(
+                fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                slow.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn sub_abs_matches_scalar_at_all_tail_widths() {
+        for len in 0..(3 * LANES + 3) {
+            let (a, b) = vectors(len, 4);
+            let mut fast = vec![0.0f32; len];
+            sub_abs(&mut fast, &a, &b);
+            let slow = sub_abs_ref(&a, &b);
+            assert_eq!(
+                fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                slow.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert_eq!(cosine(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+        assert!((cosine(&[1.0, 2.0], &[2.0, 4.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel length mismatch")]
+    fn add_assign_length_mismatch_panics() {
+        add_assign(&mut [0.0; 3], &[0.0; 4]);
+    }
+}

@@ -43,6 +43,7 @@
 pub mod cooccur;
 pub mod eval;
 pub mod glove;
+pub mod kernels;
 pub mod store;
 pub mod tokenize;
 pub mod vocab;

@@ -97,26 +97,33 @@ impl EmbeddingStore {
             return None;
         }
         let mut cache = self.fuzzy_cache.lock().expect("no poisoning");
-        let matched = cache
-            .entry(word.to_string())
-            .or_insert_with(|| {
-                let max_dist = if len <= 6 { 1 } else { 2 };
-                let mut best: Option<(usize, &String)> = None;
-                for candidate in self.vectors.keys() {
-                    let clen = candidate.chars().count();
-                    if clen.abs_diff(len) > max_dist || clen < 4 {
-                        continue;
-                    }
-                    let d = leapme_textsim::levenshtein::distance(word, candidate);
-                    if d <= max_dist && best.map(|(bd, bw)| (d, candidate) < (bd, bw)).unwrap_or(true)
-                    {
-                        best = Some((d, candidate));
-                    }
-                }
-                best.map(|(_, w)| w.clone())
-            })
-            .clone();
-        matched.and_then(|w| self.vectors.get(&w).map(Vec::as_slice))
+        // Check with a borrowed key first: `entry` would allocate an
+        // owned `String` on every call, including steady-state cache
+        // hits, which is exactly the path the zero-allocation featurize
+        // loop runs hot.
+        if let Some(matched) = cache.get(word) {
+            return matched
+                .as_deref()
+                .and_then(|w| self.vectors.get(w).map(Vec::as_slice));
+        }
+        let max_dist = if len <= 6 { 1 } else { 2 };
+        let mut best: Option<(usize, &String)> = None;
+        for candidate in self.vectors.keys() {
+            let clen = candidate.chars().count();
+            if clen.abs_diff(len) > max_dist || clen < 4 {
+                continue;
+            }
+            let d = leapme_textsim::levenshtein::distance(word, candidate);
+            if d <= max_dist && best.map(|(bd, bw)| (d, candidate) < (bd, bw)).unwrap_or(true) {
+                best = Some((d, candidate));
+            }
+        }
+        let matched = best.map(|(_, w)| w.clone());
+        let resolved = matched
+            .as_deref()
+            .and_then(|w| self.vectors.get(w).map(Vec::as_slice));
+        cache.insert(word.to_string(), matched);
+        resolved
     }
 
     /// Embedding dimensionality.
@@ -174,21 +181,52 @@ impl EmbeddingStore {
         }
         for t in tokens {
             if let Some(v) = self.resolve(t) {
-                for (a, &x) in acc.iter_mut().zip(v) {
-                    *a += x;
-                }
+                crate::kernels::add_assign(&mut acc, v);
             }
         }
-        let n = tokens.len() as f32;
-        for a in &mut acc {
-            *a /= n;
-        }
+        crate::kernels::div_assign(&mut acc, tokens.len() as f32);
         acc
     }
 
     /// Tokenize `text` with the crate tokenizer and average the embeddings.
+    ///
+    /// This is the allocating reference path; the hot loops use
+    /// [`EmbeddingStore::average_text_into`], which is bitwise identical.
     pub fn average_text(&self, text: &str) -> Vec<f32> {
         self.average(&tokenize(text))
+    }
+
+    /// Zero-allocation counterpart of [`EmbeddingStore::average_text`]:
+    /// stream tokens through [`crate::tokenize::for_each_token`] and
+    /// accumulate directly into `out` (length must equal the store
+    /// dimension). Same token order, same sum-then-divide arithmetic —
+    /// bitwise identical to the reference path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.dim()`.
+    pub fn average_text_into(&self, text: &str, out: &mut [f32]) {
+        assert_eq!(out.len(), self.dim, "output length != embedding dim");
+        out.fill(0.0);
+        let mut n = 0usize;
+        crate::tokenize::for_each_token(text, |t| {
+            n += 1;
+            if let Some(v) = self.resolve(t) {
+                crate::kernels::add_assign(out, v);
+            }
+        });
+        if n > 0 {
+            crate::kernels::div_assign(out, n as f32);
+        }
+    }
+
+    /// Iterate over every stored `(word, vector)` entry in the map's
+    /// (arbitrary) iteration order. Used by the feature-cache
+    /// fingerprint, which combines per-entry hashes order-independently.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[f32])> {
+        self.vectors
+            .iter()
+            .map(|(w, v)| (w.as_str(), v.as_slice()))
     }
 
     /// Cosine similarity between the vectors of two words, if both known.
@@ -280,21 +318,12 @@ impl EmbeddingStore {
 }
 
 /// Cosine similarity of two equal-length vectors, `0.0` if either is zero.
+///
+/// Delegates to the shared kernel module so blocking, the semantic
+/// baselines and the store all use the same deterministic reduction.
 pub fn cosine(a: &[f32], b: &[f32]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    let mut dot = 0.0f64;
-    let mut na = 0.0f64;
-    let mut nb = 0.0f64;
-    for (&x, &y) in a.iter().zip(b) {
-        dot += x as f64 * y as f64;
-        na += (x as f64).powi(2);
-        nb += (y as f64).powi(2);
-    }
-    if na == 0.0 || nb == 0.0 {
-        0.0
-    } else {
-        dot / (na.sqrt() * nb.sqrt())
-    }
+    crate::kernels::cosine(a, b)
 }
 
 #[cfg(test)]
@@ -473,5 +502,47 @@ mod tests {
     fn exact_get_never_fuzzes() {
         let s = fuzzy_store();
         assert!(s.get("resoluiton").is_none());
+    }
+
+    #[test]
+    fn average_text_into_matches_reference_bitwise() {
+        for store in [sample(), fuzzy_store()] {
+            for text in [
+                "",
+                "Camera photo",
+                "camera zzz unknownWord",
+                "resoluiton batery",
+                "20.1 MP résolution café",
+                "!!! ---",
+            ] {
+                let reference = store.average_text(text);
+                let mut fused = vec![7.0f32; store.dim()];
+                store.average_text_into(text, &mut fused);
+                assert_eq!(
+                    fused.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "store dim {} text {text:?}",
+                    store.dim()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output length != embedding dim")]
+    fn average_text_into_rejects_wrong_length() {
+        let mut out = [0.0f32; 2];
+        sample().average_text_into("camera", &mut out);
+    }
+
+    #[test]
+    fn iter_visits_every_entry() {
+        let s = sample();
+        let mut words: Vec<&str> = s.iter().map(|(w, _)| w).collect();
+        words.sort_unstable();
+        assert_eq!(words, vec!["battery", "camera", "photo"]);
+        for (_, v) in s.iter() {
+            assert_eq!(v.len(), s.dim());
+        }
     }
 }

@@ -12,6 +12,74 @@
 //! 3. splits letter↔digit boundaries (`20mp` → `20`, `mp`),
 //! 4. lowercases everything (the paper uses the *uncased* GloVe corpus).
 
+use std::cell::Cell;
+
+thread_local! {
+    /// Reused token-assembly buffer for [`for_each_token`]. Take/put via
+    /// `Cell` (not `RefCell`) so a re-entrant call simply falls back to a
+    /// fresh `String` instead of panicking.
+    static TOKEN_BUF: Cell<String> = const { Cell::new(String::new()) };
+}
+
+/// Flush the accumulated token through `f`, lowercased, then clear `buf`.
+///
+/// ASCII tokens (the overwhelming majority in product data) are
+/// lowercased in place; only non-ASCII tokens take the allocating
+/// `str::to_lowercase` path, which must stay because per-char
+/// lowercasing is *not* equivalent (e.g. Greek final sigma depends on
+/// word position, and some characters lowercase to multiple chars).
+fn flush(buf: &mut String, f: &mut dyn FnMut(&str)) {
+    if buf.is_empty() {
+        return;
+    }
+    if buf.is_ascii() {
+        buf.make_ascii_lowercase();
+        f(buf);
+    } else {
+        let lowered = buf.to_lowercase();
+        f(&lowered);
+    }
+    buf.clear();
+}
+
+/// Call `f` once per lowercase token of `text`, in order, without
+/// allocating per token — the streaming core under [`tokenize`],
+/// [`tokenize_words`] and `EmbeddingStore::average_text_into`.
+///
+/// The `&str` passed to `f` borrows a thread-local scratch buffer and is
+/// only valid for the duration of the call.
+///
+/// ```
+/// use leapme_embedding::tokenize::for_each_token;
+/// let mut out = Vec::new();
+/// for_each_token("cameraResolution 20.1MP", |t| out.push(t.to_string()));
+/// assert_eq!(out, vec!["camera", "resolution", "20", "1", "mp"]);
+/// ```
+pub fn for_each_token(text: &str, mut f: impl FnMut(&str)) {
+    let mut current = TOKEN_BUF.take();
+    current.clear();
+    let mut prev: Option<char> = None;
+
+    for c in text.chars() {
+        if !c.is_alphanumeric() {
+            flush(&mut current, &mut f);
+            prev = None;
+            continue;
+        }
+        if let Some(p) = prev {
+            let camel = p.is_lowercase() && c.is_uppercase();
+            let letter_digit = p.is_alphabetic() != c.is_alphabetic();
+            if camel || letter_digit {
+                flush(&mut current, &mut f);
+            }
+        }
+        current.push(c);
+        prev = Some(c);
+    }
+    flush(&mut current, &mut f);
+    TOKEN_BUF.set(current);
+}
+
 /// Tokenize `text` into lowercase word/number tokens.
 ///
 /// # Examples
@@ -25,56 +93,83 @@
 /// ```
 pub fn tokenize(text: &str) -> Vec<String> {
     let mut tokens = Vec::new();
-    let mut current = String::new();
-    let mut prev: Option<char> = None;
-
-    let flush = |buf: &mut String, out: &mut Vec<String>| {
-        if !buf.is_empty() {
-            out.push(buf.to_lowercase());
-            buf.clear();
-        }
-    };
-
-    for c in text.chars() {
-        if !c.is_alphanumeric() {
-            flush(&mut current, &mut tokens);
-            prev = None;
-            continue;
-        }
-        if let Some(p) = prev {
-            let camel = p.is_lowercase() && c.is_uppercase();
-            let letter_digit = p.is_alphabetic() != c.is_alphabetic();
-            if camel || letter_digit {
-                flush(&mut current, &mut tokens);
-            }
-        }
-        current.push(c);
-        prev = Some(c);
-    }
-    flush(&mut current, &mut tokens);
+    for_each_token(text, |t| tokens.push(t.to_string()));
     tokens
 }
 
 /// Tokenize and keep only alphabetic tokens (drops pure numbers).
 ///
 /// Useful for embedding lookups where numerals carry no distributional
-/// semantics in a small trained vocabulary.
+/// semantics in a small trained vocabulary. Filters during the streaming
+/// pass — no intermediate full token `Vec`.
 ///
 /// ```
 /// use leapme_embedding::tokenize::tokenize_words;
 /// assert_eq!(tokenize_words("20.1 MP sensor"), vec!["mp", "sensor"]);
 /// ```
 pub fn tokenize_words(text: &str) -> Vec<String> {
-    tokenize(text)
-        .into_iter()
-        .filter(|t| t.chars().any(|c| c.is_alphabetic()))
-        .collect()
+    let mut tokens = Vec::new();
+    for_each_token(text, |t| {
+        if t.chars().any(|c| c.is_alphabetic()) {
+            tokens.push(t.to_string());
+        }
+    });
+    tokens
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    /// The pre-fast-path implementation, kept verbatim as the oracle for
+    /// the streaming tokenizer.
+    fn tokenize_reference(text: &str) -> Vec<String> {
+        let mut tokens = Vec::new();
+        let mut current = String::new();
+        let mut prev: Option<char> = None;
+
+        let flush = |buf: &mut String, out: &mut Vec<String>| {
+            if !buf.is_empty() {
+                out.push(buf.to_lowercase());
+                buf.clear();
+            }
+        };
+
+        for c in text.chars() {
+            if !c.is_alphanumeric() {
+                flush(&mut current, &mut tokens);
+                prev = None;
+                continue;
+            }
+            if let Some(p) = prev {
+                let camel = p.is_lowercase() && c.is_uppercase();
+                let letter_digit = p.is_alphabetic() != c.is_alphabetic();
+                if camel || letter_digit {
+                    flush(&mut current, &mut tokens);
+                }
+            }
+            current.push(c);
+            prev = Some(c);
+        }
+        flush(&mut current, &mut tokens);
+        tokens
+    }
+
+    #[test]
+    fn streaming_matches_reference_on_tricky_cases() {
+        for s in [
+            "",
+            "cameraResolution",
+            "20.1 MP",
+            "ΣΊΣΥΦΟΣ net",      // uppercase final sigma: to_lowercase is positional
+            "İstanbul",          // dotted capital I lowercases to two chars
+            "résolution café 4k",
+            "ẞ groß",
+        ] {
+            assert_eq!(tokenize(s), tokenize_reference(s), "input {s:?}");
+        }
+    }
 
     #[test]
     fn splits_camel_case() {
@@ -116,6 +211,20 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn streaming_matches_reference(s in ".{0,60}") {
+            prop_assert_eq!(tokenize(&s), tokenize_reference(&s));
+        }
+
+        #[test]
+        fn words_filter_matches_two_pass(s in ".{0,60}") {
+            let two_pass: Vec<String> = tokenize(&s)
+                .into_iter()
+                .filter(|t| t.chars().any(|c| c.is_alphabetic()))
+                .collect();
+            prop_assert_eq!(tokenize_words(&s), two_pass);
+        }
+
         #[test]
         fn tokens_are_lowercase_alphanumeric(s in ".{0,40}") {
             for t in tokenize(&s) {

@@ -33,7 +33,9 @@ pub const NAMES: [&str; CATEGORIES] = [
 const ASCII_PUNCT: &str = "!\"#%&'()*,-./:;?@[\\]_{}";
 const ASCII_SYM: &str = "$+<=>^`|~";
 
-fn classify(c: char) -> usize {
+/// The full Unicode classifier — the cold path for non-ASCII characters
+/// and the oracle the LUT below is tested against.
+fn classify_unicode(c: char) -> usize {
     if c.is_alphabetic() {
         if c.is_uppercase() {
             0
@@ -57,6 +59,63 @@ fn classify(c: char) -> usize {
     }
 }
 
+const fn str_contains_byte(s: &str, b: u8) -> bool {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Compile-time category of one ASCII byte, mirroring the predicate
+/// chain of `classify_unicode` restricted to `0..128`: no ASCII char is
+/// a caseless letter (2) or a combining mark (3), and the ASCII
+/// whitespace set is exactly `' '`, `\t`, `\n`, `\x0B`, `\x0C`, `\r`.
+const fn ascii_category(b: u8) -> u8 {
+    if b.is_ascii_uppercase() {
+        0
+    } else if b.is_ascii_lowercase() {
+        1
+    } else if b.is_ascii_digit() {
+        4
+    } else if str_contains_byte(ASCII_PUNCT, b) {
+        5
+    } else if str_contains_byte(ASCII_SYM, b) {
+        6
+    } else if matches!(b, b' ' | b'\t' | b'\n' | 0x0B | 0x0C | b'\r') {
+        7
+    } else {
+        8
+    }
+}
+
+/// Table-driven classification for the ASCII range: one load instead of
+/// a chain of Unicode predicate calls and two substring scans.
+/// Equivalence with `classify_unicode` over all 256 byte values is
+/// proven exhaustively in the tests.
+const ASCII_TABLE: [u8; 128] = {
+    let mut table = [0u8; 128];
+    let mut i = 0;
+    while i < 128 {
+        table[i] = ascii_category(i as u8);
+        i += 1;
+    }
+    table
+};
+
+fn classify(c: char) -> usize {
+    let u = c as u32;
+    if u < 128 {
+        ASCII_TABLE[u as usize] as usize
+    } else {
+        classify_unicode(c)
+    }
+}
+
 /// Extract the 18 character-type features of `text`.
 ///
 /// Layout: `[count_0, …, count_8, fraction_0, …, fraction_8]` in
@@ -67,13 +126,27 @@ fn classify(c: char) -> usize {
 pub fn extract(text: &str) -> [f32; LEN] {
     let mut counts = [0f32; CATEGORIES];
     let mut total = 0usize;
-    for c in text.chars() {
-        total += 1;
-        let cat = classify(c);
-        counts[cat] += 1.0;
-        // Upper/lower also count as "letters".
-        if cat == 0 || cat == 1 {
-            counts[2] += 1.0;
+    if text.is_ascii() {
+        // Byte loop + table lookup; one char per byte by definition.
+        // Counts stay f32 increments in the same order as the generic
+        // path, so the result is bitwise identical.
+        for &b in text.as_bytes() {
+            total += 1;
+            let cat = ASCII_TABLE[b as usize] as usize;
+            counts[cat] += 1.0;
+            if cat == 0 || cat == 1 {
+                counts[2] += 1.0;
+            }
+        }
+    } else {
+        for c in text.chars() {
+            total += 1;
+            let cat = classify(c);
+            counts[cat] += 1.0;
+            // Upper/lower also count as "letters".
+            if cat == 0 || cat == 1 {
+                counts[2] += 1.0;
+            }
         }
     }
     let mut out = [0f32; LEN];
@@ -157,7 +230,70 @@ mod tests {
         assert_eq!(all, 3.0); // 日 is a caseless letter
     }
 
+    /// The pre-LUT extractor, kept as the oracle: always takes the
+    /// per-char Unicode classifier path.
+    fn extract_reference(text: &str) -> [f32; LEN] {
+        let mut counts = [0f32; CATEGORIES];
+        let mut total = 0usize;
+        for c in text.chars() {
+            total += 1;
+            let cat = classify_unicode(c);
+            counts[cat] += 1.0;
+            if cat == 0 || cat == 1 {
+                counts[2] += 1.0;
+            }
+        }
+        let mut out = [0f32; LEN];
+        out[..CATEGORIES].copy_from_slice(&counts);
+        if total > 0 {
+            let t = total as f32;
+            for i in 0..CATEGORIES {
+                out[CATEGORIES + i] = counts[i] / t;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn lut_matches_unicode_classifier_exhaustively() {
+        // All of 0..=255: the ASCII half exercises the table itself, the
+        // Latin-1 half proves the `< 128` gate routes everything else to
+        // the Unicode classifier.
+        for u in 0u32..=255 {
+            let c = char::from_u32(u).unwrap();
+            assert_eq!(
+                classify(c),
+                classify_unicode(c),
+                "codepoint U+{u:04X} ({c:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn ascii_byte_loop_matches_reference() {
+        for s in ["", "20.1 MP", "Nikon D750, 24MP!", "$99+", "a,b.c", "\t\n\x0B\x0C\r "] {
+            assert_eq!(extract(s), extract_reference(s), "input {s:?}");
+        }
+    }
+
     proptest! {
+        #[test]
+        fn lut_matches_unicode_classifier_on_arbitrary_chars(s in ".{0,40}") {
+            for c in s.chars() {
+                prop_assert_eq!(classify(c), classify_unicode(c), "char {:?}", c);
+            }
+        }
+
+        #[test]
+        fn extract_matches_reference_on_arbitrary_strings(s in ".{0,60}") {
+            let fast = extract(&s);
+            let slow = extract_reference(&s);
+            for i in 0..LEN {
+                prop_assert_eq!(fast[i].to_bits(), slow[i].to_bits(),
+                                "index {} on {:?}", i, s);
+            }
+        }
+
         #[test]
         fn counts_bounded_by_length(s in ".{0,40}") {
             let f = extract(&s);

@@ -28,8 +28,14 @@ pub fn numeric_value(text: &str) -> f64 {
     if t.is_empty() {
         return -1.0;
     }
-    let cleaned: String = t.replace(',', "");
-    match cleaned.parse::<f64>() {
+    // Only comma-bearing values (a small minority) pay for the cleaned
+    // copy; `replace` on a comma-free string is the identity.
+    let parsed = if t.contains(',') {
+        t.replace(',', "").parse::<f64>()
+    } else {
+        t.parse::<f64>()
+    };
+    match parsed {
         Ok(v) if v.is_finite() => v,
         _ => -1.0,
     }
@@ -43,6 +49,23 @@ pub fn numeric_value(text: &str) -> f64 {
 /// a finite but huge `f64` (e.g. `1e308`) would overflow the `f32` cast to
 /// `Inf` and, after a pair difference, poison training with `NaN`.
 pub fn extract(value: &str, embeddings: &EmbeddingStore) -> Vec<f32> {
+    let mut out = vec![0.0f32; len(embeddings.dim())];
+    extract_into(value, embeddings, &mut out);
+    out
+}
+
+/// Write the instance feature vector of one value into `out` without
+/// allocating — the hot counterpart of [`extract`], which wraps it.
+///
+/// # Panics
+///
+/// Panics if `out.len() != len(embeddings.dim())`.
+pub fn extract_into(value: &str, embeddings: &EmbeddingStore, out: &mut [f32]) {
+    assert_eq!(
+        out.len(),
+        len(embeddings.dim()),
+        "instance vector length mismatch"
+    );
     let max = crate::vectorizer::MAX_ABS_FEATURE as f64;
     #[allow(unused_mut)]
     let mut numeric = numeric_value(value).clamp(-max, max) as f32;
@@ -55,12 +78,10 @@ pub fn extract(value: &str, embeddings: &EmbeddingStore) -> Vec<f32> {
         Some(leapme_faults::FaultKind::Oversize) => numeric = 1e30,
         _ => {}
     }
-    let mut out = Vec::with_capacity(len(embeddings.dim()));
-    out.extend_from_slice(&chars::extract(value));
-    out.extend_from_slice(&tokens::extract(value));
-    out.push(numeric);
-    out.extend(embeddings.average_text(value));
-    out
+    out[..chars::LEN].copy_from_slice(&chars::extract(value));
+    out[chars::LEN..chars::LEN + tokens::LEN].copy_from_slice(&tokens::extract(value));
+    out[EMBEDDING_OFFSET - 1] = numeric;
+    embeddings.average_text_into(value, &mut out[EMBEDDING_OFFSET..]);
 }
 
 /// Column index where the embedding block starts.
@@ -169,5 +190,83 @@ mod tests {
         assert_eq!(v[EMBEDDING_OFFSET - 1], -1.0);
         assert!(v[..EMBEDDING_OFFSET - 1].iter().all(|&x| x == 0.0));
         assert!(v[EMBEDDING_OFFSET..].iter().all(|&x| x == 0.0));
+    }
+
+    /// The pre-fusion composition, kept as the oracle: separate block
+    /// extraction plus the allocating `average_text` reference path.
+    fn extract_reference(value: &str, embeddings: &EmbeddingStore) -> Vec<f32> {
+        let max = crate::vectorizer::MAX_ABS_FEATURE as f64;
+        let numeric = numeric_value(value).clamp(-max, max) as f32;
+        let mut out = Vec::with_capacity(len(embeddings.dim()));
+        out.extend_from_slice(&chars::extract(value));
+        out.extend_from_slice(&tokens::extract(value));
+        out.push(numeric);
+        out.extend(embeddings.average_text(value));
+        out
+    }
+
+    fn assert_bitwise_eq(a: &[f32], b: &[f32], context: &str) {
+        assert_eq!(a.len(), b.len(), "{context}");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "index {i}: {context}");
+        }
+    }
+
+    #[test]
+    fn extract_into_matches_reference_on_tricky_values() {
+        let s = store();
+        for value in [
+            "",
+            "20.1 MP",
+            "1,299.99",
+            "megapixels MP mp",
+            "résolution café 4k",
+            "ΣΊΣΥΦΟΣ 12",
+            "1e308",
+        ] {
+            let reference = extract_reference(value, &s);
+            let mut fused = vec![9.0f32; len(s.dim())];
+            extract_into(value, &s, &mut fused);
+            assert_bitwise_eq(&fused, &reference, value);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "instance vector length mismatch")]
+    fn extract_into_rejects_wrong_length() {
+        let mut out = vec![0.0f32; 3];
+        extract_into("x", &store(), &mut out);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn full_instance_vector_matches_reference(value in ".{0,60}") {
+                let s = store();
+                let reference = extract_reference(&value, &s);
+                let mut fused = vec![9.0f32; len(s.dim())];
+                extract_into(&value, &s, &mut fused);
+                assert_bitwise_eq(&fused, &reference, &value);
+            }
+
+            #[test]
+            fn numeric_value_comma_guard_is_identity(value in "[0-9.,eE+-]{0,12}") {
+                // The comma fast path must agree with unconditional
+                // comma-stripping on every input shape.
+                let cleaned: String = value.trim().replace(',', "");
+                let expected = if value.trim().is_empty() {
+                    -1.0
+                } else {
+                    match cleaned.parse::<f64>() {
+                        Ok(v) if v.is_finite() => v,
+                        _ => -1.0,
+                    }
+                };
+                prop_assert_eq!(numeric_value(&value).to_bits(), expected.to_bits());
+            }
+        }
     }
 }

@@ -31,10 +31,12 @@ pub mod config;
 pub mod instance;
 pub mod pair;
 pub mod property;
+pub mod scratch;
 pub mod tokens;
 pub mod vectorizer;
 
 pub use config::{FeatureConfig, FeatureKind, FeatureScope};
+pub use scratch::{with_scratch, FeatureScratch};
 pub use vectorizer::{
     worker_threads, CancelCheck, DegradationReport, PairKeys, PropertyFeatureStore, SanitizeStats,
     MAX_ABS_FEATURE,

@@ -30,12 +30,28 @@ pub fn len(dim: usize) -> usize {
 /// the two properties"; we use the absolute difference so the feature is
 /// symmetric in the pair order (pairs are unordered, §III).
 ///
+/// Allocating wrapper around [`vector_difference_into`].
+///
 /// # Panics
 ///
 /// Panics if the vectors have different lengths.
 pub fn vector_difference(a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; a.len()];
+    vector_difference_into(&mut out, a, b);
+    out
+}
+
+/// Write `|a - b|` into `out` through the one shared subtraction kernel
+/// ([`leapme_embedding::kernels::sub_abs`]) — the same kernel the flat
+/// pair-matrix fill path uses, so there is exactly one implementation of
+/// the pair-difference arithmetic.
+///
+/// # Panics
+///
+/// Panics if the three slices have different lengths.
+pub fn vector_difference_into(out: &mut [f32], a: &[f32], b: &[f32]) {
     assert_eq!(a.len(), b.len(), "property vector length mismatch");
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).collect()
+    leapme_embedding::kernels::sub_abs(out, a, b);
 }
 
 /// Normalize a property name for string comparison: lowercase, split on
@@ -51,13 +67,18 @@ pub fn normalize_name(name: &str) -> String {
 /// The eight name string-distance features, computed on normalized names,
 /// as `f32`.
 pub fn string_features(name_a: &str, name_b: &str) -> [f32; STRING_FEATURES] {
+    string_features_prenormalized(&normalize_name(name_a), &normalize_name(name_b))
+}
+
+/// [`string_features`] for names that are *already* [`normalize_name`]d.
+///
+/// The feature store normalizes each distinct property name once at build
+/// time and feeds the stored form here, instead of re-tokenizing both
+/// names on every uncached pair; passing raw names changes the result,
+/// so callers outside the store should use [`string_features`].
+pub fn string_features_prenormalized(norm_a: &str, norm_b: &str) -> [f32; STRING_FEATURES] {
     let d = DISTANCE_SCRATCH.with(|scratch| {
-        StringDistances::compute_with(
-            &normalize_name(name_a),
-            &normalize_name(name_b),
-            &mut scratch.borrow_mut(),
-        )
-        .as_array()
+        StringDistances::compute_with(norm_a, norm_b, &mut scratch.borrow_mut()).as_array()
     });
     let mut out = [0f32; STRING_FEATURES];
     for (o, v) in out.iter_mut().zip(d) {

@@ -6,6 +6,8 @@
 //! `29 + 2D` total (`629` at the paper's `D = 300`).
 
 use crate::instance;
+use crate::scratch::FeatureScratch;
+use leapme_embedding::kernels;
 use leapme_embedding::store::EmbeddingStore;
 
 /// Total property-feature length for embedding dimension `dim`.
@@ -61,6 +63,44 @@ pub fn from_values(name: &str, values: &[&str], embeddings: &EmbeddingStore) -> 
         .map(|v| instance::extract(v, embeddings))
         .collect();
     aggregate(name, &vectors, embeddings)
+}
+
+/// Fused zero-allocation property extraction: stream each value through
+/// [`instance::extract_into`] into the scratch buffer and accumulate the
+/// running sum directly in `out`, then divide and append the name
+/// embedding — no per-value `Vec`, no intermediate vector-of-vectors.
+///
+/// Bitwise identical to extract-all-then-[`aggregate`]: same value
+/// order, same elementwise sum-then-divide, same name-embedding path
+/// (proven by the oracle tests and the vectorizer's thread-sweep and
+/// proptest suites).
+///
+/// # Panics
+///
+/// Panics if `out.len() != len(embeddings.dim())`.
+pub fn aggregate_values_into<'a>(
+    name: &str,
+    values: impl Iterator<Item = &'a str>,
+    embeddings: &EmbeddingStore,
+    scratch: &mut FeatureScratch,
+    out: &mut [f32],
+) {
+    let dim = embeddings.dim();
+    let ilen = instance::len(dim);
+    assert_eq!(out.len(), len(dim), "property vector length mismatch");
+    let (avg_block, name_block) = out.split_at_mut(ilen);
+    avg_block.fill(0.0);
+    let mut n = 0usize;
+    let buf = scratch.instance_buf(ilen);
+    for value in values {
+        n += 1;
+        instance::extract_into(value, embeddings, buf);
+        kernels::add_assign(avg_block, buf);
+    }
+    if n > 0 {
+        kernels::div_assign(avg_block, n as f32);
+    }
+    embeddings.average_text_into(name, name_block);
 }
 
 #[cfg(test)]
@@ -120,5 +160,35 @@ mod tests {
     fn rejects_ragged_instance_vectors() {
         let s = store();
         aggregate("x", &[vec![0.0; 3]], &s);
+    }
+
+    #[test]
+    fn fused_aggregation_matches_reference_bitwise() {
+        let s = store();
+        let cases: &[(&str, &[&str])] = &[
+            ("resolution", &["10", "20", "20.1 MP"]),
+            ("mp count", &[]),
+            ("résolution", &["café", "1,299.99"]),
+            ("x", &["", "   ", "!!!"]),
+        ];
+        for (name, values) in cases {
+            let reference = from_values(name, values, &s);
+            let mut fused = vec![5.0f32; len(s.dim())];
+            let mut scratch = FeatureScratch::new();
+            aggregate_values_into(name, values.iter().copied(), &s, &mut scratch, &mut fused);
+            assert_eq!(
+                fused.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "property {name:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property vector length mismatch")]
+    fn fused_aggregation_rejects_wrong_length() {
+        let s = store();
+        let mut out = vec![0.0f32; 3];
+        aggregate_values_into("x", std::iter::empty(), &s, &mut FeatureScratch::new(), &mut out);
     }
 }

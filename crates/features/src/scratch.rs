@@ -1,0 +1,88 @@
+//! Thread-local scratch buffers for the fused featurize path.
+//!
+//! The fused property extractor ([`crate::property::aggregate_values_into`])
+//! needs one instance-vector-sized buffer per in-flight extraction. Rather
+//! than threading a workspace parameter through every caller (the feature
+//! build runs on scoped worker threads with plain closures), each thread
+//! borrows a [`FeatureScratch`] via [`with_scratch`] and hands it back when
+//! done. The buffer lives as long as the thread, so steady-state featurize
+//! calls perform no allocations at all (see the alloc-count regression
+//! tests in the workspace root).
+
+use std::cell::Cell;
+
+/// Reusable per-thread buffers for feature extraction.
+///
+/// Obtained through [`with_scratch`]; the struct is public so tests and
+/// benchmarks can also drive the fused extractors with a local instance.
+#[derive(Debug, Default)]
+pub struct FeatureScratch {
+    /// Instance-vector accumulation buffer (`instance::len(dim)` floats).
+    instance: Vec<f32>,
+}
+
+impl FeatureScratch {
+    /// A scratch with empty buffers; they grow on first use and are then
+    /// reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The instance buffer, resized (zero-filled) to exactly `len`.
+    ///
+    /// Contents are unspecified on entry — callers overwrite the whole
+    /// slice.
+    pub fn instance_buf(&mut self, len: usize) -> &mut [f32] {
+        self.instance.resize(len, 0.0);
+        &mut self.instance[..len]
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch, handed out via take/put (`Cell`, not
+    /// `RefCell`) so a re-entrant [`with_scratch`] call gets a fresh
+    /// scratch instead of panicking.
+    static SCRATCH: Cell<Option<FeatureScratch>> = const { Cell::new(None) };
+}
+
+/// Run `f` with this thread's [`FeatureScratch`].
+///
+/// The scratch (and its grown buffers) is returned to thread-local
+/// storage afterwards, so repeated calls on the same thread reuse the
+/// same allocations.
+pub fn with_scratch<R>(f: impl FnOnce(&mut FeatureScratch) -> R) -> R {
+    let mut scratch = SCRATCH.take().unwrap_or_default();
+    let result = f(&mut scratch);
+    SCRATCH.set(Some(scratch));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_resizes_and_is_reused() {
+        with_scratch(|s| {
+            let buf = s.instance_buf(8);
+            assert_eq!(buf.len(), 8);
+            buf[0] = 1.0;
+        });
+        with_scratch(|s| {
+            // Same thread → same underlying buffer (contents unspecified
+            // but capacity retained); shrinking works too.
+            assert_eq!(s.instance_buf(3).len(), 3);
+        });
+    }
+
+    #[test]
+    fn reentrant_calls_do_not_panic() {
+        with_scratch(|outer| {
+            outer.instance_buf(4)[0] = 1.0;
+            with_scratch(|inner| {
+                inner.instance_buf(4)[0] = 2.0;
+            });
+            assert_eq!(outer.instance_buf(4).len(), 4);
+        });
+    }
+}

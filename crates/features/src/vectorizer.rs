@@ -27,6 +27,7 @@
 use crate::config::FeatureConfig;
 use crate::{instance, pair, property};
 use leapme_data::model::{Dataset, PropertyKey, PropertyPair};
+use leapme_embedding::kernels;
 use leapme_embedding::store::EmbeddingStore;
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -236,8 +237,8 @@ impl StringCache {
         &self,
         id_a: u32,
         id_b: u32,
-        name_a: &str,
-        name_b: &str,
+        norm_a: &str,
+        norm_b: &str,
     ) -> [f32; pair::STRING_FEATURES] {
         let key = if id_a <= id_b { (id_a, id_b) } else { (id_b, id_a) };
         let shard = &self.shards[Self::shard_of(key)];
@@ -248,8 +249,10 @@ impl StringCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         // Compute outside any lock; distances are symmetric, so the
         // argument order does not matter and concurrent duplicate
-        // computations insert the same value.
-        let v = pair::string_features(name_a, name_b);
+        // computations insert the same value. The caller hands over the
+        // build-time normalized forms, so the miss path skips the
+        // per-call tokenize-and-join of both names.
+        let v = pair::string_features_prenormalized(norm_a, norm_b);
         shard.write().insert(key, v);
         v
     }
@@ -262,6 +265,9 @@ pub struct PropertyFeatureStore {
     features: HashMap<PropertyKey, Vec<f32>>,
     /// Distinct property names → dense id, fixed at build time.
     name_ids: HashMap<String, u32>,
+    /// [`pair::normalize_name`] of each interned name, indexed by id —
+    /// normalized once here so string-cache misses skip re-tokenizing.
+    normalized_names: Vec<String>,
     string_cache: StringCache,
     /// Repairs made by the build-time numeric-hygiene pass.
     sanitize: SanitizeStats,
@@ -327,14 +333,25 @@ impl PropertyFeatureStore {
             return Err(FeatureError::Cancelled);
         }
         let keys: Vec<PropertyKey> = dataset.properties();
+        let plen = property::len(embeddings.dim());
 
+        // Fused extraction: each property streams its values through the
+        // thread-local scratch straight into its one output vector — no
+        // per-value `Vec`, no vector-of-vectors (bitwise identical to the
+        // extract-then-aggregate reference, see property.rs oracles).
         let extract_one = |key: &PropertyKey| -> Vec<f32> {
             let instances = dataset.instances_of(key);
-            let vectors: Vec<Vec<f32>> = instances
-                .iter()
-                .map(|inst| instance::extract(&inst.value, embeddings))
-                .collect();
-            property::aggregate(&key.name, &vectors, embeddings)
+            let mut pf = vec![0.0f32; plen];
+            crate::scratch::with_scratch(|scratch| {
+                property::aggregate_values_into(
+                    &key.name,
+                    instances.iter().map(|inst| inst.value.as_str()),
+                    embeddings,
+                    scratch,
+                    &mut pf,
+                );
+            });
+            pf
         };
 
         let mut features = HashMap::with_capacity(keys.len());
@@ -415,11 +432,35 @@ impl PropertyFeatureStore {
             sanitize_vec(v, &mut sanitize);
         }
 
+        Ok(Self::from_parts(embeddings.dim(), features, sanitize))
+    }
+
+    /// Assemble a store from a complete (already sanitized) feature map —
+    /// the shared tail of the build path and the feature-cache load path.
+    /// Recomputes the degradation report and the interned name table from
+    /// the map, so a cache round-trip reconstructs exactly the state a
+    /// fresh build would produce (with an empty string-distance cache;
+    /// distances are recomputed deterministically on demand).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vector's length differs from the property-feature
+    /// length for `dim` (the cache codec validates lengths first).
+    pub fn from_parts(
+        dim: usize,
+        features: HashMap<PropertyKey, Vec<f32>>,
+        sanitize: SanitizeStats,
+    ) -> Self {
+        let plen = property::len(dim);
+        for v in features.values() {
+            assert_eq!(v.len(), plen, "property vector length mismatch");
+        }
+
         // Degraded-mode detection: embedding-derived columns span
         // [29, 29 + 2D) of the property vector (instance-embedding
         // average, then name embedding). All-zero ⇒ the property will be
         // scored from non-embedding features alone.
-        let emb_range = instance::EMBEDDING_OFFSET..property::len(embeddings.dim());
+        let emb_range = instance::EMBEDDING_OFFSET..plen;
         let mut degraded: Vec<PropertyKey> = features
             .iter()
             .filter(|(_, v)| v[emb_range.clone()].iter().all(|&x| x == 0.0))
@@ -436,20 +477,29 @@ impl PropertyFeatureStore {
         let mut names: Vec<&str> = features.keys().map(|k| k.name.as_str()).collect();
         names.sort_unstable();
         names.dedup();
+        let normalized_names = names.iter().map(|n| pair::normalize_name(n)).collect();
         let name_ids = names
             .into_iter()
             .enumerate()
             .map(|(i, n)| (n.to_string(), i as u32))
             .collect();
 
-        Ok(PropertyFeatureStore {
-            dim: embeddings.dim(),
+        PropertyFeatureStore {
+            dim,
             features,
             name_ids,
+            normalized_names,
             string_cache: StringCache::new(),
             sanitize,
             degradation,
-        })
+        }
+    }
+
+    /// Iterate over every `(property, feature vector)` entry in the map's
+    /// (arbitrary) iteration order — the feature-cache serializer sorts
+    /// keys itself for a deterministic byte stream.
+    pub fn iter(&self) -> impl Iterator<Item = (&PropertyKey, &[f32])> {
+        self.features.iter().map(|(k, v)| (k, v.as_slice()))
     }
 
     /// Repairs made by the build-time numeric-hygiene pass.
@@ -499,7 +549,12 @@ impl PropertyFeatureStore {
 
     fn string_features_cached(&self, a: &str, b: &str) -> [f32; pair::STRING_FEATURES] {
         match (self.name_ids.get(a), self.name_ids.get(b)) {
-            (Some(&ia), Some(&ib)) => self.string_cache.get_or_compute(ia, ib, a, b),
+            (Some(&ia), Some(&ib)) => self.string_cache.get_or_compute(
+                ia,
+                ib,
+                &self.normalized_names[ia as usize],
+                &self.normalized_names[ib as usize],
+            ),
             // Names outside the build-time set (possible only through
             // future API surface) are computed without memoization.
             _ => pair::string_features(a, b),
@@ -511,8 +566,10 @@ impl PropertyFeatureStore {
     pub fn full_pair_vector(&self, a: &PropertyKey, b: &PropertyKey) -> Option<Vec<f32>> {
         let pa = self.features.get(a)?;
         let pb = self.features.get(b)?;
-        let mut v = pair::vector_difference(pa, pb);
-        v.extend_from_slice(&self.string_features_cached(&a.name, &b.name));
+        let prop_len = property::len(self.dim);
+        let mut v = vec![0.0f32; self.full_pair_len()];
+        pair::vector_difference_into(&mut v[..prop_len], pa, pb);
+        v[prop_len..].copy_from_slice(&self.string_features_cached(&a.name, &b.name));
         Some(v)
     }
 
@@ -628,6 +685,15 @@ impl PropertyFeatureStore {
             pairs.len() * mask.len(),
             "output buffer size mismatch"
         );
+        // Blocks under the fan-out threshold run serially no matter the
+        // thread count, so skip resolving it: `worker_threads` consults
+        // the environment and (via `available_parallelism`) the cgroup
+        // files, which costs syscalls and a few allocations per call —
+        // measurable on the streaming small-block path and pinned by the
+        // root alloc-regression suite.
+        if pairs.len() < 2 * MIN_ITEMS_PER_THREAD {
+            return self.fill_pair_rows(pairs, mask, out);
+        }
         self.fill_pair_rows_threaded(pairs, mask, out, worker_threads())
     }
 
@@ -730,6 +796,29 @@ impl PropertyFeatureStore {
         let cols = mask.len();
         let prop_len = property::len(self.dim);
         let needs_strings = mask.last().is_some_and(|&i| i >= prop_len);
+        // Identity-prefix masks — notably the full configuration, which
+        // is what training and scoring run — take the fused kernel path:
+        // one contiguous |pa − pb| sweep per row instead of a per-index
+        // gather. `sub_abs` computes the identical expression per
+        // element, so the fast path is bitwise-equal to the gather (the
+        // thread-sweep and proptest suites below cover both).
+        if mask.iter().enumerate().all(|(i, &m)| i == m) {
+            let n_prop = cols.min(prop_len);
+            for (p, out_row) in pairs.iter().zip(out.chunks_mut(cols.max(1))) {
+                let (a, b) = p.pair_keys();
+                let (pa, pb) = match (self.features.get(a), self.features.get(b)) {
+                    (Some(pa), Some(pb)) => (pa, pb),
+                    (Some(_), None) => return Err(FeatureError::UnknownProperty(b.clone())),
+                    _ => return Err(FeatureError::UnknownProperty(a.clone())),
+                };
+                kernels::sub_abs(&mut out_row[..n_prop], &pa[..n_prop], &pb[..n_prop]);
+                if needs_strings {
+                    let strings = self.string_features_cached(&a.name, &b.name);
+                    out_row[n_prop..].copy_from_slice(&strings[..cols - n_prop]);
+                }
+            }
+            return Ok(());
+        }
         for (p, out_row) in pairs.iter().zip(out.chunks_mut(cols.max(1))) {
             let (a, b) = p.pair_keys();
             let (pa, pb) = match (self.features.get(a), self.features.get(b)) {
@@ -885,6 +974,46 @@ mod tests {
             alignment,
         )
         .unwrap()
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_built_store() {
+        let ds = toy_dataset();
+        let emb = embeddings();
+        let built = PropertyFeatureStore::build(&ds, &emb);
+        let map: HashMap<PropertyKey, Vec<f32>> = built
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_vec()))
+            .collect();
+        let rebuilt = PropertyFeatureStore::from_parts(built.dim(), map, built.sanitize_stats());
+        assert_eq!(rebuilt.len(), built.len());
+        assert_eq!(rebuilt.dim(), built.dim());
+        assert_eq!(rebuilt.sanitize_stats(), built.sanitize_stats());
+        assert_eq!(rebuilt.degradation(), built.degradation());
+        for (k, v) in built.iter() {
+            let rv = rebuilt.property_vector(k).expect("key survives round trip");
+            assert_eq!(
+                v.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                rv.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            );
+        }
+        // Pair vectors (which also exercise the rebuilt name interning)
+        // agree bitwise.
+        let keys = ds.properties();
+        let a = &keys[0];
+        let b = &keys[1];
+        assert_eq!(
+            built.full_pair_vector(a, b),
+            rebuilt.full_pair_vector(a, b)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "property vector length mismatch")]
+    fn from_parts_rejects_wrong_vector_length() {
+        let mut map = HashMap::new();
+        map.insert(PropertyKey::new(SourceId(0), "x"), vec![0.0f32; 3]);
+        PropertyFeatureStore::from_parts(4, map, SanitizeStats::default());
     }
 
     #[test]

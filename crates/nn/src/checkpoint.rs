@@ -9,7 +9,8 @@
 //! offset  size  field
 //! 0       8     magic  b"LEAPMECP"
 //! 8       4     format version (u32 LE, currently 1)
-//! 12      1     kind   (0 = Mlp model, 1 = training state, 2 = pipeline model)
+//! 12      1     kind   (0 = Mlp model, 1 = training state, 2 = pipeline
+//!               model, 3 = property-feature cache)
 //! 13      1     dtype  (0 = f32; other values reserved)
 //! 14      8     payload length (u64 LE)
 //! 22      n     payload (kind-specific binary encoding)
@@ -49,6 +50,10 @@ pub const KIND_TRAIN_STATE: u8 = 1;
 /// Container kind: a full pipeline model (network + scaler + feature
 /// configuration), written by `leapme-core`.
 pub const KIND_PIPELINE: u8 = 2;
+
+/// Container kind: a persisted `PropertyFeatureStore` (fingerprinted
+/// property-feature cache), written by `leapme-core`.
+pub const KIND_FEATURE_CACHE: u8 = 3;
 
 /// Payload dtype tag: `f32` parameters (the only dtype currently
 /// written; the byte exists so future formats can widen without a

@@ -100,6 +100,67 @@ pub fn jaro_winkler_distance(a: &str, b: &str) -> f64 {
     1.0 - jaro_winkler_similarity(a, b)
 }
 
+/// [`jaro_similarity`] through caller-provided scratch buffers: the
+/// decoded-char, match-flag, and matched-char buffers come from `scratch`
+/// instead of fresh allocations, and the second string's matched
+/// characters are streamed instead of materialized. Results are bitwise
+/// identical to [`jaro_similarity`].
+pub fn jaro_similarity_with(a: &str, b: &str, scratch: &mut crate::DistanceScratch) -> f64 {
+    let crate::DistanceScratch { ca, cb, flags, mchars, .. } = scratch;
+    ca.clear();
+    ca.extend(a.chars());
+    cb.clear();
+    cb.extend(b.chars());
+    if ca.is_empty() && cb.is_empty() {
+        return 1.0;
+    }
+    if ca.is_empty() || cb.is_empty() {
+        return 0.0;
+    }
+    let window = (ca.len().max(cb.len()) / 2).saturating_sub(1);
+    flags.clear();
+    flags.resize(cb.len(), false);
+    mchars.clear();
+    for (i, ac) in ca.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(cb.len());
+        for j in lo..hi {
+            if !flags[j] && cb[j] == *ac {
+                flags[j] = true;
+                mchars.push(*ac);
+                break;
+            }
+        }
+    }
+    let m = mchars.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Each match flags exactly one `b` character, so the streamed matched
+    // sequence has length `m` and the zip never truncates.
+    let transpositions = mchars
+        .iter()
+        .zip(cb.iter().zip(flags.iter()).filter(|(_, &used)| used).map(|(c, _)| c))
+        .filter(|(x, y)| x != y)
+        .count();
+    let t = transpositions as f64 / 2.0;
+    let m = m as f64;
+    (m / ca.len() as f64 + m / cb.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// [`jaro_winkler_distance`] through caller-provided scratch buffers;
+/// bitwise identical results (standard `p = 0.1`, max prefix 4).
+pub fn jaro_winkler_distance_with(a: &str, b: &str, scratch: &mut crate::DistanceScratch) -> f64 {
+    let j = jaro_similarity_with(a, b, scratch);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    1.0 - (j + prefix as f64 * 0.1 * (1.0 - j)).clamp(0.0, 1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +217,21 @@ mod tests {
         #[test]
         fn winkler_at_least_jaro(a in ".{0,16}", b in ".{0,16}") {
             prop_assert!(jaro_winkler_similarity(&a, &b) + 1e-12 >= jaro_similarity(&a, &b));
+        }
+
+        #[test]
+        fn scratch_variant_matches_reference_bitwise(a in ".{0,16}", b in ".{0,16}") {
+            let mut scratch = crate::DistanceScratch::new();
+            for _ in 0..2 {
+                prop_assert_eq!(
+                    jaro_similarity_with(&a, &b, &mut scratch).to_bits(),
+                    jaro_similarity(&a, &b).to_bits()
+                );
+                prop_assert_eq!(
+                    jaro_winkler_distance_with(&a, &b, &mut scratch).to_bits(),
+                    jaro_winkler_distance(&a, &b).to_bits()
+                );
+            }
         }
     }
 }

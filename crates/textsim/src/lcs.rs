@@ -56,6 +56,42 @@ pub fn substring_distance(a: &str, b: &str) -> f64 {
     1.0 - longest_common_substring_len(a, b) as f64 / m as f64
 }
 
+/// [`substring_distance`] through caller-provided scratch buffers: the
+/// decoded-char and DP-row buffers come from `scratch` instead of fresh
+/// allocations, and the strings are decoded once instead of twice.
+/// Results are bitwise identical to [`substring_distance`].
+pub fn substring_distance_with(a: &str, b: &str, scratch: &mut crate::DistanceScratch) -> f64 {
+    let crate::DistanceScratch { ca, cb, row0, row1, .. } = scratch;
+    ca.clear();
+    ca.extend(a.chars());
+    cb.clear();
+    cb.extend(b.chars());
+    let m = ca.len().max(cb.len());
+    if m == 0 {
+        return 0.0;
+    }
+    let mut best = 0usize;
+    if !ca.is_empty() && !cb.is_empty() {
+        row0.clear();
+        row0.resize(cb.len() + 1, 0);
+        row1.clear();
+        row1.resize(cb.len() + 1, 0);
+        let (mut prev, mut curr) = (&mut *row0, &mut *row1);
+        for ac in ca.iter() {
+            for (j, bc) in cb.iter().enumerate() {
+                if ac == bc {
+                    curr[j + 1] = prev[j] + 1;
+                    best = best.max(curr[j + 1]);
+                } else {
+                    curr[j + 1] = 0;
+                }
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+    }
+    1.0 - best as f64 / m as f64
+}
+
 /// Length of the longest common *subsequence* (not necessarily contiguous).
 ///
 /// Provided as an auxiliary metric used by some baseline matchers.
@@ -141,6 +177,17 @@ mod tests {
         fn self_substring_is_full(a in ".{1,16}") {
             prop_assert_eq!(longest_common_substring_len(&a, &a), a.chars().count());
             prop_assert!(substring_distance(&a, &a).abs() < 1e-12);
+        }
+
+        #[test]
+        fn scratch_variant_matches_reference_bitwise(a in ".{0,16}", b in ".{0,16}") {
+            let mut scratch = crate::DistanceScratch::new();
+            for _ in 0..2 {
+                prop_assert_eq!(
+                    substring_distance_with(&a, &b, &mut scratch).to_bits(),
+                    substring_distance(&a, &b).to_bits()
+                );
+            }
         }
     }
 }

@@ -82,20 +82,24 @@ impl StringDistances {
         Self::compute_with(a, b, &mut DistanceScratch::new())
     }
 
-    /// [`Self::compute`] through caller-provided scratch buffers: the
-    /// three DP-based edit distances reuse `scratch`'s decoded-char and
-    /// DP-row buffers instead of allocating fresh ones per call. Results
-    /// are identical to [`Self::compute`].
+    /// [`Self::compute`] through caller-provided scratch buffers: all
+    /// eight kernels reuse `scratch`'s decoded-char, DP-row, gram-profile,
+    /// and match buffers instead of allocating fresh ones per call, and
+    /// the two 3-gram profile distances (rows 13–14) are derived from one
+    /// shared pair of profiles instead of building them twice. Results
+    /// are bitwise identical to [`Self::compute`]'s reference kernels
+    /// (pinned per module by property tests).
     pub fn compute_with(a: &str, b: &str, scratch: &mut DistanceScratch) -> Self {
+        let (trigram_cosine, trigram_jaccard) = qgram::trigram_distances_with(a, b, scratch);
         StringDistances {
             osa_norm: osa::normalized_distance_with(a, b, scratch),
             levenshtein_norm: levenshtein::normalized_distance_with(a, b, scratch),
             damerau_norm: damerau::normalized_distance_with(a, b, scratch),
-            lcs_norm: lcs::substring_distance(a, b),
-            trigram_norm: ngram::normalized_distance(a, b, 3),
-            trigram_cosine: qgram::cosine_distance(a, b, 3),
-            trigram_jaccard: qgram::jaccard_distance(a, b, 3),
-            jaro_winkler: jaro::jaro_winkler_distance(a, b),
+            lcs_norm: lcs::substring_distance_with(a, b, scratch),
+            trigram_norm: ngram::normalized_distance_with(a, b, 3, scratch),
+            trigram_cosine,
+            trigram_jaccard,
+            jaro_winkler: jaro::jaro_winkler_distance_with(a, b, scratch),
         }
     }
 
@@ -196,5 +200,40 @@ mod tests {
         let d = StringDistances::compute("a", "b");
         assert_eq!(d.as_array().len(), StringDistances::LEN);
         assert_eq!(StringDistances::feature_names().len(), StringDistances::LEN);
+    }
+
+    proptest::proptest! {
+        /// The fused/scratch-backed eight-distance block must match the
+        /// plain reference kernels bit for bit — this is the contract
+        /// that lets the featurize hot path swap implementations without
+        /// perturbing any downstream feature vector.
+        #[test]
+        fn compute_with_matches_reference_kernels_bitwise(a in ".{0,20}", b in ".{0,20}") {
+            let mut scratch = DistanceScratch::new();
+            for _ in 0..2 {
+                let fast = StringDistances::compute_with(&a, &b, &mut scratch).as_array();
+                let reference = [
+                    osa::normalized_distance(&a, &b),
+                    levenshtein::normalized_distance(&a, &b),
+                    damerau::normalized_distance(&a, &b),
+                    lcs::substring_distance(&a, &b),
+                    ngram::normalized_distance(&a, &b, 3),
+                    qgram::cosine_distance(&a, &b, 3),
+                    qgram::jaccard_distance(&a, &b, 3),
+                    jaro::jaro_winkler_distance(&a, &b),
+                ];
+                for (i, (f, r)) in fast.iter().zip(reference).enumerate() {
+                    proptest::prop_assert_eq!(
+                        f.to_bits(),
+                        r.to_bits(),
+                        "feature {} ({}) diverged for ({:?}, {:?})",
+                        i,
+                        StringDistances::feature_names()[i],
+                        &a,
+                        &b
+                    );
+                }
+            }
+        }
     }
 }

@@ -78,6 +78,77 @@ pub fn normalized_distance(a: &str, b: &str, n: usize) -> f64 {
     }
 }
 
+/// [`distance`] through caller-provided scratch buffers: the padded char
+/// buffers and the fractional-cost DP rows come from `scratch` instead of
+/// fresh allocations. Results are bitwise identical to [`distance`].
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn distance_with(a: &str, b: &str, n: usize, scratch: &mut crate::DistanceScratch) -> f64 {
+    assert!(n > 0, "n-gram size must be positive");
+    let crate::DistanceScratch { ca, cb, frow0, frow1, .. } = scratch;
+    ca.clear();
+    ca.extend(std::iter::repeat_n(PAD, n - 1).chain(a.chars()));
+    cb.clear();
+    cb.extend(std::iter::repeat_n(PAD, n - 1).chain(b.chars()));
+    let la = ca.len() - (n - 1);
+    let lb = cb.len() - (n - 1);
+    if la == 0 {
+        return lb as f64;
+    }
+    if lb == 0 {
+        return la as f64;
+    }
+
+    let (av, bv) = (&ca[..], &cb[..]);
+    let gram_cost = |i: usize, j: usize| -> f64 {
+        let mut mismatch = 0usize;
+        for k in 0..n {
+            if av[i + k] != bv[j + k] {
+                mismatch += 1;
+            }
+        }
+        mismatch as f64 / n as f64
+    };
+
+    frow0.clear();
+    frow0.extend((0..=lb).map(|j| j as f64));
+    frow1.clear();
+    frow1.resize(lb + 1, 0.0);
+    let (mut prev, mut curr) = (&mut *frow0, &mut *frow1);
+    for i in 1..=la {
+        curr[0] = i as f64;
+        for j in 1..=lb {
+            let sub = prev[j - 1] + gram_cost(i - 1, j - 1);
+            let del = prev[j] + 1.0;
+            let ins = curr[j - 1] + 1.0;
+            curr[j] = sub.min(del).min(ins);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[lb]
+}
+
+/// [`normalized_distance`] through caller-provided scratch buffers;
+/// bitwise identical results.
+pub fn normalized_distance_with(
+    a: &str,
+    b: &str,
+    n: usize,
+    scratch: &mut crate::DistanceScratch,
+) -> f64 {
+    let d = distance_with(a, b, n, scratch);
+    // The padded buffers hold `n − 1` sentinels plus the decoded chars,
+    // so the character counts fall out without re-decoding the strings.
+    let m = (scratch.ca.len() - (n - 1)).max(scratch.cb.len() - (n - 1));
+    if m == 0 {
+        0.0
+    } else {
+        (d / m as f64).clamp(0.0, 1.0)
+    }
+}
+
 /// Convenience wrapper: the 3-gram distance used by LEAPME, normalized.
 pub fn trigram_distance(a: &str, b: &str) -> f64 {
     normalized_distance(a, b, 3)
@@ -143,6 +214,23 @@ mod tests {
         fn normalized_bounds(a in ".{0,16}", b in ".{0,16}", n in 1usize..5) {
             let d = normalized_distance(&a, &b, n);
             prop_assert!((0.0..=1.0).contains(&d));
+        }
+
+        #[test]
+        fn scratch_variant_matches_reference_bitwise(
+            a in ".{0,14}", b in ".{0,14}", n in 1usize..5
+        ) {
+            let mut scratch = crate::DistanceScratch::new();
+            for _ in 0..2 {
+                prop_assert_eq!(
+                    distance_with(&a, &b, n, &mut scratch).to_bits(),
+                    distance(&a, &b, n).to_bits()
+                );
+                prop_assert_eq!(
+                    normalized_distance_with(&a, &b, n, &mut scratch).to_bits(),
+                    normalized_distance(&a, &b, n).to_bits()
+                );
+            }
         }
 
         #[test]

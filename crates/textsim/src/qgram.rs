@@ -118,6 +118,85 @@ pub fn jaccard_distance(a: &str, b: &str, q: usize) -> f64 {
     1.0 - QGramProfile::new(a, q).jaccard_similarity(&QGramProfile::new(b, q))
 }
 
+/// Build the packed 3-gram profile of `s` into `map` (cleared first).
+///
+/// Grams are encoded injectively into a `u64` instead of an owned
+/// `String`: a `char` is a Unicode scalar value below `2^21`, so three of
+/// them fit in 63 bits, and the top two bits carry the gram's character
+/// count to keep the whole-string grams of sub-`q`-length inputs disjoint
+/// from true 3-grams. Equal packed keys ⇔ equal gram strings, so counts
+/// match [`QGramProfile::new`]`(s, 3)` exactly.
+fn packed_trigram_profile(s: &str, map: &mut HashMap<u64, u32>) {
+    map.clear();
+    let (mut c0, mut c1) = ('\0', '\0');
+    let mut n = 0usize;
+    for c in s.chars() {
+        n += 1;
+        if n >= 3 {
+            let key = (3u64 << 62) | ((c0 as u64) << 42) | ((c1 as u64) << 21) | c as u64;
+            *map.entry(key).or_insert(0) += 1;
+        }
+        c0 = c1;
+        c1 = c;
+    }
+    if n == 1 {
+        map.insert((1u64 << 62) | c1 as u64, 1);
+    } else if n == 2 {
+        map.insert((2u64 << 62) | ((c0 as u64) << 21) | c1 as u64, 1);
+    }
+}
+
+/// Both 3-gram profile distances of LEAPME Table I rows 13–14 —
+/// `(cosine_distance, jaccard_distance)` — in one pass over `scratch`'s
+/// reusable packed profiles.
+///
+/// The reference path ([`cosine_distance`] + [`jaccard_distance`] at
+/// `q = 3`) builds four `String`-keyed profiles per pair; this builds the
+/// two packed profiles once and derives both distances from them. The
+/// results are bitwise identical to the reference: every accumulated term
+/// (gram counts, their products and squares, set cardinalities) is a
+/// small integer, exact in `f64`, so neither the profile representation
+/// nor hash-map iteration order can perturb a sum, and the final
+/// divide/sqrt/clamp sequence is the same. The property tests pin this
+/// equivalence over arbitrary Unicode inputs.
+pub fn trigram_distances_with(
+    a: &str,
+    b: &str,
+    scratch: &mut crate::DistanceScratch,
+) -> (f64, f64) {
+    let crate::DistanceScratch { qa, qb, .. } = scratch;
+    packed_trigram_profile(a, qa);
+    packed_trigram_profile(b, qb);
+
+    let cosine = if qa.is_empty() && qb.is_empty() {
+        1.0
+    } else if qa.is_empty() || qb.is_empty() {
+        0.0
+    } else {
+        let mut dot = 0.0f64;
+        for (g, &c) in qa.iter() {
+            dot += c as f64 * qb.get(g).copied().unwrap_or(0) as f64;
+        }
+        let na: f64 = qa.values().map(|&c| (c as f64).powi(2)).sum::<f64>().sqrt();
+        let nb: f64 = qb.values().map(|&c| (c as f64).powi(2)).sum::<f64>().sqrt();
+        (dot / (na * nb)).clamp(0.0, 1.0)
+    };
+
+    let jaccard = if qa.is_empty() && qb.is_empty() {
+        1.0
+    } else {
+        let inter = qa.keys().filter(|g| qb.contains_key(*g)).count();
+        let union = qa.len() + qb.len() - inter;
+        if union == 0 {
+            1.0
+        } else {
+            inter as f64 / union as f64
+        }
+    };
+
+    (1.0 - cosine, 1.0 - jaccard)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +269,30 @@ mod tests {
         fn profile_total_matches_window_count(a in "[a-d]{3,20}") {
             let p = QGramProfile::new(&a, 3);
             prop_assert_eq!(p.total() as usize, a.chars().count() - 2);
+        }
+
+        #[test]
+        fn fused_trigram_distances_match_reference_bitwise(a in ".{0,20}", b in ".{0,20}") {
+            let mut scratch = crate::DistanceScratch::new();
+            // Two rounds through the same scratch: the second exercises
+            // buffer reuse after the first left state behind.
+            for _ in 0..2 {
+                let (cos, jac) = trigram_distances_with(&a, &b, &mut scratch);
+                prop_assert_eq!(cos.to_bits(), cosine_distance(&a, &b, 3).to_bits());
+                prop_assert_eq!(jac.to_bits(), jaccard_distance(&a, &b, 3).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fused_trigram_distances_edge_cases() {
+        let mut s = crate::DistanceScratch::new();
+        // Empty/empty, empty/short, short/short (whole-string grams),
+        // short/long (length-tagged keys must not collide).
+        for (a, b) in [("", ""), ("", "ab"), ("m", "mp"), ("mp", "amp"), ("ab", "xaby")] {
+            let (cos, jac) = trigram_distances_with(a, b, &mut s);
+            assert_eq!(cos.to_bits(), cosine_distance(a, b, 3).to_bits(), "cos({a:?},{b:?})");
+            assert_eq!(jac.to_bits(), jaccard_distance(a, b, 3).to_bits(), "jac({a:?},{b:?})");
         }
     }
 }

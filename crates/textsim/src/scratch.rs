@@ -1,20 +1,21 @@
-//! Caller-provided scratch buffers for the edit-distance kernels.
+//! Caller-provided scratch buffers for the string-distance kernels.
 //!
 //! The LEAPME name-feature block evaluates eight string distances per
-//! property pair, and the three DP-based edit distances ([`crate::osa`],
-//! [`crate::levenshtein`], [`crate::damerau`]) each used to allocate
-//! fresh `char` buffers and DP rows on every call. A [`DistanceScratch`]
-//! owns all of those buffers; the `distance_with` variants reuse them,
-//! so a steady-state distance call performs zero heap allocations (the
-//! Damerau last-row map keeps its capacity across calls too).
+//! property pair, and every one of them used to allocate fresh `char`
+//! buffers, DP rows, or gram profiles on every call. A
+//! [`DistanceScratch`] owns all of those buffers; the `_with` variants
+//! reuse them, so a steady-state eight-distance call performs zero heap
+//! allocations (the hash-map members keep their capacity across calls
+//! too).
 
 use std::collections::HashMap;
 
-/// Reusable buffers for [`crate::osa::distance_with`],
-/// [`crate::levenshtein::distance_with`], and
-/// [`crate::damerau::distance_with`]. One scratch serves all three —
-/// buffers are resized per call and never shrink, so after warm-up no
-/// call allocates. Not thread-safe; use one scratch per thread.
+/// Reusable buffers for the `_with` variants of every distance kernel in
+/// this crate ([`crate::osa`], [`crate::levenshtein`], [`crate::damerau`],
+/// [`crate::lcs`], [`crate::ngram`], [`crate::qgram`], [`crate::jaro`]).
+/// One scratch serves all of them — buffers are resized per call and
+/// never shrink, so after warm-up no call allocates. Not thread-safe;
+/// use one scratch per thread.
 #[derive(Debug, Default)]
 pub struct DistanceScratch {
     /// Decoded scalar values of the first input.
@@ -31,6 +32,18 @@ pub struct DistanceScratch {
     pub(crate) matrix: Vec<usize>,
     /// Per-character "last seen row" map for the Damerau kernel.
     pub(crate) last_row: HashMap<char, usize>,
+    /// Packed 3-gram profile of the first input (fused q-gram kernel).
+    pub(crate) qa: HashMap<u64, u32>,
+    /// Packed 3-gram profile of the second input.
+    pub(crate) qb: HashMap<u64, u32>,
+    /// Rolling fractional-cost DP row for the Kondrak n-gram kernel.
+    pub(crate) frow0: Vec<f64>,
+    /// Rolling fractional-cost DP row (current).
+    pub(crate) frow1: Vec<f64>,
+    /// Per-character "already matched" flags for the Jaro kernel.
+    pub(crate) flags: Vec<bool>,
+    /// Matched characters of the first input, in order (Jaro kernel).
+    pub(crate) mchars: Vec<char>,
 }
 
 impl DistanceScratch {

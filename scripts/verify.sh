@@ -20,6 +20,9 @@ cargo test -q --workspace
 echo "==> cargo test -p leapme-nn --features alloc-count (zero-allocation regression)"
 cargo test -p leapme-nn --features alloc-count -q
 
+echo "==> cargo test -p leapme --features alloc-count (steady-state featurize is alloc-free)"
+cargo test -p leapme --features alloc-count -q
+
 echo "==> cargo clippy --workspace -- -D warnings"
 # Clippy may be unavailable in minimal toolchains; warn instead of fail.
 if cargo clippy --version >/dev/null 2>&1; then
@@ -28,56 +31,79 @@ else
     echo "warning: clippy not installed; skipping lint step" >&2
 fi
 
-echo "==> bench smoke run (regenerates BENCH_PR4.json at the PR1 corpus size)"
-cargo run --release -p leapme-bench --bin bench -- --sources 12 --out BENCH_PR4.json >/dev/null
+echo "==> bench smoke run (regenerates BENCH_PR5.json at the baseline corpus size)"
+cargo run --release -p leapme-bench --bin bench -- --sources 12 --out BENCH_PR5.json >/dev/null
 
-echo "==> bench smoke: BENCH_PR4.json parses and records speedups + checkpoint overhead"
+echo "==> bench smoke: BENCH_PR5.json parses and records speedups, breakdown, warm cache"
 python3 - <<'EOF'
 import json, math, sys
 
-with open("BENCH_PR4.json") as f:
+with open("BENCH_PR5.json") as f:
     report = json.load(f)
+
+def finite(v):
+    return isinstance(v, (int, float)) and math.isfinite(v)
 
 for mode in ("serial", "parallel"):
     stage = report[mode]
     for key in ("threads_requested", "threads_effective",
                 "build_s", "featurize_s", "train_s", "score_s", "total_s"):
         if key not in stage:
-            sys.exit(f"BENCH_PR4.json: {mode}.{key} missing")
+            sys.exit(f"BENCH_PR5.json: {mode}.{key} missing")
     if stage["total_s"] <= 0:
-        sys.exit(f"BENCH_PR4.json: {mode}.total_s not positive")
+        sys.exit(f"BENCH_PR5.json: {mode}.total_s not positive")
 
 for key in ("speedup_build", "speedup_featurize", "speedup_train",
             "speedup_score", "speedup_total"):
     v = report.get(key)
-    if not isinstance(v, (int, float)) or not math.isfinite(v) or v <= 0:
-        sys.exit(f"BENCH_PR4.json: {key} missing or not a positive number")
+    if not finite(v) or v <= 0:
+        sys.exit(f"BENCH_PR5.json: {key} missing or not a positive number")
+
+bd = report.get("featurize_breakdown")
+if not isinstance(bd, dict):
+    sys.exit("BENCH_PR5.json: featurize_breakdown section missing")
+for key in ("char_token_s", "embedding_average_s", "name_distances_s", "assembly_s"):
+    v = bd.get(key)
+    if not finite(v) or v < 0:
+        sys.exit(f"BENCH_PR5.json: featurize_breakdown.{key} missing or negative")
+
+wc = report.get("warm_cache")
+if not isinstance(wc, dict):
+    sys.exit("BENCH_PR5.json: warm_cache section missing")
+if wc.get("cache_hit") is not True:
+    sys.exit("BENCH_PR5.json: warm_cache.cache_hit is not true")
+if wc.get("store_identical") is not True:
+    sys.exit("BENCH_PR5.json: warm cache reload is not bitwise identical")
+if not finite(wc.get("cold_build_s")) or not finite(wc.get("cache_load_s")):
+    sys.exit("BENCH_PR5.json: warm_cache timings missing")
+if wc["cache_load_s"] >= wc["cold_build_s"]:
+    sys.exit("BENCH_PR5.json: cache load is not faster than a cold build")
 
 ckpt = report.get("checkpoint")
 if not isinstance(ckpt, dict):
-    sys.exit("BENCH_PR4.json: checkpoint overhead section missing")
+    sys.exit("BENCH_PR5.json: checkpoint overhead section missing")
 for key in ("epochs", "fit_s", "fit_checkpointed_s", "overhead_ms_per_epoch"):
-    v = ckpt.get(key)
-    if not isinstance(v, (int, float)) or not math.isfinite(v):
-        sys.exit(f"BENCH_PR4.json: checkpoint.{key} missing or not finite")
+    if not finite(ckpt.get(key)):
+        sys.exit(f"BENCH_PR5.json: checkpoint.{key} missing or not finite")
 if ckpt["epochs"] <= 0 or ckpt["fit_s"] <= 0 or ckpt["fit_checkpointed_s"] <= 0:
-    sys.exit("BENCH_PR4.json: checkpoint timings not positive")
+    sys.exit("BENCH_PR5.json: checkpoint timings not positive")
 
-vs = [report.get("vs_pr1_serial"), report.get("vs_pr1_parallel")]
+vs = [report.get("vs_pr4_serial"), report.get("vs_pr4_parallel")]
 recorded = [v for v in vs if v is not None]
 if not recorded:
-    sys.exit("BENCH_PR4.json: no vs-PR1 comparison recorded "
+    sys.exit("BENCH_PR5.json: no vs-PR4 comparison recorded "
              "(rerun bench with the baseline's corpus: --sources 12)")
 for v in recorded:
-    for key in ("threads", "train_speedup", "score_speedup"):
+    for key in ("threads", "featurize_speedup", "train_speedup", "score_speedup"):
         if key not in v:
-            sys.exit(f"BENCH_PR4.json: vs_pr1 comparison missing {key}")
-print("BENCH_PR4.json OK:",
+            sys.exit(f"BENCH_PR5.json: vs_pr4 comparison missing {key}")
+print("BENCH_PR5.json OK:",
       ", ".join(f"{k}={report[k]:.3f}" for k in
                 ("speedup_train", "speedup_score")),
-      "| vs PR1:",
-      ", ".join(f"train×{v['train_speedup']:.2f} score×{v['score_speedup']:.2f}"
+      "| vs PR4:",
+      ", ".join(f"featurize×{v['featurize_speedup']:.2f} train×{v['train_speedup']:.2f}"
                 for v in recorded),
+      f"| warm cache ×{wc['featurize_speedup']:.1f}",
       f"| checkpoint tax {ckpt['overhead_ms_per_epoch']:.2f} ms/epoch")
 EOF
 
@@ -93,8 +119,8 @@ for t in 1 4; do
 done
 
 echo "==> chaos stage: faults compiled out of the release bench"
-if ! grep -q '"faults_enabled": false' BENCH_PR4.json; then
-    echo "BENCH_PR4.json does not record faults_enabled=false — the bench" \
+if ! grep -q '"faults_enabled": false' BENCH_PR5.json; then
+    echo "BENCH_PR5.json does not record faults_enabled=false — the bench" \
          "binary was built with the fault hooks armed" >&2
     exit 1
 fi
@@ -157,5 +183,54 @@ if [ "$TIMEOUT_CODE" -ne 3 ]; then
     exit 1
 fi
 echo "    deadline exit code 3 confirmed"
+
+echo "==> feature-cache drill: warm hit, byte-identical scores, corruption heals"
+CACHE="$DRILL_DIR/features.lfc"
+LEAPME_THREADS=1 "$LEAPME" match \
+    --dataset "$DRILL_DIR/ds.json" --embeddings "$DRILL_DIR/emb.txt" \
+    --seed 5 --feature-cache "$CACHE" --out "$DRILL_DIR/g1.json" \
+    > "$DRILL_DIR/m1.out"
+if ! grep -q "feature cache rebuilt" "$DRILL_DIR/m1.out"; then
+    echo "feature-cache drill: cold run did not report a cache rebuild" >&2
+    exit 1
+fi
+LEAPME_THREADS=1 "$LEAPME" match \
+    --dataset "$DRILL_DIR/ds.json" --embeddings "$DRILL_DIR/emb.txt" \
+    --seed 5 --feature-cache "$CACHE" --out "$DRILL_DIR/g2.json" \
+    > "$DRILL_DIR/m2.out"
+if ! grep -q "feature cache hit" "$DRILL_DIR/m2.out"; then
+    echo "feature-cache drill: warm run did not report a cache hit" >&2
+    exit 1
+fi
+if ! cmp -s "$DRILL_DIR/g1.json" "$DRILL_DIR/g2.json"; then
+    echo "feature-cache drill: warm-cache scores differ from the cold run" >&2
+    exit 1
+fi
+echo "    warm run hit the cache and scored byte-identically"
+# Flip one byte in the middle of the cache: the CRC must catch it and
+# the run must rebuild cleanly instead of loading garbage.
+python3 - "$CACHE" <<'EOF'
+import sys
+path = sys.argv[1]
+with open(path, "r+b") as f:
+    data = bytearray(f.read())
+    mid = len(data) // 2
+    data[mid] ^= 0xFF
+    f.seek(0)
+    f.write(data)
+EOF
+LEAPME_THREADS=1 "$LEAPME" match \
+    --dataset "$DRILL_DIR/ds.json" --embeddings "$DRILL_DIR/emb.txt" \
+    --seed 5 --feature-cache "$CACHE" --out "$DRILL_DIR/g3.json" \
+    > "$DRILL_DIR/m3.out"
+if ! grep -q "feature cache rebuilt" "$DRILL_DIR/m3.out"; then
+    echo "feature-cache drill: corrupted cache did not trigger a rebuild" >&2
+    exit 1
+fi
+if ! cmp -s "$DRILL_DIR/g1.json" "$DRILL_DIR/g3.json"; then
+    echo "feature-cache drill: post-corruption scores differ" >&2
+    exit 1
+fi
+echo "    corrupted cache healed with a clean rebuild and identical scores"
 
 echo "==> verify OK"

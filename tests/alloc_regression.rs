@@ -1,0 +1,118 @@
+//! Zero-allocation regression tests for the steady-state featurize path
+//! (feature `alloc-count`).
+//!
+//! Run with `cargo test -p leapme --features alloc-count`. The feature
+//! installs leapme-nn's counting `#[global_allocator]`, and each test
+//! warms its buffers (thread-local token buffer, feature scratch, string
+//! cache), snapshots the process-wide allocation counter, repeats the
+//! hot operation, and asserts the counter did not move. Companion to the
+//! training-step suite in `leapme-nn` (`network::tests`); DESIGN.md §10
+//! documents which paths these counters pin down.
+//!
+//! All fixture values are ASCII without thousands separators: non-ASCII
+//! tokens take the allocating `str::to_lowercase` cold path and
+//! comma-bearing numerics pay for one cleaned copy, both by design.
+#![cfg(feature = "alloc-count")]
+
+use leapme::embedding::store::EmbeddingStore;
+use leapme::features::{instance, property, with_scratch, FeatureConfig, PropertyFeatureStore};
+use leapme::nn::alloc_count::allocation_count;
+use leapme::nn::threads::THREADS_ENV;
+
+fn embeddings() -> EmbeddingStore {
+    let mut s = EmbeddingStore::new(8);
+    for (i, w) in ["camera", "resolution", "mp", "digital", "weight", "g"]
+        .iter()
+        .enumerate()
+    {
+        let mut v = vec![0.0f32; 8];
+        v[i] = 1.0;
+        s.insert(w, v).unwrap();
+    }
+    s
+}
+
+/// Assert that repeating `hot` after `warmup` warm rounds performs no
+/// heap allocation.
+fn assert_steady_state_alloc_free(mut hot: impl FnMut(), context: &str) {
+    for _ in 0..3 {
+        hot();
+    }
+    let before = allocation_count();
+    for _ in 0..10 {
+        hot();
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "{context}: {} allocation(s) in 10 warmed iterations",
+        after - before
+    );
+}
+
+#[test]
+fn warmed_instance_extract_into_is_alloc_free() {
+    let emb = embeddings();
+    let mut out = vec![0.0f32; instance::len(emb.dim())];
+    assert_steady_state_alloc_free(
+        || {
+            for value in ["camera resolution 20.1 mp", "450 g", "digitalCamera 4k"] {
+                instance::extract_into(value, &emb, &mut out);
+            }
+        },
+        "instance::extract_into",
+    );
+}
+
+#[test]
+fn warmed_fused_property_extraction_is_alloc_free() {
+    let emb = embeddings();
+    let values = ["20.1 mp", "18 mp", "digital camera resolution"];
+    let mut out = vec![0.0f32; property::len(emb.dim())];
+    assert_steady_state_alloc_free(
+        || {
+            with_scratch(|scratch| {
+                property::aggregate_values_into(
+                    "cameraResolution",
+                    values.iter().copied(),
+                    &emb,
+                    scratch,
+                    &mut out,
+                );
+            });
+        },
+        "property::aggregate_values_into",
+    );
+}
+
+#[test]
+fn warmed_fill_pair_block_is_alloc_free() {
+    // Serial fill: thread fan-out allocates per spawn, which is the
+    // threaded path's own business — this test pins the per-row work.
+    // Staying under the fan-out threshold (rather than setting
+    // LEAPME_THREADS) keeps the fill serial without making the kernels'
+    // `env::var` lookup allocate a `String` per call.
+    std::env::remove_var(THREADS_ENV);
+    let dataset = leapme::data::domains::generate(leapme::data::domains::Domain::Tvs, 2);
+    let emb = embeddings();
+    let store = PropertyFeatureStore::build(&dataset, &emb);
+    let all_sources: Vec<leapme::data::model::SourceId> = (0..dataset.sources().len())
+        .map(|i| leapme::data::model::SourceId(i as u16))
+        .collect();
+    let pairs = dataset.cross_source_pairs(&all_sources);
+    // Below 2 × MIN_ITEMS_PER_THREAD the fill is serial at any thread
+    // count — no spawn allocations to excuse.
+    let pairs = &pairs[..pairs.len().min(31)];
+    let mask = FeatureConfig::full().mask(emb.dim());
+    let mut out = vec![0.0f32; pairs.len() * mask.len()];
+    assert_steady_state_alloc_free(
+        || {
+            store
+                .fill_pair_block(pairs, &mask, &mut out)
+                .expect("fill_pair_block");
+        },
+        "PropertyFeatureStore::fill_pair_block",
+    );
+    std::env::remove_var(THREADS_ENV);
+}

@@ -14,19 +14,30 @@
 //! records the *requested* thread count, the *effective* count the
 //! kernels resolve from the environment, and the detected core count —
 //! and warns when they disagree (an override that did not stick, or
-//! oversubscription past the physical cores). Results, the measured
-//! speedups, and a comparison against the previous PR's `BENCH_PR4.json`
-//! baseline (same thread count only) go to `--out` (default
-//! `BENCH_PR5.json`), written atomically.
+//! oversubscription past the physical cores). On a single-core machine
+//! the "parallel" numbers are the serial path measured twice, so the
+//! report flags them with `parallel_unmeasured: true`. Results, the
+//! measured speedups, and a comparison against the previous PR's
+//! `BENCH_PR5.json` baseline (same thread count only) go to `--out`
+//! (default `BENCH_PR6.json`), written atomically.
 //!
-//! Two featurization-specific passes complement the stage times:
+//! Three featurization-specific passes complement the stage times:
 //!
 //! * **featurize_breakdown** — serial per-substage minima over the same
 //!   workload: character/token features, embedding averaging, pair name
-//!   distances, and pair-vector assembly (the |a−b| kernel sweep).
+//!   distances, and pair-vector assembly (the |a−b| kernel sweep). Name
+//!   distances are timed twice — through the pipeline path (canonical
+//!   pair-table build + per-pair lookups) and uncached per pair, the
+//!   semantics every earlier PR's `name_distances_s` measured — plus a
+//!   per-kernel split of the eight distance kernels, and the dedupe
+//!   stats (unique forms, table entries, hit counters) the table run
+//!   produced.
 //! * **warm_cache** — a cold `PropertyFeatureStore::build` against
 //!   loading the same store back from a persisted feature cache,
 //!   verifying the loaded store is bitwise identical.
+//! * **quantized** — scoring the full candidate space through the f32
+//!   reference against the int8 path (calibration gate included), with
+//!   the calibration and whole-run max probability error.
 //!
 //! Each mode's stage times are the per-stage minima over `--repeats`
 //! runs (default 3): the workload is deterministic, so the minimum
@@ -41,7 +52,7 @@
 //! ```text
 //! cargo run --release -p leapme-bench --bin bench -- \
 //!     [--sources 16] [--dim 50] [--seed 42] [--threads N] [--repeats 3] \
-//!     [--out BENCH_PR5.json]
+//!     [--out BENCH_PR6.json]
 //! ```
 
 use leapme::core::feature_cache;
@@ -87,7 +98,7 @@ struct Baseline {
     parallel: BaselineStage,
 }
 
-/// Speedup of this PR over the `BENCH_PR4.json` baseline at an equal
+/// Speedup of this PR over the `BENCH_PR5.json` baseline at an equal
 /// thread count (baseline seconds / current seconds; > 1 is faster).
 #[derive(Debug, Serialize)]
 struct VsBaseline {
@@ -98,6 +109,47 @@ struct VsBaseline {
     score_speedup: f64,
 }
 
+/// Serial minima of the eight string-distance kernels, each timed in
+/// isolation over the normalized name pair of every candidate pair with
+/// shared scratch buffers — the same per-call shape `StringDistances::
+/// compute_with` uses. The banded OSA/Damerau times include the benefit
+/// of the Myers bound but not its cost (it is timed separately).
+#[derive(Debug, Serialize)]
+struct NameKernelTimes {
+    /// Bit-parallel Myers Levenshtein (row 9, and the band bound for
+    /// rows 8 and 10).
+    myers_levenshtein_s: f64,
+    /// Banded optimal string alignment (row 8).
+    osa_banded_s: f64,
+    /// Banded unrestricted Damerau–Levenshtein (row 10).
+    damerau_banded_s: f64,
+    /// Longest common substring (row 11).
+    lcs_s: f64,
+    /// Positional 3-gram distance (row 12).
+    trigram_s: f64,
+    /// Shared 3-gram profiles → cosine + Jaccard (rows 13–14).
+    trigram_profiles_s: f64,
+    /// Jaro–Winkler (row 15).
+    jaro_winkler_s: f64,
+}
+
+/// What the global pair-dedupe table did for the name-distance pass:
+/// how far the candidate space collapsed and which path served lookups.
+#[derive(Debug, Serialize)]
+struct PairDedupeStats {
+    /// Distinct normalized name forms across all properties.
+    unique_name_forms: usize,
+    /// Form pairs actually computed (the upper-triangular table).
+    table_entries: usize,
+    /// Per-pair lookups served by the table during the timed pass.
+    table_hits: u64,
+    /// Lookups served by the legacy per-store string cache (0 when the
+    /// table is active).
+    string_cache_hits: u64,
+    /// Lookups that fell through to a fresh kernel computation.
+    string_cache_misses: u64,
+}
+
 /// Serial wall times of the featurization substages, each measured in
 /// isolation over the same corpus/pair workload as the stage pass.
 #[derive(Debug, Serialize)]
@@ -106,10 +158,45 @@ struct FeaturizeBreakdown {
     char_token_s: f64,
     /// Streaming embedding averaging over every instance value.
     embedding_average_s: f64,
-    /// The 8 pair name distances over every candidate pair (uncached).
+    /// The 8 pair name distances over every candidate pair through the
+    /// pipeline path: canonical pair-table build plus per-pair lookups
+    /// (measured via the names/non-embeddings feature configuration on a
+    /// fresh store each repeat).
     name_distances_s: f64,
+    /// The same workload computed uncached, one kernel pass per pair —
+    /// the exact semantics of `name_distances_s` in PR5 and earlier, for
+    /// apples-to-apples kernel comparisons across reports.
+    name_distances_uncached_s: f64,
+    /// Per-kernel split of the uncached workload.
+    name_kernels: NameKernelTimes,
+    /// What the dedupe table collapsed the workload to.
+    pair_dedupe: PairDedupeStats,
     /// Pair-vector assembly: the |a−b| kernel over every candidate pair.
     assembly_s: f64,
+}
+
+/// Full-candidate-space scoring through the f32 reference network
+/// against the opt-in int8 quantized path (its calibration gate and
+/// potential fallback included in the timing — it is what a `--quantized`
+/// run pays).
+#[derive(Debug, Serialize)]
+struct QuantizedBench {
+    /// Exact f32 scoring of every candidate pair, seconds.
+    score_f32_s: f64,
+    /// Quantized scoring of the same pairs, seconds.
+    score_int8_s: f64,
+    /// `score_f32_s / score_int8_s` (> 1 means int8 is faster).
+    int8_speedup: f64,
+    /// Whether the calibration gate kept the int8 path (false = the run
+    /// fell back to exact f32 scoring).
+    used_quantized: bool,
+    /// Max |f32 − int8| class-1 probability on the calibration block.
+    calibration_max_abs_error: f32,
+    /// Pairs in the calibration block.
+    calibration_pairs: usize,
+    /// Max |f32 − int8| probability difference over the whole run
+    /// (0 when the gate fell back, because the outputs are identical).
+    full_run_max_abs_error: f32,
 }
 
 /// Cold featurization vs loading the persisted feature cache.
@@ -145,6 +232,10 @@ struct BenchReport {
     /// chaos stage of scripts/verify.sh greps for it.
     faults_enabled: bool,
     cores: usize,
+    /// `true` when only one core is available: the "parallel" stage
+    /// times are then the serial path measured a second time, and none
+    /// of the `speedup_*` ratios say anything about multithreading.
+    parallel_unmeasured: bool,
     sources: usize,
     properties: usize,
     pairs: usize,
@@ -159,8 +250,9 @@ struct BenchReport {
     featurize_breakdown: FeaturizeBreakdown,
     warm_cache: WarmCache,
     checkpoint: CheckpointOverhead,
-    vs_pr4_serial: Option<VsBaseline>,
-    vs_pr4_parallel: Option<VsBaseline>,
+    quantized: QuantizedBench,
+    vs_pr5_serial: Option<VsBaseline>,
+    vs_pr5_parallel: Option<VsBaseline>,
 }
 
 /// Warn when the thread counts a run requested, resolved, and has
@@ -328,7 +420,72 @@ fn measure_checkpoint_overhead(
     }
 }
 
-/// Serial substage minima over `repeats` runs: the four pieces of
+/// Per-kernel serial minima over every candidate pair's normalized
+/// names, with shared scratch buffers. The Myers pass doubles as the
+/// band bound for the OSA/Damerau kernels, exactly as
+/// `StringDistances::compute_with` wires them.
+fn measure_name_kernels(norm_pairs: &[(String, String)], repeats: usize) -> NameKernelTimes {
+    use leapme::textsim::{damerau, jaro, lcs, myers, ngram, osa, qgram, DistanceScratch};
+    use std::hint::black_box;
+    let mut scratch = DistanceScratch::new();
+    let mut levs = vec![0usize; norm_pairs.len()];
+
+    let mut times = NameKernelTimes {
+        myers_levenshtein_s: f64::INFINITY,
+        osa_banded_s: f64::INFINITY,
+        damerau_banded_s: f64::INFINITY,
+        lcs_s: f64::INFINITY,
+        trigram_s: f64::INFINITY,
+        trigram_profiles_s: f64::INFINITY,
+        jaro_winkler_s: f64::INFINITY,
+    };
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        for (i, (a, b)) in norm_pairs.iter().enumerate() {
+            levs[i] = myers::distance_with(a, b, &mut scratch);
+        }
+        times.myers_levenshtein_s = times.myers_levenshtein_s.min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        for (i, (a, b)) in norm_pairs.iter().enumerate() {
+            black_box(osa::distance_bounded_with(a, b, levs[i], &mut scratch));
+        }
+        times.osa_banded_s = times.osa_banded_s.min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        for (i, (a, b)) in norm_pairs.iter().enumerate() {
+            black_box(damerau::distance_bounded_with(a, b, levs[i], &mut scratch));
+        }
+        times.damerau_banded_s = times.damerau_banded_s.min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        for (a, b) in norm_pairs {
+            black_box(lcs::substring_distance_with(a, b, &mut scratch));
+        }
+        times.lcs_s = times.lcs_s.min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        for (a, b) in norm_pairs {
+            black_box(ngram::normalized_distance_with(a, b, 3, &mut scratch));
+        }
+        times.trigram_s = times.trigram_s.min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        for (a, b) in norm_pairs {
+            black_box(qgram::trigram_distances_with(a, b, &mut scratch));
+        }
+        times.trigram_profiles_s = times.trigram_profiles_s.min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        for (a, b) in norm_pairs {
+            black_box(jaro::jaro_winkler_distance_with(a, b, &mut scratch));
+        }
+        times.jaro_winkler_s = times.jaro_winkler_s.min(t.elapsed().as_secs_f64());
+    }
+    times
+}
+
+/// Serial substage minima over `repeats` runs: the pieces of
 /// featurization timed in isolation through the same public entry points
 /// the pipeline uses.
 fn measure_featurize_breakdown(
@@ -347,11 +504,27 @@ fn measure_featurize_breakdown(
         .collect();
     let mut avg = vec![0.0f32; embeddings.dim()];
     let mut diff = vec![0.0f32; property::len(embeddings.dim())];
+    let keyed: Vec<(PropertyKey, PropertyKey)> = pairs
+        .iter()
+        .map(|PropertyPair(a, b)| (a.clone(), b.clone()))
+        .collect();
+    // The pipeline path computes name distances under this configuration
+    // only — the mask keeps exactly the 8 string-distance columns.
+    let names_cfg = FeatureConfig {
+        scope: FeatureScope::Names,
+        kind: FeatureKind::NonEmbeddings,
+    };
+    let norm_pairs: Vec<(String, String)> = pairs
+        .iter()
+        .map(|PropertyPair(a, b)| (pair::normalize_name(&a.name), pair::normalize_name(&b.name)))
+        .collect();
 
     let mut char_token_s = f64::INFINITY;
     let mut embedding_average_s = f64::INFINITY;
     let mut name_distances_s = f64::INFINITY;
+    let mut name_distances_uncached_s = f64::INFINITY;
     let mut assembly_s = f64::INFINITY;
+    let mut pair_dedupe = None;
     for _ in 0..repeats.max(1) {
         let t = Instant::now();
         for v in &values {
@@ -367,11 +540,34 @@ fn measure_featurize_breakdown(
         }
         embedding_average_s = embedding_average_s.min(t.elapsed().as_secs_f64());
 
+        // Pipeline path: a fresh store each repeat (the pair table is
+        // built once per store), timing the table build plus every
+        // per-pair lookup — what a scoring run actually pays.
+        let fresh = PropertyFeatureStore::build(dataset, embeddings);
+        let t = Instant::now();
+        fresh.ensure_pair_table(pairs.len());
+        black_box(
+            fresh
+                .pair_matrix_flat(&keyed, &names_cfg)
+                .expect("name-distance matrix"),
+        );
+        name_distances_s = name_distances_s.min(t.elapsed().as_secs_f64());
+        let (cache_hits, cache_misses) = fresh.string_cache_stats();
+        let (unique_name_forms, table_entries, table_hits) =
+            fresh.pair_table_stats().unwrap_or((0, 0, 0));
+        pair_dedupe = Some(PairDedupeStats {
+            unique_name_forms,
+            table_entries,
+            table_hits,
+            string_cache_hits: cache_hits,
+            string_cache_misses: cache_misses,
+        });
+
         let t = Instant::now();
         for PropertyPair(a, b) in pairs {
             black_box(pair::string_features(&a.name, &b.name));
         }
-        name_distances_s = name_distances_s.min(t.elapsed().as_secs_f64());
+        name_distances_uncached_s = name_distances_uncached_s.min(t.elapsed().as_secs_f64());
 
         let t = Instant::now();
         for PropertyPair(a, b) in pairs {
@@ -386,7 +582,67 @@ fn measure_featurize_breakdown(
         char_token_s,
         embedding_average_s,
         name_distances_s,
+        name_distances_uncached_s,
+        name_kernels: measure_name_kernels(&norm_pairs, repeats),
+        pair_dedupe: pair_dedupe.expect("repeats >= 1"),
         assembly_s,
+    }
+}
+
+/// Exact f32 scoring vs the opt-in int8 path over the full candidate
+/// space, as per-path minima over `repeats` runs on one trained model.
+/// The quantized timing includes the calibration gate (dual-scoring the
+/// first block) and any fallback — it is the cost a `--quantized` run
+/// observes, not an idealized kernel time.
+fn measure_quantized(
+    dataset: &Dataset,
+    embeddings: &EmbeddingStore,
+    pairs: &[PropertyPair],
+    seed: u64,
+    repeats: usize,
+) -> QuantizedBench {
+    let store = PropertyFeatureStore::build(dataset, embeddings);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let split = sampling::split_sources(dataset.sources().len(), 0.5, &mut rng).expect("split");
+    let train_pairs = sampling::training_pairs(dataset, &split.train, 2, &mut rng);
+    let model = Leapme::fit(&store, &train_pairs, &LeapmeConfig::default()).expect("fit");
+
+    let mut score_f32_s = f64::INFINITY;
+    let mut score_int8_s = f64::INFINITY;
+    let mut reference = Vec::new();
+    let mut quantized = Vec::new();
+    let mut report = None;
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        reference = model.score_pairs(&store, pairs).expect("f32 scoring");
+        score_f32_s = score_f32_s.min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        let (scores, r) = model
+            .score_pairs_quantized(&store, pairs)
+            .expect("quantized scoring");
+        score_int8_s = score_int8_s.min(t.elapsed().as_secs_f64());
+        quantized = scores;
+        report = Some(r);
+    }
+    let report = report.expect("repeats >= 1");
+    let full_run_max_abs_error = reference
+        .iter()
+        .zip(&quantized)
+        .map(|(r, q)| (r - q).abs())
+        .fold(0.0f32, f32::max);
+    QuantizedBench {
+        score_f32_s,
+        score_int8_s,
+        int8_speedup: if score_int8_s > 0.0 {
+            score_f32_s / score_int8_s
+        } else {
+            f64::NAN
+        },
+        used_quantized: report.used_quantized,
+        calibration_max_abs_error: report.calibration_max_abs_error,
+        calibration_pairs: report.calibration_pairs,
+        full_run_max_abs_error,
     }
 }
 
@@ -434,7 +690,7 @@ fn compare_with_baseline(stage: &StageTimes, baseline: &BaselineStage) -> Option
     if baseline.threads_effective != stage.threads_effective {
         eprintln!(
             "warning: baseline ran with {} thread(s) but this run used {}; \
-             skipping vs-PR4 comparison for this mode",
+             skipping vs-PR5 comparison for this mode",
             baseline.threads_effective, stage.threads_effective
         );
         return None;
@@ -450,17 +706,17 @@ fn compare_with_baseline(stage: &StageTimes, baseline: &BaselineStage) -> Option
 }
 
 fn load_baseline() -> Option<Baseline> {
-    let text = match std::fs::read_to_string("BENCH_PR4.json") {
+    let text = match std::fs::read_to_string("BENCH_PR5.json") {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("warning: BENCH_PR4.json not readable ({e}); skipping vs-PR4 comparison");
+            eprintln!("warning: BENCH_PR5.json not readable ({e}); skipping vs-PR5 comparison");
             return None;
         }
     };
     match serde_json::from_str(&text) {
         Ok(b) => Some(b),
         Err(e) => {
-            eprintln!("warning: BENCH_PR4.json not parsable ({e}); skipping vs-PR4 comparison");
+            eprintln!("warning: BENCH_PR5.json not parsable ({e}); skipping vs-PR5 comparison");
             None
         }
     }
@@ -476,6 +732,14 @@ fn main() {
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
     let parallel_threads: usize = args.get_or("threads", cores);
+    let parallel_unmeasured = cores == 1;
+    if parallel_unmeasured {
+        eprintln!(
+            "warning: only 1 core detected — the \"parallel\" pass is the serial \
+             path measured twice; its numbers say nothing about multithreading \
+             (report flags this as parallel_unmeasured)"
+        );
+    }
 
     let spec = Domain::Cameras.spec();
     let mut cfg = Domain::Cameras.generator_config();
@@ -525,20 +789,21 @@ fn main() {
     drop(store);
     let warm_cache = measure_warm_cache(&dataset, &embeddings);
     let checkpoint = measure_checkpoint_overhead(&dataset, &embeddings, seed, repeats);
+    let quantized = measure_quantized(&dataset, &embeddings, &pairs, seed, repeats);
     std::env::remove_var(THREADS_ENV);
 
     let baseline = load_baseline().filter(|b| {
         if b.pairs != pairs.len() {
             eprintln!(
                 "warning: baseline measured {} candidate pairs but this run has {}; \
-                 skipping vs-PR4 comparison (rerun with the baseline's --sources)",
+                 skipping vs-PR5 comparison (rerun with the baseline's --sources)",
                 b.pairs,
                 pairs.len()
             );
         }
         b.pairs == pairs.len()
     });
-    let (vs_pr4_serial, vs_pr4_parallel) = match &baseline {
+    let (vs_pr5_serial, vs_pr5_parallel) = match &baseline {
         Some(b) => (
             compare_with_baseline(&serial, &b.serial),
             compare_with_baseline(&parallel, &b.parallel),
@@ -550,6 +815,7 @@ fn main() {
     let report = BenchReport {
         faults_enabled: cfg!(feature = "faults"),
         cores,
+        parallel_unmeasured,
         sources,
         properties: dataset.properties().len(),
         pairs: pairs.len(),
@@ -562,13 +828,14 @@ fn main() {
         featurize_breakdown,
         warm_cache,
         checkpoint,
-        vs_pr4_serial,
-        vs_pr4_parallel,
+        quantized,
+        vs_pr5_serial,
+        vs_pr5_parallel,
         serial,
         parallel,
     };
 
-    let out = args.get_or("out", "BENCH_PR5.json".to_string());
+    let out = args.get_or("out", "BENCH_PR6.json".to_string());
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     println!("{json}");
     atomic_write(std::path::Path::new(&out), format!("{json}\n").as_bytes())

@@ -11,7 +11,7 @@ pub struct Flags {
 
 /// Flags that stand alone: their presence means `true` and no value
 /// token follows them on the command line.
-const BOOLEAN_FLAGS: &[&str] = &["lenient", "resume"];
+const BOOLEAN_FLAGS: &[&str] = &["lenient", "quantized", "resume"];
 
 impl Flags {
     /// Parse a flag list. Every flag must start with `--` and carry

@@ -14,6 +14,7 @@ use leapme_features::{CancelCheck, FeatureConfig, FeatureKind, FeatureScope, Pro
 use leapme_nn::checkpoint::{self, CheckpointError, Decoder, Encoder, KIND_PIPELINE};
 use leapme_nn::matrix::Matrix;
 use leapme_nn::network::{FitControl, Mlp, TrainConfig};
+use leapme_nn::quant::{QuantWorkspace, QuantizedMlp, DEFAULT_TOLERANCE};
 use leapme_nn::workspace::ScoreWorkspace;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -57,6 +58,22 @@ pub struct LeapmeModel {
 
 /// Batch size used when scoring large candidate spaces.
 const SCORE_BATCH: usize = 4096;
+
+/// Outcome of an opt-in quantized scoring run
+/// ([`LeapmeModel::score_pairs_quantized`]): whether the int8 path was
+/// actually used and what the bounded-error oracle measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantizedScoreReport {
+    /// `true` when the quantized network scored the run; `false` when
+    /// the calibration error exceeded the tolerance and every pair was
+    /// scored by the f32 reference instead.
+    pub used_quantized: bool,
+    /// Largest `|f32 − int8|` class-1 probability difference on the
+    /// calibration block.
+    pub calibration_max_abs_error: f32,
+    /// Number of pairs in the calibration block.
+    pub calibration_pairs: usize,
+}
 
 /// Durability knobs for [`Leapme::fit_durable`]: where to checkpoint
 /// training, how often, whether to resume, and the cancellation check
@@ -123,6 +140,10 @@ impl Leapme {
                 .iter()
                 .map(|(PropertyPair(a, b), _)| (a.clone(), b.clone()))
                 .collect();
+        // Precompute the run-level name-pair distance table when the
+        // training volume justifies it; the fill below then reads every
+        // string feature from the table instead of the locking cache.
+        store.ensure_pair_table_for(&cfg.features, pairs.len());
         let (n, cols, data) = store
             .pair_matrix_flat_cancellable(
                 &pairs,
@@ -302,6 +323,7 @@ impl LeapmeModel {
         cancel: CancelCheck<'_>,
     ) -> Result<Vec<f32>, CoreError> {
         self.check_store(store)?;
+        store.ensure_pair_table_for(&self.features, pairs.len());
         let chunk = chunk_size.max(1);
         let mask = self.features.mask(store.dim());
         let cols = mask.len();
@@ -315,6 +337,85 @@ impl LeapmeModel {
             self.net.predict_proba_into(&x, &mut ws, &mut scores);
         }
         Ok(scores)
+    }
+
+    /// [`Self::score_pairs`] through opt-in int8 quantized inference,
+    /// gated by a bounded-error oracle: the first feature block is
+    /// scored by both the f32 reference and the quantized network, and
+    /// if their class-1 probabilities diverge by more than
+    /// [`leapme_nn::quant::DEFAULT_TOLERANCE`] anywhere in that
+    /// calibration block the entire run silently falls back to the f32
+    /// path. The returned [`QuantizedScoreReport`] says which path ran
+    /// and the calibration error, so callers (CLI `--quantized`, bench)
+    /// can surface the decision instead of guessing.
+    pub fn score_pairs_quantized(
+        &self,
+        store: &PropertyFeatureStore,
+        pairs: &[PropertyPair],
+    ) -> Result<(Vec<f32>, QuantizedScoreReport), CoreError> {
+        self.score_pairs_quantized_cancellable(store, pairs, None)
+    }
+
+    /// [`Self::score_pairs_quantized`] with cooperative cancellation,
+    /// polled once per scoring block.
+    pub fn score_pairs_quantized_cancellable(
+        &self,
+        store: &PropertyFeatureStore,
+        pairs: &[PropertyPair],
+        cancel: CancelCheck<'_>,
+    ) -> Result<(Vec<f32>, QuantizedScoreReport), CoreError> {
+        self.check_store(store)?;
+        store.ensure_pair_table_for(&self.features, pairs.len());
+        if pairs.is_empty() {
+            return Ok((
+                Vec::new(),
+                QuantizedScoreReport {
+                    used_quantized: true,
+                    calibration_max_abs_error: 0.0,
+                    calibration_pairs: 0,
+                },
+            ));
+        }
+        let qnet = QuantizedMlp::from_mlp(&self.net);
+        let mask = self.features.mask(store.dim());
+        let cols = mask.len();
+
+        // Calibration: the first block runs on both paths.
+        let calib = &pairs[..pairs.len().min(SCORE_BATCH)];
+        let mut x = Matrix::zeros(0, 0);
+        x.resize_zeroed(calib.len(), cols);
+        store.fill_pair_block_cancellable(calib, &mask, x.data_mut(), cancel)?;
+        self.scaler.transform_inplace(&mut x);
+        let mut ws = ScoreWorkspace::new();
+        let mut reference = Vec::with_capacity(calib.len());
+        self.net.predict_proba_into(&x, &mut ws, &mut reference);
+        let mut qws = QuantWorkspace::new();
+        let mut scores = Vec::with_capacity(pairs.len());
+        qnet.predict_proba_into(&x, &mut qws, &mut scores);
+        let err = reference
+            .iter()
+            .zip(&scores)
+            .map(|(&r, &q)| (r - q).abs())
+            .fold(0.0f32, f32::max);
+        let report = QuantizedScoreReport {
+            used_quantized: err <= DEFAULT_TOLERANCE,
+            calibration_max_abs_error: err,
+            calibration_pairs: calib.len(),
+        };
+        if !report.used_quantized {
+            // Oracle failed: rerun everything on the reference path.
+            return Ok((
+                self.score_pairs_cancellable(store, pairs, SCORE_BATCH, cancel)?,
+                report,
+            ));
+        }
+        for block in pairs[calib.len()..].chunks(SCORE_BATCH) {
+            x.resize_zeroed(block.len(), cols);
+            store.fill_pair_block_cancellable(block, &mask, x.data_mut(), cancel)?;
+            self.scaler.transform_inplace(&mut x);
+            qnet.predict_proba_into(&x, &mut qws, &mut scores);
+        }
+        Ok((scores, report))
     }
 
     /// The original materialize-per-chunk scorer, kept as the equivalence
@@ -391,6 +492,10 @@ impl LeapmeModel {
         if threads <= 1 || pairs.len() < 2 * SCORE_BATCH {
             return self.score_pairs_cancellable(store, pairs, SCORE_BATCH, cancel);
         }
+        // Build the shared distance table once on the calling thread at
+        // the full pair volume — per-chunk calls inside the workers
+        // would evaluate the size gate against a fraction of the run.
+        store.ensure_pair_table_for(&self.features, pairs.len());
         let chunk_len = pairs.len().div_ceil(threads);
         let chunks: Vec<&[PropertyPair]> = pairs.chunks(chunk_len).collect();
         let score_chunk = |chunk: &[PropertyPair]| {
@@ -479,6 +584,20 @@ impl LeapmeModel {
     ) -> Result<SimilarityGraph, CoreError> {
         let scores = self.score_pairs_cancellable(store, pairs, SCORE_BATCH, cancel)?;
         Ok(pairs.iter().cloned().zip(scores).collect())
+    }
+
+    /// [`Self::predict_graph`] through the opt-in quantized scorer (same
+    /// bounded-error gate and fallback as
+    /// [`Self::score_pairs_quantized`]); returns the graph plus the
+    /// quantization report.
+    pub fn predict_graph_quantized_cancellable(
+        &self,
+        store: &PropertyFeatureStore,
+        pairs: &[PropertyPair],
+        cancel: CancelCheck<'_>,
+    ) -> Result<(SimilarityGraph, QuantizedScoreReport), CoreError> {
+        let (scores, report) = self.score_pairs_quantized_cancellable(store, pairs, cancel)?;
+        Ok((pairs.iter().cloned().zip(scores).collect(), report))
     }
 
     /// Binary match decisions at the model threshold, in input order.
@@ -593,6 +712,46 @@ mod tests {
         for (d, s) in decisions.iter().zip(&scores) {
             assert_eq!(*d, *s >= model.threshold());
         }
+    }
+
+    #[test]
+    fn quantized_scoring_tracks_f32_within_tolerance() {
+        let ds = generate(Domain::Tvs, 31);
+        let store = PropertyFeatureStore::build(&ds, &embeddings(Domain::Tvs));
+        let mut rng = StdRng::seed_from_u64(12);
+        let split = sampling::split_sources(ds.sources().len(), 0.8, &mut rng).unwrap();
+        let train = sampling::training_pairs(&ds, &split.train, 2, &mut rng);
+        let cfg = LeapmeConfig {
+            train: quick_train_cfg(),
+            hidden: vec![16],
+            ..LeapmeConfig::default()
+        };
+        let model = Leapme::fit(&store, &train, &cfg).unwrap();
+        let test = sampling::test_pairs(&ds, &split.train);
+        let reference = model.score_pairs(&store, &test).unwrap();
+        let (quantized, report) = model.score_pairs_quantized(&store, &test).unwrap();
+        assert_eq!(quantized.len(), reference.len());
+        assert!(report.calibration_pairs > 0);
+        if report.used_quantized {
+            // The oracle only sees the calibration block; the whole run
+            // must still stay within a loose multiple of the tolerance.
+            for (q, r) in quantized.iter().zip(&reference) {
+                assert!(
+                    (q - r).abs() <= 3.0 * DEFAULT_TOLERANCE,
+                    "quantized {q} vs f32 {r}"
+                );
+            }
+        } else {
+            // Fallback path must be the f32 scores exactly.
+            assert_eq!(quantized, reference);
+            assert!(report.calibration_max_abs_error > DEFAULT_TOLERANCE);
+        }
+        // Graph variant agrees with the score variant's decision.
+        let (graph, greport) = model
+            .predict_graph_quantized_cancellable(&store, &test, None)
+            .unwrap();
+        assert_eq!(greport.used_quantized, report.used_quantized);
+        assert_eq!(graph.len(), test.len());
     }
 
     #[test]

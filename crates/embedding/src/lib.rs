@@ -38,7 +38,10 @@
 //! ```
 
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the explicit-SIMD lanes in
+// `kernels::sse2` carry the crate's only `allow(unsafe_code)` override,
+// scoped to that module and justified inline per intrinsic call.
+#![deny(unsafe_code)]
 
 pub mod cooccur;
 pub mod eval;

@@ -33,6 +33,7 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Largest absolute value a feature may carry out of the vectorizer.
 ///
@@ -258,6 +259,72 @@ impl StringCache {
     }
 }
 
+/// Upper bound on run-level pair-table entries. Above this the dense
+/// table would cost more memory than the run saves, so
+/// [`PropertyFeatureStore::ensure_pair_table`] declines to build it and
+/// lookups stay on the sharded [`StringCache`].
+const PAIR_TABLE_MAX_ENTRIES: usize = 2_000_000;
+
+/// Run-level dense memo of string-distance features over *canonical
+/// normalized name forms*: every unique normalized pair is scored exactly
+/// once per run, after which each lookup is one lock-free, hash-free
+/// triangular-index read. Names that normalize to the same form (e.g.
+/// `"Shutter-Speed"` and `"shutter speed"`) share a canonical id, so
+/// cross-block duplicates collapse before any distance kernel runs.
+struct PairTable {
+    /// Name id → canonical normalized-form id.
+    canon: Vec<u32>,
+    /// Number of canonical forms.
+    n: usize,
+    /// Upper-triangular (diagonal included) feature table over canonical
+    /// form pairs, `n · (n + 1) / 2` entries long.
+    features: Vec<[f32; pair::STRING_FEATURES]>,
+}
+
+impl PairTable {
+    /// Flat index of the canonical pair `(i, j)` with `i ≤ j < n` in the
+    /// row-major upper triangle.
+    #[inline]
+    fn tri(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i <= j && j < self.n);
+        // Row i starts after rows 0..i of lengths n, n−1, …: written in
+        // the underflow-free product form (one factor is always even).
+        i * (2 * self.n - i + 1) / 2 + (j - i)
+    }
+
+    /// The memoized features for the pair of interned name ids.
+    #[inline]
+    fn get(&self, ia: u32, ib: u32) -> [f32; pair::STRING_FEATURES] {
+        let ci = self.canon[ia as usize] as usize;
+        let cj = self.canon[ib as usize] as usize;
+        let (i, j) = if ci <= cj { (ci, cj) } else { (cj, ci) };
+        self.features[self.tri(i, j)]
+    }
+}
+
+/// Score the canonical-form pairs of rows `row_start..row_end` into
+/// `out` (which must hold exactly those rows' triangle entries). The
+/// per-row inner loop covers `j ∈ [i, n)`, matching [`PairTable::tri`]'s
+/// layout; distances go through the same prenormalized kernel as the
+/// sharded cache, so table entries are bitwise identical to cache
+/// entries.
+fn fill_pair_table_rows(
+    forms: &[&str],
+    row_start: usize,
+    row_end: usize,
+    out: &mut [[f32; pair::STRING_FEATURES]],
+) {
+    let n = forms.len();
+    let mut k = 0usize;
+    for i in row_start..row_end {
+        for j in i..n {
+            out[k] = pair::string_features_prenormalized(forms[i], forms[j]);
+            k += 1;
+        }
+    }
+    debug_assert_eq!(k, out.len(), "triangle row range / buffer mismatch");
+}
+
 /// Precomputed property feature vectors for one dataset, plus an
 /// interned-name memo table for name string distances.
 pub struct PropertyFeatureStore {
@@ -269,6 +336,13 @@ pub struct PropertyFeatureStore {
     /// normalized once here so string-cache misses skip re-tokenizing.
     normalized_names: Vec<String>,
     string_cache: StringCache,
+    /// Run-level dense pair table, built at most once per store by
+    /// [`Self::ensure_pair_table`]. Unset until some caller's expected
+    /// pair volume clears the size gate; until then lookups stay on
+    /// `string_cache`.
+    pair_table: OnceLock<PairTable>,
+    /// Lookups served by the dense pair table.
+    table_hits: AtomicU64,
     /// Repairs made by the build-time numeric-hygiene pass.
     sanitize: SanitizeStats,
     /// Properties with no embedding signal (degraded mode).
@@ -490,6 +564,8 @@ impl PropertyFeatureStore {
             name_ids,
             normalized_names,
             string_cache: StringCache::new(),
+            pair_table: OnceLock::new(),
+            table_hits: AtomicU64::new(0),
             sanitize,
             degradation,
         }
@@ -547,14 +623,153 @@ impl PropertyFeatureStore {
         )
     }
 
+    /// `(canonical forms, table entries, lookups served)` of the dense
+    /// pair table, or `None` while the table is unbuilt.
+    pub fn pair_table_stats(&self) -> Option<(usize, usize, u64)> {
+        let table = self.pair_table.get()?;
+        Some((
+            table.n,
+            table.features.len(),
+            self.table_hits.load(Ordering::Relaxed),
+        ))
+    }
+
+    /// Build the run-level dense pair table (idempotent — at most one
+    /// build per store), scoring every unique canonical normalized name
+    /// pair exactly once up front so subsequent pair fills never touch a
+    /// distance kernel or a cache lock.
+    ///
+    /// `expected_pairs` is the caller's pair volume; when the table
+    /// would hold more than twice that many entries (or more than
+    /// [`PAIR_TABLE_MAX_ENTRIES`]) the precompute cannot pay for itself
+    /// and the call is a no-op — not a sticky skip, so a later caller
+    /// with a larger volume (say, full scoring after a small training
+    /// run) still builds it. Either way, downstream feature vectors are
+    /// bitwise unchanged: table entries come from the same prenormalized
+    /// kernel the cache miss path runs.
+    pub fn ensure_pair_table(&self, expected_pairs: usize) {
+        self.ensure_pair_table_with_threads(expected_pairs, worker_threads());
+    }
+
+    /// [`Self::ensure_pair_table`] with an explicit worker-thread count
+    /// (the table fill is embarrassingly parallel over row ranges; the
+    /// filled table is bitwise identical for every thread count).
+    pub fn ensure_pair_table_with_threads(&self, expected_pairs: usize, threads: usize) {
+        if self.pair_table.get().is_some() {
+            return;
+        }
+        // Canonicalize: names whose normalized forms coincide share one
+        // table row. Sorting keeps canonical ids reproducible.
+        let mut forms: Vec<&str> = self.normalized_names.iter().map(String::as_str).collect();
+        forms.sort_unstable();
+        forms.dedup();
+        let n = forms.len();
+        let entries = n * (n + 1) / 2;
+        if entries == 0
+            || entries > PAIR_TABLE_MAX_ENTRIES
+            || entries > expected_pairs.saturating_mul(2)
+        {
+            return;
+        }
+        self.pair_table
+            .get_or_init(|| self.build_pair_table(forms, threads));
+    }
+
+    fn build_pair_table(&self, forms: Vec<&str>, threads: usize) -> PairTable {
+        let n = forms.len();
+        let entries = n * (n + 1) / 2;
+        let form_id: HashMap<&str, u32> = forms
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (f, i as u32))
+            .collect();
+        let canon: Vec<u32> = self
+            .normalized_names
+            .iter()
+            .map(|f| form_id[f.as_str()])
+            .collect();
+
+        let mut features = vec![[0.0f32; pair::STRING_FEATURES]; entries];
+        let threads = threads.min(n.max(1));
+        if threads <= 1 || entries < 2 * MIN_ITEMS_PER_THREAD {
+            fill_pair_table_rows(&forms, 0, n, &mut features);
+            return PairTable { canon, n, features };
+        }
+
+        // Entry-balanced row ranges: row i holds n − i entries, so equal
+        // row counts would leave the first worker with most of the work.
+        let target = entries.div_ceil(threads);
+        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(threads);
+        let (mut start, mut acc) = (0usize, 0usize);
+        for i in 0..n {
+            acc += n - i;
+            if acc >= target || i + 1 == n {
+                ranges.push((start, i + 1));
+                start = i + 1;
+                acc = 0;
+            }
+        }
+        let mut panicked = false;
+        crossbeam::thread::scope(|scope| {
+            let mut rest: &mut [[f32; pair::STRING_FEATURES]] = &mut features;
+            let mut offset = 0usize;
+            let mut handles = Vec::with_capacity(ranges.len());
+            for &(r0, r1) in &ranges {
+                let seg_len = {
+                    let tri = |r: usize| r * (2 * n - r + 1) / 2;
+                    tri(r1) - tri(r0)
+                };
+                let (head, tail) = rest.split_at_mut(seg_len);
+                rest = tail;
+                offset += seg_len;
+                let forms = &forms;
+                handles.push(scope.spawn(move |_| fill_pair_table_rows(forms, r0, r1, head)));
+            }
+            debug_assert_eq!(offset, entries);
+            for h in handles {
+                if h.join().is_err() {
+                    panicked = true;
+                }
+            }
+        })
+        .expect("pair-table scope");
+        if panicked {
+            // A worker died mid-fill; its segment may be half-written.
+            // Refill the whole triangle serially — the distance kernels
+            // are pure, so the serial pass is the trusted fallback.
+            fill_pair_table_rows(&forms, 0, n, &mut features);
+        }
+        PairTable { canon, n, features }
+    }
+
+    /// [`Self::ensure_pair_table`] gated on `config` actually selecting
+    /// string-distance columns — configurations without them never
+    /// consult the table, so the precompute would be pure waste.
+    pub fn ensure_pair_table_for(&self, config: &FeatureConfig, expected_pairs: usize) {
+        let prop_len = property::len(self.dim);
+        let needs_strings = config
+            .mask(self.dim)
+            .last()
+            .is_some_and(|&i| i >= prop_len);
+        if needs_strings {
+            self.ensure_pair_table(expected_pairs);
+        }
+    }
+
     fn string_features_cached(&self, a: &str, b: &str) -> [f32; pair::STRING_FEATURES] {
         match (self.name_ids.get(a), self.name_ids.get(b)) {
-            (Some(&ia), Some(&ib)) => self.string_cache.get_or_compute(
-                ia,
-                ib,
-                &self.normalized_names[ia as usize],
-                &self.normalized_names[ib as usize],
-            ),
+            (Some(&ia), Some(&ib)) => {
+                if let Some(table) = self.pair_table.get() {
+                    self.table_hits.fetch_add(1, Ordering::Relaxed);
+                    return table.get(ia, ib);
+                }
+                self.string_cache.get_or_compute(
+                    ia,
+                    ib,
+                    &self.normalized_names[ia as usize],
+                    &self.normalized_names[ib as usize],
+                )
+            }
             // Names outside the build-time set (possible only through
             // future API surface) are computed without memoization.
             _ => pair::string_features(a, b),
@@ -642,6 +857,10 @@ impl PropertyFeatureStore {
         if is_cancelled(cancel) {
             return Err(FeatureError::Cancelled);
         }
+        // The full pair count is known here (unlike the streaming
+        // per-block fills), so this is where the global dedupe table can
+        // be sized-gated and built once for the whole matrix.
+        self.ensure_pair_table_for(config, pairs.len());
         let mask = config.mask(self.dim);
         let cols = mask.len();
         let mut data = vec![0.0f32; pairs.len() * cols];
@@ -1121,6 +1340,129 @@ mod tests {
         store.full_pair_vector(&a, &c).unwrap();
         store.full_pair_vector(&a, &c).unwrap();
         assert_eq!(store.string_cache_stats(), (3, 2));
+    }
+
+    #[test]
+    fn pair_table_matches_cache_bitwise() {
+        let ds = toy_dataset();
+        let emb = embeddings();
+        let cached = PropertyFeatureStore::build(&ds, &emb);
+        let tabled = PropertyFeatureStore::build(&ds, &emb);
+        tabled.ensure_pair_table(1000);
+        assert!(tabled.pair_table_stats().is_some());
+        let keys = ds.properties();
+        for a in &keys {
+            for b in &keys {
+                let want = cached.full_pair_vector(a, b).unwrap();
+                let got = tabled.full_pair_vector(a, b).unwrap();
+                assert_eq!(
+                    want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "pair ({a}, {b})"
+                );
+            }
+        }
+        // Every lookup was served by the table; the sharded cache never
+        // engaged on the tabled store.
+        let (_, _, hits) = tabled.pair_table_stats().unwrap();
+        assert_eq!(hits as usize, keys.len() * keys.len());
+        assert_eq!(tabled.string_cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn pair_table_gate_skips_tiny_pair_volumes() {
+        let ds = toy_dataset();
+        let store = PropertyFeatureStore::build(&ds, &embeddings());
+        // 3 names → 6 entries > 2 × 1 expected pair ⇒ skip; lookups
+        // stay on the sharded cache.
+        store.ensure_pair_table(1);
+        assert!(store.pair_table_stats().is_none());
+        let a = PropertyKey::new(SourceId(0), "megapixels");
+        let b = PropertyKey::new(SourceId(1), "resolution");
+        store.full_pair_vector(&a, &b).unwrap();
+        assert_eq!(store.string_cache_stats(), (0, 1));
+        // The skip is not sticky: a later caller with a larger pair
+        // volume (scoring after a small training run) still builds.
+        store.ensure_pair_table(1000);
+        assert!(store.pair_table_stats().is_some());
+    }
+
+    #[test]
+    fn ensure_pair_table_for_respects_string_columns() {
+        let ds = toy_dataset();
+        let store = PropertyFeatureStore::build(&ds, &embeddings());
+        // Embeddings-only configurations never read string distances.
+        let no_strings = FeatureConfig {
+            scope: FeatureScope::Both,
+            kind: FeatureKind::Embeddings,
+        };
+        store.ensure_pair_table_for(&no_strings, 1000);
+        assert!(store.pair_table_stats().is_none());
+        store.ensure_pair_table_for(&FeatureConfig::full(), 1000);
+        assert!(store.pair_table_stats().is_some());
+    }
+
+    #[test]
+    fn pair_table_parallel_fill_matches_serial() {
+        // Enough properties to cross the fan-out threshold; thread-count
+        // sweep must be bitwise invisible in the table and in fills
+        // routed through it.
+        let ds = wide_dataset(24);
+        let emb = embeddings();
+        let serial = PropertyFeatureStore::build(&ds, &emb);
+        serial.ensure_pair_table_with_threads(usize::MAX, 1);
+        let pairs: Vec<(PropertyKey, PropertyKey)> = {
+            let keys = ds.properties();
+            keys.iter()
+                .flat_map(|a| keys.iter().map(move |b| (a.clone(), b.clone())))
+                .take(200)
+                .collect()
+        };
+        let cfg = FeatureConfig::full();
+        let mask = cfg.mask(serial.dim());
+        let mut want = vec![0.0f32; pairs.len() * mask.len()];
+        serial.fill_pair_block(&pairs, &mask, &mut want).unwrap();
+        for threads in [2, 4, 7] {
+            let par = PropertyFeatureStore::build(&ds, &emb);
+            par.ensure_pair_table_with_threads(usize::MAX, threads);
+            assert_eq!(par.pair_table_stats().unwrap().1, serial.pair_table_stats().unwrap().1);
+            let mut got = vec![0.0f32; want.len()];
+            par.fill_pair_block(&pairs, &mask, &mut got).unwrap();
+            assert_eq!(
+                want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn pair_table_collapses_names_sharing_a_normalized_form() {
+        // "Shutter-Speed" and "shutter speed" normalize identically, so
+        // the table must hold one canonical form for both.
+        let mk = |source: u16, property: &str| Instance {
+            source: SourceId(source),
+            property: property.into(),
+            entity: "e".into(),
+            value: "1".into(),
+        };
+        let instances = vec![mk(0, "Shutter-Speed"), mk(1, "shutter speed"), mk(1, "iso")];
+        let mut alignment = BTreeMap::new();
+        alignment.insert(PropertyKey::new(SourceId(0), "Shutter-Speed"), "s".into());
+        alignment.insert(PropertyKey::new(SourceId(1), "shutter speed"), "s".into());
+        alignment.insert(PropertyKey::new(SourceId(1), "iso"), "iso".into());
+        let ds = Dataset::new("norm", vec!["a".into(), "b".into()], instances, alignment).unwrap();
+        let store = PropertyFeatureStore::build(&ds, &embeddings());
+        store.ensure_pair_table(1000);
+        let (forms, entries, _) = store.pair_table_stats().unwrap();
+        assert_eq!(forms, 2, "3 names, 2 canonical forms");
+        assert_eq!(entries, 3);
+        let a = PropertyKey::new(SourceId(0), "Shutter-Speed");
+        let b = PropertyKey::new(SourceId(1), "shutter speed");
+        let v = store.full_pair_vector(&a, &b).unwrap();
+        // Identical normalized forms ⇒ all eight string distances are 0.
+        let prop_len = property::len(store.dim());
+        assert!(v[prop_len..].iter().all(|&x| x == 0.0));
     }
 
     #[test]

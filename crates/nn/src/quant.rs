@@ -1,0 +1,430 @@
+//! Opt-in int8 quantized inference for trained [`Mlp`]s.
+//!
+//! The f32 scoring path is the reference: training, checkpoint resume,
+//! and the default CLI all stay on it, bitwise reproducible. This
+//! module trades that exactness for throughput when the caller opts in:
+//! weights are quantized once per network to symmetric int8 with one
+//! scale per *output column* (so each output neuron keeps its own
+//! dynamic range), activations are quantized per *input row* at score
+//! time, and the affine transform accumulates in i32 — integer
+//! arithmetic, so the accumulation order cannot perturb the result.
+//! Dequantization, bias, ReLU, and the final softmax run in f32.
+//!
+//! Quantization error is bounded, not zero: callers gate the path with
+//! [`QuantizedMlp::max_abs_error`] on a calibration batch against
+//! [`DEFAULT_TOLERANCE`] (the `leapme-core` scorer falls back to f32
+//! when the gate fails, so an ill-conditioned network can never
+//! silently degrade scores).
+//!
+//! On x86-64 the inner i8·i8→i32 dot product runs on SSE2
+//! `_mm_madd_epi16` lanes when the CPU has them; because the lane and
+//! scalar paths do the same exact integer arithmetic, their outputs are
+//! bitwise identical (pinned by tests), keeping quantized scores
+//! independent of the host's SIMD support.
+
+use crate::layers::Activation;
+use crate::matrix::Matrix;
+use crate::network::Mlp;
+
+/// Default gate for quantized scoring: the largest acceptable absolute
+/// difference between quantized and f32 class-1 probabilities on a
+/// calibration batch. Probabilities live in `[0, 1]`, so `0.05` keeps
+/// ranking-quality degradation negligible while tolerating int8
+/// rounding through several layers.
+pub const DEFAULT_TOLERANCE: f32 = 0.05;
+
+/// One dense layer with int8 weights.
+///
+/// Weights are stored transposed relative to [`crate::layers::Dense`]
+/// (`out_dim` contiguous rows of `in_dim` each) so the per-output dot
+/// product walks both operand slices forward.
+struct QuantizedDense {
+    /// `out_dim × in_dim`, row per output neuron.
+    weights: Vec<i8>,
+    /// Per-output-column symmetric scale: `w ≈ q · scale`.
+    scales: Vec<f32>,
+    bias: Vec<f32>,
+    activation: Activation,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl QuantizedDense {
+    fn from_dense(layer: &crate::layers::Dense) -> Self {
+        let (in_dim, out_dim) = (layer.in_dim(), layer.out_dim());
+        let mut weights = vec![0i8; in_dim * out_dim];
+        let mut scales = vec![0.0f32; out_dim];
+        for j in 0..out_dim {
+            let mut amax = 0.0f32;
+            for i in 0..in_dim {
+                amax = amax.max(layer.weights.get(i, j).abs());
+            }
+            if amax == 0.0 {
+                continue; // all-zero column: q = 0, scale 0
+            }
+            let scale = amax / 127.0;
+            scales[j] = scale;
+            let inv = 127.0 / amax;
+            for i in 0..in_dim {
+                let q = (layer.weights.get(i, j) * inv).round();
+                weights[j * in_dim + i] = q.clamp(-127.0, 127.0) as i8;
+            }
+        }
+        QuantizedDense {
+            weights,
+            scales,
+            bias: layer.bias.clone(),
+            activation: layer.activation,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// One input row → one output row, through row-quantized int8.
+    fn forward_row(&self, x: &[f32], qx: &mut Vec<i8>, out: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.in_dim);
+        debug_assert_eq!(out.len(), self.out_dim);
+        // Per-row symmetric activation quantization.
+        let mut amax = 0.0f32;
+        for &v in x {
+            amax = amax.max(v.abs());
+        }
+        qx.clear();
+        if amax == 0.0 {
+            out.copy_from_slice(&self.bias);
+        } else {
+            let x_scale = amax / 127.0;
+            let inv = 127.0 / amax;
+            qx.extend(x.iter().map(|&v| (v * inv).round().clamp(-127.0, 127.0) as i8));
+            for (j, o) in out.iter_mut().enumerate() {
+                let w = &self.weights[j * self.in_dim..(j + 1) * self.in_dim];
+                let acc = dot_i8(qx, w);
+                *o = x_scale * self.scales[j] * acc as f32 + self.bias[j];
+            }
+        }
+        if self.activation == Activation::Relu {
+            for v in out.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
+    }
+}
+
+/// Exact i8·i8→i32 dot product; SSE2 lanes when available, scalar
+/// otherwise — same integer sum either way.
+#[inline]
+fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    #[cfg(target_arch = "x86_64")]
+    if let Some(d) = sse2::try_dot_i8(a, b) {
+        return d;
+    }
+    dot_i8_scalar(a, b)
+}
+
+/// The portable reference dot product (also the oracle the SSE2 lane is
+/// pinned against).
+fn dot_i8_scalar(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| i32::from(x) * i32::from(y))
+        .sum()
+}
+
+/// Explicit SSE2 integer lane for the quantized dot product — one of
+/// the crate's two scoped `allow(unsafe_code)` sites (see the crate
+/// lint note).
+///
+/// i8 operands are sign-extended to i16 and fed to `_mm_madd_epi16`
+/// (8 exact i16 products, adjacent pairs summed into 4 i32 lanes),
+/// with the lanes reduced after the loop. `|q| ≤ 127` keeps every
+/// product ≤ 16129, so neither the madd pair-sums nor the i32
+/// accumulators can wrap for any realistic layer width — integer
+/// addition is associative, making the lane bitwise identical to
+/// [`dot_i8_scalar`].
+#[cfg(target_arch = "x86_64")]
+mod sse2 {
+    #![allow(unsafe_code)]
+
+    use core::arch::x86_64::{
+        __m128i, _mm_add_epi32, _mm_cmpgt_epi8, _mm_cvtsi128_si32, _mm_loadu_si128,
+        _mm_madd_epi16, _mm_setzero_si128, _mm_shuffle_epi32, _mm_unpackhi_epi8,
+        _mm_unpacklo_epi8,
+    };
+
+    /// Lane width: one `__m128i` of i8.
+    const W: usize = 16;
+
+    /// [`super::dot_i8_scalar`] on SSE2 lanes, or `None` when SSE2 is
+    /// unavailable.
+    pub fn try_dot_i8(a: &[i8], b: &[i8]) -> Option<i32> {
+        debug_assert_eq!(a.len(), b.len());
+        if !std::arch::is_x86_feature_detected!("sse2") {
+            return None;
+        }
+        // SAFETY: SSE2 availability was just confirmed.
+        Some(unsafe { dot_i8(a, b) })
+    }
+
+    #[target_feature(enable = "sse2")]
+    unsafe fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+        let n = a.len() / W * W;
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        // SAFETY (whole loop): i + W ≤ len of both equal-length slices;
+        // loads are unaligned-tolerant.
+        unsafe {
+            let zero = _mm_setzero_si128();
+            let mut acc = zero;
+            for i in (0..n).step_by(W) {
+                let va = _mm_loadu_si128(ap.add(i).cast::<__m128i>());
+                let vb = _mm_loadu_si128(bp.add(i).cast::<__m128i>());
+                // Sign-extend i8 → i16: interleave with the sign mask
+                // (0xFF where the byte is negative).
+                let sa = _mm_cmpgt_epi8(zero, va);
+                let sb = _mm_cmpgt_epi8(zero, vb);
+                let a_lo = _mm_unpacklo_epi8(va, sa);
+                let a_hi = _mm_unpackhi_epi8(va, sa);
+                let b_lo = _mm_unpacklo_epi8(vb, sb);
+                let b_hi = _mm_unpackhi_epi8(vb, sb);
+                acc = _mm_add_epi32(acc, _mm_madd_epi16(a_lo, b_lo));
+                acc = _mm_add_epi32(acc, _mm_madd_epi16(a_hi, b_hi));
+            }
+            // Horizontal reduction of the 4 i32 lanes.
+            let hi = _mm_shuffle_epi32(acc, 0b00_01_10_11);
+            let acc = _mm_add_epi32(acc, hi);
+            let hi = _mm_shuffle_epi32(acc, 0b00_00_00_01);
+            let mut dot = _mm_cvtsi128_si32(_mm_add_epi32(acc, hi));
+            for i in n..a.len() {
+                dot += i32::from(*a.get_unchecked(i)) * i32::from(*b.get_unchecked(i));
+            }
+            dot
+        }
+    }
+}
+
+/// Reusable buffers for [`QuantizedMlp`] scoring: two ping-pong f32
+/// activation rows plus the quantized-input row. Steady-state scoring
+/// performs no heap allocations once these are warm.
+#[derive(Default)]
+pub struct QuantWorkspace {
+    act_a: Vec<f32>,
+    act_b: Vec<f32>,
+    qx: Vec<i8>,
+}
+
+impl QuantWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// An [`Mlp`] snapshot quantized to int8 for opt-in fast inference.
+pub struct QuantizedMlp {
+    layers: Vec<QuantizedDense>,
+}
+
+impl QuantizedMlp {
+    /// Quantize a trained network's weights (the network itself is
+    /// untouched — the f32 path stays available for fallback).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no layers.
+    pub fn from_mlp(net: &Mlp) -> Self {
+        assert!(!net.layers().is_empty(), "network has no layers");
+        QuantizedMlp {
+            layers: net.layers().iter().map(QuantizedDense::from_dense).collect(),
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].in_dim
+    }
+
+    /// Output dimensionality (class count).
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("network has layers").out_dim
+    }
+
+    /// Append the quantized probability of class 1 for each row of `x`
+    /// to `out` (the int8 analog of [`Mlp::predict_proba_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.input_dim()` or the network does not
+    /// have ≥ 2 output classes.
+    pub fn predict_proba_into(&self, x: &Matrix, ws: &mut QuantWorkspace, out: &mut Vec<f32>) {
+        assert_eq!(x.cols(), self.input_dim(), "input width mismatch");
+        assert!(self.output_dim() >= 2, "need ≥2 classes for positive prob");
+        out.reserve(x.rows());
+        for r in 0..x.rows() {
+            // Strict ping-pong: even layers write `act_a`, odd write
+            // `act_b`, so each layer's input and output buffers are
+            // always distinct fields.
+            for (idx, layer) in self.layers.iter().enumerate() {
+                if idx % 2 == 0 {
+                    let input: &[f32] = if idx == 0 { x.row(r) } else { &ws.act_b };
+                    ws.act_a.clear();
+                    ws.act_a.resize(layer.out_dim, 0.0);
+                    layer.forward_row(input, &mut ws.qx, &mut ws.act_a);
+                } else {
+                    let input: &[f32] = &ws.act_a;
+                    ws.act_b.clear();
+                    ws.act_b.resize(layer.out_dim, 0.0);
+                    layer.forward_row(input, &mut ws.qx, &mut ws.act_b);
+                }
+            }
+            let logits: &[f32] = if (self.layers.len() - 1).is_multiple_of(2) {
+                &ws.act_a
+            } else {
+                &ws.act_b
+            };
+            out.push(softmax_prob1(logits));
+        }
+    }
+
+    /// Quantized probability of class 1 for each row of `x`.
+    pub fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        let mut out = Vec::with_capacity(x.rows());
+        self.predict_proba_into(x, &mut QuantWorkspace::new(), &mut out);
+        out
+    }
+
+    /// Largest absolute difference between this quantized network's
+    /// class-1 probabilities and the f32 reference on a calibration
+    /// batch — the bounded-error oracle callers compare against
+    /// [`DEFAULT_TOLERANCE`] before trusting the quantized path.
+    pub fn max_abs_error(&self, net: &Mlp, calibration: &Matrix) -> f32 {
+        let reference = net.predict_proba(calibration);
+        let quantized = self.predict_proba(calibration);
+        reference
+            .iter()
+            .zip(&quantized)
+            .map(|(&r, &q)| (r - q).abs())
+            .fold(0.0f32, f32::max)
+    }
+}
+
+/// Numerically-stable two-plus-class softmax probability of class 1.
+fn softmax_prob1(logits: &[f32]) -> f32 {
+    let m = logits.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+    let mut denom = 0.0f32;
+    for &l in logits {
+        denom += (l - m).exp();
+    }
+    (logits[1] - m).exp() / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_inputs(rows: usize, cols: usize, seed: u32) -> Matrix {
+        let gen = |i: usize| -> f32 {
+            let h = (i as u32).wrapping_mul(2654435761).wrapping_add(seed);
+            ((h % 2001) as f32 - 1000.0) / 250.0
+        };
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(gen).collect())
+    }
+
+    #[test]
+    fn scalar_dot_known_values() {
+        assert_eq!(dot_i8_scalar(&[], &[]), 0);
+        assert_eq!(dot_i8_scalar(&[1, -2, 3], &[4, 5, -6]), 4 - 10 - 18);
+        assert_eq!(dot_i8_scalar(&[127; 40], &[127; 40]), 127 * 127 * 40);
+        assert_eq!(dot_i8_scalar(&[-127; 40], &[127; 40]), -127 * 127 * 40);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn sse2_dot_matches_scalar_at_all_tail_widths() {
+        if !std::arch::is_x86_feature_detected!("sse2") {
+            return;
+        }
+        for len in 0..67 {
+            let a: Vec<i8> = (0..len)
+                .map(|i| (((i as u32).wrapping_mul(2654435761) % 255) as i32 - 127) as i8)
+                .collect();
+            let b: Vec<i8> = (0..len)
+                .map(|i| (((i as u32).wrapping_mul(40503).wrapping_add(7) % 255) as i32 - 127) as i8)
+                .collect();
+            assert_eq!(
+                sse2::try_dot_i8(&a, &b),
+                Some(dot_i8_scalar(&a, &b)),
+                "len {len}"
+            );
+        }
+        // Saturation-adjacent extremes.
+        assert_eq!(
+            sse2::try_dot_i8(&[-127i8; 33], &[127i8; 33]),
+            Some(-127 * 127 * 33)
+        );
+    }
+
+    #[test]
+    fn quantized_probs_track_f32_reference() {
+        for (sizes, seed) in [
+            (vec![10usize, 8, 2], 7u64),
+            (vec![45, 128, 64, 2], 42),
+            (vec![3, 4, 2], 1),
+        ] {
+            let net = Mlp::new(&sizes, seed);
+            let q = QuantizedMlp::from_mlp(&net);
+            let x = toy_inputs(64, sizes[0], seed as u32);
+            let err = q.max_abs_error(&net, &x);
+            assert!(
+                err <= DEFAULT_TOLERANCE,
+                "sizes {sizes:?}: max abs error {err} above tolerance"
+            );
+            // Probabilities stay valid probabilities.
+            for p in q.predict_proba(&x) {
+                assert!((0.0..=1.0).contains(&p), "prob {p} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_scores_are_deterministic() {
+        let net = Mlp::new(&[12, 16, 2], 3);
+        let q = QuantizedMlp::from_mlp(&net);
+        let x = toy_inputs(32, 12, 9);
+        let a = q.predict_proba(&x);
+        let b = q.predict_proba(&x);
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn zero_input_rows_score_from_bias() {
+        let net = Mlp::new(&[6, 4, 2], 11);
+        let q = QuantizedMlp::from_mlp(&net);
+        let x = Matrix::zeros(2, 6);
+        let probs = q.predict_proba(&x);
+        let reference = net.predict_proba(&x);
+        for (p, r) in probs.iter().zip(&reference) {
+            assert!((p - r).abs() <= DEFAULT_TOLERANCE);
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh() {
+        let net = Mlp::new(&[9, 7, 2], 5);
+        let q = QuantizedMlp::from_mlp(&net);
+        let mut ws = QuantWorkspace::new();
+        let mut out = Vec::new();
+        let x1 = toy_inputs(8, 9, 21);
+        let x2 = toy_inputs(8, 9, 22);
+        q.predict_proba_into(&x1, &mut ws, &mut out);
+        q.predict_proba_into(&x2, &mut ws, &mut out);
+        assert_eq!(out.len(), 16);
+        let fresh = q.predict_proba(&x2);
+        assert_eq!(
+            out[8..].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            fresh.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+}

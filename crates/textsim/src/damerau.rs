@@ -28,7 +28,36 @@ pub fn distance(a: &str, b: &str) -> usize {
 /// last-row map live in `scratch` — the map's capacity survives across
 /// calls, so a warm steady-state call performs no heap allocations
 /// beyond first-seen characters.
+///
+/// Dispatch: a bit-parallel [`crate::myers`] Levenshtein pass first
+/// yields an upper bound `k` on the Damerau–Levenshtein distance
+/// (DL ≤ OSA ≤ Levenshtein), then [`distance_bounded_with`] fills only
+/// the diagonal band.
 pub fn distance_with(a: &str, b: &str, scratch: &mut DistanceScratch) -> usize {
+    if a == b {
+        return 0;
+    }
+    let bound = crate::myers::distance_with(a, b, scratch);
+    distance_bounded_with(a, b, bound, scratch)
+}
+
+/// [`distance_with`] given a known upper bound on the distance (any
+/// `bound ≥ damerau(a, b)`, e.g. the Levenshtein distance): only the
+/// Lowrance–Wagner cells within `bound + 1` of the main diagonal are
+/// filled. Every cell of an optimal ≤ `bound` edit derivation — and
+/// every long-range transposition reference it selects — lies inside
+/// that widened band (the `+ 1` covers the reference column of a
+/// boundary-tight transposition); cells outside hold the same
+/// `max_dist` sentinel the Lowrance–Wagner recurrence already uses, so
+/// out-of-band candidates are never selected and the result is exactly
+/// [`distance`] (proven exhaustively and by property tests). When the
+/// band covers the whole matrix the kept full DP runs instead.
+///
+/// # Panics
+///
+/// May panic or return a wrong distance if `bound < damerau(a, b)`;
+/// callers must pass a true upper bound.
+pub fn distance_bounded_with(a: &str, b: &str, bound: usize, scratch: &mut DistanceScratch) -> usize {
     if a == b {
         return 0;
     }
@@ -47,29 +76,46 @@ pub fn distance_with(a: &str, b: &str, scratch: &mut DistanceScratch) -> usize {
     if m == 0 {
         return n;
     }
+    // Widened half-width: transposition references can sit one column
+    // outside the ±bound band.
+    let band = bound + 1;
+    lowrance_wagner(av, bv, if band >= m { None } else { Some(band) }, d, last_row)
+}
 
+/// The Lowrance–Wagner DP, full (`band == None` — the kept reference
+/// kernel) or restricted to a diagonal band of the given half-width.
+fn lowrance_wagner(
+    av: &[char],
+    bv: &[char],
+    band: Option<usize>,
+    d: &mut Vec<usize>,
+    last_row: &mut std::collections::HashMap<char, usize>,
+) -> usize {
+    let (n, m) = (av.len(), bv.len());
     let max_dist = n + m;
-    // d has an extra leading row/column holding max_dist sentinels.
+    // d has an extra leading row/column holding max_dist sentinels; in
+    // banded mode every unfilled cell doubles as that sentinel.
     let w = m + 2;
     d.clear();
-    d.resize((n + 2) * w, 0);
+    d.resize((n + 2) * w, max_dist);
     let idx = |i: usize, j: usize| i * w + j;
 
-    d[idx(0, 0)] = max_dist;
     for i in 0..=n {
-        d[idx(i + 1, 0)] = max_dist;
         d[idx(i + 1, 1)] = i;
     }
     for j in 0..=m {
-        d[idx(0, j + 1)] = max_dist;
         d[idx(1, j + 1)] = j;
     }
 
     last_row.clear();
 
     for i in 1..=n {
+        let (lo, hi) = match band {
+            Some(k) => ((i.saturating_sub(k)).max(1), (i + k).min(m)),
+            None => (1, m),
+        };
         let mut last_match_col = 0usize;
-        for j in 1..=m {
+        for j in lo..=hi {
             let i1 = *last_row.get(&bv[j - 1]).unwrap_or(&0);
             let j1 = last_match_col;
             let cost = if av[i - 1] == bv[j - 1] {
@@ -184,6 +230,28 @@ mod tests {
     }
 
     #[test]
+    fn banded_matches_untrimmed_dp_exhaustively_at_every_bound() {
+        // Long-range transposition references are what the widened band
+        // must keep reachable; check every valid bound from the tightest
+        // (the Levenshtein distance) up to full-DP early-exit widths.
+        let strings = crate::levenshtein::tests::small_strings(4);
+        let mut scratch = crate::scratch::DistanceScratch::new();
+        for a in &strings {
+            for b in &strings {
+                let lev = levenshtein::distance(a, b);
+                let want = reference(a, b);
+                for bound in [lev, lev + 1, lev + 3] {
+                    assert_eq!(
+                        distance_bounded_with(a, b, bound, &mut scratch),
+                        want,
+                        "damerau_banded({a:?},{b:?},k={bound})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn known_values() {
         assert_eq!(distance("", ""), 0);
         assert_eq!(distance("abc", ""), 3);
@@ -233,6 +301,18 @@ mod tests {
         fn fast_path_matches_untrimmed_dp(a in ".{0,16}", b in ".{0,16}") {
             let mut scratch = crate::scratch::DistanceScratch::new();
             prop_assert_eq!(distance_with(&a, &b, &mut scratch), reference(&a, &b));
+        }
+
+        #[test]
+        fn banded_matches_untrimmed_dp(a in "[a-e]{0,30}", b in "[a-e]{0,30}") {
+            // Small alphabet → dense long-range transpositions — the
+            // band-edge stress case for the widened window.
+            let mut scratch = crate::scratch::DistanceScratch::new();
+            let lev = levenshtein::distance(&a, &b);
+            prop_assert_eq!(
+                distance_bounded_with(&a, &b, lev, &mut scratch),
+                reference(&a, &b)
+            );
         }
     }
 }

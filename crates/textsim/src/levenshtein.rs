@@ -21,11 +21,23 @@ pub fn distance(a: &str, b: &str) -> usize {
     distance_with(a, b, &mut DistanceScratch::new())
 }
 
-/// [`distance`] through caller-provided scratch buffers: equal strings
-/// short-circuit to `0`, the shared prefix and suffix are trimmed off
-/// (both exact for Levenshtein), and the DP rows live in `scratch`, so a
-/// warm steady-state call performs no heap allocations.
+/// [`distance`] through caller-provided scratch buffers.
+///
+/// The production kernel is the bit-parallel [`crate::myers`] word
+/// recurrence (~64 DP rows per word operation); this wrapper exists so
+/// every Levenshtein call site keeps one entry point. The rolling-row DP
+/// this module used to run survives as [`dp_distance_with`] — the
+/// fallback the banded OSA/Damerau kernels dispatch to and the oracle
+/// the equivalence suites pin the bit-parallel kernel against.
 pub fn distance_with(a: &str, b: &str, scratch: &mut DistanceScratch) -> usize {
+    crate::myers::distance_with(a, b, scratch)
+}
+
+/// The classic two-row rolling DP over trimmed inputs — the kept
+/// reference kernel. Exactly equal to [`distance_with`] on every input
+/// (proven exhaustively and by property tests); production code uses the
+/// bit-parallel path, tests and fallbacks use this one.
+pub fn dp_distance_with(a: &str, b: &str, scratch: &mut DistanceScratch) -> usize {
     if a == b {
         return 0;
     }
@@ -146,6 +158,11 @@ pub(crate) mod tests {
                     reference(a, b),
                     "levenshtein({a:?},{b:?})"
                 );
+                assert_eq!(
+                    dp_distance_with(a, b, &mut scratch),
+                    reference(a, b),
+                    "dp_levenshtein({a:?},{b:?})"
+                );
             }
         }
     }
@@ -216,6 +233,13 @@ pub(crate) mod tests {
         fn fast_path_matches_untrimmed_dp(a in ".{0,24}", b in ".{0,24}") {
             let mut scratch = crate::scratch::DistanceScratch::new();
             prop_assert_eq!(distance_with(&a, &b, &mut scratch), reference(&a, &b));
+        }
+
+        #[test]
+        fn bit_parallel_matches_rolling_dp(a in ".{0,24}", b in ".{0,24}") {
+            let mut scratch = crate::scratch::DistanceScratch::new();
+            let fast = distance_with(&a, &b, &mut scratch);
+            prop_assert_eq!(fast, dp_distance_with(&a, &b, &mut scratch));
         }
 
         #[test]

@@ -36,6 +36,7 @@ pub mod damerau;
 pub mod jaro;
 pub mod lcs;
 pub mod levenshtein;
+pub mod myers;
 pub mod ngram;
 pub mod osa;
 pub mod qgram;
@@ -86,15 +87,28 @@ impl StringDistances {
     /// eight kernels reuse `scratch`'s decoded-char, DP-row, gram-profile,
     /// and match buffers instead of allocating fresh ones per call, and
     /// the two 3-gram profile distances (rows 13–14) are derived from one
-    /// shared pair of profiles instead of building them twice. Results
-    /// are bitwise identical to [`Self::compute`]'s reference kernels
+    /// shared pair of profiles instead of building them twice. The three
+    /// edit distances share one bit-parallel [`myers`] Levenshtein pass:
+    /// its result is row 9 directly and the diagonal-band bound for the
+    /// banded OSA (row 8) and Damerau (row 10) kernels. Results are
+    /// bitwise identical to [`Self::compute`]'s reference kernels
     /// (pinned per module by property tests).
     pub fn compute_with(a: &str, b: &str, scratch: &mut DistanceScratch) -> Self {
         let (trigram_cosine, trigram_jaccard) = qgram::trigram_distances_with(a, b, scratch);
+        let lev = myers::distance_with(a, b, scratch);
+        let (len_a, len_b) = (a.chars().count(), b.chars().count());
         StringDistances {
-            osa_norm: osa::normalized_distance_with(a, b, scratch),
-            levenshtein_norm: levenshtein::normalized_distance_with(a, b, scratch),
-            damerau_norm: damerau::normalized_distance_with(a, b, scratch),
+            osa_norm: normalize_by_max_len(
+                osa::distance_bounded_with(a, b, lev, scratch),
+                len_a,
+                len_b,
+            ),
+            levenshtein_norm: normalize_by_max_len(lev, len_a, len_b),
+            damerau_norm: normalize_by_max_len(
+                damerau::distance_bounded_with(a, b, lev, scratch),
+                len_a,
+                len_b,
+            ),
             lcs_norm: lcs::substring_distance_with(a, b, scratch),
             trigram_norm: ngram::normalized_distance_with(a, b, 3, scratch),
             trigram_cosine,

@@ -1,0 +1,282 @@
+//! Myers' bit-parallel Levenshtein kernel.
+//!
+//! Encodes one column of the edit-distance DP as two machine words (the
+//! positive and negative vertical delta vectors) and advances a whole
+//! column of up to 64 pattern rows per text character with a handful of
+//! word operations — ~64× fewer operations than the rolling-row DP for
+//! short names. Patterns longer than 64 characters fall back to the
+//! multi-block variant, which chains the same word recurrence across
+//! ⌈n/64⌉ blocks with explicit horizontal-delta carries.
+//!
+//! The recurrence is Hyyrö's formulation of Myers' algorithm (Myers,
+//! JACM 1999; Hyyrö 2003); the multi-block carry logic follows the
+//! standard `advance_block` shape. Both paths are proven equivalent to
+//! the classic DP by exhaustive small-alphabet enumeration and property
+//! tests in this module and in [`crate::levenshtein`].
+
+use crate::normalize_by_max_len;
+use crate::scratch::{decode_and_trim, DistanceScratch};
+
+/// Levenshtein distance between `a` and `b` via the bit-parallel kernel.
+///
+/// Exactly equal to [`crate::levenshtein::distance`] on every input.
+///
+/// # Examples
+///
+/// ```
+/// use leapme_textsim::myers::distance;
+/// assert_eq!(distance("kitten", "sitting"), 3);
+/// assert_eq!(distance("", "abc"), 3);
+/// ```
+pub fn distance(a: &str, b: &str) -> usize {
+    distance_with(a, b, &mut DistanceScratch::new())
+}
+
+/// [`distance`] through caller-provided scratch buffers: equal strings
+/// short-circuit to `0`, the shared prefix and suffix are trimmed off,
+/// the shorter side becomes the bit-vector pattern, and the equality
+/// masks live in `scratch`, so a warm steady-state call performs no heap
+/// allocations beyond first-seen characters in the mask maps.
+pub fn distance_with(a: &str, b: &str, scratch: &mut DistanceScratch) -> usize {
+    if a == b {
+        return 0;
+    }
+    let DistanceScratch {
+        ca,
+        cb,
+        peq,
+        peq_idx,
+        peq_masks,
+        pv,
+        mv,
+        ..
+    } = scratch;
+    let (av, bv) = decode_and_trim(ca, cb, a, b);
+    let (pat, text) = if av.len() <= bv.len() { (av, bv) } else { (bv, av) };
+    if pat.is_empty() {
+        return text.len();
+    }
+    if pat.len() <= 64 {
+        single_block(pat, text, peq)
+    } else {
+        multi_block(pat, text, peq_idx, peq_masks, pv, mv)
+    }
+}
+
+/// One-word kernel for patterns of ≤ 64 characters.
+fn single_block(pat: &[char], text: &[char], peq: &mut std::collections::HashMap<char, u64>) -> usize {
+    let n = pat.len();
+    debug_assert!((1..=64).contains(&n));
+    peq.clear();
+    for (i, &c) in pat.iter().enumerate() {
+        *peq.entry(c).or_insert(0) |= 1u64 << i;
+    }
+    let hibit = 1u64 << (n - 1);
+    let mut pv: u64 = !0;
+    let mut mv: u64 = 0;
+    let mut score = n;
+    for c in text {
+        let eq = peq.get(c).copied().unwrap_or(0);
+        let xv = eq | mv;
+        let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+        let mut ph = mv | !(xh | pv);
+        let mut mh = pv & xh;
+        if ph & hibit != 0 {
+            score += 1;
+        } else if mh & hibit != 0 {
+            score -= 1;
+        }
+        // The implicit row-0 boundary always steps +1 (D[0][j] = j).
+        ph = (ph << 1) | 1;
+        mh <<= 1;
+        pv = mh | !(xv | ph);
+        mv = ph & xv;
+    }
+    score
+}
+
+/// Advance one 64-row block by one text character.
+///
+/// `hin` is the horizontal delta entering the block's top row (−1, 0, or
+/// +1); the returned delta leaves through `hout_bit` (the block's last
+/// *valid* row — bit 63 for full blocks, `r − 1` for a partial final
+/// block). Bits above `hout_bit` may hold garbage: the word recurrence
+/// only ever propagates information upward (adds carry up, shifts move
+/// up), so the low bits stay exact.
+#[inline]
+fn advance_block(pv: &mut u64, mv: &mut u64, eq: u64, hin: i32, hout_bit: u32) -> i32 {
+    let hin_neg = u64::from(hin < 0);
+    let xv = eq | *mv;
+    let eq2 = eq | hin_neg;
+    let xh = (((eq2 & *pv).wrapping_add(*pv)) ^ *pv) | eq2;
+    let mut ph = *mv | !(xh | *pv);
+    let mut mh = *pv & xh;
+    let hout = ((ph >> hout_bit) & 1) as i32 - ((mh >> hout_bit) & 1) as i32;
+    ph <<= 1;
+    mh <<= 1;
+    mh |= hin_neg;
+    ph |= u64::from(hin > 0);
+    *pv = mh | !(xv | ph);
+    *mv = ph & xv;
+    hout
+}
+
+/// Multi-word kernel for patterns longer than 64 characters.
+fn multi_block(
+    pat: &[char],
+    text: &[char],
+    peq_idx: &mut std::collections::HashMap<char, usize>,
+    peq_masks: &mut Vec<u64>,
+    pv: &mut Vec<u64>,
+    mv: &mut Vec<u64>,
+) -> usize {
+    let n = pat.len();
+    let blocks = n.div_ceil(64);
+    // Build per-character equality masks, one u64 per block, stored
+    // contiguously per character at `peq_idx[c] .. peq_idx[c] + blocks`.
+    peq_idx.clear();
+    peq_masks.clear();
+    for (i, &c) in pat.iter().enumerate() {
+        let base = *peq_idx.entry(c).or_insert_with(|| {
+            let base = peq_masks.len();
+            peq_masks.resize(base + blocks, 0);
+            base
+        });
+        peq_masks[base + i / 64] |= 1u64 << (i % 64);
+    }
+
+    pv.clear();
+    pv.resize(blocks, !0u64);
+    mv.clear();
+    mv.resize(blocks, 0u64);
+    // Last valid row of the final block.
+    let last_bit = ((n - 1) % 64) as u32;
+    let mut score = n;
+    for c in text {
+        let base = peq_idx.get(c).copied();
+        let mut hin = 1i32;
+        for b in 0..blocks {
+            let eq = base.map_or(0, |base| peq_masks[base + b]);
+            let hout_bit = if b + 1 == blocks { last_bit } else { 63 };
+            hin = advance_block(&mut pv[b], &mut mv[b], eq, hin, hout_bit);
+        }
+        score = score.wrapping_add_signed(hin as isize);
+    }
+    score
+}
+
+/// Myers distance normalized by the longer string's character count, in
+/// `[0, 1]`; equal to [`crate::levenshtein::normalized_distance`].
+pub fn normalized_distance(a: &str, b: &str) -> f64 {
+    normalize_by_max_len(distance(a, b), a.chars().count(), b.chars().count())
+}
+
+/// [`normalized_distance`] through caller-provided scratch buffers.
+pub fn normalized_distance_with(a: &str, b: &str, scratch: &mut DistanceScratch) -> f64 {
+    normalize_by_max_len(
+        distance_with(a, b, scratch),
+        a.chars().count(),
+        b.chars().count(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The classic untrimmed two-row DP — the equivalence oracle.
+    fn reference(a: &str, b: &str) -> usize {
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        if av.is_empty() {
+            return bv.len();
+        }
+        let mut prev: Vec<usize> = (0..=av.len()).collect();
+        let mut curr: Vec<usize> = vec![0; av.len() + 1];
+        for (i, bc) in bv.iter().enumerate() {
+            curr[0] = i + 1;
+            for (j, ac) in av.iter().enumerate() {
+                let cost = usize::from(bc != ac);
+                curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[av.len()]
+    }
+
+    #[test]
+    fn matches_reference_dp_exhaustively() {
+        let strings = crate::levenshtein::tests::small_strings(4);
+        let mut scratch = DistanceScratch::new();
+        for a in &strings {
+            for b in &strings {
+                assert_eq!(
+                    distance_with(a, b, &mut scratch),
+                    reference(a, b),
+                    "myers({a:?},{b:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        assert_eq!(distance("kitten", "sitting"), 3);
+        assert_eq!(distance("flaw", "lawn"), 2);
+        assert_eq!(distance("", ""), 0);
+        assert_eq!(distance("a", ""), 1);
+        assert_eq!(distance("ab", "ba"), 2);
+        assert_eq!(distance("café", "cafe"), 1);
+    }
+
+    #[test]
+    fn multi_block_boundary_widths() {
+        // Patterns straddling the 64-char block boundary, including the
+        // exact-64, 65, 128, and 129 widths where the partial-final-block
+        // bit selection matters. The pattern is always the shorter side,
+        // so the text is padded one longer.
+        let mut scratch = DistanceScratch::new();
+        for n in [1usize, 63, 64, 65, 127, 128, 129, 200] {
+            let a: String = (0..n).map(|i| char::from(b'a' + (i % 7) as u8)).collect();
+            let b: String = (0..n + 1)
+                .map(|i| char::from(b'a' + (i % 5) as u8))
+                .collect();
+            assert_eq!(
+                distance_with(&a, &b, &mut scratch),
+                reference(&a, &b),
+                "width {n}"
+            );
+            // Force the multi-block path even when trimming would shorten:
+            let c: String = a.chars().rev().collect();
+            assert_eq!(
+                distance_with(&a, &c, &mut scratch),
+                reference(&a, &c),
+                "reversed width {n}"
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn matches_reference_dp(a in ".{0,24}", b in ".{0,24}") {
+            let mut scratch = DistanceScratch::new();
+            prop_assert_eq!(distance_with(&a, &b, &mut scratch), reference(&a, &b));
+        }
+
+        #[test]
+        fn matches_reference_dp_long(a in "[a-f]{0,150}", b in "[a-f]{0,150}") {
+            // Long enough to exercise the multi-block kernel after affix
+            // trimming on a small alphabet (many accidental matches).
+            let mut scratch = DistanceScratch::new();
+            prop_assert_eq!(distance_with(&a, &b, &mut scratch), reference(&a, &b));
+        }
+
+        #[test]
+        fn scratch_reuse_is_stateless(a in "[a-d]{0,80}", b in "[a-d]{0,80}", c in "[a-d]{0,80}") {
+            let mut scratch = DistanceScratch::new();
+            distance_with(&c, &a, &mut scratch);
+            prop_assert_eq!(distance_with(&a, &b, &mut scratch), distance(&a, &b));
+        }
+    }
+}

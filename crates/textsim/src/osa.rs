@@ -27,9 +27,35 @@ pub fn distance(a: &str, b: &str) -> usize {
 /// short-circuit to `0`, the shared prefix and suffix are trimmed off
 /// (exact for OSA — matching affix characters align with zero cost in an
 /// optimal restricted edit script; verified exhaustively against the
-/// untrimmed DP), and the three rolling DP rows live in `scratch`, so a
-/// warm steady-state call performs no heap allocations.
+/// untrimmed DP), and the DP rows live in `scratch`, so a warm
+/// steady-state call performs no heap allocations.
+///
+/// Dispatch: a bit-parallel [`crate::myers`] Levenshtein pass first
+/// yields an upper bound `k` on the OSA distance (OSA ≤ Levenshtein —
+/// transpositions only remove cost), then [`distance_bounded_with`]
+/// fills only the `±k` diagonal band.
 pub fn distance_with(a: &str, b: &str, scratch: &mut DistanceScratch) -> usize {
+    if a == b {
+        return 0;
+    }
+    let bound = crate::myers::distance_with(a, b, scratch);
+    distance_bounded_with(a, b, bound, scratch)
+}
+
+/// [`distance_with`] given a known upper bound on the distance (any
+/// `bound ≥ osa(a, b)`, e.g. the Levenshtein distance): only the DP
+/// cells within `bound` of the main diagonal are filled. Cells further
+/// out hold values ≥ `|i − j| > bound` and can never lie on an optimal
+/// alignment whose total cost is ≤ `bound`, so the result is exactly
+/// [`distance`] (proven exhaustively and by property tests). When the
+/// band covers the whole matrix the kept full DP runs instead — the
+/// early-exit for bounds that prune nothing.
+///
+/// # Panics
+///
+/// May panic or return a wrong distance if `bound < osa(a, b)`; callers
+/// must pass a true upper bound.
+pub fn distance_bounded_with(a: &str, b: &str, bound: usize, scratch: &mut DistanceScratch) -> usize {
     if a == b {
         return 0;
     }
@@ -49,7 +75,21 @@ pub fn distance_with(a: &str, b: &str, scratch: &mut DistanceScratch) -> usize {
     if m == 0 {
         return n;
     }
+    if bound >= m {
+        return full_dp(av, bv, prev2, prev, curr);
+    }
+    banded_dp(av, bv, bound, prev2, prev, curr)
+}
 
+/// The kept reference kernel: the original three-rolling-row full DP.
+fn full_dp(
+    av: &[char],
+    bv: &[char],
+    prev2: &mut Vec<usize>,
+    prev: &mut Vec<usize>,
+    curr: &mut Vec<usize>,
+) -> usize {
+    let (n, m) = (av.len(), bv.len());
     // Three rolling rows: i-2, i-1, i.
     prev2.clear();
     prev2.resize(m + 1, 0);
@@ -67,6 +107,55 @@ pub fn distance_with(a: &str, b: &str, scratch: &mut DistanceScratch) -> usize {
                 d = d.min(prev2[j - 2] + 1);
             }
             curr[j] = d;
+        }
+        std::mem::swap(prev2, prev);
+        std::mem::swap(prev, curr);
+    }
+    prev[m]
+}
+
+/// Banded variant: row `i` only fills columns `[i − k, i + k]`. The
+/// positions just outside each row's window hold a sentinel larger than
+/// any true distance, so in-band cells near the edge compute values ≥
+/// their true DP values while every cell of an optimal ≤ `k` alignment
+/// (all of which satisfy `|i − j| ≤ k`, including OSA's diagonal-adjacent
+/// transposition reference at `(i − 2, j − 2)`) gets its exact value.
+fn banded_dp(
+    av: &[char],
+    bv: &[char],
+    k: usize,
+    prev2: &mut Vec<usize>,
+    prev: &mut Vec<usize>,
+    curr: &mut Vec<usize>,
+) -> usize {
+    let (n, m) = (av.len(), bv.len());
+    debug_assert!(k < m && k >= n.abs_diff(m));
+    let sentinel = n + m + 1;
+    prev2.clear();
+    prev2.resize(m + 1, sentinel);
+    prev.clear();
+    prev.extend(0..=m);
+    curr.clear();
+    curr.resize(m + 1, sentinel);
+
+    for i in 1..=n {
+        let lo = (i.saturating_sub(k)).max(1);
+        let hi = (i + k).min(m);
+        if lo == 1 {
+            curr[0] = i;
+        } else {
+            curr[lo - 1] = sentinel;
+        }
+        for j in lo..=hi {
+            let cost = usize::from(av[i - 1] != bv[j - 1]);
+            let mut d = (prev[j] + 1).min(curr[j - 1] + 1).min(prev[j - 1] + cost);
+            if i > 1 && j > 1 && av[i - 1] == bv[j - 2] && av[i - 2] == bv[j - 1] {
+                d = d.min(prev2[j - 2] + 1);
+            }
+            curr[j] = d;
+        }
+        if hi < m {
+            curr[hi + 1] = sentinel;
         }
         std::mem::swap(prev2, prev);
         std::mem::swap(prev, curr);
@@ -143,6 +232,28 @@ mod tests {
     }
 
     #[test]
+    fn banded_matches_untrimmed_dp_exhaustively_at_every_bound() {
+        // The banded kernel must be exact for every valid bound, from
+        // the tightest (the true Levenshtein distance) up to bounds that
+        // force the full-DP early exit.
+        let strings = crate::levenshtein::tests::small_strings(4);
+        let mut scratch = crate::scratch::DistanceScratch::new();
+        for a in &strings {
+            for b in &strings {
+                let lev = levenshtein::distance(a, b);
+                let want = reference(a, b);
+                for bound in [lev, lev + 1, lev + 3] {
+                    assert_eq!(
+                        distance_bounded_with(a, b, bound, &mut scratch),
+                        want,
+                        "osa_banded({a:?},{b:?},k={bound})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn known_values() {
         assert_eq!(distance("", ""), 0);
         assert_eq!(distance("abc", ""), 3);
@@ -187,6 +298,18 @@ mod tests {
         fn fast_path_matches_untrimmed_dp(a in ".{0,20}", b in ".{0,20}") {
             let mut scratch = crate::scratch::DistanceScratch::new();
             prop_assert_eq!(distance_with(&a, &b, &mut scratch), reference(&a, &b));
+        }
+
+        #[test]
+        fn banded_matches_untrimmed_dp(a in "[a-e]{0,30}", b in "[a-e]{0,30}") {
+            // Small alphabet → long shared affixes and transpositions —
+            // the band-edge stress case.
+            let mut scratch = crate::scratch::DistanceScratch::new();
+            let lev = levenshtein::distance(&a, &b);
+            prop_assert_eq!(
+                distance_bounded_with(&a, &b, lev, &mut scratch),
+                reference(&a, &b)
+            );
         }
     }
 }

@@ -44,6 +44,16 @@ pub struct DistanceScratch {
     pub(crate) flags: Vec<bool>,
     /// Matched characters of the first input, in order (Jaro kernel).
     pub(crate) mchars: Vec<char>,
+    /// Pattern equality bitmasks for the single-block Myers kernel.
+    pub(crate) peq: HashMap<char, u64>,
+    /// Per-character offsets into [`Self::peq_masks`] (multi-block Myers).
+    pub(crate) peq_idx: HashMap<char, usize>,
+    /// Concatenated per-character block masks (multi-block Myers).
+    pub(crate) peq_masks: Vec<u64>,
+    /// Positive vertical-delta blocks (multi-block Myers).
+    pub(crate) pv: Vec<u64>,
+    /// Negative vertical-delta blocks (multi-block Myers).
+    pub(crate) mv: Vec<u64>,
 }
 
 impl DistanceScratch {

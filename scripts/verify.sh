@@ -31,78 +31,137 @@ else
     echo "warning: clippy not installed; skipping lint step" >&2
 fi
 
-echo "==> bench smoke run (regenerates BENCH_PR5.json at the baseline corpus size)"
-cargo run --release -p leapme-bench --bin bench -- --sources 12 --out BENCH_PR5.json >/dev/null
+echo "==> kernel-equivalence suites: bit-parallel/banded/SIMD/int8 vs reference"
+# The PR6 fast paths (Myers bit-vector Levenshtein, banded OSA/Damerau,
+# SSE2 embedding lanes, int8 inference) each keep their reference
+# implementation in-tree with equivalence tests; run them at both the
+# serial and a multi-worker thread count so the dispatch seams are
+# covered either way.
+for t in 1 4; do
+    echo "    LEAPME_THREADS=$t"
+    LEAPME_THREADS=$t cargo test -q -p leapme-textsim
+    LEAPME_THREADS=$t cargo test -q -p leapme-embedding kernels
+    LEAPME_THREADS=$t cargo test -q -p leapme-nn quant
+    LEAPME_THREADS=$t cargo test -q -p leapme-features pair_table
+    LEAPME_THREADS=$t cargo test -q -p leapme-core quantized
+done
 
-echo "==> bench smoke: BENCH_PR5.json parses and records speedups, breakdown, warm cache"
+echo "==> bench smoke run (regenerates BENCH_PR6.json at the baseline corpus size)"
+cargo run --release -p leapme-bench --bin bench -- --sources 12 --out BENCH_PR6.json >/dev/null
+
+echo "==> bench smoke: BENCH_PR6.json parses and records speedups, breakdown, warm cache"
 python3 - <<'EOF'
 import json, math, sys
 
-with open("BENCH_PR5.json") as f:
+with open("BENCH_PR6.json") as f:
     report = json.load(f)
 
 def finite(v):
     return isinstance(v, (int, float)) and math.isfinite(v)
+
+if not isinstance(report.get("parallel_unmeasured"), bool):
+    sys.exit("BENCH_PR6.json: parallel_unmeasured flag missing")
 
 for mode in ("serial", "parallel"):
     stage = report[mode]
     for key in ("threads_requested", "threads_effective",
                 "build_s", "featurize_s", "train_s", "score_s", "total_s"):
         if key not in stage:
-            sys.exit(f"BENCH_PR5.json: {mode}.{key} missing")
+            sys.exit(f"BENCH_PR6.json: {mode}.{key} missing")
     if stage["total_s"] <= 0:
-        sys.exit(f"BENCH_PR5.json: {mode}.total_s not positive")
+        sys.exit(f"BENCH_PR6.json: {mode}.total_s not positive")
 
 for key in ("speedup_build", "speedup_featurize", "speedup_train",
             "speedup_score", "speedup_total"):
     v = report.get(key)
     if not finite(v) or v <= 0:
-        sys.exit(f"BENCH_PR5.json: {key} missing or not a positive number")
+        sys.exit(f"BENCH_PR6.json: {key} missing or not a positive number")
 
 bd = report.get("featurize_breakdown")
 if not isinstance(bd, dict):
-    sys.exit("BENCH_PR5.json: featurize_breakdown section missing")
-for key in ("char_token_s", "embedding_average_s", "name_distances_s", "assembly_s"):
+    sys.exit("BENCH_PR6.json: featurize_breakdown section missing")
+for key in ("char_token_s", "embedding_average_s", "name_distances_s",
+            "name_distances_uncached_s", "assembly_s"):
     v = bd.get(key)
     if not finite(v) or v < 0:
-        sys.exit(f"BENCH_PR5.json: featurize_breakdown.{key} missing or negative")
+        sys.exit(f"BENCH_PR6.json: featurize_breakdown.{key} missing or negative")
+kernels = bd.get("name_kernels")
+if not isinstance(kernels, dict):
+    sys.exit("BENCH_PR6.json: featurize_breakdown.name_kernels missing")
+for key in ("myers_levenshtein_s", "osa_banded_s", "damerau_banded_s",
+            "lcs_s", "trigram_s", "trigram_profiles_s", "jaro_winkler_s"):
+    if not finite(kernels.get(key)):
+        sys.exit(f"BENCH_PR6.json: name_kernels.{key} missing or not finite")
+dedupe = bd.get("pair_dedupe")
+if not isinstance(dedupe, dict):
+    sys.exit("BENCH_PR6.json: featurize_breakdown.pair_dedupe missing")
+for key in ("unique_name_forms", "table_entries", "table_hits",
+            "string_cache_hits", "string_cache_misses"):
+    if key not in dedupe:
+        sys.exit(f"BENCH_PR6.json: pair_dedupe.{key} missing")
+if dedupe["table_entries"] <= 0 or dedupe["table_hits"] <= 0:
+    sys.exit("BENCH_PR6.json: pair-dedupe table recorded no entries/hits — "
+             "the name-distance pass did not go through the table")
+if dedupe["table_entries"] >= report["pairs"]:
+    sys.exit("BENCH_PR6.json: dedupe table computed as many entries as there "
+             "are candidate pairs — no deduplication happened")
 
 wc = report.get("warm_cache")
 if not isinstance(wc, dict):
-    sys.exit("BENCH_PR5.json: warm_cache section missing")
+    sys.exit("BENCH_PR6.json: warm_cache section missing")
 if wc.get("cache_hit") is not True:
-    sys.exit("BENCH_PR5.json: warm_cache.cache_hit is not true")
+    sys.exit("BENCH_PR6.json: warm_cache.cache_hit is not true")
 if wc.get("store_identical") is not True:
-    sys.exit("BENCH_PR5.json: warm cache reload is not bitwise identical")
+    sys.exit("BENCH_PR6.json: warm cache reload is not bitwise identical")
 if not finite(wc.get("cold_build_s")) or not finite(wc.get("cache_load_s")):
-    sys.exit("BENCH_PR5.json: warm_cache timings missing")
+    sys.exit("BENCH_PR6.json: warm_cache timings missing")
 if wc["cache_load_s"] >= wc["cold_build_s"]:
-    sys.exit("BENCH_PR5.json: cache load is not faster than a cold build")
+    sys.exit("BENCH_PR6.json: cache load is not faster than a cold build")
 
 ckpt = report.get("checkpoint")
 if not isinstance(ckpt, dict):
-    sys.exit("BENCH_PR5.json: checkpoint overhead section missing")
+    sys.exit("BENCH_PR6.json: checkpoint overhead section missing")
 for key in ("epochs", "fit_s", "fit_checkpointed_s", "overhead_ms_per_epoch"):
     if not finite(ckpt.get(key)):
-        sys.exit(f"BENCH_PR5.json: checkpoint.{key} missing or not finite")
+        sys.exit(f"BENCH_PR6.json: checkpoint.{key} missing or not finite")
 if ckpt["epochs"] <= 0 or ckpt["fit_s"] <= 0 or ckpt["fit_checkpointed_s"] <= 0:
-    sys.exit("BENCH_PR5.json: checkpoint timings not positive")
+    sys.exit("BENCH_PR6.json: checkpoint timings not positive")
 
-vs = [report.get("vs_pr4_serial"), report.get("vs_pr4_parallel")]
+quant = report.get("quantized")
+if not isinstance(quant, dict):
+    sys.exit("BENCH_PR6.json: quantized section missing")
+for key in ("score_f32_s", "score_int8_s", "calibration_max_abs_error",
+            "full_run_max_abs_error"):
+    if not finite(quant.get(key)):
+        sys.exit(f"BENCH_PR6.json: quantized.{key} missing or not finite")
+if not isinstance(quant.get("used_quantized"), bool):
+    sys.exit("BENCH_PR6.json: quantized.used_quantized missing")
+# The tolerance contract: when the gate kept the int8 path, the whole
+# run must stay within 2x the 0.05 calibration tolerance — the
+# calibration block bounds the error statistically, it does not
+# enumerate every pair.
+if quant["used_quantized"] and quant["full_run_max_abs_error"] > 0.10:
+    sys.exit("BENCH_PR6.json: quantized run exceeded the documented tolerance")
+if not quant["used_quantized"] and quant["full_run_max_abs_error"] != 0.0:
+    sys.exit("BENCH_PR6.json: fallback run must be exactly the f32 scores")
+
+vs = [report.get("vs_pr5_serial"), report.get("vs_pr5_parallel")]
 recorded = [v for v in vs if v is not None]
 if not recorded:
-    sys.exit("BENCH_PR5.json: no vs-PR4 comparison recorded "
+    sys.exit("BENCH_PR6.json: no vs-PR5 comparison recorded "
              "(rerun bench with the baseline's corpus: --sources 12)")
 for v in recorded:
     for key in ("threads", "featurize_speedup", "train_speedup", "score_speedup"):
         if key not in v:
-            sys.exit(f"BENCH_PR5.json: vs_pr4 comparison missing {key}")
-print("BENCH_PR5.json OK:",
+            sys.exit(f"BENCH_PR6.json: vs_pr5 comparison missing {key}")
+print("BENCH_PR6.json OK:",
       ", ".join(f"{k}={report[k]:.3f}" for k in
                 ("speedup_train", "speedup_score")),
-      "| vs PR4:",
+      "| vs PR5:",
       ", ".join(f"featurize×{v['featurize_speedup']:.2f} train×{v['train_speedup']:.2f}"
                 for v in recorded),
+      f"| dedupe {dedupe['table_entries']} entries for {report['pairs']} pairs",
+      f"| int8 max|Δp| {quant['full_run_max_abs_error']:.4f}",
       f"| warm cache ×{wc['featurize_speedup']:.1f}",
       f"| checkpoint tax {ckpt['overhead_ms_per_epoch']:.2f} ms/epoch")
 EOF
@@ -119,8 +178,8 @@ for t in 1 4; do
 done
 
 echo "==> chaos stage: faults compiled out of the release bench"
-if ! grep -q '"faults_enabled": false' BENCH_PR5.json; then
-    echo "BENCH_PR5.json does not record faults_enabled=false — the bench" \
+if ! grep -q '"faults_enabled": false' BENCH_PR6.json; then
+    echo "BENCH_PR6.json does not record faults_enabled=false — the bench" \
          "binary was built with the fault hooks armed" >&2
     exit 1
 fi
@@ -232,5 +291,38 @@ if ! cmp -s "$DRILL_DIR/g1.json" "$DRILL_DIR/g3.json"; then
     exit 1
 fi
 echo "    corrupted cache healed with a clean rebuild and identical scores"
+
+echo "==> quantized drill: --quantized reports its path and stays near the f32 scores"
+LEAPME_THREADS=1 "$LEAPME" match \
+    --dataset "$DRILL_DIR/ds.json" --embeddings "$DRILL_DIR/emb.txt" \
+    --seed 5 --quantized --out "$DRILL_DIR/gq.json" \
+    > "$DRILL_DIR/mq.out"
+if ! grep -q "quantized scoring:" "$DRILL_DIR/mq.out"; then
+    echo "quantized drill: --quantized run did not report which path scored" >&2
+    exit 1
+fi
+# Same seed without the flag: the exact f32 reference graph.
+LEAPME_THREADS=1 "$LEAPME" match \
+    --dataset "$DRILL_DIR/ds.json" --embeddings "$DRILL_DIR/emb.txt" \
+    --seed 5 --out "$DRILL_DIR/gf.json" >/dev/null
+python3 - "$DRILL_DIR/gq.json" "$DRILL_DIR/gf.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    quant = json.load(f)
+with open(sys.argv[2]) as f:
+    ref = json.load(f)
+def scores(graph):
+    # The similarity graph serializes its edge map as a list of
+    # [pair, score] entries in BTreeMap (pair) order, shared by both runs.
+    return [e[1] for e in graph["edges"]]
+q, r = scores(quant), scores(ref)
+if len(q) != len(r):
+    sys.exit(f"quantized drill: {len(q)} scored pairs vs {len(r)} in the f32 run")
+worst = max((abs(a - b) for a, b in zip(q, r)), default=0.0)
+# 2x the 0.05 calibration tolerance, same contract the bench asserts.
+if worst > 0.10:
+    sys.exit(f"quantized drill: max |Δp| {worst:.4f} exceeds the tolerance")
+print(f"    quantized scores track f32 within |Δp| {worst:.4f} over {len(q)} pairs")
+EOF
 
 echo "==> verify OK"

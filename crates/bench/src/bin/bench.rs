@@ -15,11 +15,13 @@
 //! kernels resolve from the environment, and the detected core count —
 //! and warns when they disagree (an override that did not stick, or
 //! oversubscription past the physical cores). On a single-core machine
-//! the "parallel" numbers are the serial path measured twice, so the
-//! report flags them with `parallel_unmeasured: true`. Results, the
-//! measured speedups, and a comparison against the previous PR's
-//! `BENCH_PR5.json` baseline (same thread count only) go to `--out`
-//! (default `BENCH_PR6.json`), written atomically.
+//! the "parallel" pass would be the serial path measured twice, so it is
+//! *skipped*: the serial stage times are copied over, every speedup is
+//! exactly 1.0, and the report flags the mode with
+//! `parallel_unmeasured: true`. Results, the measured speedups, and a
+//! comparison against the previous PR's `BENCH_PR6.json` baseline (same
+//! thread count only) go to `--out` (default `BENCH_PR7.json`), written
+//! atomically.
 //!
 //! Three featurization-specific passes complement the stage times:
 //!
@@ -49,10 +51,20 @@
 //! a checkpoint written after every epoch versus none, reported as
 //! milliseconds of overhead per epoch.
 //!
+//! The **retrieval** section benchmarks sublinear candidate generation
+//! (DESIGN.md §12) at stress scale: a `--stress`-property dataset from
+//! the stress generator (default 100 000), a hash-derived embedding
+//! store, HNSW and name-LSH index build times, top-k query throughput,
+//! candidates scored against the full n² cross-source space, ANN pair
+//! completeness against the brute-force oracle on a subsampled query
+//! slice, and ground-truth completeness of the combined candidate set.
+//! `--stress 0` skips the section.
+//!
 //! ```text
 //! cargo run --release -p leapme-bench --bin bench -- \
 //!     [--sources 16] [--dim 50] [--seed 42] [--threads N] [--repeats 3] \
-//!     [--out BENCH_PR6.json]
+//!     [--stress 100000] [--stress-dim 24] [--retrieval-k 8] \
+//!     [--out BENCH_PR7.json]
 //! ```
 
 use leapme::core::feature_cache;
@@ -98,7 +110,7 @@ struct Baseline {
     parallel: BaselineStage,
 }
 
-/// Speedup of this PR over the `BENCH_PR5.json` baseline at an equal
+/// Speedup of this PR over the `BENCH_PR6.json` baseline at an equal
 /// thread count (baseline seconds / current seconds; > 1 is faster).
 #[derive(Debug, Serialize)]
 struct VsBaseline {
@@ -215,6 +227,50 @@ struct WarmCache {
     featurize_speedup: f64,
 }
 
+/// Sublinear candidate generation at stress scale: index build times,
+/// query throughput, and retrieval quality against the full n² space
+/// and the brute-force oracle (DESIGN.md §12).
+#[derive(Debug, Serialize)]
+struct RetrievalBench {
+    /// Properties in the stress dataset.
+    stress_properties: usize,
+    /// Sources the generator spread them over.
+    stress_sources: usize,
+    /// Dimension of the hash-derived embedding store.
+    embedding_dim: usize,
+    /// Top-k retrieved per property (per retriever).
+    k: usize,
+    /// `PropertyVectors::build` — embedding + normalization pass.
+    vectorize_s: f64,
+    /// HNSW graph construction, seconds.
+    index_build_s: f64,
+    /// Name-LSH fingerprint + bucketing, seconds.
+    lsh_build_s: f64,
+    /// ANN top-k queries per second (one query per property).
+    queries_per_s: f64,
+    /// Name-LSH top-k queries per second.
+    lsh_queries_per_s: f64,
+    /// Unique cross-source pairs from the ANN retriever alone.
+    candidates_ann: usize,
+    /// Unique cross-source pairs from the name-LSH retriever alone.
+    candidates_lsh: usize,
+    /// Unique pairs in the union (the `combined` blocking mode).
+    candidates_combined: usize,
+    /// Full cross-source pair space (never materialized — counted).
+    full_space: usize,
+    /// `candidates_combined / full_space` — the fraction of n² actually
+    /// scored. The acceptance gate wants ≤ 0.05 at 100k properties.
+    candidates_scored_ratio: f64,
+    /// Fraction of the brute-force oracle's top-k the ANN index
+    /// recovered, over the subsampled query slice.
+    pair_completeness: f64,
+    /// Queries in the oracle subsample.
+    oracle_queries: usize,
+    /// Fraction of ground-truth pairs present in the combined candidate
+    /// set (completeness against the labels rather than the oracle).
+    gt_pair_completeness: f64,
+}
+
 /// Cost of per-epoch checkpointing during training: the same fit run
 /// with a checkpoint written after every epoch vs none at all.
 #[derive(Debug, Serialize)]
@@ -251,8 +307,10 @@ struct BenchReport {
     warm_cache: WarmCache,
     checkpoint: CheckpointOverhead,
     quantized: QuantizedBench,
-    vs_pr5_serial: Option<VsBaseline>,
-    vs_pr5_parallel: Option<VsBaseline>,
+    /// `None` only when the section was skipped with `--stress 0`.
+    retrieval: Option<RetrievalBench>,
+    vs_pr6_serial: Option<VsBaseline>,
+    vs_pr6_parallel: Option<VsBaseline>,
 }
 
 /// Warn when the thread counts a run requested, resolved, and has
@@ -346,29 +404,53 @@ fn min_stages(best: Option<StageTimes>, run: StageTimes) -> StageTimes {
 /// thermal state, noisy neighbours) hits both modes equally instead of
 /// penalizing whichever mode runs last. `total_s` is the sum of the
 /// per-stage minima.
-fn run_modes_min_of(
-    dataset: &Dataset,
-    embeddings: &EmbeddingStore,
-    pairs: &[PropertyPair],
+///
+/// On a single-core machine (`parallel_unmeasured`) the parallel pass
+/// would just re-measure the serial path, so it is skipped entirely:
+/// the serial minima are copied into the parallel slot (speedups come
+/// out exactly 1.0) and the repeats budget is spent on serial runs.
+struct MinOfPlan {
     seed: u64,
     parallel_threads: usize,
     cores: usize,
     repeats: usize,
+    parallel_unmeasured: bool,
+}
+
+fn run_modes_min_of(
+    dataset: &Dataset,
+    embeddings: &EmbeddingStore,
+    pairs: &[PropertyPair],
+    plan: &MinOfPlan,
 ) -> (StageTimes, StageTimes) {
     let mut serial: Option<StageTimes> = None;
     let mut parallel: Option<StageTimes> = None;
-    for _ in 0..repeats.max(1) {
-        let run = run_stages(dataset, embeddings, pairs, seed, 1, cores);
+    for _ in 0..plan.repeats.max(1) {
+        let run = run_stages(dataset, embeddings, pairs, plan.seed, 1, plan.cores);
         serial = Some(min_stages(serial, run));
-        let run = run_stages(dataset, embeddings, pairs, seed, parallel_threads, cores);
-        parallel = Some(min_stages(parallel, run));
+        if !plan.parallel_unmeasured {
+            let run = run_stages(
+                dataset,
+                embeddings,
+                pairs,
+                plan.seed,
+                plan.parallel_threads,
+                plan.cores,
+            );
+            parallel = Some(min_stages(parallel, run));
+        }
     }
     let finish = |best: Option<StageTimes>| {
         let mut best = best.expect("repeats >= 1");
         best.total_s = best.build_s + best.featurize_s + best.train_s + best.score_s;
         best
     };
-    (finish(serial), finish(parallel))
+    let serial = finish(serial);
+    let parallel = match parallel {
+        Some(p) => finish(Some(p)),
+        None => serial.clone(),
+    };
+    (serial, parallel)
 }
 
 /// Measure the durability tax: `Leapme::fit_durable` with a checkpoint
@@ -681,6 +763,160 @@ fn measure_warm_cache(dataset: &Dataset, embeddings: &EmbeddingStore) -> WarmCac
     }
 }
 
+/// Benchmark sublinear candidate generation at stress scale. One pass,
+/// not min-of-repeats: the workload is big enough (100k+ properties)
+/// that scheduler noise is lost in it, and repeating a multi-second
+/// index build per repeat would dominate the whole bench run.
+fn measure_retrieval(
+    stress_properties: usize,
+    dim: usize,
+    k: usize,
+    seed: u64,
+) -> RetrievalBench {
+    use leapme::core::index::hnsw::{HnswConfig, HnswIndex, VisitedSet};
+    use leapme::core::index::lsh::{NameLshConfig, NameLshIndex};
+    use leapme::core::index::PropertyVectors;
+    use leapme::data::stress::{generate_stress_dataset, StressConfig};
+
+    let cfg = StressConfig::new(stress_properties, seed);
+    let dataset = generate_stress_dataset(&cfg);
+    let store = leapme::stress_embedding_store(&cfg, dim, seed ^ 0xE5);
+
+    let t = Instant::now();
+    let vectors = PropertyVectors::build(&dataset, &store);
+    let vectorize_s = t.elapsed().as_secs_f64();
+    let n = vectors.len();
+
+    let hcfg = HnswConfig::default();
+    let t = Instant::now();
+    let index = HnswIndex::build(&vectors, hcfg, None).expect("HNSW build");
+    let index_build_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let lsh = NameLshIndex::build(&vectors.properties, NameLshConfig::default(), None)
+        .expect("name-LSH build");
+    let lsh_build_s = t.elapsed().as_secs_f64();
+
+    // Candidates as canonical (lo, hi) id pairs packed into u64 — ids
+    // index the sorted property list, so id order is PropertyPair order
+    // and a packed u64 sort matches the blocking layer's candidate
+    // order without materializing 10⁶ key clones.
+    let pair_key = |i: u32, j: u32| -> u64 {
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        (u64::from(lo) << 32) | u64::from(hi)
+    };
+    let mut visited = VisitedSet::new(n);
+
+    let mut ann_pairs: Vec<u64> = Vec::new();
+    let t = Instant::now();
+    for i in 0..n {
+        for nb in index.search_node(&vectors, i, k, &mut visited) {
+            ann_pairs.push(pair_key(i as u32, nb.id));
+        }
+    }
+    let ann_query_s = t.elapsed().as_secs_f64();
+
+    let mut lsh_pairs: Vec<u64> = Vec::new();
+    let t = Instant::now();
+    for i in 0..n {
+        for nb in lsh.search_node(i, k, &mut visited) {
+            lsh_pairs.push(pair_key(i as u32, nb.id));
+        }
+    }
+    let lsh_query_s = t.elapsed().as_secs_f64();
+
+    ann_pairs.sort_unstable();
+    ann_pairs.dedup();
+    lsh_pairs.sort_unstable();
+    lsh_pairs.dedup();
+    let mut combined = ann_pairs.clone();
+    combined.extend_from_slice(&lsh_pairs);
+    combined.sort_unstable();
+    combined.dedup();
+
+    let all_sources: Vec<SourceId> = (0..dataset.sources().len())
+        .map(|i| SourceId(i as u16))
+        .collect();
+    let full_space = dataset.cross_source_pair_count(&all_sources);
+
+    // Brute-force oracle on a subsampled slice (~512 queries): fraction
+    // of the exact top-k the graph search recovered.
+    let step = (n / 512).max(1);
+    let (mut hit, mut total, mut oracle_queries) = (0usize, 0usize, 0usize);
+    for i in (0..n).step_by(step) {
+        if !vectors.non_zero[i] {
+            continue;
+        }
+        let oracle = vectors.top_k(i, k);
+        if oracle.is_empty() {
+            continue;
+        }
+        let got: std::collections::BTreeSet<u32> = index
+            .search_node(&vectors, i, k, &mut visited)
+            .iter()
+            .map(|nb| nb.id)
+            .collect();
+        hit += oracle.iter().filter(|nb| got.contains(&nb.id)).count();
+        total += oracle.len();
+        oracle_queries += 1;
+    }
+    let pair_completeness = if total > 0 {
+        hit as f64 / total as f64
+    } else {
+        f64::NAN
+    };
+
+    // Ground-truth completeness of the combined candidate set, checked
+    // against the full label set via id-pair binary search.
+    let id_of = |key: &PropertyKey| vectors.properties.binary_search(key).ok();
+    let (mut gt_total, mut gt_kept) = (0usize, 0usize);
+    for PropertyPair(a, b) in &dataset.ground_truth_pairs() {
+        let (Some(i), Some(j)) = (id_of(a), id_of(b)) else {
+            continue;
+        };
+        gt_total += 1;
+        if combined.binary_search(&pair_key(i as u32, j as u32)).is_ok() {
+            gt_kept += 1;
+        }
+    }
+    let gt_pair_completeness = if gt_total > 0 {
+        gt_kept as f64 / gt_total as f64
+    } else {
+        f64::NAN
+    };
+
+    let per_s = |queries: usize, secs: f64| {
+        if secs > 0.0 {
+            queries as f64 / secs
+        } else {
+            f64::NAN
+        }
+    };
+    RetrievalBench {
+        stress_properties,
+        stress_sources: dataset.sources().len(),
+        embedding_dim: dim,
+        k,
+        vectorize_s,
+        index_build_s,
+        lsh_build_s,
+        queries_per_s: per_s(n, ann_query_s),
+        lsh_queries_per_s: per_s(n, lsh_query_s),
+        candidates_ann: ann_pairs.len(),
+        candidates_lsh: lsh_pairs.len(),
+        candidates_combined: combined.len(),
+        full_space,
+        candidates_scored_ratio: if full_space > 0 {
+            combined.len() as f64 / full_space as f64
+        } else {
+            f64::NAN
+        },
+        pair_completeness,
+        oracle_queries,
+        gt_pair_completeness,
+    }
+}
+
 /// Load the previous PR's report, if present, and compute the speedup at
 /// an equal thread count. Returns `None` (with a warning) when the
 /// baseline is missing, unparsable, or was measured at a different
@@ -690,7 +926,7 @@ fn compare_with_baseline(stage: &StageTimes, baseline: &BaselineStage) -> Option
     if baseline.threads_effective != stage.threads_effective {
         eprintln!(
             "warning: baseline ran with {} thread(s) but this run used {}; \
-             skipping vs-PR5 comparison for this mode",
+             skipping vs-PR6 comparison for this mode",
             baseline.threads_effective, stage.threads_effective
         );
         return None;
@@ -706,17 +942,17 @@ fn compare_with_baseline(stage: &StageTimes, baseline: &BaselineStage) -> Option
 }
 
 fn load_baseline() -> Option<Baseline> {
-    let text = match std::fs::read_to_string("BENCH_PR5.json") {
+    let text = match std::fs::read_to_string("BENCH_PR6.json") {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("warning: BENCH_PR5.json not readable ({e}); skipping vs-PR5 comparison");
+            eprintln!("warning: BENCH_PR6.json not readable ({e}); skipping vs-PR6 comparison");
             return None;
         }
     };
     match serde_json::from_str(&text) {
         Ok(b) => Some(b),
         Err(e) => {
-            eprintln!("warning: BENCH_PR5.json not parsable ({e}); skipping vs-PR5 comparison");
+            eprintln!("warning: BENCH_PR6.json not parsable ({e}); skipping vs-PR6 comparison");
             None
         }
     }
@@ -735,8 +971,9 @@ fn main() {
     let parallel_unmeasured = cores == 1;
     if parallel_unmeasured {
         eprintln!(
-            "warning: only 1 core detected — the \"parallel\" pass is the serial \
-             path measured twice; its numbers say nothing about multithreading \
+            "warning: only 1 core detected — the \"parallel\" pass is skipped \
+             (it would just re-measure the serial path); serial times are \
+             copied into the parallel slot and every speedup is 1.0 \
              (report flags this as parallel_unmeasured)"
         );
     }
@@ -773,10 +1010,13 @@ fn main() {
         &dataset,
         &embeddings,
         &pairs,
-        seed,
-        parallel_threads,
-        cores,
-        repeats,
+        &MinOfPlan {
+            seed,
+            parallel_threads,
+            cores,
+            repeats,
+            parallel_unmeasured,
+        },
     );
     // The featurization substages, the warm-cache pass and the
     // durability tax are all measured serially: the first two isolate
@@ -790,20 +1030,39 @@ fn main() {
     let warm_cache = measure_warm_cache(&dataset, &embeddings);
     let checkpoint = measure_checkpoint_overhead(&dataset, &embeddings, seed, repeats);
     let quantized = measure_quantized(&dataset, &embeddings, &pairs, seed, repeats);
+
+    let stress_properties: usize = args.get_or("stress", 100_000);
+    let retrieval = if stress_properties == 0 {
+        eprintln!("warning: --stress 0 — skipping the retrieval section");
+        None
+    } else {
+        let stress_dim: usize = args.get_or("stress-dim", 24);
+        let retrieval_k: usize = args.get_or("retrieval-k", 8);
+        println!(
+            "retrieval: stress corpus of {stress_properties} properties, \
+             dim {stress_dim}, top-{retrieval_k} per retriever"
+        );
+        Some(measure_retrieval(
+            stress_properties,
+            stress_dim,
+            retrieval_k,
+            seed,
+        ))
+    };
     std::env::remove_var(THREADS_ENV);
 
     let baseline = load_baseline().filter(|b| {
         if b.pairs != pairs.len() {
             eprintln!(
                 "warning: baseline measured {} candidate pairs but this run has {}; \
-                 skipping vs-PR5 comparison (rerun with the baseline's --sources)",
+                 skipping vs-PR6 comparison (rerun with the baseline's --sources)",
                 b.pairs,
                 pairs.len()
             );
         }
         b.pairs == pairs.len()
     });
-    let (vs_pr5_serial, vs_pr5_parallel) = match &baseline {
+    let (vs_pr6_serial, vs_pr6_parallel) = match &baseline {
         Some(b) => (
             compare_with_baseline(&serial, &b.serial),
             compare_with_baseline(&parallel, &b.parallel),
@@ -829,13 +1088,14 @@ fn main() {
         warm_cache,
         checkpoint,
         quantized,
-        vs_pr5_serial,
-        vs_pr5_parallel,
+        retrieval,
+        vs_pr6_serial,
+        vs_pr6_parallel,
         serial,
         parallel,
     };
 
-    let out = args.get_or("out", "BENCH_PR6.json".to_string());
+    let out = args.get_or("out", "BENCH_PR7.json".to_string());
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     println!("{json}");
     atomic_write(std::path::Path::new(&out), format!("{json}\n").as_bytes())

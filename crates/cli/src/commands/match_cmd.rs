@@ -1,16 +1,31 @@
 //! `leapme match` — train LEAPME on part of a dataset (or load a
 //! previously trained `.lmp` model) and score pairs into a similarity
 //! graph.
+//!
+//! Candidate generation has two regimes (DESIGN.md §12):
+//!
+//! * default / `--blocking token|embedding` — enumerate the quadratic
+//!   cross-source pair space (optionally pruned by a full-scan blocker);
+//! * `--blocking ann|lsh|combined` — never enumerate: top-k retrieval
+//!   per property from an HNSW graph over embedding vectors, a banded
+//!   name-LSH index, or the union of both.
+//!
+//! `--stress N` swaps the dataset/embedding files for the in-memory
+//! stress generator at N properties — the 100k–1M scale where the
+//! index-backed modes are the only ones that finish.
 
 use super::{cancel_token, load_dataset, pipeline_err, to_json, to_json_pretty};
 use crate::args::Flags;
 use crate::CliError;
-use leapme::core::blocking::{self, EmbeddingBlocker, TokenBlocker};
+use leapme::core::blocking::{
+    self, AnnBlocker, EmbeddingBlocker, LshBlocker, RetrievalMode, TokenBlocker,
+};
 use leapme::core::feature_cache;
 use leapme::core::pipeline::{Leapme, LeapmeConfig, LeapmeModel};
 use leapme::core::sampling;
 use leapme::data::io::atomic_write;
 use leapme::data::model::{PropertyPair, SourceId};
+use leapme::data::stress::{generate_stress_dataset, StressConfig};
 use leapme::embedding::store::EmbeddingStore;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,10 +34,39 @@ use std::path::Path;
 
 /// Run the command.
 pub fn run(flags: &Flags) -> Result<String, CliError> {
-    let dataset = load_dataset(flags.require("dataset")?)?;
-    let emb_path = flags.require("embeddings")?;
-    let mut embeddings = EmbeddingStore::load_text(Path::new(emb_path))
-        .map_err(|e| CliError::Parse(format!("{emb_path}: {e}")))?;
+    let blocking_mode = flags.get("blocking");
+    let index_blocking = matches!(blocking_mode, Some("ann" | "lsh" | "combined"));
+
+    let (dataset, mut embeddings) = match flags.get("stress") {
+        Some(spec) => {
+            let n: usize = spec
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad --stress property count {spec:?}")))?;
+            if n == 0 {
+                return Err(CliError::Usage("--stress needs at least one property".into()));
+            }
+            if !index_blocking {
+                return Err(CliError::Usage(
+                    "--stress datasets are index-scale; enumerating their quadratic pair \
+                     space is off the table, so pass --blocking ann, lsh or combined"
+                        .into(),
+                ));
+            }
+            let stress_seed: u64 = flags.get_or("stress-seed", 7u64)?;
+            let dim: usize = flags.get_or("stress-dim", 24usize)?;
+            let cfg = StressConfig::new(n, stress_seed);
+            let dataset = generate_stress_dataset(&cfg);
+            let store = leapme::stress_embedding_store(&cfg, dim, stress_seed ^ 0xE5);
+            (dataset, store)
+        }
+        None => {
+            let dataset = load_dataset(flags.require("dataset")?)?;
+            let emb_path = flags.require("embeddings")?;
+            let embeddings = EmbeddingStore::load_text(Path::new(emb_path))
+                .map_err(|e| CliError::Parse(format!("{emb_path}: {e}")))?;
+            (dataset, embeddings)
+        }
+    };
     embeddings.set_fuzzy_oov(flags.get_or("fuzzy-oov", 1u8)? != 0);
 
     let seed: u64 = flags.get_or("seed", 42)?;
@@ -53,6 +97,16 @@ pub fn run(flags: &Flags) -> Result<String, CliError> {
                 })
                 .collect::<Result<_, _>>()?,
             None => {
+                if flags.get("stress").is_some() {
+                    // A train *fraction* of a stress dataset means
+                    // thousands of training sources and a quadratic
+                    // within-train pair enumeration — refuse up front.
+                    return Err(CliError::Usage(
+                        "stress mode needs an explicit small --train-sources list \
+                         (e.g. 0,1,2,3) or a pretrained --model"
+                            .into(),
+                    ));
+                }
                 let fraction: f64 = flags.get_or("train-fraction", 0.8)?;
                 sampling::split_sources(dataset.sources().len(), fraction, &mut rng)
                     .map_err(|e| CliError::Pipeline(e.to_string()))?
@@ -122,37 +176,75 @@ pub fn run(flags: &Flags) -> Result<String, CliError> {
         }
     };
 
-    let mut candidates = sampling::test_pairs(&dataset, &train_sources);
-    // Optional candidate blocking: prune the quadratic pair space before
-    // scoring, reporting completeness/reduction so a too-aggressive
-    // blocker is visible rather than silently dropping true matches.
-    if let Some(mode) = flags.get("blocking") {
-        let k: usize = flags.get_or("blocking-k", EmbeddingBlocker::default().k)?;
-        let keep: BTreeSet<PropertyPair> = match mode {
-            "token" => TokenBlocker::default().candidates(&dataset),
-            "embedding" => EmbeddingBlocker { k }.candidates(&dataset, &embeddings),
-            "combined" => blocking::combined_candidates(
-                &dataset,
-                &embeddings,
-                &TokenBlocker::default(),
-                &EmbeddingBlocker { k },
-            ),
-            other => {
-                return Err(CliError::Usage(format!(
-                    "--blocking must be token, embedding or combined (got {other:?})"
-                )))
-            }
+    let mut candidates: Vec<PropertyPair>;
+    if let Some(mode @ ("ann" | "lsh" | "combined")) = blocking_mode {
+        // Index-backed retrieval: the quadratic pair space is never
+        // enumerated. Candidates come back as a sorted flat Vec from
+        // top-k queries against the HNSW graph and/or name-LSH bands.
+        let k: usize = flags.get_or("blocking-k", AnnBlocker::default().k)?;
+        let rmode = match mode {
+            "ann" => RetrievalMode::Ann,
+            "lsh" => RetrievalMode::Lsh,
+            _ => RetrievalMode::Both,
         };
-        let stats = blocking::evaluate_blocking(&dataset, &keep);
-        let before = candidates.len();
-        candidates.retain(|p| keep.contains(p));
+        let ann = AnnBlocker {
+            k,
+            ..AnnBlocker::default()
+        };
+        let lsh = LshBlocker {
+            k,
+            ..LshBlocker::default()
+        };
+        candidates =
+            blocking::retrieval_candidates(&dataset, &embeddings, rmode, &ann, &lsh, Some(&check))
+                .map_err(|e| pipeline_err(e, NOTHING_SAVED))?;
+        let stats = blocking::evaluate_blocking_sorted(&dataset, &candidates);
+        let retrieved = candidates.len();
+        if !train_sources.is_empty() {
+            // Same held-out semantics as `sampling::test_pairs`: drop
+            // candidates that live entirely inside the training sources.
+            let train_set: BTreeSet<SourceId> = train_sources.iter().copied().collect();
+            candidates.retain(|PropertyPair(a, b)| {
+                !(train_set.contains(&a.source) && train_set.contains(&b.source))
+            });
+        }
         warnings.push_str(&format!(
-            "blocking({mode}): scoring {} of {before} test pairs \
-             (reduction {:.1}%, pair completeness {:.3})\n",
+            "blocking({mode}): scoring {} of {retrieved} retrieved pairs, \
+             full space {} (reduction {:.1}%, pair completeness {:.3})\n",
             candidates.len(),
+            stats.full_space,
             100.0 * stats.reduction_ratio,
             stats.pair_completeness,
         ));
+    } else {
+        candidates = sampling::test_pairs(&dataset, &train_sources);
+        // Optional full-scan blocking: prune the enumerated pair space
+        // before scoring, reporting completeness/reduction so a
+        // too-aggressive blocker is visible rather than silently
+        // dropping true matches.
+        if let Some(mode) = blocking_mode {
+            let k: usize = flags.get_or("blocking-k", EmbeddingBlocker::default().k)?;
+            let keep: BTreeSet<PropertyPair> = match mode {
+                "token" => TokenBlocker::default().candidates(&dataset),
+                "embedding" => EmbeddingBlocker { k }.candidates(&dataset, &embeddings),
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "--blocking must be token, embedding, ann, lsh or combined \
+                         (got {other:?})"
+                    )))
+                }
+            };
+            let stats = blocking::evaluate_blocking(&dataset, &keep);
+            let before = candidates.len();
+            candidates.retain(|p| keep.contains(p));
+            warnings.push_str(&format!(
+                "blocking({mode}): scoring {} of {before} test pairs \
+                 (reduction {:.1}%, pair completeness {:.3})\n",
+                candidates.len(),
+                100.0 * stats.reduction_ratio,
+                stats.pair_completeness,
+            ));
+        }
     }
     // `--quantized` scores through the int8 inference path, but only if
     // a calibration batch stays within the documented tolerance of the
@@ -447,6 +539,77 @@ mod tests {
         assert!(msg.contains("pair completeness"), "{msg}");
         assert!(msg.contains("scored pairs"), "{msg}");
         std::fs::remove_file(graph_path).ok();
+    }
+
+    #[test]
+    fn ann_blocking_retrieves_and_scores() {
+        let (ds, emb) = fixture();
+        let graph_path = tmp("match_graph_ann.json");
+        let msg = run(&Flags::from_pairs(&[
+            ("dataset", ds.to_str().unwrap()),
+            ("embeddings", emb.to_str().unwrap()),
+            ("train-sources", "0,1,2,3,4,5"),
+            ("blocking", "ann"),
+            ("blocking-k", "5"),
+            ("out", graph_path.to_str().unwrap()),
+        ]))
+        .unwrap();
+        assert!(msg.contains("blocking(ann): scoring"), "{msg}");
+        assert!(msg.contains("pair completeness"), "{msg}");
+        let graph: SimilarityGraph =
+            serde_json::from_str(&std::fs::read_to_string(&graph_path).unwrap()).unwrap();
+        assert!(!graph.is_empty());
+        std::fs::remove_file(graph_path).ok();
+    }
+
+    #[test]
+    fn stress_mode_runs_end_to_end_with_index_blocking() {
+        let graph_path = tmp("match_graph_stress.json");
+        let msg = run(&Flags::from_pairs(&[
+            ("stress", "400"),
+            ("blocking", "combined"),
+            ("blocking-k", "6"),
+            ("train-sources", "0,1,2,3"),
+            ("out", graph_path.to_str().unwrap()),
+        ]))
+        .unwrap();
+        assert!(msg.contains("blocking(combined): scoring"), "{msg}");
+        assert!(msg.contains("scored pairs"), "{msg}");
+        let graph: SimilarityGraph =
+            serde_json::from_str(&std::fs::read_to_string(&graph_path).unwrap()).unwrap();
+        assert!(!graph.is_empty());
+        std::fs::remove_file(graph_path).ok();
+    }
+
+    #[test]
+    fn stress_mode_requires_index_blocking_and_explicit_sources() {
+        // No blocking mode at all: the quadratic space is refused.
+        let err = run(&Flags::from_pairs(&[
+            ("stress", "400"),
+            ("out", "unused.json"),
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        assert!(err.to_string().contains("--blocking"), "{err}");
+
+        // A full-scan blocker is still quadratic: refused too.
+        let err = run(&Flags::from_pairs(&[
+            ("stress", "400"),
+            ("blocking", "token"),
+            ("out", "unused.json"),
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+
+        // Index blocking but an implicit train fraction: refused.
+        let err = run(&Flags::from_pairs(&[
+            ("stress", "400"),
+            ("blocking", "ann"),
+            ("out", "unused.json"),
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        assert!(err.to_string().contains("--train-sources"), "{err}");
     }
 
     #[test]

@@ -129,9 +129,17 @@ COMMANDS:
                [--model <model.lmp>]
                [--train-fraction 0.8 | --train-sources 0,1,2] [--seed N]
                [--threshold 0.5] [--timeout-secs N]
+               [--blocking token|embedding|ann|lsh|combined] [--blocking-k N]
+               [--stress N [--stress-seed S] [--stress-dim D]]
                --out <graph.json> [--save-model <model.json>]
                (--model skips training and scores every cross-source
-                pair with the loaded model)
+                pair with the loaded model; ann/lsh/combined retrieve
+                top-k candidates from an HNSW / name-LSH index instead
+                of enumerating the quadratic pair space; --stress N
+                swaps the dataset/embedding files for the in-memory
+                stress generator at N properties and requires an
+                index-backed blocking mode plus explicit
+                --train-sources or --model)
     evaluate   --dataset <dataset.json> --graph <graph.json> [--threshold 0.5]
     analyze    --dataset <dataset.json> --graph <graph.json> [--threshold 0.5]
     cluster    --graph <graph.json> [--method components|star] [--threshold 0.5]

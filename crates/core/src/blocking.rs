@@ -7,21 +7,37 @@
 //! matches while discarding the bulk of the negatives, after which the
 //! classifier only scores the survivors.
 //!
-//! Two complementary blockers are provided, plus their union:
+//! Two families of blockers are provided:
 //!
-//! * [`TokenBlocker`] — inverted index over (fuzzy-normalized) name
-//!   tokens: pairs sharing at least one token become candidates. Catches
-//!   lexical matches, misses cross-synonym matches.
-//! * [`EmbeddingBlocker`] — for each property, the k nearest properties
-//!   by name-embedding cosine. Catches synonym matches.
+//! * Full-scan blockers (quality-first, O(n²) pair visits):
+//!   [`TokenBlocker`] — inverted index over (fuzzy-normalized) name
+//!   tokens: pairs sharing at least one token become candidates; and
+//!   [`EmbeddingBlocker`] — for each property, the exact k nearest
+//!   properties by name-embedding similarity. Their union is
+//!   [`combined_candidates`].
+//! * Index-backed blockers (sublinear, DESIGN.md §12): [`AnnBlocker`]
+//!   retrieves top-k per property from the deterministic HNSW graph in
+//!   [`crate::index::hnsw`]; [`LshBlocker`] from the banded name-minhash
+//!   index in [`crate::index::lsh`]. Both take the union of retrieval
+//!   directions (a pair survives if *either* endpoint retrieves the
+//!   other) and emit a **sorted, deduplicated flat
+//!   `Vec<PropertyPair>`** — the hot-path representation scoring
+//!   consumes directly, with membership via binary search instead of
+//!   `BTreeSet` pointer-chasing.
 //!
 //! [`BlockingStats`] measures the two quantities that matter: *pair
 //! completeness* (recall of the ground truth inside the candidate set)
 //! and the *reduction ratio* (how much of the quadratic space was
-//! pruned).
+//! pruned). The full-space denominator is computed arithmetically
+//! ([`Dataset::cross_source_pair_count`]) so evaluating blocking never
+//! materializes the O(n²) space it is there to avoid.
 
-use leapme_data::model::{Dataset, PropertyPair, SourceId};
-use leapme_embedding::store::{cosine, EmbeddingStore};
+use crate::index::hnsw::{HnswConfig, HnswIndex, VisitedSet};
+use crate::index::lsh::{NameLshConfig, NameLshIndex};
+use crate::index::{CancelCheck, PropertyVectors};
+use crate::CoreError;
+use leapme_data::model::{Dataset, PropertyKey, PropertyPair, SourceId};
+use leapme_embedding::store::EmbeddingStore;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Quality metrics of a blocking pass.
@@ -37,28 +53,63 @@ pub struct BlockingStats {
     pub pair_completeness: f64,
 }
 
-/// Compute blocking quality against a dataset's ground truth.
-pub fn evaluate_blocking(dataset: &Dataset, candidates: &BTreeSet<PropertyPair>) -> BlockingStats {
-    let all_sources: Vec<SourceId> = (0..dataset.sources().len())
-        .map(|i| SourceId(i as u16))
-        .collect();
-    let full_space = dataset.cross_source_pairs(&all_sources).len();
-    let gt = dataset.ground_truth_pairs();
-    let kept = gt.iter().filter(|p| candidates.contains(*p)).count();
+fn stats_from(candidates: usize, full_space: usize, gt: usize, kept: usize) -> BlockingStats {
     BlockingStats {
-        candidates: candidates.len(),
+        candidates,
         full_space,
         reduction_ratio: if full_space == 0 {
             0.0
         } else {
-            1.0 - candidates.len() as f64 / full_space as f64
+            1.0 - candidates as f64 / full_space as f64
         },
-        pair_completeness: if gt.is_empty() {
+        pair_completeness: if gt == 0 {
             1.0
         } else {
-            kept as f64 / gt.len() as f64
+            kept as f64 / gt as f64
         },
     }
+}
+
+fn full_pair_space(dataset: &Dataset) -> usize {
+    let all_sources: Vec<SourceId> = (0..dataset.sources().len())
+        .map(|i| SourceId(i as u16))
+        .collect();
+    dataset.cross_source_pair_count(&all_sources)
+}
+
+/// Compute blocking quality against a dataset's ground truth.
+pub fn evaluate_blocking(dataset: &Dataset, candidates: &BTreeSet<PropertyPair>) -> BlockingStats {
+    let gt = dataset.ground_truth_pairs();
+    let kept = gt.iter().filter(|p| candidates.contains(*p)).count();
+    stats_from(candidates.len(), full_pair_space(dataset), gt.len(), kept)
+}
+
+/// [`evaluate_blocking`] over the flat sorted candidate representation
+/// the index-backed blockers emit (membership by binary search).
+///
+/// # Panics
+///
+/// Debug-asserts that `candidates` is sorted and deduplicated.
+pub fn evaluate_blocking_sorted(dataset: &Dataset, candidates: &[PropertyPair]) -> BlockingStats {
+    debug_assert!(
+        candidates.windows(2).all(|w| w[0] < w[1]),
+        "candidates must be sorted and deduplicated"
+    );
+    let gt = dataset.ground_truth_pairs();
+    let kept = gt
+        .iter()
+        .filter(|p| candidates.binary_search(p).is_ok())
+        .count();
+    stats_from(candidates.len(), full_pair_space(dataset), gt.len(), kept)
+}
+
+/// Canonicalize a raw retrieval pair stream into the sorted, deduplicated
+/// flat form all downstream consumers (scoring, [`evaluate_blocking_sorted`])
+/// assume.
+pub fn sort_dedup_pairs(mut pairs: Vec<PropertyPair>) -> Vec<PropertyPair> {
+    pairs.sort();
+    pairs.dedup();
+    pairs
 }
 
 /// Inverted-index blocker over name tokens.
@@ -124,40 +175,162 @@ impl Default for EmbeddingBlocker {
 
 impl EmbeddingBlocker {
     /// Candidates: for every property, its `k` closest cross-source
-    /// properties by average-name-embedding cosine. Properties whose
+    /// properties by average-name-embedding similarity. Properties whose
     /// names are entirely out of vocabulary produce no candidates.
+    ///
+    /// Each vector is normalized once in [`PropertyVectors::build`]
+    /// (instead of cosine re-deriving both norms inside the O(n²) inner
+    /// loop), after which the scan is the exact top-k oracle
+    /// ([`PropertyVectors::top_k`]) the ANN index is measured against.
     pub fn candidates(
         &self,
         dataset: &Dataset,
         embeddings: &EmbeddingStore,
     ) -> BTreeSet<PropertyPair> {
-        let properties = dataset.properties();
-        let vectors: Vec<Vec<f32>> = properties
-            .iter()
-            .map(|p| embeddings.average_text(&p.name))
-            .collect();
-        let non_zero: Vec<bool> = vectors
-            .iter()
-            .map(|v| v.iter().any(|&x| x != 0.0))
-            .collect();
-
+        let vectors = PropertyVectors::build(dataset, embeddings);
         let mut out = BTreeSet::new();
-        for (i, key) in properties.iter().enumerate() {
-            if !non_zero[i] {
-                continue;
-            }
-            let mut sims: Vec<(f64, usize)> = properties
-                .iter()
-                .enumerate()
-                .filter(|(j, other)| *j != i && other.source != key.source && non_zero[*j])
-                .map(|(j, _)| (cosine(&vectors[i], &vectors[j]), j))
-                .collect();
-            sims.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
-            for &(_, j) in sims.iter().take(self.k) {
-                out.insert(PropertyPair::new(key.clone(), properties[j].clone()));
+        for i in 0..vectors.len() {
+            for n in vectors.top_k(i, self.k) {
+                out.insert(pair_of(&vectors.properties, i, n.id as usize));
             }
         }
         out
+    }
+}
+
+fn pair_of(properties: &[PropertyKey], i: usize, j: usize) -> PropertyPair {
+    PropertyPair::new(properties[i].clone(), properties[j].clone())
+}
+
+/// Index-backed ANN blocker: top-k retrieval per property from the
+/// deterministic HNSW graph, union of both directions, sorted flat
+/// output. Sublinear in the pair space — the only O(n²) work left is
+/// what the candidate set itself contains.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnBlocker {
+    /// Cross-source neighbors retrieved per property.
+    pub k: usize,
+    /// Graph construction/search knobs.
+    pub config: HnswConfig,
+}
+
+impl Default for AnnBlocker {
+    fn default() -> Self {
+        AnnBlocker {
+            k: 8,
+            config: HnswConfig::default(),
+        }
+    }
+}
+
+impl AnnBlocker {
+    /// Build the vector matrix + graph and retrieve candidates.
+    /// Cancellation-aware (index build polls per insert, retrieval per
+    /// query batch).
+    pub fn candidates_sorted(
+        &self,
+        dataset: &Dataset,
+        embeddings: &EmbeddingStore,
+        cancel: CancelCheck<'_>,
+    ) -> Result<Vec<PropertyPair>, CoreError> {
+        let vectors = PropertyVectors::build(dataset, embeddings);
+        self.candidates_from_vectors(&vectors, cancel)
+    }
+
+    /// Retrieval over a pre-built vector matrix (shared with the bench's
+    /// oracle measurements).
+    pub fn candidates_from_vectors(
+        &self,
+        vectors: &PropertyVectors,
+        cancel: CancelCheck<'_>,
+    ) -> Result<Vec<PropertyPair>, CoreError> {
+        let index = HnswIndex::build(vectors, self.config, cancel)?;
+        let mut visited = VisitedSet::new(vectors.len());
+        let mut pairs = Vec::new();
+        for i in 0..vectors.len() {
+            if i % 512 == 0 {
+                crate::index::poll_cancel(cancel)?;
+            }
+            for n in index.search_node(vectors, i, self.k, &mut visited) {
+                pairs.push(pair_of(&vectors.properties, i, n.id as usize));
+            }
+        }
+        Ok(sort_dedup_pairs(pairs))
+    }
+}
+
+/// Index-backed LSH blocker: top-k banded-minhash retrieval over name
+/// token/shingle sets, union of both directions, sorted flat output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LshBlocker {
+    /// Cross-source neighbors retrieved per property.
+    pub k: usize,
+    /// Banding knobs.
+    pub config: NameLshConfig,
+}
+
+impl Default for LshBlocker {
+    fn default() -> Self {
+        LshBlocker {
+            k: 8,
+            config: NameLshConfig::default(),
+        }
+    }
+}
+
+impl LshBlocker {
+    /// Fingerprint, bucket, and retrieve candidates. Cancellation-aware.
+    pub fn candidates_sorted(
+        &self,
+        dataset: &Dataset,
+        cancel: CancelCheck<'_>,
+    ) -> Result<Vec<PropertyPair>, CoreError> {
+        let properties = dataset.properties();
+        let index = NameLshIndex::build(&properties, self.config, cancel)?;
+        let mut visited = VisitedSet::new(properties.len());
+        let mut pairs = Vec::new();
+        for i in 0..properties.len() {
+            if i % 512 == 0 {
+                crate::index::poll_cancel(cancel)?;
+            }
+            for n in index.search_node(i, self.k, &mut visited) {
+                pairs.push(pair_of(&properties, i, n.id as usize));
+            }
+        }
+        Ok(sort_dedup_pairs(pairs))
+    }
+}
+
+/// Which retrieval path feeds the index-backed candidate generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrievalMode {
+    /// HNSW over name-embedding vectors.
+    Ann,
+    /// Banded minhash over name tokens/shingles.
+    Lsh,
+    /// Union of both — semantic + lexical coverage, still sublinear.
+    Both,
+}
+
+/// Index-backed candidate generation: retrieval instead of enumeration.
+/// Returns the sorted flat candidate vector.
+pub fn retrieval_candidates(
+    dataset: &Dataset,
+    embeddings: &EmbeddingStore,
+    mode: RetrievalMode,
+    ann: &AnnBlocker,
+    lsh: &LshBlocker,
+    cancel: CancelCheck<'_>,
+) -> Result<Vec<PropertyPair>, CoreError> {
+    match mode {
+        RetrievalMode::Ann => ann.candidates_sorted(dataset, embeddings, cancel),
+        RetrievalMode::Lsh => lsh.candidates_sorted(dataset, cancel),
+        RetrievalMode::Both => {
+            let mut a = ann.candidates_sorted(dataset, embeddings, cancel)?;
+            let b = lsh.candidates_sorted(dataset, cancel)?;
+            a.extend(b);
+            Ok(sort_dedup_pairs(a))
+        }
     }
 }
 
@@ -283,6 +456,73 @@ mod tests {
         assert_eq!(stats.candidates, 0);
         assert_eq!(stats.pair_completeness, 0.0);
         assert!((stats.reduction_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ann_candidates_are_sorted_cross_source_and_match_btreeset_eval() {
+        let ds = generate(Domain::Tvs, 27);
+        let emb = embeddings(Domain::Tvs);
+        let flat = AnnBlocker::default()
+            .candidates_sorted(&ds, &emb, None)
+            .unwrap();
+        assert!(flat.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+        assert!(flat.iter().all(|PropertyPair(a, b)| a.source != b.source));
+        // Flat evaluation agrees with the BTreeSet path on the same set.
+        let as_set: BTreeSet<PropertyPair> = flat.iter().cloned().collect();
+        assert_eq!(
+            evaluate_blocking_sorted(&ds, &flat),
+            evaluate_blocking(&ds, &as_set)
+        );
+    }
+
+    #[test]
+    fn lsh_candidates_cover_lexical_matches() {
+        let ds = generate(Domain::Tvs, 28);
+        let flat = LshBlocker::default().candidates_sorted(&ds, None).unwrap();
+        assert!(flat.windows(2).all(|w| w[0] < w[1]));
+        let stats = evaluate_blocking_sorted(&ds, &flat);
+        // Name-LSH is the lexical path: it must prune hard while keeping
+        // a solid share of the (heavily lexical) ground truth.
+        assert!(stats.reduction_ratio > 0.5, "{stats:?}");
+        assert!(stats.pair_completeness > 0.4, "{stats:?}");
+    }
+
+    #[test]
+    fn retrieval_union_dominates_parts() {
+        let ds = generate(Domain::Headphones, 29);
+        let emb = embeddings(Domain::Headphones);
+        let ann = AnnBlocker::default();
+        let lsh = LshBlocker::default();
+        let a = evaluate_blocking_sorted(
+            &ds,
+            &retrieval_candidates(&ds, &emb, RetrievalMode::Ann, &ann, &lsh, None).unwrap(),
+        );
+        let l = evaluate_blocking_sorted(
+            &ds,
+            &retrieval_candidates(&ds, &emb, RetrievalMode::Lsh, &ann, &lsh, None).unwrap(),
+        );
+        let both = evaluate_blocking_sorted(
+            &ds,
+            &retrieval_candidates(&ds, &emb, RetrievalMode::Both, &ann, &lsh, None).unwrap(),
+        );
+        assert!(both.pair_completeness >= a.pair_completeness);
+        assert!(both.pair_completeness >= l.pair_completeness);
+        assert!(both.reduction_ratio > 0.3, "{both:?}");
+    }
+
+    #[test]
+    fn cancelled_retrieval_returns_cancelled() {
+        let ds = generate(Domain::Tvs, 30);
+        let emb = embeddings(Domain::Tvs);
+        let cancel = || true;
+        assert!(matches!(
+            AnnBlocker::default().candidates_sorted(&ds, &emb, Some(&cancel)),
+            Err(CoreError::Cancelled)
+        ));
+        assert!(matches!(
+            LshBlocker::default().candidates_sorted(&ds, Some(&cancel)),
+            Err(CoreError::Cancelled)
+        ));
     }
 
     #[test]

@@ -1,0 +1,427 @@
+//! Deterministic HNSW-style navigable small-world graph over property
+//! vectors.
+//!
+//! Standard HNSW (Malkov & Yashunin 2018): every node draws a geometric
+//! level, lives in all layers up to it, and each layer is a small-world
+//! graph searched greedily from an entry point. This implementation
+//! trades the paper's lock-free parallel insertion for *bitwise
+//! determinism*, which the rest of this repo treats as non-negotiable:
+//!
+//! * levels come from a splitmix64 draw keyed on `(seed, node)` — not on
+//!   RNG state mutated by insertion order;
+//! * nodes are inserted in ascending index order, serially;
+//! * all similarity comparisons order by [`Neighbor`]'s total order
+//!   (similarity via [`f64::total_cmp`], ties toward the smaller id), so
+//!   no `sort_unstable` ambiguity or platform-dependent NaN handling;
+//! * similarities use the single-accumulator-chain
+//!   [`leapme_embedding::kernels::dot`] kernel, bitwise identical on
+//!   every architecture.
+//!
+//! Same config + same vectors ⇒ byte-identical graph (`HnswIndex`
+//! derives `PartialEq`; the index test suite pins this), and therefore
+//! identical candidate sets at any `LEAPME_THREADS`.
+//!
+//! Construction polls a [`CancelCheck`] once per insert and returns
+//! [`CoreError::Cancelled`]; the half-built graph is dropped, so no
+//! partial state outlives the error.
+
+use super::{poll_cancel, CancelCheck, Neighbor, PropertyVectors};
+use crate::CoreError;
+use leapme_embedding::kernels::dot;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Hard cap on sampled levels (a geometric draw at `m = 16` reaches
+/// level 8 once per ~10⁹ nodes; 24 is unreachable in practice).
+const MAX_LEVEL: usize = 24;
+
+/// HNSW construction / search knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HnswConfig {
+    /// Max links per node per layer (layer 0 uses `2m`). Larger = denser
+    /// graph, better recall, more memory.
+    pub m: usize,
+    /// Beam width during construction. Larger = better graph quality,
+    /// slower build.
+    pub ef_construction: usize,
+    /// Default beam width during search (clamped to ≥ the requested `k`
+    /// plus slack). Larger = better recall, slower queries — the main
+    /// recall/latency trade-off knob.
+    pub ef_search: usize,
+    /// Level-assignment seed.
+    pub seed: u64,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        HnswConfig {
+            m: 16,
+            ef_construction: 100,
+            ef_search: 96,
+            seed: 0x485753, // "HSW"
+        }
+    }
+}
+
+/// Stamp-based visited set: O(1) clear between searches, no per-query
+/// allocation once warmed.
+#[derive(Debug)]
+pub struct VisitedSet {
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl VisitedSet {
+    /// A set over ids `0..n`.
+    pub fn new(n: usize) -> Self {
+        VisitedSet {
+            stamps: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    /// Start a fresh traversal.
+    pub fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: old stamps could alias the new epoch.
+            self.stamps.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Mark `i` visited; returns `true` iff it was not yet visited this
+    /// traversal.
+    pub fn visit(&mut self, i: u32) -> bool {
+        let s = &mut self.stamps[i as usize];
+        if *s == self.epoch {
+            false
+        } else {
+            *s = self.epoch;
+            true
+        }
+    }
+}
+
+/// The navigable small-world graph. Holds only topology — vector data
+/// stays in the [`PropertyVectors`] it was built over, which callers
+/// pass back in at query time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HnswIndex {
+    config: HnswConfig,
+    /// `links[node][level]` → neighbor ids; nodes absent from the index
+    /// (zero vectors) have an empty outer vec.
+    links: Vec<Vec<Vec<u32>>>,
+    /// Entry point (highest-level node), if any node was inserted.
+    entry: Option<u32>,
+    /// Level of the entry point.
+    top_level: usize,
+    /// Number of inserted nodes.
+    inserted: usize,
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl HnswIndex {
+    /// Build the graph over every non-zero row of `vectors`, in
+    /// ascending row order. Deterministic in `(config, vectors)`; polls
+    /// `cancel` once per insert.
+    pub fn build(
+        vectors: &PropertyVectors,
+        config: HnswConfig,
+        cancel: CancelCheck<'_>,
+    ) -> Result<Self, CoreError> {
+        assert!(config.m >= 2, "HNSW needs m ≥ 2");
+        assert!(config.ef_construction >= 1, "HNSW needs ef_construction ≥ 1");
+        let n = vectors.len();
+        let mut index = HnswIndex {
+            config,
+            links: vec![Vec::new(); n],
+            entry: None,
+            top_level: 0,
+            inserted: 0,
+        };
+        let ml = 1.0 / (config.m as f64).ln();
+        let mut visited = VisitedSet::new(n);
+        for i in 0..n {
+            poll_cancel(cancel)?;
+            if !vectors.non_zero[i] {
+                continue;
+            }
+            index.insert(vectors, i as u32, ml, &mut visited);
+        }
+        Ok(index)
+    }
+
+    /// Number of nodes in the graph.
+    pub fn len(&self) -> usize {
+        self.inserted
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inserted == 0
+    }
+
+    /// The neighbor lists of `node` (empty if absent) — exposed for the
+    /// determinism tests.
+    pub fn neighbors(&self, node: u32) -> &[Vec<u32>] {
+        &self.links[node as usize]
+    }
+
+    /// Geometric level draw for `node`, independent of insertion history.
+    fn sample_level(seed: u64, node: u32, ml: f64) -> usize {
+        let h = splitmix64(seed ^ u64::from(node).wrapping_mul(0x9E3779B97F4A7C15));
+        // Map the top 53 bits into (0, 1]; -ln(u)·ml is the standard
+        // geometric level distribution.
+        let u = ((h >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+        (((-u.ln()) * ml).floor() as usize).min(MAX_LEVEL)
+    }
+
+    fn max_links(&self, level: usize) -> usize {
+        if level == 0 {
+            self.config.m * 2
+        } else {
+            self.config.m
+        }
+    }
+
+    fn insert(&mut self, vectors: &PropertyVectors, i: u32, ml: f64, visited: &mut VisitedSet) {
+        let level = Self::sample_level(self.config.seed, i, ml);
+        self.links[i as usize] = vec![Vec::new(); level + 1];
+        self.inserted += 1;
+        let Some(entry) = self.entry else {
+            self.entry = Some(i);
+            self.top_level = level;
+            return;
+        };
+
+        let q = vectors.vector(i as usize);
+        let mut ep = vec![Neighbor {
+            sim: dot(q, vectors.vector(entry as usize)),
+            id: entry,
+        }];
+        // Greedy descent through layers above the new node's level.
+        for l in ((level + 1)..=self.top_level).rev() {
+            ep = self.search_layer(vectors, q, &ep, 1, l, visited);
+        }
+        // Beam search + connect on the layers the node joins.
+        for l in (0..=level.min(self.top_level)).rev() {
+            let w = self.search_layer(vectors, q, &ep, self.config.ef_construction, l, visited);
+            let m_l = self.max_links(l);
+            let chosen = self.select_neighbors(vectors, &w, self.config.m);
+            for &e in &chosen {
+                self.links[e as usize][l].push(i);
+                if self.links[e as usize][l].len() > m_l {
+                    self.prune(vectors, e, l, m_l);
+                }
+            }
+            self.links[i as usize][l] = chosen;
+            ep = w;
+        }
+        if level > self.top_level {
+            self.entry = Some(i);
+            self.top_level = level;
+        }
+    }
+
+    /// Re-select the links of `e` at `l` down to `max` using the same
+    /// diversity heuristic as insertion.
+    fn prune(&mut self, vectors: &PropertyVectors, e: u32, l: usize, max: usize) {
+        let base = vectors.vector(e as usize);
+        let mut cands: Vec<Neighbor> = self.links[e as usize][l]
+            .iter()
+            .map(|&j| Neighbor {
+                sim: dot(base, vectors.vector(j as usize)),
+                id: j,
+            })
+            .collect();
+        cands.sort_by(|a, b| b.cmp(a));
+        self.links[e as usize][l] = self.select_neighbors(vectors, &cands, max);
+    }
+
+    /// Malkov's heuristic neighbor selection (Algorithm 4, with pruned-
+    /// connection fill): walk candidates best-first, keep one only if it
+    /// is closer to the query than to every already-kept neighbor — this
+    /// spreads links across directions, which is what keeps clustered
+    /// data (near-duplicate property names!) navigable. Backfill from
+    /// the discards if fewer than `m` survive.
+    fn select_neighbors(
+        &self,
+        vectors: &PropertyVectors,
+        candidates: &[Neighbor],
+        m: usize,
+    ) -> Vec<u32> {
+        let mut selected: Vec<Neighbor> = Vec::with_capacity(m);
+        let mut discarded: Vec<u32> = Vec::new();
+        for &c in candidates {
+            if selected.len() >= m {
+                break;
+            }
+            let cv = vectors.vector(c.id as usize);
+            let diverse = selected
+                .iter()
+                .all(|s| dot(cv, vectors.vector(s.id as usize)) < c.sim);
+            if diverse {
+                selected.push(c);
+            } else {
+                discarded.push(c.id);
+            }
+        }
+        let mut out: Vec<u32> = selected.iter().map(|n| n.id).collect();
+        for id in discarded {
+            if out.len() >= m {
+                break;
+            }
+            out.push(id);
+        }
+        out
+    }
+
+    /// Classic ef-bounded best-first search on one layer; returns up to
+    /// `ef` hits, best-first.
+    fn search_layer(
+        &self,
+        vectors: &PropertyVectors,
+        q: &[f32],
+        entry_points: &[Neighbor],
+        ef: usize,
+        level: usize,
+        visited: &mut VisitedSet,
+    ) -> Vec<Neighbor> {
+        visited.begin();
+        // `candidates` pops best-first; `results` (Reverse) pops
+        // worst-first so the beam can evict.
+        let mut candidates: BinaryHeap<Neighbor> = BinaryHeap::new();
+        let mut results: BinaryHeap<Reverse<Neighbor>> = BinaryHeap::new();
+        for &ep in entry_points {
+            if visited.visit(ep.id) {
+                candidates.push(ep);
+                results.push(Reverse(ep));
+                if results.len() > ef {
+                    results.pop();
+                }
+            }
+        }
+        while let Some(c) = candidates.pop() {
+            if results.len() >= ef {
+                if let Some(&Reverse(worst)) = results.peek() {
+                    if c < worst {
+                        break;
+                    }
+                }
+            }
+            let node_links = &self.links[c.id as usize];
+            if level >= node_links.len() {
+                continue;
+            }
+            for &e in &node_links[level] {
+                if !visited.visit(e) {
+                    continue;
+                }
+                let cand = Neighbor {
+                    sim: dot(q, vectors.vector(e as usize)),
+                    id: e,
+                };
+                let admit = match results.peek() {
+                    Some(&Reverse(worst)) if results.len() >= ef => cand > worst,
+                    _ => true,
+                };
+                if admit {
+                    candidates.push(cand);
+                    results.push(Reverse(cand));
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        let mut out: Vec<Neighbor> = results.into_iter().map(|r| r.0).collect();
+        out.sort_by(|a, b| b.cmp(a));
+        out
+    }
+
+    /// Approximate nearest neighbors of an arbitrary query vector:
+    /// best-first hits on layer 0 with beam `ef` (clamped ≥ 1). No
+    /// source filtering — callers filter and truncate.
+    pub fn search(
+        &self,
+        vectors: &PropertyVectors,
+        q: &[f32],
+        ef: usize,
+        visited: &mut VisitedSet,
+    ) -> Vec<Neighbor> {
+        let Some(entry) = self.entry else {
+            return Vec::new();
+        };
+        let mut ep = vec![Neighbor {
+            sim: dot(q, vectors.vector(entry as usize)),
+            id: entry,
+        }];
+        for l in (1..=self.top_level).rev() {
+            ep = self.search_layer(vectors, q, &ep, 1, l, visited);
+        }
+        self.search_layer(vectors, q, &ep, ef.max(1), 0, visited)
+    }
+
+    /// Top-`k` *cross-source* neighbors of indexed node `i`: an ef-beam
+    /// search (beam = `max(ef_search, k + 16)` for headroom) filtered to
+    /// other sources, truncated to `k`. Mirrors
+    /// [`PropertyVectors::top_k`], the exact oracle.
+    pub fn search_node(
+        &self,
+        vectors: &PropertyVectors,
+        i: usize,
+        k: usize,
+        visited: &mut VisitedSet,
+    ) -> Vec<Neighbor> {
+        if !vectors.non_zero[i] || k == 0 {
+            return Vec::new();
+        }
+        let ef = self.config.ef_search.max(k + 16);
+        let src = vectors.sources[i];
+        let mut hits = self.search(vectors, vectors.vector(i), ef, visited);
+        hits.retain(|n| n.id as usize != i && vectors.sources[n.id as usize] != src);
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_draw_is_geometricish_and_capped() {
+        let ml = 1.0 / 16f64.ln();
+        let mut counts = [0usize; 4];
+        for i in 0..10_000u32 {
+            let l = HnswIndex::sample_level(7, i, ml);
+            assert!(l <= MAX_LEVEL);
+            if l < 4 {
+                counts[l] += 1;
+            }
+        }
+        // P(level ≥ 1) = 1/m ≈ 6.25%.
+        assert!(counts[0] > 8_500, "{counts:?}");
+        assert!(counts[1] > 200 && counts[1] < 1_200, "{counts:?}");
+    }
+
+    #[test]
+    fn visited_set_survives_epoch_wrap() {
+        let mut v = VisitedSet::new(4);
+        v.epoch = u32::MAX - 1;
+        v.begin();
+        assert!(v.visit(0));
+        assert!(!v.visit(0));
+        v.begin(); // wraps to 0 → resets to 1
+        assert!(v.visit(0));
+        assert!(v.visit(1));
+        assert!(!v.visit(1));
+    }
+}

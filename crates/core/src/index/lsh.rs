@@ -1,0 +1,255 @@
+//! Banded minhash retrieval over property *names* — the
+//! `leapme-baselines` LSH substrate promoted into the production
+//! blocking path.
+//!
+//! The evaluation-only [`leapme_baselines::lsh::LshMatcher`] fingerprints
+//! properties by their instance-value tokens and answers pairwise
+//! `is_candidate` queries — still O(n²) to enumerate. This index instead
+//! fingerprints the *name* (tokens plus character 3-gram shingles, so
+//! typos and style mangling still overlap), hashes each signature band
+//! into buckets, and answers top-k retrieval per property by scoring
+//! only co-bucketed properties with the minhash Jaccard estimate. Name
+//! surface similarity is exactly the signal the embedding path is blind
+//! to when names share tokens but the tokens are out-of-vocabulary — the
+//! two retrievers union into the `combined` blocking mode.
+//!
+//! Determinism: signatures come from the seeded
+//! [`leapme_baselines::minhash::MinHasher`] universal-hash family;
+//! retrieval walks each property's own bands (never `HashMap` iteration
+//! order) and bucket membership lists are in ascending-id insertion
+//! order; scoring ties break toward the smaller id via [`Neighbor`].
+
+use super::{hnsw::VisitedSet, poll_cancel, CancelCheck, Neighbor};
+use crate::CoreError;
+use leapme_baselines::minhash::MinHasher;
+use leapme_data::model::PropertyKey;
+use std::collections::HashMap;
+
+/// Banding configuration for the name-LSH index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NameLshConfig {
+    /// Signature length (`num_hashes / band_size` bands). More hashes =
+    /// sharper Jaccard estimates and more bands to collide on.
+    pub num_hashes: usize,
+    /// Rows per band. Smaller bands fire on lower Jaccard (higher
+    /// recall, more candidates); `s`-similar pairs collide on one band
+    /// with probability `s^band_size`.
+    pub band_size: usize,
+    /// Minhash family seed.
+    pub seed: u64,
+    /// Buckets larger than this are skipped at query time (ubiquitous
+    /// token bands — the stop-token guard of the banding world).
+    pub max_bucket: usize,
+}
+
+impl Default for NameLshConfig {
+    fn default() -> Self {
+        NameLshConfig {
+            num_hashes: 48,
+            band_size: 3,
+            seed: 0x15AB_0007,
+            max_bucket: 128,
+        }
+    }
+}
+
+/// The banded minhash index over property-name token/shingle sets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NameLshIndex {
+    config: NameLshConfig,
+    /// Minhash signature per property (row order = the dataset's sorted
+    /// property list, same ids as [`super::PropertyVectors`]).
+    signatures: Vec<Vec<u64>>,
+    /// `properties[i].source.0`, for cross-source filtering.
+    sources: Vec<u16>,
+    /// Band hash → member property ids (ascending).
+    buckets: HashMap<u64, Vec<u32>>,
+}
+
+/// FNV-1a over a band's position and row values.
+fn band_key(band_idx: usize, rows: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut step = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    step(band_idx as u64);
+    for &r in rows {
+        step(r);
+    }
+    h
+}
+
+/// The item set a property name is fingerprinted by: lowercase tokens
+/// (prefixed `t:`) plus character 3-gram shingles of the
+/// alphanumeric-collapsed name (prefixed `g:`).
+fn name_items(name: &str) -> Vec<String> {
+    let mut items: Vec<String> = leapme_embedding::tokenize::tokenize(name)
+        .into_iter()
+        .map(|t| format!("t:{t}"))
+        .collect();
+    let collapsed: Vec<char> = name
+        .chars()
+        .filter(|c| c.is_alphanumeric())
+        .flat_map(|c| c.to_lowercase())
+        .collect();
+    for w in collapsed.windows(3) {
+        items.push(format!("g:{}{}{}", w[0], w[1], w[2]));
+    }
+    items.sort();
+    items.dedup();
+    items
+}
+
+impl NameLshIndex {
+    /// Fingerprint and bucket every property. Deterministic in
+    /// `(config, properties)`; polls `cancel` once per property.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `band_size` is 0 or larger than `num_hashes`.
+    pub fn build(
+        properties: &[PropertyKey],
+        config: NameLshConfig,
+        cancel: CancelCheck<'_>,
+    ) -> Result<Self, CoreError> {
+        assert!(
+            config.band_size > 0 && config.band_size <= config.num_hashes,
+            "band_size must be in 1..=num_hashes"
+        );
+        let hasher = MinHasher::new(config.num_hashes, config.seed);
+        let mut signatures = Vec::with_capacity(properties.len());
+        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (i, p) in properties.iter().enumerate() {
+            poll_cancel(cancel)?;
+            let items = name_items(&p.name);
+            let sig = hasher.signature(items.iter().map(String::as_str));
+            // Empty item sets have all-sentinel signatures; bucketing
+            // them would make every empty name collide with every other.
+            if !items.is_empty() {
+                for (b, rows) in sig.chunks(config.band_size).enumerate() {
+                    buckets
+                        .entry(band_key(b, rows))
+                        .or_default()
+                        .push(i as u32);
+                }
+            }
+            signatures.push(sig);
+        }
+        Ok(NameLshIndex {
+            config,
+            signatures,
+            sources: properties.iter().map(|p| p.source.0).collect(),
+            buckets,
+        })
+    }
+
+    /// Number of fingerprinted properties.
+    pub fn len(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.signatures.is_empty()
+    }
+
+    /// Top-`k` cross-source candidates for property `i`: union of its
+    /// band buckets (oversized buckets skipped), scored by estimated
+    /// Jaccard, deterministic [`Neighbor`] order, truncated to `k`.
+    pub fn search_node(&self, i: usize, k: usize, visited: &mut VisitedSet) -> Vec<Neighbor> {
+        if k == 0 {
+            return Vec::new();
+        }
+        visited.begin();
+        visited.visit(i as u32);
+        let sig = &self.signatures[i];
+        let src = self.sources[i];
+        let mut hits: Vec<Neighbor> = Vec::new();
+        for (b, rows) in sig.chunks(self.config.band_size).enumerate() {
+            if rows.iter().all(|&r| r == u64::MAX) {
+                continue; // empty-set sentinel band
+            }
+            let Some(members) = self.buckets.get(&band_key(b, rows)) else {
+                continue;
+            };
+            if members.len() > self.config.max_bucket {
+                continue; // stop band
+            }
+            for &j in members {
+                if !visited.visit(j) || self.sources[j as usize] == src {
+                    continue;
+                }
+                let est = MinHasher::estimate_jaccard(sig, &self.signatures[j as usize]);
+                if est > 0.0 {
+                    hits.push(Neighbor {
+                        sim: est,
+                        id: j,
+                    });
+                }
+            }
+        }
+        hits.sort_by(|a, b| b.cmp(a));
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leapme_data::model::SourceId;
+
+    fn props(names: &[(u16, &str)]) -> Vec<PropertyKey> {
+        names
+            .iter()
+            .map(|&(s, n)| PropertyKey::new(SourceId(s), n))
+            .collect()
+    }
+
+    #[test]
+    fn near_duplicate_names_collide_exact_before_fuzzy() {
+        let ps = props(&[
+            (0, "camera resolution"),
+            (1, "cameraResolution"),
+            (2, "sensor_width"),
+            (3, "totally unrelated thing"),
+        ]);
+        let idx = NameLshIndex::build(&ps, NameLshConfig::default(), None).unwrap();
+        let mut v = VisitedSet::new(ps.len());
+        let hits = idx.search_node(0, 3, &mut v);
+        assert!(!hits.is_empty());
+        // The style-mangled twin tokenizes identically → top hit.
+        assert_eq!(hits[0].id, 1);
+        assert!(hits[0].sim > 0.9, "{hits:?}");
+    }
+
+    #[test]
+    fn same_source_and_self_are_filtered() {
+        let ps = props(&[(0, "alpha beta"), (0, "alpha beta"), (1, "alpha beta")]);
+        // (duplicate names in one source collapse in real datasets; here
+        // they stress the self/source filters)
+        let idx = NameLshIndex::build(&ps, NameLshConfig::default(), None).unwrap();
+        let mut v = VisitedSet::new(ps.len());
+        let hits = idx.search_node(0, 10, &mut v);
+        assert_eq!(hits.iter().map(|n| n.id).collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ps = props(&[(0, "screen size"), (1, "screenSize"), (2, "display diagonal")]);
+        let a = NameLshIndex::build(&ps, NameLshConfig::default(), None).unwrap();
+        let b = NameLshIndex::build(&ps, NameLshConfig::default(), None).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cancelled_build_returns_cancelled() {
+        let ps = props(&[(0, "a b"), (1, "c d")]);
+        let cancel = || true;
+        let err = NameLshIndex::build(&ps, NameLshConfig::default(), Some(&cancel)).unwrap_err();
+        assert!(matches!(err, CoreError::Cancelled));
+    }
+}

@@ -1,0 +1,201 @@
+//! Sublinear candidate generation: index-backed top-k retrieval over
+//! property vectors (DESIGN.md §12).
+//!
+//! Every earlier blocking strategy still *touches* all O(n²) cross-source
+//! pairs before filtering; at the roadmap's 100k–1M-property scale that
+//! is 10⁹–10¹² pair visits. This module replaces enumeration with
+//! retrieval:
+//!
+//! * [`PropertyVectors`] — the shared flat matrix of L2-normalized
+//!   average-name-embedding vectors, built once per dataset. After
+//!   normalization, cosine degenerates to the deterministic
+//!   [`leapme_embedding::kernels::dot`] kernel, and the per-query norm
+//!   work the old `EmbeddingBlocker` recomputed in its inner loop is
+//!   hoisted into the build. Its exact [`PropertyVectors::top_k`] scan
+//!   doubles as the brute-force oracle that recall tests and the bench
+//!   measure the indexes against.
+//! * [`hnsw`] — a navigable-small-world graph ([`hnsw::HnswIndex`]) with
+//!   deterministic seeded construction: same seed → same levels, same
+//!   insertion order, same tie-breaks → bitwise-identical graph.
+//! * [`lsh`] — banded minhash retrieval over *name* token/shingle sets
+//!   ([`lsh::NameLshIndex`]), promoting the `leapme-baselines`
+//!   minhash/banding substrate from evaluation-only code into the
+//!   production blocking path.
+//!
+//! Both index builds poll the PR4 [`crate::cancel::CancelToken`] checker
+//! and return [`CoreError::Cancelled`] without leaking partial state —
+//! construction is by-value, so a cancelled build simply drops its
+//! half-built graph.
+
+pub mod hnsw;
+pub mod lsh;
+
+use crate::CoreError;
+use leapme_data::model::{Dataset, PropertyKey};
+use leapme_embedding::kernels::dot;
+use leapme_embedding::store::EmbeddingStore;
+pub use leapme_features::CancelCheck;
+
+/// One scored retrieval hit: similarity plus the index of the matched
+/// property in the dataset's sorted property list.
+///
+/// Ordering is total and deterministic: higher similarity first, ties
+/// broken toward the smaller property index ([`f64::total_cmp`], so no
+/// NaN panics and no platform variation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Similarity (inner product of unit vectors ∈ [-1, 1], or a Jaccard
+    /// estimate ∈ [0, 1] from the LSH path).
+    pub sim: f64,
+    /// Index into [`PropertyVectors::properties`].
+    pub id: u32,
+}
+
+impl Eq for Neighbor {}
+
+impl Ord for Neighbor {
+    /// `self > other` ⇔ `self` is the *better* hit (greater similarity,
+    /// or equal similarity and smaller id) — so a `BinaryHeap<Neighbor>`
+    /// pops best-first.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.sim
+            .total_cmp(&other.sim)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The flat, pre-normalized property-vector matrix every retrieval path
+/// shares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropertyVectors {
+    /// All dataset properties, sorted (the row order of the matrix).
+    pub properties: Vec<PropertyKey>,
+    /// `properties[i].source.0`, denormalized for branch-cheap filtering.
+    pub sources: Vec<u16>,
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// `properties.len() × dim`, row-major; rows are unit-L2 or all-zero
+    /// (fully out-of-vocabulary names keep the paper's zero-vector
+    /// convention and are excluded from indexing and querying).
+    data: Vec<f32>,
+    /// Whether row `i` is non-zero (indexable).
+    pub non_zero: Vec<bool>,
+}
+
+impl PropertyVectors {
+    /// Build the matrix: average name embeddings, then normalize each
+    /// row once. The normalization divides in `f64` and rounds once to
+    /// `f32`, so `dot(row_i, row_j)` tracks `cosine(raw_i, raw_j)` to
+    /// ~1e-7 — and every subsequent query costs one multiply-add per
+    /// element instead of three.
+    pub fn build(dataset: &Dataset, embeddings: &EmbeddingStore) -> Self {
+        let properties = dataset.properties();
+        let dim = embeddings.dim();
+        let n = properties.len();
+        let mut data = vec![0.0f32; n * dim];
+        let mut non_zero = vec![false; n];
+        for (i, p) in properties.iter().enumerate() {
+            let row = &mut data[i * dim..(i + 1) * dim];
+            embeddings.average_text_into(&p.name, row);
+            let norm = row
+                .iter()
+                .map(|&x| f64::from(x) * f64::from(x))
+                .sum::<f64>()
+                .sqrt();
+            if norm > 0.0 {
+                non_zero[i] = true;
+                for x in row.iter_mut() {
+                    *x = (f64::from(*x) / norm) as f32;
+                }
+            }
+        }
+        let sources = properties.iter().map(|p| p.source.0).collect();
+        PropertyVectors {
+            properties,
+            sources,
+            dim,
+            data,
+            non_zero,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.properties.len()
+    }
+
+    /// Whether the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.properties.is_empty()
+    }
+
+    /// Row `i` of the matrix.
+    pub fn vector(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Exact top-`k` cross-source neighbors of row `i` by inner product
+    /// — the brute-force oracle. O(n·dim) per query; deterministic
+    /// [`Neighbor`] ordering. Returns an empty list for zero rows.
+    pub fn top_k(&self, i: usize, k: usize) -> Vec<Neighbor> {
+        if !self.non_zero[i] || k == 0 {
+            return Vec::new();
+        }
+        let q = self.vector(i);
+        let src = self.sources[i];
+        // Min-heap of the k best seen so far (Reverse pops worst-first).
+        let mut heap = std::collections::BinaryHeap::with_capacity(k + 1);
+        for j in 0..self.len() {
+            if j == i || self.sources[j] == src || !self.non_zero[j] {
+                continue;
+            }
+            let cand = Neighbor {
+                sim: dot(q, self.vector(j)),
+                id: j as u32,
+            };
+            if heap.len() < k {
+                heap.push(std::cmp::Reverse(cand));
+            } else if let Some(&std::cmp::Reverse(worst)) = heap.peek() {
+                if cand > worst {
+                    heap.pop();
+                    heap.push(std::cmp::Reverse(cand));
+                }
+            }
+        }
+        let mut out: Vec<Neighbor> = heap.into_iter().map(|r| r.0).collect();
+        out.sort_by(|a, b| b.cmp(a));
+        out
+    }
+}
+
+/// Poll a cancellation checker, mapping a positive answer to
+/// [`CoreError::Cancelled`].
+pub(crate) fn poll_cancel(cancel: CancelCheck<'_>) -> Result<(), CoreError> {
+    match cancel {
+        Some(c) if c() => Err(CoreError::Cancelled),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbor_ordering_is_sim_then_id() {
+        let a = Neighbor { sim: 0.9, id: 5 };
+        let b = Neighbor { sim: 0.9, id: 2 };
+        let c = Neighbor { sim: 0.8, id: 0 };
+        assert!(b > a, "equal sim breaks toward smaller id");
+        assert!(a > c);
+        let mut v = [a, c, b];
+        v.sort_by(|x, y| y.cmp(x));
+        assert_eq!(v.iter().map(|n| n.id).collect::<Vec<_>>(), vec![2, 5, 0]);
+    }
+}

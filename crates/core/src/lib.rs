@@ -59,6 +59,7 @@ pub mod feature_cache;
 pub mod fusion;
 pub mod importance;
 pub mod incremental;
+pub mod index;
 pub mod journal;
 pub mod metrics;
 pub mod pipeline;

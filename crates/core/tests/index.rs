@@ -1,0 +1,184 @@
+//! Index-layer guarantees (DESIGN.md §12): deterministic construction,
+//! recall against the brute-force oracle, and clean cancellation.
+//!
+//! These tests run the real retrieval stack — stress-generator datasets,
+//! hash-derived embedding stores, HNSW + name-LSH indexes — at sizes
+//! small enough for CI but large enough that graph navigation actually
+//! happens (hundreds to thousands of nodes, multiple layers).
+
+use leapme_core::blocking::{
+    evaluate_blocking_sorted, retrieval_candidates, AnnBlocker, LshBlocker, RetrievalMode,
+};
+use leapme_core::cancel::CancelToken;
+use leapme_core::index::hnsw::{HnswConfig, HnswIndex, VisitedSet};
+use leapme_core::index::PropertyVectors;
+use leapme_core::CoreError;
+use leapme_data::stress::{generate_stress_dataset, stress_vocabulary, StressConfig};
+use leapme_embedding::store::EmbeddingStore;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic hash-derived unit vector per stress-vocabulary word —
+/// the same construction the facade's stress embedding store uses
+/// (random directions are exactly the hard case for a metric index: no
+/// helpful global structure beyond the shared-word clusters).
+fn hash_store(cfg: &StressConfig, dim: usize, seed: u64) -> EmbeddingStore {
+    let mut store = EmbeddingStore::new(dim);
+    for word in stress_vocabulary(cfg) {
+        let mut h = seed;
+        for b in word.as_bytes() {
+            h = splitmix64(h ^ u64::from(*b));
+        }
+        let mut v: Vec<f32> = (0..dim)
+            .map(|d| {
+                let r = splitmix64(h ^ (d as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                ((r >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) as f32
+            })
+            .collect();
+        let norm = v.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>().sqrt();
+        for x in v.iter_mut() {
+            *x = (f64::from(*x) / norm) as f32;
+        }
+        store.insert(&word, v).unwrap();
+    }
+    store
+}
+
+fn stress_vectors(properties: usize, seed: u64) -> (leapme_data::model::Dataset, PropertyVectors) {
+    let cfg = StressConfig::new(properties, seed);
+    let ds = generate_stress_dataset(&cfg);
+    let store = hash_store(&cfg, 24, seed ^ 0xE5);
+    let vectors = PropertyVectors::build(&ds, &store);
+    (ds, vectors)
+}
+
+#[test]
+fn hnsw_same_seed_identical_graph_and_candidates() {
+    let (ds, vectors) = stress_vectors(1200, 11);
+    let cfg = HnswConfig::default();
+    let a = HnswIndex::build(&vectors, cfg, None).unwrap();
+    let b = HnswIndex::build(&vectors, cfg, None).unwrap();
+    assert_eq!(a, b, "same seed must give a bitwise-identical graph");
+
+    let store = hash_store(&StressConfig::new(1200, 11), 24, 11 ^ 0xE5);
+    let c1 = AnnBlocker::default().candidates_sorted(&ds, &store, None).unwrap();
+    let c2 = AnnBlocker::default().candidates_sorted(&ds, &store, None).unwrap();
+    assert_eq!(c1, c2, "same seed must give identical candidate sets");
+}
+
+#[test]
+fn hnsw_recall_meets_target_vs_brute_force_oracle() {
+    let (_ds, vectors) = stress_vectors(2000, 5);
+    let index = HnswIndex::build(&vectors, HnswConfig::default(), None).unwrap();
+    let mut visited = VisitedSet::new(vectors.len());
+    let k = 10;
+    let (mut hit, mut total, mut queries) = (0usize, 0usize, 0usize);
+    for i in (0..vectors.len()).step_by(7) {
+        if !vectors.non_zero[i] {
+            continue;
+        }
+        let oracle = vectors.top_k(i, k);
+        if oracle.is_empty() {
+            continue;
+        }
+        let ann = index.search_node(&vectors, i, k, &mut visited);
+        let got: std::collections::BTreeSet<u32> = ann.iter().map(|n| n.id).collect();
+        hit += oracle.iter().filter(|n| got.contains(&n.id)).count();
+        total += oracle.len();
+        queries += 1;
+    }
+    assert!(queries > 100, "sample too small: {queries}");
+    let recall = hit as f64 / total as f64;
+    assert!(recall >= 0.95, "recall {recall:.4} below target over {queries} queries");
+}
+
+#[test]
+fn retrieval_blocking_meets_completeness_on_stress_corpus() {
+    let cfg = StressConfig::new(3000, 17);
+    let ds = generate_stress_dataset(&cfg);
+    let store = hash_store(&cfg, 24, 99);
+    let ann = AnnBlocker { k: 10, ..AnnBlocker::default() };
+    let lsh = LshBlocker::default();
+    let flat =
+        retrieval_candidates(&ds, &store, RetrievalMode::Both, &ann, &lsh, None).unwrap();
+    let stats = evaluate_blocking_sorted(&ds, &flat);
+    // Sublinear retrieval must prune hard AND keep the ground truth:
+    // clusters average ~8 members, k = 10 with both directions unioned.
+    assert!(stats.reduction_ratio > 0.99, "{stats:?}");
+    assert!(stats.pair_completeness > 0.9, "{stats:?}");
+}
+
+#[test]
+fn cancellation_mid_build_leaves_no_partial_state() {
+    let (_ds, vectors) = stress_vectors(800, 3);
+    // Flip to cancelled after 50 polls — mid-build (one poll per insert).
+    let polls = AtomicUsize::new(0);
+    let cancel = || polls.fetch_add(1, Ordering::Relaxed) >= 50;
+    let err = HnswIndex::build(&vectors, HnswConfig::default(), Some(&cancel)).unwrap_err();
+    assert!(matches!(err, CoreError::Cancelled));
+    let n = polls.load(Ordering::Relaxed);
+    assert!(n >= 50 && n < vectors.len(), "cancelled mid-build, polls {n}");
+
+    // The failed attempt is gone without a trace: a fresh build is
+    // bitwise identical to one that never shared a process with it.
+    let fresh = HnswIndex::build(&vectors, HnswConfig::default(), None).unwrap();
+    let reference = HnswIndex::build(&vectors, HnswConfig::default(), None).unwrap();
+    assert_eq!(fresh, reference);
+}
+
+#[test]
+fn cancel_token_checker_cancels_index_build() {
+    let (ds, vectors) = stress_vectors(400, 21);
+    let token = CancelToken::new();
+    token.cancel();
+    let checker = token.checker();
+    assert!(matches!(
+        HnswIndex::build(&vectors, HnswConfig::default(), Some(&checker)),
+        Err(CoreError::Cancelled)
+    ));
+    let store = hash_store(&StressConfig::new(400, 21), 24, 21 ^ 0xE5);
+    assert!(matches!(
+        AnnBlocker::default().candidates_sorted(&ds, &store, Some(&checker)),
+        Err(CoreError::Cancelled)
+    ));
+    assert!(matches!(
+        LshBlocker::default().candidates_sorted(&ds, Some(&checker)),
+        Err(CoreError::Cancelled)
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Determinism as a property: at random sizes, seeds, and ANN knobs,
+    /// two builds agree graph-for-graph and candidate-for-candidate.
+    #[test]
+    fn index_construction_is_deterministic(
+        properties in 150usize..500,
+        seed in 0u64..1_000,
+        m in 4usize..24,
+        k in 1usize..12,
+    ) {
+        let cfg = StressConfig::new(properties, seed);
+        let ds = generate_stress_dataset(&cfg);
+        let store = hash_store(&cfg, 16, seed);
+        let vectors = PropertyVectors::build(&ds, &store);
+        let hcfg = HnswConfig { m, seed, ..HnswConfig::default() };
+        let a = HnswIndex::build(&vectors, hcfg, None).unwrap();
+        let b = HnswIndex::build(&vectors, hcfg, None).unwrap();
+        prop_assert_eq!(&a, &b);
+
+        let ann = AnnBlocker { k, config: hcfg };
+        let lsh = LshBlocker { k, ..LshBlocker::default() };
+        let c1 = retrieval_candidates(&ds, &store, RetrievalMode::Both, &ann, &lsh, None).unwrap();
+        let c2 = retrieval_candidates(&ds, &store, RetrievalMode::Both, &ann, &lsh, None).unwrap();
+        prop_assert_eq!(c1, c2);
+    }
+}

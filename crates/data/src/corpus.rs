@@ -33,6 +33,20 @@ impl Default for CorpusConfig {
     }
 }
 
+/// Generate a tokenized corpus for a stress-scale dataset
+/// ([`crate::stress`]): one shared-context sentence group per reference
+/// property, covering the full stress vocabulary (base, modifier, unit
+/// and category pseudo-words). Deterministic in the config seed. At
+/// 100k+ properties the hash-derived store in the facade is the
+/// practical choice; this path exists so the *same* GloVe trainer the
+/// four paper domains use can run on stress vocabularies too.
+pub fn generate_stress_corpus(
+    cfg: &crate::stress::StressConfig,
+    sentences_per_ref: usize,
+) -> Vec<Vec<String>> {
+    crate::stress::stress_corpus(cfg, sentences_per_ref)
+}
+
 /// Generate a tokenized corpus for `spec`, deterministic in `seed`.
 ///
 /// Every sentence is returned pre-tokenized (lowercase alphanumeric

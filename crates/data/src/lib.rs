@@ -47,4 +47,5 @@ pub mod io;
 pub mod model;
 pub mod noise;
 pub mod spec;
+pub mod stress;
 pub mod value;

@@ -254,6 +254,24 @@ impl Dataset {
         pairs
     }
 
+    /// Size of the full cross-source pair space restricted to `sources`
+    /// — `|cross_source_pairs(sources)|` computed arithmetically from
+    /// per-source property counts (`(T² − Σnᵢ²) / 2`) instead of
+    /// materializing the pairs. At stress scale (100k–1M properties) the
+    /// materialized form is ~10⁹–10¹² pairs; this stays O(properties).
+    pub fn cross_source_pair_count(&self, sources: &[SourceId]) -> usize {
+        let allowed: BTreeSet<SourceId> = sources.iter().copied().collect();
+        let mut counts: BTreeMap<SourceId, usize> = BTreeMap::new();
+        for p in self.properties() {
+            if allowed.contains(&p.source) {
+                *counts.entry(p.source).or_default() += 1;
+            }
+        }
+        let total: usize = counts.values().sum();
+        let squares: usize = counts.values().map(|&c| c * c).sum();
+        (total * total - squares) / 2
+    }
+
     /// Summary statistics.
     pub fn stats(&self) -> DatasetStats {
         let entities: BTreeSet<(SourceId, &str)> = self
@@ -442,6 +460,23 @@ mod tests {
             .all(|PropertyPair(a, b)| a.source != b.source));
         // s0 has 1 property, s1 has 2 → 2 cross pairs.
         assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn pair_count_matches_materialized_pairs() {
+        let ds = toy();
+        let all: Vec<SourceId> = (0..3).map(SourceId).collect();
+        assert_eq!(
+            ds.cross_source_pair_count(&all),
+            ds.cross_source_pairs(&all).len()
+        );
+        let two = [SourceId(0), SourceId(1)];
+        assert_eq!(
+            ds.cross_source_pair_count(&two),
+            ds.cross_source_pairs(&two).len()
+        );
+        assert_eq!(ds.cross_source_pair_count(&[SourceId(2)]), 0);
+        assert_eq!(ds.cross_source_pair_count(&[]), 0);
     }
 
     #[test]

@@ -1,0 +1,429 @@
+//! Stress-scale dataset generator: 100k–1M properties across thousands
+//! of sources.
+//!
+//! The four paper domains ([`crate::domains`]) top out around a thousand
+//! properties — enough to validate quality, far too small to exercise
+//! sublinear candidate generation. This module generates datasets whose
+//! *shape* matches the paper's setting (many sources, each aligning a
+//! modest schema to a shared reference ontology) at whatever scale the
+//! index layer needs, in O(properties) time and memory:
+//!
+//! * a reference ontology of `ontology_size` properties, each named by a
+//!   unique pair of pseudo-words plus a flavor word (pseudo-words are
+//!   purely alphabetic so every [`NamingStyle`] tokenizes back to the
+//!   same word set);
+//! * each source carries `properties_per_source` distinct reference
+//!   properties chosen by a per-source affine stride over the prime-sized
+//!   ontology (distinctness within a source is guaranteed, and each
+//!   reference property lands in ~`cluster_size` sources on average);
+//! * per-occurrence name variation (word dropout, modifier words, one of
+//!   six naming styles per source) so cluster members are near- but not
+//!   exact-duplicates — the regime ANN retrieval has to survive;
+//! * typed instance values (numeric-with-unit or categorical) so the
+//!   instance-feature path has real work to do.
+//!
+//! Everything derives from splitmix64 draws keyed on `(seed, source,
+//! ref)` — the same dataset is reproduced bit-for-bit at any scale, with
+//! no RNG state threaded through the loops.
+
+use crate::model::{Dataset, Instance, PropertyKey, SourceId};
+use crate::spec::NamingStyle;
+use std::collections::BTreeMap;
+
+/// Shape of a stress-scale dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StressConfig {
+    /// Total number of (source, name) properties to generate.
+    pub properties: usize,
+    /// Properties carried by each source (the last source takes the
+    /// remainder).
+    pub properties_per_source: usize,
+    /// Average number of sources a reference property appears in — the
+    /// expected ground-truth cluster size.
+    pub cluster_size: usize,
+    /// Instances per property (kept small: stress runs exercise the
+    /// retrieval layer, not the value aggregator).
+    pub instances_per_property: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl StressConfig {
+    /// Config for `properties` total properties with the default shape:
+    /// 50 properties per source, expected cluster size 8, one instance
+    /// per property.
+    pub fn new(properties: usize, seed: u64) -> Self {
+        StressConfig {
+            properties,
+            properties_per_source: 50,
+            cluster_size: 8,
+            instances_per_property: 1,
+            seed,
+        }
+    }
+
+    /// Number of sources the dataset will have.
+    pub fn n_sources(&self) -> usize {
+        self.properties.div_ceil(self.properties_per_source)
+    }
+
+    /// Size of the reference ontology: smallest prime ≥
+    /// `properties / cluster_size`, floored at `properties_per_source`
+    /// so the per-source affine stride can always pick distinct
+    /// references (small configs get smaller clusters as a result).
+    pub fn ontology_size(&self) -> usize {
+        next_prime(
+            (self.properties / self.cluster_size.max(1))
+                .max(self.properties_per_source)
+                .max(2),
+        )
+    }
+}
+
+/// Number of base pseudo-words. Prime, so any multiplier is a valid
+/// affine-permutation coefficient mod `VOCAB`.
+const VOCAB: usize = 911;
+/// Modifier words occasionally appended to an occurrence's name.
+const MODIFIERS: usize = 32;
+/// Unit words for numeric values.
+const UNITS: usize = 8;
+/// Categorical value vocabulary.
+const CATEGORIES: usize = 16;
+
+/// Syllables for pseudo-word construction — purely alphabetic so the
+/// tokenizer in `leapme-embedding` round-trips every naming style to the
+/// same lowercase words.
+const SYLLABLES: [&str; 24] = [
+    "ka", "ro", "mi", "ta", "lu", "ve", "so", "ni", "pa", "de", "gu", "fi", "zo", "ba",
+    "re", "ki", "mo", "sa", "tu", "le", "vo", "na", "pi", "da",
+];
+
+/// The `i`-th pseudo-word: three base-24 syllable digits, unique for
+/// `i < 24³ = 13824`.
+fn word(i: usize) -> String {
+    debug_assert!(i < 24 * 24 * 24);
+    let mut s = String::with_capacity(6);
+    s.push_str(SYLLABLES[i % 24]);
+    s.push_str(SYLLABLES[(i / 24) % 24]);
+    s.push_str(SYLLABLES[i / (24 * 24)]);
+    s
+}
+
+fn base_word(i: usize) -> String {
+    word(i)
+}
+
+fn modifier_word(i: usize) -> String {
+    word(VOCAB + i % MODIFIERS)
+}
+
+fn unit_word(i: usize) -> String {
+    word(VOCAB + MODIFIERS + i % UNITS)
+}
+
+fn category_word(i: usize) -> String {
+    word(VOCAB + MODIFIERS + UNITS + i % CATEGORIES)
+}
+
+/// splitmix64 — the repo's stateless deterministic draw (same finalizer
+/// as `leapme-faults`).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic draw keyed on the seed plus two stream coordinates.
+fn draw(seed: u64, a: u64, b: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(a.wrapping_mul(0x9E3779B97F4A7C15) ^ splitmix64(b)))
+}
+
+/// Smallest prime ≥ `n` (trial division; ontology sizes are ≤ ~10⁶).
+fn next_prime(n: usize) -> usize {
+    let mut c = n.max(2);
+    loop {
+        if is_prime(c) {
+            return c;
+        }
+        c += 1;
+    }
+}
+
+fn is_prime(n: usize) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n.is_multiple_of(2) {
+        return n == 2;
+    }
+    let mut d = 3;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// Space-separated lowercase words of reference property `r`.
+///
+/// The first two words are per-digit affine permutations of `r`'s base-
+/// `VOCAB` digits — a bijection, so no two reference properties share
+/// both words and clusters never merge geometrically. The third "flavor"
+/// word is a free hash draw (collisions across references are harmless).
+fn ref_words(cfg: &StressConfig, r: usize) -> [String; 3] {
+    // Draw streams 1 and 2 feed the affine coefficients; stream 3 the
+    // flavor word.
+    let perm = |digit: usize, d: u64| -> usize {
+        let a = 1 + (draw(cfg.seed, 1, d) as usize) % (VOCAB - 1);
+        let b = (draw(cfg.seed, 2, d) as usize) % VOCAB;
+        (a * digit + b) % VOCAB
+    };
+    let w1 = perm(r % VOCAB, 0);
+    let w2 = perm((r / VOCAB) % VOCAB, 1);
+    let w3 = (draw(cfg.seed, 3, r as u64) as usize) % VOCAB;
+    [base_word(w1), base_word(w2), base_word(w3)]
+}
+
+/// Render the occurrence-level name of reference `r` as seen by source
+/// `s`: base words with deterministic dropout/modifier variation, in the
+/// source's naming style.
+fn occurrence_name(cfg: &StressConfig, r: usize, s: usize) -> String {
+    let words = ref_words(cfg, r);
+    let u = draw(cfg.seed, 4, (r as u64) << 20 | s as u64);
+    let mut name = String::new();
+    name.push_str(&words[0]);
+    name.push(' ');
+    name.push_str(&words[1]);
+    match u % 4 {
+        // Drop the flavor word.
+        0 => {}
+        // Append a modifier after the full base name.
+        1 => {
+            name.push(' ');
+            name.push_str(&words[2]);
+            name.push(' ');
+            name.push_str(&modifier_word((u >> 8) as usize));
+        }
+        _ => {
+            name.push(' ');
+            name.push_str(&words[2]);
+        }
+    }
+    let style = NamingStyle::ALL[draw(cfg.seed, 5, s as u64) as usize % NamingStyle::ALL.len()];
+    style.apply(&name)
+}
+
+/// Instance value `j` of reference property `r`: numeric-with-unit or
+/// categorical, decided per reference.
+fn instance_value(cfg: &StressConfig, r: usize, j: usize) -> String {
+    let h = draw(cfg.seed, 6, r as u64);
+    if h.is_multiple_of(2) {
+        let base = 1 + (h >> 8) % 1000;
+        format!("{} {}", base + j as u64, unit_word((h >> 24) as usize))
+    } else {
+        category_word(((h >> 8) as usize).wrapping_add(j))
+    }
+}
+
+/// Reference property carried at slot `j` of source `s`: affine stride
+/// over the prime-sized ontology — distinct within a source for
+/// `j < ontology`.
+fn ref_at(cfg: &StressConfig, ontology: usize, s: usize, j: usize) -> usize {
+    let offset = (draw(cfg.seed, 7, s as u64) as usize) % ontology;
+    let stride = 1 + (draw(cfg.seed, 8, s as u64) as usize) % (ontology - 1);
+    (offset + j * stride) % ontology
+}
+
+/// Every word any stress name or value can contain, sorted and distinct
+/// — the vocabulary an embedding store for this dataset must cover.
+pub fn stress_vocabulary(_cfg: &StressConfig) -> Vec<String> {
+    let mut words: Vec<String> = (0..VOCAB + MODIFIERS + UNITS + CATEGORIES).map(word).collect();
+    words.sort();
+    words.dedup();
+    words
+}
+
+/// Tokenized training corpus for the stress vocabulary: for every
+/// reference property, `sentences_per_ref` sentences embedding its base
+/// words in shared contexts (plus its unit/category value words), so
+/// GloVe training in `leapme-embedding` can recover the same
+/// synonyms-cluster geometry the hash-derived stress store assumes.
+/// Exposed through [`crate::corpus::generate_stress_corpus`].
+pub(crate) fn stress_corpus(cfg: &StressConfig, sentences_per_ref: usize) -> Vec<Vec<String>> {
+    let ontology = cfg.ontology_size();
+    let mut sentences = Vec::with_capacity(ontology * sentences_per_ref);
+    for r in 0..ontology {
+        let words = ref_words(cfg, r);
+        let h = draw(cfg.seed, 6, r as u64);
+        for k in 0..sentences_per_ref {
+            let u = draw(cfg.seed, 9, ((r as u64) << 8) | k as u64);
+            let mut s = vec![words[0].clone(), words[1].clone(), words[2].clone()];
+            if u.is_multiple_of(3) {
+                s.push(modifier_word((u >> 8) as usize));
+            }
+            // Anchor the value vocabulary in the same context.
+            if h.is_multiple_of(2) {
+                s.push(unit_word((h >> 24) as usize));
+            } else {
+                s.push(category_word((h >> 8) as usize));
+            }
+            sentences.push(s);
+        }
+    }
+    sentences
+}
+
+/// Generate a stress-scale dataset. Deterministic given the config;
+/// O(properties) time and memory.
+///
+/// # Panics
+///
+/// Panics if the config asks for zero properties, more sources than
+/// `SourceId` can address (u16), or more properties per source than the
+/// ontology holds.
+pub fn generate_stress_dataset(cfg: &StressConfig) -> Dataset {
+    assert!(cfg.properties > 0, "stress config needs properties > 0");
+    assert!(
+        cfg.properties_per_source > 0,
+        "stress config needs properties_per_source > 0"
+    );
+    let n_sources = cfg.n_sources();
+    assert!(
+        n_sources <= u16::MAX as usize,
+        "stress config needs ≤ {} sources, got {n_sources}",
+        u16::MAX
+    );
+    let ontology = cfg.ontology_size();
+    assert!(
+        cfg.properties_per_source <= ontology,
+        "properties_per_source ({}) exceeds ontology size ({ontology})",
+        cfg.properties_per_source
+    );
+
+    let mut sources = Vec::with_capacity(n_sources);
+    let mut instances =
+        Vec::with_capacity(cfg.properties * cfg.instances_per_property.max(1));
+    let mut alignment: BTreeMap<PropertyKey, String> = BTreeMap::new();
+
+    let mut remaining = cfg.properties;
+    for s in 0..n_sources {
+        sources.push(format!("stress-src-{s:05}"));
+        let sid = SourceId(s as u16);
+        let here = remaining.min(cfg.properties_per_source);
+        remaining -= here;
+        for j in 0..here {
+            let r = ref_at(cfg, ontology, s, j);
+            let name = occurrence_name(cfg, r, s);
+            alignment.insert(PropertyKey::new(sid, name.clone()), format!("ref{r:06}"));
+            for e in 0..cfg.instances_per_property.max(1) {
+                instances.push(Instance {
+                    source: sid,
+                    property: name.clone(),
+                    entity: format!("e{e}"),
+                    value: instance_value(cfg, r, e),
+                });
+            }
+        }
+    }
+
+    Dataset::new(
+        format!("stress-{}", cfg.properties),
+        sources,
+        instances,
+        alignment,
+    )
+    .expect("stress generator emits only known sources")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_exactly_sized() {
+        let cfg = StressConfig::new(500, 7);
+        let a = generate_stress_dataset(&cfg);
+        let b = generate_stress_dataset(&cfg);
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.properties().len(), 500);
+        assert_eq!(a.sources().len(), cfg.n_sources());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_stress_dataset(&StressConfig::new(200, 1));
+        let b = generate_stress_dataset(&StressConfig::new(200, 2));
+        assert_ne!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn every_property_is_aligned_and_clustered() {
+        let cfg = StressConfig::new(1000, 42);
+        let ds = generate_stress_dataset(&cfg);
+        let props = ds.properties();
+        assert!(props.iter().all(|p| ds.alignment_of(p).is_some()));
+        // Ground truth exists and average cluster size is near the target.
+        let gt = ds.ground_truth_pairs();
+        assert!(!gt.is_empty());
+        let stats = ds.stats();
+        let avg_pairs_per_ref = gt.len() as f64 / cfg.ontology_size() as f64;
+        // cluster_size c gives ~c(c−1)/2 pairs per reference; allow slack
+        // for the balls-into-bins spread.
+        let expect = (cfg.cluster_size * (cfg.cluster_size - 1) / 2) as f64;
+        assert!(
+            avg_pairs_per_ref > 0.3 * expect && avg_pairs_per_ref < 3.0 * expect,
+            "avg {avg_pairs_per_ref} vs expected ~{expect} ({stats:?})"
+        );
+    }
+
+    #[test]
+    fn names_tokenize_into_stress_vocabulary() {
+        let cfg = StressConfig::new(300, 9);
+        let vocab = stress_vocabulary(&cfg);
+        let ds = generate_stress_dataset(&cfg);
+        for p in ds.properties() {
+            // Styles may camel-case or capitalize; lowercase and split on
+            // the separators the styles introduce.
+            let lower = p.name.to_lowercase();
+            for w in lower.split(|c: char| !c.is_ascii_alphabetic()) {
+                if w.is_empty() {
+                    continue;
+                }
+                // CamelCase renders word boundaries invisibly; those names
+                // lowercase to concatenations of vocab words. Accept any
+                // segment that is a concatenation of vocabulary words.
+                assert!(
+                    is_vocab_concat(w, &vocab),
+                    "token {w:?} from name {:?} not covered by vocabulary",
+                    p.name
+                );
+            }
+        }
+    }
+
+    fn is_vocab_concat(s: &str, vocab: &[String]) -> bool {
+        if s.is_empty() {
+            return true;
+        }
+        // Pseudo-words are exactly 6 ASCII chars (3 syllables × 2).
+        if !s.len().is_multiple_of(6) {
+            return false;
+        }
+        s.as_bytes()
+            .chunks(6)
+            .all(|c| vocab.binary_search_by(|v| v.as_str().cmp(std::str::from_utf8(c).unwrap())).is_ok())
+    }
+
+    #[test]
+    fn pair_space_is_quadratic_but_counted_linearly() {
+        let cfg = StressConfig::new(2000, 3);
+        let ds = generate_stress_dataset(&cfg);
+        let all: Vec<SourceId> = (0..ds.sources().len() as u16).map(SourceId).collect();
+        let count = ds.cross_source_pair_count(&all);
+        // 2000 properties, 50 per source: (2000² − 40·50²)/2.
+        assert_eq!(count, (2000 * 2000 - 40 * 50 * 50) / 2);
+    }
+}

@@ -339,6 +339,22 @@ pub fn cosine(a: &[f32], b: &[f32]) -> f64 {
     dot / (na.sqrt() * nb.sqrt())
 }
 
+/// Inner product of two vectors, accumulated in `f64`.
+///
+/// The retrieval hot path in `core::index` pre-normalizes every property
+/// vector once, after which cosine similarity degenerates to this plain
+/// dot product — one multiply-add per element instead of three. Like
+/// [`cosine`], it is a *reduction* and keeps the single ascending-index
+/// `f64` accumulator chain so results are bitwise reproducible across
+/// architectures and thread counts (see the module docs).
+pub fn dot(a: &[f32], b: &[f32]) -> f64 {
+    let mut acc = 0.0f64;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        acc += f64::from(x) * f64::from(y);
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -439,6 +455,43 @@ mod tests {
         assert_eq!(cosine(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
         assert!((cosine(&[1.0, 2.0], &[2.0, 4.0]) - 1.0).abs() < 1e-12);
         assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn dot_matches_cosine_on_unit_vectors() {
+        // Normalize with the same f64 norm cosine uses internally; the
+        // dot of the normalized pair must equal cosine of the originals
+        // up to f32-quantization of the normalized components.
+        for len in 1..(2 * LANES + 3) {
+            let (a, b) = vectors(len, 7);
+            let norm = |v: &[f32]| {
+                let n = v.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>();
+                n.sqrt()
+            };
+            let (na, nb) = (norm(&a), norm(&b));
+            if na == 0.0 || nb == 0.0 {
+                continue;
+            }
+            let ua: Vec<f32> = a.iter().map(|&x| (f64::from(x) / na) as f32).collect();
+            let ub: Vec<f32> = b.iter().map(|&x| (f64::from(x) / nb) as f32).collect();
+            let got = dot(&ua, &ub);
+            let want = cosine(&a, &b);
+            assert!((got - want).abs() < 1e-5, "len {len}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn dot_is_exact_single_chain() {
+        // Ascending-index accumulation: bitwise equal to the explicit
+        // loop, and exact on integer-valued inputs.
+        let a = [1.5f32, -2.0, 3.0, 0.25];
+        let b = [4.0f32, 0.5, -1.0, 8.0];
+        let mut want = 0.0f64;
+        for i in 0..4 {
+            want += f64::from(a[i]) * f64::from(b[i]);
+        }
+        assert_eq!(dot(&a, &b).to_bits(), want.to_bits());
+        assert_eq!(dot(&[], &[]), 0.0);
     }
 
     #[test]

@@ -46,124 +46,167 @@ for t in 1 4; do
     LEAPME_THREADS=$t cargo test -q -p leapme-core quantized
 done
 
-echo "==> bench smoke run (regenerates BENCH_PR6.json at the baseline corpus size)"
-cargo run --release -p leapme-bench --bin bench -- --sources 12 --out BENCH_PR6.json >/dev/null
+echo "==> index suites: HNSW/LSH determinism, recall vs oracle, cancellation"
+# The PR7 retrieval stack (deterministic HNSW graph, banded name-LSH,
+# index-backed blocking) has its guarantees in crates/core/tests/index.rs
+# plus the blocking/index unit tests; run them at both thread counts —
+# index construction is serial by design, so the counts must agree.
+for t in 1 4; do
+    echo "    LEAPME_THREADS=$t"
+    LEAPME_THREADS=$t cargo test -q -p leapme-core --test index
+    LEAPME_THREADS=$t cargo test -q -p leapme-core --lib -- blocking index
+done
 
-echo "==> bench smoke: BENCH_PR6.json parses and records speedups, breakdown, warm cache"
+echo "==> bench smoke run (regenerates BENCH_PR7.json at the baseline corpus size)"
+cargo run --release -p leapme-bench --bin bench -- --sources 12 --out BENCH_PR7.json >/dev/null
+
+echo "==> bench smoke: BENCH_PR7.json parses and records speedups, breakdown, retrieval"
 python3 - <<'EOF'
 import json, math, sys
 
-with open("BENCH_PR6.json") as f:
+with open("BENCH_PR7.json") as f:
     report = json.load(f)
 
 def finite(v):
     return isinstance(v, (int, float)) and math.isfinite(v)
 
 if not isinstance(report.get("parallel_unmeasured"), bool):
-    sys.exit("BENCH_PR6.json: parallel_unmeasured flag missing")
+    sys.exit("BENCH_PR7.json: parallel_unmeasured flag missing")
 
 for mode in ("serial", "parallel"):
     stage = report[mode]
     for key in ("threads_requested", "threads_effective",
                 "build_s", "featurize_s", "train_s", "score_s", "total_s"):
         if key not in stage:
-            sys.exit(f"BENCH_PR6.json: {mode}.{key} missing")
+            sys.exit(f"BENCH_PR7.json: {mode}.{key} missing")
     if stage["total_s"] <= 0:
-        sys.exit(f"BENCH_PR6.json: {mode}.total_s not positive")
+        sys.exit(f"BENCH_PR7.json: {mode}.total_s not positive")
 
 for key in ("speedup_build", "speedup_featurize", "speedup_train",
             "speedup_score", "speedup_total"):
     v = report.get(key)
     if not finite(v) or v <= 0:
-        sys.exit(f"BENCH_PR6.json: {key} missing or not a positive number")
+        sys.exit(f"BENCH_PR7.json: {key} missing or not a positive number")
 
 bd = report.get("featurize_breakdown")
 if not isinstance(bd, dict):
-    sys.exit("BENCH_PR6.json: featurize_breakdown section missing")
+    sys.exit("BENCH_PR7.json: featurize_breakdown section missing")
 for key in ("char_token_s", "embedding_average_s", "name_distances_s",
             "name_distances_uncached_s", "assembly_s"):
     v = bd.get(key)
     if not finite(v) or v < 0:
-        sys.exit(f"BENCH_PR6.json: featurize_breakdown.{key} missing or negative")
+        sys.exit(f"BENCH_PR7.json: featurize_breakdown.{key} missing or negative")
 kernels = bd.get("name_kernels")
 if not isinstance(kernels, dict):
-    sys.exit("BENCH_PR6.json: featurize_breakdown.name_kernels missing")
+    sys.exit("BENCH_PR7.json: featurize_breakdown.name_kernels missing")
 for key in ("myers_levenshtein_s", "osa_banded_s", "damerau_banded_s",
             "lcs_s", "trigram_s", "trigram_profiles_s", "jaro_winkler_s"):
     if not finite(kernels.get(key)):
-        sys.exit(f"BENCH_PR6.json: name_kernels.{key} missing or not finite")
+        sys.exit(f"BENCH_PR7.json: name_kernels.{key} missing or not finite")
 dedupe = bd.get("pair_dedupe")
 if not isinstance(dedupe, dict):
-    sys.exit("BENCH_PR6.json: featurize_breakdown.pair_dedupe missing")
+    sys.exit("BENCH_PR7.json: featurize_breakdown.pair_dedupe missing")
 for key in ("unique_name_forms", "table_entries", "table_hits",
             "string_cache_hits", "string_cache_misses"):
     if key not in dedupe:
-        sys.exit(f"BENCH_PR6.json: pair_dedupe.{key} missing")
+        sys.exit(f"BENCH_PR7.json: pair_dedupe.{key} missing")
 if dedupe["table_entries"] <= 0 or dedupe["table_hits"] <= 0:
-    sys.exit("BENCH_PR6.json: pair-dedupe table recorded no entries/hits — "
+    sys.exit("BENCH_PR7.json: pair-dedupe table recorded no entries/hits — "
              "the name-distance pass did not go through the table")
 if dedupe["table_entries"] >= report["pairs"]:
-    sys.exit("BENCH_PR6.json: dedupe table computed as many entries as there "
+    sys.exit("BENCH_PR7.json: dedupe table computed as many entries as there "
              "are candidate pairs — no deduplication happened")
 
 wc = report.get("warm_cache")
 if not isinstance(wc, dict):
-    sys.exit("BENCH_PR6.json: warm_cache section missing")
+    sys.exit("BENCH_PR7.json: warm_cache section missing")
 if wc.get("cache_hit") is not True:
-    sys.exit("BENCH_PR6.json: warm_cache.cache_hit is not true")
+    sys.exit("BENCH_PR7.json: warm_cache.cache_hit is not true")
 if wc.get("store_identical") is not True:
-    sys.exit("BENCH_PR6.json: warm cache reload is not bitwise identical")
+    sys.exit("BENCH_PR7.json: warm cache reload is not bitwise identical")
 if not finite(wc.get("cold_build_s")) or not finite(wc.get("cache_load_s")):
-    sys.exit("BENCH_PR6.json: warm_cache timings missing")
+    sys.exit("BENCH_PR7.json: warm_cache timings missing")
 if wc["cache_load_s"] >= wc["cold_build_s"]:
-    sys.exit("BENCH_PR6.json: cache load is not faster than a cold build")
+    sys.exit("BENCH_PR7.json: cache load is not faster than a cold build")
 
 ckpt = report.get("checkpoint")
 if not isinstance(ckpt, dict):
-    sys.exit("BENCH_PR6.json: checkpoint overhead section missing")
+    sys.exit("BENCH_PR7.json: checkpoint overhead section missing")
 for key in ("epochs", "fit_s", "fit_checkpointed_s", "overhead_ms_per_epoch"):
     if not finite(ckpt.get(key)):
-        sys.exit(f"BENCH_PR6.json: checkpoint.{key} missing or not finite")
+        sys.exit(f"BENCH_PR7.json: checkpoint.{key} missing or not finite")
 if ckpt["epochs"] <= 0 or ckpt["fit_s"] <= 0 or ckpt["fit_checkpointed_s"] <= 0:
-    sys.exit("BENCH_PR6.json: checkpoint timings not positive")
+    sys.exit("BENCH_PR7.json: checkpoint timings not positive")
 
 quant = report.get("quantized")
 if not isinstance(quant, dict):
-    sys.exit("BENCH_PR6.json: quantized section missing")
+    sys.exit("BENCH_PR7.json: quantized section missing")
 for key in ("score_f32_s", "score_int8_s", "calibration_max_abs_error",
             "full_run_max_abs_error"):
     if not finite(quant.get(key)):
-        sys.exit(f"BENCH_PR6.json: quantized.{key} missing or not finite")
+        sys.exit(f"BENCH_PR7.json: quantized.{key} missing or not finite")
 if not isinstance(quant.get("used_quantized"), bool):
-    sys.exit("BENCH_PR6.json: quantized.used_quantized missing")
+    sys.exit("BENCH_PR7.json: quantized.used_quantized missing")
 # The tolerance contract: when the gate kept the int8 path, the whole
 # run must stay within 2x the 0.05 calibration tolerance — the
 # calibration block bounds the error statistically, it does not
 # enumerate every pair.
 if quant["used_quantized"] and quant["full_run_max_abs_error"] > 0.10:
-    sys.exit("BENCH_PR6.json: quantized run exceeded the documented tolerance")
+    sys.exit("BENCH_PR7.json: quantized run exceeded the documented tolerance")
 if not quant["used_quantized"] and quant["full_run_max_abs_error"] != 0.0:
-    sys.exit("BENCH_PR6.json: fallback run must be exactly the f32 scores")
+    sys.exit("BENCH_PR7.json: fallback run must be exactly the f32 scores")
 
-vs = [report.get("vs_pr5_serial"), report.get("vs_pr5_parallel")]
+# Sublinear candidate generation (DESIGN.md §12): the four retrieval
+# metrics must be recorded, the combined candidate set must stay at or
+# under 5% of the full n² space, and the ANN index must recover at
+# least 98% of the brute-force oracle's top-k on the sampled slice.
+ret = report.get("retrieval")
+if not isinstance(ret, dict):
+    sys.exit("BENCH_PR7.json: retrieval section missing (was bench run "
+             "with --stress 0?)")
+for key in ("index_build_s", "lsh_build_s", "queries_per_s",
+            "candidates_scored_ratio", "pair_completeness",
+            "gt_pair_completeness"):
+    if not finite(ret.get(key)):
+        sys.exit(f"BENCH_PR7.json: retrieval.{key} missing or not finite")
+if ret["stress_properties"] < 100_000:
+    sys.exit("BENCH_PR7.json: retrieval section must run at 100k+ properties "
+             f"(got {ret['stress_properties']})")
+if ret["index_build_s"] <= 0 or ret["queries_per_s"] <= 0:
+    sys.exit("BENCH_PR7.json: retrieval timings not positive")
+if ret["candidates_combined"] <= 0 or ret["full_space"] <= 0:
+    sys.exit("BENCH_PR7.json: retrieval recorded no candidates")
+if ret["candidates_scored_ratio"] > 0.05:
+    sys.exit(f"BENCH_PR7.json: retrieval scored "
+             f"{100 * ret['candidates_scored_ratio']:.2f}% of the full pair "
+             "space — the sublinear gate is ≤ 5%")
+if ret["pair_completeness"] < 0.98:
+    sys.exit(f"BENCH_PR7.json: ANN pair completeness vs the brute-force "
+             f"oracle is {ret['pair_completeness']:.4f} — the gate is ≥ 0.98")
+
+vs = [report.get("vs_pr6_serial"), report.get("vs_pr6_parallel")]
 recorded = [v for v in vs if v is not None]
 if not recorded:
-    sys.exit("BENCH_PR6.json: no vs-PR5 comparison recorded "
+    sys.exit("BENCH_PR7.json: no vs-PR6 comparison recorded "
              "(rerun bench with the baseline's corpus: --sources 12)")
 for v in recorded:
     for key in ("threads", "featurize_speedup", "train_speedup", "score_speedup"):
         if key not in v:
-            sys.exit(f"BENCH_PR6.json: vs_pr5 comparison missing {key}")
-print("BENCH_PR6.json OK:",
+            sys.exit(f"BENCH_PR7.json: vs_pr6 comparison missing {key}")
+print("BENCH_PR7.json OK:",
       ", ".join(f"{k}={report[k]:.3f}" for k in
                 ("speedup_train", "speedup_score")),
-      "| vs PR5:",
+      "| vs PR6:",
       ", ".join(f"featurize×{v['featurize_speedup']:.2f} train×{v['train_speedup']:.2f}"
                 for v in recorded),
-      f"| dedupe {dedupe['table_entries']} entries for {report['pairs']} pairs",
+      f"| retrieval {ret['stress_properties']} props:",
+      f"build {ret['index_build_s']:.1f}s,",
+      f"{ret['queries_per_s']:.0f} q/s,",
+      f"{100 * ret['candidates_scored_ratio']:.3f}% of n² scored,",
+      f"oracle completeness {ret['pair_completeness']:.3f},",
+      f"gt completeness {ret['gt_pair_completeness']:.3f}",
       f"| int8 max|Δp| {quant['full_run_max_abs_error']:.4f}",
-      f"| warm cache ×{wc['featurize_speedup']:.1f}",
-      f"| checkpoint tax {ckpt['overhead_ms_per_epoch']:.2f} ms/epoch")
+      f"| warm cache ×{wc['featurize_speedup']:.1f}")
 EOF
 
 echo "==> chaos stage: fault-injection suites under --features faults"
@@ -178,8 +221,8 @@ for t in 1 4; do
 done
 
 echo "==> chaos stage: faults compiled out of the release bench"
-if ! grep -q '"faults_enabled": false' BENCH_PR6.json; then
-    echo "BENCH_PR6.json does not record faults_enabled=false — the bench" \
+if ! grep -q '"faults_enabled": false' BENCH_PR7.json; then
+    echo "BENCH_PR7.json does not record faults_enabled=false — the bench" \
          "binary was built with the fault hooks armed" >&2
     exit 1
 fi
@@ -324,5 +367,32 @@ if worst > 0.10:
     sys.exit(f"quantized drill: max |Δp| {worst:.4f} exceeds the tolerance")
 print(f"    quantized scores track f32 within |Δp| {worst:.4f} over {len(q)} pairs")
 EOF
+
+echo "==> stress smoke: 100k-property match via sublinear ANN retrieval"
+# End-to-end sublinear candidate generation (DESIGN.md §12): the
+# in-memory stress generator at 100k properties, HNSW-backed blocking,
+# training confined to 16 explicit sources (each source holds 50 of
+# ~12.5k reference properties, so a handful of sources would share no
+# aligned pairs to train on). The quadratic pair space (~5 × 10⁹ pairs)
+# is never enumerated — the run only works because retrieval is
+# index-backed, which is exactly what this smoke asserts.
+LEAPME_THREADS=1 "$LEAPME" match \
+    --stress 100000 --blocking ann --blocking-k 4 \
+    --train-sources 0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15 --seed 5 \
+    --out "$DRILL_DIR/stress_graph.json" > "$DRILL_DIR/stress.out"
+if ! grep -q "blocking(ann): scoring" "$DRILL_DIR/stress.out"; then
+    echo "stress smoke: run did not report index-backed blocking stats" >&2
+    cat "$DRILL_DIR/stress.out" >&2
+    exit 1
+fi
+if ! grep -q "pair completeness" "$DRILL_DIR/stress.out"; then
+    echo "stress smoke: run did not report pair completeness" >&2
+    exit 1
+fi
+if [ ! -s "$DRILL_DIR/stress_graph.json" ]; then
+    echo "stress smoke: no similarity graph written" >&2
+    exit 1
+fi
+sed 's/^/    /' "$DRILL_DIR/stress.out" | grep "blocking(ann)"
 
 echo "==> verify OK"

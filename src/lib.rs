@@ -125,12 +125,62 @@ pub fn train_domain_embeddings(
     Ok(store)
 }
 
+/// Deterministic hash-derived embedding store over a stress-generator
+/// vocabulary (`leapme_data::stress`).
+///
+/// Every word gets a unit vector whose direction is a pure function of
+/// `(seed, word)` — random directions are exactly the hard case for a
+/// metric index (no helpful global structure beyond shared-word
+/// clusters), which makes this the honest substrate for ANN retrieval
+/// benchmarks at 100k–1M properties where training real GloVe vectors
+/// would dominate the run. Same `(cfg, dim, seed)` → byte-identical
+/// store.
+pub fn stress_embedding_store(
+    cfg: &leapme_data::stress::StressConfig,
+    dim: usize,
+    seed: u64,
+) -> EmbeddingStore {
+    fn splitmix64(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+    assert!(dim > 0, "embedding dimension must be positive");
+    let mut store = EmbeddingStore::new(dim);
+    for word in leapme_data::stress::stress_vocabulary(cfg) {
+        let mut h = seed;
+        for b in word.as_bytes() {
+            h = splitmix64(h ^ u64::from(*b));
+        }
+        let mut v: Vec<f32> = (0..dim)
+            .map(|d| {
+                let r = splitmix64(h ^ (d as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                ((r >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) as f32
+            })
+            .collect();
+        let norm = v
+            .iter()
+            .map(|&x| f64::from(x) * f64::from(x))
+            .sum::<f64>()
+            .sqrt();
+        for x in v.iter_mut() {
+            *x = (f64::from(*x) / norm) as f32;
+        }
+        store
+            .insert(&word, v)
+            .expect("stress vocabulary words are unique and dimension is fixed");
+    }
+    store
+}
+
 /// One-stop imports for the common workflow.
 pub mod prelude {
-    pub use crate::{train_domain_embeddings, EmbeddingTrainingConfig};
+    pub use crate::{stress_embedding_store, train_domain_embeddings, EmbeddingTrainingConfig};
     pub use leapme_core::analysis::analyze;
     pub use leapme_core::blocking::{
-        combined_candidates, EmbeddingBlocker, TokenBlocker,
+        combined_candidates, retrieval_candidates, AnnBlocker, EmbeddingBlocker, LshBlocker,
+        RetrievalMode, TokenBlocker,
     };
     pub use leapme_core::cluster::{connected_components, star_clustering};
     pub use leapme_core::fusion::fuse;
@@ -169,6 +219,25 @@ mod tests {
         let store = train_domain_embeddings(&[Domain::Tvs], &cfg, 1).unwrap();
         assert_eq!(store.dim(), 8);
         assert!(store.len() > 20);
+    }
+
+    #[test]
+    fn stress_store_is_deterministic_unit_and_covers_vocabulary() {
+        let cfg = leapme_data::stress::StressConfig::new(500, 9);
+        let a = stress_embedding_store(&cfg, 16, 9);
+        let b = stress_embedding_store(&cfg, 16, 9);
+        assert_eq!(a.dim(), 16);
+        let vocab = leapme_data::stress::stress_vocabulary(&cfg);
+        assert_eq!(a.len(), vocab.len());
+        for word in vocab.iter().take(50) {
+            let va = a.get(word).expect("vocabulary word embedded");
+            assert_eq!(va, b.get(word).unwrap(), "determinism for {word}");
+            let norm: f64 = va.iter().map(|&x| f64::from(x) * f64::from(x)).sum();
+            assert!((norm - 1.0).abs() < 1e-3, "{word}: |v|² = {norm}");
+        }
+        // A different seed points the directions elsewhere.
+        let c = stress_embedding_store(&cfg, 16, 10);
+        assert_ne!(a.get(&vocab[0]), c.get(&vocab[0]));
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! `leapme serve` — keep a trained model and feature store resident and
+//! answer scoring/matching/integration requests over HTTP.
+//!
+//! The command loads everything once (model, embeddings, dataset,
+//! feature cache), prints the bound address, and blocks until
+//! SIGINT/SIGTERM starts the graceful drain: the accept loop stops, the
+//! admission queue empties, in-flight requests finish or cancel at
+//! their deadline, and the drain summary decides the exit code — `0`
+//! when every admitted request was honored, `3` when any were cut off.
+
+use super::{load_dataset, to_json};
+use crate::args::Flags;
+use crate::CliError;
+use leapme::core::feature_cache;
+use leapme::core::journal::RunJournal;
+use leapme::core::pipeline::LeapmeModel;
+use leapme::embedding::store::EmbeddingStore;
+use leapme::serve::{self, ServeConfig, ServeState};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Run the command. Blocks until a signal starts the drain.
+pub fn run(flags: &Flags) -> Result<String, CliError> {
+    let model_path = flags.require("model")?;
+    let model = LeapmeModel::load(Path::new(model_path))
+        .map_err(|e| CliError::Pipeline(format!("{model_path}: {e}")))?;
+
+    let dataset = load_dataset(flags.require("dataset")?)?;
+    let emb_path = flags.require("embeddings")?;
+    let mut embeddings = EmbeddingStore::load_text(Path::new(emb_path))
+        .map_err(|e| CliError::Parse(format!("{emb_path}: {e}")))?;
+    embeddings.set_fuzzy_oov(flags.get_or("fuzzy-oov", 1u8)? != 0);
+
+    let (store, cache_status) = feature_cache::load_or_build(
+        flags.get("feature-cache").map(Path::new),
+        &dataset,
+        &embeddings,
+        leapme::features::worker_threads(),
+        None,
+    )
+    .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    eprint!("{}", cache_status.describe(store.len()));
+
+    let journal = match flags.get("journal") {
+        Some(path) => Some(
+            RunJournal::open(Path::new(path))
+                .map_err(|e| CliError::Pipeline(format!("{path}: {e}")))?,
+        ),
+        None => None,
+    };
+
+    let mut config = ServeConfig {
+        addr: flags.get_or("addr", "127.0.0.1:7878".to_string())?,
+        workers: flags.get_or("workers", ServeConfig::default().workers)?,
+        queue_depth: flags.get_or("queue-depth", ServeConfig::default().queue_depth)?,
+        request_timeout: Duration::from_millis(flags.get_or("request-timeout-ms", 5_000u64)?),
+        io_timeout: Duration::from_millis(flags.get_or("io-timeout-ms", 2_000u64)?),
+        ..ServeConfig::default()
+    };
+    config.limits.max_body_bytes =
+        flags.get_or("max-body-bytes", config.limits.max_body_bytes)?;
+    if config.workers == 0 {
+        return Err(CliError::Usage("--workers must be at least 1".into()));
+    }
+
+    let state = Arc::new(ServeState::new(
+        model, embeddings, dataset, store, journal, config,
+    ));
+    let handle = serve::start(Arc::clone(&state), Some(crate::interrupted_flag()))
+        .map_err(CliError::Io)?;
+
+    // The readiness line goes out before we block: scripts (and the
+    // verify drill) grep it for the port when binding to `:0`.
+    println!(
+        "leapme serve listening on http://{} (workers={} queue={})",
+        handle.addr(),
+        state.config.workers,
+        state.config.queue_depth
+    );
+    let _ = std::io::stdout().flush();
+
+    // Blocks until SIGINT/SIGTERM flips the interrupted flag, the
+    // accept loop notices, closes the queue, and the workers drain.
+    let report = handle.join();
+    let summary = to_json(&report, "drain report")?;
+    if report.clean {
+        Ok(format!("leapme serve drained cleanly\n{summary}"))
+    } else {
+        Err(CliError::Cancelled(format!(
+            "drain dropped {} queued connection(s)\n{summary}",
+            report.dropped_at_shutdown
+        )))
+    }
+}

@@ -109,7 +109,10 @@ pub fn run(flags: &Flags) -> Result<String, CliError> {
         .map_err(|e| pipeline_err(e, &cancelled_note))?;
 
     model
-        .save(Path::new(save_path))
+        .save_with_retry(
+            Path::new(save_path),
+            &leapme::core::retry::RetryPolicy::default(),
+        )
         .map_err(|e| CliError::Pipeline(e.to_string()))?;
 
     Ok(format!(

@@ -10,6 +10,7 @@
 //! | `stats` | print dataset statistics (sources, properties, ground truth) |
 //! | `train` | train LEAPME and save the model as a checksummed `.lmp` file |
 //! | `match` | train LEAPME (or load a `.lmp` model) and score pairs into a similarity graph |
+//! | `serve` | resident matching service: warm model + feature store behind HTTP with admission control, deadlines, graceful drain |
 //! | `evaluate` | score a similarity graph against a dataset's ground truth |
 //! | `cluster` | derive property clusters from a similarity graph |
 //!
@@ -140,6 +141,17 @@ COMMANDS:
                 stress generator at N properties and requires an
                 index-backed blocking mode plus explicit
                 --train-sources or --model)
+    serve      --model <model.lmp> --dataset <dataset.json>
+               --embeddings <vectors.txt> [--feature-cache <cache.lfc>]
+               [--addr 127.0.0.1:7878] [--workers 4] [--queue-depth 64]
+               [--request-timeout-ms 5000] [--io-timeout-ms 2000]
+               [--max-body-bytes N] [--journal <serve.journal>]
+               (resident matching service: POST /score, /match,
+                /integrate-source; GET /healthz, /readyz, /metrics.
+                Per-request deadlines via the x-leapme-deadline-ms
+                header; overload sheds 503 + Retry-After; SIGINT/SIGTERM
+                drains gracefully and exits 0, or 3 if connections
+                were dropped)
     evaluate   --dataset <dataset.json> --graph <graph.json> [--threshold 0.5]
     analyze    --dataset <dataset.json> --graph <graph.json> [--threshold 0.5]
     cluster    --graph <graph.json> [--method components|star] [--threshold 0.5]
@@ -166,6 +178,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "stats" => commands::stats::run(&flags),
         "train" => commands::train::run(&flags),
         "match" => commands::match_cmd::run(&flags),
+        "serve" => commands::serve::run(&flags),
         "evaluate" => commands::evaluate::run(&flags),
         "cluster" => commands::cluster::run(&flags),
         "fuse" => commands::fuse::run(&flags),

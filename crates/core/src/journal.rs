@@ -49,6 +49,14 @@ pub enum JournalError {
         /// Deserializer error text.
         message: String,
     },
+    /// A bounded-retry append ([`RunJournal::append_retrying`]) spent
+    /// its whole attempt budget on transient I/O failures.
+    RetriesExhausted {
+        /// How many append attempts were made.
+        attempts: u32,
+        /// The error from the final attempt.
+        last: Box<JournalError>,
+    },
 }
 
 impl std::fmt::Display for JournalError {
@@ -60,6 +68,9 @@ impl std::fmt::Display for JournalError {
             }
             JournalError::Serde { record, message } => {
                 write!(f, "journal record {record} undecodable: {message}")
+            }
+            JournalError::RetriesExhausted { attempts, last } => {
+                write!(f, "journal append failed after {attempts} attempt(s): {last}")
             }
         }
     }
@@ -223,6 +234,65 @@ impl RunJournal {
         file.sync_data()?;
         Ok(())
     }
+
+    /// Append one record with a bounded-retry budget for transient I/O
+    /// failures.
+    ///
+    /// A failed append may have left a torn partial line (that is
+    /// exactly what the `torn` fault kind injects), so each retry first
+    /// *repairs the tail* — truncating the file back to its pre-append
+    /// length — before rewriting the full line. Without that repair a
+    /// retried append would concatenate onto the torn prefix and
+    /// corrupt the retried record too. After `policy.max_attempts`
+    /// failures the typed [`JournalError::RetriesExhausted`] surfaces;
+    /// there is no unbounded loop.
+    pub fn append_retrying<T: Serialize>(
+        &self,
+        record: &T,
+        policy: &crate::retry::RetryPolicy,
+    ) -> Result<(), JournalError> {
+        let json = serde_json::to_string(record).map_err(|e| JournalError::Serde {
+            record: self.replayed.len(),
+            message: e.to_string(),
+        })?;
+        debug_assert!(!json.contains('\n'), "compact JSON is single-line");
+        let line = format!("{:016x}\t{}\n", crc64(json.as_bytes()), json);
+
+        crate::retry::with_retry(
+            policy,
+            |e: &JournalError| matches!(e, JournalError::Io(_)),
+            || self.append_line_repairing(line.as_bytes()),
+        )
+        .map_err(|e| JournalError::RetriesExhausted {
+            attempts: e.attempts,
+            last: Box::new(e.last),
+        })
+    }
+
+    /// One append attempt that leaves the file at its pre-append length
+    /// on failure, so a follow-up attempt starts from a clean tail.
+    fn append_line_repairing(&self, line: &[u8]) -> Result<(), JournalError> {
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        let pre_len = file.metadata()?.len();
+        let attempt = |file: &mut File| -> std::io::Result<()> {
+            if let Some(e) = injected_append_fault(file, line) {
+                return Err(e);
+            }
+            file.write_all(line)?;
+            file.sync_data()
+        };
+        match attempt(&mut file) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Repair: drop any torn bytes this attempt left behind.
+                // Best-effort — if even the truncate fails, the next
+                // attempt's repair (or reopen-time truncation) covers it.
+                let _ = file.set_len(pre_len);
+                let _ = file.sync_data();
+                Err(e.into())
+            }
+        }
+    }
 }
 
 /// Fault hook for `core.journal.append`: `torn` leaves a prefix of the
@@ -370,6 +440,65 @@ mod tests {
             j.replayed::<Other>(),
             Err(JournalError::Serde { record: 0, .. })
         ));
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn retrying_append_repairs_a_torn_tail_and_recovers() {
+        use crate::retry::RetryPolicy;
+        let path = tmp("retry-torn");
+        let _ = std::fs::remove_file(&path);
+        let site = leapme_faults::sites::JOURNAL_APPEND;
+        let j = RunJournal::open(&path).unwrap();
+        j.append(&Rec { id: 0, score: 0.0 }).unwrap();
+        let policy = RetryPolicy {
+            base_delay: std::time::Duration::from_micros(50),
+            ..RetryPolicy::default()
+        };
+        // One torn append is absorbed: the retry truncates the torn
+        // prefix and rewrites the record cleanly.
+        leapme_faults::with_plan(&format!("seed=1;{site}:torn@1.0#1"), || {
+            j.append_retrying(&Rec { id: 1, score: 1.0 }, &policy).unwrap();
+        });
+        drop(j);
+        let j = RunJournal::open(&path).unwrap();
+        assert_eq!(j.len(), 2, "both records intact, no torn tail");
+        assert!(!j.truncated_tail());
+        let recs: Vec<Rec> = j.replayed().unwrap();
+        assert_eq!(recs[1], Rec { id: 1, score: 1.0 });
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn retrying_append_exhausts_with_a_typed_error() {
+        use crate::retry::RetryPolicy;
+        let path = tmp("retry-exhaust");
+        let _ = std::fs::remove_file(&path);
+        let site = leapme_faults::sites::JOURNAL_APPEND;
+        let j = RunJournal::open(&path).unwrap();
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay: std::time::Duration::from_micros(50),
+            max_delay: std::time::Duration::from_micros(100),
+            ..RetryPolicy::default()
+        };
+        // The fault fires on every attempt: the budget is spent and the
+        // typed exhaustion error carries the attempt count.
+        leapme_faults::with_plan(&format!("seed=1;{site}:io@1.0"), || {
+            let err = j.append_retrying(&Rec { id: 0, score: 0.0 }, &policy).unwrap_err();
+            match err {
+                JournalError::RetriesExhausted { attempts, last } => {
+                    assert_eq!(attempts, 3);
+                    assert!(matches!(*last, JournalError::Io(_)));
+                }
+                other => panic!("expected RetriesExhausted, got {other:?}"),
+            }
+        });
+        // Once the fault plan is gone the same journal appends fine.
+        j.append(&Rec { id: 0, score: 0.0 }).unwrap();
+        drop(j);
+        let j = RunJournal::open(&path).unwrap();
+        assert_eq!(j.len(), 1);
     }
 
     #[cfg(feature = "faults")]

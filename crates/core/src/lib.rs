@@ -64,6 +64,7 @@ pub mod journal;
 pub mod metrics;
 pub mod pipeline;
 pub mod prcurve;
+pub mod retry;
 pub mod runner;
 pub mod sampling;
 pub mod scaler;
@@ -98,6 +99,16 @@ pub enum CoreError {
     Checkpoint(leapme_nn::checkpoint::CheckpointError),
     /// The run journal failed (I/O or at-rest corruption).
     Journal(journal::JournalError),
+    /// A bounded-retry budget was exhausted on a transient-I/O
+    /// operation (journal append, checkpoint write).
+    RetriesExhausted {
+        /// What was being retried (e.g. `"model save"`).
+        what: String,
+        /// How many attempts were made before giving up.
+        attempts: u32,
+        /// The error from the final attempt.
+        last: Box<CoreError>,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -113,6 +124,9 @@ impl std::fmt::Display for CoreError {
             CoreError::Cancelled => write!(f, "run cancelled"),
             CoreError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
             CoreError::Journal(e) => write!(f, "{e}"),
+            CoreError::RetriesExhausted { what, attempts, last } => {
+                write!(f, "{what} failed after {attempts} attempt(s): {last}")
+            }
         }
     }
 }

@@ -235,6 +235,37 @@ impl LeapmeModel {
         Ok(())
     }
 
+    /// [`Self::save`] with a bounded-retry budget for transient I/O
+    /// failures. The container write is atomic (temp + fsync + rename),
+    /// so a failed attempt never leaves a damaged destination and a
+    /// retry is always safe. Non-I/O failures are not retried; once the
+    /// budget is spent the typed [`CoreError::RetriesExhausted`]
+    /// surfaces with the final attempt's error.
+    pub fn save_with_retry(
+        &self,
+        path: &Path,
+        policy: &crate::retry::RetryPolicy,
+    ) -> Result<(), CoreError> {
+        crate::retry::with_retry(
+            policy,
+            |e: &CoreError| matches!(e, CoreError::Checkpoint(CheckpointError::Io(_))),
+            || self.save(path),
+        )
+        .map_err(|e| {
+            if e.attempts == 1 {
+                // Non-transient or unretried failure: keep the original
+                // error shape callers already match on.
+                e.last
+            } else {
+                CoreError::RetriesExhausted {
+                    what: "model save".to_string(),
+                    attempts: e.attempts,
+                    last: Box::new(e.last),
+                }
+            }
+        })
+    }
+
     /// Load a model saved by [`Self::save`]. Every corruption mode —
     /// wrong magic, unsupported version, wrong container kind,
     /// truncation, flipped payload bits — surfaces as a typed

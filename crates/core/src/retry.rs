@@ -1,0 +1,184 @@
+//! Bounded retry with deterministic jittered backoff for transient
+//! I/O errors.
+//!
+//! Mirrors the PR3 training-retry pattern (`max_loss_retries` +
+//! checkpoint rollback): a fixed attempt budget, exponential backoff
+//! with deterministic jitter, and a typed [`Exhausted`] error once the
+//! budget is spent — never an unbounded loop. The jitter is derived
+//! from a splitmix64 stream seeded by the policy, so a given policy
+//! produces the same delay schedule on every run (reproducible tests,
+//! no wall-clock or RNG dependency).
+//!
+//! Callers decide which errors are worth retrying via the `transient`
+//! predicate; everything else fails on the first attempt. The operation
+//! itself must be safe to re-run — atomic writes (temp + rename) are,
+//! and the journal repairs its tail before re-appending (see
+//! [`crate::journal::RunJournal::append_retrying`]).
+
+use std::time::Duration;
+
+/// Budget and backoff schedule for a bounded retry loop.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` means "no retries").
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt thereafter.
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(100),
+            seed: 0x5eed_1e4b_ac0f_f5e7,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single attempt).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff to sleep after failed attempt `attempt` (1-based).
+    ///
+    /// Exponential in the attempt number, capped at `max_delay`, then
+    /// scaled by a deterministic jitter factor in `[0.5, 1.5)` so
+    /// concurrent writers do not thunder in lockstep.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.max_delay);
+        let jitter = 0.5 + (splitmix64(self.seed ^ u64::from(attempt)) >> 11) as f64 / (1u64 << 53) as f64;
+        exp.mul_f64(jitter)
+    }
+}
+
+/// The retry budget was spent without a success.
+#[derive(Debug)]
+pub struct Exhausted<E> {
+    /// How many attempts were made (equals the policy budget for
+    /// transient errors; `1` for a non-transient first failure).
+    pub attempts: u32,
+    /// The error from the final attempt.
+    pub last: E,
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for Exhausted<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gave up after {} attempt(s): {}", self.attempts, self.last)
+    }
+}
+
+impl<E: std::error::Error> std::error::Error for Exhausted<E> {}
+
+/// Run `op` up to `policy.max_attempts` times, sleeping a jittered
+/// backoff between attempts. Only errors the `transient` predicate
+/// accepts are retried; others return immediately as [`Exhausted`]
+/// with `attempts: 1..` reflecting the tries actually made.
+pub fn with_retry<T, E>(
+    policy: &RetryPolicy,
+    transient: impl Fn(&E) -> bool,
+    mut op: impl FnMut() -> Result<T, E>,
+) -> Result<T, Exhausted<E>> {
+    let budget = policy.max_attempts.max(1);
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if attempt < budget && transient(&e) => {
+                std::thread::sleep(policy.backoff(attempt));
+            }
+            Err(e) => return Err(Exhausted { attempts: attempt, last: e }),
+        }
+    }
+}
+
+/// splitmix64 step — the same deterministic mixer the fault registry
+/// and stress generators use.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn transient_error_recovers_within_budget() {
+        let fails = Cell::new(2u32);
+        let policy = RetryPolicy {
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            ..RetryPolicy::default()
+        };
+        let out = with_retry(&policy, |_| true, || {
+            if fails.get() > 0 {
+                fails.set(fails.get() - 1);
+                Err("transient")
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(out.unwrap(), 42);
+    }
+
+    #[test]
+    fn budget_is_bounded_and_typed() {
+        let tries = Cell::new(0u32);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_micros(10),
+            max_delay: Duration::from_micros(20),
+            ..RetryPolicy::default()
+        };
+        let err = with_retry::<(), _>(&policy, |_| true, || {
+            tries.set(tries.get() + 1);
+            Err("still down")
+        })
+        .unwrap_err();
+        assert_eq!(err.attempts, 3);
+        assert_eq!(tries.get(), 3, "exactly the budget, no infinite loop");
+        assert!(err.to_string().contains("3 attempt"));
+    }
+
+    #[test]
+    fn non_transient_fails_on_first_attempt() {
+        let tries = Cell::new(0u32);
+        let err = with_retry::<(), _>(&RetryPolicy::default(), |_| false, || {
+            tries.set(tries.get() + 1);
+            Err("fatal")
+        })
+        .unwrap_err();
+        assert_eq!(err.attempts, 1);
+        assert_eq!(tries.get(), 1);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_capped() {
+        let policy = RetryPolicy::default();
+        let a: Vec<Duration> = (1..4).map(|i| policy.backoff(i)).collect();
+        let b: Vec<Duration> = (1..4).map(|i| policy.backoff(i)).collect();
+        assert_eq!(a, b, "same policy, same schedule");
+        for d in &a {
+            assert!(*d <= policy.max_delay.mul_f64(1.5), "{d:?}");
+        }
+        assert!(a[0] >= policy.base_delay.mul_f64(0.5));
+    }
+}

@@ -298,7 +298,10 @@ pub fn run_repeated_durable(
         }
         let outcome = run_once_cancellable(dataset, store, cfg, r, cancel)?;
         if let Some(j) = &journal {
-            j.append(&outcome)?;
+            // Bounded retry: a transient append failure (disk hiccup,
+            // injected torn write) costs one repaired re-append, not
+            // the whole repetition's work.
+            j.append_retrying(&outcome, &crate::retry::RetryPolicy::default())?;
         }
         done.insert(r, outcome);
     }

@@ -53,6 +53,51 @@ impl From<std::io::Error> for CsvError {
 /// Maximum number of per-line errors kept in an [`ImportReport`].
 pub const MAX_REPORTED_ERRORS: usize = 20;
 
+/// Hard cap on one physical CSV line. Longer lines are discarded
+/// *without buffering* — a pathological no-newline or multi-gigabyte
+/// line costs at most this much memory, never an unbounded allocation.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Hard cap on fields per row. A row with more fields stops parsing at
+/// the cap instead of materializing millions of tiny strings.
+pub const MAX_FIELDS: usize = 256;
+
+/// Why a row was rejected — the typed half of an [`ImportIssue`], so
+/// callers can distinguish structural damage from resource-cap hits
+/// without string matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipReason {
+    /// Structural parse/validation failure (bad quoting, wrong field
+    /// count, injected fault).
+    Malformed,
+    /// The physical line exceeded [`MAX_LINE_BYTES`] and was discarded
+    /// unbuffered.
+    LineTooLong,
+    /// The row had more than [`MAX_FIELDS`] fields.
+    TooManyFields,
+}
+
+impl std::fmt::Display for SkipReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SkipReason::Malformed => write!(f, "malformed"),
+            SkipReason::LineTooLong => write!(f, "line too long"),
+            SkipReason::TooManyFields => write!(f, "too many fields"),
+        }
+    }
+}
+
+/// One skipped row in an [`ImportReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImportIssue {
+    /// 1-based line number.
+    pub line: usize,
+    /// Typed rejection category.
+    pub reason: SkipReason,
+    /// Human-readable detail.
+    pub message: String,
+}
+
 /// Outcome summary of a lenient CSV import ([`read_dataset_lenient`]).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ImportReport {
@@ -60,19 +105,19 @@ pub struct ImportReport {
     pub imported: usize,
     /// Malformed rows skipped.
     pub skipped: usize,
-    /// The first [`MAX_REPORTED_ERRORS`] skipped rows as
-    /// `(1-based line, message)`; later errors are counted but dropped.
-    pub errors: Vec<(usize, String)>,
+    /// The first [`MAX_REPORTED_ERRORS`] skipped rows; later errors are
+    /// counted but dropped.
+    pub errors: Vec<ImportIssue>,
     /// Whether `errors` overflowed: `skipped` counts every bad row, but
     /// only the first [`MAX_REPORTED_ERRORS`] are kept verbatim.
     pub truncated: bool,
 }
 
 impl ImportReport {
-    fn record(&mut self, line: usize, message: String) {
+    fn record(&mut self, line: usize, reason: SkipReason, message: String) {
         self.skipped += 1;
         if self.errors.len() < MAX_REPORTED_ERRORS {
-            self.errors.push((line, message));
+            self.errors.push(ImportIssue { line, reason, message });
         } else {
             self.truncated = true;
         }
@@ -84,8 +129,11 @@ impl ImportReport {
             "imported {} rows, skipped {} malformed",
             self.imported, self.skipped
         );
-        for (line, message) in &self.errors {
-            out.push_str(&format!("\n  line {line}: {message}"));
+        for issue in &self.errors {
+            out.push_str(&format!(
+                "\n  line {}: {} ({})",
+                issue.line, issue.message, issue.reason
+            ));
         }
         if self.truncated {
             out.push_str(&format!(
@@ -124,8 +172,18 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
 
 /// Parse one CSV record (RFC-4180: `"` quoting, `""` escapes).
 ///
-/// Returns the fields, or an error message for unterminated quotes.
+/// Returns the fields, or an error message for unterminated quotes or a
+/// row exceeding [`MAX_FIELDS`] fields.
 pub fn parse_record(line: &str) -> Result<Vec<String>, String> {
+    parse_record_capped(line).map_err(|(reason, message)| {
+        let _ = reason;
+        message
+    })
+}
+
+/// [`parse_record`] with the rejection reason kept typed, so lenient
+/// importers can report cap hits distinctly from structural damage.
+fn parse_record_capped(line: &str) -> Result<Vec<String>, (SkipReason, String)> {
     let mut fields = Vec::new();
     let mut current = String::new();
     let mut chars = line.chars().peekable();
@@ -148,6 +206,12 @@ pub fn parse_record(line: &str) -> Result<Vec<String>, String> {
             match c {
                 '"' if current.is_empty() => in_quotes = true,
                 ',' => {
+                    if fields.len() + 1 >= MAX_FIELDS {
+                        return Err((
+                            SkipReason::TooManyFields,
+                            format!("row exceeds {MAX_FIELDS} fields"),
+                        ));
+                    }
                     fields.push(std::mem::take(&mut current));
                 }
                 other => current.push(other),
@@ -155,10 +219,79 @@ pub fn parse_record(line: &str) -> Result<Vec<String>, String> {
         }
     }
     if in_quotes {
-        return Err("unterminated quoted field".into());
+        return Err((SkipReason::Malformed, "unterminated quoted field".into()));
     }
     fields.push(current);
     Ok(fields)
+}
+
+/// One physical line from a bounded read.
+enum BoundedLine {
+    /// A complete line (terminator stripped) within [`MAX_LINE_BYTES`].
+    Line(String),
+    /// The line blew the cap; `discarded` bytes were skipped unbuffered.
+    TooLong {
+        /// Total bytes of the oversized line.
+        discarded: usize,
+    },
+    /// End of the stream.
+    Eof,
+}
+
+/// Read one `\n`-terminated line without ever buffering more than
+/// [`MAX_LINE_BYTES`]. An oversized line is *consumed and discarded* in
+/// fixed-size chunks, so a pathological input (no newline at all, or a
+/// multi-gigabyte line) costs bounded memory and the stream stays
+/// positioned at the next line.
+fn read_line_bounded<R: BufRead>(reader: &mut R, buf: &mut Vec<u8>) -> std::io::Result<BoundedLine> {
+    buf.clear();
+    let mut total = 0usize;
+    let mut overflowed = false;
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            // EOF: flush whatever the final unterminated line held.
+            return Ok(if overflowed {
+                BoundedLine::TooLong { discarded: total }
+            } else if buf.is_empty() && total == 0 {
+                BoundedLine::Eof
+            } else {
+                BoundedLine::Line(take_line_string(buf)?)
+            });
+        }
+        let (chunk, done) = match available.iter().position(|&b| b == b'\n') {
+            Some(p) => (&available[..p], true),
+            None => (available, false),
+        };
+        total += chunk.len();
+        if !overflowed {
+            if total > MAX_LINE_BYTES {
+                overflowed = true;
+                buf.clear();
+            } else {
+                buf.extend_from_slice(chunk);
+            }
+        }
+        let consumed = chunk.len() + usize::from(done);
+        reader.consume(consumed);
+        if done {
+            return Ok(if overflowed {
+                BoundedLine::TooLong { discarded: total }
+            } else {
+                BoundedLine::Line(take_line_string(buf)?)
+            });
+        }
+    }
+}
+
+/// UTF-8-decode a collected line, stripping a trailing `\r` (CRLF input)
+/// — the same shape `BufRead::lines` produces.
+fn take_line_string(buf: &mut Vec<u8>) -> std::io::Result<String> {
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(std::mem::take(buf))
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "line is not UTF-8"))
 }
 
 /// Quote a field if needed and append it to `out`.
@@ -198,18 +331,105 @@ fn injected_malformed_row() -> Option<String> {
 }
 
 /// Validate one data row: parse, check the field count, apply faults.
-fn parse_row(line: &str, expected_fields: usize) -> Result<Vec<String>, String> {
+fn parse_row(line: &str, expected_fields: usize) -> Result<Vec<String>, (SkipReason, String)> {
     if let Some(message) = injected_malformed_row() {
-        return Err(message);
+        return Err((SkipReason::Malformed, message));
     }
-    let fields = parse_record(line)?;
+    let fields = parse_record_capped(line)?;
     if fields.len() != expected_fields {
-        return Err(format!(
-            "expected {expected_fields} fields, found {}",
-            fields.len()
+        return Err((
+            SkipReason::Malformed,
+            format!("expected {expected_fields} fields, found {}", fields.len()),
         ));
     }
     Ok(fields)
+}
+
+/// Drive `f` over every data row of a CSV stream: skips the header and
+/// blank lines, reads lines bounded by [`MAX_LINE_BYTES`], validates the
+/// field count, and dispatches bad rows per `lenient`. The workhorse
+/// behind both dataset files and the serve-side instance upload.
+fn for_each_row<R: BufRead>(
+    mut reader: R,
+    expected_fields: usize,
+    lenient: bool,
+    report: &mut ImportReport,
+    mut f: impl FnMut(Vec<String>),
+) -> Result<(), CsvError> {
+    let mut buf = Vec::new();
+    let mut lineno = 0usize;
+    loop {
+        let line = match read_line_bounded(&mut reader, &mut buf)? {
+            BoundedLine::Eof => return Ok(()),
+            BoundedLine::Line(line) => {
+                lineno += 1;
+                line
+            }
+            BoundedLine::TooLong { discarded } => {
+                lineno += 1;
+                let reason = SkipReason::LineTooLong;
+                let message = format!(
+                    "line is {discarded} bytes, cap is {MAX_LINE_BYTES}; discarded unbuffered"
+                );
+                if lenient {
+                    report.record(lineno, reason, message);
+                    continue;
+                }
+                return Err(CsvError::Malformed { line: lineno, message });
+            }
+        };
+        // An I/O failure is a property of the stream, not of one row, so
+        // it aborts the import even in lenient mode.
+        if let Some(e) = injected_line_io() {
+            return Err(CsvError::Io(e));
+        }
+        if lineno == 1 || line.trim().is_empty() {
+            continue; // header / blank
+        }
+        match parse_row(&line, expected_fields) {
+            Ok(fields) => {
+                f(fields);
+                report.imported += 1;
+            }
+            Err((reason, message)) if lenient => report.record(lineno, reason, message),
+            Err((_, message)) => return Err(CsvError::Malformed { line: lineno, message }),
+        }
+    }
+}
+
+/// Assign (or look up) the id for a source name in first-appearance order.
+fn source_id(name: &str, sources: &mut Vec<String>) -> SourceId {
+    match sources.iter().position(|s| s == name) {
+        Some(i) => SourceId(i as u16),
+        None => {
+            sources.push(name.to_string());
+            SourceId((sources.len() - 1) as u16)
+        }
+    }
+}
+
+/// Parse `source,property,entity,value` rows (with header) from any
+/// reader, leniently: bad rows land in the report, lines and field
+/// counts are capped. Source ids are resolved against (and appended to)
+/// `sources` in first-appearance order — pass the existing source list
+/// to merge an upload into a resident dataset, or an empty `Vec` for a
+/// standalone parse.
+pub fn read_instances_lenient<R: BufRead>(
+    reader: R,
+    sources: &mut Vec<String>,
+) -> Result<(Vec<Instance>, ImportReport), CsvError> {
+    let mut report = ImportReport::default();
+    let mut instances = Vec::new();
+    for_each_row(reader, 4, true, &mut report, |fields| {
+        let sid = source_id(&fields[0], sources);
+        instances.push(Instance {
+            source: sid,
+            property: fields[1].clone(),
+            entity: fields[2].clone(),
+            value: fields[3].clone(),
+        });
+    })?;
+    Ok((instances, report))
 }
 
 fn read_dataset_inner(
@@ -219,42 +439,11 @@ fn read_dataset_inner(
     lenient: bool,
 ) -> Result<(Dataset, ImportReport), CsvError> {
     let mut sources: Vec<String> = Vec::new();
-    let source_id = |name: &str, sources: &mut Vec<String>| -> SourceId {
-        match sources.iter().position(|s| s == name) {
-            Some(i) => SourceId(i as u16),
-            None => {
-                sources.push(name.to_string());
-                SourceId((sources.len() - 1) as u16)
-            }
-        }
-    };
     let mut report = ImportReport::default();
 
     let mut instances = Vec::new();
     let reader = BufReader::new(std::fs::File::open(instances_path)?);
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
-        // An I/O failure is a property of the stream, not of one row, so
-        // it aborts the import even in lenient mode.
-        if let Some(e) = injected_line_io() {
-            return Err(CsvError::Io(e));
-        }
-        if lineno == 0 || line.trim().is_empty() {
-            continue; // header / blank
-        }
-        let fields = match parse_row(&line, 4) {
-            Ok(fields) => fields,
-            Err(message) if lenient => {
-                report.record(lineno + 1, message);
-                continue;
-            }
-            Err(message) => {
-                return Err(CsvError::Malformed {
-                    line: lineno + 1,
-                    message,
-                })
-            }
-        };
+    for_each_row(reader, 4, lenient, &mut report, |fields| {
         let sid = source_id(&fields[0], &mut sources);
         instances.push(Instance {
             source: sid,
@@ -262,37 +451,15 @@ fn read_dataset_inner(
             entity: fields[2].clone(),
             value: fields[3].clone(),
         });
-        report.imported += 1;
-    }
+    })?;
 
     let mut alignment: BTreeMap<PropertyKey, String> = BTreeMap::new();
     if let Some(path) = alignments_path {
         let reader = BufReader::new(std::fs::File::open(path)?);
-        for (lineno, line) in reader.lines().enumerate() {
-            let line = line?;
-            if let Some(e) = injected_line_io() {
-                return Err(CsvError::Io(e));
-            }
-            if lineno == 0 || line.trim().is_empty() {
-                continue;
-            }
-            let fields = match parse_row(&line, 3) {
-                Ok(fields) => fields,
-                Err(message) if lenient => {
-                    report.record(lineno + 1, message);
-                    continue;
-                }
-                Err(message) => {
-                    return Err(CsvError::Malformed {
-                        line: lineno + 1,
-                        message,
-                    })
-                }
-            };
+        for_each_row(reader, 3, lenient, &mut report, |fields| {
             let sid = source_id(&fields[0], &mut sources);
             alignment.insert(PropertyKey::new(sid, fields[1].clone()), fields[2].clone());
-            report.imported += 1;
-        }
+        })?;
     }
 
     let dataset = Dataset::new(name, sources, instances, alignment).map_err(CsvError::Model)?;
@@ -461,8 +628,9 @@ mod tests {
         assert_eq!(report.imported, 2);
         assert_eq!(report.skipped, 2);
         assert_eq!(report.errors.len(), 2);
-        assert_eq!(report.errors[0].0, 3);
-        assert_eq!(report.errors[1].0, 4);
+        assert_eq!(report.errors[0].line, 3);
+        assert_eq!(report.errors[0].reason, SkipReason::Malformed);
+        assert_eq!(report.errors[1].line, 4);
         assert!(!report.truncated);
         assert!(report.summary().contains("skipped 2 malformed"));
         assert!(!report.summary().contains("more"));
@@ -529,6 +697,82 @@ mod tests {
         assert_eq!(std::fs::read(&path).unwrap(), b"second");
         assert!(!path.with_file_name("atomic_out.txt.tmp").exists());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn oversized_line_is_discarded_unbuffered_in_lenient_mode() {
+        let inst = tmp("longline_instances.csv");
+        let mut csv = String::from("source,property,entity,value\n");
+        csv.push_str("shopA,megapixels,e1,20.1 MP\n");
+        // One line past the cap: a huge quoted value.
+        csv.push_str("shopB,big,e2,\"");
+        csv.push_str(&"x".repeat(MAX_LINE_BYTES + 64));
+        csv.push_str("\"\n");
+        csv.push_str("shopB,resolution,x1,24 MP\n");
+        std::fs::write(&inst, &csv).unwrap();
+        let (ds, report) = read_dataset_lenient("long", &inst, None).unwrap();
+        assert_eq!(ds.stats().instances, 2, "rows around the bomb survive");
+        assert_eq!(report.skipped, 1);
+        assert_eq!(report.errors[0].line, 3);
+        assert_eq!(report.errors[0].reason, SkipReason::LineTooLong);
+        assert!(report.errors[0].message.contains("discarded unbuffered"));
+        std::fs::remove_file(inst).ok();
+    }
+
+    #[test]
+    fn oversized_line_is_a_typed_error_in_strict_mode() {
+        let inst = tmp("longline_strict_instances.csv");
+        let mut csv = String::from("source,property,entity,value\n");
+        csv.push_str(&"y".repeat(MAX_LINE_BYTES + 1));
+        csv.push('\n');
+        std::fs::write(&inst, &csv).unwrap();
+        let err = read_dataset("long", &inst, None).unwrap_err();
+        assert!(matches!(err, CsvError::Malformed { line: 2, .. }), "{err}");
+        std::fs::remove_file(inst).ok();
+    }
+
+    #[test]
+    fn field_bomb_is_capped_with_a_typed_reason() {
+        let inst = tmp("fieldbomb_instances.csv");
+        let mut csv = String::from("source,property,entity,value\n");
+        // A row of MAX_FIELDS+99 commas would otherwise materialize that
+        // many allocations; parsing must stop at the cap.
+        csv.push_str(&",".repeat(MAX_FIELDS + 99));
+        csv.push('\n');
+        csv.push_str("shopA,p,e,v\n");
+        std::fs::write(&inst, &csv).unwrap();
+        let (ds, report) = read_dataset_lenient("bomb", &inst, None).unwrap();
+        assert_eq!(ds.stats().instances, 1);
+        assert_eq!(report.errors[0].reason, SkipReason::TooManyFields);
+        assert!(report.errors[0].message.contains("exceeds"));
+        std::fs::remove_file(inst).ok();
+    }
+
+    #[test]
+    fn unterminated_final_line_without_newline_still_parses() {
+        let inst = tmp("noeol_instances.csv");
+        std::fs::write(
+            &inst,
+            "source,property,entity,value\nshopA,megapixels,e1,20.1 MP",
+        )
+        .unwrap();
+        let ds = read_dataset("noeol", &inst, None).unwrap();
+        assert_eq!(ds.stats().instances, 1);
+        std::fs::remove_file(inst).ok();
+    }
+
+    #[test]
+    fn read_instances_lenient_merges_into_existing_sources() {
+        let mut sources = vec!["shopA".to_string(), "shopB".to_string()];
+        let csv = "source,property,entity,value\n\
+                   shopB,resolution,x1,24 MP\n\
+                   shopC,pixels,y1,12 MP\n";
+        let (instances, report) =
+            read_instances_lenient(std::io::Cursor::new(csv), &mut sources).unwrap();
+        assert_eq!(report.imported, 2);
+        assert_eq!(instances[0].source, SourceId(1), "existing id reused");
+        assert_eq!(instances[1].source, SourceId(2), "new source appended");
+        assert_eq!(sources.len(), 3);
     }
 
     #[test]

@@ -202,6 +202,11 @@ impl Dataset {
         self.alignment.get(key).map(String::as_str)
     }
 
+    /// The full alignment map (property → reference name).
+    pub fn alignment(&self) -> &BTreeMap<PropertyKey, String> {
+        &self.alignment
+    }
+
     /// Whether two properties match per the paper's ground-truth rule:
     /// different sources, both aligned, same reference property.
     pub fn matches(&self, a: &PropertyKey, b: &PropertyKey) -> bool {

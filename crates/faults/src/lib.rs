@@ -68,6 +68,14 @@ pub mod sites {
     pub const CHECKPOINT_READ: &str = "nn.checkpoint.read";
     /// Appending a record to the run journal (`kind: torn | io`).
     pub const JOURNAL_APPEND: &str = "core.journal.append";
+    /// Accepting a connection in `leapme serve` (`kind: io`).
+    pub const SERVE_ACCEPT: &str = "serve.accept";
+    /// Reading a request from a client socket (`kind: io | torn`).
+    pub const SERVE_READ: &str = "serve.read";
+    /// Writing a response to a client socket (`kind: io`).
+    pub const SERVE_WRITE: &str = "serve.write";
+    /// Request handler body in the serve worker pool (`kind: panic`).
+    pub const SERVE_HANDLER: &str = "serve.handler";
 }
 
 /// What kind of failure to inject at a site.

@@ -1,0 +1,380 @@
+//! Minimal HTTP/1.1 request/response codec over `std::net`, built for
+//! hostile clients.
+//!
+//! Strictness is the point: every limit is enforced while *reading*, so
+//! a slow-loris client runs into the socket read timeout, an oversized
+//! body is rejected at the `Content-Length` header (before a single
+//! body byte is buffered), and a header section that never terminates
+//! stops at [`HttpLimits::max_head_bytes`]. Responses always carry
+//! `Connection: close` — one request per connection keeps the state
+//! machine trivial and drains cleanly.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Read-side limits enforced while parsing a request.
+#[derive(Debug, Clone)]
+pub struct HttpLimits {
+    /// Cap on the request line + headers, in bytes.
+    pub max_head_bytes: usize,
+    /// Cap on the declared `Content-Length`.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// Maximum number of request headers accepted.
+const MAX_HEADERS: usize = 64;
+
+/// How reading a request can fail. Each variant maps to a specific
+/// response (or, for [`HttpError::Disconnected`], to none at all).
+#[derive(Debug)]
+pub enum HttpError {
+    /// Structurally invalid request → `400` with a typed error body.
+    BadRequest(String),
+    /// Declared body exceeds the limit → `413`.
+    PayloadTooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The socket read timed out mid-request (slow-loris) → `408`.
+    Timeout,
+    /// The client vanished before completing the request; there is no
+    /// one left to answer.
+    Disconnected,
+    /// A genuine transport failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
+            HttpError::PayloadTooLarge { declared, limit } => {
+                write!(f, "body of {declared} bytes exceeds the {limit}-byte limit")
+            }
+            HttpError::Timeout => write!(f, "read timed out mid-request"),
+            HttpError::Disconnected => write!(f, "client disconnected mid-request"),
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path (query string included verbatim).
+    pub path: String,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (names are stored lowercased).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Classify a raw socket error: timeouts get their own variant because
+/// they get their own status code (408), reset/broken-pipe means the
+/// client is gone.
+fn classify(e: std::io::Error) -> HttpError {
+    use std::io::ErrorKind;
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => HttpError::Timeout,
+        ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted | ErrorKind::BrokenPipe => {
+            HttpError::Disconnected
+        }
+        _ => HttpError::Io(e),
+    }
+}
+
+/// Fault hook for `serve.read`: `io` fails the read outright, `torn`
+/// pretends the client vanished mid-request.
+#[cfg(feature = "faults")]
+fn injected_read_fault() -> Option<HttpError> {
+    use leapme_faults::{fires, sites, FaultKind};
+    match fires(sites::SERVE_READ)? {
+        FaultKind::Io => Some(HttpError::Io(std::io::Error::other(
+            "injected fault: socket read",
+        ))),
+        FaultKind::Torn => Some(HttpError::Disconnected),
+        _ => None,
+    }
+}
+
+#[cfg(not(feature = "faults"))]
+fn injected_read_fault() -> Option<HttpError> {
+    None
+}
+
+/// Read and parse one request off `stream`, honoring `limits`. The
+/// stream's read timeout must already be configured by the caller; a
+/// timeout mid-head or mid-body surfaces as [`HttpError::Timeout`].
+pub fn read_request(stream: &mut TcpStream, limits: &HttpLimits) -> Result<Request, HttpError> {
+    if let Some(e) = injected_read_fault() {
+        return Err(e);
+    }
+
+    // ---- head: read until the blank line, never past the cap ----
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(p) = find_head_end(&buf) {
+            break p;
+        }
+        if buf.len() > limits.max_head_bytes {
+            return Err(HttpError::BadRequest(format!(
+                "request head exceeds {} bytes",
+                limits.max_head_bytes
+            )));
+        }
+        let n = stream.read(&mut chunk).map_err(classify)?;
+        if n == 0 {
+            // EOF without a complete head: nothing-at-all is a probe
+            // (or a coalescing client giving up); a partial head is a
+            // mid-request disconnect. Neither can be answered.
+            return Err(HttpError::Disconnected);
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::BadRequest("request head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol {version:?}"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::BadRequest(format!(
+                "more than {MAX_HEADERS} headers"
+            )));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut request = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+
+    // ---- body: length-delimited, rejected before buffering ----
+    let content_length = match request.header("content-length") {
+        Some(v) => v.parse::<usize>().map_err(|_| {
+            HttpError::BadRequest(format!("unparseable content-length {v:?}"))
+        })?,
+        None if request.method == "POST" || request.method == "PUT" => {
+            return Err(HttpError::BadRequest(
+                "POST requires a content-length header".into(),
+            ))
+        }
+        None => 0,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::PayloadTooLarge {
+            declared: content_length,
+            limit: limits.max_body_bytes,
+        });
+    }
+
+    // Bytes past the head terminator already read belong to the body.
+    let leftover_start = head_end + 4;
+    let mut body: Vec<u8> = buf.get(leftover_start..).unwrap_or(&[]).to_vec();
+    if body.len() > content_length {
+        return Err(HttpError::BadRequest(
+            "body longer than its declared content-length".into(),
+        ));
+    }
+    while body.len() < content_length {
+        if let Some(e) = injected_read_fault() {
+            return Err(e);
+        }
+        let want = (content_length - body.len()).min(chunk.len());
+        let n = stream.read(&mut chunk[..want]).map_err(classify)?;
+        if n == 0 {
+            return Err(HttpError::Disconnected);
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    request.body = body;
+    Ok(request)
+}
+
+/// Offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// One response, always `Connection: close`.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body bytes (JSON for every endpoint).
+    pub body: String,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Optional `Retry-After` seconds (set on load-shed 503s).
+    pub retry_after: Option<u32>,
+    /// Whether this response carries partial results after a deadline
+    /// expiry; rendered as an `x-leapme-degraded: true` header.
+    pub degraded: bool,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            body,
+            content_type: "application/json",
+            retry_after: None,
+            degraded: false,
+        }
+    }
+
+    /// A typed JSON error body: `{"error": code, "detail": detail}`.
+    pub fn error(status: u16, code: &str, detail: &str) -> Self {
+        let body = serde_json::to_string(&ErrorBody {
+            error: code.to_string(),
+            detail: detail.to_string(),
+        })
+        .unwrap_or_else(|_| format!("{{\"error\":{code:?}}}"));
+        Response::json(status, body)
+    }
+
+    /// The load-shed response: `503` + `Retry-After`.
+    pub fn shed(retry_after_secs: u32) -> Self {
+        let mut r = Response::error(
+            503,
+            "overloaded",
+            "admission queue is full; retry after the indicated delay",
+        );
+        r.retry_after = Some(retry_after_secs);
+        r
+    }
+
+    /// Serialize head + body to the wire.
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            status_text(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        if let Some(secs) = self.retry_after {
+            head.push_str(&format!("retry-after: {secs}\r\n"));
+        }
+        if self.degraded {
+            head.push_str("x-leapme-degraded: true\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+/// Typed error body shared by every non-2xx response.
+#[derive(serde::Serialize)]
+struct ErrorBody {
+    error: String,
+    detail: String,
+}
+
+/// Reason phrase for the handful of status codes the service emits.
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// Lingering close for responses written *before* the request was fully
+/// read (shed 503s, 413s, parse 400s): closing a socket with unread
+/// bytes in its receive buffer makes the kernel send RST, which can
+/// destroy the in-flight response before the client reads it. Half-close
+/// the write side, then drain and discard what the client already sent —
+/// bounded in both bytes and time so a hostile peer cannot pin us here.
+pub fn drain_then_close(stream: &mut TcpStream, max_bytes: usize, timeout: std::time::Duration) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(timeout));
+    let mut buf = [0u8; 4096];
+    let mut drained = 0usize;
+    while drained < max_bytes {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
+/// Map a read-side failure to the response owed to the client, if any.
+/// `Disconnected` yields `None` — there is no one to answer — and the
+/// caller just drops the connection.
+pub fn error_response(e: &HttpError) -> Option<Response> {
+    match e {
+        HttpError::BadRequest(m) => Some(Response::error(400, "bad-request", m)),
+        HttpError::PayloadTooLarge { declared, limit } => Some(Response::error(
+            413,
+            "payload-too-large",
+            &format!("declared body of {declared} bytes exceeds the {limit}-byte cap"),
+        )),
+        HttpError::Timeout => Some(Response::error(
+            408,
+            "request-timeout",
+            "socket read timed out before the request completed",
+        )),
+        HttpError::Disconnected => None,
+        HttpError::Io(e) => Some(Response::error(400, "bad-request", &e.to_string())),
+    }
+}

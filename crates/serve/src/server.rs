@@ -1,0 +1,355 @@
+//! The accept loop, panic-isolated worker pool, and graceful drain.
+//!
+//! One accept thread owns the (nonblocking) listener: it polls the
+//! shutdown flag between accepts, sheds with a `503 + Retry-After`
+//! when the bounded queue is full, and on shutdown flips the draining
+//! flag, closes the queue, and drops the listener. A fixed pool of
+//! worker threads pops connections, parses with socket timeouts, runs
+//! the handler under `catch_unwind`, and keeps serving after any panic
+//! — a poisoned request never takes a worker (or the process) down.
+
+use crate::handlers::{self, request_deadline};
+use crate::http::{drain_then_close, error_response, read_request, Response};
+use crate::queue::{Bounded, Pop};
+use crate::state::ServeState;
+use leapme_core::cancel::CancelToken;
+use serde::Serialize;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often idle threads poll the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Lingering-close budget for responses sent before the request was
+/// fully read: drain at most this many client bytes…
+const LINGER_MAX_BYTES: usize = 64 * 1024;
+/// …for at most this long, so a trickling client cannot pin a thread.
+const LINGER_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// One admitted connection, waiting for a worker.
+struct Job {
+    stream: TcpStream,
+}
+
+/// What the drain left behind; `clean` means every in-flight request
+/// completed (possibly degraded) rather than being cut off.
+#[derive(Debug, Clone, Serialize)]
+pub struct DrainReport {
+    /// Requests answered over the server's lifetime.
+    pub completed: u64,
+    /// Requests shed with `503 Retry-After`.
+    pub shed: u64,
+    /// Responses flagged degraded (partial results at deadline).
+    pub degraded: u64,
+    /// Requests rejected because their deadline expired before work ran.
+    pub deadline_rejects: u64,
+    /// Handler panics absorbed by the worker pool.
+    pub worker_panics: u64,
+    /// Queued connections dropped unanswered at shutdown (should be 0:
+    /// the queue drains before workers exit).
+    pub dropped_at_shutdown: u64,
+    /// `true` when nothing was dropped — the drain honored every
+    /// admitted request.
+    pub clean: bool,
+}
+
+/// Journal record for server lifecycle events.
+#[derive(Serialize)]
+struct LifecycleEvent {
+    event: &'static str,
+    addr: String,
+    workers: usize,
+    queue_depth: usize,
+}
+
+/// Journal record for the shutdown summary.
+#[derive(Serialize)]
+struct ShutdownEvent {
+    event: &'static str,
+    completed: u64,
+    shed: u64,
+    degraded: u64,
+    worker_panics: u64,
+    clean: bool,
+}
+
+/// A running server. Dropping the handle does *not* stop the server;
+/// call [`ServerHandle::shutdown`] then [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    state: Arc<ServeState>,
+    queue: Arc<Bounded<Job>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with `:0` port requests).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Begin the drain: stop accepting, let in-flight work finish.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Block until the accept thread and every worker have exited,
+    /// then report what the drain left behind. Call after
+    /// [`ServerHandle::shutdown`] (or an external flag) fired.
+    pub fn join(mut self) -> DrainReport {
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Anything still queued after the workers exited was admitted
+        // but never served — with Pop::Closed semantics this stays 0.
+        let dropped = self.queue.len() as u64;
+        let m = &self.state.metrics;
+        let report = DrainReport {
+            completed: m.completed.load(Ordering::Relaxed),
+            shed: m.shed.load(Ordering::Relaxed),
+            degraded: m.degraded.load(Ordering::Relaxed),
+            deadline_rejects: m.deadline_rejects.load(Ordering::Relaxed),
+            worker_panics: m.worker_panics.load(Ordering::Relaxed),
+            dropped_at_shutdown: dropped,
+            clean: dropped == 0,
+        };
+        self.state.journal_event(&ShutdownEvent {
+            event: "serve.shutdown",
+            completed: report.completed,
+            shed: report.shed,
+            degraded: report.degraded,
+            worker_panics: report.worker_panics,
+            clean: report.clean,
+        });
+        report
+    }
+}
+
+/// Bind, spawn the accept thread and worker pool, and return a handle.
+///
+/// `external_shutdown` (e.g. the CLI's SIGINT/SIGTERM flag) is polled
+/// alongside the handle's own flag; either one starts the drain.
+pub fn start(
+    state: Arc<ServeState>,
+    external_shutdown: Option<&'static AtomicBool>,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&state.config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    state.journal_event(&LifecycleEvent {
+        event: "serve.start",
+        addr: addr.to_string(),
+        workers: state.config.workers,
+        queue_depth: state.config.queue_depth,
+    });
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let queue: Arc<Bounded<Job>> = Arc::new(Bounded::new(state.config.queue_depth));
+
+    let accept_thread = {
+        let state = Arc::clone(&state);
+        let shutdown = Arc::clone(&shutdown);
+        let queue = Arc::clone(&queue);
+        std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(listener, state, queue, shutdown, external_shutdown))?
+    };
+
+    let mut workers = Vec::with_capacity(state.config.workers);
+    for i in 0..state.config.workers {
+        let state = Arc::clone(&state);
+        let queue = Arc::clone(&queue);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(state, queue))?,
+        );
+    }
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        accept_thread: Some(accept_thread),
+        workers,
+        state,
+        queue,
+    })
+}
+
+/// Fault hook for `serve.accept`: a fired `io` fault drops the freshly
+/// accepted connection on the floor, as a flaky NIC would.
+#[cfg(feature = "faults")]
+fn injected_accept_fault() -> bool {
+    leapme_faults::fires(leapme_faults::sites::SERVE_ACCEPT).is_some()
+}
+
+#[cfg(not(feature = "faults"))]
+fn injected_accept_fault() -> bool {
+    false
+}
+
+/// Accept until a shutdown flag fires, then flip draining, close the
+/// queue, and let the listener drop (new connections get RST/refused).
+fn accept_loop(
+    listener: TcpListener,
+    state: Arc<ServeState>,
+    queue: Arc<Bounded<Job>>,
+    shutdown: Arc<AtomicBool>,
+    external: Option<&'static AtomicBool>,
+) {
+    let stop = |shutdown: &AtomicBool| {
+        shutdown.load(Ordering::SeqCst)
+            || external.is_some_and(|f| f.load(Ordering::SeqCst))
+    };
+    loop {
+        if stop(&shutdown) {
+            break;
+        }
+        match listener.accept() {
+            Ok((mut stream, _peer)) => {
+                if injected_accept_fault() {
+                    state.metrics.accept_faults.fetch_add(1, Ordering::Relaxed);
+                    drop(stream); // simulated accept-side failure
+                    continue;
+                }
+                if stop(&shutdown) {
+                    // Raced with shutdown: answer honestly, don't admit.
+                    let _ = stream.set_write_timeout(Some(state.config.io_timeout));
+                    let _ = Response::error(503, "draining", "server is shutting down")
+                        .write_to(&mut stream);
+                    drain_then_close(&mut stream, LINGER_MAX_BYTES, LINGER_TIMEOUT);
+                    continue;
+                }
+                if let Err(rejected) = queue.try_push(Job { stream }) {
+                    state.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                    let mut stream = rejected.stream;
+                    let _ = stream.set_write_timeout(Some(state.config.io_timeout));
+                    let _ = Response::shed(state.config.retry_after_secs).write_to(&mut stream);
+                    // The request was never read; linger so the 503
+                    // survives the close instead of dying to an RST.
+                    drain_then_close(&mut stream, LINGER_MAX_BYTES, LINGER_TIMEOUT);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => {
+                // Transient accept failure (EMFILE, ECONNABORTED, …):
+                // back off briefly rather than spinning.
+                state.metrics.accept_faults.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(POLL_INTERVAL);
+            }
+        }
+    }
+    state.draining.store(true, Ordering::SeqCst);
+    queue.close();
+    // Listener drops here; the OS refuses new connections from now on.
+}
+
+/// Pop-and-serve until the queue reports closed-and-drained.
+fn worker_loop(state: Arc<ServeState>, queue: Arc<Bounded<Job>>) {
+    loop {
+        match queue.pop_timeout(POLL_INTERVAL) {
+            Pop::Item(job) => serve_connection(&state, job.stream),
+            Pop::Empty => continue,
+            Pop::Closed => break,
+        }
+    }
+}
+
+/// Fault hook for `serve.write`: a fired `io` fault fails the response
+/// write as a mid-write disconnect would.
+#[cfg(feature = "faults")]
+fn injected_write_fault() -> bool {
+    leapme_faults::fires(leapme_faults::sites::SERVE_WRITE).is_some()
+}
+
+#[cfg(not(feature = "faults"))]
+fn injected_write_fault() -> bool {
+    false
+}
+
+/// Serve one connection end-to-end: read with timeouts, resolve the
+/// deadline, run the handler under `catch_unwind`, write the response.
+fn serve_connection(state: &ServeState, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(state.config.io_timeout));
+    let _ = stream.set_write_timeout(Some(state.config.io_timeout));
+
+    let request = match read_request(&mut stream, &state.config.limits) {
+        Ok(r) => r,
+        Err(e) => {
+            match error_response(&e) {
+                Some(resp) => {
+                    state.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+                    write_response(state, &mut stream, &resp);
+                    // The request was only partially read (oversized
+                    // body, parse error): linger so the error response
+                    // outlives the unread bytes.
+                    drain_then_close(&mut stream, LINGER_MAX_BYTES, LINGER_TIMEOUT);
+                }
+                None => {
+                    state.metrics.disconnects.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            return;
+        }
+    };
+
+    let deadline = match request_deadline(state, &request) {
+        Ok(d) => d,
+        Err(resp) => {
+            state.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+            write_response(state, &mut stream, &resp);
+            return;
+        }
+    };
+    state.metrics.admitted.fetch_add(1, Ordering::Relaxed);
+    let token = CancelToken::new().with_timeout(deadline);
+
+    // The panic boundary: an injected (or real) handler panic is
+    // absorbed here, answered with a 500, and the worker lives on.
+    let response = match catch_unwind(AssertUnwindSafe(|| {
+        handlers::handle(state, &request, &token)
+    })) {
+        Ok(resp) => resp,
+        Err(_) => {
+            state.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+            Response::error(500, "internal", "request handler panicked; worker recovered")
+        }
+    };
+
+    if response.degraded {
+        state.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+    if response.status < 500 || response.status == 503 {
+        state.metrics.completed.fetch_add(1, Ordering::Relaxed);
+    }
+    if (400..500).contains(&response.status) {
+        state.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    write_response(state, &mut stream, &response);
+}
+
+/// Write a response, folding injected `serve.write` faults and real
+/// socket failures into the `write_failures` counter — the client may
+/// be gone, but the server must not care.
+fn write_response(state: &ServeState, stream: &mut TcpStream, response: &Response) {
+    if injected_write_fault() {
+        state.metrics.write_failures.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    if response.write_to(stream).is_err() {
+        state.metrics.write_failures.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -60,6 +60,47 @@ done
 echo "==> bench smoke run (regenerates BENCH_PR7.json at the baseline corpus size)"
 cargo run --release -p leapme-bench --bin bench -- --sources 12 --out BENCH_PR7.json >/dev/null
 
+echo "==> service latency bench (regenerates BENCH_PR8.json)"
+cargo run --release -p leapme-bench --bin latency -- \
+    --clients 3 --requests 20 --out BENCH_PR8.json >/dev/null
+
+echo "==> latency bench: BENCH_PR8.json records latency, shed rate, disarmed faults"
+python3 - <<'EOF'
+import json, sys
+with open("BENCH_PR8.json") as f:
+    report = json.load(f)
+if report.get("faults_enabled") is not False:
+    sys.exit("BENCH_PR8.json: faults_enabled is not false — the latency "
+             "bench was built with the fault hooks armed")
+steady = report.get("steady")
+if not isinstance(steady, dict):
+    sys.exit("BENCH_PR8.json: steady section missing")
+for key in ("requests", "p50_ms", "p99_ms", "mean_ms", "throughput_rps"):
+    v = steady.get(key)
+    if not isinstance(v, (int, float)) or v <= 0:
+        sys.exit(f"BENCH_PR8.json: steady.{key} missing or not positive")
+if steady["p99_ms"] < steady["p50_ms"]:
+    sys.exit("BENCH_PR8.json: p99 below p50 — percentile math is broken")
+over = report.get("overload")
+if not isinstance(over, dict):
+    sys.exit("BENCH_PR8.json: overload section missing")
+for key in ("attempts", "completed", "shed_responses", "shed_rate"):
+    if key not in over:
+        sys.exit(f"BENCH_PR8.json: overload.{key} missing")
+if over["shed_rate"] <= 0:
+    sys.exit("BENCH_PR8.json: overload recorded no shed responses — "
+             "admission control never engaged under the flood")
+if over["shed_responses"] != over["server_shed_count"]:
+    sys.exit("BENCH_PR8.json: client-observed 503s "
+             f"({over['shed_responses']}) disagree with the server's shed "
+             f"counter ({over['server_shed_count']}) — responses are being "
+             "lost on the wire")
+print(f"    steady p50 {steady['p50_ms']:.1f}ms p99 {steady['p99_ms']:.1f}ms"
+      f" at {steady['throughput_rps']:.0f} req/s |"
+      f" overload shed rate {100 * over['shed_rate']:.0f}%"
+      f" ({over['shed_responses']} of {over['attempts']} attempts)")
+EOF
+
 echo "==> bench smoke: BENCH_PR7.json parses and records speedups, breakdown, retrieval"
 python3 - <<'EOF'
 import json, math, sys
@@ -217,15 +258,17 @@ for t in 1 4; do
     LEAPME_THREADS=$t cargo test -q -p leapme-core --features faults --test fault_injection
     LEAPME_THREADS=$t cargo test -q -p leapme-core --features faults --lib journal
     LEAPME_THREADS=$t cargo test -q -p leapme --features faults \
-        --test chaos --test robustness --test durability
+        --test chaos --test robustness --test durability --test serve_chaos
 done
 
 echo "==> chaos stage: faults compiled out of the release bench"
-if ! grep -q '"faults_enabled": false' BENCH_PR7.json; then
-    echo "BENCH_PR7.json does not record faults_enabled=false — the bench" \
-         "binary was built with the fault hooks armed" >&2
-    exit 1
-fi
+for bench_json in BENCH_PR7.json BENCH_PR8.json; do
+    if ! grep -q '"faults_enabled": false' "$bench_json"; then
+        echo "$bench_json does not record faults_enabled=false — the bench" \
+             "binary was built with the fault hooks armed" >&2
+        exit 1
+    fi
+done
 
 echo "==> durability drill: SIGKILL mid-training, resume, bitwise-identical model"
 LEAPME="./target/release/leapme"
@@ -394,5 +437,111 @@ if [ ! -s "$DRILL_DIR/stress_graph.json" ]; then
     exit 1
 fi
 sed 's/^/    /' "$DRILL_DIR/stress.out" | grep "blocking(ann)"
+
+echo "==> serve drill: concurrent requests, injected torn request, SIGTERM drain"
+SERVE_PID=""
+# NB: guard the kill — an empty pid would expand to `kill 0` (the whole
+# process group, this script included).
+trap 'if [ -n "${SERVE_PID:-}" ]; then kill "$SERVE_PID" 2>/dev/null || true; fi; rm -rf "$DRILL_DIR"' EXIT
+"$LEAPME" serve \
+    --model "$DRILL_DIR/ref.lmp" --dataset "$DRILL_DIR/ds.json" \
+    --embeddings "$DRILL_DIR/emb.txt" --addr 127.0.0.1:0 \
+    --workers 2 --journal "$DRILL_DIR/serve.journal" \
+    > "$DRILL_DIR/serve.out" &
+SERVE_PID=$!
+SERVE_URL=""
+for _ in $(seq 1 300); do
+    SERVE_URL="$(sed -n 's/^leapme serve listening on \(http:[^ ]*\).*/\1/p' \
+        "$DRILL_DIR/serve.out" 2>/dev/null || true)"
+    [ -n "$SERVE_URL" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if [ -z "$SERVE_URL" ]; then
+    echo "serve drill: daemon never reported a listening address" >&2
+    cat "$DRILL_DIR/serve.out" >&2
+    exit 1
+fi
+
+python3 - "$SERVE_URL" <<'EOF'
+import http.client, json, socket, sys, threading, urllib.parse
+
+url = urllib.parse.urlparse(sys.argv[1])
+host, port = url.hostname, url.port
+failures = []
+
+def roundtrip(method, path, body=None):
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.request(method, path, body=body,
+                     headers={"content-type": "application/json"} if body else {})
+        resp = conn.getresponse()
+        return resp.status, resp.read()
+    finally:
+        conn.close()
+
+# Concurrent scripted requests: interleaved health probes and full
+# /match runs; every /match answer must be the same bytes (single-flight
+# coalescing or not, the resident generation never changes here).
+match_bodies = []
+lock = threading.Lock()
+def health_worker():
+    for _ in range(5):
+        status, _ = roundtrip("GET", "/healthz")
+        if status != 200:
+            with lock:
+                failures.append(f"/healthz returned {status} under load")
+def match_worker():
+    status, body = roundtrip("POST", "/match")
+    with lock:
+        if status != 200:
+            failures.append(f"/match returned {status}")
+        else:
+            match_bodies.append(body)
+threads = [threading.Thread(target=health_worker) for _ in range(2)]
+threads += [threading.Thread(target=match_worker) for _ in range(3)]
+for t in threads: t.start()
+for t in threads: t.join()
+if failures:
+    sys.exit("serve drill: " + "; ".join(failures))
+if len(set(match_bodies)) != 1:
+    sys.exit("serve drill: concurrent /match responses were not identical")
+json.loads(match_bodies[0])  # must be a parseable similarity graph
+
+# Injected client fault: a torn request — headers promise a body that
+# never arrives, then the peer vanishes. The server must absorb it.
+s = socket.create_connection((host, port), timeout=10)
+s.sendall(b"POST /score HTTP/1.1\r\ncontent-length: 400\r\n\r\n{\"pairs\":")
+s.close()
+
+# The daemon survives the fault and still answers.
+status, body = roundtrip("GET", "/readyz")
+if status != 200:
+    sys.exit(f"serve drill: /readyz returned {status} after torn request")
+ready = json.loads(body)
+if ready.get("status") != "ready":
+    sys.exit(f"serve drill: unexpected readiness body {ready!r}")
+print(f"    {len(match_bodies)} identical /match responses"
+      f" ({len(match_bodies[0])} bytes), torn request absorbed")
+EOF
+
+kill -TERM "$SERVE_PID"
+SERVE_RC=0
+wait "$SERVE_PID" || SERVE_RC=$?
+SERVE_PID=""
+if [ "$SERVE_RC" -ne 0 ]; then
+    echo "serve drill: daemon exited $SERVE_RC after SIGTERM (want 0)" >&2
+    cat "$DRILL_DIR/serve.out" >&2
+    exit 1
+fi
+if ! grep -q "drained cleanly" "$DRILL_DIR/serve.out"; then
+    echo "serve drill: daemon did not report a clean drain" >&2
+    cat "$DRILL_DIR/serve.out" >&2
+    exit 1
+fi
+if ! grep -q '"event":"serve.shutdown"' "$DRILL_DIR/serve.journal"; then
+    echo "serve drill: journal has no serve.shutdown record" >&2
+    exit 1
+fi
 
 echo "==> verify OK"

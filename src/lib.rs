@@ -62,6 +62,7 @@ pub use leapme_data as data;
 pub use leapme_embedding as embedding;
 pub use leapme_features as features;
 pub use leapme_nn as nn;
+pub use leapme_serve as serve;
 pub use leapme_textsim as textsim;
 
 use leapme_data::corpus::{generate_corpus, CorpusConfig};

@@ -229,20 +229,34 @@ mod faults {
         let journal = tmp("faulty_runner.journal");
         let _ = std::fs::remove_file(&journal);
 
-        // The first repetition's append tears mid-line, so the run
-        // fails with an I/O error and the journal ends in a torn tail.
-        let err = with_plan("seed=1;core.journal.append:torn@1.0#1", || {
-            run_repeated_durable(&dataset, &store, &cfg, Some(&journal), None).unwrap_err()
+        // The first repetition's append tears mid-line; the bounded
+        // retry repairs the torn tail and re-appends, so the run
+        // completes as if nothing happened and the journal is clean.
+        let (summary, _) = with_plan("seed=1;core.journal.append:torn@1.0#1", || {
+            run_repeated_durable(&dataset, &store, &cfg, Some(&journal), None).unwrap()
         });
-        assert!(matches!(err, CoreError::Journal(_)), "{err}");
-        assert!(journal.exists(), "the torn journal file survives");
-
-        // Restart truncates the torn tail, recomputes the lost
-        // repetition, and finishes — matching an uninterrupted run.
-        let (summary, _) =
-            run_repeated_durable(&dataset, &store, &cfg, Some(&journal), None).unwrap();
         let (reference, _) = run_repeated(&dataset, &store, &cfg).unwrap();
         assert_eq!(summary, reference);
-        std::fs::remove_file(journal).ok();
+        let j = leapme::core::journal::RunJournal::open(&journal).unwrap();
+        assert_eq!(j.len(), 2, "both repetitions journaled, no torn tail");
+        assert!(!j.truncated_tail());
+        drop(j);
+        std::fs::remove_file(&journal).ok();
+
+        // A *persistent* append failure exhausts the retry budget and
+        // surfaces as a typed journal error — never an infinite loop.
+        let fresh = tmp("faulty_runner_exhaust.journal");
+        let _ = std::fs::remove_file(&fresh);
+        let err = with_plan("seed=1;core.journal.append:io@1.0", || {
+            run_repeated_durable(&dataset, &store, &cfg, Some(&fresh), None).unwrap_err()
+        });
+        match err {
+            CoreError::Journal(leapme::core::journal::JournalError::RetriesExhausted {
+                attempts,
+                ..
+            }) => assert!(attempts >= 2, "budget actually spent: {attempts}"),
+            other => panic!("expected retries-exhausted journal error, got {other}"),
+        }
+        std::fs::remove_file(fresh).ok();
     }
 }

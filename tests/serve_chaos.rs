@@ -1,0 +1,691 @@
+//! Chaos suite for `leapme serve` (DESIGN.md §13): hostile clients,
+//! deadline expiry mid-score, overload, injected `serve.*` faults, and
+//! the graceful-drain contract.
+//!
+//! Every test drives a real in-process server over real TCP sockets —
+//! the same accept loop, worker pool, and parser the binary runs. The
+//! invariants under test:
+//!
+//! * no panic escapes the worker pool (injected or real);
+//! * overload sheds with `503 + Retry-After`, never unbounded memory;
+//! * a deadline expiry returns the partial results already computed,
+//!   flagged degraded;
+//! * warm-served responses are byte-identical to the batch pipeline on
+//!   the same pairs;
+//! * at shutdown every admitted request completes — the drain is clean.
+
+use leapme::core::pipeline::{Leapme, LeapmeConfig, LeapmeModel};
+use leapme::core::sampling;
+use leapme::nn::network::TrainConfig;
+use leapme::nn::schedule::LrSchedule;
+use leapme::prelude::*;
+use leapme::serve::{self, ServeConfig, ServeState};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// fixture
+// ---------------------------------------------------------------------
+
+/// Serialize the tests in this file: each one runs a real server with
+/// real sockets (and, under `--features faults`, a process-global fault
+/// plan), so overlapping them would let one test's chaos leak into
+/// another's assertions.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Expensive shared pieces, built once: the dataset, a trained model,
+/// and the embeddings persisted to a temp file (the store is rebuilt
+/// per test because it is consumed by the server state).
+fn fixture() -> &'static (Dataset, LeapmeModel, std::path::PathBuf) {
+    static FIXTURE: OnceLock<(Dataset, LeapmeModel, std::path::PathBuf)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let dataset = generate(Domain::Tvs, 41);
+        let mut ecfg = leapme::EmbeddingTrainingConfig::default();
+        ecfg.glove.dim = 8;
+        ecfg.glove.epochs = 2;
+        let embeddings = leapme::train_domain_embeddings(&[Domain::Tvs], &ecfg, 41).unwrap();
+        let emb_path = std::env::temp_dir()
+            .join("leapme_serve_chaos_tests")
+            .join("emb.txt");
+        std::fs::create_dir_all(emb_path.parent().unwrap()).unwrap();
+        embeddings.save_text(&emb_path).unwrap();
+
+        let store = PropertyFeatureStore::build(&dataset, &embeddings);
+        let train_sources = vec![SourceId(0), SourceId(1), SourceId(2), SourceId(3)];
+        let mut rng = StdRng::seed_from_u64(9);
+        let train = training_pairs(&dataset, &train_sources, 2, &mut rng);
+        let cfg = LeapmeConfig {
+            train: TrainConfig {
+                schedule: LrSchedule::new(vec![(4, 1e-3)]),
+                ..TrainConfig::default()
+            },
+            hidden: vec![8],
+            ..LeapmeConfig::default()
+        };
+        let model = Leapme::fit(&store, &train, &cfg).unwrap();
+        (dataset, model, emb_path)
+    })
+}
+
+/// Fresh embeddings + feature store for one server instance.
+fn load_parts() -> (EmbeddingStore, PropertyFeatureStore) {
+    let (dataset, _, emb_path) = fixture();
+    let mut embeddings = EmbeddingStore::load_text(emb_path).unwrap();
+    embeddings.set_fuzzy_oov(true);
+    let store = PropertyFeatureStore::build(dataset, &embeddings);
+    (embeddings, store)
+}
+
+/// Start a server on an OS-assigned port with the shared fixture.
+fn start_server(config: ServeConfig) -> (serve::ServerHandle, Arc<ServeState>) {
+    let (dataset, model, _) = fixture();
+    let (embeddings, store) = load_parts();
+    let state = Arc::new(ServeState::new(
+        model.clone(),
+        embeddings,
+        dataset.clone(),
+        store,
+        None,
+        config,
+    ));
+    let handle = serve::start(Arc::clone(&state), None).unwrap();
+    (handle, state)
+}
+
+fn quick_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 8,
+        io_timeout: Duration::from_millis(400),
+        request_timeout: Duration::from_secs(10),
+        ..ServeConfig::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// a deliberately low-level HTTP client
+// ---------------------------------------------------------------------
+
+/// Write `raw` to a fresh connection and read until EOF.
+fn raw_roundtrip(addr: SocketAddr, raw: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(raw).unwrap();
+    let mut out = String::new();
+    let _ = stream.read_to_string(&mut out);
+    out
+}
+
+fn request_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    extra_headers: &str,
+    body: &str,
+) -> String {
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n{extra_headers}\r\n{body}",
+        body.len()
+    );
+    raw_roundtrip(addr, raw.as_bytes())
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
+    request_with_headers(addr, method, path, "", body)
+}
+
+/// Status code from a raw response.
+fn status_of(response: &str) -> u16 {
+    response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response: {response:?}"))
+}
+
+/// Body (everything after the blank line).
+fn body_of(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or("")
+}
+
+/// Extract an unsigned JSON number field from a flat JSON body.
+fn json_u64(body: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let rest = &body[body.find(&pat).unwrap_or_else(|| panic!("{key} in {body}")) + pat.len()..];
+    rest.chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+/// A `/score` body for the first `n` cross-source candidate pairs.
+fn score_body(dataset: &Dataset, n: usize) -> (Vec<PropertyPair>, String) {
+    let pairs: Vec<PropertyPair> = sampling::test_pairs(dataset, &[]).into_iter().take(n).collect();
+    let quads: Vec<(u16, String, u16, String)> = pairs
+        .iter()
+        .map(|PropertyPair(a, b)| (a.source.0, a.name.clone(), b.source.0, b.name.clone()))
+        .collect();
+    let body = format!(
+        "{{\"pairs\":{}}}",
+        serde_json::to_string(&quads).unwrap()
+    );
+    (pairs, body)
+}
+
+// ---------------------------------------------------------------------
+// happy paths + byte identity with the batch pipeline
+// ---------------------------------------------------------------------
+
+#[test]
+fn health_ready_and_metrics_answer() {
+    let _g = serial();
+    let (handle, _state) = start_server(quick_config());
+    let addr = handle.addr();
+
+    let health = request(addr, "GET", "/healthz", "");
+    assert_eq!(status_of(&health), 200);
+    assert!(body_of(&health).contains("\"ok\""));
+
+    let ready = request(addr, "GET", "/readyz", "");
+    assert_eq!(status_of(&ready), 200);
+    assert!(body_of(&ready).contains("\"ready\""));
+    assert!(body_of(&ready).contains("\"generation\":0"));
+
+    let metrics = request(addr, "GET", "/metrics", "");
+    assert_eq!(status_of(&metrics), 200);
+    assert!(body_of(&metrics).contains("\"draining\":false"));
+
+    let missing = request(addr, "GET", "/nope", "");
+    assert_eq!(status_of(&missing), 404);
+    let wrong_method = request(addr, "POST", "/healthz", "");
+    assert_eq!(status_of(&wrong_method), 405);
+
+    handle.shutdown();
+    assert!(handle.join().clean);
+}
+
+#[test]
+fn warm_score_is_byte_identical_to_batch_scoring() {
+    let _g = serial();
+    let (dataset, model, _) = fixture();
+    let (_, store) = load_parts();
+    let (handle, _state) = start_server(quick_config());
+
+    let (pairs, body) = score_body(dataset, 64);
+    let response = request(handle.addr(), "POST", "/score", &body);
+    assert_eq!(status_of(&response), 200);
+
+    // The served scores must be byte-identical to the batch pipeline's
+    // on the same pairs: same scorer, same serializer, same bytes.
+    let expected = model.score_pairs(&store, &pairs).unwrap();
+    let expected_json = format!(
+        "\"scores\":{}",
+        serde_json::to_string(&expected).unwrap()
+    );
+    assert!(
+        body_of(&response).contains(&expected_json),
+        "served scores diverge from batch scores"
+    );
+    assert!(body_of(&response).contains("\"degraded\":false"));
+
+    handle.shutdown();
+    assert!(handle.join().clean);
+}
+
+#[test]
+fn warm_match_is_byte_identical_to_batch_graph() {
+    let _g = serial();
+    let (dataset, model, _) = fixture();
+    let (_, store) = load_parts();
+    let (handle, state) = start_server(quick_config());
+
+    let response = request(handle.addr(), "POST", "/match", "");
+    assert_eq!(status_of(&response), 200);
+
+    // Exactly the bytes `match --model` would write for the same
+    // dataset: all cross-source pairs through the same streaming
+    // scorer, pretty-printed by the same serializer.
+    let candidates = sampling::test_pairs(dataset, &[]);
+    let graph = model.predict_graph(&store, &candidates).unwrap();
+    let expected = serde_json::to_string_pretty(&graph).unwrap();
+    assert_eq!(body_of(&response), expected, "served graph diverges from batch graph");
+
+    // A second identical request may be answered by the single-flight
+    // cache; either way the bytes are the same.
+    let again = request(handle.addr(), "POST", "/match", "");
+    assert_eq!(body_of(&again), expected);
+    drop(state);
+
+    handle.shutdown();
+    assert!(handle.join().clean);
+}
+
+// ---------------------------------------------------------------------
+// hostile inputs
+// ---------------------------------------------------------------------
+
+#[test]
+fn malformed_and_unknown_inputs_get_typed_400s() {
+    let _g = serial();
+    let (handle, _state) = start_server(quick_config());
+    let addr = handle.addr();
+
+    let bad_json = request(addr, "POST", "/score", "{not json");
+    assert_eq!(status_of(&bad_json), 400);
+    assert!(body_of(&bad_json).contains("malformed-json"));
+
+    let unknown = request(
+        addr,
+        "POST",
+        "/score",
+        "{\"pairs\":[[0,\"no-such-property\",1,\"also-missing\"]]}",
+    );
+    assert_eq!(status_of(&unknown), 400);
+    assert!(body_of(&unknown).contains("unknown-property"));
+
+    let bad_source = request(addr, "POST", "/score", "{\"pairs\":[[99,\"x\",0,\"y\"]]}");
+    assert_eq!(status_of(&bad_source), 400);
+    assert!(body_of(&bad_source).contains("unknown-source"));
+
+    let bad_deadline =
+        request_with_headers(addr, "POST", "/match", "x-leapme-deadline-ms: soon\r\n", "");
+    assert_eq!(status_of(&bad_deadline), 400);
+    assert!(body_of(&bad_deadline).contains("bad-deadline"));
+
+    let bad_csv = request(addr, "POST", "/integrate-source", "\u{1}\u{2}\u{3}");
+    assert_eq!(status_of(&bad_csv), 400);
+
+    handle.shutdown();
+    assert!(handle.join().clean);
+}
+
+#[test]
+fn oversized_body_is_rejected_before_buffering() {
+    let _g = serial();
+    let mut config = quick_config();
+    config.limits.max_body_bytes = 1024;
+    let (handle, _state) = start_server(config);
+
+    // Declared 10 MiB against a 1 KiB cap: rejected at the header, no
+    // body bytes ever read or buffered.
+    let raw = format!(
+        "POST /score HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n",
+        10 * 1024 * 1024
+    );
+    let response = raw_roundtrip(handle.addr(), raw.as_bytes());
+    assert_eq!(status_of(&response), 413);
+    assert!(body_of(&response).contains("payload-too-large"));
+
+    // The server is unharmed.
+    assert_eq!(status_of(&request(handle.addr(), "GET", "/healthz", "")), 200);
+    handle.shutdown();
+    assert!(handle.join().clean);
+}
+
+#[test]
+fn slow_loris_is_cut_off_by_the_read_timeout() {
+    let _g = serial();
+    let (handle, state) = start_server(quick_config());
+
+    // Dribble a partial head and stall past the io timeout.
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(b"POST /score HTTP/1.1\r\nhost:").unwrap();
+    let mut out = String::new();
+    let _ = stream.read_to_string(&mut out);
+    assert_eq!(status_of(&out), 408, "slow-loris gets a request timeout");
+
+    // The worker moved on; the server still answers.
+    assert_eq!(status_of(&request(handle.addr(), "GET", "/healthz", "")), 200);
+    assert!(
+        state.metrics.client_errors.load(std::sync::atomic::Ordering::Relaxed) >= 1
+    );
+    handle.shutdown();
+    assert!(handle.join().clean);
+}
+
+#[test]
+fn mid_request_disconnect_is_absorbed() {
+    let _g = serial();
+    let (handle, state) = start_server(quick_config());
+
+    // Half a request, then vanish.
+    {
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .write_all(b"POST /score HTTP/1.1\r\ncontent-length: 100\r\n\r\n{\"pa")
+            .unwrap();
+    } // dropped: RST/EOF mid-body
+
+    // Wait for a worker to process the carcass, then prove liveness.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while state.metrics.disconnects.load(std::sync::atomic::Ordering::Relaxed) == 0
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        state.metrics.disconnects.load(std::sync::atomic::Ordering::Relaxed) >= 1,
+        "mid-request disconnect should be counted, not crash anything"
+    );
+    assert_eq!(status_of(&request(handle.addr(), "GET", "/healthz", "")), 200);
+    handle.shutdown();
+    assert!(handle.join().clean);
+}
+
+// ---------------------------------------------------------------------
+// deadlines and overload
+// ---------------------------------------------------------------------
+
+#[test]
+fn deadline_expiry_mid_score_returns_degraded_partials() {
+    let _g = serial();
+    let (dataset, _, _) = fixture();
+    let (handle, _state) = start_server(quick_config());
+
+    let (pairs, body) = score_body(dataset, 256);
+    // A zero-millisecond deadline expires before the first chunk.
+    let response = request_with_headers(
+        handle.addr(),
+        "POST",
+        "/score",
+        "x-leapme-deadline-ms: 0\r\n",
+        &body,
+    );
+    assert_eq!(status_of(&response), 200, "partials are a success, not an error");
+    assert!(response.contains("x-leapme-degraded: true"), "degraded header set");
+    let resp_body = body_of(&response);
+    assert!(resp_body.contains("\"degraded\":true"));
+    let scored = json_u64(resp_body, "scored");
+    assert!(
+        (scored as usize) < pairs.len(),
+        "deadline must cut the run short ({scored} of {})",
+        pairs.len()
+    );
+
+    handle.shutdown();
+    assert!(handle.join().clean);
+}
+
+#[test]
+fn overload_sheds_with_503_and_retry_after_not_memory() {
+    let _g = serial();
+    let mut config = quick_config();
+    config.workers = 1;
+    config.queue_depth = 2;
+    config.io_timeout = Duration::from_millis(300);
+    let (handle, state) = start_server(config);
+    let addr = handle.addr();
+
+    // Flood with idle connections: 1 occupies the worker, 2 fill the
+    // queue, the rest must be shed immediately — not buffered.
+    let mut conns: Vec<TcpStream> = (0..10)
+        .map(|_| {
+            let s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            s
+        })
+        .collect();
+
+    let mut shed_seen = 0;
+    for stream in conns.iter_mut() {
+        let mut out = String::new();
+        let _ = stream.read_to_string(&mut out);
+        if out.is_empty() {
+            continue; // admitted conn we never wrote to: closed on timeout
+        }
+        if status_of(&out) == 503 {
+            shed_seen += 1;
+            assert!(out.contains("retry-after:"), "shed responses advertise Retry-After");
+            assert!(body_of(&out).contains("overloaded"));
+        }
+    }
+    assert!(shed_seen >= 1, "a 10-deep flood over a 3-slot server must shed");
+    assert!(
+        state.metrics.shed.load(std::sync::atomic::Ordering::Relaxed) >= shed_seen,
+        "metrics record the shed connections"
+    );
+
+    // The flood is over; service resumes.
+    assert_eq!(status_of(&request(addr, "GET", "/healthz", "")), 200);
+    handle.shutdown();
+    assert!(handle.join().clean);
+}
+
+// ---------------------------------------------------------------------
+// graceful drain
+// ---------------------------------------------------------------------
+
+#[test]
+fn drain_completes_in_flight_requests_and_journals_the_shutdown() {
+    let _g = serial();
+    let journal_path = std::env::temp_dir()
+        .join("leapme_serve_chaos_tests")
+        .join("drain.journal");
+    std::fs::create_dir_all(journal_path.parent().unwrap()).unwrap();
+    let _ = std::fs::remove_file(&journal_path);
+
+    let (dataset, model, _) = fixture();
+    let (embeddings, store) = load_parts();
+    let journal = leapme::core::journal::RunJournal::open(&journal_path).unwrap();
+    let state = Arc::new(ServeState::new(
+        model.clone(),
+        embeddings,
+        dataset.clone(),
+        store,
+        Some(journal),
+        quick_config(),
+    ));
+    let handle = serve::start(Arc::clone(&state), None).unwrap();
+    let addr = handle.addr();
+
+    // A client whose request is mid-flight when the drain starts.
+    let (_, body) = score_body(dataset, 128);
+    let client = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let head = format!(
+            "POST /score HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes()).unwrap();
+        // Trickle the body so the request is still in flight at SIGTERM.
+        let (a, b) = body.as_bytes().split_at(body.len() / 2);
+        stream.write_all(a).unwrap();
+        std::thread::sleep(Duration::from_millis(120));
+        stream.write_all(b).unwrap();
+        let mut out = String::new();
+        let _ = stream.read_to_string(&mut out);
+        out
+    });
+
+    std::thread::sleep(Duration::from_millis(60)); // let the request be admitted
+    handle.shutdown();
+    let report = handle.join();
+
+    let response = client.join().unwrap();
+    assert_eq!(
+        status_of(&response),
+        200,
+        "the in-flight request must complete through the drain"
+    );
+    assert!(report.clean, "no admitted connection may be dropped: {report:?}");
+    assert!(report.completed >= 1);
+
+    // New connections are refused (or told 503) after the drain.
+    assert!(
+        TcpStream::connect(addr).map(|mut s| {
+            let _ = s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+            let mut out = String::new();
+            let _ = s.read_to_string(&mut out);
+            out.is_empty() || status_of(&out) == 503
+        }).unwrap_or(true),
+        "post-drain connections must not be served"
+    );
+
+    let journaled = std::fs::read_to_string(&journal_path).unwrap();
+    assert!(journaled.contains("serve.start"), "startup journaled");
+    assert!(journaled.contains("serve.shutdown"), "shutdown journaled");
+    assert!(journaled.contains("\"clean\":true"));
+}
+
+// ---------------------------------------------------------------------
+// source integration against the resident graph
+// ---------------------------------------------------------------------
+
+#[test]
+fn integrate_source_swaps_resident_state_atomically() {
+    let _g = serial();
+    let (handle, state) = start_server(quick_config());
+    let addr = handle.addr();
+
+    let csv = "source,property,entity,value\n\
+               newshop,screen size,e1,55 inch\n\
+               newshop,resolution,e1,3840x2160\n";
+    let response = request(addr, "POST", "/integrate-source", csv);
+    assert_eq!(status_of(&response), 200, "integration failed: {response}");
+    let resp_body = body_of(&response);
+    assert!(resp_body.contains("newshop"));
+    assert_eq!(json_u64(resp_body, "generation"), 1);
+    assert_eq!(json_u64(resp_body, "imported_rows"), 2);
+
+    // The resident dataset grew; readyz reflects the new generation.
+    let ready = request(addr, "GET", "/readyz", "");
+    assert!(body_of(&ready).contains("\"generation\":1"));
+    {
+        let resident = state.resident.read().unwrap();
+        assert!(resident.dataset.sources().iter().any(|s| s == "newshop"));
+        assert_eq!(resident.generation, 1);
+    }
+
+    // Uploading rows for an already-resident source is refused.
+    let dup = request(addr, "POST", "/integrate-source", csv);
+    assert_eq!(status_of(&dup), 400);
+    assert!(body_of(&dup).contains("existing-source"));
+
+    handle.shutdown();
+    assert!(handle.join().clean);
+}
+
+// ---------------------------------------------------------------------
+// injected faults: the serve.* sites
+// ---------------------------------------------------------------------
+
+#[cfg(feature = "faults")]
+mod faults {
+    use super::*;
+    use leapme::faults::{fired_count, sites, with_plan};
+    use std::sync::atomic::Ordering;
+
+    /// The full serve fault matrix: each site fires once at probability
+    /// 1; the server must absorb the fault, record it, and keep serving.
+    #[test]
+    fn serve_fault_matrix_never_kills_the_server() {
+        let _g = serial();
+
+        // -- serve.handler: a panicking handler costs one 500 ---------
+        with_plan("seed=11;serve.handler:panic@1.0#1", || {
+            let (handle, state) = start_server(quick_config());
+            let poisoned = request(handle.addr(), "GET", "/healthz", "");
+            assert_eq!(status_of(&poisoned), 500, "panic surfaces as a 500");
+            assert!(body_of(&poisoned).contains("internal"));
+            assert_eq!(state.metrics.worker_panics.load(Ordering::Relaxed), 1);
+            assert_eq!(fired_count(sites::SERVE_HANDLER), 1);
+            // The worker survived; the very next request succeeds.
+            assert_eq!(status_of(&request(handle.addr(), "GET", "/healthz", "")), 200);
+            handle.shutdown();
+            assert!(handle.join().clean);
+        });
+
+        // -- serve.read (io): a failing socket read costs one 400 -----
+        with_plan("seed=12;serve.read:io@1.0#1", || {
+            let (handle, _state) = start_server(quick_config());
+            let failed = request(handle.addr(), "GET", "/healthz", "");
+            assert_eq!(status_of(&failed), 400);
+            assert_eq!(status_of(&request(handle.addr(), "GET", "/healthz", "")), 200);
+            handle.shutdown();
+            assert!(handle.join().clean);
+        });
+
+        // -- serve.read (torn): a torn read is a silent disconnect ----
+        with_plan("seed=13;serve.read:torn@1.0#1", || {
+            let (handle, state) = start_server(quick_config());
+            let out = request(handle.addr(), "GET", "/healthz", "");
+            assert!(out.is_empty(), "torn request gets no response, got {out:?}");
+            assert_eq!(state.metrics.disconnects.load(Ordering::Relaxed), 1);
+            assert_eq!(status_of(&request(handle.addr(), "GET", "/healthz", "")), 200);
+            handle.shutdown();
+            assert!(handle.join().clean);
+        });
+
+        // -- serve.write: a failing response write is counted ---------
+        with_plan("seed=14;serve.write:io@1.0#1", || {
+            let (handle, state) = start_server(quick_config());
+            let out = request(handle.addr(), "GET", "/healthz", "");
+            assert!(out.is_empty(), "failed write means no bytes reach the client");
+            assert_eq!(state.metrics.write_failures.load(Ordering::Relaxed), 1);
+            assert_eq!(status_of(&request(handle.addr(), "GET", "/healthz", "")), 200);
+            handle.shutdown();
+            assert!(handle.join().clean);
+        });
+
+        // -- serve.accept: a dropped accept loses one connection ------
+        with_plan("seed=15;serve.accept:io@1.0#1", || {
+            let (handle, state) = start_server(quick_config());
+            let out = request(handle.addr(), "GET", "/healthz", "");
+            assert!(out.is_empty(), "faulted accept drops the connection");
+            assert_eq!(state.metrics.accept_faults.load(Ordering::Relaxed), 1);
+            assert_eq!(status_of(&request(handle.addr(), "GET", "/healthz", "")), 200);
+            handle.shutdown();
+            assert!(handle.join().clean);
+        });
+    }
+
+    /// Sustained handler chaos under load: every response is either a
+    /// success or a typed 500, the panic count matches the fired count,
+    /// and the drain is still clean.
+    #[test]
+    fn sustained_handler_panics_never_escape_the_pool() {
+        let _g = serial();
+        with_plan("seed=21;serve.handler:panic@0.5", || {
+            let (handle, state) = start_server(quick_config());
+            let mut survived = 0;
+            let mut poisoned = 0;
+            for _ in 0..20 {
+                match status_of(&request(handle.addr(), "GET", "/healthz", "")) {
+                    200 => survived += 1,
+                    500 => poisoned += 1,
+                    other => panic!("unexpected status {other}"),
+                }
+            }
+            assert_eq!(survived + poisoned, 20, "every request gets an answer");
+            assert_eq!(
+                state.metrics.worker_panics.load(Ordering::Relaxed),
+                fired_count(sites::SERVE_HANDLER),
+                "every fired panic is one caught panic"
+            );
+            handle.shutdown();
+            let report = handle.join();
+            assert!(report.clean);
+            assert_eq!(report.worker_panics, poisoned as u64);
+        });
+    }
+}

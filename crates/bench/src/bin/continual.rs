@@ -1,0 +1,202 @@
+//! Continual-ingestion benchmark — quality over time under drift.
+//!
+//! Drives the `core::continual` scenario end to end on the stress
+//! generator: a base corpus is fit once, then drifting sources arrive
+//! epoch by epoch with every third arrival carrying an injected defect
+//! (empty source, oversized value, row flood). The report to `--out`
+//! (default `BENCH_PR9.json`) records the quality-over-time curve, the
+//! typed quarantines, the PSI drift signal, and every champion/
+//! challenger decision — the continual story in one JSON file.
+//!
+//! `faults_enabled` must read `false` in any report that counts:
+//! scripts/verify.sh greps it. (The injected defects here come from the
+//! *generator*, not the fault registry — they exercise the validation
+//! gate the way real bad uploads would, with the fault hooks compiled
+//! out.)
+
+use leapme::core::continual::{run_schedule, ContinualConfig, RunOptions};
+use leapme::core::pipeline::LeapmeConfig;
+use leapme::data::drift::{generate_drift_schedule, DriftConfig};
+use leapme::data::io::atomic_write;
+use leapme::data::stress::StressConfig;
+use leapme::nn::network::TrainConfig;
+use leapme::nn::schedule::LrSchedule;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct EpochPoint {
+    epoch: usize,
+    sources: usize,
+    properties: usize,
+    precision: f64,
+    recall: f64,
+    f1: f64,
+    drift_features: f64,
+    drift_scores: f64,
+    quarantined: usize,
+    decision: Option<String>,
+    generation: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct QuarantineEntry {
+    epoch: usize,
+    source: String,
+    reason: String,
+}
+
+#[derive(Debug, Serialize)]
+struct ContinualBench {
+    faults_enabled: bool,
+    properties: usize,
+    epochs: usize,
+    sources_per_epoch: usize,
+    corrupt_every: usize,
+    label_budget: usize,
+    drift_threshold: f64,
+    quality_over_time: Vec<EpochPoint>,
+    quarantines: Vec<QuarantineEntry>,
+    quarantined: usize,
+    promotions: usize,
+    rollbacks: usize,
+    labels_used: usize,
+    epoch0_f1: f64,
+    final_f1: f64,
+    max_drift_features: f64,
+    max_drift_scores: f64,
+    wall_s: f64,
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = flag(&args, "--out").unwrap_or_else(|| "BENCH_PR9.json".to_string());
+    let properties: usize = flag(&args, "--properties")
+        .map(|v| v.parse().expect("--properties"))
+        .unwrap_or(220);
+    let epochs: usize = flag(&args, "--epochs")
+        .map(|v| v.parse().expect("--epochs"))
+        .unwrap_or(3);
+
+    let dcfg = DriftConfig {
+        base: StressConfig {
+            properties,
+            properties_per_source: 25,
+            cluster_size: 4,
+            instances_per_property: 1,
+            seed: 42,
+        },
+        epochs,
+        sources_per_epoch: 2,
+        naming_drift: 0.3,
+        value_drift: 0.4,
+        corrupt_every: 3,
+    };
+    let cfg = ContinualConfig {
+        label_budget: 48,
+        model: LeapmeConfig {
+            train: TrainConfig {
+                schedule: LrSchedule::new(vec![(16, 1e-3), (4, 1e-4)]),
+                ..TrainConfig::default()
+            },
+            hidden: vec![24],
+            ..LeapmeConfig::default()
+        },
+        seed: 42 ^ 0xC0,
+        ..ContinualConfig::default()
+    };
+
+    eprintln!(
+        "continual: {properties} base properties, {epochs} epochs x {} arrivals, \
+         every 3rd arrival defective",
+        dcfg.sources_per_epoch
+    );
+    let schedule = generate_drift_schedule(&dcfg);
+    let embeddings = leapme::stress_embedding_store(&dcfg.base, 16, 42 ^ 0xE5);
+
+    let started = Instant::now();
+    let report = run_schedule(&schedule, &embeddings, &cfg, None, &RunOptions::default())
+        .expect("continual scenario");
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let bench = ContinualBench {
+        faults_enabled: cfg!(feature = "faults"),
+        properties,
+        epochs,
+        sources_per_epoch: dcfg.sources_per_epoch,
+        corrupt_every: dcfg.corrupt_every,
+        label_budget: cfg.label_budget,
+        drift_threshold: cfg.drift.threshold,
+        quality_over_time: report
+            .points
+            .iter()
+            .map(|p| EpochPoint {
+                epoch: p.epoch,
+                sources: p.sources,
+                properties: p.properties,
+                precision: p.precision,
+                recall: p.recall,
+                f1: p.f1,
+                drift_features: p.drift_features,
+                drift_scores: p.drift_scores,
+                quarantined: p.quarantined,
+                decision: p.decision.clone(),
+                generation: p.generation,
+            })
+            .collect(),
+        quarantines: report
+            .quarantined
+            .iter()
+            .map(|q| QuarantineEntry {
+                epoch: q.epoch,
+                source: q.source.clone(),
+                reason: q.reason.to_string(),
+            })
+            .collect(),
+        quarantined: report.quarantined.len(),
+        promotions: report.promotions,
+        rollbacks: report.rollbacks,
+        labels_used: report.labels_used,
+        epoch0_f1: report.points[0].f1,
+        final_f1: report.final_f1,
+        max_drift_features: report
+            .points
+            .iter()
+            .map(|p| p.drift_features)
+            .fold(0.0, f64::max),
+        max_drift_scores: report
+            .points
+            .iter()
+            .map(|p| p.drift_scores)
+            .fold(0.0, f64::max),
+        wall_s,
+    };
+
+    for p in &bench.quality_over_time {
+        eprintln!(
+            "  epoch {}: sources={} f1={:.4} drift={:.3}/{:.3} quarantined={} decision={} gen={}",
+            p.epoch,
+            p.sources,
+            p.f1,
+            p.drift_features,
+            p.drift_scores,
+            p.quarantined,
+            p.decision.as_deref().unwrap_or("-"),
+            p.generation,
+        );
+    }
+    eprintln!(
+        "  quarantined={} promotions={} rollbacks={} labels_used={} wall={:.1}s",
+        bench.quarantined, bench.promotions, bench.rollbacks, bench.labels_used, wall_s
+    );
+
+    let json = serde_json::to_string_pretty(&bench).expect("serialize report");
+    atomic_write(std::path::Path::new(&out), json.as_bytes()).expect("write report");
+    eprintln!("continual report written to {out}");
+}

@@ -2,6 +2,7 @@
 
 pub mod analyze;
 pub mod cluster;
+pub mod continual;
 pub mod embed;
 pub mod evaluate;
 pub mod fuse;

@@ -15,9 +15,10 @@ use leapme::core::feature_cache;
 use leapme::core::journal::RunJournal;
 use leapme::core::pipeline::LeapmeModel;
 use leapme::embedding::store::EmbeddingStore;
-use leapme::serve::{self, ServeConfig, ServeState};
+use leapme::features::PropertyFeatureStore;
+use leapme::serve::{self, snapshot, Resident, ServeConfig, ServeState};
 use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -57,6 +58,11 @@ pub fn run(flags: &Flags) -> Result<String, CliError> {
         queue_depth: flags.get_or("queue-depth", ServeConfig::default().queue_depth)?,
         request_timeout: Duration::from_millis(flags.get_or("request-timeout-ms", 5_000u64)?),
         io_timeout: Duration::from_millis(flags.get_or("io-timeout-ms", 2_000u64)?),
+        snapshot_path: flags.get("snapshot").map(PathBuf::from),
+        keep_alive_max_requests: flags.get_or(
+            "keep-alive-max",
+            ServeConfig::default().keep_alive_max_requests,
+        )?,
         ..ServeConfig::default()
     };
     config.limits.max_body_bytes =
@@ -64,10 +70,47 @@ pub fn run(flags: &Flags) -> Result<String, CliError> {
     if config.workers == 0 {
         return Err(CliError::Usage("--workers must be at least 1".into()));
     }
+    if config.keep_alive_max_requests == 0 {
+        return Err(CliError::Usage("--keep-alive-max must be at least 1".into()));
+    }
 
-    let state = Arc::new(ServeState::new(
-        model, embeddings, dataset, store, journal, config,
-    ));
+    // Snapshot recovery: a present snapshot is the last good generation
+    // `integrate-source` persisted before a swap — it supersedes the
+    // `--dataset` file (which only describes the world at first boot).
+    // The feature store is rebuilt over the recovered dataset; the
+    // snapshot stays bitwise as written, proving a SIGKILL mid
+    // integration lost nothing.
+    let recovered = match &config.snapshot_path {
+        Some(path) => snapshot::load(path)
+            .map_err(|e| CliError::Pipeline(format!("{}: {e}", path.display())))?,
+        None => None,
+    };
+    let state = match recovered {
+        Some(snap) => {
+            let store = PropertyFeatureStore::build(&snap.dataset, &embeddings);
+            println!(
+                "leapme serve recovered snapshot generation={} sources={} graph_edges={}",
+                snap.generation,
+                snap.dataset.sources().len(),
+                snap.graph.len()
+            );
+            Arc::new(ServeState::with_resident(
+                model,
+                embeddings,
+                Resident {
+                    dataset: snap.dataset,
+                    store,
+                    graph: snap.graph,
+                    generation: snap.generation,
+                },
+                journal,
+                config,
+            ))
+        }
+        None => Arc::new(ServeState::new(
+            model, embeddings, dataset, store, journal, config,
+        )),
+    };
     let handle = serve::start(Arc::clone(&state), Some(crate::interrupted_flag()))
         .map_err(CliError::Io)?;
 

@@ -146,15 +146,32 @@ COMMANDS:
                [--addr 127.0.0.1:7878] [--workers 4] [--queue-depth 64]
                [--request-timeout-ms 5000] [--io-timeout-ms 2000]
                [--max-body-bytes N] [--journal <serve.journal>]
+               [--snapshot <resident.snap>] [--keep-alive-max 32]
                (resident matching service: POST /score, /match,
                 /integrate-source; GET /healthz, /readyz, /metrics.
                 Per-request deadlines via the x-leapme-deadline-ms
                 header; overload sheds 503 + Retry-After; SIGINT/SIGTERM
                 drains gracefully and exits 0, or 3 if connections
-                were dropped)
+                were dropped. --snapshot persists the resident state
+                before every integration swap and recovers the last
+                good generation on restart; clients sending
+                Connection: keep-alive get up to --keep-alive-max
+                requests per connection)
     evaluate   --dataset <dataset.json> --graph <graph.json> [--threshold 0.5]
     analyze    --dataset <dataset.json> --graph <graph.json> [--threshold 0.5]
     cluster    --graph <graph.json> [--method components|star] [--threshold 0.5]
+    continual  --out <report.json> [--properties 300] [--epochs 4]
+               [--sources-per-epoch 2] [--properties-per-source 25]
+               [--naming-drift 0.2] [--value-drift 0.3] [--corrupt-every N]
+               [--label-budget 64] [--drift-threshold 0.25]
+               [--force-refit-every N] [--stop-after-epoch N]
+               [--journal <continual.journal>] [--seed N] [--dim 16]
+               (continual-ingestion scenario: drifting source schedule,
+                validation gate with typed quarantine, PSI drift
+                detection, champion/challenger refit with an
+                active-learning label budget and automatic rollback;
+                prints the quality-over-time curve; decisions are
+                journaled and honored on a resumed run)
     fuse       --dataset <dataset.json> --graph <graph.json>
                [--method components|star] [--threshold 0.5] [--out <schema.json>]
     help       print this message
@@ -181,6 +198,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "serve" => commands::serve::run(&flags),
         "evaluate" => commands::evaluate::run(&flags),
         "cluster" => commands::cluster::run(&flags),
+        "continual" => commands::continual::run(&flags),
         "fuse" => commands::fuse::run(&flags),
         "analyze" => commands::analyze::run(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),

@@ -49,10 +49,7 @@ pub fn integrate_source(
         .filter(|p| p.source == new_source)
         .collect();
     if new_props.is_empty() {
-        return Err(CoreError::InvalidSplit(format!(
-            "source {} has no properties",
-            new_source.0
-        )));
+        return Err(CoreError::EmptySource(new_source.0));
     }
     let existing: Vec<PropertyKey> = graph
         .nodes()
@@ -224,6 +221,6 @@ mod tests {
     fn unknown_source_is_error() {
         let (dataset, store, model, mut graph) = setup();
         let err = integrate_source(&model, &store, &dataset, &mut graph, SourceId(99));
-        assert!(err.is_err());
+        assert!(matches!(err, Err(CoreError::EmptySource(99))));
     }
 }

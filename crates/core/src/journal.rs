@@ -522,3 +522,72 @@ mod tests {
         assert_eq!(recs[0].id, 0);
     }
 }
+
+#[cfg(all(test, feature = "faults"))]
+mod proptests {
+    use super::*;
+    use crate::retry::RetryPolicy;
+    use proptest::prelude::*;
+    use serde::Deserialize;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Rec {
+        id: usize,
+        score: f64,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Convergence under repeated torn tails: for any fault seed,
+        /// tear probability, and bounded number of torn appends, a
+        /// sequence of `append_retrying` calls (budget > fault budget)
+        /// leaves the journal holding exactly the appended records —
+        /// every torn prefix repaired, nothing duplicated, nothing
+        /// lost, and a reopen sees a clean (untruncated) tail.
+        #[test]
+        fn retrying_appends_converge_after_repeated_torn_tails(
+            fault_seed in 1u64..500,
+            prob_pct in 10u32..100,
+            max_fires in 1u32..6,
+            records in 2usize..8,
+        ) {
+            let dir = std::env::temp_dir().join(format!(
+                "leapme-journal-prop-{}",
+                std::process::id()
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join(format!("torn-{fault_seed}-{prob_pct}-{max_fires}-{records}.journal"));
+            let _ = std::fs::remove_file(&path);
+
+            let site = leapme_faults::sites::JOURNAL_APPEND;
+            let policy = RetryPolicy {
+                // More attempts per append than the plan can fire in
+                // total, so every append must eventually land.
+                max_attempts: max_fires + 2,
+                base_delay: std::time::Duration::from_micros(10),
+                max_delay: std::time::Duration::from_micros(20),
+                ..RetryPolicy::default()
+            };
+            let spec = format!(
+                "seed={fault_seed};{site}:torn@0.{prob_pct:02}#{max_fires}"
+            );
+            let j = RunJournal::open(&path).unwrap();
+            leapme_faults::with_plan(&spec, || {
+                for id in 0..records {
+                    j.append_retrying(&Rec { id, score: id as f64 * 0.25 }, &policy).unwrap();
+                }
+            });
+            drop(j);
+
+            let j = RunJournal::open(&path).unwrap();
+            prop_assert_eq!(j.len(), records, "record count after repeated tears");
+            prop_assert!(!j.truncated_tail(), "tail must be clean after repairs");
+            let recs: Vec<Rec> = j.replayed().unwrap();
+            for (id, rec) in recs.iter().enumerate() {
+                prop_assert_eq!(rec, &Rec { id, score: id as f64 * 0.25 });
+            }
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}

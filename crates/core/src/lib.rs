@@ -55,6 +55,7 @@ pub mod blocking;
 pub mod calibration;
 pub mod cancel;
 pub mod cluster;
+pub mod continual;
 pub mod feature_cache;
 pub mod fusion;
 pub mod importance;
@@ -79,6 +80,12 @@ pub enum CoreError {
     NoTrainingData,
     /// Not enough sources for the requested split.
     InvalidSplit(String),
+    /// A source offered for integration contributes zero properties.
+    ///
+    /// Distinct from [`CoreError::InvalidSplit`] so callers (the serve
+    /// layer in particular) can map it to a client error instead of a
+    /// server fault: an empty source is the *caller's* mistake.
+    EmptySource(u16),
     /// Feature extraction failed (unknown property).
     Feature(leapme_features::vectorizer::FeatureError),
     /// The underlying network failed.
@@ -116,6 +123,9 @@ impl std::fmt::Display for CoreError {
         match self {
             CoreError::NoTrainingData => write!(f, "no labeled training pairs"),
             CoreError::InvalidSplit(msg) => write!(f, "invalid split: {msg}"),
+            CoreError::EmptySource(id) => {
+                write!(f, "source {id} has no properties")
+            }
             CoreError::Feature(e) => write!(f, "feature error: {e}"),
             CoreError::Nn(e) => write!(f, "network error: {e}"),
             CoreError::WorkerPanic { site, payload } => {

@@ -182,3 +182,90 @@ mod tests {
         assert!(a[0] >= policy.base_delay.mul_f64(0.5));
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The backoff schedule is a pure function of the policy: any
+        /// seed, any attempt number, same answer twice.
+        #[test]
+        fn backoff_is_deterministic_under_any_seed(
+            seed in 0u64..u64::MAX / 2,
+            attempt in 1u32..64,
+            base_us in 1u64..10_000,
+            max_us in 1u64..100_000,
+        ) {
+            let policy = RetryPolicy {
+                max_attempts: 4,
+                base_delay: Duration::from_micros(base_us),
+                max_delay: Duration::from_micros(max_us),
+                seed,
+            };
+            prop_assert_eq!(policy.backoff(attempt), policy.backoff(attempt));
+        }
+
+        /// Every backoff — any attempt, arbitrarily deep into the
+        /// schedule — stays within `max_delay × 1.5` (the cap times the
+        /// largest jitter factor), and no sleep undershoots half the
+        /// base (the smallest jitter on the first attempt's base).
+        #[test]
+        fn backoff_is_bounded_by_the_cap(
+            seed in 0u64..u64::MAX / 2,
+            attempt in 1u32..1_000,
+            base_us in 1u64..10_000,
+            extra_us in 0u64..100_000,
+        ) {
+            let base = Duration::from_micros(base_us);
+            // max_delay >= base_delay, as any sane policy has.
+            let policy = RetryPolicy {
+                max_attempts: 4,
+                base_delay: base,
+                max_delay: base + Duration::from_micros(extra_us),
+                seed,
+            };
+            let d = policy.backoff(attempt);
+            prop_assert!(
+                d <= policy.max_delay.mul_f64(1.5),
+                "attempt {} slept {:?}, cap {:?}",
+                attempt, d, policy.max_delay.mul_f64(1.5)
+            );
+            prop_assert!(
+                d >= policy.base_delay.mul_f64(0.5),
+                "attempt {} slept {:?}, floor {:?}",
+                attempt, d, policy.base_delay.mul_f64(0.5)
+            );
+        }
+
+        /// `with_retry` makes exactly `min(budget, failures + 1)` calls:
+        /// the budget is a hard ceiling, and recovery stops the loop
+        /// immediately.
+        #[test]
+        fn attempt_count_is_exact(
+            budget in 1u32..8,
+            failures in 0u32..10,
+        ) {
+            let calls = std::cell::Cell::new(0u32);
+            let policy = RetryPolicy {
+                max_attempts: budget,
+                base_delay: Duration::from_micros(1),
+                max_delay: Duration::from_micros(2),
+                ..RetryPolicy::default()
+            };
+            let out = with_retry(&policy, |_| true, || {
+                calls.set(calls.get() + 1);
+                if calls.get() <= failures { Err("transient") } else { Ok(()) }
+            });
+            let expected = budget.min(failures + 1);
+            prop_assert_eq!(calls.get(), expected);
+            prop_assert_eq!(out.is_ok(), failures < budget);
+            if let Err(e) = out {
+                prop_assert_eq!(e.attempts, expected);
+            }
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! Drifting arrival schedules for the continual-ingestion scenario.
+//!
+//! ROADMAP item 5 turns [`crate::stress`]'s static world into a stream:
+//! an epoch-0 *base* dataset is resident from the start, and further
+//! sources arrive over later epochs. Between epochs the world drifts the
+//! way production catalogs do:
+//!
+//! * **naming drift** — later sources increasingly append epoch-specific
+//!   modifier words and rotate to a different [`NamingStyle`], so the
+//!   string-distance and name-embedding features see a slowly shifting
+//!   distribution;
+//! * **value drift** — numeric instance values scale up per epoch and
+//!   switch unit words, and categorical vocabularies rotate, shifting
+//!   the 29 instance features the same way.
+//!
+//! Every arrival still aligns to the same reference ontology as the base
+//! dataset (`ref{r}` labels), so ground truth spans epochs and quality
+//! over time is measurable. Optionally, every `corrupt_every`-th arrival
+//! is deliberately defective (empty, oversized value, or row flood) —
+//! the material a validation gate must quarantine.
+//!
+//! Everything derives from the same stateless splitmix64 draws as the
+//! stress generator (streams 40+ are reserved for drift), so a schedule
+//! is reproduced bit-for-bit from its config alone.
+
+use crate::model::{Dataset, Instance, SourceId};
+use crate::spec::NamingStyle;
+use crate::stress::{
+    self, draw, generate_stress_dataset, modifier_word, ref_at, ref_words, unit_word,
+    StressConfig,
+};
+use std::collections::BTreeMap;
+
+/// Shape of a drifting arrival schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// The epoch-0 resident world (also fixes the reference ontology and
+    /// the master seed).
+    pub base: StressConfig,
+    /// Arrival epochs after epoch 0.
+    pub epochs: usize,
+    /// New sources arriving in each epoch.
+    pub sources_per_epoch: usize,
+    /// Per-epoch naming-drift intensity in `[0, 1]`: the probability
+    /// scale for epoch modifier words and style rotation.
+    pub naming_drift: f64,
+    /// Per-epoch value-drift intensity in `[0, 1]`: numeric scale shift,
+    /// unit churn, categorical rotation.
+    pub value_drift: f64,
+    /// Every `corrupt_every`-th arrival carries an injected defect
+    /// (`0` disables corruption).
+    pub corrupt_every: usize,
+}
+
+impl DriftConfig {
+    /// A schedule over a base world of `base_properties` properties with
+    /// the default drift shape: 2 sources per epoch, moderate drift, no
+    /// corrupted arrivals.
+    pub fn new(base_properties: usize, epochs: usize, seed: u64) -> Self {
+        DriftConfig {
+            base: StressConfig::new(base_properties, seed),
+            epochs,
+            sources_per_epoch: 2,
+            naming_drift: 0.15,
+            value_drift: 0.25,
+            corrupt_every: 0,
+        }
+    }
+
+    /// Total scheduled arrivals.
+    pub fn n_arrivals(&self) -> usize {
+        self.epochs * self.sources_per_epoch
+    }
+}
+
+/// The defect carried by a deliberately corrupted arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedDefect {
+    /// The source arrives with no rows at all.
+    Empty,
+    /// One value is ballooned past any sane length bound.
+    OversizedValue,
+    /// The rows are duplicated far past the expected volume.
+    RowFlood,
+}
+
+/// One row of an arriving source: `(property, entity, value)` before a
+/// [`SourceId`] is assigned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrivalRow {
+    /// Source-local property name.
+    pub property: String,
+    /// Entity identifier.
+    pub entity: String,
+    /// Instance value.
+    pub value: String,
+}
+
+/// One source on the arrival schedule.
+#[derive(Debug, Clone)]
+pub struct ScheduledSource {
+    /// Arrival epoch (1-based; epoch 0 is the resident base).
+    pub epoch: usize,
+    /// Source name (unique across the schedule).
+    pub name: String,
+    /// The rows the source ships.
+    pub rows: Vec<ArrivalRow>,
+    /// Ground-truth alignment: property name → reference label (same
+    /// `ref{r}` namespace as the base dataset).
+    pub alignment: BTreeMap<String, String>,
+    /// The defect injected into this arrival, if any.
+    pub defect: Option<InjectedDefect>,
+}
+
+impl ScheduledSource {
+    /// The rows as [`Instance`]s under an assigned source id.
+    pub fn instances(&self, sid: SourceId) -> Vec<Instance> {
+        self.rows
+            .iter()
+            .map(|r| Instance {
+                source: sid,
+                property: r.property.clone(),
+                entity: r.entity.clone(),
+                value: r.value.clone(),
+            })
+            .collect()
+    }
+}
+
+/// A complete drifting scenario: the resident base plus the ordered
+/// arrivals.
+#[derive(Debug, Clone)]
+pub struct DriftSchedule {
+    /// The epoch-0 dataset (resident before any arrival).
+    pub base: Dataset,
+    /// Arrivals in schedule order (non-decreasing epoch).
+    pub arrivals: Vec<ScheduledSource>,
+}
+
+/// Map a draw to the unit interval.
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Occurrence name of reference `r` as the drifted source `s` (arriving
+/// in `epoch`) spells it: base words plus epoch-modifier creep, rendered
+/// in an epoch-rotated naming style.
+fn drifted_name(cfg: &DriftConfig, r: usize, s: usize, epoch: usize) -> String {
+    let words = ref_words(&cfg.base, r);
+    let u = draw(cfg.base.seed, 40, ((r as u64) << 20) | s as u64);
+    let mut name = String::new();
+    name.push_str(&words[0]);
+    name.push(' ');
+    name.push_str(&words[1]);
+    if !u.is_multiple_of(4) {
+        name.push(' ');
+        name.push_str(&words[2]);
+    }
+    let strength = (cfg.naming_drift * epoch as f64).min(1.0);
+    if unit(draw(cfg.base.seed, 41, ((r as u64) << 20) | s as u64)) < strength {
+        // Epoch-specific vocabulary creeps into names: each epoch favors
+        // its own small set of modifier words.
+        name.push(' ');
+        name.push_str(&modifier_word(epoch * 7 + ((u >> 16) as usize % 3)));
+    }
+    // Style rotates with the epoch — the whole-source naming-convention
+    // shift (camelCase → snake_case …) that PSI on name features sees.
+    let shift = if unit(draw(cfg.base.seed, 44, s as u64)) < strength {
+        epoch
+    } else {
+        0
+    };
+    let style = NamingStyle::ALL
+        [(draw(cfg.base.seed, 5, s as u64) as usize + shift) % NamingStyle::ALL.len()];
+    style.apply(&name)
+}
+
+/// Instance value `j` of reference `r` under epoch drift: numeric values
+/// scale and churn units, categorical vocabularies rotate.
+fn drifted_value(cfg: &DriftConfig, r: usize, j: usize, epoch: usize) -> String {
+    let h = draw(cfg.base.seed, 6, r as u64); // same type decision as the base world
+    let strength = (cfg.value_drift * epoch as f64).min(1.0);
+    if h.is_multiple_of(2) {
+        let base = 1 + (h >> 8) % 1000;
+        let scale = 1.0 + strength * 2.0;
+        let v = (((base + j as u64) as f64) * scale).round() as u64;
+        let churn = unit(draw(cfg.base.seed, 42, ((r as u64) << 8) | epoch as u64)) < strength;
+        let unit_idx = (h >> 24) as usize + if churn { epoch } else { 0 };
+        format!("{} {}", v, unit_word(unit_idx))
+    } else {
+        let rotate = unit(draw(cfg.base.seed, 43, ((r as u64) << 8) | epoch as u64)) < strength;
+        let rot = if rotate { epoch } else { 0 };
+        stress::category_word(((h >> 8) as usize).wrapping_add(j + rot))
+    }
+}
+
+/// Apply the arrival's injected defect to its rows.
+fn corrupt(defect: InjectedDefect, rows: &mut Vec<ArrivalRow>) {
+    match defect {
+        InjectedDefect::Empty => rows.clear(),
+        InjectedDefect::OversizedValue => {
+            if let Some(row) = rows.first_mut() {
+                row.value = "x".repeat(64 * 1024);
+            }
+        }
+        InjectedDefect::RowFlood => {
+            let original = rows.clone();
+            for _ in 0..63 {
+                rows.extend(original.iter().cloned());
+            }
+        }
+    }
+}
+
+/// Generate the full drifting scenario. Deterministic given the config;
+/// arrivals are emitted in epoch order.
+///
+/// # Panics
+///
+/// Panics when the base config violates the stress generator's bounds,
+/// or when the schedule would exceed `u16` source ids.
+pub fn generate_drift_schedule(cfg: &DriftConfig) -> DriftSchedule {
+    let base = generate_stress_dataset(&cfg.base);
+    let n_base = cfg.base.n_sources();
+    assert!(
+        n_base + cfg.n_arrivals() <= u16::MAX as usize,
+        "drift schedule exceeds u16 source ids"
+    );
+    let ontology = cfg.base.ontology_size();
+
+    let mut arrivals = Vec::with_capacity(cfg.n_arrivals());
+    for k in 0..cfg.n_arrivals() {
+        let epoch = 1 + k / cfg.sources_per_epoch.max(1);
+        let s = n_base + k; // global source index drives all draws
+        let mut rows = Vec::with_capacity(
+            cfg.base.properties_per_source * cfg.base.instances_per_property.max(1),
+        );
+        let mut alignment = BTreeMap::new();
+        for j in 0..cfg.base.properties_per_source {
+            let r = ref_at(&cfg.base, ontology, s, j);
+            let name = drifted_name(cfg, r, s, epoch);
+            alignment.insert(name.clone(), format!("ref{r:06}"));
+            for e in 0..cfg.base.instances_per_property.max(1) {
+                rows.push(ArrivalRow {
+                    property: name.clone(),
+                    entity: format!("e{e}"),
+                    value: drifted_value(cfg, r, e, epoch),
+                });
+            }
+        }
+        let defect = if cfg.corrupt_every > 0 && (k + 1).is_multiple_of(cfg.corrupt_every) {
+            let which = match (k / cfg.corrupt_every) % 3 {
+                0 => InjectedDefect::Empty,
+                1 => InjectedDefect::OversizedValue,
+                _ => InjectedDefect::RowFlood,
+            };
+            corrupt(which, &mut rows);
+            Some(which)
+        } else {
+            None
+        };
+        arrivals.push(ScheduledSource {
+            epoch,
+            name: format!("drift-src-{s:05}"),
+            rows,
+            alignment,
+            defect,
+        });
+    }
+    DriftSchedule { base, arrivals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DriftConfig {
+        DriftConfig {
+            sources_per_epoch: 2,
+            corrupt_every: 0,
+            ..DriftConfig::new(300, 4, 11)
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let a = generate_drift_schedule(&cfg());
+        let b = generate_drift_schedule(&cfg());
+        assert_eq!(a.base.to_json(), b.base.to_json());
+        assert_eq!(a.arrivals.len(), b.arrivals.len());
+        for (x, y) in a.arrivals.iter().zip(&b.arrivals) {
+            assert_eq!(x.rows, y.rows);
+            assert_eq!(x.alignment, y.alignment);
+        }
+    }
+
+    #[test]
+    fn arrivals_align_into_the_base_ontology() {
+        let s = generate_drift_schedule(&cfg());
+        assert_eq!(s.arrivals.len(), 8);
+        let base_refs: std::collections::BTreeSet<&String> =
+            s.base.alignment().values().collect();
+        let mut shared = 0usize;
+        for a in &s.arrivals {
+            assert!(!a.rows.is_empty());
+            assert_eq!(a.alignment.len(), cfg().base.properties_per_source);
+            shared += a.alignment.values().filter(|r| base_refs.contains(r)).count();
+        }
+        assert!(shared > 0, "no arrival property aligns into the base world");
+    }
+
+    #[test]
+    fn later_epochs_drift_away_from_the_base_conventions() {
+        let mut c = cfg();
+        c.naming_drift = 0.4;
+        c.value_drift = 0.5;
+        let s = generate_drift_schedule(&c);
+        // Epoch-modifier creep: last-epoch sources carry more words per
+        // name (modifier creep) than a zero-drift rendering would.
+        let drifted_words: usize = s
+            .arrivals
+            .iter()
+            .filter(|a| a.epoch == c.epochs)
+            .flat_map(|a| a.alignment.keys())
+            .map(|n| n.split(|ch: char| !ch.is_ascii_alphanumeric()).count())
+            .sum();
+        assert!(drifted_words > 0);
+        // Values in the last epoch differ from an epoch-1 rendering of
+        // the same references for at least some rows.
+        let early: Vec<&ScheduledSource> =
+            s.arrivals.iter().filter(|a| a.epoch == 1).collect();
+        let late: Vec<&ScheduledSource> =
+            s.arrivals.iter().filter(|a| a.epoch == c.epochs).collect();
+        assert!(!early.is_empty() && !late.is_empty());
+        let early_mean = mean_len(&early);
+        let late_mean = mean_len(&late);
+        assert_ne!(early_mean.to_bits(), late_mean.to_bits());
+    }
+
+    fn mean_len(arrivals: &[&ScheduledSource]) -> f64 {
+        let total: usize = arrivals
+            .iter()
+            .flat_map(|a| a.rows.iter())
+            .map(|r| r.value.len())
+            .sum();
+        let n: usize = arrivals.iter().map(|a| a.rows.len()).sum();
+        total as f64 / n.max(1) as f64
+    }
+
+    #[test]
+    fn corrupt_every_injects_rotating_defects() {
+        let mut c = cfg();
+        c.corrupt_every = 3;
+        let s = generate_drift_schedule(&c);
+        let defects: Vec<Option<InjectedDefect>> =
+            s.arrivals.iter().map(|a| a.defect).collect();
+        assert_eq!(defects[2], Some(InjectedDefect::Empty));
+        assert_eq!(defects[5], Some(InjectedDefect::OversizedValue));
+        assert!(s.arrivals[2].rows.is_empty());
+        assert!(s.arrivals[5].rows.iter().any(|r| r.value.len() > 10_000));
+        assert!(defects[0].is_none() && defects[1].is_none());
+    }
+
+    #[test]
+    fn instances_carry_the_assigned_source_id() {
+        let s = generate_drift_schedule(&cfg());
+        let sid = SourceId(42);
+        let inst = s.arrivals[0].instances(sid);
+        assert_eq!(inst.len(), s.arrivals[0].rows.len());
+        assert!(inst.iter().all(|i| i.source == sid));
+    }
+}

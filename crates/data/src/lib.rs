@@ -43,6 +43,7 @@
 
 pub mod corpus;
 pub mod domains;
+pub mod drift;
 pub mod io;
 pub mod model;
 pub mod noise;

@@ -100,7 +100,7 @@ const SYLLABLES: [&str; 24] = [
 
 /// The `i`-th pseudo-word: three base-24 syllable digits, unique for
 /// `i < 24³ = 13824`.
-fn word(i: usize) -> String {
+pub(crate) fn word(i: usize) -> String {
     debug_assert!(i < 24 * 24 * 24);
     let mut s = String::with_capacity(6);
     s.push_str(SYLLABLES[i % 24]);
@@ -113,21 +113,21 @@ fn base_word(i: usize) -> String {
     word(i)
 }
 
-fn modifier_word(i: usize) -> String {
+pub(crate) fn modifier_word(i: usize) -> String {
     word(VOCAB + i % MODIFIERS)
 }
 
-fn unit_word(i: usize) -> String {
+pub(crate) fn unit_word(i: usize) -> String {
     word(VOCAB + MODIFIERS + i % UNITS)
 }
 
-fn category_word(i: usize) -> String {
+pub(crate) fn category_word(i: usize) -> String {
     word(VOCAB + MODIFIERS + UNITS + i % CATEGORIES)
 }
 
 /// splitmix64 — the repo's stateless deterministic draw (same finalizer
 /// as `leapme-faults`).
-fn splitmix64(x: u64) -> u64 {
+pub(crate) fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
@@ -135,7 +135,7 @@ fn splitmix64(x: u64) -> u64 {
 }
 
 /// Deterministic draw keyed on the seed plus two stream coordinates.
-fn draw(seed: u64, a: u64, b: u64) -> u64 {
+pub(crate) fn draw(seed: u64, a: u64, b: u64) -> u64 {
     splitmix64(seed ^ splitmix64(a.wrapping_mul(0x9E3779B97F4A7C15) ^ splitmix64(b)))
 }
 
@@ -173,7 +173,7 @@ fn is_prime(n: usize) -> bool {
 /// `VOCAB` digits — a bijection, so no two reference properties share
 /// both words and clusters never merge geometrically. The third "flavor"
 /// word is a free hash draw (collisions across references are harmless).
-fn ref_words(cfg: &StressConfig, r: usize) -> [String; 3] {
+pub(crate) fn ref_words(cfg: &StressConfig, r: usize) -> [String; 3] {
     // Draw streams 1 and 2 feed the affine coefficients; stream 3 the
     // flavor word.
     let perm = |digit: usize, d: u64| -> usize {
@@ -190,7 +190,7 @@ fn ref_words(cfg: &StressConfig, r: usize) -> [String; 3] {
 /// Render the occurrence-level name of reference `r` as seen by source
 /// `s`: base words with deterministic dropout/modifier variation, in the
 /// source's naming style.
-fn occurrence_name(cfg: &StressConfig, r: usize, s: usize) -> String {
+pub(crate) fn occurrence_name(cfg: &StressConfig, r: usize, s: usize) -> String {
     let words = ref_words(cfg, r);
     let u = draw(cfg.seed, 4, (r as u64) << 20 | s as u64);
     let mut name = String::new();
@@ -218,7 +218,7 @@ fn occurrence_name(cfg: &StressConfig, r: usize, s: usize) -> String {
 
 /// Instance value `j` of reference property `r`: numeric-with-unit or
 /// categorical, decided per reference.
-fn instance_value(cfg: &StressConfig, r: usize, j: usize) -> String {
+pub(crate) fn instance_value(cfg: &StressConfig, r: usize, j: usize) -> String {
     let h = draw(cfg.seed, 6, r as u64);
     if h.is_multiple_of(2) {
         let base = 1 + (h >> 8) % 1000;
@@ -231,7 +231,7 @@ fn instance_value(cfg: &StressConfig, r: usize, j: usize) -> String {
 /// Reference property carried at slot `j` of source `s`: affine stride
 /// over the prime-sized ontology — distinct within a source for
 /// `j < ontology`.
-fn ref_at(cfg: &StressConfig, ontology: usize, s: usize, j: usize) -> usize {
+pub(crate) fn ref_at(cfg: &StressConfig, ontology: usize, s: usize, j: usize) -> usize {
     let offset = (draw(cfg.seed, 7, s as u64) as usize) % ontology;
     let stride = 1 + (draw(cfg.seed, 8, s as u64) as usize) % (ontology - 1);
     (offset + j * stride) % ontology

@@ -76,6 +76,16 @@ pub mod sites {
     pub const SERVE_WRITE: &str = "serve.write";
     /// Request handler body in the serve worker pool (`kind: panic`).
     pub const SERVE_HANDLER: &str = "serve.handler";
+    /// Validation gate over an incoming source in the continual-ingestion
+    /// driver (`kind: malformed | io`).
+    pub const CONTINUAL_VALIDATE: &str = "continual.validate";
+    /// Champion/challenger refit after a drift trigger
+    /// (`kind: nan | io`): `nan` sabotages the challenger so the
+    /// promotion gate must catch the regression and roll back.
+    pub const CONTINUAL_REFIT: &str = "continual.refit";
+    /// Persisting the generation-pinned resident snapshot before an
+    /// integration swap (`kind: torn | io`).
+    pub const CONTINUAL_SNAPSHOT: &str = "continual.snapshot";
 }
 
 /// What kind of failure to inject at a site.

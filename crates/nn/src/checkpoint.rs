@@ -55,6 +55,12 @@ pub const KIND_PIPELINE: u8 = 2;
 /// property-feature cache), written by `leapme-core`.
 pub const KIND_FEATURE_CACHE: u8 = 3;
 
+/// Container kind: the serve layer's resident-state snapshot (dataset +
+/// similarity graph + generation), written by `leapme-serve` before
+/// every integration swap so a killed process recovers the last good
+/// generation bitwise.
+pub const KIND_RESIDENT: u8 = 4;
+
 /// Payload dtype tag: `f32` parameters (the only dtype currently
 /// written; the byte exists so future formats can widen without a
 /// version bump).

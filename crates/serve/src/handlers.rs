@@ -390,6 +390,15 @@ fn integrate(state: &ServeState, req: &Request, token: &CancelToken) -> Response
                     "deadline expired while integrating; no change was applied",
                 );
             }
+            Err(CoreError::EmptySource(id)) => {
+                // The caller's mistake, not a server fault: a source
+                // that contributes zero properties after parsing.
+                return Response::error(
+                    400,
+                    "empty-source",
+                    &format!("uploaded source {id} contributes no properties"),
+                );
+            }
             Err(e) => return Response::error(500, "integrate-failed", &e.to_string()),
         }
     }
@@ -402,6 +411,12 @@ fn integrate(state: &ServeState, req: &Request, token: &CancelToken) -> Response
     // Swap-in under the write lock. A concurrent integration that won
     // the race invalidates this one (same optimistic-concurrency rule a
     // compare-and-swap would give): retrying is the client's call.
+    // While holding the lock, the new generation is persisted to the
+    // snapshot file *before* the in-memory swap: the atomic container
+    // write means a SIGKILL at any instant leaves either the old or the
+    // new generation on disk — never a torn hybrid — and a snapshot
+    // failure (injected via `continual.snapshot` or real) refuses the
+    // swap so disk and memory never disagree.
     {
         let mut resident = state.resident.write().unwrap_or_else(|e| e.into_inner());
         if resident.generation != old_generation {
@@ -410,6 +425,21 @@ fn integrate(state: &ServeState, req: &Request, token: &CancelToken) -> Response
                 "conflict",
                 "another integration landed first; re-read state and retry",
             );
+        }
+        if let Some(path) = &state.config.snapshot_path {
+            let snap = crate::snapshot::ResidentSnapshot {
+                dataset: merged.clone(),
+                graph: graph.clone(),
+                generation: old_generation + 1,
+            };
+            if let Err(e) = crate::snapshot::save(path, &snap) {
+                state.metrics.write_failures.fetch_add(1, Ordering::Relaxed);
+                return Response::error(
+                    500,
+                    "snapshot-failed",
+                    &format!("could not persist the resident snapshot; no change was applied: {e}"),
+                );
+            }
         }
         resident.dataset = merged;
         resident.store = store;

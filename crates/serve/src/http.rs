@@ -5,9 +5,12 @@
 //! a slow-loris client runs into the socket read timeout, an oversized
 //! body is rejected at the `Content-Length` header (before a single
 //! body byte is buffered), and a header section that never terminates
-//! stops at [`HttpLimits::max_head_bytes`]. Responses always carry
-//! `Connection: close` — one request per connection keeps the state
-//! machine trivial and drains cleanly.
+//! stops at [`HttpLimits::max_head_bytes`]. Connections default to
+//! `Connection: close`; clients that send an explicit
+//! `Connection: keep-alive` get a bounded number of requests per
+//! connection (the per-request socket timeouts and drain semantics
+//! apply to every exchange on the connection, so a slow-loris second
+//! request dies to the same read timeout as a first).
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -246,7 +249,8 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// One response, always `Connection: close`.
+/// One response. `Connection: close` unless the connection loop grants
+/// keep-alive for this exchange.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP status code.
@@ -260,6 +264,12 @@ pub struct Response {
     /// Whether this response carries partial results after a deadline
     /// expiry; rendered as an `x-leapme-degraded: true` header.
     pub degraded: bool,
+    /// Whether the server will keep the connection open for another
+    /// request. Set by the connection loop (never by handlers): only
+    /// when the client sent an explicit `Connection: keep-alive`, the
+    /// per-connection request budget has room, and the server is not
+    /// draining.
+    pub keep_alive: bool,
 }
 
 impl Response {
@@ -271,6 +281,7 @@ impl Response {
             content_type: "application/json",
             retry_after: None,
             degraded: false,
+            keep_alive: false,
         }
     }
 
@@ -297,8 +308,9 @@ impl Response {
 
     /// Serialize head + body to the wire.
     pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let connection = if self.keep_alive { "keep-alive" } else { "close" };
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
             self.status,
             status_text(self.status),
             self.content_type,

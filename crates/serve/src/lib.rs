@@ -33,9 +33,11 @@ pub mod handlers;
 pub mod http;
 pub mod queue;
 pub mod server;
+pub mod snapshot;
 pub mod state;
 
 pub use http::{HttpError, HttpLimits, Request, Response};
 pub use queue::{Bounded, Pop};
 pub use server::{start, DrainReport, ServerHandle};
+pub use snapshot::{ResidentSnapshot, SnapshotError};
 pub use state::{Metrics, Resident, ServeConfig, ServeState};

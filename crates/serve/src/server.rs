@@ -9,7 +9,7 @@
 //! — a poisoned request never takes a worker (or the process) down.
 
 use crate::handlers::{self, request_deadline};
-use crate::http::{drain_then_close, error_response, read_request, Response};
+use crate::http::{drain_then_close, error_response, read_request, HttpError, Response};
 use crate::queue::{Bounded, Pop};
 use crate::state::ServeState;
 use leapme_core::cancel::CancelToken;
@@ -281,75 +281,107 @@ fn injected_write_fault() -> bool {
 }
 
 /// Serve one connection end-to-end: read with timeouts, resolve the
-/// deadline, run the handler under `catch_unwind`, write the response.
+/// deadline, run the handler under `catch_unwind`, write the response —
+/// then, when the client asked for `Connection: keep-alive`, loop for
+/// the next request on the same socket, up to the configured
+/// per-connection budget. Every exchange keeps the full per-request
+/// semantics: the same socket timeouts (a slow-loris *second* request
+/// dies like a first), its own deadline token, its own panic boundary.
+/// A drain in progress closes after the in-flight response.
 fn serve_connection(state: &ServeState, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(state.config.io_timeout));
     let _ = stream.set_write_timeout(Some(state.config.io_timeout));
+    let max_requests = state.config.keep_alive_max_requests.max(1);
 
-    let request = match read_request(&mut stream, &state.config.limits) {
-        Ok(r) => r,
-        Err(e) => {
-            match error_response(&e) {
-                Some(resp) => {
-                    state.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
-                    write_response(state, &mut stream, &resp);
-                    // The request was only partially read (oversized
-                    // body, parse error): linger so the error response
-                    // outlives the unread bytes.
-                    drain_then_close(&mut stream, LINGER_MAX_BYTES, LINGER_TIMEOUT);
+    for served in 0..max_requests {
+        let request = match read_request(&mut stream, &state.config.limits) {
+            Ok(r) => r,
+            Err(e) => {
+                match error_response(&e) {
+                    // On a kept-alive connection, an idle client going
+                    // away (EOF) or staying silent past the socket
+                    // timeout is a normal end of conversation, not an
+                    // error owed a response.
+                    Some(_)
+                        if served > 0
+                            && matches!(e, HttpError::Timeout | HttpError::Disconnected) => {}
+                    Some(resp) => {
+                        state.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+                        write_response(state, &mut stream, &resp);
+                        // The request was only partially read (oversized
+                        // body, parse error): linger so the error response
+                        // outlives the unread bytes.
+                        drain_then_close(&mut stream, LINGER_MAX_BYTES, LINGER_TIMEOUT);
+                    }
+                    None => {
+                        state.metrics.disconnects.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
-                None => {
-                    state.metrics.disconnects.fetch_add(1, Ordering::Relaxed);
-                }
+                return;
             }
-            return;
-        }
-    };
+        };
 
-    let deadline = match request_deadline(state, &request) {
-        Ok(d) => d,
-        Err(resp) => {
+        let deadline = match request_deadline(state, &request) {
+            Ok(d) => d,
+            Err(resp) => {
+                state.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+                write_response(state, &mut stream, &resp);
+                return;
+            }
+        };
+        state.metrics.admitted.fetch_add(1, Ordering::Relaxed);
+        let token = CancelToken::new().with_timeout(deadline);
+
+        // The panic boundary: an injected (or real) handler panic is
+        // absorbed here, answered with a 500, and the worker lives on.
+        let mut response = match catch_unwind(AssertUnwindSafe(|| {
+            handlers::handle(state, &request, &token)
+        })) {
+            Ok(resp) => resp,
+            Err(_) => {
+                state.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                Response::error(500, "internal", "request handler panicked; worker recovered")
+            }
+        };
+
+        // Keep-alive is granted per exchange, never assumed: the client
+        // must have asked explicitly, the budget must have room, and a
+        // draining server finishes this response then closes so the
+        // drain cannot be pinned by an idle connection.
+        let keep = request
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
+            && served + 1 < max_requests
+            && !state.draining.load(Ordering::SeqCst);
+        response.keep_alive = keep;
+
+        if response.degraded {
+            state.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+        if response.status < 500 || response.status == 503 {
+            state.metrics.completed.fetch_add(1, Ordering::Relaxed);
+        }
+        if (400..500).contains(&response.status) {
             state.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
-            write_response(state, &mut stream, &resp);
+        }
+        if !write_response(state, &mut stream, &response) || !keep {
             return;
         }
-    };
-    state.metrics.admitted.fetch_add(1, Ordering::Relaxed);
-    let token = CancelToken::new().with_timeout(deadline);
-
-    // The panic boundary: an injected (or real) handler panic is
-    // absorbed here, answered with a 500, and the worker lives on.
-    let response = match catch_unwind(AssertUnwindSafe(|| {
-        handlers::handle(state, &request, &token)
-    })) {
-        Ok(resp) => resp,
-        Err(_) => {
-            state.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
-            Response::error(500, "internal", "request handler panicked; worker recovered")
-        }
-    };
-
-    if response.degraded {
-        state.metrics.degraded.fetch_add(1, Ordering::Relaxed);
     }
-    if response.status < 500 || response.status == 503 {
-        state.metrics.completed.fetch_add(1, Ordering::Relaxed);
-    }
-    if (400..500).contains(&response.status) {
-        state.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
-    }
-    write_response(state, &mut stream, &response);
 }
 
 /// Write a response, folding injected `serve.write` faults and real
 /// socket failures into the `write_failures` counter — the client may
-/// be gone, but the server must not care.
-fn write_response(state: &ServeState, stream: &mut TcpStream, response: &Response) {
+/// be gone, but the server must not care. Returns whether the bytes
+/// made it out (a failed write also ends any keep-alive conversation).
+fn write_response(state: &ServeState, stream: &mut TcpStream, response: &Response) -> bool {
     if injected_write_fault() {
         state.metrics.write_failures.fetch_add(1, Ordering::Relaxed);
-        return;
+        return false;
     }
     if response.write_to(stream).is_err() {
         state.metrics.write_failures.fetch_add(1, Ordering::Relaxed);
+        return false;
     }
+    true
 }

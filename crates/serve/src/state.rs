@@ -39,6 +39,15 @@ pub struct ServeConfig {
     pub limits: HttpLimits,
     /// Retry budget for journal appends.
     pub retry: RetryPolicy,
+    /// Where `integrate-source` persists the resident snapshot before
+    /// every swap (and where startup recovery reads it from). `None`
+    /// disables snapshotting.
+    pub snapshot_path: Option<std::path::PathBuf>,
+    /// Maximum requests served over one kept-alive connection before
+    /// the server closes it (bounds how long one client can pin a
+    /// worker). Keep-alive is honored only when the client asks for it
+    /// with an explicit `Connection: keep-alive` header.
+    pub keep_alive_max_requests: usize,
 }
 
 impl Default for ServeConfig {
@@ -53,6 +62,8 @@ impl Default for ServeConfig {
             retry_after_secs: 1,
             limits: HttpLimits::default(),
             retry: RetryPolicy::default(),
+            snapshot_path: None,
+            keep_alive_max_requests: 32,
         }
     }
 }
@@ -179,15 +190,29 @@ impl ServeState {
         journal: Option<RunJournal>,
         config: ServeConfig,
     ) -> Self {
+        let resident = Resident {
+            dataset,
+            store,
+            graph: SimilarityGraph::new(),
+            generation: 0,
+        };
+        Self::with_resident(model, embeddings, resident, journal, config)
+    }
+
+    /// Assemble the shared state around an already-recovered resident
+    /// (snapshot startup path: dataset + graph + generation restored
+    /// from the last good on-disk generation).
+    pub fn with_resident(
+        model: LeapmeModel,
+        embeddings: EmbeddingStore,
+        resident: Resident,
+        journal: Option<RunJournal>,
+        config: ServeConfig,
+    ) -> Self {
         ServeState {
             model,
             embeddings,
-            resident: RwLock::new(Resident {
-                dataset,
-                store,
-                graph: SimilarityGraph::new(),
-                generation: 0,
-            }),
+            resident: RwLock::new(resident),
             metrics: Metrics::default(),
             journal,
             config,

@@ -64,6 +64,52 @@ echo "==> service latency bench (regenerates BENCH_PR8.json)"
 cargo run --release -p leapme-bench --bin latency -- \
     --clients 3 --requests 20 --out BENCH_PR8.json >/dev/null
 
+echo "==> continual bench (regenerates BENCH_PR9.json)"
+cargo run --release -p leapme-bench --bin continual -- --out BENCH_PR9.json >/dev/null 2>&1
+
+echo "==> continual bench: BENCH_PR9.json records the quality curve, quarantines, decisions"
+python3 - <<'EOF'
+import json, math, sys
+with open("BENCH_PR9.json") as f:
+    report = json.load(f)
+if report.get("faults_enabled") is not False:
+    sys.exit("BENCH_PR9.json: faults_enabled is not false — the continual "
+             "bench was built with the fault hooks armed")
+curve = report.get("quality_over_time")
+if not isinstance(curve, list) or len(curve) != report["epochs"] + 1:
+    sys.exit("BENCH_PR9.json: quality_over_time must have one point per "
+             "epoch plus the initial fit")
+for p in curve:
+    for key in ("epoch", "sources", "f1", "drift_features", "drift_scores",
+                "quarantined", "generation"):
+        if key not in p:
+            sys.exit(f"BENCH_PR9.json: quality point missing {key}")
+    if not math.isfinite(p["f1"]):
+        sys.exit(f"BENCH_PR9.json: epoch {p['epoch']} F1 is not finite")
+if curve[0]["f1"] < 0.5:
+    sys.exit(f"BENCH_PR9.json: epoch-0 F1 {curve[0]['f1']:.4f} — the initial "
+             "fit never learned the base corpus")
+if report["quarantined"] < 1:
+    sys.exit("BENCH_PR9.json: the defective arrivals were never quarantined — "
+             "the validation gate did not engage")
+if report["promotions"] + report["rollbacks"] < 1:
+    sys.exit("BENCH_PR9.json: drift never triggered a champion/challenger "
+             "decision")
+if report["max_drift_features"] <= report["drift_threshold"]:
+    sys.exit("BENCH_PR9.json: recorded feature drift never crossed the PSI "
+             "threshold — the drifting schedule is not drifting")
+last_gen = curve[-1]["generation"]
+if last_gen != report["promotions"]:
+    sys.exit(f"BENCH_PR9.json: final generation {last_gen} disagrees with "
+             f"{report['promotions']} promotion(s) — rollbacks moved the champion")
+print(f"    epoch-0 f1 {curve[0]['f1']:.4f} -> final {report['final_f1']:.4f} |"
+      f" quarantined {report['quarantined']},"
+      f" promotions {report['promotions']}, rollbacks {report['rollbacks']},"
+      f" labels {report['labels_used']} |"
+      f" peak drift {report['max_drift_features']:.3f}"
+      f" (threshold {report['drift_threshold']})")
+EOF
+
 echo "==> latency bench: BENCH_PR8.json records latency, shed rate, disarmed faults"
 python3 - <<'EOF'
 import json, sys
@@ -257,12 +303,14 @@ for t in 1 4; do
     LEAPME_THREADS=$t cargo test -q -p leapme-nn --features faults --test fault_injection
     LEAPME_THREADS=$t cargo test -q -p leapme-core --features faults --test fault_injection
     LEAPME_THREADS=$t cargo test -q -p leapme-core --features faults --lib journal
+    LEAPME_THREADS=$t cargo test -q -p leapme-core --features faults --lib continual
     LEAPME_THREADS=$t cargo test -q -p leapme --features faults \
-        --test chaos --test robustness --test durability --test serve_chaos
+        --test chaos --test robustness --test durability --test serve_chaos \
+        --test continual_chaos
 done
 
 echo "==> chaos stage: faults compiled out of the release bench"
-for bench_json in BENCH_PR7.json BENCH_PR8.json; do
+for bench_json in BENCH_PR7.json BENCH_PR8.json BENCH_PR9.json; do
     if ! grep -q '"faults_enabled": false' "$bench_json"; then
         echo "$bench_json does not record faults_enabled=false — the bench" \
              "binary was built with the fault hooks armed" >&2
@@ -543,5 +591,131 @@ if ! grep -q '"event":"serve.shutdown"' "$DRILL_DIR/serve.journal"; then
     echo "serve drill: journal has no serve.shutdown record" >&2
     exit 1
 fi
+
+echo "==> continual drill: drifting schedule, quarantine, gated refit, journaled rollback"
+# The same deterministic scenario BENCH_PR9.json records: every third
+# arrival is defective (the gate must quarantine it), drift crosses the
+# PSI threshold (refits must trigger), and at least one challenger
+# regresses (the holdout gate must roll it back) — all journaled.
+CONT_FLAGS="--properties 220 --epochs 3 --sources-per-epoch 2 \
+    --properties-per-source 25 --naming-drift 0.3 --value-drift 0.4 \
+    --corrupt-every 3 --label-budget 48 --seed 42"
+# shellcheck disable=SC2086
+"$LEAPME" continual $CONT_FLAGS \
+    --journal "$DRILL_DIR/continual.journal" \
+    --out "$DRILL_DIR/continual.json" > "$DRILL_DIR/continual.out"
+if ! grep -q "quarantine epoch=" "$DRILL_DIR/continual.out"; then
+    echo "continual drill: no source was quarantined" >&2
+    cat "$DRILL_DIR/continual.out" >&2
+    exit 1
+fi
+for event in quarantine refit-start rollback; do
+    if ! grep -q "\"event\":\"$event\"" "$DRILL_DIR/continual.journal"; then
+        echo "continual drill: journal has no $event record" >&2
+        exit 1
+    fi
+done
+sed -n 's/^\(quarantined=.*\)$/    \1/p' "$DRILL_DIR/continual.out"
+
+# Crash-resume: a run stopped after epoch 2 and resumed over the same
+# journal must reproduce the uninterrupted report byte for byte — every
+# journaled decision is honored, none is journaled twice.
+# shellcheck disable=SC2086
+"$LEAPME" continual $CONT_FLAGS \
+    --journal "$DRILL_DIR/resume.journal" --stop-after-epoch 2 \
+    --out "$DRILL_DIR/partial.json" >/dev/null
+# shellcheck disable=SC2086
+"$LEAPME" continual $CONT_FLAGS \
+    --journal "$DRILL_DIR/resume.journal" \
+    --out "$DRILL_DIR/resumed.json" >/dev/null
+if ! cmp -s "$DRILL_DIR/continual.json" "$DRILL_DIR/resumed.json"; then
+    echo "continual drill: resumed report differs from the uninterrupted run" >&2
+    exit 1
+fi
+for event in promote rollback; do
+    UNINTERRUPTED=$(grep -c "\"event\":\"$event\"" "$DRILL_DIR/continual.journal" || true)
+    RESUMED=$(grep -c "\"event\":\"$event\"" "$DRILL_DIR/resume.journal" || true)
+    if [ "$UNINTERRUPTED" != "$RESUMED" ]; then
+        echo "continual drill: resumed journal has $RESUMED $event record(s)," \
+             "uninterrupted has $UNINTERRUPTED — decisions were re-journaled" >&2
+        exit 1
+    fi
+done
+echo "    resumed report is bitwise identical; journaled decisions honored once"
+
+echo "==> snapshot drill: SIGKILL after integrate, restart recovers the generation bitwise"
+SNAP="$DRILL_DIR/resident.snap"
+"$LEAPME" serve \
+    --model "$DRILL_DIR/ref.lmp" --dataset "$DRILL_DIR/ds.json" \
+    --embeddings "$DRILL_DIR/emb.txt" --addr 127.0.0.1:0 \
+    --workers 2 --snapshot "$SNAP" \
+    > "$DRILL_DIR/snap1.out" &
+SERVE_PID=$!
+SERVE_URL=""
+for _ in $(seq 1 300); do
+    SERVE_URL="$(sed -n 's/^leapme serve listening on \(http:[^ ]*\).*/\1/p' \
+        "$DRILL_DIR/snap1.out" 2>/dev/null || true)"
+    [ -n "$SERVE_URL" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if [ -z "$SERVE_URL" ]; then
+    echo "snapshot drill: daemon never reported a listening address" >&2
+    cat "$DRILL_DIR/snap1.out" >&2
+    exit 1
+fi
+python3 - "$SERVE_URL" <<'EOF'
+import http.client, json, sys, urllib.parse
+url = urllib.parse.urlparse(sys.argv[1])
+csv = ("source,property,entity,value\n"
+       "drillshop,screen size,e1,55 inch\n"
+       "drillshop,resolution,e1,3840x2160\n")
+conn = http.client.HTTPConnection(url.hostname, url.port, timeout=60)
+conn.request("POST", "/integrate-source", body=csv,
+             headers={"content-type": "text/csv"})
+resp = conn.getresponse()
+body = resp.read()
+if resp.status != 200:
+    sys.exit(f"snapshot drill: integrate returned {resp.status}: {body!r}")
+if json.loads(body).get("generation") != 1:
+    sys.exit(f"snapshot drill: expected generation 1, got {body!r}")
+print("    integrated drillshop at generation 1")
+EOF
+# SIGKILL: no drain, no goodbye — the snapshot on disk is all that's left.
+kill -9 "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+if [ ! -s "$SNAP" ]; then
+    echo "snapshot drill: no snapshot on disk after the integration" >&2
+    exit 1
+fi
+cp "$SNAP" "$DRILL_DIR/resident.snap.before"
+
+"$LEAPME" serve \
+    --model "$DRILL_DIR/ref.lmp" --dataset "$DRILL_DIR/ds.json" \
+    --embeddings "$DRILL_DIR/emb.txt" --addr 127.0.0.1:0 \
+    --workers 2 --snapshot "$SNAP" \
+    > "$DRILL_DIR/snap2.out" &
+SERVE_PID=$!
+RECOVERED=""
+for _ in $(seq 1 300); do
+    RECOVERED="$(grep "recovered snapshot generation=" "$DRILL_DIR/snap2.out" 2>/dev/null || true)"
+    [ -n "$RECOVERED" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if ! grep -q "recovered snapshot generation=1" "$DRILL_DIR/snap2.out"; then
+    echo "snapshot drill: restart did not recover generation 1" >&2
+    cat "$DRILL_DIR/snap2.out" >&2
+    exit 1
+fi
+if ! cmp -s "$SNAP" "$DRILL_DIR/resident.snap.before"; then
+    echo "snapshot drill: recovery modified the snapshot file" >&2
+    exit 1
+fi
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || true
+SERVE_PID=""
+echo "    restart recovered generation 1; snapshot bytes unchanged"
 
 echo "==> verify OK"

@@ -1,0 +1,465 @@
+//! Chaos suite for the continual-ingestion driver (DESIGN.md §14):
+//! injected `continual.*` faults at the validation gate, the
+//! champion/challenger refit, and the resident-snapshot persist.
+//!
+//! The invariants under test:
+//!
+//! * a quarantined source leaves the resident state byte-identical —
+//!   the quality curve after an all-quarantined epoch is bitwise the
+//!   curve of a run that never saw the source;
+//! * a sabotaged challenger regresses on the holdout and auto-rolls
+//!   back, with both the `refit-start` and the decision journaled, and
+//!   a resumed run honors the journaled rollback without retraining;
+//! * a snapshot fault fails *before* the atomic rename, so the previous
+//!   generation survives bitwise and a restart recovers it;
+//! * the full `continual.*` fault matrix never lets a panic escape.
+//!
+//! `scripts/verify.sh` runs this file at `LEAPME_THREADS=1` and `4`;
+//! nothing here depends on the worker count, which is the point.
+
+#![cfg(feature = "faults")]
+
+use leapme::core::continual::{
+    run_schedule, ContinualConfig, ContinualEvent, QuarantineReason, RunOptions,
+};
+use leapme::core::journal::RunJournal;
+use leapme::core::pipeline::LeapmeConfig;
+use leapme::data::drift::{generate_drift_schedule, DriftConfig, DriftSchedule};
+use leapme::data::stress::StressConfig;
+use leapme::faults::{fired_count, sites, with_plan};
+use leapme::nn::network::TrainConfig;
+use leapme::nn::schedule::LrSchedule;
+use leapme::prelude::*;
+use leapme::serve::snapshot::{self, ResidentSnapshot};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+// ---------------------------------------------------------------------
+// fixture
+// ---------------------------------------------------------------------
+
+/// Serialize the tests in this file: `with_plan` installs a
+/// process-global fault plan, so overlapping tests would poison each
+/// other's draws.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("leapme_continual_chaos_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Two drifting arrivals (one per epoch) over a 120-property base —
+/// the same scenario the `core::continual` unit tests drive.
+fn small_drift() -> DriftConfig {
+    DriftConfig {
+        base: StressConfig {
+            properties: 120,
+            properties_per_source: 20,
+            cluster_size: 4,
+            instances_per_property: 1,
+            seed: 17,
+        },
+        epochs: 2,
+        sources_per_epoch: 1,
+        naming_drift: 0.3,
+        value_drift: 0.4,
+        corrupt_every: 0,
+    }
+}
+
+fn embeddings() -> EmbeddingStore {
+    leapme::stress_embedding_store(&small_drift().base, 12, 5)
+}
+
+/// Fast training config for tests that only compare states bitwise —
+/// quality is irrelevant, determinism is everything.
+fn quick_cfg() -> ContinualConfig {
+    ContinualConfig {
+        label_budget: 24,
+        model: LeapmeConfig {
+            train: TrainConfig {
+                schedule: LrSchedule::new(vec![(4, 1e-3)]),
+                ..TrainConfig::default()
+            },
+            hidden: vec![8],
+            ..LeapmeConfig::default()
+        },
+        ..ContinualConfig::default()
+    }
+}
+
+/// Strong training config for the rollback tests: the champion must be
+/// good enough that a sabotaged challenger reliably regresses.
+fn strong_cfg() -> ContinualConfig {
+    ContinualConfig {
+        label_budget: 24,
+        model: LeapmeConfig {
+            train: TrainConfig {
+                schedule: LrSchedule::new(vec![(16, 1e-3), (4, 1e-4)]),
+                ..TrainConfig::default()
+            },
+            hidden: vec![24],
+            ..LeapmeConfig::default()
+        },
+        ..ContinualConfig::default()
+    }
+}
+
+/// Read back everything journaled so far. `RunJournal::replayed` only
+/// surfaces records present at open time, so assertions re-open the
+/// file — exactly what a resumed process would see.
+fn events(path: &std::path::Path) -> Vec<ContinualEvent> {
+    RunJournal::open(path)
+        .unwrap()
+        .replayed::<ContinualEvent>()
+        .unwrap()
+}
+
+// ---------------------------------------------------------------------
+// quarantine leaves the resident state untouched
+// ---------------------------------------------------------------------
+
+/// With every arrival quarantined, the quality curve never moves off
+/// epoch 0: same sources, same properties, bitwise the same F1, and the
+/// champion generation stays 0 — the gate admitted nothing, so nothing
+/// changed.
+#[test]
+fn quarantining_every_arrival_freezes_the_resident_state() {
+    let _guard = serial();
+    let schedule = generate_drift_schedule(&small_drift());
+    let emb = embeddings();
+    let (report, fired) = with_plan("seed=31;continual.validate:malformed@1.0", || {
+        let report =
+            run_schedule(&schedule, &emb, &quick_cfg(), None, &RunOptions::default()).unwrap();
+        (report, fired_count(sites::CONTINUAL_VALIDATE))
+    });
+
+    assert_eq!(report.quarantined.len(), schedule.arrivals.len());
+    for q in &report.quarantined {
+        assert_eq!(q.reason, QuarantineReason::Injected, "{}", q.source);
+    }
+    assert!(fired >= schedule.arrivals.len() as u64);
+
+    let base = &report.points[0];
+    for p in &report.points {
+        assert_eq!(p.sources, base.sources, "epoch {}", p.epoch);
+        assert_eq!(p.properties, base.properties, "epoch {}", p.epoch);
+        assert_eq!(
+            p.f1.to_bits(),
+            base.f1.to_bits(),
+            "epoch {} F1 moved off the epoch-0 state",
+            p.epoch
+        );
+        assert_eq!(p.generation, 0, "epoch {}", p.epoch);
+        assert!(p.decision.is_none(), "epoch {}", p.epoch);
+    }
+    assert_eq!(report.promotions, 0);
+    assert_eq!(report.rollbacks, 0);
+}
+
+/// Sharper still: a run whose epoch-1 arrival is quarantined is bitwise
+/// the run over a schedule that never contained that arrival — per
+/// epoch, the same sources, properties, F1 bits, and generation.
+#[test]
+fn quarantined_source_is_as_if_it_never_arrived() {
+    let _guard = serial();
+    let schedule = generate_drift_schedule(&small_drift());
+    let emb = embeddings();
+    let cfg = quick_cfg();
+
+    // `#1` caps the plan at one firing: only the first gate check (the
+    // epoch-1 arrival) is rejected; the epoch-2 arrival integrates.
+    let faulted = with_plan("seed=32;continual.validate:io@1.0#1", || {
+        run_schedule(&schedule, &emb, &cfg, None, &RunOptions::default()).unwrap()
+    });
+    assert_eq!(faulted.quarantined.len(), 1);
+    assert_eq!(faulted.quarantined[0].epoch, 1);
+
+    let pruned = DriftSchedule {
+        base: schedule.base.clone(),
+        arrivals: schedule
+            .arrivals
+            .iter()
+            .filter(|a| a.epoch != 1)
+            .cloned()
+            .collect(),
+    };
+    let reference = run_schedule(&pruned, &emb, &cfg, None, &RunOptions::default()).unwrap();
+
+    assert_eq!(faulted.points.len(), reference.points.len());
+    for (a, b) in faulted.points.iter().zip(&reference.points) {
+        assert_eq!(a.sources, b.sources, "epoch {}", a.epoch);
+        assert_eq!(a.properties, b.properties, "epoch {}", a.epoch);
+        assert_eq!(
+            a.f1.to_bits(),
+            b.f1.to_bits(),
+            "epoch {}: quarantined run f1={} vs never-arrived f1={}",
+            a.epoch,
+            a.f1,
+            b.f1
+        );
+        assert_eq!(a.generation, b.generation, "epoch {}", a.epoch);
+        assert_eq!(a.decision, b.decision, "epoch {}", a.epoch);
+    }
+}
+
+// ---------------------------------------------------------------------
+// challenger sabotage → rollback, journaled and honored on resume
+// ---------------------------------------------------------------------
+
+/// The `continual.refit` `nan` fault trains the challenger at a zero
+/// learning rate: a guaranteed regression the holdout gate must catch.
+/// The rollback and the clean epoch-2 decision are both journaled, and
+/// a resumed run (fault gone) honors the journaled rollback without
+/// training a second challenger.
+#[test]
+fn sabotaged_challenger_rolls_back_and_the_decision_survives_resume() {
+    let _guard = serial();
+    let schedule = generate_drift_schedule(&small_drift());
+    let emb = embeddings();
+    let cfg = strong_cfg();
+    let path = tmp("rollback.journal");
+    std::fs::remove_file(&path).ok();
+    let opts = RunOptions {
+        force_refit_every: Some(1),
+        stop_after_epoch: Some(1),
+        ..RunOptions::default()
+    };
+
+    // Crash run: the epoch-1 refit is sabotaged, then the driver stops
+    // (simulating a kill after the epoch record landed).
+    {
+        let journal = RunJournal::open(&path).unwrap();
+        let report = with_plan("seed=33;continual.refit:nan@1.0#1", || {
+            run_schedule(&schedule, &emb, &cfg, Some(&journal), &opts).unwrap()
+        });
+        assert_eq!(report.rollbacks, 1, "sabotage must be caught");
+        assert_eq!(report.promotions, 0);
+        let p1 = &report.points[1];
+        assert_eq!(p1.decision.as_deref(), Some("rollback"));
+        assert_eq!(p1.generation, 0, "champion must be retained");
+
+        let evs = events(&path);
+        assert!(
+            evs.iter().any(|e| e.event == "refit-start" && e.epoch == 1),
+            "refit-start missing from the journal"
+        );
+        let rb = evs
+            .iter()
+            .find(|e| e.event == "rollback" && e.epoch == 1)
+            .expect("rollback missing from the journal");
+        let (champ, chal) = (rb.champion_f1.unwrap(), rb.challenger_f1.unwrap());
+        assert!(
+            chal < champ,
+            "journaled rollback must show the regression: challenger {chal} vs champion {champ}"
+        );
+    }
+
+    // Resume with no fault plan installed: the journaled rollback is
+    // honored (epoch 1 decides "rollback" again, generation stays 0)
+    // and is not journaled twice; epoch 2 refits cleanly and journals
+    // its own decision.
+    let journal = RunJournal::open(&path).unwrap();
+    let resumed = run_schedule(
+        &schedule,
+        &emb,
+        &cfg,
+        Some(&journal),
+        &RunOptions {
+            force_refit_every: Some(1),
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    let p1 = &resumed.points[1];
+    assert_eq!(p1.decision.as_deref(), Some("rollback"));
+    assert_eq!(p1.generation, 0);
+
+    let evs = events(&path);
+    let epoch1_rollbacks = evs
+        .iter()
+        .filter(|e| e.event == "rollback" && e.epoch == 1)
+        .count();
+    assert_eq!(epoch1_rollbacks, 1, "replay must not duplicate the decision");
+    assert!(
+        evs.iter()
+            .any(|e| (e.event == "promote" || e.event == "rollback") && e.epoch == 2),
+        "the epoch-2 refit decision must be journaled too"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// An `io` fault in the refit itself (not a bad challenger — a failed
+/// training run) also rolls back: the champion is retained and the
+/// journal says why.
+#[test]
+fn refit_io_fault_retains_the_champion() {
+    let _guard = serial();
+    let schedule = generate_drift_schedule(&small_drift());
+    let emb = embeddings();
+    let path = tmp("refit-io.journal");
+    std::fs::remove_file(&path).ok();
+    let journal = RunJournal::open(&path).unwrap();
+    let opts = RunOptions {
+        force_refit_every: Some(1),
+        ..RunOptions::default()
+    };
+    let report = with_plan("seed=35;continual.refit:io@1.0", || {
+        run_schedule(&schedule, &emb, &quick_cfg(), Some(&journal), &opts).unwrap()
+    });
+
+    assert_eq!(report.promotions, 0);
+    assert_eq!(report.rollbacks, 2, "both forced refits fail and roll back");
+    for p in &report.points {
+        assert_eq!(p.generation, 0, "epoch {}: champion must survive", p.epoch);
+    }
+    let evs = events(&path);
+    let rb = evs
+        .iter()
+        .find(|e| e.event == "rollback")
+        .expect("rollback missing from the journal");
+    assert!(
+        rb.detail.as_deref().unwrap_or("").contains("refit failed"),
+        "rollback detail should name the failure: {:?}",
+        rb.detail
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+// ---------------------------------------------------------------------
+// snapshot faults fail before the rename
+// ---------------------------------------------------------------------
+
+/// Both snapshot fault kinds (`torn`, `io`) fail the persist before the
+/// atomic rename: the previous generation's bytes survive untouched and
+/// a restart recovers them — the in-process half of the SIGKILL drill
+/// `scripts/verify.sh` runs against the real server binary.
+#[test]
+fn snapshot_fault_preserves_the_previous_generation_bitwise() {
+    let _guard = serial();
+    let schedule = generate_drift_schedule(&small_drift());
+    let props = schedule.base.properties();
+    let mut graph = SimilarityGraph::new();
+    graph.add(PropertyPair::new(props[0].clone(), props[21].clone()), 0.9);
+    let path = tmp("resident.snap");
+    std::fs::remove_file(&path).ok();
+
+    snapshot::save(
+        &path,
+        &ResidentSnapshot {
+            dataset: schedule.base.clone(),
+            graph: graph.clone(),
+            generation: 1,
+        },
+    )
+    .unwrap();
+    let good_bytes = std::fs::read(&path).unwrap();
+
+    let mut bigger = graph.clone();
+    bigger.add(PropertyPair::new(props[1].clone(), props[22].clone()), 0.8);
+    for spec in ["seed=36;continual.snapshot:io@1.0#1", "seed=36;continual.snapshot:torn@1.0#1"] {
+        let err = with_plan(spec, || {
+            snapshot::save(
+                &path,
+                &ResidentSnapshot {
+                    dataset: schedule.base.clone(),
+                    graph: bigger.clone(),
+                    generation: 2,
+                },
+            )
+        });
+        assert!(err.is_err(), "{spec}: the persist must fail");
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            good_bytes,
+            "{spec}: the previous snapshot must survive bitwise"
+        );
+        let recovered = snapshot::load(&path).unwrap().expect("snapshot present");
+        assert_eq!(recovered.generation, 1, "{spec}: restart recovers generation 1");
+    }
+
+    // With the plan gone the same write goes through.
+    snapshot::save(
+        &path,
+        &ResidentSnapshot {
+            dataset: schedule.base.clone(),
+            graph: bigger,
+            generation: 2,
+        },
+    )
+    .unwrap();
+    assert_eq!(snapshot::load(&path).unwrap().unwrap().generation, 2);
+    std::fs::remove_file(&path).ok();
+}
+
+// ---------------------------------------------------------------------
+// the continual.* fault matrix
+// ---------------------------------------------------------------------
+
+/// Every (site, kind) cell of the `continual.*` matrix, driven end to
+/// end through the scenario driver plus a snapshot persist: the run may
+/// quarantine, roll back, or return a structured error, but a panic
+/// must never unwind out, and the champion generation only moves on a
+/// journaled promotion. verify.sh runs this at `LEAPME_THREADS=1`
+/// and `4`.
+#[test]
+fn continual_fault_matrix_never_aborts() {
+    let _guard = serial();
+    let schedule = generate_drift_schedule(&small_drift());
+    let emb = embeddings();
+    let snap_path = tmp("matrix.snap");
+
+    let specs = [
+        "seed=41;continual.validate:malformed@0.5",
+        "seed=41;continual.validate:io@0.5",
+        "seed=41;continual.refit:nan@1.0#1",
+        "seed=41;continual.refit:io@1.0#1",
+        "seed=41;continual.snapshot:torn@1.0#1",
+        "seed=41;continual.snapshot:io@1.0#1",
+        "seed=41;core.journal.append:torn@0.5#2",
+    ];
+    for spec in specs {
+        std::fs::remove_file(&snap_path).ok();
+        let outcome = with_plan(spec, || {
+            catch_unwind(AssertUnwindSafe(|| {
+                let opts = RunOptions {
+                    force_refit_every: Some(2),
+                    ..RunOptions::default()
+                };
+                // Inactive sites simply never fire; every spec drives
+                // the full driver plus one snapshot persist.
+                match run_schedule(&schedule, &emb, &quick_cfg(), None, &opts) {
+                    Ok(report) => {
+                        for p in &report.points {
+                            assert!(p.f1.is_finite());
+                            assert!(
+                                p.generation == 0 || report.promotions > 0,
+                                "{spec}: generation moved without a promotion"
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        // Structured errors are acceptable outcomes —
+                        // exercise their Display while we're here.
+                        let _ = e.to_string();
+                    }
+                }
+                let _ = snapshot::save(
+                    &snap_path,
+                    &ResidentSnapshot {
+                        dataset: schedule.base.clone(),
+                        graph: SimilarityGraph::new(),
+                        generation: 1,
+                    },
+                );
+            }))
+        });
+        assert!(outcome.is_ok(), "panic escaped the driver under {spec:?}");
+    }
+    std::fs::remove_file(&snap_path).ok();
+}

@@ -586,6 +586,135 @@ fn integrate_source_swaps_resident_state_atomically() {
 }
 
 // ---------------------------------------------------------------------
+// keep-alive: bounded multi-request connections
+// ---------------------------------------------------------------------
+
+/// Write one request on an already-open connection and read exactly one
+/// framed response (headers, then `content-length` bytes of body) —
+/// without consuming the connection, unlike [`raw_roundtrip`].
+fn exchange(stream: &mut TcpStream, raw: &[u8]) -> String {
+    stream.write_all(raw).unwrap();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 512];
+    let head_end = loop {
+        if let Some(p) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break p + 4;
+        }
+        let n = stream.read(&mut chunk).unwrap();
+        assert!(n > 0, "connection closed mid-response: {buf:?}");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).unwrap().to_ascii_lowercase();
+    let clen: usize = head
+        .split("content-length:")
+        .nth(1)
+        .and_then(|r| r.split_whitespace().next())
+        .and_then(|v| v.parse().ok())
+        .expect("content-length in response head");
+    while buf.len() < head_end + clen {
+        let n = stream.read(&mut chunk).unwrap();
+        assert!(n > 0, "connection closed mid-body");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    String::from_utf8_lossy(&buf[..head_end + clen]).into_owned()
+}
+
+/// `Connection: keep-alive` grants a second request on the same socket;
+/// the response at the budget edge advertises `connection: close` and
+/// the server hangs up. A request without the header closes immediately.
+#[test]
+fn keep_alive_is_granted_explicitly_and_bounded_by_the_budget() {
+    let _g = serial();
+    let (handle, _state) = start_server(ServeConfig {
+        keep_alive_max_requests: 2,
+        ..quick_config()
+    });
+    let addr = handle.addr();
+
+    let keep_alive_get =
+        b"GET /healthz HTTP/1.1\r\nhost: test\r\nconnection: keep-alive\r\ncontent-length: 0\r\n\r\n";
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    let first = exchange(&mut stream, keep_alive_get);
+    assert_eq!(status_of(&first), 200);
+    assert!(
+        first.to_ascii_lowercase().contains("connection: keep-alive"),
+        "first response must advertise keep-alive: {first}"
+    );
+
+    // Same socket, second request: budget of 2 is now spent, so the
+    // response says close and the stream reaches EOF.
+    let second = exchange(&mut stream, keep_alive_get);
+    assert_eq!(status_of(&second), 200);
+    assert!(
+        second.to_ascii_lowercase().contains("connection: close"),
+        "budget-edge response must advertise close: {second}"
+    );
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "server wrote past the keep-alive budget");
+
+    // No `connection: keep-alive` header → one exchange, then EOF.
+    let mut plain = TcpStream::connect(addr).unwrap();
+    plain.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let only = exchange(
+        &mut plain,
+        b"GET /healthz HTTP/1.1\r\nhost: test\r\ncontent-length: 0\r\n\r\n",
+    );
+    assert_eq!(status_of(&only), 200);
+    assert!(only.to_ascii_lowercase().contains("connection: close"));
+    let mut rest = Vec::new();
+    plain.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty());
+
+    handle.shutdown();
+    assert!(handle.join().clean);
+}
+
+// ---------------------------------------------------------------------
+// generation-pinned snapshots around integrate-source
+// ---------------------------------------------------------------------
+
+/// With `snapshot_path` configured, a successful integration persists
+/// the new generation before the swap, and a restart-shaped load
+/// recovers exactly the resident state the server is serving.
+#[test]
+fn integrate_persists_a_generation_pinned_snapshot() {
+    let _g = serial();
+    let snap_path = std::env::temp_dir()
+        .join("leapme_serve_chaos_tests")
+        .join("resident.snap");
+    std::fs::remove_file(&snap_path).ok();
+    let (handle, state) = start_server(ServeConfig {
+        snapshot_path: Some(snap_path.clone()),
+        ..quick_config()
+    });
+
+    let csv = "source,property,entity,value\n\
+               snapshop,screen size,e1,55 inch\n\
+               snapshop,resolution,e1,3840x2160\n";
+    let response = request(handle.addr(), "POST", "/integrate-source", csv);
+    assert_eq!(status_of(&response), 200, "integration failed: {response}");
+    assert_eq!(json_u64(body_of(&response), "generation"), 1);
+
+    let snap = leapme::serve::snapshot::load(&snap_path)
+        .unwrap()
+        .expect("snapshot persisted before the swap");
+    assert_eq!(snap.generation, 1);
+    assert!(snap.dataset.sources().iter().any(|s| s == "snapshop"));
+    {
+        let resident = state.resident.read().unwrap();
+        assert_eq!(resident.generation, snap.generation);
+        assert_eq!(resident.graph.len(), snap.graph.len());
+    }
+
+    handle.shutdown();
+    assert!(handle.join().clean);
+    std::fs::remove_file(&snap_path).ok();
+}
+
+// ---------------------------------------------------------------------
 // injected faults: the serve.* sites
 // ---------------------------------------------------------------------
 
@@ -687,5 +816,50 @@ mod faults {
             assert!(report.clean);
             assert_eq!(report.worker_panics, poisoned as u64);
         });
+    }
+
+    /// A `continual.snapshot` fault during `integrate-source` refuses
+    /// the swap: the client gets a typed 500, the resident generation
+    /// never moves, no snapshot file appears — and once the fault
+    /// clears, the very same upload integrates and persists normally.
+    #[test]
+    fn snapshot_fault_refuses_the_swap_and_keeps_disk_and_memory_agreed() {
+        let _g = serial();
+        let snap_path = std::env::temp_dir()
+            .join("leapme_serve_chaos_tests")
+            .join("faulted.snap");
+        std::fs::remove_file(&snap_path).ok();
+        let (handle, state) = start_server(ServeConfig {
+            snapshot_path: Some(snap_path.clone()),
+            ..quick_config()
+        });
+        let csv = "source,property,entity,value\n\
+                   faultshop,screen size,e1,55 inch\n";
+
+        with_plan("seed=16;continual.snapshot:io@1.0#1", || {
+            let refused = request(handle.addr(), "POST", "/integrate-source", csv);
+            assert_eq!(status_of(&refused), 500, "swap must be refused: {refused}");
+            assert!(body_of(&refused).contains("snapshot-failed"));
+            assert_eq!(fired_count(sites::CONTINUAL_SNAPSHOT), 1);
+        });
+        assert!(!snap_path.exists(), "no partial snapshot may survive");
+        {
+            let resident = state.resident.read().unwrap();
+            assert_eq!(resident.generation, 0, "refused swap must not move memory");
+            assert!(!resident.dataset.sources().iter().any(|s| s == "faultshop"));
+        }
+
+        // Fault cleared: the retry goes through and persists gen 1.
+        let ok = request(handle.addr(), "POST", "/integrate-source", csv);
+        assert_eq!(status_of(&ok), 200, "retry after the fault: {ok}");
+        assert_eq!(json_u64(body_of(&ok), "generation"), 1);
+        assert_eq!(
+            leapme::serve::snapshot::load(&snap_path).unwrap().unwrap().generation,
+            1
+        );
+
+        handle.shutdown();
+        assert!(handle.join().clean);
+        std::fs::remove_file(&snap_path).ok();
     }
 }

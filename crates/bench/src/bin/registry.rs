@@ -1,0 +1,279 @@
+//! Registry + zero-copy container benchmark (PR10).
+//!
+//! Reported to `--out` (default `BENCH_PR10.json`), three sections:
+//!
+//! * **pair open** — the artifact pair a domain faults in (trained
+//!   model + warm feature cache) saved in both layouts, opened cold,
+//!   min over `--repeats` (default 15). v1 pays a full parse-and-copy
+//!   per open; v2 validates a 64-byte header plus section table and
+//!   hands out views over the mapping, so `pair_open_speedup` is the
+//!   headline number verify.sh gates at ≥ 10×.
+//! * **byte identity** — the same reference workload scored through
+//!   the v1-loaded and v2-loaded model/store; every score must match
+//!   to the bit (`scores_bitwise_identical`), proving zero-copy is a
+//!   representation change, not a numeric one.
+//! * **domain sweep** — registries of N identical domains served under
+//!   a budget sized to roughly half the fleet: every domain must still
+//!   answer (lazy fault-in + LRU eviction), and the recorded
+//!   resident/eviction counts show the budget actually bounded memory.
+//!
+//! The feature store is synthetic and deliberately fat (`--properties`,
+//! default 12000 rows) so the open-path difference dominates file-system
+//! noise. `faults_enabled` must read `false` in any report that counts.
+
+use leapme::core::feature_cache::{self, FeatureFingerprint};
+use leapme::core::pipeline::{Leapme, LeapmeConfig, LeapmeModel};
+use leapme::core::registry::{ModelRegistry, RegistryConfig};
+use leapme::core::sampling;
+use leapme::data::io::atomic_write;
+use leapme::nn::network::TrainConfig;
+use leapme::nn::schedule::LrSchedule;
+use leapme::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct OpenStats {
+    file_bytes: u64,
+    min_open_us: f64,
+    mean_open_us: f64,
+    open_path: String,
+}
+
+#[derive(Debug, Serialize)]
+struct PairOpen {
+    repeats: usize,
+    model_v1: OpenStats,
+    model_v2: OpenStats,
+    cache_v1: OpenStats,
+    cache_v2: OpenStats,
+    /// (v1 model + v1 cache) / (v2 model + v2 cache), min-over-repeats.
+    pair_open_speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct DomainSweepPoint {
+    domains: usize,
+    budget_domains: usize,
+    served: usize,
+    resident_after: usize,
+    evictions: u64,
+    resident_bytes: u64,
+    budget_bytes: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct RegistryReport {
+    faults_enabled: bool,
+    properties: usize,
+    feature_dim: usize,
+    scored_pairs: usize,
+    scores_bitwise_identical: bool,
+    pair_open: PairOpen,
+    domain_sweep: Vec<DomainSweepPoint>,
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// A synthetic feature store of `properties` rows over `sources`
+/// sources at the reference dataset's dimension — fat enough that the
+/// open-path difference dominates.
+fn fat_store(dim: usize, properties: usize, sources: usize, seed: u64) -> PropertyFeatureStore {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let plen = leapme::features::property::len(dim);
+    let mut features = HashMap::with_capacity(properties);
+    for i in 0..properties {
+        let key = PropertyKey::new(
+            SourceId((i % sources) as u16),
+            format!("synthetic_property_{i:05}"),
+        );
+        let v: Vec<f32> = (0..plen).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        features.insert(key, v);
+    }
+    PropertyFeatureStore::from_parts(dim, features, Default::default())
+}
+
+fn time_open<T>(repeats: usize, mut open: impl FnMut() -> T) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut sum = 0.0;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        let loaded = open();
+        let us = t.elapsed().as_secs_f64() * 1e6;
+        drop(loaded);
+        min = min.min(us);
+        sum += us;
+    }
+    (min, sum / repeats as f64)
+}
+
+fn file_bytes(path: &Path) -> u64 {
+    std::fs::metadata(path).map(|m| m.len()).unwrap_or(0)
+}
+
+/// Write one registry domain directory reusing the prepared artifacts.
+fn write_domain(root: &Path, name: &str, model_v2: &Path, cache_v2: &Path, dataset_json: &str) {
+    let dir = root.join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::copy(model_v2, dir.join("model.lmp")).unwrap();
+    std::fs::copy(cache_v2, dir.join("features.lfc")).unwrap();
+    std::fs::write(dir.join("dataset.json"), dataset_json).unwrap();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = flag(&args, "--out").unwrap_or_else(|| "BENCH_PR10.json".to_string());
+    let repeats: usize = flag(&args, "--repeats")
+        .map(|v| v.parse().expect("--repeats"))
+        .unwrap_or(15);
+    let properties: usize = flag(&args, "--properties")
+        .map(|v| v.parse().expect("--properties"))
+        .unwrap_or(12_000);
+
+    let work = std::env::temp_dir().join(format!("leapme_bench_registry_{}", std::process::id()));
+    std::fs::create_dir_all(&work).unwrap();
+
+    // ----- reference model + workload ---------------------------------
+    let dataset = generate(Domain::Tvs, 7);
+    let embeddings = EmbeddingStore::new(16);
+    let train_store = PropertyFeatureStore::build(&dataset, &embeddings);
+    let sources: Vec<SourceId> = (0..dataset.sources().len() as u16).map(SourceId).collect();
+    let mut rng = StdRng::seed_from_u64(7);
+    let train = sampling::training_pairs(&dataset, &sources, 2, &mut rng);
+    let cfg = LeapmeConfig {
+        train: TrainConfig {
+            schedule: LrSchedule::new(vec![(4, 1e-3)]),
+            ..TrainConfig::default()
+        },
+        hidden: vec![16],
+        ..LeapmeConfig::default()
+    };
+    let model = Leapme::fit(&train_store, &train, &cfg).expect("reference model fits");
+
+    // ----- the artifact pair in both layouts --------------------------
+    let fat = fat_store(embeddings.dim(), properties, dataset.sources().len(), 99);
+    let fp = FeatureFingerprint {
+        dataset: feature_cache::dataset_fingerprint(&dataset),
+        ..feature_cache::fingerprint(&dataset, &embeddings)
+    };
+    let model_v1 = work.join("model_v1.lmp");
+    let model_v2 = work.join("model_v2.lmp");
+    let cache_v1 = work.join("cache_v1.lfc");
+    let cache_v2 = work.join("cache_v2.lfc");
+    model.save_v1(&model_v1).unwrap();
+    model.save(&model_v2).unwrap();
+    feature_cache::save_v1(&cache_v1, &fat, &fp).unwrap();
+    feature_cache::save(&cache_v2, &fat, &fp).unwrap();
+
+    // ----- cold-open timing -------------------------------------------
+    let (m1_min, m1_mean) = time_open(repeats, || LeapmeModel::load(&model_v1).unwrap());
+    let (m2_min, m2_mean) = time_open(repeats, || LeapmeModel::load(&model_v2).unwrap());
+    let (c1_min, c1_mean) = time_open(repeats, || feature_cache::load_resident(&cache_v1).unwrap());
+    let (c2_min, c2_mean) = time_open(repeats, || feature_cache::load_resident(&cache_v2).unwrap());
+    let (_, m2_path) = LeapmeModel::load_with_report(&model_v2).unwrap();
+    let (_, _, c2_path) = feature_cache::load_resident(&cache_v2).unwrap();
+    let pair_open_speedup = (m1_min + c1_min) / (m2_min + c2_min);
+
+    // ----- byte identity ----------------------------------------------
+    let candidates = sampling::test_pairs(&dataset, &[]);
+    let from_v1 = {
+        let m = LeapmeModel::load(&model_v1).unwrap();
+        m.score_pairs(&train_store, &candidates).unwrap()
+    };
+    let from_v2 = {
+        let m = LeapmeModel::load(&model_v2).unwrap();
+        m.score_pairs(&train_store, &candidates).unwrap()
+    };
+    let scores_bitwise_identical = from_v1.len() == from_v2.len()
+        && from_v1
+            .iter()
+            .zip(from_v2.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+
+    // ----- N-domain sweep under a half-fleet budget -------------------
+    let dataset_json = dataset.to_json();
+    let per_domain = file_bytes(&model_v2) + file_bytes(&cache_v2);
+    let mut domain_sweep = Vec::new();
+    for n in [2usize, 4, 8] {
+        let root = work.join(format!("registry_{n}"));
+        for i in 0..n {
+            write_domain(&root, &format!("domain{i:02}"), &model_v2, &cache_v2, &dataset_json);
+        }
+        let budget_domains = (n / 2).max(1);
+        let budget_bytes = per_domain * budget_domains as u64 + 1024;
+        let registry = ModelRegistry::open(
+            &root,
+            RegistryConfig {
+                resident_budget_bytes: Some(budget_bytes),
+            },
+        )
+        .unwrap();
+        let mut served = 0;
+        for name in registry.domains() {
+            let domain = registry.get(&name).unwrap();
+            assert_eq!(domain.store.len(), properties);
+            served += 1;
+        }
+        let stats = registry.stats();
+        domain_sweep.push(DomainSweepPoint {
+            domains: n,
+            budget_domains,
+            served,
+            resident_after: stats.domains.iter().filter(|d| d.resident).count(),
+            evictions: stats.evictions,
+            resident_bytes: stats.resident_bytes,
+            budget_bytes,
+        });
+    }
+
+    let report = RegistryReport {
+        faults_enabled: cfg!(feature = "faults"),
+        properties,
+        feature_dim: embeddings.dim(),
+        scored_pairs: candidates.len(),
+        scores_bitwise_identical,
+        pair_open: PairOpen {
+            repeats,
+            model_v1: OpenStats {
+                file_bytes: file_bytes(&model_v1),
+                min_open_us: m1_min,
+                mean_open_us: m1_mean,
+                open_path: "legacy-v1".into(),
+            },
+            model_v2: OpenStats {
+                file_bytes: file_bytes(&model_v2),
+                min_open_us: m2_min,
+                mean_open_us: m2_mean,
+                open_path: m2_path.label().into(),
+            },
+            cache_v1: OpenStats {
+                file_bytes: file_bytes(&cache_v1),
+                min_open_us: c1_min,
+                mean_open_us: c1_mean,
+                open_path: "legacy-v1".into(),
+            },
+            cache_v2: OpenStats {
+                file_bytes: file_bytes(&cache_v2),
+                min_open_us: c2_min,
+                mean_open_us: c2_mean,
+                open_path: c2_path.into(),
+            },
+            pair_open_speedup,
+        },
+        domain_sweep,
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    atomic_write(&PathBuf::from(&out), json.as_bytes()).expect("write report");
+    std::fs::remove_dir_all(&work).ok();
+    println!("{json}");
+    eprintln!("wrote {out}");
+}

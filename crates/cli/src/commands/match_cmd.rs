@@ -149,8 +149,11 @@ pub fn run(flags: &Flags) -> Result<String, CliError> {
         Some(model_path) => {
             // Dataset compatibility (feature dimension) is validated by
             // the model itself before any pair is scored.
-            let model = LeapmeModel::load(Path::new(model_path))
+            let (model, open_path) = LeapmeModel::load_with_report(Path::new(model_path))
                 .map_err(|e| CliError::Pipeline(e.to_string()))?;
+            // mmap / read (v2 zero-copy) or legacy-v1 (full parse) —
+            // the verify drill greps this to pin the fast path.
+            eprintln!("loaded {model_path} open={}", open_path.label());
             (model, 0)
         }
         None => {

@@ -9,6 +9,7 @@ pub mod fuse;
 pub mod generate;
 pub mod import;
 pub mod match_cmd;
+pub mod registry;
 pub mod serve;
 pub mod stats;
 pub mod train;

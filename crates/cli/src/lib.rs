@@ -10,7 +10,8 @@
 //! | `stats` | print dataset statistics (sources, properties, ground truth) |
 //! | `train` | train LEAPME and save the model as a checksummed `.lmp` file |
 //! | `match` | train LEAPME (or load a `.lmp` model) and score pairs into a similarity graph |
-//! | `serve` | resident matching service: warm model + feature store behind HTTP with admission control, deadlines, graceful drain |
+//! | `serve` | resident matching service: warm model + feature store behind HTTP with admission control, deadlines, graceful drain; `--models` serves a whole registry of domains |
+//! | `registry` | inspect a multi-domain registry root; migrate v1 artifacts to zero-copy v2 containers |
 //! | `evaluate` | score a similarity graph against a dataset's ground truth |
 //! | `cluster` | derive property clusters from a similarity graph |
 //!
@@ -157,6 +158,16 @@ COMMANDS:
                 good generation on restart; clients sending
                 Connection: keep-alive get up to --keep-alive-max
                 requests per connection)
+               registry mode: --models <dir> [--resident-budget-mb N]
+               instead of --model/--dataset/--embeddings; each
+               <dir>/<name>/ holds model.lmp + dataset.json +
+               features.lfc|embeddings.txt, requests pick a domain via
+               the \"model\" body field or x-leapme-model header, and
+               POST /reload hot-swaps one domain from disk
+    registry   --dir <root> | --upgrade <artifact> --out <artifact>
+               (inspect a registry root: per-domain open path, bytes,
+                latency, and aggregate stats; or migrate a v1 model /
+                feature cache / snapshot to the zero-copy v2 container)
     evaluate   --dataset <dataset.json> --graph <graph.json> [--threshold 0.5]
     analyze    --dataset <dataset.json> --graph <graph.json> [--threshold 0.5]
     cluster    --graph <graph.json> [--method components|star] [--threshold 0.5]
@@ -196,6 +207,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "train" => commands::train::run(&flags),
         "match" => commands::match_cmd::run(&flags),
         "serve" => commands::serve::run(&flags),
+        "registry" => commands::registry::run(&flags),
         "evaluate" => commands::evaluate::run(&flags),
         "cluster" => commands::cluster::run(&flags),
         "continual" => commands::continual::run(&flags),

@@ -25,8 +25,10 @@ use leapme_features::{CancelCheck, PropertyFeatureStore, SanitizeStats};
 use leapme_nn::checkpoint::{
     self, crc64, CheckpointError, Decoder, Encoder, KIND_FEATURE_CACHE,
 };
+use leapme_nn::container2::{self, Opened, V2Container, V2Writer};
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Version of the *feature layout* a cache stores. Bump whenever the
 /// meaning, order, or count of property-vector components changes —
@@ -202,8 +204,49 @@ impl CacheStatus {
     }
 }
 
-/// Persist `store` to `path` under `fp`, atomically.
+/// Persist `store` to `path` under `fp`, atomically, in the v2 section
+/// container: a `meta` section (fingerprint + sanitize stats + count),
+/// a `keys` section (sorted property keys), and a `vectors` section —
+/// one contiguous f32 slab, row per property in key order — that loads
+/// back as a zero-copy view.
 pub fn save(
+    path: &Path,
+    store: &PropertyFeatureStore,
+    fp: &FeatureFingerprint,
+) -> Result<(), CheckpointError> {
+    // Sort keys so the byte stream (and thus the section CRCs) is
+    // deterministic across runs and hash-map orders.
+    let mut entries: Vec<(&PropertyKey, &[f32])> = store.iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    let sanitize = store.sanitize_stats();
+    let mut meta = Encoder::new();
+    meta.u32(fp.layout);
+    meta.u64(fp.dim);
+    meta.u64(fp.dataset);
+    meta.u64(fp.embeddings);
+    meta.u64(sanitize.nonfinite);
+    meta.u64(sanitize.clamped);
+    meta.u64(entries.len() as u64);
+    let plen = leapme_features::property::len(store.dim());
+    let mut keys = Encoder::new();
+    let mut vectors: Vec<f32> = Vec::with_capacity(entries.len() * plen);
+    for (key, vector) in &entries {
+        keys.u32(u32::from(key.source.0));
+        keys.u64(key.name.len() as u64);
+        keys.bytes(key.name.as_bytes());
+        vectors.extend_from_slice(vector);
+    }
+    let mut w = V2Writer::new(KIND_FEATURE_CACHE);
+    w.bytes("meta", &meta.finish());
+    w.bytes("keys", &keys.finish());
+    w.f32s("vectors", &vectors);
+    w.write(path)
+}
+
+/// Persist `store` in the legacy v1 single-payload layout. Kept so the
+/// v1-compat tests and the `registry upgrade` migration drill can
+/// produce old-format files; new writes go through [`save`].
+pub fn save_v1(
     path: &Path,
     store: &PropertyFeatureStore,
     fp: &FeatureFingerprint,
@@ -216,8 +259,6 @@ pub fn save(
     let sanitize = store.sanitize_stats();
     e.u64(sanitize.nonfinite);
     e.u64(sanitize.clamped);
-    // Sort keys so the byte stream (and thus the file CRC) is
-    // deterministic across runs and hash-map orders.
     let mut entries: Vec<(&PropertyKey, &[f32])> = store.iter().collect();
     entries.sort_by(|a, b| a.0.cmp(b.0));
     e.u64(entries.len() as u64);
@@ -230,40 +271,98 @@ pub fn save(
     checkpoint::write_container(path, KIND_FEATURE_CACHE, &e.finish())
 }
 
+/// Fingerprint precedence shared by both format versions: layout skew
+/// first (most actionable), then dimension, dataset, embeddings.
+fn check_fingerprint(
+    found: &FeatureFingerprint,
+    expected: &FeatureFingerprint,
+) -> Result<(), FeatureCacheError> {
+    if found.layout != expected.layout {
+        return Err(FeatureCacheError::Stale(Mismatch::Layout {
+            found: found.layout,
+            expected: expected.layout,
+        }));
+    }
+    if found.dim != expected.dim {
+        return Err(FeatureCacheError::Stale(Mismatch::Dim {
+            found: found.dim,
+            expected: expected.dim,
+        }));
+    }
+    if found.dataset != expected.dataset {
+        return Err(FeatureCacheError::Stale(Mismatch::Dataset));
+    }
+    if found.embeddings != expected.embeddings {
+        return Err(FeatureCacheError::Stale(Mismatch::Embeddings));
+    }
+    Ok(())
+}
+
 /// Load a store from `path`, verifying the container and every
 /// fingerprint component against `expected` before any vectors are
-/// decoded.
+/// decoded. Both format versions load: v1 through the legacy payload
+/// parse, v2 through zero-copy section views.
 pub fn load(
     path: &Path,
     expected: &FeatureFingerprint,
 ) -> Result<PropertyFeatureStore, FeatureCacheError> {
-    let payload = checkpoint::read_container(path, KIND_FEATURE_CACHE)?;
-    let mut d = Decoder::new(&payload);
-    let layout = d.u32()?;
-    if layout != expected.layout {
-        return Err(FeatureCacheError::Stale(Mismatch::Layout {
-            found: layout,
-            expected: expected.layout,
-        }));
+    match container2::open_any(path, KIND_FEATURE_CACHE)? {
+        Opened::V1(payload) => load_v1(&payload, Some(expected)).map(|(s, _)| s),
+        Opened::V2(c) => {
+            // This is the *self-healing* entry point (`load_or_build`
+            // rebuilds on any error), so pay the full per-section
+            // checksum sweep up front: a bit-flipped slab must surface
+            // here as a typed error — and trigger the rebuild — rather
+            // than score silently wrong. The resident path
+            // (`load_resident`) stays lazy and leans on the explicit
+            // `registry --dir` sweep instead.
+            c.verify_all()?;
+            load_v2(&c, Some(expected)).map(|(s, _)| s)
+        }
     }
-    let dim = d.u64()?;
-    if dim != expected.dim {
-        return Err(FeatureCacheError::Stale(Mismatch::Dim {
-            found: dim,
-            expected: expected.dim,
-        }));
+}
+
+/// Open a cache with no `(dataset, embeddings)` pair in hand — the
+/// registry path, where the recorded fingerprint is the source of truth
+/// (the caller cross-checks it against the domain's model). Returns the
+/// store, the recorded fingerprint, and the open-path label
+/// (`"mmap"` / `"read"` / `"legacy-v1"`).
+pub fn load_resident(
+    path: &Path,
+) -> Result<(PropertyFeatureStore, FeatureFingerprint, &'static str), FeatureCacheError> {
+    match container2::open_any(path, KIND_FEATURE_CACHE)? {
+        Opened::V1(payload) => load_v1(&payload, None).map(|(s, fp)| (s, fp, "legacy-v1")),
+        Opened::V2(c) => {
+            let label = c.open_path().label();
+            load_v2(&c, None).map(|(s, fp)| (s, fp, label))
+        }
     }
-    if d.u64()? != expected.dataset {
-        return Err(FeatureCacheError::Stale(Mismatch::Dataset));
-    }
-    if d.u64()? != expected.embeddings {
-        return Err(FeatureCacheError::Stale(Mismatch::Embeddings));
+}
+
+/// Decode the legacy v1 payload (fingerprint header, then inline
+/// per-property vectors), optionally gating on `expected` before any
+/// vector bytes are touched.
+fn load_v1(
+    payload: &[u8],
+    expected: Option<&FeatureFingerprint>,
+) -> Result<(PropertyFeatureStore, FeatureFingerprint), FeatureCacheError> {
+    let mut d = Decoder::new(payload);
+    // Struct-literal fields evaluate in written order, which must match
+    // the encoded order: layout, dim, dataset, embeddings.
+    let fp = FeatureFingerprint {
+        layout: d.u32()?,
+        dim: d.u64()?,
+        dataset: d.u64()?,
+        embeddings: d.u64()?,
+    };
+    if let Some(expected) = expected {
+        check_fingerprint(&fp, expected)?;
     }
     let sanitize = SanitizeStats {
         nonfinite: d.u64()?,
         clamped: d.u64()?,
     };
-    let dim = dim as usize;
+    let dim = fp.dim as usize;
     let expected_len = leapme_features::property::len(dim);
     let n = d.u64()? as usize;
     let mut features: HashMap<PropertyKey, Vec<f32>> = HashMap::with_capacity(n.min(1 << 20));
@@ -293,7 +392,109 @@ pub fn load(
         }
     }
     d.done()?;
-    Ok(PropertyFeatureStore::from_parts(dim, features, sanitize))
+    Ok((
+        PropertyFeatureStore::from_parts(dim, features, sanitize),
+        fp,
+    ))
+}
+
+/// Validate the raw `keys` section without allocating per key: every
+/// record in bounds, source ids in `u16`, names valid UTF-8, and keys
+/// in strictly ascending `(source, name)` order — the order the writer
+/// emits, and the invariant that makes duplicates impossible without a
+/// hash set. Returns a typed error on the first violation, so the
+/// deferred decode in [`load_v2`] can be infallible.
+fn validate_keys(bytes: &[u8], count: usize) -> Result<(), CheckpointError> {
+    let mut d = Decoder::new(bytes);
+    let mut prev: Option<(u16, &str)> = None;
+    for row in 0..count {
+        let source = d.u32()?;
+        let source = u16::try_from(source)
+            .map_err(|_| CheckpointError::Malformed(format!("source id {source} overflows u16")))?;
+        let name_len = d.u64()? as usize;
+        let name = std::str::from_utf8(d.raw(name_len)?)
+            .map_err(|_| CheckpointError::Malformed("property name is not UTF-8".into()))?;
+        let key = (source, name);
+        if let Some(prev) = prev {
+            if prev >= key {
+                return Err(CheckpointError::Malformed(format!(
+                    "key table not strictly ascending at row {row} \
+                     (s{}:{} then s{}:{})",
+                    prev.0, prev.1, key.0, key.1
+                )));
+            }
+        }
+        prev = Some(key);
+    }
+    d.done()
+}
+
+/// Decode a v2 cache: fingerprint from the `meta` section (gated on
+/// `expected` before the key table or slab are touched), keys from
+/// `keys`, and the vector slab as a zero-copy [`F32Section`] view —
+/// the store's rows alias the mapped file for its whole lifetime.
+///
+/// The open is O(1) in the property count: the key table is *validated*
+/// here (one allocation-free walk over CRC-checked bytes) but only
+/// *decoded* — per-key strings, the row-index map — on the store's
+/// first keyed access. The slab view skips its payload checksum
+/// entirely ([`V2Container::f32_section_lazy`]); `leapme registry
+/// --dir` and the verify.sh corruption drill run the explicit
+/// [`V2Container::verify_all`] sweep that covers it.
+///
+/// [`F32Section`]: container2::F32Section
+fn load_v2(
+    c: &Arc<V2Container>,
+    expected: Option<&FeatureFingerprint>,
+) -> Result<(PropertyFeatureStore, FeatureFingerprint), FeatureCacheError> {
+    let mut d = Decoder::new(c.section_bytes("meta")?);
+    let fp = FeatureFingerprint {
+        layout: d.u32()?,
+        dim: d.u64()?,
+        dataset: d.u64()?,
+        embeddings: d.u64()?,
+    };
+    if let Some(expected) = expected {
+        check_fingerprint(&fp, expected)?;
+    }
+    let sanitize = SanitizeStats {
+        nonfinite: d.u64()?,
+        clamped: d.u64()?,
+    };
+    let count = d.u64()? as usize;
+    d.done()?;
+
+    validate_keys(c.section_bytes("keys")?, count)?;
+
+    let slab = c.f32_section_lazy("vectors")?;
+    let decoder = Arc::clone(c);
+    let decode_keys = Box::new(move || {
+        // Infallible by construction: the section bytes were CRC-checked
+        // and shape-validated above, and the container (hence the
+        // mapping) lives inside this closure.
+        let bytes = decoder
+            .section_bytes("keys")
+            .expect("keys section validated at open");
+        let mut d = Decoder::new(bytes);
+        let mut keys = Vec::with_capacity(count);
+        for _ in 0..count {
+            let source = d.u32().expect("validated") as u16;
+            let name_len = d.u64().expect("validated") as usize;
+            let name = std::str::from_utf8(d.raw(name_len).expect("validated"))
+                .expect("validated");
+            keys.push(PropertyKey::new(SourceId(source), name));
+        }
+        keys
+    });
+    let store = PropertyFeatureStore::from_slab_deferred(
+        fp.dim as usize,
+        count,
+        decode_keys,
+        Arc::new(slab),
+        sanitize,
+    )
+    .map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+    Ok((store, fp))
 }
 
 /// Obtain the feature store for `(dataset, embeddings)`: from the cache
@@ -529,6 +730,66 @@ mod tests {
         // Without a path the cache machinery is bypassed entirely.
         let (_, status) = load_or_build(None, &ds, &emb, 1, None).unwrap();
         assert_eq!(status, CacheStatus::Disabled);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_cache_still_loads_and_matches_v2() {
+        let ds = dataset();
+        let emb = embeddings();
+        let store = PropertyFeatureStore::build(&ds, &emb);
+        let fp = fingerprint(&ds, &emb);
+        let v1 = temp_path("compat_v1.lfc");
+        let v2 = temp_path("compat_v2.lfc");
+        save_v1(&v1, &store, &fp).unwrap();
+        save(&v2, &store, &fp).unwrap();
+        let from_v1 = load(&v1, &fp).unwrap();
+        let from_v2 = load(&v2, &fp).unwrap();
+        assert_stores_bitwise_equal(&store, &from_v1);
+        assert_stores_bitwise_equal(&from_v1, &from_v2);
+        std::fs::remove_file(&v1).ok();
+        std::fs::remove_file(&v2).ok();
+    }
+
+    #[test]
+    fn load_resident_reports_fingerprint_and_open_path() {
+        let ds = dataset();
+        let emb = embeddings();
+        let store = PropertyFeatureStore::build(&ds, &emb);
+        let fp = fingerprint(&ds, &emb);
+        let v2 = temp_path("resident_v2.lfc");
+        let v1 = temp_path("resident_v1.lfc");
+        save(&v2, &store, &fp).unwrap();
+        save_v1(&v1, &store, &fp).unwrap();
+        let (loaded, recorded, path_label) = load_resident(&v2).unwrap();
+        assert_stores_bitwise_equal(&store, &loaded);
+        assert_eq!(recorded, fp);
+        assert!(path_label == "mmap" || path_label == "read", "{path_label}");
+        let (loaded, recorded, path_label) = load_resident(&v1).unwrap();
+        assert_stores_bitwise_equal(&store, &loaded);
+        assert_eq!(recorded, fp);
+        assert_eq!(path_label, "legacy-v1");
+        std::fs::remove_file(&v2).ok();
+        std::fs::remove_file(&v1).ok();
+    }
+
+    #[test]
+    fn v2_stale_is_detected_before_slab_decode() {
+        let ds = dataset();
+        let emb = embeddings();
+        let store = PropertyFeatureStore::build(&ds, &emb);
+        let fp = fingerprint(&ds, &emb);
+        let path = temp_path("stale_v2.lfc");
+        save(&path, &store, &fp).unwrap();
+        let skew = FeatureFingerprint {
+            layout: fp.layout + 1,
+            ..fp
+        };
+        let err = load(&path, &skew).err().expect("load must fail");
+        assert!(matches!(
+            err,
+            FeatureCacheError::Stale(Mismatch::Layout { .. })
+        ));
         std::fs::remove_file(&path).ok();
     }
 

@@ -65,6 +65,7 @@ pub mod journal;
 pub mod metrics;
 pub mod pipeline;
 pub mod prcurve;
+pub mod registry;
 pub mod retry;
 pub mod runner;
 pub mod sampling;

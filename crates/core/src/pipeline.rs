@@ -12,6 +12,8 @@ use crate::CoreError;
 use leapme_data::model::PropertyPair;
 use leapme_features::{CancelCheck, FeatureConfig, FeatureKind, FeatureScope, PropertyFeatureStore};
 use leapme_nn::checkpoint::{self, CheckpointError, Decoder, Encoder, KIND_PIPELINE};
+use leapme_nn::container2::{self, Opened, V2Container, V2Writer};
+use leapme_nn::layers::{Activation, Dense};
 use leapme_nn::matrix::Matrix;
 use leapme_nn::network::{FitControl, Mlp, TrainConfig};
 use leapme_nn::quant::{QuantWorkspace, QuantizedMlp, DEFAULT_TOLERANCE};
@@ -216,12 +218,81 @@ fn kind_from_tag(tag: u8) -> Result<FeatureKind, CheckpointError> {
     })
 }
 
+/// Which parse path [`LeapmeModel::load_with_report`] took for a
+/// `.lmp` file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelOpenPath {
+    /// v2 container over a shared read-only `mmap` — zero-copy weights.
+    Mmap,
+    /// v2 container read once into an aligned owned buffer — zero-copy
+    /// weights over that buffer.
+    Read,
+    /// Legacy v1 container: full payload parse with per-tensor copies.
+    LegacyV1,
+}
+
+impl ModelOpenPath {
+    /// Stable lowercase label (`mmap` / `read` / `legacy-v1`) for CLI
+    /// output and registry stats.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelOpenPath::Mmap => "mmap",
+            ModelOpenPath::Read => "read",
+            ModelOpenPath::LegacyV1 => "legacy-v1",
+        }
+    }
+}
+
+impl std::fmt::Display for ModelOpenPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Cap on the layer count a v2 model file may declare; a corrupted
+/// meta section cannot drive an absurd allocation.
+const MAX_V2_LAYERS: usize = 64;
+
 impl LeapmeModel {
-    /// Persist the trained model to `path` as a versioned, checksummed
-    /// `.lmp` container (atomic write: temp file + fsync + rename).
+    /// Persist the trained model to `path` as a v2 (zero-copy layout)
+    /// LEAPMECP container: a `meta` section with shapes and pipeline
+    /// settings, one 64-byte-aligned raw-f32 section per weight matrix
+    /// and bias, and the scaler rows — each individually CRC-64'd.
     /// Weights are stored as raw little-endian `f32` bits, so
     /// [`Self::load`] scores bitwise identically to the saved model.
     pub fn save(&self, path: &Path) -> Result<(), CoreError> {
+        let mut w = V2Writer::new(KIND_PIPELINE);
+        let (means, inv_stds) = self.scaler.parts();
+        let mut meta = Encoder::new();
+        meta.u32(self.net.layers().len() as u32);
+        for layer in self.net.layers() {
+            meta.u64(layer.in_dim() as u64);
+            meta.u64(layer.out_dim() as u64);
+            meta.u8(match layer.activation {
+                Activation::Relu => 0,
+                Activation::Identity => 1,
+            });
+        }
+        meta.u8(scope_tag(self.features.scope));
+        meta.u8(kind_tag(self.features.kind));
+        meta.f32(self.threshold);
+        meta.u64(self.dim as u64);
+        meta.u64(means.len() as u64);
+        w.bytes("meta", &meta.finish());
+        for (i, layer) in self.net.layers().iter().enumerate() {
+            w.f32s(&format!("w{i}"), layer.weights.data());
+            w.f32s(&format!("b{i}"), &layer.bias);
+        }
+        w.f32s("scaler.mean", means);
+        w.f32s("scaler.inv_std", inv_stds);
+        w.write(path)?;
+        Ok(())
+    }
+
+    /// Persist in the legacy v1 (parse-on-load) container layout. Kept
+    /// for migration testing and the open-time benchmark baseline;
+    /// [`Self::load`] reads both layouts.
+    pub fn save_v1(&self, path: &Path) -> Result<(), CoreError> {
         let mut e = Encoder::new();
         checkpoint::encode_mlp(&mut e, &self.net);
         let (means, inv_stds) = self.scaler.parts();
@@ -266,14 +337,35 @@ impl LeapmeModel {
         })
     }
 
-    /// Load a model saved by [`Self::save`]. Every corruption mode —
+    /// Load a model saved by [`Self::save`] (v2 zero-copy layout) or
+    /// [`Self::save_v1`] (legacy parse path). Every corruption mode —
     /// wrong magic, unsupported version, wrong container kind,
     /// truncation, flipped payload bits — surfaces as a typed
     /// [`CoreError::Checkpoint`]; a damaged file is never loaded
     /// silently.
     pub fn load(path: &Path) -> Result<LeapmeModel, CoreError> {
-        let payload = checkpoint::read_container(path, KIND_PIPELINE)?;
-        let mut d = Decoder::new(&payload);
+        Ok(Self::load_with_report(path)?.0)
+    }
+
+    /// [`Self::load`] also reporting which open path was taken: `mmap`
+    /// (v2, zero-copy over a shared mapping), `read` (v2, zero-copy
+    /// over an owned aligned buffer), or `legacy-v1` (full parse).
+    pub fn load_with_report(path: &Path) -> Result<(LeapmeModel, ModelOpenPath), CoreError> {
+        match container2::open_any(path, KIND_PIPELINE)? {
+            Opened::V1(payload) => Ok((Self::from_v1_payload(&payload)?, ModelOpenPath::LegacyV1)),
+            Opened::V2(container) => {
+                let open_path = match container.open_path() {
+                    container2::OpenPath::Mmap => ModelOpenPath::Mmap,
+                    container2::OpenPath::Read => ModelOpenPath::Read,
+                };
+                Ok((Self::from_v2(&container)?, open_path))
+            }
+        }
+    }
+
+    /// Decode the legacy v1 pipeline payload.
+    fn from_v1_payload(payload: &[u8]) -> Result<LeapmeModel, CoreError> {
+        let mut d = Decoder::new(payload);
         let net = checkpoint::decode_mlp(&mut d)?;
         let means = d.f32s()?;
         let inv_stds = d.f32s()?;
@@ -291,6 +383,92 @@ impl LeapmeModel {
         let dim = usize::try_from(d.u64()?)
             .map_err(|_| CheckpointError::Malformed("dim overflows usize".into()))?;
         d.done()?;
+        Ok(LeapmeModel {
+            net,
+            scaler: Scaler::from_parts(means, inv_stds),
+            features: FeatureConfig { scope, kind },
+            threshold,
+            dim,
+        })
+    }
+
+    /// Assemble a model over an open v2 container: weight matrices
+    /// become zero-copy views pinning the container's mapping (no
+    /// per-tensor `Vec` materialization); only the tiny biases and
+    /// scaler rows are copied.
+    fn from_v2(container: &std::sync::Arc<V2Container>) -> Result<LeapmeModel, CoreError> {
+        let mut d = Decoder::new(container.section_bytes("meta")?);
+        let n_layers = d.u32()? as usize;
+        if n_layers == 0 || n_layers > MAX_V2_LAYERS {
+            return Err(
+                CheckpointError::Malformed(format!("implausible layer count {n_layers}")).into(),
+            );
+        }
+        let mut shapes = Vec::with_capacity(n_layers);
+        for _ in 0..n_layers {
+            let in_dim = usize::try_from(d.u64()?)
+                .map_err(|_| CheckpointError::Malformed("layer in_dim overflows".into()))?;
+            let out_dim = usize::try_from(d.u64()?)
+                .map_err(|_| CheckpointError::Malformed("layer out_dim overflows".into()))?;
+            let activation = match d.u8()? {
+                0 => Activation::Relu,
+                1 => Activation::Identity,
+                t => {
+                    return Err(
+                        CheckpointError::Malformed(format!("activation tag {t}")).into(),
+                    )
+                }
+            };
+            shapes.push((in_dim, out_dim, activation));
+        }
+        let scope = scope_from_tag(d.u8()?)?;
+        let kind = kind_from_tag(d.u8()?)?;
+        let threshold = d.f32()?;
+        let dim = usize::try_from(d.u64()?)
+            .map_err(|_| CheckpointError::Malformed("dim overflows usize".into()))?;
+        let scaler_len = usize::try_from(d.u64()?)
+            .map_err(|_| CheckpointError::Malformed("scaler length overflows".into()))?;
+        d.done()?;
+
+        let mut layers = Vec::with_capacity(n_layers);
+        for (i, (in_dim, out_dim, activation)) in shapes.into_iter().enumerate() {
+            let weights = container.f32_section(&format!("w{i}"))?;
+            let expect = in_dim.checked_mul(out_dim).ok_or_else(|| {
+                CheckpointError::Malformed(format!("layer {i} parameter count overflows"))
+            })?;
+            if weights.as_ref().len() != expect {
+                return Err(CheckpointError::Malformed(format!(
+                    "layer {i} weights: expected {expect} f32s, found {}",
+                    weights.as_ref().len()
+                ))
+                .into());
+            }
+            let bias = container.section_f32_vec(&format!("b{i}"))?;
+            if bias.len() != out_dim {
+                return Err(CheckpointError::Malformed(format!(
+                    "layer {i} bias: expected {out_dim} f32s, found {}",
+                    bias.len()
+                ))
+                .into());
+            }
+            layers.push(Dense {
+                weights: Matrix::from_shared(in_dim, out_dim, std::sync::Arc::new(weights)),
+                bias,
+                activation,
+            });
+        }
+        let net = Mlp::try_from_layers(layers)
+            .map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+        let means = container.section_f32_vec("scaler.mean")?;
+        let inv_stds = container.section_f32_vec("scaler.inv_std")?;
+        if means.len() != scaler_len || inv_stds.len() != scaler_len {
+            return Err(CheckpointError::Malformed(format!(
+                "scaler stats length mismatch: {} means / {} stds, meta says {scaler_len}",
+                means.len(),
+                inv_stds.len()
+            ))
+            .into());
+        }
         Ok(LeapmeModel {
             net,
             scaler: Scaler::from_parts(means, inv_stds),

@@ -1,0 +1,635 @@
+//! Resident multi-domain model registry.
+//!
+//! One matching service rarely serves one dataset: every product
+//! vertical (or tenant) has its own trained LEAPME model, dataset, and
+//! warm feature cache. This module keeps many such *domains* resident
+//! behind shared read-only mappings — the v2 zero-copy containers make
+//! a cold open cheap (header + section table + lazy CRC), so domains
+//! are faulted in on first use instead of at startup, and evicted LRU
+//! when a configurable resident-bytes budget is exceeded.
+//!
+//! Layout on disk: `<root>/<domain>/` with
+//!
+//! * `model.lmp` — required; v1 or v2 pipeline container,
+//! * `dataset.json` — required; the domain's dataset,
+//! * `features.lfc` — optional; warm feature cache (v1 or v2; the v2
+//!   slab is served zero-copy off the mapping),
+//! * `embeddings.txt` — optional fallback; when no cache file exists
+//!   the store is built from these embeddings at fault-in.
+//!
+//! Each domain carries a *generation* counter that survives eviction:
+//! [`ModelRegistry::reload`] re-opens the domain from disk and bumps
+//! it, which keys the serve layer's single-flight coalescer exactly
+//! like the PR8 `integrate-source` swap — in-flight results computed
+//! against the old generation are never shared across a swap.
+
+use crate::feature_cache;
+use crate::pipeline::{LeapmeModel, ModelOpenPath};
+use crate::CoreError;
+use leapme_data::model::Dataset;
+use leapme_embedding::store::EmbeddingStore;
+use leapme_features::PropertyFeatureStore;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Tunables for one registry instance.
+#[derive(Debug, Clone, Default)]
+pub struct RegistryConfig {
+    /// Soft ceiling on the bytes kept resident across all domains
+    /// (model + feature-cache file sizes, or an in-memory estimate for
+    /// stores built from embeddings). `None` disables eviction. The
+    /// budget is soft in one direction only: a single domain larger
+    /// than the whole budget still loads — it just evicts everyone
+    /// else first.
+    pub resident_budget_bytes: Option<u64>,
+}
+
+/// Errors from registry discovery and domain fault-in.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// No domain with that name exists under the registry root — the
+    /// serve layer maps this to a typed 404 `unknown-model`.
+    UnknownModel(String),
+    /// The registry root is unusable (missing, unreadable, or holds no
+    /// domain directories).
+    InvalidRoot(String),
+    /// A domain directory exists but its artifacts are missing,
+    /// unreadable, or mutually inconsistent.
+    InvalidDomain {
+        /// Domain name.
+        name: String,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// The domain's model or cache container failed to load.
+    Core(CoreError),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownModel(name) => write!(f, "unknown model {name:?}"),
+            RegistryError::InvalidRoot(msg) => write!(f, "invalid registry root: {msg}"),
+            RegistryError::InvalidDomain { name, reason } => {
+                write!(f, "invalid domain {name:?}: {reason}")
+            }
+            RegistryError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<CoreError> for RegistryError {
+    fn from(e: CoreError) -> Self {
+        RegistryError::Core(e)
+    }
+}
+
+/// A fully faulted-in domain: everything the serve layer needs to score
+/// or match against it. Shared behind `Arc` so eviction (dropping the
+/// registry's reference) never invalidates an in-flight request.
+pub struct Domain {
+    /// Domain name (the directory name under the registry root).
+    pub name: String,
+    /// The domain's trained model.
+    pub model: LeapmeModel,
+    /// The domain's dataset.
+    pub dataset: Dataset,
+    /// Feature store over `dataset` (zero-copy slab when the cache file
+    /// is a v2 container).
+    pub store: PropertyFeatureStore,
+    /// Generation at fault-in time; bumped by [`ModelRegistry::reload`].
+    pub generation: u64,
+    /// How the model container was opened (`mmap` / `read` /
+    /// `legacy-v1`).
+    pub model_open_path: ModelOpenPath,
+    /// How the feature store was obtained: `mmap` / `read` /
+    /// `legacy-v1` for a cache file, `built` when computed from
+    /// `embeddings.txt`.
+    pub store_source: &'static str,
+    /// Bytes this domain accounts against the resident budget.
+    pub bytes: u64,
+    /// Wall-clock milliseconds the fault-in took.
+    pub open_ms: u64,
+}
+
+/// Per-domain bookkeeping that survives eviction.
+struct DomainSlot {
+    resident: Option<Arc<Domain>>,
+    generation: u64,
+    /// Logical clock value of the most recent use (LRU order).
+    last_used: u64,
+    hits: u64,
+    misses: u64,
+    /// Stats of the last successful fault-in (kept after eviction so
+    /// `/metrics` still shows what the domain cost to open).
+    bytes: u64,
+    open_ms: u64,
+    open_path: &'static str,
+}
+
+struct Inner {
+    domains: HashMap<String, DomainSlot>,
+    clock: u64,
+    resident_bytes: u64,
+    evictions: u64,
+}
+
+/// Many domains resident behind one root directory. All mutation is
+/// behind one mutex — fault-in work (file I/O, store builds) runs
+/// *outside* the lock, so a slow cold open never blocks hot domains.
+pub struct ModelRegistry {
+    root: PathBuf,
+    config: RegistryConfig,
+    inner: Mutex<Inner>,
+}
+
+/// Point-in-time registry statistics for `/metrics` and the CLI
+/// `registry` inspection command.
+#[derive(Debug, Clone, Serialize)]
+pub struct RegistryStats {
+    /// One entry per discovered domain, sorted by name.
+    pub domains: Vec<DomainStats>,
+    /// Bytes currently accounted as resident.
+    pub resident_bytes: u64,
+    /// Configured budget, if any.
+    pub budget_bytes: Option<u64>,
+    /// Domains evicted to stay under the budget since startup.
+    pub evictions: u64,
+}
+
+/// One domain's statistics.
+#[derive(Debug, Clone, Serialize)]
+pub struct DomainStats {
+    /// Domain name.
+    pub name: String,
+    /// Whether the domain is currently resident.
+    pub resident: bool,
+    /// Current generation (survives eviction).
+    pub generation: u64,
+    /// Bytes of the last successful fault-in (0 if never loaded).
+    pub bytes: u64,
+    /// Milliseconds the last fault-in took.
+    pub open_ms: u64,
+    /// Requests served while resident.
+    pub hits: u64,
+    /// Fault-ins (cold opens).
+    pub misses: u64,
+    /// Open path of the last fault-in (`mmap`/`read`/`legacy-v1`, empty
+    /// if never loaded).
+    pub open_path: String,
+}
+
+impl ModelRegistry {
+    /// Discover the domains under `root`: every direct subdirectory
+    /// containing a `model.lmp`. Nothing is loaded yet — domains fault
+    /// in lazily on first [`Self::get`].
+    pub fn open(root: &Path, config: RegistryConfig) -> Result<Self, RegistryError> {
+        let entries = std::fs::read_dir(root)
+            .map_err(|e| RegistryError::InvalidRoot(format!("{}: {e}", root.display())))?;
+        let mut domains = HashMap::new();
+        for entry in entries {
+            let entry =
+                entry.map_err(|e| RegistryError::InvalidRoot(format!("{}: {e}", root.display())))?;
+            let path = entry.path();
+            if !path.is_dir() || !path.join("model.lmp").is_file() {
+                continue;
+            }
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            domains.insert(
+                name.to_string(),
+                DomainSlot {
+                    resident: None,
+                    generation: 0,
+                    last_used: 0,
+                    hits: 0,
+                    misses: 0,
+                    bytes: 0,
+                    open_ms: 0,
+                    open_path: "",
+                },
+            );
+        }
+        if domains.is_empty() {
+            return Err(RegistryError::InvalidRoot(format!(
+                "{}: no domain directories with a model.lmp",
+                root.display()
+            )));
+        }
+        Ok(ModelRegistry {
+            root: root.to_path_buf(),
+            config,
+            inner: Mutex::new(Inner {
+                domains,
+                clock: 0,
+                resident_bytes: 0,
+                evictions: 0,
+            }),
+        })
+    }
+
+    /// Sorted names of every discovered domain.
+    pub fn domains(&self) -> Vec<String> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut names: Vec<String> = inner.domains.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// The domain, faulting it in from disk if it is not resident.
+    /// Returns [`RegistryError::UnknownModel`] for names that were not
+    /// discovered at [`Self::open`] time.
+    pub fn get(&self, name: &str) -> Result<Arc<Domain>, RegistryError> {
+        let generation = {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.clock += 1;
+            let clock = inner.clock;
+            let slot = inner
+                .domains
+                .get_mut(name)
+                .ok_or_else(|| RegistryError::UnknownModel(name.to_string()))?;
+            slot.last_used = clock;
+            if let Some(domain) = &slot.resident {
+                slot.hits += 1;
+                return Ok(Arc::clone(domain));
+            }
+            slot.generation
+        };
+        // Cold: load outside the lock (concurrent callers may race to
+        // load the same domain; the first to publish wins, the loser's
+        // work is dropped — correctness over cleverness, and the serve
+        // layer's single-flight already bounds duplicate match work).
+        let domain = Arc::new(self.load_domain(name, generation)?);
+        Ok(self.publish(name, domain))
+    }
+
+    /// Re-open `name` from disk and swap it in atomically with a bumped
+    /// generation — the per-domain hot-swap. In-flight requests holding
+    /// the old `Arc<Domain>` finish against the old artifacts.
+    pub fn reload(&self, name: &str) -> Result<Arc<Domain>, RegistryError> {
+        let next_generation = {
+            let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let slot = inner
+                .domains
+                .get(name)
+                .ok_or_else(|| RegistryError::UnknownModel(name.to_string()))?;
+            slot.generation + 1
+        };
+        let domain = Arc::new(self.load_domain(name, next_generation)?);
+        Ok(self.publish(name, domain))
+    }
+
+    /// Install a freshly loaded domain, update accounting, and evict
+    /// LRU residents until the budget holds again.
+    fn publish(&self, name: &str, domain: Arc<Domain>) -> Arc<Domain> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.clock += 1;
+        let clock = inner.clock;
+        let mut freed = 0u64;
+        if let Some(slot) = inner.domains.get_mut(name) {
+            if let Some(old) = slot.resident.take() {
+                freed = old.bytes;
+            }
+            slot.resident = Some(Arc::clone(&domain));
+            slot.generation = domain.generation;
+            slot.last_used = clock;
+            slot.misses += 1;
+            slot.bytes = domain.bytes;
+            slot.open_ms = domain.open_ms;
+            slot.open_path = domain.model_open_path.label();
+        }
+        inner.resident_bytes = inner.resident_bytes - freed + domain.bytes;
+        if let Some(budget) = self.config.resident_budget_bytes {
+            // Evict least-recently-used residents other than the one
+            // just loaded until the budget holds (or nothing is left to
+            // evict — one oversized domain is allowed to stay).
+            while inner.resident_bytes > budget {
+                let victim = inner
+                    .domains
+                    .iter()
+                    .filter(|(n, s)| s.resident.is_some() && n.as_str() != name)
+                    .min_by_key(|(_, s)| s.last_used)
+                    .map(|(n, _)| n.clone());
+                let Some(victim) = victim else { break };
+                if let Some(slot) = inner.domains.get_mut(&victim) {
+                    if let Some(old) = slot.resident.take() {
+                        inner.resident_bytes -= old.bytes;
+                        inner.evictions += 1;
+                    }
+                }
+            }
+        }
+        domain
+    }
+
+    /// Drop a domain's resident artifacts (its generation survives, so
+    /// a later fault-in continues the sequence). No-op if not resident.
+    pub fn evict(&self, name: &str) -> Result<(), RegistryError> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let slot = inner
+            .domains
+            .get_mut(name)
+            .ok_or_else(|| RegistryError::UnknownModel(name.to_string()))?;
+        if let Some(old) = slot.resident.take() {
+            let bytes = old.bytes;
+            drop(old);
+            inner.resident_bytes -= bytes;
+            inner.evictions += 1;
+        }
+        Ok(())
+    }
+
+    /// Point-in-time statistics over every discovered domain.
+    pub fn stats(&self) -> RegistryStats {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut domains: Vec<DomainStats> = inner
+            .domains
+            .iter()
+            .map(|(name, slot)| DomainStats {
+                name: name.clone(),
+                resident: slot.resident.is_some(),
+                generation: slot.generation,
+                bytes: slot.bytes,
+                open_ms: slot.open_ms,
+                hits: slot.hits,
+                misses: slot.misses,
+                open_path: slot.open_path.to_string(),
+            })
+            .collect();
+        domains.sort_by(|a, b| a.name.cmp(&b.name));
+        RegistryStats {
+            domains,
+            resident_bytes: inner.resident_bytes,
+            budget_bytes: self.config.resident_budget_bytes,
+            evictions: inner.evictions,
+        }
+    }
+
+    /// Load every artifact of one domain from disk. Runs without the
+    /// registry lock held.
+    fn load_domain(&self, name: &str, generation: u64) -> Result<Domain, RegistryError> {
+        let invalid = |reason: String| RegistryError::InvalidDomain {
+            name: name.to_string(),
+            reason,
+        };
+        let dir = self.root.join(name);
+        let started = Instant::now();
+        let model_path = dir.join("model.lmp");
+        let (model, model_open_path) = LeapmeModel::load_with_report(&model_path)?;
+        let dataset_path = dir.join("dataset.json");
+        let json = std::fs::read_to_string(&dataset_path)
+            .map_err(|e| invalid(format!("{}: {e}", dataset_path.display())))?;
+        let dataset = Dataset::from_json(&json)
+            .map_err(|e| invalid(format!("{}: {e}", dataset_path.display())))?;
+
+        let cache_path = dir.join("features.lfc");
+        let mut bytes = file_len(&model_path);
+        let (store, store_source) = if cache_path.is_file() {
+            let (store, recorded, label) = feature_cache::load_resident(&cache_path)
+                .map_err(|e| invalid(format!("{}: {e}", cache_path.display())))?;
+            // The cache carries no embeddings to re-fingerprint against
+            // here; the dataset half of the fingerprint is checkable
+            // and must match, or the cache belongs to different data.
+            let expected = feature_cache::dataset_fingerprint(&dataset);
+            if recorded.dataset != expected {
+                return Err(invalid(format!(
+                    "feature cache fingerprint {:#018x} does not match dataset {expected:#018x}",
+                    recorded.dataset
+                )));
+            }
+            bytes += file_len(&cache_path);
+            (store, label)
+        } else {
+            let emb_path = dir.join("embeddings.txt");
+            if !emb_path.is_file() {
+                return Err(invalid(
+                    "neither features.lfc nor embeddings.txt present".to_string(),
+                ));
+            }
+            let embeddings = EmbeddingStore::load_text(&emb_path)
+                .map_err(|e| invalid(format!("{}: {e}", emb_path.display())))?;
+            let store = PropertyFeatureStore::build(&dataset, &embeddings);
+            // Estimate: the store owns its vectors, so account the slab
+            // it would occupy.
+            bytes += (store.len() * leapme_features::property::len(store.dim()) * 4) as u64;
+            (store, "built")
+        };
+
+        Ok(Domain {
+            name: name.to_string(),
+            model,
+            dataset,
+            store,
+            generation,
+            model_open_path,
+            store_source,
+            bytes,
+            open_ms: started.elapsed().as_millis() as u64,
+        })
+    }
+}
+
+fn file_len(path: &Path) -> u64 {
+    std::fs::metadata(path).map(|m| m.len()).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Leapme, LeapmeConfig};
+    use crate::sampling;
+    use leapme_data::model::{Instance, PropertyKey, SourceId};
+    use leapme_nn::network::TrainConfig;
+    use leapme_nn::schedule::LrSchedule;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeMap;
+
+    fn dataset() -> Dataset {
+        let mk = |source: u16, property: &str, entity: &str, value: &str| Instance {
+            source: SourceId(source),
+            property: property.into(),
+            entity: entity.into(),
+            value: value.into(),
+        };
+        let instances = vec![
+            mk(0, "megapixels", "e1", "20.1 MP"),
+            mk(0, "price", "e1", "1,299.99"),
+            mk(1, "resolution", "x1", "18 megapixels"),
+            mk(1, "weight", "x1", "450 g"),
+        ];
+        let mut alignment = BTreeMap::new();
+        for (s, p, u) in [
+            (0u16, "megapixels", "resolution"),
+            (0, "price", "price"),
+            (1, "resolution", "resolution"),
+            (1, "weight", "weight"),
+        ] {
+            alignment.insert(PropertyKey::new(SourceId(s), p), u.to_string());
+        }
+        Dataset::new("toy", vec!["a".into(), "b".into()], instances, alignment).unwrap()
+    }
+
+    fn embeddings() -> EmbeddingStore {
+        let mut s = EmbeddingStore::new(4);
+        s.insert("megapixels", vec![1.0, 0.0, 0.0, 0.0]).unwrap();
+        s.insert("resolution", vec![0.9, 0.1, 0.0, 0.0]).unwrap();
+        s.insert("weight", vec![0.0, 0.0, 1.0, 0.0]).unwrap();
+        s.insert("price", vec![0.0, 1.0, 0.0, 0.0]).unwrap();
+        s
+    }
+
+    /// Write `n` domain dirs (dom0..) sharing one tiny trained model,
+    /// dataset, and v2 feature cache. Returns the registry root.
+    fn registry_root(tag: &str, n: usize) -> PathBuf {
+        let root = std::env::temp_dir().join(format!(
+            "leapme-registry-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&root).ok();
+        std::fs::create_dir_all(&root).unwrap();
+
+        let ds = dataset();
+        let emb = embeddings();
+        let store = PropertyFeatureStore::build(&ds, &emb);
+        let mut rng = StdRng::seed_from_u64(3);
+        let train = sampling::training_pairs(&ds, &[SourceId(0), SourceId(1)], 2, &mut rng);
+        let cfg = LeapmeConfig {
+            train: TrainConfig {
+                schedule: LrSchedule::new(vec![(2, 1e-3)]),
+                ..TrainConfig::default()
+            },
+            hidden: vec![4],
+            ..LeapmeConfig::default()
+        };
+        let model = Leapme::fit(&store, &train, &cfg).unwrap();
+        let fp = feature_cache::fingerprint(&ds, &emb);
+        for i in 0..n {
+            let dir = root.join(format!("dom{i}"));
+            std::fs::create_dir_all(&dir).unwrap();
+            model.save(&dir.join("model.lmp")).unwrap();
+            std::fs::write(dir.join("dataset.json"), ds.to_json()).unwrap();
+            feature_cache::save(&dir.join("features.lfc"), &store, &fp).unwrap();
+        }
+        root
+    }
+
+    #[test]
+    fn unknown_model_is_a_typed_error() {
+        let root = registry_root("unknown", 1);
+        let reg = ModelRegistry::open(&root, RegistryConfig::default()).unwrap();
+        match reg.get("nope") {
+            Err(RegistryError::UnknownModel(name)) => assert_eq!(name, "nope"),
+            other => panic!("expected UnknownModel, got {other:?}", other = other.err()),
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn empty_root_is_invalid() {
+        let root = std::env::temp_dir().join(format!("leapme-registry-empty-{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        std::fs::create_dir_all(&root).unwrap();
+        assert!(matches!(
+            ModelRegistry::open(&root, RegistryConfig::default()),
+            Err(RegistryError::InvalidRoot(_))
+        ));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn fault_in_counts_misses_then_hits() {
+        let root = registry_root("hits", 1);
+        let reg = ModelRegistry::open(&root, RegistryConfig::default()).unwrap();
+        assert_eq!(reg.domains(), vec!["dom0".to_string()]);
+        let d1 = reg.get("dom0").unwrap();
+        let d2 = reg.get("dom0").unwrap();
+        assert!(Arc::ptr_eq(&d1, &d2), "hit must share the resident Arc");
+        assert!(d1.bytes > 0);
+        assert!(d1.store.len() == 4);
+        let stats = reg.stats();
+        assert_eq!(stats.domains.len(), 1);
+        let s = &stats.domains[0];
+        assert!(s.resident);
+        assert_eq!((s.misses, s.hits), (1, 1));
+        assert!(s.open_path == "mmap" || s.open_path == "read", "{}", s.open_path);
+        assert_eq!(stats.resident_bytes, d1.bytes);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn reload_bumps_generation_and_old_arc_survives() {
+        let root = registry_root("reload", 1);
+        let reg = ModelRegistry::open(&root, RegistryConfig::default()).unwrap();
+        let old = reg.get("dom0").unwrap();
+        assert_eq!(old.generation, 0);
+        let new = reg.reload("dom0").unwrap();
+        assert_eq!(new.generation, 1);
+        assert!(!Arc::ptr_eq(&old, &new));
+        // The evicted-by-swap domain stays fully usable for in-flight
+        // work: scoring over the old mapping must still succeed.
+        let pairs = sampling::test_pairs(&old.dataset, &[]);
+        let a = old.model.score_pairs(&old.store, &pairs).unwrap();
+        let b = new.model.score_pairs(&new.store, &pairs).unwrap();
+        assert_eq!(a, b, "identical artifacts must score identically");
+        assert_eq!(reg.stats().domains[0].generation, 1);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_used() {
+        let root = registry_root("budget", 3);
+        // Budget sized from the real artifact bytes: room for two
+        // domains but not three.
+        let per_domain =
+            file_len(&root.join("dom0/model.lmp")) + file_len(&root.join("dom0/features.lfc"));
+        let reg = ModelRegistry::open(
+            &root,
+            RegistryConfig {
+                resident_budget_bytes: Some(per_domain * 2 + per_domain / 2),
+            },
+        )
+        .unwrap();
+        reg.get("dom0").unwrap();
+        reg.get("dom1").unwrap();
+        reg.get("dom0").unwrap(); // dom1 is now the LRU resident
+        reg.get("dom2").unwrap(); // must evict dom1, not dom0
+        let stats = reg.stats();
+        let by_name = |n: &str| stats.domains.iter().find(|d| d.name == n).unwrap().clone();
+        assert!(by_name("dom0").resident);
+        assert!(!by_name("dom1").resident);
+        assert!(by_name("dom2").resident);
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.resident_bytes <= per_domain * 2 + per_domain / 2);
+        // Faulting the evicted domain back in works and counts a miss.
+        reg.get("dom1").unwrap();
+        let stats = reg.stats();
+        assert_eq!(
+            stats.domains.iter().find(|d| d.name == "dom1").unwrap().misses,
+            2
+        );
+        assert_eq!(stats.evictions, 2, "re-admitting dom1 evicts the LRU again");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn explicit_evict_frees_bytes_and_keeps_generation() {
+        let root = registry_root("evict", 1);
+        let reg = ModelRegistry::open(&root, RegistryConfig::default()).unwrap();
+        reg.reload("dom0").unwrap();
+        reg.evict("dom0").unwrap();
+        let stats = reg.stats();
+        assert!(!stats.domains[0].resident);
+        assert_eq!(stats.resident_bytes, 0);
+        assert_eq!(stats.domains[0].generation, 1, "generation survives eviction");
+        let back = reg.get("dom0").unwrap();
+        assert_eq!(back.generation, 1);
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

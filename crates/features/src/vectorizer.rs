@@ -33,7 +33,7 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Largest absolute value a feature may carry out of the vectorizer.
 ///
@@ -325,16 +325,126 @@ fn fill_pair_table_rows(
     debug_assert_eq!(k, out.len(), "triangle row range / buffer mismatch");
 }
 
+/// Backing storage for the per-property feature vectors: either an
+/// owned map of `Vec<f32>` rows (the build path and the legacy v1
+/// cache codec) or an index into one shared contiguous row slab (the
+/// zero-copy v2 feature-cache path, where the slab is a view over a
+/// memory-mapped container section).
+enum Rows {
+    Owned(HashMap<PropertyKey, Vec<f32>>),
+    Slab {
+        /// Key → row index, built on first keyed access. The eager
+        /// constructor ([`PropertyFeatureStore::from_slab`]) fills it up
+        /// front; the deferred one
+        /// ([`PropertyFeatureStore::from_slab_deferred`]) leaves it to
+        /// `decode_keys`, so a zero-copy cache open allocates nothing
+        /// per property.
+        index: OnceLock<HashMap<PropertyKey, u32>>,
+        /// Produces row `i`'s key for the deferred path; `None` once the
+        /// index was built eagerly. Must yield exactly `rows` distinct
+        /// keys — the cache loader validates the raw key table before
+        /// constructing the store.
+        decode_keys: Option<Box<dyn Fn() -> Vec<PropertyKey> + Send + Sync>>,
+        slab: Arc<dyn AsRef<[f32]> + Send + Sync>,
+        row_len: usize,
+        /// Row count, known from the slab extent without the index.
+        rows: usize,
+    },
+}
+
+impl Rows {
+    /// The slab's key → row map, decoding the key table on first use.
+    fn slab_index<'a>(
+        index: &'a OnceLock<HashMap<PropertyKey, u32>>,
+        decode_keys: &Option<Box<dyn Fn() -> Vec<PropertyKey> + Send + Sync>>,
+        rows: usize,
+    ) -> &'a HashMap<PropertyKey, u32> {
+        index.get_or_init(|| {
+            let keys = decode_keys
+                .as_ref()
+                .expect("slab index unset without a key decoder")();
+            debug_assert_eq!(keys.len(), rows, "key decoder row-count contract");
+            keys.into_iter()
+                .enumerate()
+                .map(|(i, k)| (k, i as u32))
+                .collect()
+        })
+    }
+
+    fn get(&self, key: &PropertyKey) -> Option<&[f32]> {
+        match self {
+            Rows::Owned(map) => map.get(key).map(Vec::as_slice),
+            Rows::Slab {
+                index,
+                decode_keys,
+                slab,
+                row_len,
+                rows,
+            } => Self::slab_index(index, decode_keys, *rows)
+                .get(key)
+                .map(|&i| {
+                    let start = i as usize * row_len;
+                    &slab.as_ref().as_ref()[start..start + row_len]
+                }),
+        }
+    }
+
+    fn contains_key(&self, key: &PropertyKey) -> bool {
+        match self {
+            Rows::Owned(map) => map.contains_key(key),
+            Rows::Slab {
+                index,
+                decode_keys,
+                rows,
+                ..
+            } => Self::slab_index(index, decode_keys, *rows).contains_key(key),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Rows::Owned(map) => map.len(),
+            Rows::Slab { rows, .. } => *rows,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = (&PropertyKey, &[f32])> + '_> {
+        match self {
+            Rows::Owned(map) => Box::new(map.iter().map(|(k, v)| (k, v.as_slice()))),
+            Rows::Slab {
+                index,
+                decode_keys,
+                slab,
+                row_len,
+                rows,
+            } => {
+                let table = Self::slab_index(index, decode_keys, *rows);
+                let data = slab.as_ref().as_ref();
+                let row_len = *row_len;
+                Box::new(table.iter().map(move |(k, &i)| {
+                    let start = i as usize * row_len;
+                    (k, &data[start..start + row_len])
+                }))
+            }
+        }
+    }
+}
+
 /// Precomputed property feature vectors for one dataset, plus an
 /// interned-name memo table for name string distances.
 pub struct PropertyFeatureStore {
     dim: usize,
-    features: HashMap<PropertyKey, Vec<f32>>,
-    /// Distinct property names → dense id, fixed at build time.
-    name_ids: HashMap<String, u32>,
-    /// [`pair::normalize_name`] of each interned name, indexed by id —
-    /// normalized once here so string-cache misses skip re-tokenizing.
-    normalized_names: Vec<String>,
+    features: Rows,
+    /// Interned-name table, derived lazily on first string-feature use:
+    /// a zero-copy cache open must cost O(section table), not
+    /// O(properties) of sorting, normalizing, and re-hashing names.
+    /// Derivation is deterministic, so eager (build) and lazy (load)
+    /// stores agree bitwise.
+    names: OnceLock<NameTable>,
     string_cache: StringCache,
     /// Run-level dense pair table, built at most once per store by
     /// [`Self::ensure_pair_table`]. Unset until some caller's expected
@@ -345,8 +455,19 @@ pub struct PropertyFeatureStore {
     table_hits: AtomicU64,
     /// Repairs made by the build-time numeric-hygiene pass.
     sanitize: SanitizeStats,
-    /// Properties with no embedding signal (degraded mode).
-    degradation: DegradationReport,
+    /// Properties with no embedding signal (degraded mode). Lazy for
+    /// the same reason as `names`: the detection scan reads every row.
+    degradation: OnceLock<DegradationReport>,
+}
+
+/// The interned property-name table: distinct names in sorted order →
+/// dense id, plus each name's [`pair::normalize_name`] form so
+/// string-cache misses skip re-tokenizing.
+struct NameTable {
+    /// Distinct property names → dense id.
+    name_ids: HashMap<String, u32>,
+    /// Normalized form of each interned name, indexed by id.
+    normalized_names: Vec<String>,
 }
 
 impl PropertyFeatureStore {
@@ -529,53 +650,151 @@ impl PropertyFeatureStore {
         for v in features.values() {
             assert_eq!(v.len(), plen, "property vector length mismatch");
         }
+        Self::from_rows(dim, Rows::Owned(features), sanitize)
+    }
 
-        // Degraded-mode detection: embedding-derived columns span
-        // [29, 29 + 2D) of the property vector (instance-embedding
-        // average, then name embedding). All-zero ⇒ the property will be
-        // scored from non-embedding features alone.
-        let emb_range = instance::EMBEDDING_OFFSET..plen;
-        let mut degraded: Vec<PropertyKey> = features
-            .iter()
-            .filter(|(_, v)| v[emb_range.clone()].iter().all(|&x| x == 0.0))
-            .map(|(k, _)| k.clone())
-            .collect();
-        degraded.sort();
-        let degradation = DegradationReport {
-            degraded,
-            total: features.len(),
-        };
+    /// Build a store over one shared contiguous row slab: row `i` of
+    /// `slab` (length `keys.len() × property::len(dim)`) is the property
+    /// vector for `keys[i]`. The slab stays behind the `Arc`, so a
+    /// memory-mapped v2 cache section is served without copying any row
+    /// out; everything else (name interning, degradation detection,
+    /// string-distance memoization) is identical to [`Self::from_parts`].
+    pub fn from_slab(
+        dim: usize,
+        keys: Vec<PropertyKey>,
+        slab: Arc<dyn AsRef<[f32]> + Send + Sync>,
+        sanitize: SanitizeStats,
+    ) -> Result<Self, FeatureError> {
+        let row_len = property::len(dim);
+        let floats = slab.as_ref().as_ref().len();
+        if floats != keys.len() * row_len {
+            return Err(FeatureError::MalformedSlab(format!(
+                "slab holds {floats} floats, expected {} keys x {row_len}",
+                keys.len()
+            )));
+        }
+        if keys.len() > u32::MAX as usize {
+            return Err(FeatureError::MalformedSlab(format!(
+                "{} keys exceed the u32 row-index space",
+                keys.len()
+            )));
+        }
+        let rows = keys.len();
+        let mut index = HashMap::with_capacity(rows);
+        for (i, key) in keys.into_iter().enumerate() {
+            match index.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    return Err(FeatureError::MalformedSlab(format!(
+                        "duplicate property {} at row {i}",
+                        e.key()
+                    )));
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(i as u32);
+                }
+            }
+        }
+        let built = OnceLock::new();
+        let _ = built.set(index);
+        Ok(Self::from_rows(
+            dim,
+            Rows::Slab {
+                index: built,
+                decode_keys: None,
+                slab,
+                row_len,
+                rows,
+            },
+            sanitize,
+        ))
+    }
 
-        // Intern every distinct property name in sorted order so ids are
-        // reproducible across runs and thread counts.
-        let mut names: Vec<&str> = features.keys().map(|k| k.name.as_str()).collect();
-        names.sort_unstable();
-        names.dedup();
-        let normalized_names = names.iter().map(|n| pair::normalize_name(n)).collect();
-        let name_ids = names
-            .into_iter()
-            .enumerate()
-            .map(|(i, n)| (n.to_string(), i as u32))
-            .collect();
+    /// [`Self::from_slab`] with the key table deferred: `decode_keys`
+    /// runs on the first keyed access instead of at construction, so
+    /// opening a zero-copy cache allocates nothing per property. The
+    /// store's row count is pinned to `rows` up front (`len()` never
+    /// forces the decode).
+    ///
+    /// Contract: `decode_keys` must be infallible and yield exactly
+    /// `rows` distinct keys, row `i` of the slab belonging to key `i` —
+    /// the v2 cache loader guarantees this by validating the raw key
+    /// table (bounds, UTF-8, strict ordering) against the CRC-checked
+    /// section before constructing the store.
+    pub fn from_slab_deferred(
+        dim: usize,
+        rows: usize,
+        decode_keys: Box<dyn Fn() -> Vec<PropertyKey> + Send + Sync>,
+        slab: Arc<dyn AsRef<[f32]> + Send + Sync>,
+        sanitize: SanitizeStats,
+    ) -> Result<Self, FeatureError> {
+        let row_len = property::len(dim);
+        let floats = slab.as_ref().as_ref().len();
+        if floats != rows * row_len {
+            return Err(FeatureError::MalformedSlab(format!(
+                "slab holds {floats} floats, expected {rows} keys x {row_len}"
+            )));
+        }
+        if rows > u32::MAX as usize {
+            return Err(FeatureError::MalformedSlab(format!(
+                "{rows} keys exceed the u32 row-index space"
+            )));
+        }
+        Ok(Self::from_rows(
+            dim,
+            Rows::Slab {
+                index: OnceLock::new(),
+                decode_keys: Some(decode_keys),
+                slab,
+                row_len,
+                rows,
+            },
+            sanitize,
+        ))
+    }
 
+    /// Shared tail of [`Self::from_parts`] / [`Self::from_slab`]: row
+    /// lengths are already validated. The derived tables (degradation
+    /// report, interned names) initialize lazily — both scan every row,
+    /// and paying them at open would forfeit the zero-copy O(1) open.
+    fn from_rows(dim: usize, features: Rows, sanitize: SanitizeStats) -> Self {
         PropertyFeatureStore {
             dim,
             features,
-            name_ids,
-            normalized_names,
+            names: OnceLock::new(),
             string_cache: StringCache::new(),
             pair_table: OnceLock::new(),
             table_hits: AtomicU64::new(0),
             sanitize,
-            degradation,
+            degradation: OnceLock::new(),
         }
+    }
+
+    /// The interned-name table, derived on first use. Names intern in
+    /// sorted order so ids are reproducible across runs, thread counts,
+    /// and eager-vs-lazy construction.
+    fn names(&self) -> &NameTable {
+        self.names.get_or_init(|| {
+            let mut names: Vec<&str> = self.features.iter().map(|(k, _)| k.name.as_str()).collect();
+            names.sort_unstable();
+            names.dedup();
+            let normalized_names = names.iter().map(|n| pair::normalize_name(n)).collect();
+            let name_ids = names
+                .into_iter()
+                .enumerate()
+                .map(|(i, n)| (n.to_string(), i as u32))
+                .collect();
+            NameTable {
+                name_ids,
+                normalized_names,
+            }
+        })
     }
 
     /// Iterate over every `(property, feature vector)` entry in the map's
     /// (arbitrary) iteration order — the feature-cache serializer sorts
     /// keys itself for a deterministic byte stream.
     pub fn iter(&self) -> impl Iterator<Item = (&PropertyKey, &[f32])> {
-        self.features.iter().map(|(k, v)| (k, v.as_slice()))
+        self.features.iter()
     }
 
     /// Repairs made by the build-time numeric-hygiene pass.
@@ -585,8 +804,28 @@ impl PropertyFeatureStore {
 
     /// The per-run degraded-mode report: which properties have no
     /// embedding signal and fall back to non-embedding features.
+    /// Derived lazily (it scans every row's embedding columns) so a
+    /// zero-copy open does not pay for it.
     pub fn degradation(&self) -> &DegradationReport {
-        &self.degradation
+        self.degradation.get_or_init(|| {
+            let plen = property::len(self.dim);
+            // Embedding-derived columns span [29, 29 + 2D) of the
+            // property vector (instance-embedding average, then name
+            // embedding). All-zero ⇒ the property will be scored from
+            // non-embedding features alone.
+            let emb_range = instance::EMBEDDING_OFFSET..plen;
+            let mut degraded: Vec<PropertyKey> = self
+                .features
+                .iter()
+                .filter(|(_, v)| v[emb_range.clone()].iter().all(|&x| x == 0.0))
+                .map(|(k, _)| k.clone())
+                .collect();
+            degraded.sort();
+            DegradationReport {
+                degraded,
+                total: self.features.len(),
+            }
+        })
     }
 
     /// Embedding dimensionality the store was built with.
@@ -611,7 +850,7 @@ impl PropertyFeatureStore {
 
     /// The cached property feature vector, if the property exists.
     pub fn property_vector(&self, key: &PropertyKey) -> Option<&[f32]> {
-        self.features.get(key).map(Vec::as_slice)
+        self.features.get(key)
     }
 
     /// `(hits, misses)` of the string-distance cache, for tests and
@@ -660,7 +899,12 @@ impl PropertyFeatureStore {
         }
         // Canonicalize: names whose normalized forms coincide share one
         // table row. Sorting keeps canonical ids reproducible.
-        let mut forms: Vec<&str> = self.normalized_names.iter().map(String::as_str).collect();
+        let mut forms: Vec<&str> = self
+            .names()
+            .normalized_names
+            .iter()
+            .map(String::as_str)
+            .collect();
         forms.sort_unstable();
         forms.dedup();
         let n = forms.len();
@@ -684,6 +928,7 @@ impl PropertyFeatureStore {
             .map(|(i, &f)| (f, i as u32))
             .collect();
         let canon: Vec<u32> = self
+            .names()
             .normalized_names
             .iter()
             .map(|f| form_id[f.as_str()])
@@ -757,7 +1002,8 @@ impl PropertyFeatureStore {
     }
 
     fn string_features_cached(&self, a: &str, b: &str) -> [f32; pair::STRING_FEATURES] {
-        match (self.name_ids.get(a), self.name_ids.get(b)) {
+        let names = self.names();
+        match (names.name_ids.get(a), names.name_ids.get(b)) {
             (Some(&ia), Some(&ib)) => {
                 if let Some(table) = self.pair_table.get() {
                     self.table_hits.fetch_add(1, Ordering::Relaxed);
@@ -766,8 +1012,8 @@ impl PropertyFeatureStore {
                 self.string_cache.get_or_compute(
                     ia,
                     ib,
-                    &self.normalized_names[ia as usize],
-                    &self.normalized_names[ib as usize],
+                    &names.normalized_names[ia as usize],
+                    &names.normalized_names[ib as usize],
                 )
             }
             // Names outside the build-time set (possible only through
@@ -1101,6 +1347,9 @@ pub enum FeatureError {
     },
     /// A cooperative cancellation check fired mid-build or mid-fill.
     Cancelled,
+    /// A shared feature slab's shape disagrees with its key list (wrong
+    /// float count or a duplicate property row).
+    MalformedSlab(String),
 }
 
 impl std::fmt::Display for FeatureError {
@@ -1111,6 +1360,7 @@ impl std::fmt::Display for FeatureError {
                 write!(f, "worker panic at {site}: {message}")
             }
             FeatureError::Cancelled => write!(f, "feature work cancelled"),
+            FeatureError::MalformedSlab(msg) => write!(f, "malformed feature slab: {msg}"),
         }
     }
 }
@@ -1577,8 +1827,8 @@ mod tests {
         let a = PropertyFeatureStore::build_with_threads(&ds, &emb, 3);
         let b = PropertyFeatureStore::try_build_with_threads(&ds, &emb, 3).unwrap();
         assert_eq!(a.len(), b.len());
-        for (key, v) in &a.features {
-            assert_eq!(b.property_vector(key).unwrap(), v.as_slice());
+        for (key, v) in a.iter() {
+            assert_eq!(b.property_vector(key).unwrap(), v);
         }
         assert_eq!(a.sanitize_stats(), b.sanitize_stats());
         assert_eq!(a.degradation(), b.degradation());
@@ -1601,7 +1851,7 @@ mod tests {
         for threads in [2, 3, 5, 8] {
             let par = PropertyFeatureStore::build_with_threads(&ds, &emb, threads);
             assert_eq!(par.len(), serial.len());
-            for (key, v) in &serial.features {
+            for (key, v) in serial.iter() {
                 let pv = par.property_vector(key).unwrap();
                 assert_eq!(
                     pv.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),

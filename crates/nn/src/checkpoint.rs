@@ -157,11 +157,11 @@ impl From<std::io::Error> for CheckpointError {
 // CRC-64/XZ (ECMA-182 polynomial, reflected, init/xorout all-ones).
 // ---------------------------------------------------------------------
 
-fn crc64_table() -> &'static [u64; 256] {
-    static TABLE: OnceLock<[u64; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
+fn crc64_tables() -> &'static [[u64; 256]; 8] {
+    static TABLES: OnceLock<[[u64; 256]; 8]> = OnceLock::new();
+    TABLES.get_or_init(|| {
         const POLY: u64 = 0xC96C_5795_D787_0F42; // reflected 0x42F0E1EBA9EA3693
-        let mut table = [0u64; 256];
+        let mut tables = [[0u64; 256]; 8];
         let mut i = 0usize;
         while i < 256 {
             let mut crc = i as u64;
@@ -170,20 +170,45 @@ fn crc64_table() -> &'static [u64; 256] {
                 crc = if crc & 1 == 1 { (crc >> 1) ^ POLY } else { crc >> 1 };
                 bit += 1;
             }
-            table[i] = crc;
+            tables[0][i] = crc;
             i += 1;
         }
-        table
+        // Derived tables for slicing-by-8: tables[t][i] advances the
+        // CRC of byte `i` through `t` additional zero bytes.
+        for t in 1..8 {
+            for i in 0..256 {
+                let prev = tables[t - 1][i];
+                tables[t][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            }
+        }
+        tables
     })
 }
 
 /// CRC-64/XZ of `bytes` — the checksum guarding every container payload
 /// and every journal record in `leapme-core`.
+///
+/// Implemented as slicing-by-8 (eight parallel lookup tables consuming
+/// one `u64` per step) because the v2 container verifies whole mapped
+/// sections at open time, making checksum throughput part of the
+/// model-open latency budget.
 pub fn crc64(bytes: &[u8]) -> u64 {
-    let table = crc64_table();
+    let t = crc64_tables();
     let mut crc = !0u64;
-    for &b in bytes {
-        crc = table[((crc ^ b as u64) & 0xFF) as usize] ^ (crc >> 8);
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let v = crc ^ u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+        crc = t[7][(v & 0xFF) as usize]
+            ^ t[6][((v >> 8) & 0xFF) as usize]
+            ^ t[5][((v >> 16) & 0xFF) as usize]
+            ^ t[4][((v >> 24) & 0xFF) as usize]
+            ^ t[3][((v >> 32) & 0xFF) as usize]
+            ^ t[2][((v >> 40) & 0xFF) as usize]
+            ^ t[1][((v >> 48) & 0xFF) as usize]
+            ^ t[0][(v >> 56) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = t[0][((crc ^ b as u64) & 0xFF) as usize] ^ (crc >> 8);
     }
     !crc
 }
@@ -358,7 +383,8 @@ fn container_bytes(kind: u8, payload: &[u8]) -> Vec<u8> {
 
 /// Write bytes durably: temp sibling → fsync → atomic rename, then a
 /// best-effort directory sync so the rename itself survives a crash.
-fn atomic_write_bytes(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+/// Shared with the v2 section container in [`crate::container2`].
+pub(crate) fn atomic_write_bytes(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let mut name = path
         .file_name()
         .map(|n| n.to_os_string())
@@ -382,9 +408,9 @@ fn atomic_write_bytes(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
 /// Fault hook: simulate a write failure at `nn.checkpoint.write`. A
 /// `torn` fault leaves a half-written file *at the destination* —
 /// deliberately bypassing the atomic rename — so tests can prove the
-/// reader rejects it.
+/// reader rejects it. Shared with the v2 writer in [`crate::container2`].
 #[cfg(feature = "faults")]
-fn injected_write_fault(path: &Path, bytes: &[u8]) -> Option<std::io::Error> {
+pub(crate) fn injected_write_fault(path: &Path, bytes: &[u8]) -> Option<std::io::Error> {
     match leapme_faults::fires(leapme_faults::sites::CHECKPOINT_WRITE) {
         Some(leapme_faults::FaultKind::Torn) => {
             let _ = std::fs::write(path, &bytes[..bytes.len() / 2]);
@@ -398,15 +424,16 @@ fn injected_write_fault(path: &Path, bytes: &[u8]) -> Option<std::io::Error> {
 }
 
 #[cfg(not(feature = "faults"))]
-fn injected_write_fault(_path: &Path, _bytes: &[u8]) -> Option<std::io::Error> {
+pub(crate) fn injected_write_fault(_path: &Path, _bytes: &[u8]) -> Option<std::io::Error> {
     None
 }
 
 /// Fault hook: corrupt a read at `nn.checkpoint.read` with a single
 /// visit to the fault site (a short read drops the tail, a bit-flip
-/// flips one payload bit, `io` fails the read outright).
+/// flips one payload bit, `io` fails the read outright). Shared with
+/// the v2 open path in [`crate::container2`].
 #[cfg(feature = "faults")]
-fn injected_read_fault(bytes: &mut Vec<u8>) -> Result<(), CheckpointError> {
+pub(crate) fn injected_read_fault(bytes: &mut Vec<u8>) -> Result<(), CheckpointError> {
     match leapme_faults::fires(leapme_faults::sites::CHECKPOINT_READ) {
         Some(leapme_faults::FaultKind::ShortRead) => {
             let keep = bytes.len() / 2;
@@ -427,7 +454,7 @@ fn injected_read_fault(bytes: &mut Vec<u8>) -> Result<(), CheckpointError> {
 }
 
 #[cfg(not(feature = "faults"))]
-fn injected_read_fault(_bytes: &mut Vec<u8>) -> Result<(), CheckpointError> {
+pub(crate) fn injected_read_fault(_bytes: &mut Vec<u8>) -> Result<(), CheckpointError> {
     Ok(())
 }
 

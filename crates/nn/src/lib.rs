@@ -42,16 +42,19 @@
 //! ```
 
 #![deny(missing_docs)]
-// `deny` rather than `forbid`: exactly two scoped `allow(unsafe_code)`
+// `deny` rather than `forbid`: exactly three scoped `allow(unsafe_code)`
 // overrides exist — the debug-only `alloc-count` counting
 // `#[global_allocator]` (whose `GlobalAlloc` impl is necessarily
-// unsafe) and the explicit SSE2 integer lane in `quant::sse2`, each
-// justified inline per unsafe block.
+// unsafe), the explicit SSE2 integer lane in `quant::sse2`, and the
+// `container2::buffer` module (mmap FFI + aligned `&[u8]`→`&[f32]`
+// reinterpretation behind the zero-copy v2 container), each justified
+// inline per unsafe block.
 #![deny(unsafe_code)]
 
 #[cfg(feature = "alloc-count")]
 pub mod alloc_count;
 pub mod checkpoint;
+pub mod container2;
 pub mod init;
 pub mod layers;
 pub mod loss;

@@ -5,7 +5,80 @@
 //! ikj-ordered matmul (good cache behaviour, auto-vectorizable inner loop)
 //! is sufficient and keeps the substrate dependency-free.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
+use std::sync::Arc;
+
+/// Backing storage of a [`Matrix`]: either an owned heap buffer (every
+/// matrix constructed in-process) or a shared read-only view into a
+/// larger buffer — typically a checksummed section of an mmapped v2
+/// LEAPMECP container (see `container2`), letting a model's weights be
+/// used without ever materializing per-tensor `Vec`s.
+///
+/// The enum is private to this module; all access funnels through
+/// [`Storage::as_slice`] (reads) and [`Storage::make_mut`]
+/// (copy-on-write: a shared view is promoted to an owned copy on first
+/// mutation). Training and workspace matrices are always `Owned`, so
+/// the promotion never fires on a hot path.
+#[derive(Clone)]
+enum Storage {
+    Owned(Vec<f32>),
+    Shared(Arc<dyn AsRef<[f32]> + Send + Sync>),
+}
+
+impl Storage {
+    #[inline(always)]
+    fn as_slice(&self) -> &[f32] {
+        match self {
+            Storage::Owned(v) => v,
+            Storage::Shared(s) => s.as_ref().as_ref(),
+        }
+    }
+
+    /// Copy-on-write access: promotes a shared view to an owned buffer.
+    #[inline]
+    fn make_mut(&mut self) -> &mut Vec<f32> {
+        if let Storage::Shared(s) = self {
+            *self = Storage::Owned(s.as_ref().as_ref().to_vec());
+        }
+        match self {
+            Storage::Owned(v) => v,
+            Storage::Shared(_) => unreachable!("promoted above"),
+        }
+    }
+}
+
+impl Default for Storage {
+    fn default() -> Self {
+        Storage::Owned(Vec::new())
+    }
+}
+
+impl std::fmt::Debug for Storage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl PartialEq for Storage {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+// Serde delegates to `Vec<f32>` so the JSON shape (a plain sequence) is
+// identical whether the storage is owned or shared; deserialization
+// always produces owned storage.
+impl Serialize for Storage {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_vec().to_value()
+    }
+}
+
+impl Deserialize for Storage {
+    fn from_value(value: &Value) -> Result<Self, serde::de::DeError> {
+        Vec::<f32>::from_value(value).map(Storage::Owned)
+    }
+}
 
 /// A dense row-major matrix of `f32`.
 ///
@@ -15,7 +88,7 @@ use serde::{Deserialize, Serialize};
 pub struct Matrix {
     rows: usize,
     cols: usize,
-    data: Vec<f32>,
+    data: Storage,
 }
 
 impl Matrix {
@@ -24,7 +97,7 @@ impl Matrix {
         Matrix {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: Storage::Owned(vec![0.0; rows * cols]),
         }
     }
 
@@ -46,7 +119,7 @@ impl Matrix {
         Matrix {
             rows: rows.len(),
             cols,
-            data,
+            data: Storage::Owned(data),
         }
     }
 
@@ -57,7 +130,42 @@ impl Matrix {
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
         assert_eq!(data.len(), rows * cols, "buffer does not match shape");
-        Matrix { rows, cols, data }
+        Matrix {
+            rows,
+            cols,
+            data: Storage::Owned(data),
+        }
+    }
+
+    /// Build over a shared read-only buffer without copying — the
+    /// zero-copy path for weights resident in an mmapped v2 container.
+    /// The matrix reads directly from `shared`; the first mutating
+    /// access (training, in-place ops) promotes it to an owned copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shared.as_ref().len() != rows * cols`.
+    pub fn from_shared(
+        rows: usize,
+        cols: usize,
+        shared: Arc<dyn AsRef<[f32]> + Send + Sync>,
+    ) -> Self {
+        assert_eq!(
+            shared.as_ref().as_ref().len(),
+            rows * cols,
+            "shared buffer does not match shape"
+        );
+        Matrix {
+            rows,
+            cols,
+            data: Storage::Shared(shared),
+        }
+    }
+
+    /// Whether this matrix reads from shared (zero-copy) storage rather
+    /// than an owned buffer.
+    pub fn is_shared(&self) -> bool {
+        matches!(self.data, Storage::Shared(_))
     }
 
     /// Number of rows.
@@ -77,38 +185,41 @@ impl Matrix {
 
     /// Immutable view of the flat row-major data.
     pub fn data(&self) -> &[f32] {
-        &self.data
+        self.data.as_slice()
     }
 
-    /// Mutable view of the flat row-major data.
+    /// Mutable view of the flat row-major data. Copy-on-write: shared
+    /// (zero-copy) storage is promoted to an owned buffer first.
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.data.make_mut()
     }
 
     /// Element at `(r, c)`.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
         debug_assert!(r < self.rows && c < self.cols);
-        self.data[r * self.cols + c]
+        self.data.as_slice()[r * self.cols + c]
     }
 
     /// Set element at `(r, c)`.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
         debug_assert!(r < self.rows && c < self.cols);
-        self.data[r * self.cols + c] = v;
+        let idx = r * self.cols + c;
+        self.data.make_mut()[idx] = v;
     }
 
     /// Immutable view of row `r`.
     #[inline]
     pub fn row(&self, r: usize) -> &[f32] {
-        &self.data[r * self.cols..(r + 1) * self.cols]
+        &self.data.as_slice()[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Mutable view of row `r`.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        &mut self.data[r * self.cols..(r + 1) * self.cols]
+        let cols = self.cols;
+        &mut self.data.make_mut()[r * cols..(r + 1) * cols]
     }
 
     /// A new matrix keeping only the rows whose indices appear in `idx`
@@ -137,8 +248,14 @@ impl Matrix {
     pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
         self.rows = rows;
         self.cols = cols;
-        self.data.clear();
-        self.data.resize(rows * cols, 0.0);
+        // A shared matrix being reset is abandoning its view anyway,
+        // so drop it for a fresh owned buffer instead of copying it.
+        if matches!(self.data, Storage::Shared(_)) {
+            self.data = Storage::Owned(Vec::new());
+        }
+        let data = self.data.make_mut();
+        data.clear();
+        data.resize(rows * cols, 0.0);
     }
 
     /// Become a copy of `src` (shape and data), reusing the existing
@@ -146,8 +263,9 @@ impl Matrix {
     pub fn copy_from(&mut self, src: &Matrix) {
         self.rows = src.rows;
         self.cols = src.cols;
-        self.data.clear();
-        self.data.extend_from_slice(&src.data);
+        let data = self.data.make_mut();
+        data.clear();
+        data.extend_from_slice(src.data.as_slice());
     }
 
     /// Matrix product `self × rhs`.
@@ -202,7 +320,7 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         out.resize_zeroed(self.rows, rhs.cols);
-        run_row_partitioned(self.rows, rhs.cols, &mut out.data, threads, |start, chunk| {
+        run_row_partitioned(self.rows, rhs.cols, out.data.make_mut(), threads, |start, chunk| {
             matmul_rows(self, rhs, start, chunk)
         });
     }
@@ -254,7 +372,7 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         out.resize_zeroed(self.cols, rhs.cols);
-        run_row_partitioned(self.cols, rhs.cols, &mut out.data, threads, |start, chunk| {
+        run_row_partitioned(self.cols, rhs.cols, out.data.make_mut(), threads, |start, chunk| {
             t_matmul_rows(self, rhs, start, chunk)
         });
     }
@@ -305,7 +423,7 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         out.resize_zeroed(self.rows, rhs.rows);
-        run_row_partitioned(self.rows, rhs.rows, &mut out.data, threads, |start, chunk| {
+        run_row_partitioned(self.rows, rhs.rows, out.data.make_mut(), threads, |start, chunk| {
             matmul_t_rows(self, rhs, start, chunk)
         });
     }
@@ -356,7 +474,7 @@ impl Matrix {
 
     /// In-place element-wise map.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for v in &mut self.data {
+        for v in self.data.make_mut() {
             *v = f(*v);
         }
     }
@@ -368,7 +486,7 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn hadamard_inplace(&mut self, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+        for (a, &b) in self.data.make_mut().iter_mut().zip(other.data.as_slice()) {
             *a *= b;
         }
     }
@@ -380,21 +498,21 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn axpy_inplace(&mut self, alpha: f32, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+        for (a, &b) in self.data.make_mut().iter_mut().zip(other.data.as_slice()) {
             *a += alpha * b;
         }
     }
 
     /// Scale all elements in place.
     pub fn scale_inplace(&mut self, alpha: f32) {
-        for v in &mut self.data {
+        for v in self.data.make_mut() {
             *v *= alpha;
         }
     }
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+        self.data.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt()
     }
 }
 

@@ -188,6 +188,27 @@ impl Mlp {
         Mlp { layers, states }
     }
 
+    /// Rebuild a network from externally decoded layers (e.g. the v2
+    /// zero-copy container loader in `leapme-core`), validating that
+    /// consecutive layer shapes chain. Optimizer state starts fresh.
+    pub fn try_from_layers(layers: Vec<Dense>) -> Result<Self, NnError> {
+        if layers.is_empty() {
+            return Err(NnError::ShapeMismatch {
+                expected: "at least one layer".into(),
+                actual: "0 layers".into(),
+            });
+        }
+        for pair in layers.windows(2) {
+            if pair[0].out_dim() != pair[1].in_dim() {
+                return Err(NnError::ShapeMismatch {
+                    expected: format!("next layer input of {}", pair[0].out_dim()),
+                    actual: format!("{}", pair[1].in_dim()),
+                });
+            }
+        }
+        Ok(Mlp::from_layers(layers))
+    }
+
     /// Input dimensionality expected by the first layer.
     pub fn input_dim(&self) -> usize {
         self.layers.first().map(Dense::in_dim).unwrap_or(0)

@@ -8,18 +8,21 @@
 //! PR3 fail-soft contract — serve what you have, say it's degraded.
 
 use crate::http::{Request, Response};
-use crate::state::{FlightRole, ServeState};
+use crate::state::{Engine, FlightRole, ServeState, SingleEngine};
 use leapme_core::cancel::CancelToken;
 use leapme_core::incremental::integrate_source;
 use leapme_core::pipeline::LeapmeModel;
+use leapme_core::registry::{Domain, ModelRegistry, RegistryError};
 use leapme_core::sampling;
 use leapme_core::simgraph::SimilarityGraph;
 use leapme_core::CoreError;
 use leapme_data::io::read_instances_lenient;
 use leapme_data::model::{Dataset, PropertyKey, PropertyPair, SourceId};
 use leapme_features::vectorizer::PropertyFeatureStore;
+use leapme_nn::checkpoint::crc64;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Pairs per scoring chunk. Small enough that a deadline is honored
@@ -61,20 +64,101 @@ pub fn handle(state: &ServeState, req: &Request, token: &CancelToken) -> Respons
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}".to_string()),
         ("GET", "/readyz") => readyz(state),
-        ("GET", "/metrics") => {
-            Response::json(200, state.metrics.to_json(0, state.draining.load(Ordering::SeqCst)))
-        }
+        ("GET", "/metrics") => metrics(state),
         ("POST", "/score") => score(state, req, token),
-        ("POST", "/match") => match_all(state, token),
+        ("POST", "/match") => match_all(state, req, token),
         ("POST", "/integrate-source") => integrate(state, req, token),
+        ("POST", "/reload") => reload(state, req),
         (_, "/healthz" | "/readyz" | "/metrics") => {
             Response::error(405, "method-not-allowed", "use GET")
         }
-        (_, "/score" | "/match" | "/integrate-source") => {
+        (_, "/score" | "/match" | "/integrate-source" | "/reload") => {
             Response::error(405, "method-not-allowed", "use POST")
         }
         (_, path) => Response::error(404, "not-found", &format!("no route for {path}")),
     }
+}
+
+/// `GET /metrics`: the server counters, plus a `registry` object with
+/// per-domain stats (resident flag, generation, bytes mapped, open_ms,
+/// hit/miss counts, evictions) when running in registry mode.
+fn metrics(state: &ServeState) -> Response {
+    let mut body = state
+        .metrics
+        .to_json(0, state.draining.load(Ordering::SeqCst));
+    if let Some(registry) = state.registry() {
+        let stats =
+            serde_json::to_string(&registry.stats()).expect("registry stats serialize");
+        // Splice the registry object into the flat counter body.
+        body.pop();
+        body.push_str(",\"registry\":");
+        body.push_str(&stats);
+        body.push('}');
+    }
+    Response::json(200, body)
+}
+
+/// Validate a model selector's shape: 1–64 chars of `[A-Za-z0-9._-]`.
+/// Anything else is a typed 400 `bad-model` — distinct from the 404
+/// `unknown-model` a well-formed but absent name earns.
+fn validate_selector(name: &str) -> Result<(), Response> {
+    let ok = !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-');
+    if !ok {
+        return Err(Response::error(
+            400,
+            "bad-model",
+            &format!("model selector {name:?} must be 1-64 characters of [A-Za-z0-9._-]"),
+        ));
+    }
+    Ok(())
+}
+
+/// Resolve the request's domain in registry mode. The selector comes
+/// from the JSON `model` body field or the `x-leapme-model` header
+/// (the body field wins); a missing selector is a 400 `bad-model`, an
+/// unknown one a 404 `unknown-model`.
+fn resolve_domain(
+    registry: &Arc<ModelRegistry>,
+    body_model: Option<&str>,
+    req: &Request,
+) -> Result<Arc<Domain>, Response> {
+    let Some(name) = body_model.or_else(|| req.header("x-leapme-model")) else {
+        return Err(Response::error(
+            400,
+            "bad-model",
+            "registry mode requires a model selector: body field \"model\" or x-leapme-model header",
+        ));
+    };
+    validate_selector(name)?;
+    match registry.get(name) {
+        Ok(domain) => Ok(domain),
+        Err(RegistryError::UnknownModel(n)) => Err(Response::error(
+            404,
+            "unknown-model",
+            &format!("no domain {n:?} in the registry"),
+        )),
+        Err(e) => Err(Response::error(500, "model-load-failed", &e.to_string())),
+    }
+}
+
+/// In single-model mode a model selector is a contract violation, not
+/// something to silently ignore — typed 400 `bad-model`.
+fn reject_selector_in_single_mode(
+    body_model: Option<&str>,
+    req: &Request,
+) -> Result<(), Response> {
+    if body_model.is_some() || req.header("x-leapme-model").is_some() {
+        return Err(Response::error(
+            400,
+            "bad-model",
+            "this server runs a single model; remove the model selector",
+        ));
+    }
+    Ok(())
 }
 
 /// `GET /readyz`: 200 while serving, 503 once drain has begun — the
@@ -83,18 +167,35 @@ fn readyz(state: &ServeState) -> Response {
     if state.draining.load(Ordering::SeqCst) {
         return Response::error(503, "draining", "server is draining; not accepting new work");
     }
-    let resident = state.resident.read().unwrap_or_else(|e| e.into_inner());
-    let body = serde_json::to_string(&ReadyBody {
-        status: "ready".to_string(),
-        properties: resident.store.len(),
-        sources: resident.dataset.sources().len(),
-        graph_edges: resident.graph.len(),
-        generation: resident.generation,
-        input_dim: state.model.input_dim(),
-        threshold: state.model.threshold(),
-    })
-    .expect("ready body serializes");
-    Response::json(200, body)
+    match &state.engine {
+        Engine::Single(engine) => {
+            let resident = engine.resident.read().unwrap_or_else(|e| e.into_inner());
+            let body = serde_json::to_string(&ReadyBody {
+                status: "ready".to_string(),
+                properties: resident.store.len(),
+                sources: resident.dataset.sources().len(),
+                graph_edges: resident.graph.len(),
+                generation: resident.generation,
+                input_dim: engine.model.input_dim(),
+                threshold: engine.model.threshold(),
+            })
+            .expect("ready body serializes");
+            Response::json(200, body)
+        }
+        Engine::Registry(registry) => {
+            let stats = registry.stats();
+            let body = serde_json::to_string(&RegistryReadyBody {
+                status: "ready".to_string(),
+                domains: registry.domains(),
+                resident: stats.domains.iter().filter(|d| d.resident).count(),
+                resident_bytes: stats.resident_bytes,
+                budget_bytes: stats.budget_bytes,
+                evictions: stats.evictions,
+            })
+            .expect("ready body serializes");
+            Response::json(200, body)
+        }
+    }
 }
 
 /// `GET /readyz` body.
@@ -109,11 +210,26 @@ struct ReadyBody {
     threshold: f32,
 }
 
+/// `GET /readyz` body in registry mode.
+#[derive(Serialize)]
+struct RegistryReadyBody {
+    status: String,
+    domains: Vec<String>,
+    resident: usize,
+    resident_bytes: u64,
+    budget_bytes: Option<u64>,
+    evictions: u64,
+}
+
 /// `POST /score` body.
 #[derive(Deserialize)]
 struct ScoreRequest {
     /// `[source_id, property, source_id, property]` quadruples.
     pairs: Vec<(u16, String, u16, String)>,
+    /// Registry-mode domain selector (alternative to the
+    /// `x-leapme-model` header).
+    #[serde(default)]
+    model: Option<String>,
 }
 
 /// `POST /score` response.
@@ -134,11 +250,49 @@ fn score(state: &ServeState, req: &Request, token: &CancelToken) -> Response {
         Ok(p) => p,
         Err(resp) => return resp,
     };
-    let resident = state.resident.read().unwrap_or_else(|e| e.into_inner());
+    match &state.engine {
+        Engine::Single(engine) => {
+            if let Err(resp) = reject_selector_in_single_mode(parsed.model.as_deref(), req) {
+                return resp;
+            }
+            let resident = engine.resident.read().unwrap_or_else(|e| e.into_inner());
+            score_against(
+                &engine.model,
+                &resident.dataset,
+                &resident.store,
+                &parsed.pairs,
+                token,
+            )
+        }
+        Engine::Registry(registry) => {
+            let domain = match resolve_domain(registry, parsed.model.as_deref(), req) {
+                Ok(d) => d,
+                Err(resp) => return resp,
+            };
+            score_against(
+                &domain.model,
+                &domain.dataset,
+                &domain.store,
+                &parsed.pairs,
+                token,
+            )
+        }
+    }
+}
 
-    let mut pairs = Vec::with_capacity(parsed.pairs.len());
-    for (i, (sa, pa, sb, pb)) in parsed.pairs.iter().enumerate() {
-        let n_sources = resident.dataset.sources().len();
+/// The engine-independent half of `POST /score`: validate the pair
+/// list against one dataset + store, score it chunked, and render the
+/// response.
+fn score_against(
+    model: &LeapmeModel,
+    dataset: &Dataset,
+    store: &PropertyFeatureStore,
+    raw_pairs: &[(u16, String, u16, String)],
+    token: &CancelToken,
+) -> Response {
+    let mut pairs = Vec::with_capacity(raw_pairs.len());
+    for (i, (sa, pa, sb, pb)) in raw_pairs.iter().enumerate() {
+        let n_sources = dataset.sources().len();
         for sid in [*sa, *sb] {
             if usize::from(sid) >= n_sources {
                 return Response::error(
@@ -151,7 +305,7 @@ fn score(state: &ServeState, req: &Request, token: &CancelToken) -> Response {
         let a = PropertyKey::new(SourceId(*sa), pa.clone());
         let b = PropertyKey::new(SourceId(*sb), pb.clone());
         for key in [&a, &b] {
-            if resident.store.property_vector(key).is_none() {
+            if store.property_vector(key).is_none() {
                 return Response::error(
                     400,
                     "unknown-property",
@@ -163,18 +317,17 @@ fn score(state: &ServeState, req: &Request, token: &CancelToken) -> Response {
     }
 
     let check = token.checker();
-    let (scores, degraded) =
-        match score_chunked(&state.model, &resident.store, &pairs, &check) {
-            Ok(v) => v,
-            Err(resp) => return resp,
-        };
+    let (scores, degraded) = match score_chunked(model, store, &pairs, &check) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
     let scored = scores.len();
     let body = serde_json::to_string(&ScoreResponse {
         scores,
         requested: pairs.len(),
         scored,
         degraded,
-        threshold: state.model.threshold(),
+        threshold: model.threshold(),
     })
     .expect("score response serializes");
     let mut resp = Response::json(200, body);
@@ -219,10 +372,36 @@ fn score_chunked(
 ///
 /// Identical concurrent requests coalesce: one leader computes per
 /// resident generation, followers share its response body.
-fn match_all(state: &ServeState, token: &CancelToken) -> Response {
+fn match_all(state: &ServeState, req: &Request, token: &CancelToken) -> Response {
+    match &state.engine {
+        Engine::Single(engine) => {
+            if let Err(resp) = reject_selector_in_single_mode(None, req) {
+                return resp;
+            }
+            match_single(state, engine, token)
+        }
+        Engine::Registry(registry) => {
+            // Resolve (and fault in) the domain before joining the
+            // flight: the flight key pins the domain *and* generation,
+            // so a `/reload` hot-swap mid-computation never shares a
+            // stale graph with post-swap requests.
+            let domain = match resolve_domain(registry, None, req) {
+                Ok(d) => d,
+                Err(resp) => return resp,
+            };
+            let key =
+                crc64(format!("{}@{}", domain.name, domain.generation).as_bytes());
+            match_domain(state, &domain, key, token)
+        }
+    }
+}
+
+/// Single-model `POST /match`: keyed by the resident generation, which
+/// `integrate-source` bumps on every swap.
+fn match_single(state: &ServeState, engine: &SingleEngine, token: &CancelToken) -> Response {
     loop {
         let generation = {
-            let resident = state.resident.read().unwrap_or_else(|e| e.into_inner());
+            let resident = engine.resident.read().unwrap_or_else(|e| e.into_inner());
             resident.generation
         };
         let wait = token.remaining().unwrap_or(state.config.request_timeout);
@@ -241,41 +420,178 @@ fn match_all(state: &ServeState, token: &CancelToken) -> Response {
             }
             FlightRole::Retry => continue,
             FlightRole::Leader => {
-                let resident = state.resident.read().unwrap_or_else(|e| e.into_inner());
-                let candidates = sampling::test_pairs(&resident.dataset, &[]);
-                let check = token.checker();
-                let (scores, degraded) = match score_chunked(
-                    &state.model,
+                let resident = engine.resident.read().unwrap_or_else(|e| e.into_inner());
+                return match_lead(
+                    state,
+                    generation,
+                    &engine.model,
+                    &resident.dataset,
                     &resident.store,
-                    &candidates,
-                    &check,
-                ) {
-                    Ok(v) => v,
-                    Err(resp) => {
-                        state.singleflight.abandon(generation);
-                        return resp;
-                    }
-                };
-                let mut graph = SimilarityGraph::new();
-                for (pair, score) in candidates.iter().zip(scores.iter()) {
-                    graph.add(pair.clone(), *score);
-                }
-                let body = serde_json::to_string_pretty(&graph)
-                    .expect("similarity graph serializes");
-                if degraded {
-                    // A partial graph is this request's to keep — never
-                    // shared through the single-flight table.
-                    state.singleflight.abandon(generation);
-                    let mut resp = Response::json(200, body);
-                    resp.degraded = true;
-                    return resp;
-                }
-                let shared = std::sync::Arc::new(body);
-                state.singleflight.complete(generation, std::sync::Arc::clone(&shared));
-                return Response::json(200, (*shared).clone());
+                    token,
+                );
             }
         }
     }
+}
+
+/// Registry-mode `POST /match` against one pinned domain.
+fn match_domain(
+    state: &ServeState,
+    domain: &Domain,
+    key: u64,
+    token: &CancelToken,
+) -> Response {
+    loop {
+        let wait = token.remaining().unwrap_or(state.config.request_timeout);
+        match state.singleflight.join_or_lead(key, wait) {
+            FlightRole::Follower(body) => {
+                state.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
+                return Response::json(200, (*body).clone());
+            }
+            FlightRole::TimedOut => {
+                state.metrics.deadline_rejects.fetch_add(1, Ordering::Relaxed);
+                return Response::error(
+                    503,
+                    "deadline-expired",
+                    "deadline expired while waiting for the in-flight match computation",
+                );
+            }
+            FlightRole::Retry => continue,
+            FlightRole::Leader => {
+                return match_lead(
+                    state,
+                    key,
+                    &domain.model,
+                    &domain.dataset,
+                    &domain.store,
+                    token,
+                );
+            }
+        }
+    }
+}
+
+/// The leader's half of a coalesced match: score every cross-source
+/// pair into a graph and publish (or, degraded, keep) the body.
+fn match_lead(
+    state: &ServeState,
+    flight_key: u64,
+    model: &LeapmeModel,
+    dataset: &Dataset,
+    store: &PropertyFeatureStore,
+    token: &CancelToken,
+) -> Response {
+    let candidates = sampling::test_pairs(dataset, &[]);
+    let check = token.checker();
+    let (scores, degraded) = match score_chunked(model, store, &candidates, &check) {
+        Ok(v) => v,
+        Err(resp) => {
+            state.singleflight.abandon(flight_key);
+            return resp;
+        }
+    };
+    let mut graph = SimilarityGraph::new();
+    for (pair, score) in candidates.iter().zip(scores.iter()) {
+        graph.add(pair.clone(), *score);
+    }
+    let body = serde_json::to_string_pretty(&graph).expect("similarity graph serializes");
+    if degraded {
+        // A partial graph is this request's to keep — never shared
+        // through the single-flight table.
+        state.singleflight.abandon(flight_key);
+        let mut resp = Response::json(200, body);
+        resp.degraded = true;
+        return resp;
+    }
+    let shared = Arc::new(body);
+    state.singleflight.complete(flight_key, Arc::clone(&shared));
+    Response::json(200, (*shared).clone())
+}
+
+/// `POST /reload` body.
+#[derive(Deserialize)]
+struct ReloadRequest {
+    /// Domain to hot-swap (alternative to the `x-leapme-model` header).
+    #[serde(default)]
+    model: Option<String>,
+}
+
+/// `POST /reload` response.
+#[derive(Serialize)]
+struct ReloadResponse {
+    model: String,
+    generation: u64,
+    open_path: String,
+    open_ms: u64,
+    bytes: u64,
+}
+
+/// `POST /reload`: re-open one domain's artifacts from disk and swap
+/// them in atomically with a bumped generation — the registry-mode
+/// hot-swap. In-flight requests finish against the old mapping.
+fn reload(state: &ServeState, req: &Request) -> Response {
+    let Some(registry) = state.registry() else {
+        return Response::error(
+            400,
+            "registry-mode",
+            "POST /reload requires registry mode (serve --models)",
+        );
+    };
+    let parsed: ReloadRequest = if req.body.is_empty() {
+        ReloadRequest { model: None }
+    } else {
+        match parse_json_body(&req.body) {
+            Ok(p) => p,
+            Err(resp) => return resp,
+        }
+    };
+    let Some(name) = parsed
+        .model
+        .as_deref()
+        .or_else(|| req.header("x-leapme-model"))
+    else {
+        return Response::error(
+            400,
+            "bad-model",
+            "reload requires a model selector: body field \"model\" or x-leapme-model header",
+        );
+    };
+    if let Err(resp) = validate_selector(name) {
+        return resp;
+    }
+    match registry.reload(name) {
+        Ok(domain) => {
+            state.metrics.reloads.fetch_add(1, Ordering::Relaxed);
+            state.journal_event(&ReloadEvent {
+                event: "reload",
+                model: domain.name.clone(),
+                generation: domain.generation,
+            });
+            let body = serde_json::to_string(&ReloadResponse {
+                model: domain.name.clone(),
+                generation: domain.generation,
+                open_path: domain.model_open_path.label().to_string(),
+                open_ms: domain.open_ms,
+                bytes: domain.bytes,
+            })
+            .expect("reload response serializes");
+            Response::json(200, body)
+        }
+        Err(RegistryError::UnknownModel(n)) => Response::error(
+            404,
+            "unknown-model",
+            &format!("no domain {n:?} in the registry"),
+        ),
+        Err(e) => Response::error(500, "reload-failed", &e.to_string()),
+    }
+}
+
+/// Journal record for a completed reload.
+#[derive(Serialize)]
+struct ReloadEvent {
+    event: &'static str,
+    model: String,
+    generation: u64,
 }
 
 /// `POST /integrate-source` response.
@@ -307,6 +623,13 @@ struct IntegrateEvent {
 /// prepared off to the side and swapped in atomically; a deadline
 /// expiry mid-way changes nothing.
 fn integrate(state: &ServeState, req: &Request, token: &CancelToken) -> Response {
+    let Engine::Single(engine) = &state.engine else {
+        return Response::error(
+            400,
+            "registry-mode",
+            "integrate-source mutates the single-model resident state; not available with --models",
+        );
+    };
     let csv = match std::str::from_utf8(&req.body) {
         Ok(s) => s,
         Err(_) => return Response::error(400, "bad-encoding", "body must be UTF-8 CSV"),
@@ -315,7 +638,7 @@ fn integrate(state: &ServeState, req: &Request, token: &CancelToken) -> Response
     // Snapshot the resident state under the read lock; the expensive
     // rebuild below runs without holding any lock.
     let (name, mut sources, old_instances, alignment, mut graph, old_generation) = {
-        let resident = state.resident.read().unwrap_or_else(|e| e.into_inner());
+        let resident = engine.resident.read().unwrap_or_else(|e| e.into_inner());
         (
             resident.dataset.name().to_string(),
             resident.dataset.sources().to_vec(),
@@ -358,7 +681,7 @@ fn integrate(state: &ServeState, req: &Request, token: &CancelToken) -> Response
     let check = token.checker();
     let store = match PropertyFeatureStore::try_build_cancellable(
         &merged,
-        &state.embeddings,
+        &engine.embeddings,
         leapme_features::worker_threads(),
         Some(&check),
     ) {
@@ -376,7 +699,7 @@ fn integrate(state: &ServeState, req: &Request, token: &CancelToken) -> Response
 
     let mut total = (0usize, 0usize, 0usize); // scored, attached, novel
     for sid in &new_ids {
-        match integrate_source(&state.model, &store, &merged, &mut graph, *sid) {
+        match integrate_source(&engine.model, &store, &merged, &mut graph, *sid) {
             Ok(outcome) => {
                 total.0 += outcome.scored_pairs;
                 total.1 += outcome.attached.len();
@@ -418,7 +741,7 @@ fn integrate(state: &ServeState, req: &Request, token: &CancelToken) -> Response
     // failure (injected via `continual.snapshot` or real) refuses the
     // swap so disk and memory never disagree.
     {
-        let mut resident = state.resident.write().unwrap_or_else(|e| e.into_inner());
+        let mut resident = engine.resident.write().unwrap_or_else(|e| e.into_inner());
         if resident.generation != old_generation {
             return Response::error(
                 503,

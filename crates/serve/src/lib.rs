@@ -40,4 +40,4 @@ pub use http::{HttpError, HttpLimits, Request, Response};
 pub use queue::{Bounded, Pop};
 pub use server::{start, DrainReport, ServerHandle};
 pub use snapshot::{ResidentSnapshot, SnapshotError};
-pub use state::{Metrics, Resident, ServeConfig, ServeState};
+pub use state::{Engine, Metrics, Resident, ServeConfig, ServeState, SingleEngine};

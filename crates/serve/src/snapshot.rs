@@ -16,7 +16,8 @@
 
 use leapme_core::simgraph::SimilarityGraph;
 use leapme_data::model::Dataset;
-use leapme_nn::checkpoint::{read_container, write_container, CheckpointError, KIND_RESIDENT};
+use leapme_nn::checkpoint::{CheckpointError, Decoder, Encoder, KIND_RESIDENT};
+use leapme_nn::container2::{open_any, Opened, V2Writer};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
@@ -71,32 +72,66 @@ fn injected_snapshot_fault() -> bool {
     false
 }
 
-/// Persist `snapshot` to `path` atomically. On any error (injected or
-/// real) the file at `path` is left exactly as it was.
+/// Persist `snapshot` to `path` atomically, as a v2 section container:
+/// a `meta` section carrying the pinned generation (readable without
+/// parsing the JSON — the registry inspection path uses it) and a
+/// `snapshot.json` section with the full payload. On any error
+/// (injected or real) the file at `path` is left exactly as it was.
 pub fn save(path: &Path, snapshot: &ResidentSnapshot) -> Result<(), SnapshotError> {
     if injected_snapshot_fault() {
         return Err(SnapshotError::Injected);
     }
     let payload = serde_json::to_string(snapshot)
         .map_err(|e| SnapshotError::Malformed(e.to_string()))?;
-    write_container(path, KIND_RESIDENT, payload.as_bytes())
-        .map_err(SnapshotError::Checkpoint)
+    let mut meta = Encoder::new();
+    meta.u64(snapshot.generation);
+    let mut w = V2Writer::new(KIND_RESIDENT);
+    w.bytes("meta", &meta.finish());
+    w.bytes("snapshot.json", payload.as_bytes());
+    w.write(path).map_err(SnapshotError::Checkpoint)
 }
 
-/// Load the snapshot at `path`. Returns `Ok(None)` when no snapshot
-/// exists yet (fresh deployment); any *present but unreadable* snapshot
-/// is an error — silently starting empty would lose integrated sources.
+/// Load the snapshot at `path` — v1 (legacy single-payload JSON) or v2.
+/// Returns `Ok(None)` when no snapshot exists yet (fresh deployment);
+/// any *present but unreadable* snapshot is an error — silently
+/// starting empty would lose integrated sources.
 pub fn load(path: &Path) -> Result<Option<ResidentSnapshot>, SnapshotError> {
     if !path.exists() {
         return Ok(None);
     }
-    let payload =
-        read_container(path, KIND_RESIDENT).map_err(SnapshotError::Checkpoint)?;
-    let text = std::str::from_utf8(&payload)
+    let json: Vec<u8> = match open_any(path, KIND_RESIDENT).map_err(SnapshotError::Checkpoint)? {
+        Opened::V1(payload) => payload,
+        Opened::V2(container) => {
+            let meta_generation = {
+                let meta = container
+                    .section_bytes("meta")
+                    .map_err(SnapshotError::Checkpoint)?;
+                let mut d = Decoder::new(meta);
+                let generation = d.u64().map_err(SnapshotError::Checkpoint)?;
+                d.done().map_err(SnapshotError::Checkpoint)?;
+                generation
+            };
+            let json = container
+                .section_bytes("snapshot.json")
+                .map_err(SnapshotError::Checkpoint)?
+                .to_vec();
+            let snapshot = parse(&json)?;
+            if snapshot.generation != meta_generation {
+                return Err(SnapshotError::Malformed(format!(
+                    "meta pins generation {meta_generation} but payload holds {}",
+                    snapshot.generation
+                )));
+            }
+            return Ok(Some(snapshot));
+        }
+    };
+    Ok(Some(parse(&json)?))
+}
+
+fn parse(payload: &[u8]) -> Result<ResidentSnapshot, SnapshotError> {
+    let text = std::str::from_utf8(payload)
         .map_err(|_| SnapshotError::Malformed("payload is not UTF-8".to_string()))?;
-    let snapshot: ResidentSnapshot =
-        serde_json::from_str(text).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
-    Ok(Some(snapshot))
+    serde_json::from_str(text).map_err(|e| SnapshotError::Malformed(e.to_string()))
 }
 
 #[cfg(test)]
@@ -151,6 +186,26 @@ mod tests {
         save(&path, &back).unwrap();
         let bytes_b = std::fs::read(&path).unwrap();
         assert_eq!(bytes_a, bytes_b);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_v1_snapshot_still_loads() {
+        let dir = std::env::temp_dir().join(format!("leapme-snap-v1-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.snap");
+        let snap = ResidentSnapshot {
+            dataset: tiny_dataset(),
+            graph: SimilarityGraph::new(),
+            generation: 7,
+        };
+        // Write the pre-v2 layout directly: one JSON payload in a v1
+        // container.
+        let payload = serde_json::to_string(&snap).unwrap();
+        leapme_nn::checkpoint::write_container(&path, KIND_RESIDENT, payload.as_bytes()).unwrap();
+        let back = load(&path).unwrap().expect("snapshot present");
+        assert_eq!(back.generation, 7);
+        assert_eq!(back.dataset.sources(), snap.dataset.sources());
         std::fs::remove_file(&path).ok();
     }
 

@@ -5,6 +5,7 @@
 use crate::http::HttpLimits;
 use leapme_core::journal::RunJournal;
 use leapme_core::pipeline::LeapmeModel;
+use leapme_core::registry::ModelRegistry;
 use leapme_core::retry::RetryPolicy;
 use leapme_core::simgraph::SimilarityGraph;
 use leapme_data::model::Dataset;
@@ -99,6 +100,8 @@ pub struct Metrics {
     pub write_failures: AtomicU64,
     /// Sources integrated into the resident graph.
     pub integrations: AtomicU64,
+    /// Registry-mode domain hot-swaps completed via `POST /reload`.
+    pub reloads: AtomicU64,
 }
 
 impl Metrics {
@@ -117,6 +120,7 @@ impl Metrics {
             accept_faults: self.accept_faults.load(Ordering::Relaxed),
             write_failures: self.write_failures.load(Ordering::Relaxed),
             integrations: self.integrations.load(Ordering::Relaxed),
+            reloads: self.reloads.load(Ordering::Relaxed),
             queued,
             draining,
         };
@@ -139,6 +143,7 @@ struct MetricsSnapshot {
     accept_faults: u64,
     write_failures: u64,
     integrations: u64,
+    reloads: u64,
     queued: usize,
     draining: bool,
 }
@@ -159,14 +164,34 @@ pub struct Resident {
     pub generation: u64,
 }
 
-/// Everything a worker needs, shared behind one `Arc`.
-pub struct ServeState {
+/// The single-model engine: one warm model + embedding store + the
+/// swap-on-write resident data, exactly the pre-registry server.
+pub struct SingleEngine {
     /// The warm model (immutable for the server's lifetime).
     pub model: LeapmeModel,
     /// Embedding store (immutable; needed to featurize new sources).
     pub embeddings: EmbeddingStore,
     /// The swap-on-write resident data.
     pub resident: RwLock<Resident>,
+}
+
+/// What the server scores against: one warm model (the classic
+/// `serve --model` deployment) or a multi-domain registry
+/// (`serve --models dir/`), where requests select a domain by the
+/// `model` body field / `x-leapme-model` header.
+pub enum Engine {
+    /// One model, one dataset, mutable via `integrate-source`. Boxed:
+    /// the warm model dwarfs the registry `Arc` and the enum would
+    /// otherwise carry the larger variant's size everywhere.
+    Single(Box<SingleEngine>),
+    /// Many lazily faulted-in domains behind shared mappings.
+    Registry(Arc<ModelRegistry>),
+}
+
+/// Everything a worker needs, shared behind one `Arc`.
+pub struct ServeState {
+    /// The scoring backend.
+    pub engine: Engine,
     /// Counters.
     pub metrics: Metrics,
     /// Optional run journal for start/integration/shutdown records.
@@ -210,14 +235,50 @@ impl ServeState {
         config: ServeConfig,
     ) -> Self {
         ServeState {
-            model,
-            embeddings,
-            resident: RwLock::new(resident),
+            engine: Engine::Single(Box::new(SingleEngine {
+                model,
+                embeddings,
+                resident: RwLock::new(resident),
+            })),
             metrics: Metrics::default(),
             journal,
             config,
             draining: AtomicBool::new(false),
             singleflight: SingleFlight::default(),
+        }
+    }
+
+    /// Assemble the shared state over a multi-domain registry.
+    pub fn with_registry(
+        registry: Arc<ModelRegistry>,
+        journal: Option<RunJournal>,
+        config: ServeConfig,
+    ) -> Self {
+        ServeState {
+            engine: Engine::Registry(registry),
+            metrics: Metrics::default(),
+            journal,
+            config,
+            draining: AtomicBool::new(false),
+            singleflight: SingleFlight::default(),
+        }
+    }
+
+    /// The single-model engine parts, `None` in registry mode. Chaos
+    /// tests and the single-mode handlers reach resident state through
+    /// this.
+    pub fn single(&self) -> Option<&SingleEngine> {
+        match &self.engine {
+            Engine::Single(s) => Some(s),
+            Engine::Registry(_) => None,
+        }
+    }
+
+    /// The registry, `None` in single-model mode.
+    pub fn registry(&self) -> Option<&Arc<ModelRegistry>> {
+        match &self.engine {
+            Engine::Single(_) => None,
+            Engine::Registry(r) => Some(r),
         }
     }
 

@@ -67,6 +67,55 @@ cargo run --release -p leapme-bench --bin latency -- \
 echo "==> continual bench (regenerates BENCH_PR9.json)"
 cargo run --release -p leapme-bench --bin continual -- --out BENCH_PR9.json >/dev/null 2>&1
 
+echo "==> registry bench (regenerates BENCH_PR10.json)"
+cargo run --release -p leapme-bench --bin registry -- --out BENCH_PR10.json >/dev/null 2>&1
+
+echo "==> registry bench: v2 zero-copy open ≥ 10x v1 parse, scores bit-identical, budget held"
+python3 - <<'EOF'
+import json, sys
+with open("BENCH_PR10.json") as f:
+    report = json.load(f)
+if report.get("faults_enabled") is not False:
+    sys.exit("BENCH_PR10.json: faults_enabled is not false — the registry "
+             "bench was built with the fault hooks armed")
+if report.get("scores_bitwise_identical") is not True:
+    sys.exit("BENCH_PR10.json: v1- and v2-loaded models disagree on the "
+             "reference workload — zero-copy changed the numbers")
+po = report.get("pair_open")
+if not isinstance(po, dict):
+    sys.exit("BENCH_PR10.json: pair_open section missing")
+for key in ("model_v1", "model_v2", "cache_v1", "cache_v2"):
+    stats = po.get(key)
+    if not isinstance(stats, dict) or stats.get("min_open_us", 0) <= 0:
+        sys.exit(f"BENCH_PR10.json: pair_open.{key} missing or not positive")
+if po["model_v2"]["open_path"] not in ("mmap", "read"):
+    sys.exit(f"BENCH_PR10.json: v2 model opened via "
+             f"{po['model_v2']['open_path']!r}, not a v2 container path")
+speedup = po.get("pair_open_speedup", 0)
+if speedup < 10:
+    sys.exit(f"BENCH_PR10.json: pair open speedup {speedup:.2f}x — the "
+             "zero-copy gate is ≥ 10x over the v1 parse")
+sweep = report.get("domain_sweep")
+if not isinstance(sweep, list) or not sweep:
+    sys.exit("BENCH_PR10.json: domain_sweep section missing")
+for point in sweep:
+    if point["served"] != point["domains"]:
+        sys.exit(f"BENCH_PR10.json: only {point['served']} of "
+                 f"{point['domains']} domains answered under the budget")
+    if point["domains"] > 1 and point["evictions"] < 1:
+        sys.exit(f"BENCH_PR10.json: {point['domains']} domains under a "
+                 f"{point['budget_domains']}-domain budget saw no evictions "
+                 "— the resident budget never engaged")
+biggest = sweep[-1]
+print(f"    pair open x{speedup:.1f} (v1 "
+      f"{po['cache_v1']['min_open_us'] + po['model_v1']['min_open_us']:.0f}us"
+      f" -> v2 "
+      f"{po['cache_v2']['min_open_us'] + po['model_v2']['min_open_us']:.0f}us,"
+      f" {po['cache_v2']['open_path']}) | scores bit-identical |"
+      f" {biggest['domains']} domains under {biggest['budget_domains']}-domain"
+      f" budget: {biggest['evictions']} evictions, all served")
+EOF
+
 echo "==> continual bench: BENCH_PR9.json records the quality curve, quarantines, decisions"
 python3 - <<'EOF'
 import json, math, sys
@@ -310,7 +359,7 @@ for t in 1 4; do
 done
 
 echo "==> chaos stage: faults compiled out of the release bench"
-for bench_json in BENCH_PR7.json BENCH_PR8.json BENCH_PR9.json; do
+for bench_json in BENCH_PR7.json BENCH_PR8.json BENCH_PR9.json BENCH_PR10.json; do
     if ! grep -q '"faults_enabled": false' "$bench_json"; then
         echo "$bench_json does not record faults_enabled=false — the bench" \
              "binary was built with the fault hooks armed" >&2
@@ -717,5 +766,170 @@ kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" || true
 SERVE_PID=""
 echo "    restart recovered generation 1; snapshot bytes unchanged"
+
+echo "==> registry drill: inspect verifies every section, corrupt slab caught, heals on restore"
+REG="$DRILL_DIR/registry"
+mkdir -p "$REG/alpha" "$REG/beta"
+cp "$DRILL_DIR/ref.lmp" "$REG/alpha/model.lmp"
+cp "$DRILL_DIR/ds.json" "$REG/alpha/dataset.json"
+cp "$CACHE" "$REG/alpha/features.lfc"
+cp "$DRILL_DIR/ref.lmp" "$REG/beta/model.lmp"
+cp "$DRILL_DIR/ds.json" "$REG/beta/dataset.json"
+cp "$DRILL_DIR/emb.txt" "$REG/beta/embeddings.txt"
+"$LEAPME" registry --dir "$REG" > "$DRILL_DIR/reg1.out"
+for d in alpha beta; do
+    if ! grep -q "^$d: .*verified=full" "$DRILL_DIR/reg1.out"; then
+        echo "registry drill: inspect did not report domain $d verified" >&2
+        cat "$DRILL_DIR/reg1.out" >&2
+        exit 1
+    fi
+done
+# Flip one byte deep inside the vector slab — past everything the lazy
+# zero-copy open touches. The resident fault-in would map this file
+# happily; the inspect sweep must refuse it, typed.
+cp "$REG/alpha/features.lfc" "$DRILL_DIR/features.lfc.pristine"
+python3 - "$REG/alpha/features.lfc" <<'EOF'
+import sys
+path = sys.argv[1]
+with open(path, "r+b") as f:
+    data = bytearray(f.read())
+    data[len(data) - 64] ^= 0xFF
+    f.seek(0)
+    f.write(data)
+EOF
+set +e
+"$LEAPME" registry --dir "$REG" > "$DRILL_DIR/reg2.out" 2>&1
+REG_RC=$?
+set -e
+if [ "$REG_RC" -eq 0 ]; then
+    echo "registry drill: inspect accepted a corrupted vector slab" >&2
+    cat "$DRILL_DIR/reg2.out" >&2
+    exit 1
+fi
+if ! grep -qi "checksum" "$DRILL_DIR/reg2.out"; then
+    echo "registry drill: corruption failure was not a typed checksum error" >&2
+    cat "$DRILL_DIR/reg2.out" >&2
+    exit 1
+fi
+cp "$DRILL_DIR/features.lfc.pristine" "$REG/alpha/features.lfc"
+"$LEAPME" registry --dir "$REG" >/dev/null
+echo "    corrupt slab rejected with a checksum error; pristine copy verifies again"
+
+echo "==> registry hot-swap drill: serve --models, per-domain routing, /reload swaps live"
+# A second model trained at a different seed: the swap must visibly
+# change what the domain serves.
+LEAPME_THREADS=1 "$LEAPME" train \
+    --dataset "$DRILL_DIR/ds.json" --embeddings "$DRILL_DIR/emb.txt" \
+    --seed 6 --save "$DRILL_DIR/alt.lmp" >/dev/null
+"$LEAPME" serve \
+    --models "$REG" --addr 127.0.0.1:0 --workers 2 \
+    --journal "$DRILL_DIR/regserve.journal" \
+    > "$DRILL_DIR/regserve.out" &
+SERVE_PID=$!
+SERVE_URL=""
+for _ in $(seq 1 300); do
+    SERVE_URL="$(sed -n 's/^leapme serve listening on \(http:[^ ]*\).*/\1/p' \
+        "$DRILL_DIR/regserve.out" 2>/dev/null || true)"
+    [ -n "$SERVE_URL" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if [ -z "$SERVE_URL" ]; then
+    echo "registry hot-swap drill: daemon never reported a listening address" >&2
+    cat "$DRILL_DIR/regserve.out" >&2
+    exit 1
+fi
+if ! grep -q "registry domains=2" "$DRILL_DIR/regserve.out"; then
+    echo "registry hot-swap drill: daemon did not report 2 registry domains" >&2
+    cat "$DRILL_DIR/regserve.out" >&2
+    exit 1
+fi
+python3 - "$SERVE_URL" "$REG" "$DRILL_DIR/alt.lmp" <<'EOF'
+import http.client, json, shutil, sys, urllib.parse
+
+url = urllib.parse.urlparse(sys.argv[1])
+reg_root, alt_model = sys.argv[2], sys.argv[3]
+
+def roundtrip(method, path, body=None, model=None):
+    conn = http.client.HTTPConnection(url.hostname, url.port, timeout=60)
+    try:
+        headers = {}
+        if body:
+            headers["content-type"] = "application/json"
+        if model is not None:
+            headers["x-leapme-model"] = model
+        conn.request(method, path, body=body, headers=headers)
+        resp = conn.getresponse()
+        return resp.status, resp.read()
+    finally:
+        conn.close()
+
+# Typed selector errors: unknown domain is a 404, garbage selector a 400.
+# `/match` routes on the x-leapme-model header; `/score` also accepts
+# the body's `model` field.
+status, body = roundtrip("POST", "/match", model="nope")
+if status != 404 or b"unknown-model" not in body:
+    sys.exit(f"hot-swap drill: unknown model gave {status}: {body!r}")
+status, body = roundtrip("POST", "/match", model="bad name!")
+if status != 400 or b"bad-model" not in body:
+    sys.exit(f"hot-swap drill: invalid selector gave {status}: {body!r}")
+status, body = roundtrip("POST", "/score",
+                         json.dumps({"model": "nope", "pairs": []}))
+if status != 404 or b"unknown-model" not in body:
+    sys.exit(f"hot-swap drill: /score body selector gave {status}: {body!r}")
+
+# Both domains answer, routed by the header selector.
+graphs = {}
+for name in ("alpha", "beta"):
+    status, body = roundtrip("POST", "/match", model=name)
+    if status != 200:
+        sys.exit(f"hot-swap drill: /match {name} returned {status}: {body[:200]!r}")
+    graphs[name] = body
+
+# Swap alpha's model on disk and /reload: the generation must bump and
+# the served scores must change (the alternate seed trains a different
+# network), while beta stays untouched.
+shutil.copyfile(alt_model, f"{reg_root}/alpha/model.lmp")
+status, body = roundtrip("POST", "/reload", json.dumps({"model": "alpha"}))
+if status != 200:
+    sys.exit(f"hot-swap drill: /reload returned {status}: {body!r}")
+reload_info = json.loads(body)
+if reload_info.get("model") != "alpha" or reload_info.get("generation", 0) < 1:
+    sys.exit(f"hot-swap drill: unexpected reload response {reload_info!r}")
+status, after = roundtrip("POST", "/match", model="alpha")
+if status != 200:
+    sys.exit(f"hot-swap drill: post-swap /match returned {status}")
+if after == graphs["alpha"]:
+    sys.exit("hot-swap drill: alpha served identical scores after the swap — "
+             "the reload never took effect")
+status, beta_after = roundtrip("POST", "/match", model="beta")
+if status != 200 or beta_after != graphs["beta"]:
+    sys.exit("hot-swap drill: the alpha swap disturbed beta's scores")
+
+# /metrics carries the per-domain registry stats and counted the reload.
+status, body = roundtrip("GET", "/metrics")
+metrics = json.loads(body)
+registry = metrics.get("registry")
+if not isinstance(registry, dict) or len(registry.get("domains", [])) != 2:
+    sys.exit(f"hot-swap drill: /metrics registry section wrong: {registry!r}")
+if metrics.get("reloads", 0) < 1:
+    sys.exit("hot-swap drill: /metrics did not count the reload")
+gens = {d["name"]: d["generation"] for d in registry["domains"]}
+print(f"    routed both domains, swap bumped alpha to generation "
+      f"{gens.get('alpha')}, beta untouched at {gens.get('beta')}")
+EOF
+if ! grep -q '"event":"reload"' "$DRILL_DIR/regserve.journal"; then
+    echo "registry hot-swap drill: journal has no reload record" >&2
+    exit 1
+fi
+kill -TERM "$SERVE_PID"
+SERVE_RC=0
+wait "$SERVE_PID" || SERVE_RC=$?
+SERVE_PID=""
+if [ "$SERVE_RC" -ne 0 ]; then
+    echo "registry hot-swap drill: daemon exited $SERVE_RC after SIGTERM (want 0)" >&2
+    cat "$DRILL_DIR/regserve.out" >&2
+    exit 1
+fi
 
 echo "==> verify OK"

@@ -571,7 +571,7 @@ fn integrate_source_swaps_resident_state_atomically() {
     let ready = request(addr, "GET", "/readyz", "");
     assert!(body_of(&ready).contains("\"generation\":1"));
     {
-        let resident = state.resident.read().unwrap();
+        let resident = state.single().expect("single-model mode").resident.read().unwrap();
         assert!(resident.dataset.sources().iter().any(|s| s == "newshop"));
         assert_eq!(resident.generation, 1);
     }
@@ -704,7 +704,7 @@ fn integrate_persists_a_generation_pinned_snapshot() {
     assert_eq!(snap.generation, 1);
     assert!(snap.dataset.sources().iter().any(|s| s == "snapshop"));
     {
-        let resident = state.resident.read().unwrap();
+        let resident = state.single().expect("single-model mode").resident.read().unwrap();
         assert_eq!(resident.generation, snap.generation);
         assert_eq!(resident.graph.len(), snap.graph.len());
     }
@@ -844,7 +844,7 @@ mod faults {
         });
         assert!(!snap_path.exists(), "no partial snapshot may survive");
         {
-            let resident = state.resident.read().unwrap();
+            let resident = state.single().expect("single-model mode").resident.read().unwrap();
             assert_eq!(resident.generation, 0, "refused swap must not move memory");
             assert!(!resident.dataset.sources().iter().any(|s| s == "faultshop"));
         }
